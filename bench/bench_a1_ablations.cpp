@@ -1,0 +1,183 @@
+// A1 — ablations of design decisions DESIGN.md calls out.
+//
+//  (a) Peripheral-vs-transit awareness (Sec. 4.2): the anti-spoof module
+//      must act only on customer edges. Ablation: a naive variant that
+//      source-checks every edge — it drops the owner's *own legitimate
+//      replies* as they transit the core.
+//  (b) The runtime safety guard (Sec. 4.5): with the guard, a malicious
+//      module's src/TTL/size mutations are reverted and the deployment
+//      quarantined; the ablation executes the same module graph without
+//      the device's guard and measures the damage that would leak.
+#include "bench_util.h"
+#include "core/adaptive_device.h"
+#include "core/modules/antispoof.h"
+#include "host/client.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+const LinkParams kAccess{MegabitsPerSecond(100), Milliseconds(2),
+                         256 * 1024};
+
+/// The ablated anti-spoof: checks *every* edge, transit included.
+class NaiveAntiSpoof : public Module {
+ public:
+  void AddProtectedPrefix(const Prefix& prefix) {
+    protected_.Insert(prefix, true);
+  }
+  void AddLegitimateSourceNode(NodeId node) {
+    if (legit_.size() <= node) legit_.resize(node + 1, false);
+    legit_[node] = true;
+  }
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override {
+    if (!protected_.ContainsAddress(packet.src)) return kPortDefault;
+    const NodeId edge_origin = ctx.in_kind == LinkKind::kAccessUp
+                                   ? ctx.node
+                                   : ctx.in_from_node;
+    const bool legit = edge_origin != kInvalidNode &&
+                       edge_origin < legit_.size() && legit_[edge_origin];
+    return legit ? kPortDefault : kPortAlt;
+  }
+  std::string_view type_name() const override { return "anti-spoof"; }
+  int port_count() const override { return 2; }
+
+ private:
+  PrefixTrie<bool> protected_;
+  std::vector<bool> legit_;
+};
+
+/// Evil module for ablation (b).
+class Rerouter : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.dst = Ipv4Address(p.dst.bits() ^ 0x1000);  // bounce to another AS
+    p.ttl = 255;
+    p.size_bytes *= 4;
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("A1 — design ablations",
+              "transit awareness and the runtime guard are load-bearing");
+
+  // ---- (a) transit awareness ----
+  Table transit_table("(a) anti-spoof transit awareness: victim's own "
+                      "service under NO attack");
+  transit_table.SetHeader({"anti-spoof variant", "client goodput",
+                           "legit pkts filtered"});
+  for (const bool naive : {false, true}) {
+    TransitStubParams topo_params;
+    topo_params.transit_count = 6;
+    topo_params.stub_count = 50;
+    TcsWorld world(31, topo_params);
+    world.AdoptTcsEverywhere();
+    const NodeId victim_as = world.topo.stub_nodes[0];
+    Server* victim = SpawnHost<Server>(world.net, victim_as, kAccess);
+    ClientConfig client_config;
+    client_config.server = victim->address();
+    client_config.kind = RequestKind::kUdpRequest;
+    client_config.request_rate = 40.0;
+    Client* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[9],
+                                       kAccess, client_config);
+    client->Start();
+
+    const auto cert =
+        world.tcsp.Register(AsOrgName(victim_as), {NodePrefix(victim_as)});
+    if (!cert.ok()) return 1;
+    if (!naive) {
+      ServiceRequest request;
+      request.kind = ServiceKind::kRemoteIngressFiltering;
+      request.control_scope = {NodePrefix(victim_as)};
+      (void)world.tcsp.DeployServiceNow(cert.value(), request);
+    } else {
+      // Hand-install the naive variant on every device.
+      const std::vector<NodeId> legit = LegitimateForwarderSet(
+          world.net, {victim_as});
+      for (auto& nms : world.nmses) {
+        for (NodeId node : nms->managed_nodes()) {
+          auto module = std::make_unique<NaiveAntiSpoof>();
+          module->AddProtectedPrefix(NodePrefix(victim_as));
+          for (NodeId l : legit) module->AddLegitimateSourceNode(l);
+          (void)nms->device(node)->InstallDeployment(
+              cert.value(), {NodePrefix(victim_as)},
+              ModuleGraph::Single(std::move(module)), std::nullopt);
+        }
+      }
+    }
+    world.net.Run(Seconds(5));
+    transit_table.AddRow(
+        {naive ? "naive (checks all edges)" : "paper (customer edges only)",
+         Table::Pct(client->stats().SuccessRatio()),
+         Table::Int(static_cast<long long>(world.net.metrics().dropped(
+             TrafficClass::kLegitimate, DropReason::kFiltered)))});
+  }
+  transit_table.Print(std::cout);
+
+  // ---- (b) runtime guard ----
+  Table guard_table("(b) runtime safety guard vs a rerouting/amplifying "
+                    "module (1000 packets through one device)");
+  guard_table.SetHeader({"guard", "dst rewritten", "ttl boosted",
+                         "bytes amplified", "deployment state"});
+  CertificateAuthority ca("a1-key");
+  const auto cert = ca.Issue(1, "evil", {NodePrefix(5)}, 0, Seconds(3600));
+  for (const bool guarded : {true, false}) {
+    std::uint64_t rewritten = 0, boosted = 0, amplified_bytes = 0;
+    bool quarantined = false;
+    if (guarded) {
+      AdaptiveDevice device(0);
+      (void)device.InstallDeployment(
+          cert, {NodePrefix(5)}, std::nullopt,
+          ModuleGraph::Single(std::make_unique<Rerouter>()));
+      for (int i = 0; i < 1000; ++i) {
+        Packet p;
+        p.src = HostAddress(1, 1);
+        p.dst = HostAddress(5, 1);
+        p.ttl = 64;
+        p.size_bytes = 100;
+        RouterContext ctx;
+        device.Process(p, ctx);
+        rewritten += p.dst != HostAddress(5, 1) ? 1 : 0;
+        boosted += p.ttl != 64 ? 1 : 0;
+        amplified_bytes += p.size_bytes > 100 ? p.size_bytes - 100 : 0;
+      }
+      quarantined = device.IsQuarantined(1);
+    } else {
+      // Ablation: the same module graph executed without the guard.
+      ModuleGraph graph = ModuleGraph::Single(std::make_unique<Rerouter>());
+      DeviceContext ctx;
+      for (int i = 0; i < 1000; ++i) {
+        Packet p;
+        p.src = HostAddress(1, 1);
+        p.dst = HostAddress(5, 1);
+        p.ttl = 64;
+        p.size_bytes = 100;
+        (void)graph.Execute(p, ctx);
+        rewritten += p.dst != HostAddress(5, 1) ? 1 : 0;
+        boosted += p.ttl != 64 ? 1 : 0;
+        amplified_bytes += p.size_bytes > 100 ? p.size_bytes - 100 : 0;
+      }
+    }
+    guard_table.AddRow(
+        {guarded ? "on (paper design)" : "off (ablation)",
+         Table::Int(static_cast<long long>(rewritten)),
+         Table::Int(static_cast<long long>(boosted)),
+         Table::Int(static_cast<long long>(amplified_bytes)),
+         guarded ? (quarantined ? "quarantined after 1st packet" : "?")
+                 : "running unchecked"});
+  }
+  guard_table.Print(std::cout);
+
+  std::printf(
+      "\nreading: (a) without transit awareness the defence destroys the\n"
+      "very service it protects — the victim's replies are eaten in the\n"
+      "core. (b) without the runtime guard a single malicious module\n"
+      "reroutes, extends and amplifies every owned packet; with it, zero\n"
+      "damage and immediate quarantine.\n");
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E2 — Sec. 3.1: pushback's failure modes.
+//
+//  (a) "Pushback assumes that DDoS attacks result in overloaded links. In
+//       many cases, however, an attacked server's resources are exhausted
+//       before its uplink is overloaded" (server farms).
+//  (b) "rate limiting flows based on source addresses is not adequate, if
+//       addresses are spoofed. In this case, legitimate sources may
+//       experience severe service degradation."
+//  (c) "If a router on a path between attacker(s) and victim does not
+//       speak the protocol, the pushback of filter rules stops."
+//
+// Regenerates: one row per scenario with reaction counts, collateral
+// aggregates, and client goodput.
+#include "bench_util.h"
+#include "mitigation/pushback.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+struct RowResult {
+  double reactions = 0;
+  double rules = 0;
+  double collateral = 0;
+  double blocked = 0;
+  double goodput = 0;
+  double victim_cpu_denied = 0;
+  double attack_byte_hops_mb = 0;
+};
+
+RowResult RunScenario(std::uint64_t seed, bool thin_uplink, SpoofMode spoof,
+                      double cooperation_fraction, bool enabled = true) {
+  TransitStubParams topo_params;
+  topo_params.transit_count = 6;
+  topo_params.stub_count = 60;
+  TcsWorld world(seed, topo_params);
+
+  ScenarioParams params;
+  params.master_count = 2;
+  params.agents_per_master = 8;
+  params.reflector_count = 2;
+  params.client_count = 10;
+  params.client_request_rate = 20.0;
+  params.client_kind = RequestKind::kUdpRequest;
+  params.directive.type = AttackType::kDirectFlood;
+  params.directive.flood_proto = Protocol::kUdp;
+  params.directive.spoof = spoof;
+  params.directive.rate_pps = 400.0;
+  params.directive.packet_bytes = 400;
+  params.directive.duration = Seconds(8);
+  if (thin_uplink) {
+    // Single-server site: 2 Mbps uplink saturates long before the CPU.
+    params.victim_access =
+        LinkParams{MegabitsPerSecond(2), Milliseconds(2), 32 * 1024};
+    params.victim_config.cpu_capacity_rps = 1e6;
+  } else {
+    // Server farm: fat link feeding a CPU-bound service.
+    params.victim_access =
+        LinkParams{GigabitsPerSecond(1), Milliseconds(2), 1024 * 1024};
+    params.victim_config.cpu_capacity_rps = 500.0;
+    params.victim_config.cpu_burst = 100.0;
+  }
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  PushbackConfig config;
+  config.drop_count_trigger = 80;
+  config.top_k = 8;
+  config.limit_pps = 20.0;
+  PushbackSystem pushback(world.net, config);
+  if (!enabled) {
+    // baseline: no pushback anywhere
+  } else if (cooperation_fraction >= 1.0) {
+    for (NodeId node = 0; node < world.net.node_count(); ++node) {
+      pushback.EnableOn(node);
+    }
+  } else {
+    // The victim's AS always cooperates (it bought the product); the rest
+    // of the world cooperates with the given probability.
+    pushback.EnableOn(scenario.victim_node);
+    for (NodeId node = 0; node < world.net.node_count(); ++node) {
+      if (node != scenario.victim_node &&
+          world.net.rng().NextBool(cooperation_fraction)) {
+        pushback.EnableOn(node);
+      }
+    }
+  }
+  pushback.Start();
+
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(10));
+
+  std::vector<NodeId> agent_nodes;
+  for (HostId host : scenario.agent_hosts) {
+    agent_nodes.push_back(world.net.host_node(host));
+  }
+  RowResult row;
+  row.reactions = static_cast<double>(pushback.stats().reactions);
+  row.rules = static_cast<double>(pushback.stats().rules_installed);
+  row.collateral =
+      static_cast<double>(pushback.CollateralAggregates(agent_nodes));
+  row.blocked = static_cast<double>(pushback.stats().propagation_blocked);
+  row.goodput = scenario.ClientSuccessRatio();
+  row.victim_cpu_denied =
+      static_cast<double>(scenario.victim->stats().denied_cpu);
+  row.attack_byte_hops_mb =
+      static_cast<double>(world.net.metrics().attack_byte_hops) / 1e6;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("E2 (Sec. 3.1) — pushback failure modes",
+              "no reaction without link overload; collateral under "
+              "spoofing; propagation dies at non-speakers");
+
+  Table table("pushback under different conditions (mean of 3 replicates)");
+  table.SetHeader({"scenario", "reactions", "rules", "collateral aggr.",
+                   "prop. blocked", "client goodput", "victim CPU denials",
+                   "attack MB-hop"});
+
+  struct Case {
+    const char* name;
+    bool thin_uplink;
+    SpoofMode spoof;
+    double cooperation;
+  };
+  struct FullCase {
+    Case c;
+    bool enabled;
+  };
+  const Case cases[] = {
+      {"thin uplink, NO pushback (baseline)", true, SpoofMode::kNone, -1.0},
+      {"thin uplink, no spoof, all coop", true, SpoofMode::kNone, 1.0},
+      {"thin uplink, random spoof, all coop", true, SpoofMode::kRandom, 1.0},
+      {"server farm (CPU-bound), all coop", false, SpoofMode::kNone, 1.0},
+      {"thin uplink, no spoof, 30% coop", true, SpoofMode::kNone, 0.3},
+      {"thin uplink, no spoof, victim-only", true, SpoofMode::kNone, 0.0},
+  };
+
+  for (const Case& c : cases) {
+    const auto stats = RunReplicatesMulti(
+        3, 7, [&](std::uint64_t seed) -> std::vector<double> {
+          const RowResult row =
+              RunScenario(seed, c.thin_uplink, c.spoof,
+                          std::max(0.0, c.cooperation),
+                          /*enabled=*/c.cooperation >= 0.0);
+          return {row.reactions, row.rules, row.collateral, row.blocked,
+                  row.goodput, row.victim_cpu_denied,
+                  row.attack_byte_hops_mb};
+        });
+    table.AddRow({c.name, Table::Num(stats[0].mean(), 1),
+                  Table::Num(stats[1].mean(), 0),
+                  Table::Num(stats[2].mean(), 1),
+                  Table::Num(stats[3].mean(), 0),
+                  Table::Pct(stats[4].mean()),
+                  Table::Num(stats[5].mean(), 0),
+                  Table::Num(stats[6].mean(), 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: with truthful sources and a congested uplink, pushback\n"
+      "does help (goodput above the no-defence baseline). The server-farm\n"
+      "row shows zero reactions while the victim's CPU is slaughtered\n"
+      "(claim a); the spoofed row shows innocent aggregates rate limited\n"
+      "and goodput back on the floor (claim b); reduced cooperation blocks\n"
+      "upstream propagation — the victim is still shielded locally, but\n"
+      "the flood keeps burning backbone byte-hops (claim c).\n");
+  return 0;
+}

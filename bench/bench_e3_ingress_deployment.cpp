@@ -1,0 +1,115 @@
+// E3 — Sec. 3.2 / Park & Lee [15]: ingress filtering effectiveness vs.
+// deployment fraction on a power-law (Internet-like) AS topology.
+//
+// "In [15] the authors show that ingress filtering is already highly
+//  effective against source address spoofing even if only approximately
+//  20% of the autonomous systems have it in place."
+// and: "Attacks involving reflectors with legitimate source addresses,
+//  however, are only affected if ingress [filtering] is applied on paths
+//  between agents and reflectors."
+//
+// Regenerates: spoofed-packet survival ratio vs. deploying-AS fraction,
+// for a direct spoofed flood and for a reflector attack (where only the
+// agent->reflector leg is spoofed; the reflected replies are legitimate
+// packets and survive regardless).
+#include "bench_util.h"
+#include "mitigation/ingress_filter.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+int main() {
+  PrintHeader("E3 (Sec. 3.2 / Park & Lee) — ingress filtering coverage",
+              "high efficacy from ~20% AS coverage; reflected replies are "
+              "immune");
+
+  Table table("spoofed-traffic survival vs deployment (power-law, 300 ASes, "
+              "5 replicates)");
+  table.SetHeader({"deploying ASes", "direct spoofed delivered",
+                   "spoofed reqs reaching reflectors",
+                   "reflected replies delivered"});
+
+  for (const double fraction :
+       {0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0}) {
+    const auto stats = RunReplicatesMulti(
+        5, 3,
+        [&](std::uint64_t seed) -> std::vector<double> {
+          PowerLawParams topo_params;
+          topo_params.node_count = 300;
+          topo_params.edges_per_node = 2;
+          TcsWorld world(seed, topo_params);
+
+          // Direct spoofed flood.
+          ScenarioParams params;
+          params.master_count = 2;
+          params.agents_per_master = 10;
+          params.reflector_count = 15;
+          params.client_count = 0;
+          params.directive.type = AttackType::kDirectFlood;
+          params.directive.spoof = SpoofMode::kRandom;
+          params.directive.rate_pps = 60.0;
+          params.directive.duration = Seconds(4);
+          Scenario direct =
+              BuildAttackScenario(world.net, world.topo, params);
+
+          const auto deploying = SampleAses(world.net.node_count(),
+                                            fraction, world.net.rng());
+          auto filters =
+              DeployIngressFiltering(world.net, world.topo, deploying);
+
+          direct.attacker->Launch();
+          world.net.Run(Seconds(6));
+          const Metrics& m1 = world.net.metrics();
+          const double direct_survival =
+              m1.sent(TrafficClass::kAttack) > 0
+                  ? static_cast<double>(
+                        m1.delivered(TrafficClass::kAttack)) /
+                        static_cast<double>(m1.sent(TrafficClass::kAttack))
+                  : 0.0;
+
+          // Reflector attack in a fresh world with the same deployment
+          // fraction (same seed -> same topology and same deploying set).
+          PowerLawParams topo_params2 = topo_params;
+          TcsWorld world2(seed, topo_params2);
+          ScenarioParams params2 = params;
+          params2.directive.type = AttackType::kReflector;
+          params2.directive.reflector_proto = Protocol::kUdp;
+          params2.reflector_config.udp_reply_bytes = 1200;
+          Scenario reflector =
+              BuildAttackScenario(world2.net, world2.topo, params2);
+          const auto deploying2 = SampleAses(world2.net.node_count(),
+                                             fraction, world2.net.rng());
+          auto filters2 =
+              DeployIngressFiltering(world2.net, world2.topo, deploying2);
+          reflector.attacker->Launch();
+          world2.net.Run(Seconds(6));
+          const Metrics& m2 = world2.net.metrics();
+          const double spoofed_requests_surviving =
+              m2.sent(TrafficClass::kAttack) > 0
+                  ? static_cast<double>(
+                        m2.delivered(TrafficClass::kAttack)) /
+                        static_cast<double>(m2.sent(TrafficClass::kAttack))
+                  : 0.0;
+          const double reflected_survival =
+              m2.sent(TrafficClass::kReflected) > 0
+                  ? static_cast<double>(
+                        m2.delivered(TrafficClass::kReflected)) /
+                        static_cast<double>(
+                            m2.sent(TrafficClass::kReflected))
+                  : 1.0;
+          return {direct_survival, spoofed_requests_surviving,
+                  reflected_survival};
+        });
+
+    table.AddRow({Table::Pct(fraction, 0), Table::Pct(stats[0].mean()),
+                  Table::Pct(stats[1].mean()),
+                  Table::Pct(stats[2].mean())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: survival of spoofed traffic collapses steeply in the\n"
+      "0-30%% coverage range (the Park & Lee shape). Reflected *replies*\n"
+      "carry legitimate sources and survive at any coverage — classic\n"
+      "ingress filtering only helps on the agent->reflector leg.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// F1 — Fig. 1 / Sec. 2.2: the amplifying network.
+//
+// "Such a network amplifies the rate of packets (a few control packets of
+//  the attacker to the masters cause many attack packets to be sent by
+//  the agents to the victim), the size of packets (if request packet size
+//  < reply packet size) and the difficulty to trace back an attack."
+//
+// Regenerates: for each amplifying-network shape (masters x agents), the
+// rate gain (attack packets per attacker control packet), the size gain
+// (reflected reply bytes per request byte, DNS-style UDP reflectors), and
+// the traceback indirection (the traffic the victim sees originates at
+// reflectors, not agents).
+#include "attack/worm.h"
+#include "bench_util.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+int main() {
+  PrintHeader("F1 (Fig. 1) — amplifying-network gains",
+              "few control packets -> massive, larger, harder-to-trace "
+              "attack stream");
+
+  Table table("amplification vs network shape (UDP reflector attack, "
+              "60 B request -> 1500 B reply, 5 replicates)");
+  table.SetHeader({"masters", "agents/master", "ctrl pkts", "attack pkts",
+                   "rate gain", "req MB", "reflect MB", "size gain",
+                   "victim inbound that is reflected"});
+
+  struct Shape {
+    std::uint32_t masters;
+    std::uint32_t agents;
+  };
+  for (const Shape shape : {Shape{1, 4}, Shape{2, 8}, Shape{4, 16},
+                            Shape{8, 24}}) {
+    const auto stats = RunReplicatesMulti(
+        5, 5,
+        [&](std::uint64_t seed) -> std::vector<double> {
+          TransitStubParams topo_params;
+          topo_params.transit_count = 6;
+          topo_params.stub_count = 80;
+          TcsWorld world(seed, topo_params);
+
+          ScenarioParams params;
+          params.master_count = shape.masters;
+          params.agents_per_master = shape.agents;
+          params.reflector_count = 30;
+          params.client_count = 0;
+          params.reflector_config.udp_reply_bytes = 1500;
+          params.directive.type = AttackType::kReflector;
+          params.directive.reflector_proto = Protocol::kUdp;
+          params.directive.packet_bytes = 60;
+          params.directive.rate_pps = 100.0;
+          params.directive.duration = Seconds(5);
+          Scenario scenario =
+              BuildAttackScenario(world.net, world.topo, params);
+
+          scenario.attacker->Launch();
+          world.net.Run(Seconds(7));
+
+          const Metrics& metrics = world.net.metrics();
+          const double control =
+              static_cast<double>(metrics.sent(TrafficClass::kControl));
+          const double attack = static_cast<double>(
+              scenario.AttackPacketsSent());
+          const double request_bytes =
+              static_cast<double>(metrics.bytes_sent[static_cast<std::size_t>(
+                  TrafficClass::kAttack)]);
+          const double reflected_bytes = static_cast<double>(
+              metrics.bytes_sent[static_cast<std::size_t>(
+                  TrafficClass::kReflected)]);
+          // Traceback difficulty: everything the victim receives was
+          // emitted by an innocent server (kReflected) — the true agents
+          // never appear as sources at the victim. The victim server
+          // counts its inbound; none of it is agent-sourced because
+          // agents only ever address the reflectors.
+          const double victim_inbound = static_cast<double>(
+              scenario.victim->stats().requests_received);
+          const double reflected_delivered = static_cast<double>(
+              metrics.delivered(TrafficClass::kReflected));
+          return {control, attack, request_bytes, reflected_bytes,
+                  victim_inbound > 0
+                      ? reflected_delivered / victim_inbound
+                      : 0.0};
+        });
+
+    const double control = stats[0].mean();
+    const double attack = stats[1].mean();
+    const double request_mb = stats[2].mean() / 1e6;
+    const double reflected_mb = stats[3].mean() / 1e6;
+    table.AddRow({Table::Int(shape.masters), Table::Int(shape.agents),
+                  Table::Num(control, 0), Table::Num(attack, 0),
+                  Table::Num(attack / std::max(1.0, control), 0) + "x",
+                  Table::Num(request_mb, 2), Table::Num(reflected_mb, 2),
+                  Table::Num(reflected_mb / std::max(1e-9, request_mb), 2) +
+                      "x",
+                  Table::Pct(std::min(1.0, stats[4].mean()), 1)});
+  }
+  table.Print(std::cout);
+
+  // --- worm recruitment: how the agent population arises (Sec. 2) ---
+  Table worm_table("worm recruitment of the amplifying network "
+                   "(400 vulnerable hosts, 1 patient zero, 5 probes/s "
+                   "per infected host)");
+  worm_table.SetHeader({"compromised hosts", "reached after",
+                        "doubling from previous milestone"});
+  {
+    TransitStubParams topo_params;
+    topo_params.transit_count = 8;
+    topo_params.stub_count = 120;
+    TcsWorld world(5, topo_params);
+    WormOutbreak outbreak(world.net, WormParams{5.0, 128, 404});
+    outbreak.SeedPopulation(world.topo.stub_nodes, 400,
+                            LinkParams{MegabitsPerSecond(20),
+                                       Milliseconds(2), 64 * 1024});
+    outbreak.ReleaseWorm();
+    world.net.Run(Seconds(600));
+    const auto& curve = outbreak.infection_curve();
+    SimTime previous_at = 0;
+    for (const std::size_t milestone : {2u, 4u, 8u, 16u, 32u, 64u, 128u,
+                                        256u, 400u}) {
+      SimTime reached_at = -1;
+      for (const auto& [at, count] : curve) {
+        if (count >= milestone) {
+          reached_at = at;
+          break;
+        }
+      }
+      if (reached_at < 0) break;
+      worm_table.AddRow(
+          {Table::Int(static_cast<long long>(milestone)),
+           Table::Num(ToSeconds(reached_at), 1) + " s",
+           "+" + Table::Num(ToSeconds(reached_at - previous_at), 1) + " s"});
+      previous_at = reached_at;
+    }
+  }
+  worm_table.Print(std::cout);
+
+  std::printf(
+      "\nreading: rate gain grows ~linearly with masters*agents; size gain\n"
+      "tracks the reflector reply/request ratio; the victim's inbound\n"
+      "stream contains (almost) no packets sourced at true agents; and a\n"
+      "single compromised machine recruits the agent population in\n"
+      "minutes, epidemic-style (MyDoom/Slammer, Sec. 2).\n");
+  return 0;
+}

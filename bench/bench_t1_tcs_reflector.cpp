@@ -1,0 +1,147 @@
+// T1 — Sec. 4.3: the headline result. TCS remote ingress filtering vs. a
+// DDoS reflector attack, compared against no defence and pushback, as a
+// function of ISP adoption.
+//
+// "For stopping a DDoS reflector attack to a specific web site, the owner
+//  of that web site's IP address can ... almost instantly deploy
+//  worldwide ingress filtering rules. ... The more ISPs offer such a
+//  distributed traffic control service, the more effective such a defence
+//  will be."
+#include "bench_util.h"
+#include "mitigation/pushback.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+struct Outcome {
+  double goodput = 0;
+  double reflected_delivered = 0;
+  double attack_filtered_frac = 0;
+  double attack_byte_hops_mb = 0;
+  double legit_filtered = 0;
+};
+
+enum class Defence { kNone, kPushback, kTcs };
+
+Outcome RunOne(std::uint64_t seed, Defence defence, double adoption) {
+  TransitStubParams topo_params;
+  topo_params.transit_count = 6;
+  topo_params.stub_count = 60;
+  TcsWorld world(seed, topo_params);
+
+  ScenarioParams params;
+  params.master_count = 3;
+  params.agents_per_master = 10;
+  params.reflector_count = 15;
+  params.client_count = 10;
+  params.client_request_rate = 20.0;
+  params.directive.type = AttackType::kReflector;
+  params.directive.reflector_proto = Protocol::kTcp;
+  params.directive.rate_pps = 200.0;
+  params.directive.duration = Seconds(8);
+  params.victim_config.cpu_capacity_rps = 3000.0;
+  params.victim_config.cpu_burst = 300.0;
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  std::unique_ptr<PushbackSystem> pushback;
+  switch (defence) {
+    case Defence::kNone:
+      break;
+    case Defence::kPushback: {
+      PushbackConfig config;
+      config.drop_count_trigger = 80;
+      pushback = std::make_unique<PushbackSystem>(world.net, config);
+      for (NodeId node = 0; node < world.net.node_count(); ++node) {
+        if (world.net.rng().NextBool(adoption)) pushback->EnableOn(node);
+      }
+      pushback->EnableOn(scenario.victim_node);
+      pushback->Start();
+      break;
+    }
+    case Defence::kTcs: {
+      world.AdoptTcs(adoption);
+      // The victim's own ISP always participates (it sells the service).
+      world.nmses[scenario.victim_node]->ManageNode(scenario.victim_node);
+      const Prefix scope = NodePrefix(scenario.victim_node);
+      const auto cert =
+          world.tcsp.Register(AsOrgName(scenario.victim_node), {scope});
+      if (!cert.ok()) return {};
+      ServiceRequest request;
+      request.kind = ServiceKind::kRemoteIngressFiltering;
+      request.control_scope = {scope};
+      (void)world.tcsp.DeployServiceNow(cert.value(), request);
+      break;
+    }
+  }
+
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(10));
+
+  const Metrics& metrics = world.net.metrics();
+  Outcome outcome;
+  outcome.goodput = scenario.ClientSuccessRatio();
+  outcome.reflected_delivered =
+      static_cast<double>(metrics.delivered(TrafficClass::kReflected));
+  const double attack_sent =
+      static_cast<double>(metrics.sent(TrafficClass::kAttack));
+  outcome.attack_filtered_frac =
+      attack_sent > 0
+          ? static_cast<double>(metrics.dropped(TrafficClass::kAttack,
+                                                DropReason::kFiltered)) /
+                attack_sent
+          : 0.0;
+  outcome.attack_byte_hops_mb =
+      static_cast<double>(metrics.attack_byte_hops) / 1e6;
+  outcome.legit_filtered = static_cast<double>(metrics.dropped(
+      TrafficClass::kLegitimate, DropReason::kFiltered));
+  return outcome;
+}
+
+void AddRows(Table& table, const char* name, Defence defence,
+             const std::vector<double>& adoptions) {
+  for (double adoption : adoptions) {
+    const auto stats = RunReplicatesMulti(
+        3, 5, [&](std::uint64_t seed) -> std::vector<double> {
+          const Outcome o = RunOne(seed, defence, adoption);
+          return {o.goodput, o.reflected_delivered, o.attack_filtered_frac,
+                  o.attack_byte_hops_mb, o.legit_filtered};
+        });
+    table.AddRow({name,
+                  defence == Defence::kNone ? "-" : Table::Pct(adoption, 0),
+                  Table::Pct(stats[0].mean()),
+                  Table::Num(stats[1].mean(), 0),
+                  Table::Pct(stats[2].mean()),
+                  Table::Num(stats[3].mean(), 1),
+                  Table::Num(stats[4].mean(), 0)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("T1 (Sec. 4.3) — TCS vs DDoS reflector attack",
+              "TCS stops the attack at the source edges; efficacy grows "
+              "with ISP adoption; pushback cannot help here");
+
+  Table table("reflector attack outcomes (mean of 3 replicates)");
+  table.SetHeader({"defence", "adoption", "client goodput",
+                   "reflected pkts delivered", "attack filtered",
+                   "attack byte-hops (MB-hop)", "legit pkts filtered"});
+
+  AddRows(table, "none", Defence::kNone, {0.0});
+  AddRows(table, "pushback", Defence::kPushback, {1.0});
+  AddRows(table, "TCS ingress filtering", Defence::kTcs,
+          {0.25, 0.5, 0.75, 1.0});
+  table.Print(std::cout);
+
+  std::printf(
+      "\nreading: without defence the victim drowns in reflected replies.\n"
+      "Pushback reacts (if at all) at the victim side and rate limits the\n"
+      "*reflectors'* legitimate addresses. TCS filtering kills the spoofed\n"
+      "requests before amplification; already at partial adoption the\n"
+      "reflected volume collapses and wasted byte-hops shrink, with zero\n"
+      "collateral on legitimate traffic.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// T2 — Secs. 4.3 & 6: filtering close to the source frees the network.
+//
+// "Our service allows for filtering traffic close to the source of the
+//  attack. Hence, we can heavily reduce collateral damage ... it frees
+//  network resources that are nowadays wasted for transporting attack
+//  traffic around the globe."
+//
+// Regenerates: for a spoofed flood — mean hops an attack packet travels
+// before being dropped, and total attack byte-hops carried by the
+// network, under (a) no filtering, (b) a victim-uplink firewall (drop at
+// the last hop), (c) TCS ingress filtering at the source edges.
+#include "bench_util.h"
+#include "core/modules/match.h"
+#include "mitigation/local_filter.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+int main() {
+  PrintHeader("T2 (Secs. 4.3/6) — filter placement and wasted bandwidth",
+              "source-edge filtering drops attack traffic after ~1 hop; "
+              "victim-side filtering lets it cross the whole Internet "
+              "first");
+
+  Table table("spoofed direct flood, 30 agents (mean of 3 replicates)");
+  table.SetHeader({"defence", "mean hops before drop",
+                   "attack byte-hops (MB-hop)", "attack pkts delivered",
+                   "client goodput"});
+
+  enum class Mode { kNone, kVictimUplink, kTcsSourceEdge };
+  const struct {
+    Mode mode;
+    const char* name;
+  } cases[] = {{Mode::kNone, "none"},
+               {Mode::kVictimUplink, "victim-uplink firewall"},
+               {Mode::kTcsSourceEdge, "TCS source-edge filtering"}};
+
+  for (const auto& c : cases) {
+    const auto stats = RunReplicatesMulti(
+        3, 4, [&](std::uint64_t seed) -> std::vector<double> {
+          TransitStubParams topo_params;
+          topo_params.transit_count = 6;
+          topo_params.stub_count = 60;
+          TcsWorld world(seed, topo_params);
+
+          ScenarioParams params;
+          params.master_count = 3;
+          params.agents_per_master = 10;
+          params.reflector_count = 2;
+          params.client_count = 10;
+          params.directive.type = AttackType::kDirectFlood;
+          params.directive.flood_proto = Protocol::kUdp;
+          params.directive.victim_port = 9999;
+          params.directive.spoof = SpoofMode::kVictim;  // owner's addresses
+          params.directive.rate_pps = 200.0;
+          params.directive.packet_bytes = 400;
+          params.directive.duration = Seconds(8);
+          Scenario scenario =
+              BuildAttackScenario(world.net, world.topo, params);
+
+          std::unique_ptr<LastHopFilter> last_hop;
+          switch (c.mode) {
+            case Mode::kNone:
+              break;
+            case Mode::kVictimUplink: {
+              last_hop = std::make_unique<LastHopFilter>(world.net,
+                                                         scenario.victim);
+              MatchRule rule;
+              rule.proto = Protocol::kUdp;
+              rule.dst_port_range = {{9999, 9999}};
+              last_hop->ForceInstall(rule);
+              break;
+            }
+            case Mode::kTcsSourceEdge: {
+              world.AdoptTcsEverywhere();
+              const Prefix scope = NodePrefix(scenario.victim_node);
+              const auto cert = world.tcsp.Register(
+                  AsOrgName(scenario.victim_node), {scope});
+              if (!cert.ok()) return {0, 0, 0, 0};
+              ServiceRequest request;
+              request.kind = ServiceKind::kRemoteIngressFiltering;
+              request.control_scope = {scope};
+              (void)world.tcsp.DeployServiceNow(cert.value(), request);
+              break;
+            }
+          }
+
+          scenario.attacker->Launch();
+          world.net.Run(Seconds(10));
+          const Metrics& metrics = world.net.metrics();
+          return {metrics.attack_drop_hops.count() > 0
+                      ? metrics.attack_drop_hops.mean()
+                      : 0.0,
+                  static_cast<double>(metrics.attack_byte_hops) / 1e6,
+                  static_cast<double>(
+                      metrics.delivered(TrafficClass::kAttack)),
+                  scenario.ClientSuccessRatio()};
+        });
+    table.AddRow({c.name,
+                  stats[0].mean() > 0 ? Table::Num(stats[0].mean(), 2)
+                                      : "- (never filtered)",
+                  Table::Num(stats[1].mean(), 1),
+                  Table::Num(stats[2].mean(), 0),
+                  Table::Pct(stats[3].mean())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: the victim-uplink firewall protects the victim host but\n"
+      "the flood still crosses the backbone (byte-hops barely shrink).\n"
+      "TCS drops the same packets ~1 hop from the agents: byte-hops\n"
+      "collapse — the freed-bandwidth incentive of Sec. 4.6.\n");
+  return 0;
+}

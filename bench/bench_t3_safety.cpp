@@ -1,0 +1,201 @@
+// T3 — Sec. 4.5: misuse prevention.
+//
+// "By limiting the traffic control features and by restricting the realm
+//  of control to the owner of the traffic, we can rule out misuse of this
+//  system." Plus the concrete restrictions: no src/dst/TTL modification,
+//  no rate/size amplification, vetted modules only, bounded overhead.
+//
+// Regenerates: an adversarial install corpus (every attempt must be
+// rejected or quarantined), and the cost of the always-on safety layer:
+// validation latency and per-packet guard overhead.
+#include <chrono>
+
+#include "bench_util.h"
+#include "core/adaptive_device.h"
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+class SrcRewriter : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.src = Ipv4Address(0xDEAD);
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+class TtlBooster : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.ttl = 255;
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+class Amplifier : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.size_bytes *= 10;
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+class RogueType : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "wiretap"; }
+};
+
+class ChattyLogger : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "logger"; }
+  std::uint32_t declared_overhead_bytes() const override { return 100000; }
+};
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("T3 (Sec. 4.5) — safety: misuse ruled out",
+              "foreign scope, forbidden mutations, amplification and "
+              "unvetted modules are all stopped");
+
+  CertificateAuthority ca("t3-key");
+  const auto cert = ca.Issue(1, "owner", {NodePrefix(5)}, 0, Seconds(3600));
+  const SafetyValidator validator = MakeStandardValidator();
+
+  Table table("adversarial install corpus");
+  table.SetHeader({"attempt", "layer", "outcome"});
+
+  // 1. Scope outside ownership.
+  {
+    ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+    const Status status =
+        validator.ValidateDeployment(cert, {NodePrefix(6)}, graph);
+    table.AddRow({"control foreign prefix (other AS)", "validator",
+                  status.ToString()});
+  }
+  // 2. Scope wider than certificate.
+  {
+    ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+    const Status status = validator.ValidateDeployment(
+        cert, {Prefix(NodePrefix(5).address(), 8)}, graph);
+    table.AddRow({"widen scope beyond certificate", "validator",
+                  status.ToString()});
+  }
+  // 3. Unvetted module type.
+  {
+    ModuleGraph graph = ModuleGraph::Single(std::make_unique<RogueType>());
+    const Status status =
+        validator.ValidateDeployment(cert, {NodePrefix(5)}, graph);
+    table.AddRow({"install unvetted module type", "validator",
+                  status.ToString()});
+  }
+  // 4. Excessive management-plane overhead.
+  {
+    ModuleGraph graph = ModuleGraph::Single(std::make_unique<ChattyLogger>());
+    const Status status =
+        validator.ValidateDeployment(cert, {NodePrefix(5)}, graph);
+    table.AddRow({"declare 100 kB/packet logging", "validator",
+                  status.ToString()});
+  }
+  // 5. Cyclic module graph.
+  {
+    ModuleGraph graph;
+    const int a = graph.AddModule(std::make_unique<CounterModule>());
+    const int b = graph.AddModule(std::make_unique<CounterModule>());
+    (void)graph.SetEntry(a);
+    (void)graph.Wire(a, 0, b);
+    (void)graph.Wire(b, 0, a);
+    table.AddRow({"cyclic module graph", "graph validation",
+                  graph.Validate().ToString()});
+  }
+  // 6-8. Runtime mutations (lie through vetting, caught by the guard).
+  {
+    struct RuntimeCase {
+      const char* name;
+      std::unique_ptr<Module> module;
+    };
+    RuntimeCase cases[3] = {
+        {"rewrite source address at runtime", std::make_unique<SrcRewriter>()},
+        {"boost TTL at runtime", std::make_unique<TtlBooster>()},
+        {"grow packets 10x at runtime", std::make_unique<Amplifier>()},
+    };
+    for (auto& c : cases) {
+      EventBuffer events;
+      AdaptiveDevice device(0, &events);
+      (void)device.InstallDeployment(
+          cert, {NodePrefix(5)}, std::nullopt,
+          ModuleGraph::Single(std::move(c.module)));
+      Packet p;
+      p.src = HostAddress(1, 1);
+      p.dst = HostAddress(5, 1);
+      p.ttl = 64;
+      p.size_bytes = 100;
+      RouterContext ctx;
+      ctx.node = 0;
+      device.Process(p, ctx);
+      const bool quarantined = device.IsQuarantined(1);
+      const bool intact = p.src == HostAddress(1, 1) && p.ttl == 64 &&
+                          p.size_bytes == 100;
+      table.AddRow({c.name, "runtime guard",
+                    quarantined && intact
+                        ? "violation detected, packet restored, "
+                          "deployment quarantined"
+                        : "NOT CAUGHT (bug!)"});
+    }
+  }
+  table.Print(std::cout);
+
+  // --- validator cost ---
+  Table cost("safety-layer cost");
+  cost.SetHeader({"operation", "mean latency"});
+  {
+    ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+    const int iterations = 20000;
+    const double start = NowMicros();
+    for (int i = 0; i < iterations; ++i) {
+      (void)validator.ValidateDeployment(cert, {NodePrefix(5)}, graph);
+    }
+    const double per_call = (NowMicros() - start) / iterations;
+    cost.AddRow({"ValidateDeployment (1 module, 1 prefix)",
+                 Table::Num(per_call, 3) + " us"});
+  }
+  {
+    AdaptiveDevice device(0);
+    (void)device.InstallDeployment(
+        cert, {NodePrefix(5)}, std::nullopt,
+        ModuleGraph::Single(std::make_unique<CounterModule>()));
+    Packet p;
+    p.src = HostAddress(1, 1);
+    p.dst = HostAddress(5, 1);
+    RouterContext ctx;
+    const int iterations = 2000000;
+    const double start = NowMicros();
+    for (int i = 0; i < iterations; ++i) {
+      device.Process(p, ctx);
+    }
+    const double per_packet = (NowMicros() - start) / iterations * 1000.0;
+    cost.AddRow({"device datapath incl. invariant guard (per packet)",
+                 Table::Num(per_packet, 1) + " ns"});
+  }
+  cost.Print(std::cout);
+  std::printf(
+      "\nreading: every adversarial attempt is rejected at install time or\n"
+      "quarantined at runtime with the packet restored; the always-on\n"
+      "guard costs nanoseconds per redirected packet.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// T5 — Figs. 4-5 / Sec. 5.1: control-plane latency and resilience.
+//
+// "a network user may initiate the deployment of a specific service ...
+//  The TCSP maps the request to service components and instructs network
+//  management systems of appropriate ISPs" — and, when the TCSP is
+//  unreachable ("e.g. because of an ongoing DDoS attack on the TCSP"),
+//  users go to an ISP NMS directly and configs relay peer-to-peer.
+//
+// Regenerates: worldwide deployment convergence time vs. ISP count and
+// per-ISP device count; registration latency; the TCSP-down relay path.
+#include "bench_util.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+/// A world where ISPs manage groups of ASes (isp_count ISPs, each with
+/// net.node_count()/isp_count devices).
+struct GroupedWorld {
+  Network net;
+  TopologyInfo topo;
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  GroupedWorld(std::uint64_t seed, std::uint32_t stub_count,
+               std::size_t isp_count)
+      : net(seed), tcsp(net, authority, "t5-key") {
+    TransitStubParams params;
+    params.transit_count = 8;
+    params.stub_count = stub_count;
+    topo = BuildTransitStub(net, params);
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (std::size_t i = 0; i < isp_count; ++i) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(i), net,
+                                          &tcsp.validator());
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      nmses[node % isp_count]->ManageNode(node);
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("T5 (Figs. 4-5, Sec. 5.1) — control plane",
+              "single registration, worldwide deployment in sub-second "
+              "latency; peer relay survives a TCSP outage");
+
+  // --- deployment convergence ---
+  Table table("worldwide deployment latency (modelled control-plane "
+              "timing: 40 ms/leg, 5 ms per device config)");
+  table.SetHeader({"ISPs", "devices total", "devices/ISP",
+                   "deployment latency", "devices configured"});
+  for (const std::size_t isp_count : {4, 16, 64}) {
+    for (const std::uint32_t stubs : {56u, 248u}) {
+      GroupedWorld world(7, stubs, isp_count);
+      const NodeId subject = world.topo.stub_nodes[0];
+      const auto cert =
+          world.tcsp.Register(AsOrgName(subject), {NodePrefix(subject)});
+      if (!cert.ok()) return 1;
+      ServiceRequest request;
+      request.kind = ServiceKind::kRemoteIngressFiltering;
+      request.control_scope = {NodePrefix(subject)};
+
+      DeploymentReport report;
+      world.tcsp.DeployService(cert.value(), request,
+                               [&](const DeploymentReport& r) { report = r; });
+      world.net.Run(Seconds(60));
+      table.AddRow({Table::Int(static_cast<long long>(isp_count)),
+                    Table::Int(static_cast<long long>(world.net.node_count())),
+                    Table::Num(static_cast<double>(world.net.node_count()) /
+                                   static_cast<double>(isp_count),
+                               1),
+                    Table::Num(ToMilliseconds(report.Latency()), 0) + " ms",
+                    Table::Int(static_cast<long long>(
+                        report.devices_configured))});
+    }
+  }
+  table.Print(std::cout);
+
+  // --- registration ---
+  {
+    Table reg("service registration (Fig. 4)");
+    reg.SetHeader({"step", "outcome / latency"});
+    GroupedWorld world(9, 56, 8);
+    const NodeId subject = world.topo.stub_nodes[3];
+    SimTime completed_at = -1;
+    bool ok = false;
+    world.tcsp.RegisterAsync(
+        AsOrgName(subject), {NodePrefix(subject)},
+        [&](Result<OwnershipCertificate> result) {
+          ok = result.ok();
+          completed_at = world.net.sim().Now();
+        });
+    world.net.Run(Seconds(5));
+    reg.AddRow({"identity + ownership verification round trip",
+                ok ? Table::Num(ToMilliseconds(completed_at), 0) + " ms"
+                   : "FAILED"});
+    const auto rejected = world.tcsp.Register("as1", {NodePrefix(2)});
+    reg.AddRow({"foreign-prefix claim", rejected.status().ToString()});
+    reg.Print(std::cout);
+  }
+
+  // --- TCSP outage: peer relay ---
+  {
+    Table relay("TCSP under DDoS: direct-to-ISP fallback (Sec. 5.1)");
+    relay.SetHeader({"path", "outcome", "devices configured"});
+    GroupedWorld world(11, 56, 8);
+    const NodeId subject = world.topo.stub_nodes[0];
+    const auto cert =
+        world.tcsp.Register(AsOrgName(subject), {NodePrefix(subject)});
+    if (!cert.ok()) return 1;
+    world.tcsp.set_reachable(false);
+
+    ServiceRequest request;
+    request.kind = ServiceKind::kRemoteIngressFiltering;
+    request.control_scope = {NodePrefix(subject)};
+
+    const DeploymentReport via_tcsp =
+        world.tcsp.DeployServiceNow(cert.value(), request);
+    relay.AddRow({"via TCSP (down)", via_tcsp.status.ToString(), "0"});
+
+    const auto home = Tcsp::HomeNodes(request.control_scope);
+    const Status via_relay = world.nmses[0]->RelayDeploy(
+        cert.value(), request, home, world.tcsp.certificate_authority());
+    std::size_t configured = 0;
+    for (auto& nms : world.nmses) {
+      configured += nms->CountDeployments(cert.value().subscriber);
+    }
+    relay.AddRow({"direct to one ISP, peer relay", via_relay.ToString(),
+                  Table::Int(static_cast<long long>(configured))});
+    relay.Print(std::cout);
+  }
+  std::printf(
+      "\nreading: one registration covers every enrolled ISP; worldwide\n"
+      "deployment completes in ~(2 legs + devices x config-time) per ISP,\n"
+      "i.e. sub-second even at hundreds of devices; with the TCSP down the\n"
+      "peer relay still configures the whole world.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// T7 — Sec. 4.3: protocol-misuse attacks filtered by owner rules.
+//
+// "Attacks based on protocol misuse like e.g. sending ICMP unreachable or
+//  TCP reset messages to tear down TCP connections can also be filtered
+//  out."
+//
+// Regenerates: long-lived sessions under spoofed RST and spoofed ICMP
+// dest-unreachable teardown floods, with and without a TCS distributed
+// firewall owned by the *client-side* organisation.
+#include "bench_util.h"
+#include "host/session.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+struct Outcome {
+  double alive_fraction = 0;
+  double teardowns = 0;
+  double filtered = 0;
+};
+
+Outcome RunOne(std::uint64_t seed, bool use_icmp, bool defend) {
+  TransitStubParams topo_params;
+  topo_params.transit_count = 6;
+  topo_params.stub_count = 50;
+  TcsWorld world(seed, topo_params);
+  const LinkParams access{MegabitsPerSecond(100), Milliseconds(2),
+                          256 * 1024};
+
+  const NodeId server_as = world.topo.stub_nodes[0];
+  const NodeId client_as = world.topo.stub_nodes[5];
+  Server* server = SpawnHost<Server>(world.net, server_as, access);
+
+  SessionHostConfig session_config;
+  session_config.server = server->address();
+  session_config.session_count = 64;
+  SessionHost* sessions =
+      SpawnHost<SessionHost>(world.net, client_as, access, session_config);
+
+  AttackDirective directive;
+  directive.type = AttackType::kTeardown;
+  directive.teardown_targets = {sessions->address()};
+  directive.teardown_claimed_server = server->address();
+  directive.teardown_port_base = 20000;
+  directive.teardown_port_range = 64;
+  directive.teardown_use_icmp = use_icmp;
+  directive.rate_pps = 200.0;
+  directive.duration = Seconds(6);
+  AgentHost* agent = SpawnHost<AgentHost>(
+      world.net, world.topo.stub_nodes[11], access, directive);
+
+  if (defend) {
+    world.AdoptTcsEverywhere();
+    const auto cert =
+        world.tcsp.Register(AsOrgName(client_as), {NodePrefix(client_as)});
+    if (!cert.ok()) return {};
+    ServiceRequest request;
+    request.kind = ServiceKind::kDistributedFirewall;
+    request.control_scope = {NodePrefix(client_as)};
+    MatchRule deny_rst;
+    deny_rst.proto = Protocol::kTcp;
+    deny_rst.tcp_flags_all = tcp::kRst;
+    MatchRule deny_unreachable;
+    deny_unreachable.icmp = IcmpType::kDestUnreachable;
+    request.deny_rules = {deny_rst, deny_unreachable};
+    (void)world.tcsp.DeployServiceNow(cert.value(), request);
+  }
+
+  sessions->Start();
+  agent->StartFlood();
+  world.net.Run(Seconds(8));
+
+  Outcome outcome;
+  outcome.alive_fraction =
+      static_cast<double>(sessions->alive_sessions()) / 64.0;
+  outcome.teardowns =
+      static_cast<double>(sessions->stats().teardowns_accepted);
+  outcome.filtered = static_cast<double>(world.net.metrics().dropped(
+      TrafficClass::kAttack, DropReason::kFiltered));
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("T7 (Sec. 4.3) — protocol-misuse teardown attacks",
+              "spoofed RST / ICMP-unreachable floods are filterable by the "
+              "traffic owner");
+
+  Table table("64 long-lived sessions under teardown attack "
+              "(3 replicates)");
+  table.SetHeader({"vector", "TCS firewall", "sessions alive", "teardowns",
+                   "forged pkts filtered in-network"});
+  for (const bool use_icmp : {false, true}) {
+    for (const bool defend : {false, true}) {
+      const auto stats = RunReplicatesMulti(
+          3, 3, [&](std::uint64_t seed) -> std::vector<double> {
+            const Outcome o = RunOne(seed, use_icmp, defend);
+            return {o.alive_fraction, o.teardowns, o.filtered};
+          });
+      table.AddRow({use_icmp ? "ICMP dest-unreachable" : "TCP RST",
+                    defend ? "on" : "off", Table::Pct(stats[0].mean()),
+                    Table::Num(stats[1].mean(), 0),
+                    Table::Num(stats[2].mean(), 0)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nreading: undefended, both vectors kill essentially all sessions\n"
+      "within seconds. With the owner's deny rules deployed in-network the\n"
+      "forged signalling never reaches the sessions.\n");
+  return 0;
+}

@@ -1,0 +1,253 @@
+// T8 — Sec. 4.4: emerging applications beyond firewalling.
+//
+//  * Traceback: "a worldwide packet traceback service such as SPIE" on
+//    the TCS — accuracy vs. digest-store false-positive budget.
+//  * Automated reaction to network anomalies: trigger -> pre-staged rate
+//    limit; we measure detection/reaction delay.
+//  * Network debugging: in-network statistics vantage points measuring
+//    link-level behaviour (loss, utilisation) for the owner's traffic.
+#include "bench_util.h"
+#include "core/traceback_service.h"
+#include "host/client.h"
+#include "host/host.h"
+
+using namespace adtc;
+using namespace adtc::bench;
+
+namespace {
+
+const LinkParams kAccess{MegabitsPerSecond(100), Milliseconds(2),
+                         256 * 1024};
+
+class EvidenceHost : public Host {
+ public:
+  void HandlePacket(Packet&& packet) override {
+    evidence.push_back(std::move(packet));
+  }
+  std::vector<Packet> evidence;
+};
+
+}  // namespace
+
+int main() {
+  PrintHeader("T8 (Sec. 4.4) — emerging applications",
+              "traceback service accuracy, automated anomaly reaction, "
+              "in-network debugging statistics");
+
+  // --- 1. TCS traceback accuracy vs digest budget ---
+  Table traceback_table("TCS traceback: true-origin identification vs "
+                        "Bloom false-positive budget (3 replicates)");
+  traceback_table.SetHeader({"bloom fp rate", "store memory (MB)",
+                             "true entry AS found", "extra (false) origins"});
+  for (const double fp_rate : {0.2, 0.01, 0.0001}) {
+    const auto stats = RunReplicatesMulti(
+        3, 3, [&](std::uint64_t seed) -> std::vector<double> {
+          TransitStubParams topo_params;
+          topo_params.transit_count = 6;
+          topo_params.stub_count = 50;
+          TcsWorld world(seed, topo_params);
+          world.AdoptTcsEverywhere();
+          const NodeId victim_as = world.topo.stub_nodes[0];
+          EvidenceHost* victim =
+              SpawnHost<EvidenceHost>(world.net, victim_as, kAccess);
+          const auto cert =
+              world.tcsp.Register(AsOrgName(victim_as),
+                                  {NodePrefix(victim_as)});
+          if (!cert.ok()) return {0, 0, 0};
+          ServiceRequest request;
+          request.kind = ServiceKind::kTraceback;
+          request.control_scope = {NodePrefix(victim_as)};
+          request.traceback.window = Seconds(2);
+          request.traceback.window_count = 16;
+          request.traceback.false_positive_rate = fp_rate;
+          request.traceback.expected_packets_per_window = 20000;
+          (void)world.tcsp.DeployServiceNow(cert.value(), request);
+
+          AttackDirective directive;
+          directive.type = AttackType::kDirectFlood;
+          directive.victim = victim->address();
+          directive.spoof = SpoofMode::kRandom;
+          directive.rate_pps = 60.0;
+          directive.duration = Seconds(4);
+          for (int i = 0; i < 4; ++i) {
+            SpawnHost<AgentHost>(world.net, world.topo.stub_nodes[10 + i],
+                                 kAccess, directive)
+                ->StartFlood();
+          }
+          world.net.Run(Seconds(6));
+
+          auto isps = world.IspPointers();
+          TcsTracebackService service(world.net, isps,
+                                      cert.value().subscriber);
+          double found = 0, queried = 0, extras = 0;
+          for (std::size_t i = 0; i < victim->evidence.size(); i += 31) {
+            const Packet& packet = victim->evidence[i];
+            const auto result = service.Trace(packet, victim_as);
+            const NodeId truth = world.net.host_node(packet.true_origin);
+            bool hit = false;
+            for (NodeId origin : result.origin_nodes) {
+              hit |= origin == truth;
+            }
+            found += hit ? 1 : 0;
+            extras += static_cast<double>(result.origin_nodes.size()) -
+                      (hit ? 1 : 0);
+            queried += 1;
+          }
+          return {queried > 0 ? found / queried : 0.0,
+                  queried > 0 ? extras / queried : 0.0,
+                  static_cast<double>(service.TotalMemoryBytes()) / 1e6};
+        });
+    traceback_table.AddRow({Table::Num(fp_rate, 4),
+                            Table::Num(stats[2].mean(), 1),
+                            Table::Pct(stats[0].mean()),
+                            Table::Num(stats[1].mean(), 2)});
+  }
+  traceback_table.Print(std::cout);
+
+  // --- 2. anomaly reaction delay ---
+  Table reaction_table("automated anomaly reaction (trigger window "
+                       "250 ms, threshold 500 pps, per-source cap 100 pps, "
+                       "aggregate backstop 1000 pps)");
+  reaction_table.SetHeader({"flood pps", "sources", "reaction delay",
+                            "flood delivered", "client goodput"});
+  for (const double flood_pps : {1000.0, 4000.0}) {
+  for (const bool spoofed : {false, true}) {
+    const auto stats = RunReplicatesMulti(
+        3, 3, [&](std::uint64_t seed) -> std::vector<double> {
+          TransitStubParams topo_params;
+          topo_params.transit_count = 6;
+          topo_params.stub_count = 50;
+          TcsWorld world(seed, topo_params);
+          world.AdoptTcsEverywhere();
+          const NodeId victim_as = world.topo.stub_nodes[0];
+          ServerConfig server_config;
+          server_config.cpu_capacity_rps = 1e6;  // isolate the reaction
+          Server* victim = SpawnHost<Server>(world.net, victim_as, kAccess,
+                                             server_config);
+          ClientConfig client_config;
+          client_config.server = victim->address();
+          client_config.kind = RequestKind::kUdpRequest;
+          client_config.request_rate = 30.0;
+          Client* client = SpawnHost<Client>(
+              world.net, world.topo.stub_nodes[9], kAccess, client_config);
+          client->Start();
+
+          const auto cert = world.tcsp.Register(
+              AsOrgName(victim_as), {NodePrefix(victim_as)});
+          if (!cert.ok()) return {0, 0, 0};
+          ServiceRequest request;
+          request.kind = ServiceKind::kAnomalyReaction;
+          request.placement = PlacementPolicy::kStubNodesOnly;
+          request.control_scope = {NodePrefix(victim_as)};
+          request.trigger.rate_threshold_pps = 500.0;
+          request.trigger.window = Milliseconds(250);
+          request.reaction_rate_limit_pps = 100.0;
+          (void)world.tcsp.DeployServiceNow(cert.value(), request);
+
+          AttackDirective directive;
+          directive.type = AttackType::kDirectFlood;
+          directive.victim = victim->address();
+          directive.flood_proto = Protocol::kUdp;
+          directive.spoof = spoofed ? SpoofMode::kRandom : SpoofMode::kNone;
+          directive.rate_pps = flood_pps / 4.0;
+          directive.duration = Seconds(5);
+          const SimTime flood_start = Seconds(2);
+          std::vector<AgentHost*> agents;
+          for (int i = 0; i < 4; ++i) {
+            agents.push_back(SpawnHost<AgentHost>(
+                world.net, world.topo.stub_nodes[20 + i], kAccess,
+                directive));
+          }
+          world.net.sim().ScheduleAt(flood_start, [&agents] {
+            for (auto* agent : agents) agent->StartFlood();
+          });
+          world.net.Run(Seconds(8));
+
+          // First reaction event across the managed world.
+          SimTime reaction_at = -1;
+          for (auto& nms : world.nmses) {
+            for (const DeviceEvent& event : nms->events().events()) {
+              if (event.kind == EventKind::kRuleActivated &&
+                  (reaction_at < 0 || event.at < reaction_at)) {
+                reaction_at = event.at;
+              }
+            }
+          }
+          const double delay_ms =
+              reaction_at >= 0 ? ToMilliseconds(reaction_at - flood_start)
+                               : -1.0;
+          const Metrics& metrics = world.net.metrics();
+          const double delivered_frac =
+              metrics.sent(TrafficClass::kAttack) > 0
+                  ? static_cast<double>(
+                        metrics.delivered(TrafficClass::kAttack)) /
+                        static_cast<double>(metrics.sent(TrafficClass::kAttack))
+                  : 0.0;
+          return {delay_ms, delivered_frac, client->stats().SuccessRatio()};
+        });
+    reaction_table.AddRow({Table::Num(flood_pps, 0),
+                           spoofed ? "random-spoofed" : "truthful",
+                           Table::Num(stats[0].mean(), 0) + " ms",
+                           Table::Pct(stats[1].mean()),
+                           Table::Pct(stats[2].mean())});
+  }
+  }
+  reaction_table.Print(std::cout);
+
+  // --- 3. network debugging: per-link observation ---
+  {
+    TransitStubParams topo_params;
+    topo_params.transit_count = 6;
+    topo_params.stub_count = 50;
+    TcsWorld world(99, topo_params);
+    // Create congestion on one stub's uplink and observe it via link
+    // statistics — the "link delays or packet loss on intermediate links
+    // could be measured for network debugging purposes" application.
+    const NodeId busy_stub = world.topo.stub_nodes[2];
+    Server* server = SpawnHost<Server>(
+        world.net, busy_stub,
+        LinkParams{MegabitsPerSecond(5), Milliseconds(2), 32 * 1024});
+    for (int i = 0; i < 6; ++i) {
+      ClientConfig config;
+      config.server = server->address();
+      config.kind = RequestKind::kUdpRequest;
+      config.request_rate = 300.0;
+      config.request_bytes = 800;
+      SpawnHost<Client>(world.net, world.topo.stub_nodes[10 + i], kAccess,
+                        config)
+          ->Start();
+    }
+    world.net.Run(Seconds(5));
+
+    Table debug_table("network debugging: busiest links by utilisation "
+                      "(observed from link stats over 5 s)");
+    debug_table.SetHeader({"link", "kind", "utilisation", "drops"});
+    std::vector<std::pair<double, LinkId>> ranked;
+    for (LinkId link = 0; link < world.net.link_count(); ++link) {
+      ranked.emplace_back(
+          world.net.link(link).stats.Utilisation(Seconds(5)), link);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (int i = 0; i < 5 && i < static_cast<int>(ranked.size()); ++i) {
+      const Link& link = world.net.link(ranked[i].second);
+      std::string name =
+          (link.from.is_host ? "host" + std::to_string(link.from.id)
+                             : "as" + std::to_string(link.from.id)) +
+          " -> " +
+          (link.to.is_host ? "host" + std::to_string(link.to.id)
+                           : "as" + std::to_string(link.to.id));
+      debug_table.AddRow({name, std::string(LinkKindName(link.kind)),
+                          Table::Pct(ranked[i].first),
+                          Table::Int(static_cast<long long>(
+                              link.stats.dropped_packets))});
+    }
+    debug_table.Print(std::cout);
+  }
+
+  std::printf(
+      "\nreading: tighter digest budgets eliminate phantom origins at\n"
+      "linear memory cost; the pre-staged reaction engages within one\n"
+      "trigger window of flood onset; and the congested access link is\n"
+      "immediately visible to in-network observation.\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Shared experiment-harness helpers for the bench/ binaries.
+//
+// Every experiment binary prints the tables recorded in EXPERIMENTS.md.
+// Replicates are independent simulated worlds and run in parallel via
+// ParallelFor; a (base_seed, replicate) pair fully determines a world.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "attack/scenario.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/tcsp.h"
+#include "net/topo_gen.h"
+
+namespace adtc::bench {
+
+/// A complete world with management plane: topology + authority + TCSP +
+/// one NMS per AS (devices not yet managed — call ManageAllNodes or a
+/// subset to model partial ISP adoption).
+struct TcsWorld {
+  Network net;
+  TopologyInfo topo;
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  TcsWorld(std::uint64_t seed, const TransitStubParams& params)
+      : net(seed), tcsp(net, authority, "bench-key") {
+    topo = BuildTransitStub(net, params);
+    Init();
+  }
+
+  TcsWorld(std::uint64_t seed, const PowerLawParams& params)
+      : net(seed), tcsp(net, authority, "bench-key") {
+    topo = BuildPowerLaw(net, params);
+    Init();
+  }
+
+  void Init() {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node),
+                                          net, &tcsp.validator());
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+  }
+
+  /// Puts adaptive devices on the given fraction of ASes (deterministic
+  /// sample) — "the more ISPs offer such a service, the more effective".
+  void AdoptTcs(double fraction) {
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      if (net.rng().NextBool(fraction)) nmses[node]->ManageNode(node);
+    }
+  }
+  void AdoptTcsEverywhere() {
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      nmses[node]->ManageNode(node);
+    }
+  }
+
+  std::vector<IspNms*> IspPointers() {
+    std::vector<IspNms*> out;
+    for (auto& nms : nmses) out.push_back(nms.get());
+    return out;
+  }
+};
+
+/// Mean over replicates of a per-replicate measurement, parallelised.
+inline SummaryStats RunReplicates(
+    std::size_t replicates,
+    const std::function<double(std::uint64_t seed)>& measure,
+    std::uint64_t base_seed = 1000) {
+  std::vector<double> results(replicates, 0.0);
+  ParallelFor(replicates, [&](std::size_t i) {
+    results[i] = measure(base_seed + i * 7919);
+  });
+  SummaryStats stats;
+  for (double r : results) stats.Add(r);
+  return stats;
+}
+
+/// Multi-metric variant: measure fills a fixed-size metric vector.
+inline std::vector<SummaryStats> RunReplicatesMulti(
+    std::size_t replicates, std::size_t metric_count,
+    const std::function<std::vector<double>(std::uint64_t seed)>& measure,
+    std::uint64_t base_seed = 1000) {
+  std::vector<std::vector<double>> results(replicates);
+  ParallelFor(replicates, [&](std::size_t i) {
+    results[i] = measure(base_seed + i * 7919);
+  });
+  std::vector<SummaryStats> stats(metric_count);
+  for (const auto& row : results) {
+    for (std::size_t m = 0; m < metric_count && m < row.size(); ++m) {
+      stats[m].Add(row[m]);
+    }
+  }
+  return stats;
+}
+
+inline void PrintHeader(const char* experiment_id, const char* claim) {
+  std::printf("\n################################################\n");
+  std::printf("# %s\n# paper claim: %s\n", experiment_id, claim);
+  std::printf("################################################\n");
+}
+
+}  // namespace adtc::bench

@@ -1,0 +1,131 @@
+// Distributed-firewall demo (Secs. 4.2-4.3): header-field deny rules and
+// protection against protocol-misuse attacks (spoofed TCP RST / ICMP
+// unreachable session teardown), deployed worldwide by the traffic owner.
+//
+// Run:  build/examples/distributed_firewall
+#include <cstdio>
+
+#include "attack/agent.h"
+#include "core/tcsp.h"
+#include "host/server.h"
+#include "host/session.h"
+#include "net/topo_gen.h"
+
+using namespace adtc;
+
+namespace {
+
+struct World {
+  Network net;
+  TopologyInfo topo;
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  Server* server = nullptr;
+  SessionHost* sessions = nullptr;
+  AgentHost* rst_agent = nullptr;
+  NodeId client_as = kInvalidNode;
+
+  explicit World(std::uint64_t seed)
+      : net(seed), tcsp(net, authority, "fw-key") {
+    TransitStubParams params;
+    params.transit_count = 4;
+    params.stub_count = 28;
+    topo = BuildTransitStub(net, params);
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node),
+                                          net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+
+    const LinkParams access{MegabitsPerSecond(100), Milliseconds(2),
+                            256 * 1024};
+    const NodeId server_as = topo.stub_nodes[0];
+    client_as = topo.stub_nodes[5];
+    server = SpawnHost<Server>(net, server_as, access);
+
+    SessionHostConfig session_config;
+    session_config.server = server->address();
+    session_config.session_count = 32;
+    sessions = SpawnHost<SessionHost>(net, client_as, access,
+                                      session_config);
+
+    // The attacker tears sessions down with RSTs spoofed as the server.
+    AttackDirective directive;
+    directive.type = AttackType::kTeardown;
+    directive.teardown_targets = {sessions->address()};
+    directive.teardown_claimed_server = server->address();
+    directive.teardown_port_base = 20000;
+    directive.teardown_port_range = 32;
+    directive.rate_pps = 100.0;
+    directive.duration = Seconds(6);
+    rst_agent = SpawnHost<AgentHost>(net, topo.stub_nodes[11], access,
+                                     directive);
+  }
+
+  /// The *client-side* organisation owns its addresses and deploys a
+  /// firewall that drops forged teardown signalling aimed at them — in
+  /// the network, long before it reaches the sessions.
+  void DeployTeardownProtection() {
+    const auto cert =
+        tcsp.Register(AsOrgName(client_as), {NodePrefix(client_as)});
+    if (!cert.ok()) {
+      std::printf("registration failed: %s\n",
+                  cert.status().ToString().c_str());
+      return;
+    }
+    ServiceRequest request;
+    request.kind = ServiceKind::kDistributedFirewall;
+    request.control_scope = {NodePrefix(client_as)};
+    // Deny inbound bare RSTs and ICMP unreachables — the two teardown
+    // vectors named in Sec. 2 — toward the protected sessions.
+    MatchRule deny_rst;
+    deny_rst.proto = Protocol::kTcp;
+    deny_rst.tcp_flags_all = tcp::kRst;
+    MatchRule deny_unreachable;
+    deny_unreachable.icmp = IcmpType::kDestUnreachable;
+    request.deny_rules = {deny_rst, deny_unreachable};
+    const DeploymentReport report = tcsp.DeployServiceNow(cert.value(),
+                                                          request);
+    std::printf("teardown protection on %zu devices: %s\n",
+                report.devices_configured,
+                report.status.ToString().c_str());
+  }
+
+  std::uint32_t Run() {
+    sessions->Start();
+    rst_agent->StartFlood();
+    net.Run(Seconds(8));
+    return sessions->alive_sessions();
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== RST/ICMP teardown attack on 32 long-lived sessions ==\n");
+  {
+    World world(31);
+    const std::uint32_t alive = world.Run();
+    std::printf("without protection: %u/32 sessions still alive, "
+                "%llu teardowns accepted\n\n",
+                alive,
+                static_cast<unsigned long long>(
+                    world.sessions->stats().teardowns_accepted));
+  }
+  {
+    World world(31);
+    world.DeployTeardownProtection();
+    const std::uint32_t alive = world.Run();
+    std::printf("with distributed firewall: %u/32 sessions alive, "
+                "%llu forged packets filtered in-network\n",
+                alive,
+                static_cast<unsigned long long>(world.net.metrics().dropped(
+                    TrafficClass::kAttack, DropReason::kFiltered)));
+  }
+  return 0;
+}

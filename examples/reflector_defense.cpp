@@ -1,0 +1,125 @@
+// The paper's headline scenario (Secs. 2.2 + 4.3) as a narrative demo:
+//
+//   Phase 1 — a DDoS reflector attack floods a web site with SYN-ACKs
+//             from innocent servers; clients time out.
+//   Phase 2 — the site owner deploys worldwide remote ingress filtering
+//             through the traffic control service; the spoofed requests
+//             now die at the attackers' own uplinks and service recovers.
+//
+// Run:  build/examples/reflector_defense
+#include <cstdio>
+
+#include "attack/scenario.h"
+#include "core/tcsp.h"
+#include "net/topo_gen.h"
+
+using namespace adtc;
+
+namespace {
+
+struct World {
+  Network net;
+  TopologyInfo topo;
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  Scenario scenario;
+
+  explicit World(std::uint64_t seed)
+      : net(seed), tcsp(net, authority, "demo-key") {
+    TransitStubParams params;
+    params.transit_count = 4;
+    params.stub_count = 40;
+    topo = BuildTransitStub(net, params);
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node),
+                                          net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+
+    ScenarioParams sp;
+    sp.master_count = 3;
+    sp.agents_per_master = 10;
+    sp.reflector_count = 15;
+    sp.client_count = 8;
+    sp.client_request_rate = 20.0;
+    sp.directive.type = AttackType::kReflector;
+    sp.directive.reflector_proto = Protocol::kTcp;
+    sp.directive.rate_pps = 200.0;
+    sp.directive.duration = Seconds(8);
+    scenario = BuildAttackScenario(net, topo, sp);
+  }
+
+  void Report(const char* phase) {
+    const Metrics& metrics = net.metrics();
+    std::printf("%-28s clients %5.1f%% ok | reflected delivered %8llu | "
+                "attack filtered %8llu\n",
+                phase, scenario.ClientSuccessRatio() * 100.0,
+                static_cast<unsigned long long>(
+                    metrics.delivered(TrafficClass::kReflected)),
+                static_cast<unsigned long long>(metrics.dropped(
+                    TrafficClass::kAttack, DropReason::kFiltered)));
+  }
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Phase 1: reflector attack, no defence ==\n");
+  {
+    World world(7);
+    world.scenario.attacker->Launch();
+    world.net.Run(Seconds(10));
+    world.Report("undefended:");
+    std::printf(
+        "   (victim received %llu reflected packets from %zu innocent "
+        "servers)\n",
+        static_cast<unsigned long long>(
+            world.net.metrics().delivered(TrafficClass::kReflected)),
+        world.scenario.reflectors.size());
+  }
+
+  std::printf("\n== Phase 2: same attack, TCS ingress filtering ==\n");
+  {
+    World world(7);
+    // The web-site owner registers and deploys the defence (Figs. 4-5).
+    const Prefix scope = NodePrefix(world.scenario.victim_node);
+    const auto cert =
+        world.tcsp.Register(AsOrgName(world.scenario.victim_node), {scope});
+    if (!cert.ok()) {
+      std::printf("registration failed: %s\n",
+                  cert.status().ToString().c_str());
+      return 1;
+    }
+    ServiceRequest request;
+    request.kind = ServiceKind::kRemoteIngressFiltering;
+    request.control_scope = {scope};
+    bool deployed = false;
+    world.tcsp.DeployService(cert.value(), request,
+                             [&](const DeploymentReport& report) {
+                               deployed = report.status.ok();
+                               std::printf(
+                                   "   deployment completed in %.0f ms "
+                                   "across %zu ISPs / %zu devices\n",
+                                   ToMilliseconds(report.Latency()),
+                                   report.isps_configured,
+                                   report.devices_configured);
+                             });
+    world.net.Run(Seconds(2));  // control-plane latency elapses
+    if (!deployed) {
+      std::printf("deployment did not complete\n");
+      return 1;
+    }
+    world.scenario.attacker->Launch();
+    world.net.Run(Seconds(10));
+    world.Report("with TCS defence:");
+    std::printf(
+        "   (spoofed packets dropped after %.2f hops on average — right "
+        "at the attackers' uplinks)\n",
+        world.net.metrics().attack_drop_hops.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "attack/agent.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+std::string_view AttackTypeName(AttackType type) {
+  switch (type) {
+    case AttackType::kDirectFlood: return "direct-flood";
+    case AttackType::kReflector: return "reflector";
+    case AttackType::kTeardown: return "teardown";
+  }
+  return "?";
+}
+
+AgentHost::AgentHost(AttackDirective directive)
+    : directive_(std::move(directive)) {}
+
+void AgentHost::HandlePacket(Packet&& packet) {
+  if (packet.proto == Protocol::kUdp && packet.dst_port == kControlPort) {
+    stats_.control_packets_received++;
+    if (!flooding_) StartFlood();
+  }
+}
+
+void AgentHost::StartFlood() {
+  flooding_ = true;
+  flood_ends_at_ = Now() + directive_.duration;
+  SendOne();
+}
+
+void AgentHost::ScheduleNext() {
+  if (!flooding_) return;
+  if (directive_.rate_pps <= 0.0) {
+    flooding_ = false;
+    return;
+  }
+  // CBR with +-20% jitter so agent streams do not phase-lock.
+  const double base_gap_s = 1.0 / directive_.rate_pps;
+  const double jitter = 0.8 + 0.4 * net().rng().NextDouble();
+  const auto gap = static_cast<SimDuration>(base_gap_s * jitter * 1e9);
+  sim().ScheduleAfter(std::max<SimDuration>(gap, Microseconds(1)),
+                      [this] { SendOne(); });
+}
+
+void AgentHost::SendOne() {
+  if (!flooding_) return;
+  if (Now() >= flood_ends_at_) {
+    flooding_ = false;
+    return;
+  }
+
+  Packet p;
+  p.klass = TrafficClass::kAttack;
+  p.size_bytes = directive_.packet_bytes;
+  p.src = address();
+  p.src_port = static_cast<std::uint16_t>(
+      1024 + net().rng().NextBelow(60000));
+
+  switch (directive_.type) {
+    case AttackType::kDirectFlood: {
+      p.dst = directive_.victim;
+      p.dst_port = directive_.victim_port;
+      p.proto = directive_.flood_proto;
+      if (p.proto == Protocol::kTcp && directive_.flood_tcp_syn) {
+        p.tcp_flags = tcp::kSyn;
+        p.size_bytes = std::max<std::uint32_t>(p.size_bytes, 40);
+      } else if (p.proto == Protocol::kIcmp) {
+        p.icmp = IcmpType::kEchoRequest;
+      }
+      ApplySpoof(p, directive_.spoof, address(), directive_.victim,
+                 static_cast<std::uint32_t>(net().node_count()), net().rng());
+      break;
+    }
+    case AttackType::kReflector: {
+      if (directive_.reflectors.empty()) {
+        flooding_ = false;
+        return;
+      }
+      p.dst = directive_.reflectors[round_robin_++ %
+                                    directive_.reflectors.size()];
+      p.dst_port = directive_.reflector_port;
+      p.proto = directive_.reflector_proto;
+      if (p.proto == Protocol::kTcp) {
+        p.tcp_flags = tcp::kSyn;
+        p.size_bytes = 40;  // a bare SYN
+      } else if (p.proto == Protocol::kIcmp) {
+        p.icmp = IcmpType::kEchoRequest;
+      }
+      // The defining trick of the reflector attack: the request claims to
+      // come from the victim, so the reply floods the victim.
+      ApplySpoof(p, SpoofMode::kVictim, address(), directive_.victim,
+                 static_cast<std::uint32_t>(net().node_count()), net().rng());
+      break;
+    }
+    case AttackType::kTeardown: {
+      if (directive_.teardown_targets.empty()) {
+        flooding_ = false;
+        return;
+      }
+      p.dst = directive_.teardown_targets[net().rng().NextBelow(
+          directive_.teardown_targets.size())];
+      if (directive_.teardown_use_icmp) {
+        p.proto = Protocol::kIcmp;
+        p.icmp = IcmpType::kDestUnreachable;
+        p.size_bytes = 56;
+      } else {
+        p.proto = Protocol::kTcp;
+        p.tcp_flags = tcp::kRst;
+        p.size_bytes = 40;
+        p.dst_port = static_cast<std::uint16_t>(
+            directive_.teardown_port_base +
+            net().rng().NextBelow(std::max<std::uint32_t>(
+                1, directive_.teardown_port_range)));
+        p.src_port = 80;
+      }
+      // Claims to be the server the sessions talk to.
+      p.src = directive_.teardown_claimed_server;
+      p.spoofed_src = p.src != address();
+      break;
+    }
+  }
+
+  stats_.attack_packets_sent++;
+  stats_.attack_bytes_sent += p.size_bytes;
+  SendPacket(std::move(p));
+  ScheduleNext();
+}
+
+}  // namespace adtc

@@ -1,0 +1,43 @@
+// A compromised end host ("zombie"): armed with an AttackDirective, it
+// starts flooding when a control packet arrives (or when triggered
+// directly). One agent = one compromised machine in Fig. 1.
+#pragma once
+
+#include "attack/directive.h"
+#include "host/host.h"
+
+namespace adtc {
+
+struct AgentStats {
+  std::uint64_t attack_packets_sent = 0;
+  std::uint64_t attack_bytes_sent = 0;
+  std::uint64_t control_packets_received = 0;
+};
+
+class AgentHost : public Host {
+ public:
+  explicit AgentHost(AttackDirective directive);
+
+  /// Control-channel trigger (Fig. 1: master -> agent command).
+  void HandlePacket(Packet&& packet) override;
+
+  /// Out-of-band trigger for scenarios without a modelled C&C chain.
+  void StartFlood();
+  void StopFlood() { flooding_ = false; }
+
+  bool flooding() const { return flooding_; }
+  const AgentStats& stats() const { return stats_; }
+  AttackDirective& directive() { return directive_; }
+
+ private:
+  void SendOne();
+  void ScheduleNext();
+
+  AttackDirective directive_;
+  AgentStats stats_;
+  bool flooding_ = false;
+  SimTime flood_ends_at_ = 0;
+  std::uint64_t round_robin_ = 0;
+};
+
+}  // namespace adtc

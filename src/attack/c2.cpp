@@ -1,0 +1,28 @@
+#include "attack/c2.h"
+
+namespace adtc {
+
+void MasterHost::HandlePacket(Packet&& packet) {
+  if (packet.proto != Protocol::kUdp || packet.dst_port != kControlPort) {
+    return;
+  }
+  for (Ipv4Address agent : agents_) {
+    Packet command = MakePacket(agent, Protocol::kUdp, 64);
+    command.dst_port = kControlPort;
+    command.klass = TrafficClass::kControl;
+    commands_relayed_++;
+    SendPacket(std::move(command));
+  }
+}
+
+void AttackerHost::Launch() {
+  for (Ipv4Address master : masters_) {
+    Packet command = MakePacket(master, Protocol::kUdp, 64);
+    command.dst_port = kControlPort;
+    command.klass = TrafficClass::kControl;
+    control_sent_++;
+    SendPacket(std::move(command));
+  }
+}
+
+}  // namespace adtc

@@ -1,0 +1,49 @@
+// The command & control chain of the amplifying network (Fig. 1):
+// attacker -> masters -> agents. Control messages are small UDP packets to
+// kControlPort; the amplification experiment (F1) counts them against the
+// attack packets they unleash.
+#pragma once
+
+#include <vector>
+
+#include "attack/directive.h"
+#include "host/host.h"
+
+namespace adtc {
+
+/// A compromised host acting as master: relays the attacker's command to
+/// its registered agents.
+class MasterHost : public Host {
+ public:
+  void AddAgent(Ipv4Address agent) { agents_.push_back(agent); }
+  const std::vector<Ipv4Address>& agents() const { return agents_; }
+
+  void HandlePacket(Packet&& packet) override;
+
+  std::uint64_t commands_relayed() const { return commands_relayed_; }
+
+ private:
+  std::vector<Ipv4Address> agents_;
+  std::uint64_t commands_relayed_ = 0;
+};
+
+/// The attacker's own machine: one Launch() sends one control packet per
+/// master — the top of the amplification pyramid.
+class AttackerHost : public Host {
+ public:
+  void AddMaster(Ipv4Address master) { masters_.push_back(master); }
+  const std::vector<Ipv4Address>& masters() const { return masters_; }
+
+  /// Sends the launch command to every master.
+  void Launch();
+
+  void HandlePacket(Packet&& packet) override { (void)packet; }
+
+  std::uint64_t control_packets_sent() const { return control_sent_; }
+
+ private:
+  std::vector<Ipv4Address> masters_;
+  std::uint64_t control_sent_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,60 @@
+// The attack order carried (conceptually) in the attacker's control
+// messages: what each agent should flood, how fast, with which spoofing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/spoof.h"
+#include "common/units.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+/// UDP destination port conventionally used by the C&C channel. The
+/// simulator does not parse payloads; a packet to this port *is* a command.
+inline constexpr std::uint16_t kControlPort = 31337;
+
+enum class AttackType : std::uint8_t {
+  kDirectFlood,  // agents -> victim, optionally spoofed sources
+  kReflector,    // agents -> innocent servers, src spoofed to victim (Fig. 1)
+  kTeardown,     // spoofed RST / ICMP-unreachable at established sessions
+};
+
+std::string_view AttackTypeName(AttackType type);
+
+struct AttackDirective {
+  AttackType type = AttackType::kDirectFlood;
+
+  Ipv4Address victim;
+  /// 0 = "use the victim's service port" (filled in by the scenario
+  /// builder); any other value is honoured as-is.
+  std::uint16_t victim_port = 0;
+
+  /// Per-agent send rate and per-packet size of the attack stream.
+  double rate_pps = 200.0;
+  std::uint32_t packet_bytes = 64;
+  SimDuration duration = Seconds(10);
+
+  // --- direct flood ---
+  Protocol flood_proto = Protocol::kUdp;
+  bool flood_tcp_syn = true;  // if flood_proto == kTcp, send SYNs
+  SpoofMode spoof = SpoofMode::kRandom;
+
+  // --- reflector attack ---
+  std::vector<Ipv4Address> reflectors;
+  std::uint16_t reflector_port = 80;
+  /// kTcp: SYN -> SYN-ACK reflected; kUdp: service request -> (possibly
+  /// amplified) reply; kIcmp: echo -> echo reply.
+  Protocol reflector_proto = Protocol::kTcp;
+
+  // --- teardown attack ---
+  std::vector<Ipv4Address> teardown_targets;  // the session clients
+  Ipv4Address teardown_claimed_server;        // spoofed "from" address
+  std::uint16_t teardown_port_base = 20000;
+  std::uint32_t teardown_port_range = 16;
+  bool teardown_use_icmp = false;  // else TCP RST
+};
+
+}  // namespace adtc

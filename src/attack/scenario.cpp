@@ -1,0 +1,159 @@
+#include "attack/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adtc {
+namespace {
+
+/// Draws `count` values from `pool` (with replacement once the pool is
+/// smaller than needed, without otherwise). Deterministic given the rng.
+std::vector<NodeId> PickNodes(const std::vector<NodeId>& pool,
+                              std::size_t count, Rng& rng) {
+  assert(!pool.empty());
+  std::vector<NodeId> shuffled = pool;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBelow(i)]);
+  }
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(shuffled[i % shuffled.size()]);
+  }
+  return out;
+}
+
+/// Pool minus a set of excluded nodes (falls back to the full pool if the
+/// exclusion would empty it).
+std::vector<NodeId> Excluding(const std::vector<NodeId>& pool,
+                              const std::vector<NodeId>& excluded) {
+  std::vector<NodeId> out;
+  for (NodeId node : pool) {
+    bool skip = false;
+    for (NodeId e : excluded) skip = skip || e == node;
+    if (!skip) out.push_back(node);
+  }
+  return out.empty() ? pool : out;
+}
+
+}  // namespace
+
+std::uint64_t Scenario::AttackPacketsSent() const {
+  std::uint64_t total = 0;
+  for (const AgentHost* agent : agents) {
+    total += agent->stats().attack_packets_sent;
+  }
+  return total;
+}
+
+double Scenario::ClientSuccessRatio() const {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  for (const Client* client : clients) {
+    sent += client->stats().requests_sent;
+    ok += client->stats().responses_received;
+  }
+  return sent > 0 ? static_cast<double>(ok) / static_cast<double>(sent) : 0.0;
+}
+
+double Scenario::ClientMeanLatencyMs() const {
+  SummaryStats merged;
+  for (const Client* client : clients) {
+    merged.Merge(client->stats().latency_ms);
+  }
+  return merged.mean();
+}
+
+Scenario BuildAttackScenario(Network& net, const TopologyInfo& topo,
+                             const ScenarioParams& params) {
+  assert(!topo.stub_nodes.empty());
+  Scenario scenario;
+  Rng& rng = net.rng();
+
+  // Victim on its own stub AS.
+  const std::vector<NodeId> victim_pick = PickNodes(topo.stub_nodes, 1, rng);
+  scenario.victim_node = victim_pick[0];
+  scenario.victim =
+      SpawnHost<Server>(net, scenario.victim_node, params.victim_access,
+                        params.victim_config);
+  scenario.victim_host = scenario.victim->id();
+  const Ipv4Address victim_addr = scenario.victim->address();
+
+  // Reflectors: ordinary, innocent servers scattered over stubs.
+  const auto reflector_nodes =
+      PickNodes(topo.stub_nodes, params.reflector_count, rng);
+  std::vector<Ipv4Address> reflector_addrs;
+  for (NodeId node : reflector_nodes) {
+    Server* reflector = SpawnHost<Server>(net, node, params.host_access,
+                                          params.reflector_config);
+    scenario.reflectors.push_back(reflector);
+    scenario.reflector_hosts.push_back(reflector->id());
+    reflector_addrs.push_back(reflector->address());
+  }
+
+  // Legitimate clients of the victim.
+  const auto client_nodes =
+      PickNodes(topo.stub_nodes, params.client_count, rng);
+  for (NodeId node : client_nodes) {
+    ClientConfig config;
+    config.server = victim_addr;
+    config.server_port = params.victim_config.service_port;
+    config.kind = params.client_kind;
+    config.request_rate = params.client_request_rate;
+    Client* client = SpawnHost<Client>(net, node, params.host_access, config);
+    client->Start();
+    scenario.clients.push_back(client);
+    scenario.client_hosts.push_back(client->id());
+  }
+
+  // The attack directive each agent gets.
+  AttackDirective directive = params.directive;
+  directive.victim = victim_addr;
+  if (directive.victim_port == 0) {
+    directive.victim_port = params.victim_config.service_port;
+  }
+  if (directive.type == AttackType::kReflector) {
+    directive.reflectors = reflector_addrs;
+    directive.reflector_port = params.reflector_config.service_port;
+  }
+
+  // C&C chain: attacker + masters + agents on stub ASes. Agents never
+  // share an AS with the victim or its clients — otherwise prefix-level
+  // defences (pushback aggregates, anti-spoof home exemptions) conflate
+  // attacker placement with collateral and the experiments can't
+  // attribute damage cleanly.
+  std::vector<NodeId> protected_nodes = client_nodes;
+  protected_nodes.push_back(scenario.victim_node);
+  const std::vector<NodeId> attacker_pool =
+      Excluding(topo.stub_nodes, protected_nodes);
+
+  const auto attacker_node = PickNodes(attacker_pool, 1, rng)[0];
+  scenario.attacker =
+      SpawnHost<AttackerHost>(net, attacker_node, params.host_access);
+
+  const auto master_nodes =
+      PickNodes(attacker_pool, params.master_count, rng);
+  const auto agent_nodes = PickNodes(
+      attacker_pool,
+      static_cast<std::size_t>(params.master_count) * params.agents_per_master,
+      rng);
+
+  std::size_t agent_index = 0;
+  for (NodeId master_node : master_nodes) {
+    MasterHost* master =
+        SpawnHost<MasterHost>(net, master_node, params.host_access);
+    scenario.masters.push_back(master);
+    scenario.attacker->AddMaster(master->address());
+    for (std::uint32_t a = 0; a < params.agents_per_master; ++a) {
+      AgentHost* agent = SpawnHost<AgentHost>(
+          net, agent_nodes[agent_index++], params.host_access, directive);
+      scenario.agents.push_back(agent);
+      scenario.agent_hosts.push_back(agent->id());
+      master->AddAgent(agent->address());
+    }
+  }
+
+  return scenario;
+}
+
+}  // namespace adtc

@@ -1,0 +1,71 @@
+// One-stop assembly of a complete attack experiment world: topology roles
+// are taken from a generated TopologyInfo, hosts are placed on stub ASes,
+// and the Fig. 1 command structure (attacker -> masters -> agents) is
+// wired. Every bench builds its world through this, so parameter meanings
+// stay identical across experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/agent.h"
+#include "attack/c2.h"
+#include "host/client.h"
+#include "host/server.h"
+#include "net/topo_gen.h"
+
+namespace adtc {
+
+struct ScenarioParams {
+  std::uint32_t master_count = 3;
+  std::uint32_t agents_per_master = 16;
+  std::uint32_t reflector_count = 40;
+  std::uint32_t client_count = 20;
+
+  double client_request_rate = 20.0;
+  RequestKind client_kind = RequestKind::kTcpHandshake;
+
+  ServerConfig victim_config;
+  ServerConfig reflector_config;
+
+  /// Access-link parameters. Victims typically get a fatter uplink.
+  LinkParams host_access{MegabitsPerSecond(20), Milliseconds(2), 64 * 1024};
+  LinkParams victim_access{MegabitsPerSecond(100), Milliseconds(2),
+                           256 * 1024};
+
+  /// Template directive; victim / reflector addresses are filled in by the
+  /// builder. `type` etc. are honoured as given.
+  AttackDirective directive;
+};
+
+struct Scenario {
+  Server* victim = nullptr;
+  HostId victim_host = kInvalidHost;
+  NodeId victim_node = kInvalidNode;
+
+  AttackerHost* attacker = nullptr;
+  std::vector<MasterHost*> masters;
+  std::vector<AgentHost*> agents;
+  std::vector<Server*> reflectors;
+  std::vector<Client*> clients;
+
+  std::vector<HostId> agent_hosts;
+  std::vector<HostId> reflector_hosts;
+  std::vector<HostId> client_hosts;
+
+  /// Aggregate attack packets emitted by all agents.
+  std::uint64_t AttackPacketsSent() const;
+  /// Aggregate legitimate success ratio across clients.
+  double ClientSuccessRatio() const;
+  /// Mean client latency (ms) across all successful requests.
+  double ClientMeanLatencyMs() const;
+};
+
+/// Places hosts and wires the attack. `net` must already hold the topology
+/// described by `topo` (routing finalised). Clients are started from
+/// t = 0; launch the attack via scenario.attacker->Launch() or by calling
+/// StartFlood() on agents directly.
+Scenario BuildAttackScenario(Network& net, const TopologyInfo& topo,
+                             const ScenarioParams& params);
+
+}  // namespace adtc

@@ -1,0 +1,47 @@
+#include "attack/spoof.h"
+
+namespace adtc {
+
+std::string_view SpoofModeName(SpoofMode mode) {
+  switch (mode) {
+    case SpoofMode::kNone: return "none";
+    case SpoofMode::kRandom: return "random";
+    case SpoofMode::kSameSubnet: return "same-subnet";
+    case SpoofMode::kVictim: return "victim";
+  }
+  return "?";
+}
+
+void ApplySpoof(Packet& packet, SpoofMode mode, Ipv4Address self,
+                Ipv4Address victim, std::uint32_t node_count, Rng& rng) {
+  switch (mode) {
+    case SpoofMode::kNone:
+      packet.src = self;
+      packet.spoofed_src = false;
+      return;
+    case SpoofMode::kRandom: {
+      // Random addresses within the allocated node space look like real
+      // (but wrong) sources; fully random 32-bit values would mostly fall
+      // outside every registered prefix and be trivially recognisable.
+      const std::uint32_t node = static_cast<std::uint32_t>(
+          rng.NextBelow(node_count == 0 ? 1 : node_count));
+      const std::uint32_t slot =
+          1 + static_cast<std::uint32_t>(rng.NextBelow(kHostsPerNode));
+      packet.src = Ipv4Address((node << kHostBits) | slot);
+      break;
+    }
+    case SpoofMode::kSameSubnet: {
+      const std::uint32_t slot =
+          1 + static_cast<std::uint32_t>(rng.NextBelow(kHostsPerNode));
+      packet.src =
+          Ipv4Address((self.bits() & PrefixMask(kNodePrefixLength)) | slot);
+      break;
+    }
+    case SpoofMode::kVictim:
+      packet.src = victim;
+      break;
+  }
+  packet.spoofed_src = packet.src != self;
+}
+
+}  // namespace adtc

@@ -1,0 +1,27 @@
+// Source-address spoofing models used by attack agents.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+enum class SpoofMode : std::uint8_t {
+  kNone,        // truthful source (agent's own address)
+  kRandom,      // uniformly random 32-bit source
+  kSameSubnet,  // random host within the agent's own /20 (evades strict
+                // per-host checks but not prefix-level ingress filtering)
+  kVictim,      // the victim's address (reflector attacks, Fig. 1)
+};
+
+std::string_view SpoofModeName(SpoofMode mode);
+
+/// Rewrites packet.src per the mode and sets the ground-truth spoofed flag.
+/// `self` is the agent's real address; `victim` is only used by kVictim.
+void ApplySpoof(Packet& packet, SpoofMode mode, Ipv4Address self,
+                Ipv4Address victim, std::uint32_t node_count, Rng& rng);
+
+}  // namespace adtc

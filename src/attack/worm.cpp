@@ -1,0 +1,146 @@
+#include "attack/worm.h"
+
+#include <algorithm>
+
+#include "attack/spoof.h"
+
+namespace adtc {
+
+void VulnerableHost::HandlePacket(Packet&& packet) {
+  if (infected_) return;
+  if (packet.proto == Protocol::kUdp && packet.dst_port == kWormPort) {
+    ForceInfect();
+  }
+}
+
+void VulnerableHost::ForceInfect() {
+  if (infected_) return;
+  infected_ = true;
+  outbreak_->NotifyInfected(this);
+  Scan();
+}
+
+void VulnerableHost::Scan() {
+  if (!infected_) return;
+  // One probe to a uniformly random address in the scanned space. Most
+  // probes hit nothing (NoHost drops / innocent hosts); a hit on a
+  // susceptible VulnerableHost propagates the infection.
+  Rng& rng = net().rng();
+  const NodeId node =
+      static_cast<NodeId>(rng.NextBelow(net().node_count()));
+  const std::uint32_t slot =
+      1 + static_cast<std::uint32_t>(rng.NextBelow(params_.max_scan_slot));
+  Packet probe = MakePacket(HostAddress(node, slot), Protocol::kUdp,
+                            params_.probe_bytes);
+  probe.dst_port = kWormPort;
+  probe.klass = TrafficClass::kAttack;
+  probes_sent_++;
+  SendPacket(std::move(probe));
+
+  const double gap_s = net().rng().NextExponential(1.0 / params_.scan_rate);
+  sim().ScheduleAfter(
+      std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
+                            Microseconds(10)),
+      [this] { Scan(); });
+}
+
+void VulnerableHost::Arm(const AttackDirective& directive) {
+  if (!infected_ || armed_) return;
+  armed_ = true;
+  directive_ = directive;
+  flooding_ = true;
+  flood_ends_at_ = Now() + directive_.duration;
+  SendAttackPacket();
+}
+
+void VulnerableHost::ScheduleNextAttackPacket() {
+  if (!flooding_ || directive_.rate_pps <= 0) return;
+  const double base_gap_s = 1.0 / directive_.rate_pps;
+  const double jitter = 0.8 + 0.4 * net().rng().NextDouble();
+  sim().ScheduleAfter(
+      std::max<SimDuration>(
+          static_cast<SimDuration>(base_gap_s * jitter * 1e9),
+          Microseconds(1)),
+      [this] { SendAttackPacket(); });
+}
+
+void VulnerableHost::SendAttackPacket() {
+  if (!flooding_) return;
+  if (Now() >= flood_ends_at_) {
+    flooding_ = false;
+    return;
+  }
+  Packet p;
+  p.klass = TrafficClass::kAttack;
+  p.size_bytes = directive_.packet_bytes;
+  p.src = address();
+  p.src_port =
+      static_cast<std::uint16_t>(1024 + net().rng().NextBelow(60000));
+  if (directive_.type == AttackType::kReflector &&
+      !directive_.reflectors.empty()) {
+    p.dst = directive_.reflectors[round_robin_++ %
+                                  directive_.reflectors.size()];
+    p.dst_port = directive_.reflector_port;
+    p.proto = directive_.reflector_proto;
+    if (p.proto == Protocol::kTcp) {
+      p.tcp_flags = tcp::kSyn;
+      p.size_bytes = 40;
+    }
+    ApplySpoof(p, SpoofMode::kVictim, address(), directive_.victim,
+               static_cast<std::uint32_t>(net().node_count()), net().rng());
+  } else {
+    p.dst = directive_.victim;
+    p.dst_port = directive_.victim_port;
+    p.proto = directive_.flood_proto;
+    if (p.proto == Protocol::kTcp && directive_.flood_tcp_syn) {
+      p.tcp_flags = tcp::kSyn;
+      p.size_bytes = std::max<std::uint32_t>(p.size_bytes, 40);
+    }
+    ApplySpoof(p, directive_.spoof, address(), directive_.victim,
+               static_cast<std::uint32_t>(net().node_count()), net().rng());
+  }
+  agent_stats_.attack_packets_sent++;
+  agent_stats_.attack_bytes_sent += p.size_bytes;
+  SendPacket(std::move(p));
+  ScheduleNextAttackPacket();
+}
+
+WormOutbreak::WormOutbreak(Network& net, WormParams params)
+    : net_(net), params_(params) {}
+
+void WormOutbreak::SeedPopulation(const std::vector<NodeId>& nodes,
+                                  std::uint32_t count,
+                                  const LinkParams& access) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId node = nodes[i % nodes.size()];
+    if (net_.node(node).host_slots.size() >= params_.max_scan_slot) {
+      continue;  // keep hosts inside the scanned slot range
+    }
+    hosts_.push_back(
+        SpawnHost<VulnerableHost>(net_, node, access, this, params_));
+  }
+}
+
+void WormOutbreak::ReleaseWorm() {
+  if (hosts_.empty()) return;
+  hosts_.front()->ForceInfect();
+}
+
+std::size_t WormOutbreak::ArmInfected(const AttackDirective& directive) {
+  std::size_t armed = 0;
+  for (VulnerableHost* host : hosts_) {
+    if (host->infected() && !host->armed()) {
+      host->Arm(directive);
+      ++armed;
+    }
+  }
+  return armed;
+}
+
+void WormOutbreak::NotifyInfected(VulnerableHost* host) {
+  (void)host;
+  infected_count_++;
+  curve_.emplace_back(net_.sim().Now(), infected_count_);
+}
+
+}  // namespace adtc

@@ -1,0 +1,114 @@
+// Worm-based recruitment of the amplifying network (Sec. 2):
+//
+// "DDoS attacks nowadays typically no longer require laborious manual
+//  hacking ... Attackers can make use of Internet worms as it was done
+//  with MyDoom ... This allows to build up a huge amplifying network of
+//  several ten thousand hosts in a short time."
+//
+// VulnerableHost models a security-unaware user's machine: a single worm
+// probe compromises it, after which it scans random addresses itself
+// (epidemic growth) and stands by as a DDoS agent. WormOutbreak seeds the
+// infection, tracks the epidemic curve, and can arm every compromised
+// host with an AttackDirective — turning the infection into the Fig. 1
+// agent population.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/agent.h"
+#include "attack/directive.h"
+#include "host/host.h"
+
+namespace adtc {
+
+/// UDP destination port carrying worm probes (a stand-in for the
+/// exploited service; the simulator does not model payloads).
+inline constexpr std::uint16_t kWormPort = 1434;  // Slammer's homage
+
+struct WormParams {
+  /// Probes per second an infected host emits.
+  double scan_rate = 10.0;
+  /// Address scan space: targets are random (node, slot<=max_slot)
+  /// addresses; denser vulnerable populations spread faster.
+  std::uint32_t max_scan_slot = 16;
+  std::uint32_t probe_bytes = 404;  // Slammer: 404-byte UDP
+};
+
+class WormOutbreak;
+
+/// A poorly administered host: compromised by one probe, then scans.
+class VulnerableHost : public Host {
+ public:
+  VulnerableHost(WormOutbreak* outbreak, WormParams params)
+      : outbreak_(outbreak), params_(params) {}
+
+  void HandlePacket(Packet&& packet) override;
+
+  /// Used for patient zero (and tests).
+  void ForceInfect();
+
+  bool infected() const { return infected_; }
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+  /// Converts the compromised machine into an attack agent.
+  void Arm(const AttackDirective& directive);
+  bool armed() const { return armed_; }
+  const AgentStats& agent_stats() const { return agent_stats_; }
+
+ private:
+  void Scan();
+  void SendAttackPacket();
+  void ScheduleNextAttackPacket();
+
+  WormOutbreak* outbreak_;
+  WormParams params_;
+  bool infected_ = false;
+  std::uint64_t probes_sent_ = 0;
+
+  bool armed_ = false;
+  bool flooding_ = false;
+  SimTime flood_ends_at_ = 0;
+  AttackDirective directive_;
+  AgentStats agent_stats_;
+  std::uint64_t round_robin_ = 0;
+};
+
+/// Orchestrates an outbreak over a pre-placed vulnerable population.
+class WormOutbreak {
+ public:
+  explicit WormOutbreak(Network& net, WormParams params = WormParams{10.0, 16, 404});
+
+  /// Spawns `count` vulnerable hosts across the given nodes (round
+  /// robin), all susceptible.
+  void SeedPopulation(const std::vector<NodeId>& nodes, std::uint32_t count,
+                      const LinkParams& access);
+
+  /// Infects the first host directly (patient zero) at the current time.
+  void ReleaseWorm();
+
+  /// Arms every currently-infected host as a DDoS agent.
+  std::size_t ArmInfected(const AttackDirective& directive);
+
+  std::size_t population() const { return hosts_.size(); }
+  std::size_t infected_count() const { return infected_count_; }
+  const std::vector<std::pair<SimTime, std::size_t>>& infection_curve()
+      const {
+    return curve_;
+  }
+  const std::vector<VulnerableHost*>& hosts() const { return hosts_; }
+  const WormParams& params() const { return params_; }
+  Network& net() { return net_; }
+
+  /// Internal: called by hosts on infection.
+  void NotifyInfected(VulnerableHost* host);
+
+ private:
+  Network& net_;
+  WormParams params_;
+  std::vector<VulnerableHost*> hosts_;
+  std::size_t infected_count_ = 0;
+  std::vector<std::pair<SimTime, std::size_t>> curve_;
+};
+
+}  // namespace adtc

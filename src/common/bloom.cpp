@@ -1,0 +1,63 @@
+#include "common/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adtc {
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+BloomFilter::BloomFilter(std::size_t expected_items,
+                         double false_positive_rate) {
+  expected_items = std::max<std::size_t>(expected_items, 1);
+  false_positive_rate = std::clamp(false_positive_rate, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double bits_per_item = -std::log(false_positive_rate) / (ln2 * ln2);
+  bit_count_ = std::max<std::size_t>(
+      64, static_cast<std::size_t>(std::ceil(bits_per_item *
+                                             static_cast<double>(expected_items))));
+  hash_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(bits_per_item * ln2)));
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::Insert(std::uint64_t key) {
+  const std::uint64_t h1 = Mix64(key);
+  const std::uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    bits_[bit >> 6] |= 1ULL << (bit & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(std::uint64_t key) const {
+  const std::uint64_t h1 = Mix64(key);
+  const std::uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (std::size_t i = 0; i < hash_count_; ++i) {
+    const std::uint64_t bit = (h1 + i * h2) % bit_count_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  inserted_ = 0;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double k = static_cast<double>(hash_count_);
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace adtc

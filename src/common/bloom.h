@@ -1,0 +1,50 @@
+// Counting-free Bloom filter with double hashing (Kirsch–Mitzenmacher).
+//
+// Used by the SPIE traceback substrate (per-router packet digest rings) and
+// the traceback module of the adaptive device. Sized from an expected
+// element count and target false-positive rate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adtc {
+
+class BloomFilter {
+ public:
+  /// Constructs a filter dimensioned for `expected_items` insertions at the
+  /// requested false-positive probability (clamped to [1e-9, 0.5]).
+  BloomFilter(std::size_t expected_items, double false_positive_rate);
+
+  /// Inserts a pre-hashed 64-bit key.
+  void Insert(std::uint64_t key);
+
+  /// True if the key may be present; false means definitely absent.
+  bool MayContain(std::uint64_t key) const;
+
+  void Clear();
+
+  std::size_t bit_count() const { return bit_count_; }
+  std::size_t hash_count() const { return hash_count_; }
+  std::size_t inserted() const { return inserted_; }
+
+  /// Estimated false-positive probability at the current fill level:
+  /// (1 - e^{-kn/m})^k.
+  double EstimatedFalsePositiveRate() const;
+
+  /// Memory footprint of the bit array in bytes.
+  std::size_t MemoryBytes() const { return bits_.size() * sizeof(std::uint64_t); }
+
+ private:
+  std::size_t bit_count_;
+  std::size_t hash_count_;
+  std::size_t inserted_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// 64-bit finalising mix (used to derive the two double-hashing streams and
+/// by callers that need a well-mixed key from structured fields).
+std::uint64_t Mix64(std::uint64_t x);
+
+}  // namespace adtc

@@ -1,0 +1,54 @@
+#include "common/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace adtc {
+
+Sha256::Digest HmacSha256(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> key_block{};
+
+  if (key.size() > kBlockSize) {
+    const Sha256::Digest hashed = Sha256::Hash(key);
+    std::memcpy(key_block.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad;
+  std::array<std::uint8_t, kBlockSize> opad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(std::span<const std::uint8_t>(ipad.data(), ipad.size()));
+  inner.Update(message);
+  const Sha256::Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(std::span<const std::uint8_t>(opad.data(), opad.size()));
+  outer.Update(std::span<const std::uint8_t>(inner_digest.data(),
+                                             inner_digest.size()));
+  return outer.Finish();
+}
+
+Sha256::Digest HmacSha256(std::string_view key, std::string_view message) {
+  return HmacSha256(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(message.data()),
+          message.size()));
+}
+
+bool DigestEquals(const Sha256::Digest& a, const Sha256::Digest& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace adtc

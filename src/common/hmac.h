@@ -1,0 +1,26 @@
+// HMAC-SHA256 (RFC 2104) over the local SHA-256 implementation.
+//
+// The TCSP issues capability certificates by MACing the canonical
+// certificate body with its private key; adaptive devices and ISP NMSes
+// verify them with the same shared secret (the simulation stands in for a
+// PKI — see DESIGN.md section 2).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/sha256.h"
+
+namespace adtc {
+
+/// Computes HMAC-SHA256(key, message).
+Sha256::Digest HmacSha256(std::span<const std::uint8_t> key,
+                          std::span<const std::uint8_t> message);
+
+Sha256::Digest HmacSha256(std::string_view key, std::string_view message);
+
+/// Constant-time digest comparison (avoids timing side channels in the
+/// certificate verification path).
+bool DigestEquals(const Sha256::Digest& a, const Sha256::Digest& b);
+
+}  // namespace adtc

@@ -1,0 +1,30 @@
+#include "common/result.h"
+
+namespace adtc {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kPermissionDenied: return "permission_denied";
+    case ErrorCode::kSafetyViolation: return "safety_violation";
+    case ErrorCode::kUnavailable: return "unavailable";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace adtc

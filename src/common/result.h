@@ -1,0 +1,114 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// The control plane (registration, deployment, rule installation) reports
+// recoverable failures through these types rather than exceptions, so that
+// every rejection path (e.g. the safety validator refusing a rule) is
+// explicit at the call site and testable.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace adtc {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad prefix, bad config)
+  kNotFound,          // unknown subscriber / device / service
+  kPermissionDenied,  // ownership check failed, certificate invalid
+  kSafetyViolation,   // rule/module rejected by the safety validator
+  kUnavailable,       // peer unreachable (e.g. TCSP down)
+  kAlreadyExists,     // duplicate registration / rule id
+  kResourceExhausted, // device rule table or budget exceeded
+  kInternal,
+};
+
+/// Human-readable name of an ErrorCode ("ok", "safety_violation", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// A success-or-error outcome without a payload.
+class Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return {ErrorCode::kInvalidArgument, std::move(msg)};
+}
+inline Status NotFound(std::string msg) {
+  return {ErrorCode::kNotFound, std::move(msg)};
+}
+inline Status PermissionDenied(std::string msg) {
+  return {ErrorCode::kPermissionDenied, std::move(msg)};
+}
+inline Status SafetyViolation(std::string msg) {
+  return {ErrorCode::kSafetyViolation, std::move(msg)};
+}
+inline Status Unavailable(std::string msg) {
+  return {ErrorCode::kUnavailable, std::move(msg)};
+}
+inline Status AlreadyExists(std::string msg) {
+  return {ErrorCode::kAlreadyExists, std::move(msg)};
+}
+inline Status ResourceExhausted(std::string msg) {
+  return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status InternalError(std::string msg) {
+  return {ErrorCode::kInternal, std::move(msg)};
+}
+
+/// A value-or-error outcome. `value()` asserts success.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}        // NOLINT(implicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(implicit)
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const& {
+    return ok() ? *value_ : fallback;
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace adtc

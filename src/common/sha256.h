@@ -1,0 +1,51 @@
+// Self-contained SHA-256 (FIPS 180-4).
+//
+// Used for capability certificates (HMAC), SPIE packet digests and Bloom
+// filter hashing. Implemented locally so the library has zero external
+// crypto dependencies; correctness is pinned to the FIPS test vectors in
+// tests/common/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace adtc {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorb more input. May be called repeatedly.
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view data);
+
+  /// Finalise and return the digest. The object must not be reused after
+  /// Finish() without Reset().
+  Digest Finish();
+
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(std::span<const std::uint8_t> data);
+  static Digest Hash(std::string_view data);
+
+  /// Lowercase hex encoding of a digest.
+  static std::string ToHex(const Digest& digest);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,78 @@
+// Lightweight metric primitives: running summaries, fixed-bucket histograms
+// and exponentially weighted moving averages.
+//
+// These are the measurement vocabulary of every experiment: clients report
+// goodput and latency through SummaryStats, devices and routers expose
+// Counters, and trigger modules watch Ewma rate estimates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace adtc {
+
+/// Streaming mean/variance/min/max (Welford).
+class SummaryStats {
+ public:
+  void Add(double x);
+  void Merge(const SummaryStats& other);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over [lo, hi) with uniform buckets plus underflow/overflow.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+
+  std::uint64_t total() const { return total_; }
+  /// Value below which the given fraction (0..1) of samples fall
+  /// (linear interpolation within a bucket).
+  double Percentile(double fraction) const;
+
+  const std::vector<std::uint64_t>& buckets() const { return counts_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exponentially weighted moving average with configurable smoothing.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.125) : alpha_(alpha) {}
+
+  void Add(double x);
+  double value() const { return value_; }
+  bool initialised() const { return initialised_; }
+  void Reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialised_ = false;
+};
+
+}  // namespace adtc

@@ -1,0 +1,51 @@
+// Fixed-size worker pool with a blocking task queue, plus ParallelFor.
+//
+// The simulator itself is single-threaded and deterministic; parallelism in
+// this codebase is applied one level up, across *independent* simulated
+// worlds (Monte-Carlo replicates, parameter sweeps in the bench harness).
+// Each task owns all of its state, so no locking appears inside a replicate.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace adtc {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (defaults to hardware concurrency, >= 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the returned future completes when it ran.
+  std::future<void> Submit(std::function<void()> task);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, count) distributed over a transient pool of at
+/// most `max_threads` threads (0 = hardware concurrency). Blocks until all
+/// iterations complete. Exceptions from the body propagate to the caller.
+void ParallelFor(std::size_t count,
+                 const std::function<void(std::size_t)>& body,
+                 std::size_t max_threads = 0);
+
+}  // namespace adtc

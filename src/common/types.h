@@ -1,0 +1,33 @@
+// Fundamental identifier and scalar types shared across the ADTC libraries.
+//
+// Strong-typedef style wrappers are deliberately avoided for the hot-path
+// ids (they are used as indices into contiguous arrays billions of times in
+// simulation); instead we use distinct aliases plus sentinel constants and
+// rely on API shape to keep them apart.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adtc {
+
+/// Index of a node (router) in a Topology. Dense, 0-based.
+using NodeId = std::uint32_t;
+/// Index of an end host attached to the topology. Dense, 0-based.
+using HostId = std::uint32_t;
+/// Index of a unidirectional link in a Topology. Dense, 0-based.
+using LinkId = std::uint32_t;
+/// Autonomous-system number of a node.
+using AsNumber = std::uint32_t;
+/// Monotonic per-world packet serial number (ground-truth identity).
+using PacketSerial = std::uint64_t;
+/// Identifier of a registered traffic-control service subscriber.
+using SubscriberId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr HostId kInvalidHost = std::numeric_limits<HostId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+inline constexpr SubscriberId kInvalidSubscriber =
+    std::numeric_limits<SubscriberId>::max();
+
+}  // namespace adtc

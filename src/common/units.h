@@ -1,0 +1,45 @@
+// Time and data-rate units used throughout the simulator.
+//
+// Simulated time is a signed 64-bit nanosecond count (SimTime). All rates
+// are bits per second; all sizes are bytes. Helper constructors keep the
+// call sites readable (`Milliseconds(5)`, `MegabitsPerSecond(100)`).
+#pragma once
+
+#include <cstdint>
+
+namespace adtc {
+
+/// Simulated time in nanoseconds since world start.
+using SimTime = std::int64_t;
+/// Duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = INT64_MAX;
+
+constexpr SimDuration Nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration Microseconds(std::int64_t n) { return n * 1'000; }
+constexpr SimDuration Milliseconds(std::int64_t n) { return n * 1'000'000; }
+constexpr SimDuration Seconds(std::int64_t n) { return n * 1'000'000'000; }
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / 1e9;
+}
+constexpr double ToMilliseconds(SimDuration d) {
+  return static_cast<double>(d) / 1e6;
+}
+
+/// Data rate in bits per second.
+using BitRate = std::int64_t;
+
+constexpr BitRate BitsPerSecond(std::int64_t n) { return n; }
+constexpr BitRate KilobitsPerSecond(std::int64_t n) { return n * 1'000; }
+constexpr BitRate MegabitsPerSecond(std::int64_t n) { return n * 1'000'000; }
+constexpr BitRate GigabitsPerSecond(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Serialisation delay of `bytes` on a link of rate `rate` (ns, rounded up).
+constexpr SimDuration TransmissionDelay(std::int64_t bytes, BitRate rate) {
+  // bytes * 8 bits / (rate bits/s) seconds -> ns.
+  return (bytes * 8 * 1'000'000'000 + rate - 1) / rate;
+}
+
+}  // namespace adtc

@@ -1,0 +1,168 @@
+#include "core/adaptive_device.h"
+
+#include "net/network.h"
+
+namespace adtc {
+
+AdaptiveDevice::AdaptiveDevice(NodeId node, EventSink* events)
+    : node_(node), events_(events) {}
+
+Status AdaptiveDevice::InstallDeployment(
+    const OwnershipCertificate& cert, std::vector<Prefix> scope,
+    std::optional<ModuleGraph> source_stage,
+    std::optional<ModuleGraph> destination_stage) {
+  if (cert.subscriber == kInvalidSubscriber) {
+    return InvalidArgument("certificate carries no subscriber id");
+  }
+  if (scope.empty()) {
+    return InvalidArgument("deployment scope is empty");
+  }
+  // Defence in depth: the device itself never accepts scope outside the
+  // certified ownership, regardless of what the NMS checked.
+  for (const Prefix& prefix : scope) {
+    if (!cert.CoversPrefix(prefix)) {
+      return PermissionDenied("scope prefix " + prefix.ToString() +
+                              " outside certificate of '" + cert.subject +
+                              "'");
+    }
+  }
+  if ((source_stage && !source_stage->validated()) ||
+      (destination_stage && !destination_stage->validated())) {
+    return InvalidArgument("stage graph not validated");
+  }
+  if (deployments_.contains(cert.subscriber)) {
+    return AlreadyExists("subscriber already deployed on this device");
+  }
+  for (const Prefix& prefix : scope) {
+    const SubscriberId* existing = src_redirect_.ExactMatch(prefix);
+    if (existing != nullptr && *existing != cert.subscriber) {
+      return AlreadyExists("redirect prefix " + prefix.ToString() +
+                           " already claimed on this device");
+    }
+  }
+
+  for (const Prefix& prefix : scope) {
+    src_redirect_.Insert(prefix, cert.subscriber);
+    dst_redirect_.Insert(prefix, cert.subscriber);
+  }
+  Deployment deployment;
+  deployment.cert = cert;
+  deployment.scope = std::move(scope);
+  deployment.source_stage = std::move(source_stage);
+  deployment.destination_stage = std::move(destination_stage);
+  deployments_.emplace(cert.subscriber, std::move(deployment));
+  return Status::Ok();
+}
+
+Status AdaptiveDevice::RemoveDeployment(SubscriberId subscriber) {
+  const auto it = deployments_.find(subscriber);
+  if (it == deployments_.end()) {
+    return NotFound("no deployment for subscriber " +
+                    std::to_string(subscriber));
+  }
+  for (const Prefix& prefix : it->second.scope) {
+    src_redirect_.Erase(prefix);
+    dst_redirect_.Erase(prefix);
+  }
+  deployments_.erase(it);
+  return Status::Ok();
+}
+
+bool AdaptiveDevice::IsQuarantined(SubscriberId subscriber) const {
+  const auto it = deployments_.find(subscriber);
+  return it != deployments_.end() && it->second.quarantined;
+}
+
+ModuleGraph* AdaptiveDevice::StageGraph(SubscriberId subscriber,
+                                        ProcessingStage stage) {
+  const auto it = deployments_.find(subscriber);
+  if (it == deployments_.end()) return nullptr;
+  auto& graph = stage == ProcessingStage::kSourceOwner
+                    ? it->second.source_stage
+                    : it->second.destination_stage;
+  return graph ? &*graph : nullptr;
+}
+
+Verdict AdaptiveDevice::RunStage(Deployment& deployment,
+                                 ProcessingStage stage, Packet& packet,
+                                 const RouterContext& ctx) {
+  auto& graph = stage == ProcessingStage::kSourceOwner
+                    ? deployment.source_stage
+                    : deployment.destination_stage;
+  if (!graph || deployment.quarantined) return Verdict::kForward;
+
+  DeviceContext device_ctx;
+  device_ctx.net = ctx.net;
+  device_ctx.node = ctx.node;
+  device_ctx.role = ctx.role;
+  device_ctx.in_kind = ctx.in_kind;
+  if (ctx.net != nullptr && ctx.in_link != kInvalidLink) {
+    const LinkTarget& from = ctx.net->link(ctx.in_link).from;
+    if (!from.is_host) device_ctx.in_from_node = from.id;
+  }
+  device_ctx.now = ctx.now;
+  device_ctx.subscriber = deployment.cert.subscriber;
+  device_ctx.stage = stage;
+  device_ctx.events = events_;
+
+  if (stage == ProcessingStage::kSourceOwner) {
+    stats_.stage1_runs++;
+  } else {
+    stats_.stage2_runs++;
+  }
+
+  const PacketInvariants before = PacketInvariants::Capture(packet);
+  const Verdict verdict = graph->Execute(packet, device_ctx);
+  const InvariantViolation violation = EnforceInvariants(before, packet);
+  if (violation != InvariantViolation::kNone) {
+    stats_.safety_violations++;
+    deployment.quarantined = true;
+    device_ctx.Emit(EventKind::kSafetyViolation,
+                    std::string(InvariantViolationName(violation)) +
+                        " by deployment of '" + deployment.cert.subject +
+                        "' — quarantined");
+    // Fail open: the offending deployment loses control, traffic flows.
+    return Verdict::kForward;
+  }
+  return verdict;
+}
+
+Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
+  const SubscriberId* src_owner = src_redirect_.LongestMatch(packet.src);
+  const SubscriberId* dst_owner = dst_redirect_.LongestMatch(packet.dst);
+  if (src_owner == nullptr && dst_owner == nullptr) {
+    stats_.fast_path_packets++;
+    return Verdict::kForward;
+  }
+  stats_.redirected_packets++;
+
+  // Stage 1: control by the source-address owner.
+  if (src_owner != nullptr) {
+    const auto it = deployments_.find(*src_owner);
+    if (it != deployments_.end()) {
+      it->second.packets_seen++;
+      if (RunStage(it->second, ProcessingStage::kSourceOwner, packet, ctx) ==
+          Verdict::kDrop) {
+        stats_.dropped_packets++;
+        return Verdict::kDrop;
+      }
+    }
+  }
+  // Stage 2: control by the destination-address owner.
+  if (dst_owner != nullptr) {
+    const auto it = deployments_.find(*dst_owner);
+    if (it != deployments_.end()) {
+      if (src_owner == nullptr || *src_owner != *dst_owner) {
+        it->second.packets_seen++;
+      }
+      if (RunStage(it->second, ProcessingStage::kDestinationOwner, packet,
+                   ctx) == Verdict::kDrop) {
+        stats_.dropped_packets++;
+        return Verdict::kDrop;
+      }
+    }
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace adtc

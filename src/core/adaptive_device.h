@@ -1,0 +1,95 @@
+// The adaptive traffic-processing device attached to a router (Figs. 2, 6).
+//
+// Traffic entering the router is "redirected to a nearby adaptive device
+// only if it carries an IP address as source or destination, which the
+// adaptive device was setup for. Most traffic will use the direct path
+// through the router." — implemented as two longest-prefix lookups per
+// packet against the redirect tables; misses take the fast path with no
+// further work.
+//
+// A redirected packet is processed in up to two stages (Sec. 4.1):
+//   stage 1: the module graph of the *source* address owner,
+//   stage 2: the module graph of the *destination* address owner,
+// mirroring the send-then-receive control handover. Each stage runs under
+// the runtime safety guard: src/dst/TTL immutability and no size growth
+// are enforced on the wire no matter what the modules do; a violating
+// deployment is quarantined and the operator notified (Sec. 4.5).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/module_graph.h"
+#include "core/safety.h"
+#include "net/prefix_trie.h"
+#include "net/router.h"
+
+namespace adtc {
+
+struct DeviceStats {
+  std::uint64_t fast_path_packets = 0;   // no redirect-table match
+  std::uint64_t redirected_packets = 0;  // entered the device
+  std::uint64_t stage1_runs = 0;
+  std::uint64_t stage2_runs = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t safety_violations = 0;
+};
+
+class AdaptiveDevice : public PacketProcessor {
+ public:
+  explicit AdaptiveDevice(NodeId node, EventSink* events = nullptr);
+
+  /// Installs a subscriber's processing on this device. Graphs are
+  /// optional per stage (std::nullopt = pass-through for that stage).
+  /// `scope` are the redirect prefixes — the caller (ISP NMS) must have
+  /// run the SafetyValidator already; the device re-checks the essentials
+  /// (scope within certificate, graphs validated) as defence in depth.
+  Status InstallDeployment(const OwnershipCertificate& cert,
+                           std::vector<Prefix> scope,
+                           std::optional<ModuleGraph> source_stage,
+                           std::optional<ModuleGraph> destination_stage);
+
+  Status RemoveDeployment(SubscriberId subscriber);
+
+  bool HasDeployment(SubscriberId subscriber) const {
+    return deployments_.contains(subscriber);
+  }
+  bool IsQuarantined(SubscriberId subscriber) const;
+
+  /// Module-graph access for services that read observation modules.
+  ModuleGraph* StageGraph(SubscriberId subscriber, ProcessingStage stage);
+
+  // PacketProcessor: the router datapath hook.
+  Verdict Process(Packet& packet, const RouterContext& ctx) override;
+  std::string_view name() const override { return "adaptive-device"; }
+
+  const DeviceStats& stats() const { return stats_; }
+  NodeId node() const { return node_; }
+  std::size_t deployment_count() const { return deployments_.size(); }
+  std::size_t redirect_prefix_count() const { return src_redirect_.size(); }
+
+ private:
+  struct Deployment {
+    OwnershipCertificate cert;
+    std::vector<Prefix> scope;
+    std::optional<ModuleGraph> source_stage;
+    std::optional<ModuleGraph> destination_stage;
+    bool quarantined = false;
+    std::uint64_t packets_seen = 0;
+  };
+
+  /// Runs one stage under the safety guard; returns the verdict.
+  Verdict RunStage(Deployment& deployment, ProcessingStage stage,
+                   Packet& packet, const RouterContext& ctx);
+
+  NodeId node_;
+  EventSink* events_;
+  DeviceStats stats_;
+  std::unordered_map<SubscriberId, Deployment> deployments_;
+  PrefixTrie<SubscriberId> src_redirect_;
+  PrefixTrie<SubscriberId> dst_redirect_;
+};
+
+}  // namespace adtc

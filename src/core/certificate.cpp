@@ -1,0 +1,52 @@
+#include "core/certificate.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+std::string OwnershipCertificate::CanonicalBody() const {
+  std::string body;
+  body += "subscriber=" + std::to_string(subscriber) + ";";
+  body += "subject=" + subject + ";";
+  body += "prefixes=";
+  for (const Prefix& prefix : prefixes) {
+    body += prefix.ToString() + ",";
+  }
+  body += ";issued=" + std::to_string(issued_at);
+  body += ";expires=" + std::to_string(expires_at);
+  return body;
+}
+
+bool OwnershipCertificate::CoversPrefix(const Prefix& prefix) const {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const Prefix& own) { return own.Covers(prefix); });
+}
+
+bool OwnershipCertificate::CoversAddress(Ipv4Address addr) const {
+  return std::any_of(prefixes.begin(), prefixes.end(),
+                     [&](const Prefix& own) { return own.Contains(addr); });
+}
+
+OwnershipCertificate CertificateAuthority::Issue(
+    SubscriberId subscriber, std::string subject,
+    std::vector<Prefix> prefixes, SimTime now, SimDuration validity) const {
+  OwnershipCertificate cert;
+  cert.subscriber = subscriber;
+  cert.subject = std::move(subject);
+  cert.prefixes = std::move(prefixes);
+  // Canonical prefix order makes byte-identical bodies for identical sets.
+  std::sort(cert.prefixes.begin(), cert.prefixes.end());
+  cert.issued_at = now;
+  cert.expires_at = now + validity;
+  cert.signature = HmacSha256(key_, cert.CanonicalBody());
+  return cert;
+}
+
+bool CertificateAuthority::Verify(const OwnershipCertificate& cert,
+                                  SimTime now) const {
+  if (now < cert.issued_at || now >= cert.expires_at) return false;
+  const Sha256::Digest expected = HmacSha256(key_, cert.CanonicalBody());
+  return DigestEquals(expected, cert.signature);
+}
+
+}  // namespace adtc

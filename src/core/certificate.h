@@ -1,0 +1,57 @@
+// Capability certificates binding a network user to the IP prefixes they
+// may control (Sec. 5.1: "the binding of a network user to the set of IP
+// addresses owned ... could be implemented with digital certificates
+// signed by the TCSP").
+//
+// The certificate body is serialised canonically and MACed with the
+// TCSP's signing key (HMAC-SHA256 stands in for a public-key signature;
+// every verifier in the simulation is TCSP-provisioned, so a shared-key
+// MAC preserves the trust structure — see DESIGN.md Sec. 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hmac.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "net/ip.h"
+
+namespace adtc {
+
+struct OwnershipCertificate {
+  SubscriberId subscriber = kInvalidSubscriber;
+  std::string subject;            // registered organisation name
+  std::vector<Prefix> prefixes;   // the controllable address space
+  SimTime issued_at = 0;
+  SimTime expires_at = 0;
+  Sha256::Digest signature{};
+
+  /// Canonical byte string covered by the signature.
+  std::string CanonicalBody() const;
+
+  /// True if `prefix` lies inside the certified address space.
+  bool CoversPrefix(const Prefix& prefix) const;
+  bool CoversAddress(Ipv4Address addr) const;
+};
+
+/// Signs/verifies certificates with the TCSP key.
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(std::string signing_key)
+      : key_(std::move(signing_key)) {}
+
+  /// Fills in the signature over the canonical body.
+  OwnershipCertificate Issue(SubscriberId subscriber, std::string subject,
+                             std::vector<Prefix> prefixes, SimTime now,
+                             SimDuration validity) const;
+
+  /// Signature + validity-window check.
+  bool Verify(const OwnershipCertificate& cert, SimTime now) const;
+
+ private:
+  std::string key_;
+};
+
+}  // namespace adtc

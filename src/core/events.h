@@ -1,0 +1,61 @@
+// Event plumbing between adaptive devices and the management plane.
+//
+// Devices emit events (trigger firings, safety violations, log notes);
+// the ISP NMS collects them and forwards subscriber-visible ones via the
+// TCSP (Fig. 3's "event/log" arrows).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace adtc {
+
+enum class EventKind : std::uint8_t {
+  kTriggerFired,      // a trigger module's condition was met
+  kSafetyViolation,   // a module attempted a forbidden mutation
+  kRuleActivated,     // pre-staged configuration switched on
+  kLogNote,           // free-form module diagnostics
+};
+
+std::string_view EventKindName(EventKind kind);
+
+struct DeviceEvent {
+  EventKind kind = EventKind::kLogNote;
+  SimTime at = 0;
+  NodeId node = kInvalidNode;
+  SubscriberId subscriber = kInvalidSubscriber;
+  std::string detail;
+  double value = 0.0;  // e.g. observed rate for trigger events
+};
+
+/// Receiver of device events (implemented by the ISP NMS).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const DeviceEvent& event) = 0;
+};
+
+/// Simple buffering sink for tests and log readout.
+class EventBuffer : public EventSink {
+ public:
+  void OnEvent(const DeviceEvent& event) override {
+    events_.push_back(event);
+  }
+  const std::vector<DeviceEvent>& events() const { return events_; }
+  std::size_t CountOf(EventKind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events_) n += e.kind == kind ? 1 : 0;
+    return n;
+  }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<DeviceEvent> events_;
+};
+
+}  // namespace adtc

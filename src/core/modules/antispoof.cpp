@@ -1,0 +1,44 @@
+#include "core/modules/antispoof.h"
+
+namespace adtc {
+
+int AntiSpoofModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  // Never source-check transit traffic: only the edge where traffic
+  // *enters* the Internet knows which sources are legitimate.
+  if (!ctx.FromCustomerEdge()) {
+    transit_passed_++;
+    return kPortDefault;
+  }
+
+  switch (mode_) {
+    case Mode::kProtectOwnerPrefixes: {
+      if (!protected_.ContainsAddress(packet.src)) return kPortDefault;
+      // The claim is legitimate only where the owner's real traffic can
+      // enter this customer edge: at the owner's home AS itself (access
+      // edge) or on a customer link coming from an AS whose customer
+      // cone contains the owner (its provider chain).
+      const auto is_legit = [this](NodeId node) {
+        return node != kInvalidNode && node < legit_nodes_.size() &&
+               legit_nodes_[node];
+      };
+      const NodeId edge_origin = ctx.in_kind == LinkKind::kAccessUp
+                                     ? ctx.node
+                                     : ctx.in_from_node;
+      if (is_legit(edge_origin) ||
+          (ctx.in_kind == LinkKind::kAccessUp &&
+           AddressNode(packet.src) == ctx.node)) {
+        return kPortDefault;
+      }
+      spoofs_flagged_++;
+      return kPortAlt;
+    }
+    case Mode::kAllowedCone: {
+      if (allowed_.ContainsAddress(packet.src)) return kPortDefault;
+      spoofs_flagged_++;
+      return kPortAlt;
+    }
+  }
+  return kPortDefault;
+}
+
+}  // namespace adtc

@@ -1,0 +1,55 @@
+#include "core/modules/match.h"
+
+namespace adtc {
+
+bool MatchRule::Matches(const Packet& packet) const {
+  if (src_prefix && !src_prefix->Contains(packet.src)) return false;
+  if (dst_prefix && !dst_prefix->Contains(packet.dst)) return false;
+  if (proto && packet.proto != *proto) return false;
+  if (dst_port_range && (packet.dst_port < dst_port_range->first ||
+                         packet.dst_port > dst_port_range->second)) {
+    return false;
+  }
+  if (src_port_range && (packet.src_port < src_port_range->first ||
+                         packet.src_port > src_port_range->second)) {
+    return false;
+  }
+  if (tcp_flags_all) {
+    if (packet.proto != Protocol::kTcp) return false;
+    if ((packet.tcp_flags & *tcp_flags_all) != *tcp_flags_all) return false;
+  }
+  if (icmp) {
+    if (packet.proto != Protocol::kIcmp || packet.icmp != *icmp) return false;
+  }
+  if (size_range && (packet.size_bytes < size_range->first ||
+                     packet.size_bytes > size_range->second)) {
+    return false;
+  }
+  if (payload_hash && packet.payload_hash != *payload_hash) return false;
+  return true;
+}
+
+std::string MatchRule::Describe() const {
+  std::string out;
+  if (src_prefix) out += "src=" + src_prefix->ToString() + " ";
+  if (dst_prefix) out += "dst=" + dst_prefix->ToString() + " ";
+  if (proto) out += "proto=" + std::string(ProtocolName(*proto)) + " ";
+  if (dst_port_range) {
+    out += "dport=" + std::to_string(dst_port_range->first) + "-" +
+           std::to_string(dst_port_range->second) + " ";
+  }
+  if (tcp_flags_all) out += "flags=" + std::to_string(*tcp_flags_all) + " ";
+  if (icmp) out += "icmp ";
+  if (out.empty()) out = "any ";
+  out.pop_back();
+  return out;
+}
+
+int MatchModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  (void)ctx;
+  if (!active_ || !rule_.Matches(packet)) return kPortDefault;
+  matched_++;
+  return kPortAlt;
+}
+
+}  // namespace adtc

@@ -1,0 +1,53 @@
+#include "core/modules/observe.h"
+
+namespace adtc {
+
+int StatisticsModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  packets_++;
+  bytes_ += packet.size_bytes;
+  by_proto_[static_cast<std::size_t>(packet.proto)]++;
+  by_dst_port_[packet.dst_port]++;
+  packet_size_.Add(static_cast<double>(packet.size_bytes));
+  if (first_seen_ < 0) first_seen_ = ctx.now;
+  last_seen_ = ctx.now;
+  return kPortDefault;
+}
+
+double StatisticsModule::MeanRate(SimTime now) const {
+  if (first_seen_ < 0) return 0.0;
+  const SimDuration span = now - first_seen_;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(packets_) / ToSeconds(span);
+}
+
+int TriggerModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  (void)packet;
+  if (window_start_ < 0) window_start_ = ctx.now;
+  window_count_++;
+
+  const SimDuration elapsed = ctx.now - window_start_;
+  if (elapsed >= config_.window) {
+    last_rate_ = static_cast<double>(window_count_) / ToSeconds(elapsed);
+    window_start_ = ctx.now;
+    window_count_ = 0;
+
+    const bool cooled =
+        last_fired_ < 0 || ctx.now - last_fired_ >= config_.cooldown;
+    const bool rate_anomaly = last_rate_ > config_.rate_threshold_pps;
+    const bool congestion_anomaly =
+        config_.drop_share_threshold <= 1.0 &&
+        ctx.RouterDropShare() > config_.drop_share_threshold;
+    if ((rate_anomaly || congestion_anomaly) && cooled) {
+      last_fired_ = ctx.now;
+      fired_count_++;
+      ctx.Emit(EventKind::kTriggerFired,
+               std::string(rate_anomaly ? "rate" : "congestion") +
+                   " above threshold at node " + std::to_string(ctx.node),
+               rate_anomaly ? last_rate_ : ctx.RouterDropShare());
+      if (action_) action_(ctx);
+    }
+  }
+  return kPortDefault;
+}
+
+}  // namespace adtc

@@ -1,0 +1,109 @@
+// Observation modules: logging, statistics and triggers (Sec. 4.2, 4.4).
+//
+// These are the modules whose management-plane output is permitted to
+// exceed the bytes-in budget by "a reasonable amount of additional
+// traffic" (Sec. 4.5 footnote); each declares its per-packet overhead so
+// the safety validator can cap the total.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/stats.h"
+#include "core/component.h"
+#include "net/trace.h"
+
+namespace adtc {
+
+/// Records (a sample of) the owner's traffic into a bounded PacketTrace —
+/// the "logging data" service and forensic-support capability.
+class LoggerModule : public Module {
+ public:
+  explicit LoggerModule(std::size_t capacity = 8192) : trace_(capacity) {}
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override {
+    trace_.Record(packet, ctx.now);
+    return kPortDefault;
+  }
+  std::string_view type_name() const override { return "logger"; }
+  std::uint32_t declared_overhead_bytes() const override { return 24; }
+
+  const PacketTrace& trace() const { return trace_; }
+  PacketTrace& trace() { return trace_; }
+
+ private:
+  PacketTrace trace_;
+};
+
+/// Aggregate counters by wire-visible dimensions (never ground truth):
+/// packets/bytes, per protocol, per destination port, mean packet size.
+class StatisticsModule : public Module {
+ public:
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override;
+  std::string_view type_name() const override { return "statistics"; }
+  std::uint32_t declared_overhead_bytes() const override { return 2; }
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t ByProtocol(Protocol proto) const {
+    return by_proto_[static_cast<std::size_t>(proto)];
+  }
+  const std::map<std::uint16_t, std::uint64_t>& by_dst_port() const {
+    return by_dst_port_;
+  }
+  const SummaryStats& packet_size() const { return packet_size_; }
+  /// Observed rate (packets/s) over the module's lifetime so far.
+  double MeanRate(SimTime now) const;
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t by_proto_[3] = {0, 0, 0};
+  std::map<std::uint16_t, std::uint64_t> by_dst_port_;
+  SummaryStats packet_size_;
+  SimTime first_seen_ = -1;
+  SimTime last_seen_ = 0;
+};
+
+/// Fires an event when the observed packet rate over a sliding window
+/// exceeds a threshold; can also run an armed action (activating a
+/// pre-staged rule — "triggers can automatically activate predefined
+/// additional configurations", Sec. 4.2).
+class TriggerModule : public Module {
+ public:
+  struct Config {
+    double rate_threshold_pps = 1000.0;
+    SimDuration window = Milliseconds(500);
+    /// Minimum gap between two firings.
+    SimDuration cooldown = Seconds(2);
+    /// Also fire when the hosting router's queue-drop share exceeds this
+    /// (uses the operator-exposed telemetry of Sec. 4.2; > 1 disables).
+    double drop_share_threshold = 2.0;
+  };
+
+  explicit TriggerModule(Config config) : config_(config) {}
+
+  /// Action invoked on every firing (after the event is emitted).
+  void ArmAction(std::function<void(const DeviceContext&)> action) {
+    action_ = std::move(action);
+  }
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override;
+  std::string_view type_name() const override { return "trigger"; }
+  std::uint32_t declared_overhead_bytes() const override { return 1; }
+
+  std::uint64_t fired_count() const { return fired_count_; }
+  double last_observed_rate() const { return last_rate_; }
+
+ private:
+  Config config_;
+  std::function<void(const DeviceContext&)> action_;
+  SimTime window_start_ = -1;
+  std::uint64_t window_count_ = 0;
+  SimTime last_fired_ = -1;
+  std::uint64_t fired_count_ = 0;
+  double last_rate_ = 0.0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,26 @@
+#include "core/modules/rate_limit.h"
+
+namespace adtc {
+
+int RateLimitModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  TokenBucket* bucket = &aggregate_;
+  if (granularity_ == Granularity::kPerSrcPrefix) {
+    const std::uint32_t key =
+        packet.src.bits() & PrefixMask(kNodePrefixLength);
+    const auto it = per_prefix_.find(key);
+    if (it != per_prefix_.end()) {
+      bucket = &it->second;
+    } else if (per_prefix_.size() < max_tracked_prefixes_) {
+      bucket = &per_prefix_[key];
+    }
+    // else: table full — the source shares the aggregate bucket.
+  }
+  if (bucket->TryConsume(ctx.now, rate_pps_, burst_)) {
+    passed_++;
+    return kPortDefault;
+  }
+  exceeded_++;
+  return kPortAlt;
+}
+
+}  // namespace adtc

@@ -1,0 +1,112 @@
+// Traffic rate limiting (token bucket), optionally per source aggregate,
+// plus a deterministic 1-in-N sampler.
+//
+// Safety note (Sec. 4.5): a rate limiter can only *remove* packets from
+// the stream — it has no way to increase rate or size, so it is trivially
+// amplification-safe.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/component.h"
+#include "net/ip.h"
+
+namespace adtc {
+
+struct TokenBucket {
+  double tokens = 0.0;
+  SimTime refilled_at = 0;
+  bool initialised = false;
+
+  /// Takes one token if available, refilling at `rate_pps` up to `burst`.
+  bool TryConsume(SimTime now, double rate_pps, double burst) {
+    if (!initialised) {
+      initialised = true;
+      refilled_at = now;
+      tokens = burst;
+    }
+    const double elapsed_s = static_cast<double>(now - refilled_at) / 1e9;
+    tokens = std::min(burst, tokens + elapsed_s * rate_pps);
+    refilled_at = now;
+    if (tokens < 1.0) return false;
+    tokens -= 1.0;
+    return true;
+  }
+};
+
+/// Port 0 while within rate, port 1 when the bucket is empty.
+class RateLimitModule : public Module {
+ public:
+  enum class Granularity : std::uint8_t {
+    kAggregate,    // one bucket for everything reaching the module
+    kPerSrcPrefix  // one bucket per source /20 (the node prefix)
+  };
+
+  RateLimitModule(double rate_pps, double burst,
+                  Granularity granularity = Granularity::kAggregate)
+      : rate_pps_(rate_pps), burst_(burst), granularity_(granularity) {}
+
+  /// Bound on tracked per-source buckets (device memory is finite).
+  /// Once exceeded, unseen sources share the aggregate bucket — which is
+  /// precisely what defeats random-spoofed floods: each forged source
+  /// would otherwise arrive with a fresh, full bucket.
+  void set_max_tracked_prefixes(std::size_t max) {
+    max_tracked_prefixes_ = max;
+  }
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override;
+  std::string_view type_name() const override { return "rate-limit"; }
+  int port_count() const override { return 2; }
+
+  void set_rate(double rate_pps) { rate_pps_ = rate_pps; }
+  /// Atomically retargets rate and burst, clamping already-accumulated
+  /// tokens to the new burst (so tightening takes effect immediately —
+  /// what the anomaly-reaction trigger relies on).
+  void Reconfigure(double rate_pps, double burst) {
+    rate_pps_ = rate_pps;
+    burst_ = burst;
+    aggregate_.tokens = std::min(aggregate_.tokens, burst);
+    for (auto& [prefix, bucket] : per_prefix_) {
+      (void)prefix;
+      bucket.tokens = std::min(bucket.tokens, burst);
+    }
+  }
+  double rate() const { return rate_pps_; }
+  std::uint64_t passed() const { return passed_; }
+  std::uint64_t exceeded() const { return exceeded_; }
+
+ private:
+  double rate_pps_;
+  double burst_;
+  Granularity granularity_;
+  std::size_t max_tracked_prefixes_ = 4096;
+  TokenBucket aggregate_;
+  std::unordered_map<std::uint32_t, TokenBucket> per_prefix_;
+  std::uint64_t passed_ = 0;
+  std::uint64_t exceeded_ = 0;
+};
+
+/// Deterministic 1-in-N sampler: every Nth packet leaves on port 1 (e.g.
+/// toward a logger), the rest pass on port 0. Used to bound observation
+/// overhead on high-rate streams.
+class SamplerModule : public Module {
+ public:
+  explicit SamplerModule(std::uint32_t one_in_n) : n_(one_in_n ? one_in_n : 1) {}
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override {
+    (void)packet;
+    (void)ctx;
+    if (++count_ % n_ == 0) return kPortAlt;
+    return kPortDefault;
+  }
+  std::string_view type_name() const override { return "sampler"; }
+  int port_count() const override { return 2; }
+
+ private:
+  std::uint32_t n_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,55 @@
+#include "core/modules/traceback.h"
+
+namespace adtc {
+
+TracebackStoreModule::TracebackStoreModule() : TracebackStoreModule(Config()) {}
+
+TracebackStoreModule::TracebackStoreModule(Config config)
+    : config_(config) {}
+
+void TracebackStoreModule::Roll(SimTime now) {
+  if (windows_.empty() ||
+      now - windows_.back().start >= config_.window) {
+    windows_.push_back(
+        Window{now, BloomFilter(config_.expected_packets_per_window,
+                                config_.false_positive_rate)});
+    while (windows_.size() > config_.window_count) {
+      windows_.pop_front();
+    }
+  }
+}
+
+int TracebackStoreModule::OnPacket(Packet& packet,
+                                   const DeviceContext& ctx) {
+  Roll(ctx.now);
+  windows_.back().bloom.Insert(PacketDigest(packet));
+  digests_stored_++;
+  return kPortDefault;
+}
+
+bool TracebackStoreModule::Saw(std::uint64_t digest) const {
+  for (const Window& window : windows_) {
+    if (window.bloom.MayContain(digest)) return true;
+  }
+  return false;
+}
+
+bool TracebackStoreModule::SawDuring(std::uint64_t digest, SimTime from,
+                                     SimTime to) const {
+  for (const Window& window : windows_) {
+    const SimTime window_end = window.start + config_.window;
+    if (window_end < from || window.start > to) continue;
+    if (window.bloom.MayContain(digest)) return true;
+  }
+  return false;
+}
+
+std::size_t TracebackStoreModule::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const Window& window : windows_) {
+    total += window.bloom.MemoryBytes();
+  }
+  return total;
+}
+
+}  // namespace adtc

@@ -1,0 +1,55 @@
+// SPIE-style packet-digest backlog as a device module (Sec. 4.4:
+// "Our system could be used to implement a worldwide packet traceback
+//  service such as SPIE by storing a backlog of packet hashes").
+//
+// The module keeps a ring of time-sliced Bloom filters holding digests of
+// the owner's traffic seen at this vantage point. The TracebackService
+// (core/service.h) queries the modules across nodes to reconstruct the
+// path of a given packet.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/bloom.h"
+#include "core/component.h"
+
+namespace adtc {
+
+class TracebackStoreModule : public Module {
+ public:
+  struct Config {
+    SimDuration window = Seconds(1);
+    std::size_t window_count = 16;
+    std::size_t expected_packets_per_window = 100000;
+    double false_positive_rate = 0.001;
+  };
+
+  TracebackStoreModule();
+  explicit TracebackStoreModule(Config config);
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override;
+  std::string_view type_name() const override { return "traceback-store"; }
+  std::uint32_t declared_overhead_bytes() const override { return 0; }
+
+  /// Was a packet with this digest seen here within the retained history?
+  bool Saw(std::uint64_t digest) const;
+  /// Restricted to windows overlapping [from, to].
+  bool SawDuring(std::uint64_t digest, SimTime from, SimTime to) const;
+
+  std::uint64_t digests_stored() const { return digests_stored_; }
+  std::size_t MemoryBytes() const;
+
+ private:
+  void Roll(SimTime now);
+
+  Config config_;
+  struct Window {
+    SimTime start;
+    BloomFilter bloom;
+  };
+  std::deque<Window> windows_;
+  std::uint64_t digests_stored_ = 0;
+};
+
+}  // namespace adtc

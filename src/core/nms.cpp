@@ -1,0 +1,147 @@
+#include "core/nms.h"
+
+namespace adtc {
+namespace {
+
+std::uint64_t DeployKey(SubscriberId subscriber, ServiceKind kind) {
+  return (static_cast<std::uint64_t>(subscriber) << 8) |
+         static_cast<std::uint64_t>(kind);
+}
+
+}  // namespace
+
+IspNms::IspNms(std::string isp_name, Network& net,
+               const SafetyValidator* validator)
+    : name_(std::move(isp_name)), net_(net), validator_(validator) {}
+
+void IspNms::ManageNode(NodeId node) {
+  if (devices_.contains(node)) return;
+  auto device = std::make_unique<AdaptiveDevice>(node, this);
+  net_.AddProcessor(node, device.get());
+  devices_.emplace(node, std::move(device));
+  managed_.push_back(node);
+}
+
+AdaptiveDevice* IspNms::device(NodeId node) {
+  const auto it = devices_.find(node);
+  return it != devices_.end() ? it->second.get() : nullptr;
+}
+
+Status IspNms::DeployService(const OwnershipCertificate& cert,
+                             const ServiceRequest& request,
+                             const std::vector<NodeId>& home_nodes,
+                             const CertificateAuthority& authority) {
+  if (!authority.Verify(cert, net_.sim().Now())) {
+    stats_.deployments_rejected++;
+    return PermissionDenied("certificate invalid or expired");
+  }
+  // Anti-spoofing must exempt every edge that can legitimately carry the
+  // owner's addresses: the home ASes and their provider chains.
+  const std::vector<NodeId> legit_forwarders =
+      LegitimateForwarderSet(net_, home_nodes);
+  // Validate once against a reference graph (all devices get identically
+  // shaped graphs for a given request).
+  {
+    StageGraphs reference = BuildStageGraphs(request, legit_forwarders);
+    const ModuleGraph* graph =
+        reference.source_stage ? &*reference.source_stage
+                               : (reference.destination_stage
+                                      ? &*reference.destination_stage
+                                      : nullptr);
+    if (graph == nullptr) {
+      stats_.deployments_rejected++;
+      return InvalidArgument("service request produced no graphs");
+    }
+    const Status status = validator_->ValidateDeployment(
+        cert, request.control_scope, *graph);
+    if (!status.ok()) {
+      stats_.deployments_rejected++;
+      return status;
+    }
+    if (reference.destination_stage && reference.source_stage) {
+      const Status second = validator_->ValidateDeployment(
+          cert, request.control_scope, *reference.destination_stage);
+      if (!second.ok()) {
+        stats_.deployments_rejected++;
+        return second;
+      }
+    }
+  }
+
+  bool any_installed = false;
+  for (NodeId node : managed_) {
+    if (!PlacementSelectsNode(request, net_, node)) {
+      continue;
+    }
+    AdaptiveDevice* dev = devices_.at(node).get();
+    if (dev->HasDeployment(cert.subscriber)) continue;
+    StageGraphs graphs = BuildStageGraphs(request, legit_forwarders);
+    const Status status = dev->InstallDeployment(
+        cert, request.control_scope, std::move(graphs.source_stage),
+        std::move(graphs.destination_stage));
+    if (!status.ok()) {
+      stats_.deployments_rejected++;
+      return status;
+    }
+    any_installed = true;
+  }
+  if (any_installed) {
+    stats_.deployments_installed++;
+    deployed_keys_.insert(DeployKey(cert.subscriber, request.kind));
+  }
+  return Status::Ok();
+}
+
+Status IspNms::RemoveService(SubscriberId subscriber) {
+  bool removed = false;
+  for (auto& [node, device] : devices_) {
+    if (device->HasDeployment(subscriber)) {
+      const Status status = device->RemoveDeployment(subscriber);
+      if (!status.ok()) return status;
+      removed = true;
+    }
+  }
+  if (!removed) {
+    return NotFound("subscriber has no deployments at " + name_);
+  }
+  std::erase_if(deployed_keys_, [subscriber](std::uint64_t key) {
+    return (key >> 8) == subscriber;
+  });
+  return Status::Ok();
+}
+
+Status IspNms::RelayDeploy(const OwnershipCertificate& cert,
+                           const ServiceRequest& request,
+                           const std::vector<NodeId>& home_nodes,
+                           const CertificateAuthority& authority) {
+  if (deployed_keys_.contains(DeployKey(cert.subscriber, request.kind))) {
+    return Status::Ok();  // already have it; relay terminates here
+  }
+  stats_.relays_received++;
+  const Status local = DeployService(cert, request, home_nodes, authority);
+  if (!local.ok() && local.code() != ErrorCode::kAlreadyExists) {
+    return local;
+  }
+  for (IspNms* peer : peers_) {
+    stats_.relays_forwarded++;
+    // Best effort: a peer rejecting (e.g. no matching nodes) does not
+    // abort the flood.
+    (void)peer->RelayDeploy(cert, request, home_nodes, authority);
+  }
+  return Status::Ok();
+}
+
+std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
+  std::size_t count = 0;
+  for (const auto& [node, device] : devices_) {
+    (void)node;
+    count += device->HasDeployment(subscriber) ? 1 : 0;
+  }
+  return count;
+}
+
+void IspNms::OnEvent(const DeviceEvent& event) {
+  event_log_.OnEvent(event);
+}
+
+}  // namespace adtc

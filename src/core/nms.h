@@ -1,0 +1,85 @@
+// ISP network-management system (Fig. 3): owns the adaptive devices on an
+// ISP's routers, validates and installs deployments, collects device
+// events, and relays configuration to peer ISPs when asked — the fallback
+// path for when the TCSP itself is unreachable (Sec. 5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/adaptive_device.h"
+#include "core/service.h"
+#include "net/network.h"
+
+namespace adtc {
+
+struct NmsStats {
+  std::uint64_t deployments_installed = 0;
+  std::uint64_t deployments_rejected = 0;
+  std::uint64_t relays_forwarded = 0;
+  std::uint64_t relays_received = 0;
+};
+
+class IspNms : public EventSink {
+ public:
+  /// `validator` must outlive the NMS (typically owned by the Tcsp).
+  IspNms(std::string isp_name, Network& net,
+         const SafetyValidator* validator);
+
+  const std::string& name() const { return name_; }
+
+  /// Puts an adaptive device next to the router at `node` and hooks it
+  /// into the datapath (Fig. 2). Idempotent per node.
+  void ManageNode(NodeId node);
+  const std::vector<NodeId>& managed_nodes() const { return managed_; }
+  AdaptiveDevice* device(NodeId node);
+
+  /// Validates (certificate freshness + safety) and installs a service
+  /// for a subscriber on every managed node selected by the placement
+  /// policy. Home nodes = ASes legitimately originating the scope.
+  Status DeployService(const OwnershipCertificate& cert,
+                       const ServiceRequest& request,
+                       const std::vector<NodeId>& home_nodes,
+                       const CertificateAuthority& authority);
+
+  Status RemoveService(SubscriberId subscriber);
+
+  /// Peer-to-peer configuration forwarding: deploys locally, then asks
+  /// every peer NMS to do the same (each ISP deploys at most once per
+  /// subscriber/service — the relay terminates). Used when the TCSP is
+  /// unreachable "e.g. because of an ongoing DDoS attack on the TCSP".
+  Status RelayDeploy(const OwnershipCertificate& cert,
+                     const ServiceRequest& request,
+                     const std::vector<NodeId>& home_nodes,
+                     const CertificateAuthority& authority);
+
+  void AddPeer(IspNms* peer) { peers_.push_back(peer); }
+
+  // EventSink: devices report here.
+  void OnEvent(const DeviceEvent& event) override;
+  const EventBuffer& events() const { return event_log_; }
+  EventBuffer& events() { return event_log_; }
+
+  const NmsStats& stats() const { return stats_; }
+  std::size_t device_count() const { return devices_.size(); }
+  /// Number of managed devices currently carrying this subscriber.
+  std::size_t CountDeployments(SubscriberId subscriber) const;
+
+ private:
+  std::string name_;
+  Network& net_;
+  const SafetyValidator* validator_;
+  std::vector<NodeId> managed_;
+  std::unordered_map<NodeId, std::unique_ptr<AdaptiveDevice>> devices_;
+  std::vector<IspNms*> peers_;
+  /// (subscriber, kind) pairs already deployed — relay termination.
+  std::unordered_set<std::uint64_t> deployed_keys_;
+  EventBuffer event_log_;
+  NmsStats stats_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,93 @@
+#include "core/ownership.h"
+
+namespace adtc {
+
+Status NumberAuthority::Allocate(const Prefix& prefix, std::string owner) {
+  // Overlap = an existing allocation covering this prefix or lying within
+  // it. Either way it must belong to the same owner.
+  Status conflict = Status::Ok();
+  auto check = [&](const Prefix& existing, const std::string& holder) {
+    if (holder != owner) {
+      conflict = AlreadyExists("prefix " + prefix.ToString() +
+                               " overlaps allocation " +
+                               existing.ToString() + " held by " + holder);
+      return false;  // stop
+    }
+    return true;
+  };
+  allocations_.VisitCovering(prefix, check);
+  if (conflict.ok()) allocations_.VisitWithin(prefix, check);
+  if (!conflict.ok()) return conflict;
+
+  allocations_.Insert(prefix, std::move(owner));
+  return Status::Ok();
+}
+
+Status NumberAuthority::Suballocate(const Prefix& prefix, std::string owner,
+                                    std::string_view parent_owner) {
+  if (!VerifyOwnership(parent_owner, prefix)) {
+    return PermissionDenied(std::string(parent_owner) +
+                            " holds no allocation covering " +
+                            prefix.ToString());
+  }
+  // Nothing *inside* the delegated range may belong to a third party.
+  Status conflict = Status::Ok();
+  allocations_.VisitWithin(
+      prefix, [&](const Prefix& existing, const std::string& holder) {
+        if (holder != owner && holder != parent_owner) {
+          conflict = AlreadyExists("suballocation " + prefix.ToString() +
+                                   " collides with " + existing.ToString() +
+                                   " held by " + holder);
+          return false;
+        }
+        return true;
+      });
+  if (!conflict.ok()) return conflict;
+  allocations_.Insert(prefix, std::move(owner));
+  return Status::Ok();
+}
+
+bool NumberAuthority::VerifyOwnership(std::string_view owner,
+                                      const Prefix& prefix) const {
+  // The claimed prefix must lie fully inside an allocation held by owner;
+  // all candidate allocations are on the trie path above `prefix`.
+  bool verified = false;
+  allocations_.VisitCovering(
+      prefix, [&](const Prefix& /*existing*/, const std::string& holder) {
+        if (holder == owner) {
+          verified = true;
+          return false;  // stop
+        }
+        return true;
+      });
+  return verified;
+}
+
+std::string NumberAuthority::OwnerOf(Ipv4Address addr) const {
+  const std::string* owner = allocations_.LongestMatch(addr);
+  return owner != nullptr ? *owner : std::string();
+}
+
+std::vector<Prefix> NumberAuthority::AllocationsOf(
+    std::string_view owner) const {
+  std::vector<Prefix> out;
+  for (const auto& [prefix, holder] : allocations_.Entries()) {
+    if (holder == owner) out.push_back(prefix);
+  }
+  return out;
+}
+
+std::string AsOrgName(NodeId node) {
+  return "as" + std::to_string(node);
+}
+
+void AllocateTopologyPrefixes(NumberAuthority& authority,
+                              std::size_t node_count) {
+  for (NodeId node = 0; node < node_count; ++node) {
+    const Status status =
+        authority.Allocate(NodePrefix(node), AsOrgName(node));
+    (void)status;  // fresh registry: cannot fail
+  }
+}
+
+}  // namespace adtc

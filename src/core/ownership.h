@@ -1,0 +1,61 @@
+// IP address ownership: the concept the whole service rests on (Sec. 4.1).
+//
+// "We declare a network packet to be owned by these network users, who are
+//  officially registered to hold either the destination or the source IP
+//  address or both of that packet."
+//
+// NumberAuthority models ARIN/RIPE-style registries (Fig. 4's "Internet
+// number authority"): an authoritative prefix -> owner database that the
+// TCSP queries during registration to verify claimed ownership.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "net/ip.h"
+#include "net/prefix_trie.h"
+
+namespace adtc {
+
+class NumberAuthority {
+ public:
+  /// Registers `owner` as holder of `prefix`. Fails on overlap with an
+  /// existing allocation held by someone else (exact duplicates by the
+  /// same owner are idempotent).
+  Status Allocate(const Prefix& prefix, std::string owner);
+
+  /// Delegates a sub-range of an existing allocation to a new holder —
+  /// how a customer of an ISP comes to own its server addresses. Requires
+  /// a covering allocation held by `parent_owner`; the suballocation takes
+  /// longest-match precedence for ownership lookups.
+  Status Suballocate(const Prefix& prefix, std::string owner,
+                     std::string_view parent_owner);
+
+  /// True iff `owner` holds an allocation covering `prefix` entirely.
+  bool VerifyOwnership(std::string_view owner, const Prefix& prefix) const;
+
+  /// Owner of the longest allocation containing `addr` ("" if none).
+  std::string OwnerOf(Ipv4Address addr) const;
+
+  /// All prefixes held by `owner`.
+  std::vector<Prefix> AllocationsOf(std::string_view owner) const;
+
+  std::size_t allocation_count() const { return allocations_.size(); }
+
+ private:
+  PrefixTrie<std::string> allocations_;
+};
+
+/// Convenience: allocate every node prefix of a topology to a synthetic
+/// organisation name "as<N>" — the baseline registry state experiments
+/// start from (specific hosts/subscribers then claim their own prefixes).
+void AllocateTopologyPrefixes(NumberAuthority& authority,
+                              std::size_t node_count);
+
+/// Canonical organisation name for a node's AS ("as<N>").
+std::string AsOrgName(NodeId node);
+
+}  // namespace adtc

@@ -1,0 +1,105 @@
+#include "core/safety.h"
+
+namespace adtc {
+
+SafetyValidator::SafetyValidator(SafetyLimits limits) : limits_(limits) {}
+
+void SafetyValidator::VetModuleType(std::string type_name) {
+  vetted_.insert(std::move(type_name));
+}
+
+bool SafetyValidator::IsVetted(std::string_view type_name) const {
+  return vetted_.contains(std::string(type_name));
+}
+
+Status SafetyValidator::ValidateDeployment(
+    const OwnershipCertificate& cert, const std::vector<Prefix>& scope,
+    const ModuleGraph& graph) const {
+  if (scope.empty()) {
+    return InvalidArgument("deployment scope is empty");
+  }
+  if (scope.size() > limits_.max_scope_prefixes) {
+    return ResourceExhausted("scope exceeds prefix cap");
+  }
+  // The fundamental restriction: control only over owned traffic.
+  for (const Prefix& prefix : scope) {
+    if (!cert.CoversPrefix(prefix)) {
+      return PermissionDenied("scope prefix " + prefix.ToString() +
+                              " outside certified ownership of '" +
+                              cert.subject + "'");
+    }
+  }
+  if (!graph.validated()) {
+    return InvalidArgument("module graph failed validation");
+  }
+  if (graph.module_count() > limits_.max_modules_per_graph) {
+    return ResourceExhausted("module graph exceeds module cap");
+  }
+  for (std::size_t i = 0; i < graph.module_count(); ++i) {
+    const std::string_view type =
+        graph.module(static_cast<int>(i))->type_name();
+    if (!IsVetted(type)) {
+      return SafetyViolation("module type '" + std::string(type) +
+                             "' is not on the vetted catalog");
+    }
+  }
+  if (graph.TotalDeclaredOverhead() >
+      limits_.max_overhead_bytes_per_packet) {
+    return SafetyViolation(
+        "declared management overhead exceeds the allowance");
+  }
+  return Status::Ok();
+}
+
+SafetyValidator MakeStandardValidator(SafetyLimits limits) {
+  SafetyValidator validator(limits);
+  for (const char* type :
+       {"match", "blacklist", "payload-delete", "counter", "anti-spoof",
+        "rate-limit", "sampler", "logger", "statistics", "trigger",
+        "traceback-store"}) {
+    validator.VetModuleType(type);
+  }
+  return validator;
+}
+
+std::string_view InvariantViolationName(InvariantViolation violation) {
+  switch (violation) {
+    case InvariantViolation::kNone: return "none";
+    case InvariantViolation::kSourceModified: return "source_modified";
+    case InvariantViolation::kDestinationModified:
+      return "destination_modified";
+    case InvariantViolation::kTtlModified: return "ttl_modified";
+    case InvariantViolation::kSizeIncreased: return "size_increased";
+  }
+  return "?";
+}
+
+InvariantViolation EnforceInvariants(const PacketInvariants& before,
+                                  Packet& packet) {
+  InvariantViolation first = InvariantViolation::kNone;
+  if (packet.src != before.src) {
+    packet.src = before.src;
+    first = InvariantViolation::kSourceModified;
+  }
+  if (packet.dst != before.dst) {
+    packet.dst = before.dst;
+    if (first == InvariantViolation::kNone) {
+      first = InvariantViolation::kDestinationModified;
+    }
+  }
+  if (packet.ttl != before.ttl) {
+    packet.ttl = before.ttl;
+    if (first == InvariantViolation::kNone) {
+      first = InvariantViolation::kTtlModified;
+    }
+  }
+  if (packet.size_bytes > before.size_bytes) {
+    packet.size_bytes = before.size_bytes;
+    if (first == InvariantViolation::kNone) {
+      first = InvariantViolation::kSizeIncreased;
+    }
+  }
+  return first;
+}
+
+}  // namespace adtc

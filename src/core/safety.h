@@ -1,0 +1,93 @@
+// The misuse-prevention layer of Sec. 4.5.
+//
+// Two halves:
+//  * SafetyValidator — static admission control run at install time:
+//    ownership scoping (the fundamental rule: control only over owned
+//    traffic), vetted module types, graph well-formedness, bounded
+//    management-plane overhead, resource caps.
+//  * SafetyGuard — runtime invariant enforcement around every module-graph
+//    execution: source/destination/TTL immutability and no-size-growth.
+//    A violating deployment is quarantined (fails open to plain
+//    forwarding) and the operator is notified — the network stays
+//    manageable by the network operator no matter what a subscriber
+//    installs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "core/certificate.h"
+#include "core/module_graph.h"
+
+namespace adtc {
+
+struct SafetyLimits {
+  std::uint32_t max_modules_per_graph = 32;
+  /// Cap on declared per-packet management overhead (bytes) per graph —
+  /// the "reasonable amount of additional traffic" allowance.
+  std::uint32_t max_overhead_bytes_per_packet = 64;
+  /// Redirect-scope prefixes per deployment (device table headroom).
+  std::uint32_t max_scope_prefixes = 64;
+};
+
+class SafetyValidator {
+ public:
+  explicit SafetyValidator(SafetyLimits limits = {});
+
+  /// The vetted module catalog ("new service modules ... must be checked
+  /// for security compliance before deployment"). Types not on the list
+  /// are rejected outright.
+  void VetModuleType(std::string type_name);
+  bool IsVetted(std::string_view type_name) const;
+
+  /// Admission check for a deployment:
+  ///  1. every scope prefix lies inside the certificate's address space;
+  ///  2. the graph validated (complete, acyclic) and within module caps;
+  ///  3. every module type is vetted;
+  ///  4. total declared overhead within the allowance.
+  Status ValidateDeployment(const OwnershipCertificate& cert,
+                            const std::vector<Prefix>& scope,
+                            const ModuleGraph& graph) const;
+
+  const SafetyLimits& limits() const { return limits_; }
+
+ private:
+  SafetyLimits limits_;
+  std::unordered_set<std::string> vetted_;
+};
+
+/// Returns a validator pre-loaded with the standard module catalog.
+SafetyValidator MakeStandardValidator(SafetyLimits limits = {});
+
+/// Wire-field snapshot for the runtime immutability check.
+struct PacketInvariants {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint8_t ttl = 0;
+  std::uint32_t size_bytes = 0;
+
+  static PacketInvariants Capture(const Packet& packet) {
+    return {packet.src, packet.dst, packet.ttl, packet.size_bytes};
+  }
+};
+
+enum class InvariantViolation : std::uint8_t {
+  kNone = 0,
+  kSourceModified,
+  kDestinationModified,
+  kTtlModified,
+  kSizeIncreased,
+};
+
+std::string_view InvariantViolationName(InvariantViolation violation);
+
+/// Compares the packet against its pre-execution snapshot and *restores*
+/// violated fields (the packet continues as if untouched). Returns the
+/// first violation found.
+InvariantViolation EnforceInvariants(const PacketInvariants& before,
+                                  Packet& packet);
+
+}  // namespace adtc

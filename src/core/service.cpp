@@ -1,0 +1,244 @@
+#include "core/service.h"
+
+#include <algorithm>
+
+#include "net/network.h"
+
+namespace adtc {
+
+std::string_view ServiceKindName(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kRemoteIngressFiltering: return "remote-ingress-filtering";
+    case ServiceKind::kDistributedFirewall: return "distributed-firewall";
+    case ServiceKind::kTraceback: return "traceback";
+    case ServiceKind::kStatistics: return "statistics";
+    case ServiceKind::kAnomalyReaction: return "anomaly-reaction";
+  }
+  return "?";
+}
+
+bool PlacementSelects(PlacementPolicy policy, NodeRole role) {
+  switch (policy) {
+    case PlacementPolicy::kAllManagedNodes:
+      return true;
+    case PlacementPolicy::kStubNodesOnly:
+      return role == NodeRole::kStub;
+    case PlacementPolicy::kTransitNodesOnly:
+      return role == NodeRole::kTransit;
+    case PlacementPolicy::kWithinRadius:
+    case PlacementPolicy::kExplicitNodes:
+      // Role-agnostic policies: without request context, treat as
+      // candidate (callers with context use PlacementSelectsNode).
+      return true;
+  }
+  return false;
+}
+
+bool PlacementSelectsNode(const ServiceRequest& request, const Network& net,
+                          NodeId node) {
+  switch (request.placement) {
+    case PlacementPolicy::kWithinRadius: {
+      for (const Prefix& prefix : request.control_scope) {
+        const NodeId home = AddressNode(prefix.address());
+        if (home < net.node_count() &&
+            net.HopDistance(home, node) <= request.placement_radius) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case PlacementPolicy::kExplicitNodes:
+      return std::find(request.placement_nodes.begin(),
+                       request.placement_nodes.end(),
+                       node) != request.placement_nodes.end();
+    default:
+      return PlacementSelects(request.placement, net.node(node).role);
+  }
+}
+
+std::vector<NodeId> LegitimateForwarderSet(
+    const Network& net, const std::vector<NodeId>& home_nodes) {
+  std::vector<bool> seen(net.node_count(), false);
+  std::vector<NodeId> stack;
+  for (NodeId home : home_nodes) {
+    if (home < net.node_count() && !seen[home]) {
+      seen[home] = true;
+      stack.push_back(home);
+    }
+  }
+  std::vector<NodeId> out;
+  while (!stack.empty()) {
+    const NodeId at = stack.back();
+    stack.pop_back();
+    out.push_back(at);
+    for (const auto& [neighbour, link] : net.node(at).neighbours) {
+      if (net.link(link).kind == LinkKind::kCustomerToProvider &&
+          !seen[neighbour]) {
+        seen[neighbour] = true;
+        stack.push_back(neighbour);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+ModuleGraph BuildIngressFilteringStage(
+    const ServiceRequest& request, const std::vector<NodeId>& home_nodes) {
+  auto antispoof = std::make_unique<AntiSpoofModule>(
+      AntiSpoofModule::Mode::kProtectOwnerPrefixes);
+  for (const Prefix& prefix : request.control_scope) {
+    antispoof->AddProtectedPrefix(prefix);
+  }
+  for (NodeId node : home_nodes) {
+    antispoof->AddLegitimateSourceNode(node);
+  }
+  // anti-spoof: port 0 pass -> accept; port 1 (spoof) -> drop.
+  return ModuleGraph::Single(std::move(antispoof));
+}
+
+ModuleGraph BuildFirewallStage(const ServiceRequest& request) {
+  ModuleGraph graph;
+  std::vector<int> rule_ids;
+  for (const MatchRule& rule : request.deny_rules) {
+    rule_ids.push_back(graph.AddModule(std::make_unique<MatchModule>(rule)));
+  }
+  int limiter = -1;
+  if (request.inbound_rate_limit_pps) {
+    limiter = graph.AddModule(std::make_unique<RateLimitModule>(
+        *request.inbound_rate_limit_pps,
+        std::max(32.0, *request.inbound_rate_limit_pps / 10.0)));
+  }
+  const int counter = graph.AddModule(std::make_unique<CounterModule>());
+
+  // Chain: rule -> rule -> ... -> [limiter] -> counter -> accept;
+  // every match (port 1) and limiter-exceeded drops.
+  int previous = -1;
+  for (int id : rule_ids) {
+    if (previous < 0) {
+      (void)graph.SetEntry(id);
+    } else {
+      (void)graph.Wire(previous, kPortDefault, id);
+    }
+    (void)graph.WireTerminal(id, kPortAlt, ModuleGraph::Terminal::kDrop);
+    previous = id;
+  }
+  const int tail = limiter >= 0 ? limiter : counter;
+  if (previous < 0) {
+    (void)graph.SetEntry(tail);
+  } else {
+    (void)graph.Wire(previous, kPortDefault, tail);
+  }
+  if (limiter >= 0) {
+    (void)graph.WireTerminal(limiter, kPortAlt,
+                             ModuleGraph::Terminal::kDrop);
+    (void)graph.Wire(limiter, kPortDefault, counter);
+  }
+  (void)graph.WireTerminal(counter, kPortDefault,
+                           ModuleGraph::Terminal::kAccept);
+  (void)graph.Validate();
+  return graph;
+}
+
+ModuleGraph BuildTracebackStage(const ServiceRequest& request) {
+  return ModuleGraph::Single(
+      std::make_unique<TracebackStoreModule>(request.traceback));
+}
+
+ModuleGraph BuildStatisticsStage(const ServiceRequest& request) {
+  ModuleGraph graph;
+  const int stats = graph.AddModule(std::make_unique<StatisticsModule>());
+  const int sampler = graph.AddModule(
+      std::make_unique<SamplerModule>(request.log_sample_one_in));
+  const int logger = graph.AddModule(
+      std::make_unique<LoggerModule>(request.log_capacity));
+  (void)graph.SetEntry(stats);
+  (void)graph.Wire(stats, kPortDefault, sampler);
+  (void)graph.Wire(sampler, kPortAlt, logger);  // the 1-in-N sample
+  (void)graph.WireTerminal(sampler, kPortDefault,
+                           ModuleGraph::Terminal::kAccept);
+  (void)graph.WireTerminal(logger, kPortDefault,
+                           ModuleGraph::Terminal::kAccept);
+  (void)graph.Validate();
+  return graph;
+}
+
+ModuleGraph BuildAnomalyReactionStage(const ServiceRequest& request) {
+  // Two-level pre-staged reaction:
+  //  * a per-source limiter caps truthful heavy hitters surgically
+  //    (well-behaved flows keep their own full bucket);
+  //  * an aggregate backstop bounds the total — this is what bites when
+  //    sources are randomly spoofed and each forged /20 would otherwise
+  //    start with a fresh bucket (the same blindness the paper attributes
+  //    to pushback's source classification, Sec. 3.1).
+  // Both are effectively off until the trigger fires.
+  ModuleGraph graph;
+  auto trigger_module = std::make_unique<TriggerModule>(request.trigger);
+  auto per_source_module = std::make_unique<RateLimitModule>(
+      /*rate_pps=*/1e12, /*burst=*/1e12,
+      RateLimitModule::Granularity::kPerSrcPrefix);
+  auto aggregate_module = std::make_unique<RateLimitModule>(
+      /*rate_pps=*/1e12, /*burst=*/1e12);
+  RateLimitModule* per_source_raw = per_source_module.get();
+  RateLimitModule* aggregate_raw = aggregate_module.get();
+  const double reaction_rate = request.reaction_rate_limit_pps;
+  const double aggregate_rate =
+      request.reaction_rate_limit_pps * request.reaction_aggregate_factor;
+  trigger_module->ArmAction([per_source_raw, aggregate_raw, reaction_rate,
+                             aggregate_rate](const DeviceContext& ctx) {
+    if (per_source_raw->rate() > reaction_rate) {
+      per_source_raw->Reconfigure(reaction_rate,
+                                  std::max(16.0, reaction_rate / 10.0));
+      aggregate_raw->Reconfigure(aggregate_rate,
+                                 std::max(32.0, aggregate_rate / 10.0));
+      ctx.Emit(EventKind::kRuleActivated,
+               "anomaly reaction: rate limit engaged", reaction_rate);
+    }
+  });
+  const int trigger = graph.AddModule(std::move(trigger_module));
+  const int per_source = graph.AddModule(std::move(per_source_module));
+  const int aggregate = graph.AddModule(std::move(aggregate_module));
+  (void)graph.SetEntry(trigger);
+  (void)graph.Wire(trigger, kPortDefault, per_source);
+  (void)graph.Wire(per_source, kPortDefault, aggregate);
+  (void)graph.WireTerminal(per_source, kPortAlt,
+                           ModuleGraph::Terminal::kDrop);
+  (void)graph.WireTerminal(aggregate, kPortDefault,
+                           ModuleGraph::Terminal::kAccept);
+  (void)graph.WireTerminal(aggregate, kPortAlt,
+                           ModuleGraph::Terminal::kDrop);
+  (void)graph.Validate();
+  return graph;
+}
+
+}  // namespace
+
+StageGraphs BuildStageGraphs(const ServiceRequest& request,
+                             const std::vector<NodeId>& home_nodes) {
+  StageGraphs graphs;
+  switch (request.kind) {
+    case ServiceKind::kRemoteIngressFiltering:
+      // Spoofed packets carry the subscriber's address as *source*.
+      graphs.source_stage =
+          BuildIngressFilteringStage(request, home_nodes);
+      break;
+    case ServiceKind::kDistributedFirewall:
+      graphs.destination_stage = BuildFirewallStage(request);
+      break;
+    case ServiceKind::kTraceback:
+      // Observe the owner's traffic in both directions.
+      graphs.source_stage = BuildTracebackStage(request);
+      graphs.destination_stage = BuildTracebackStage(request);
+      break;
+    case ServiceKind::kStatistics:
+      graphs.destination_stage = BuildStatisticsStage(request);
+      break;
+    case ServiceKind::kAnomalyReaction:
+      graphs.destination_stage = BuildAnomalyReactionStage(request);
+      break;
+  }
+  return graphs;
+}
+
+}  // namespace adtc

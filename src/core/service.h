@@ -1,0 +1,118 @@
+// High-level traffic-control services and their mapping onto module
+// graphs ("The TCSP maps the request to service components", Sec. 5.1).
+//
+// A ServiceRequest is what the network user expresses; BuildStageGraphs()
+// turns it into per-device source/destination stage graphs. Services:
+//
+//  * RemoteIngressFiltering — the paper's headline defence (Sec. 4.3):
+//    anti-spoof modules at customer edges worldwide drop packets that
+//    spoof the subscriber's addresses. Deployed in the *source-owner*
+//    stage: spoofed packets carry the victim's address as src, so the
+//    victim is their (source-)owner and may control them.
+//  * DistributedFirewall — deny rules + optional rate limit on traffic
+//    *to* the subscriber (destination-owner stage).
+//  * Traceback — SPIE-style digest stores on the owner's traffic.
+//  * Statistics — counters plus sampled logging.
+//  * AnomalyReaction — trigger that activates a pre-staged rate limit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/module_graph.h"
+#include "core/modules/antispoof.h"
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+#include "core/modules/observe.h"
+#include "core/modules/rate_limit.h"
+#include "core/modules/traceback.h"
+
+namespace adtc {
+
+enum class ServiceKind : std::uint8_t {
+  kRemoteIngressFiltering,
+  kDistributedFirewall,
+  kTraceback,
+  kStatistics,
+  kAnomalyReaction,
+};
+
+std::string_view ServiceKindName(ServiceKind kind);
+
+/// Where the TCSP should place the service ("The network user may scope
+/// the deployment according to different criteria (e.g. only on border
+/// routers of stub networks)", Sec. 5.1).
+enum class PlacementPolicy : std::uint8_t {
+  kAllManagedNodes,
+  kStubNodesOnly,     // border routers of stub networks
+  kTransitNodesOnly,  // backbone vantage points
+  kWithinRadius,      // ASes within `placement_radius` hops of the scope's
+                      // home (local protection perimeter)
+  kExplicitNodes,     // exactly the ASes in `placement_nodes`
+};
+
+struct ServiceRequest {
+  ServiceKind kind = ServiceKind::kDistributedFirewall;
+  PlacementPolicy placement = PlacementPolicy::kAllManagedNodes;
+
+  /// Prefixes whose traffic the service controls; must lie inside the
+  /// subscriber's certificate (the validator rejects otherwise).
+  std::vector<Prefix> control_scope;
+
+  /// kWithinRadius: hop distance from the scope's home ASes.
+  std::uint32_t placement_radius = 2;
+  /// kExplicitNodes: the requested ASes.
+  std::vector<NodeId> placement_nodes;
+
+  // --- distributed firewall ---
+  std::vector<MatchRule> deny_rules;
+  std::optional<double> inbound_rate_limit_pps;
+
+  // --- anomaly reaction ---
+  TriggerModule::Config trigger;
+  /// Per-source rate limit activated when the trigger fires.
+  double reaction_rate_limit_pps = 1000.0;
+  /// The aggregate backstop engages at reaction_rate x this factor —
+  /// the line of defence against spoofed-source floods.
+  double reaction_aggregate_factor = 10.0;
+
+  // --- traceback ---
+  TracebackStoreModule::Config traceback;
+
+  // --- statistics ---
+  std::uint32_t log_sample_one_in = 16;
+  std::size_t log_capacity = 4096;
+};
+
+/// Per-device graphs for a request. Either stage may be absent.
+struct StageGraphs {
+  std::optional<ModuleGraph> source_stage;
+  std::optional<ModuleGraph> destination_stage;
+};
+
+/// Builds the module graphs the request needs on a device at `node`.
+/// `home_nodes` are the ASes that legitimately originate the protected
+/// prefixes (the subscriber's uplinks) — required by ingress filtering to
+/// exempt the owner's real traffic.
+StageGraphs BuildStageGraphs(const ServiceRequest& request,
+                             const std::vector<NodeId>& home_nodes);
+
+/// True if the policy selects a node of the given role.
+/// (Role-based policies only; radius/explicit policies need the request
+/// context — use PlacementSelectsNode.)
+bool PlacementSelects(PlacementPolicy policy, NodeRole role);
+
+/// Full placement decision for a node under a request (handles the
+/// radius and explicit-list policies; falls back to the role policies).
+bool PlacementSelectsNode(const ServiceRequest& request, const Network& net,
+                          NodeId node);
+
+/// Home nodes plus every AS on their provider chains (reached by
+/// following customer->provider links upward). This is the set of
+/// customer edges that may legitimately carry the owner's addresses as
+/// source — the anti-spoof exemption set.
+std::vector<NodeId> LegitimateForwarderSet(
+    const Network& net, const std::vector<NodeId>& home_nodes);
+
+}  // namespace adtc

@@ -1,0 +1,340 @@
+#include "core/tcsp.h"
+
+#include <memory>
+
+namespace adtc {
+
+Tcsp::Tcsp(Network& net, NumberAuthority& authority,
+           std::string signing_key, TcspConfig config)
+    : net_(net),
+      authority_(authority),
+      ca_(std::move(signing_key)),
+      validator_(MakeStandardValidator()),
+      config_(config) {}
+
+void Tcsp::EnrollIsp(IspNms* nms) {
+  for (IspNms* existing : isps_) {
+    existing->AddPeer(nms);
+    nms->AddPeer(existing);
+  }
+  isps_.push_back(nms);
+}
+
+Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
+                                            std::vector<Prefix> claimed,
+                                            bool identity_ok) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Status(Unavailable("TCSP unreachable"));
+  }
+  // "The TCSP checks the identity of the network user" — modelled as a
+  // boolean outcome of the offline/online CA-style verification.
+  if (!identity_ok) {
+    stats_.registrations_rejected++;
+    return Status(PermissionDenied("identity verification failed"));
+  }
+  if (claimed.empty()) {
+    stats_.registrations_rejected++;
+    return Status(InvalidArgument("no prefixes claimed"));
+  }
+  // "the TcSP checks with Internet number authorities if the IP addresses
+  //  are indeed owned by the service requester."
+  for (const Prefix& prefix : claimed) {
+    if (!authority_.VerifyOwnership(subject, prefix)) {
+      stats_.registrations_rejected++;
+      return Status(PermissionDenied("ownership of " + prefix.ToString() +
+                                     " not verified for '" + subject +
+                                     "'"));
+    }
+  }
+  stats_.registrations_accepted++;
+  return ca_.Issue(next_subscriber_++, subject, std::move(claimed),
+                   net_.sim().Now(), config_.certificate_validity);
+}
+
+void Tcsp::RegisterAsync(
+    std::string subject, std::vector<Prefix> claimed,
+    std::function<void(Result<OwnershipCertificate>)> done) {
+  const SimDuration total = config_.user_to_tcsp_latency +
+                            config_.authority_query_latency +
+                            config_.user_to_tcsp_latency;
+  net_.sim().ScheduleAfter(
+      total, [this, subject = std::move(subject),
+              claimed = std::move(claimed), done = std::move(done)] {
+        done(Register(subject, claimed));
+      });
+}
+
+Result<OwnershipCertificate> Tcsp::RegisterDelegate(
+    const OwnershipCertificate& owner_cert, std::string delegate_name,
+    std::vector<Prefix> delegated_prefixes) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Status(Unavailable("TCSP unreachable"));
+  }
+  if (!ca_.Verify(owner_cert, net_.sim().Now())) {
+    stats_.registrations_rejected++;
+    return Status(PermissionDenied("owner certificate invalid or expired"));
+  }
+  if (delegated_prefixes.empty()) {
+    stats_.registrations_rejected++;
+    return Status(InvalidArgument("no prefixes delegated"));
+  }
+  // A party may only hand over what it itself controls.
+  for (const Prefix& prefix : delegated_prefixes) {
+    if (!owner_cert.CoversPrefix(prefix)) {
+      stats_.registrations_rejected++;
+      return Status(PermissionDenied(
+          "delegated prefix " + prefix.ToString() +
+          " outside the owner's certified address space"));
+    }
+  }
+  stats_.registrations_accepted++;
+  return ca_.Issue(next_subscriber_++, std::move(delegate_name),
+                   std::move(delegated_prefixes), net_.sim().Now(),
+                   config_.certificate_validity);
+}
+
+std::vector<NodeId> Tcsp::HomeNodes(const std::vector<Prefix>& prefixes) {
+  std::vector<NodeId> nodes;
+  for (const Prefix& prefix : prefixes) {
+    const NodeId node = AddressNode(prefix.address());
+    bool seen = false;
+    for (NodeId existing : nodes) seen = seen || existing == node;
+    if (!seen) nodes.push_back(node);
+  }
+  return nodes;
+}
+
+DeploymentReport Tcsp::DeployServiceNow(const OwnershipCertificate& cert,
+                                        const ServiceRequest& request) {
+  DeploymentReport report;
+  report.requested_at = net_.sim().Now();
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    report.status = Unavailable("TCSP unreachable");
+    report.completed_at = report.requested_at;
+    return report;
+  }
+  const std::vector<NodeId> home_nodes = HomeNodes(request.control_scope);
+  for (IspNms* nms : isps_) {
+    const Status status =
+        nms->DeployService(cert, request, home_nodes, ca_);
+    if (!status.ok()) {
+      stats_.deployments_failed++;
+      report.status = status;
+      report.completed_at = net_.sim().Now();
+      return report;
+    }
+    report.isps_configured++;
+    report.devices_configured += nms->CountDeployments(cert.subscriber);
+  }
+  stats_.deployments_completed++;
+  report.completed_at = net_.sim().Now();
+  return report;
+}
+
+void Tcsp::DeployService(const OwnershipCertificate& cert,
+                         const ServiceRequest& request,
+                         std::function<void(const DeploymentReport&)> done) {
+  const SimTime requested_at = net_.sim().Now();
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    DeploymentReport report;
+    report.status = Unavailable("TCSP unreachable");
+    report.requested_at = requested_at;
+    report.completed_at = requested_at;
+    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
+                             [report, done = std::move(done)] {
+                               done(report);
+                             });
+    return;
+  }
+
+  // The request reaches the TCSP, which instructs every ISP in parallel;
+  // each ISP configures its selected devices sequentially. The report
+  // completes when the slowest ISP is done.
+  auto report = std::make_shared<DeploymentReport>();
+  report->requested_at = requested_at;
+  auto pending = std::make_shared<std::size_t>(isps_.size());
+  const std::vector<NodeId> home_nodes = HomeNodes(request.control_scope);
+
+  if (isps_.empty()) {
+    report->status = Status::Ok();
+    report->completed_at = requested_at;
+    stats_.deployments_completed++;
+    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
+                             [report, done = std::move(done)] {
+                               done(*report);
+                             });
+    return;
+  }
+
+  auto done_shared =
+      std::make_shared<std::function<void(const DeploymentReport&)>>(
+          std::move(done));
+  for (IspNms* nms : isps_) {
+    // Count configurable devices for this ISP to model config time.
+    std::size_t selected = 0;
+    for (NodeId node : nms->managed_nodes()) {
+      if (PlacementSelectsNode(request, net_, node)) {
+        ++selected;
+      }
+    }
+    const SimDuration isp_delay =
+        config_.user_to_tcsp_latency + config_.tcsp_to_isp_latency +
+        static_cast<SimDuration>(selected) * config_.device_config_time;
+    net_.sim().ScheduleAfter(
+        isp_delay, [this, nms, cert, request, home_nodes, report, pending,
+                    done_shared] {
+          const Status status =
+              nms->DeployService(cert, request, home_nodes, ca_);
+          if (!status.ok() && report->status.ok()) {
+            report->status = status;
+          } else if (status.ok()) {
+            report->isps_configured++;
+            report->devices_configured +=
+                nms->CountDeployments(cert.subscriber);
+          }
+          if (--*pending == 0) {
+            report->completed_at = net_.sim().Now();
+            if (report->status.ok()) {
+              stats_.deployments_completed++;
+            } else {
+              stats_.deployments_failed++;
+            }
+            (*done_shared)(*report);
+          }
+        });
+  }
+}
+
+std::size_t Tcsp::ForEachStageGraph(
+    SubscriberId subscriber,
+    const std::function<void(NodeId, ProcessingStage, ModuleGraph&)>& fn) {
+  std::size_t visited = 0;
+  for (IspNms* nms : isps_) {
+    for (NodeId node : nms->managed_nodes()) {
+      AdaptiveDevice* device = nms->device(node);
+      if (device == nullptr) continue;
+      for (ProcessingStage stage : {ProcessingStage::kSourceOwner,
+                                    ProcessingStage::kDestinationOwner}) {
+        ModuleGraph* graph = device->StageGraph(subscriber, stage);
+        if (graph != nullptr) {
+          fn(node, stage, *graph);
+          ++visited;
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+Status Tcsp::SetFirewallRulesActive(SubscriberId subscriber, bool active) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Unavailable("TCSP unreachable");
+  }
+  std::size_t modules_touched = 0;
+  ForEachStageGraph(subscriber,
+                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+                      for (std::size_t i = 0; i < graph.module_count();
+                           ++i) {
+                        if (auto* match = dynamic_cast<MatchModule*>(
+                                graph.module(static_cast<int>(i)))) {
+                          match->set_active(active);
+                          ++modules_touched;
+                        }
+                      }
+                    });
+  if (modules_touched == 0) {
+    return NotFound("no firewall rules deployed for subscriber " +
+                    std::to_string(subscriber));
+  }
+  return Status::Ok();
+}
+
+Status Tcsp::SetRateLimit(SubscriberId subscriber, double rate_pps) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Unavailable("TCSP unreachable");
+  }
+  std::size_t limiters = 0;
+  ForEachStageGraph(
+      subscriber, [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+        for (std::size_t i = 0; i < graph.module_count(); ++i) {
+          if (auto* limiter = dynamic_cast<RateLimitModule*>(
+                  graph.module(static_cast<int>(i)))) {
+            limiter->Reconfigure(rate_pps,
+                                 std::max(16.0, rate_pps / 10.0));
+            ++limiters;
+          }
+        }
+      });
+  if (limiters == 0) {
+    return NotFound("no rate limiters deployed for subscriber " +
+                    std::to_string(subscriber));
+  }
+  return Status::Ok();
+}
+
+Result<Tcsp::StatisticsReport> Tcsp::ReadStatistics(
+    SubscriberId subscriber) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Status(Unavailable("TCSP unreachable"));
+  }
+  StatisticsReport report;
+  ForEachStageGraph(subscriber,
+                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+                      if (auto* stats =
+                              graph.FindModule<StatisticsModule>()) {
+                        report.vantage_points++;
+                        report.packets += stats->packets();
+                        report.bytes += stats->bytes();
+                      }
+                    });
+  if (report.vantage_points == 0) {
+    return Status(NotFound("no statistics service deployed"));
+  }
+  return report;
+}
+
+Result<std::string> Tcsp::ReadLogs(SubscriberId subscriber,
+                                   std::size_t max_lines_per_device) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Status(Unavailable("TCSP unreachable"));
+  }
+  std::string logs;
+  std::size_t loggers = 0;
+  ForEachStageGraph(subscriber,
+                    [&](NodeId node, ProcessingStage, ModuleGraph& graph) {
+                      if (auto* logger = graph.FindModule<LoggerModule>()) {
+                        logs += "--- vantage as" + std::to_string(node) +
+                                " ---\n";
+                        logs += logger->trace().Dump(max_lines_per_device);
+                        ++loggers;
+                      }
+                    });
+  if (loggers == 0) {
+    return Status(NotFound("no logging service deployed"));
+  }
+  return logs;
+}
+
+Status Tcsp::RemoveService(SubscriberId subscriber) {
+  if (!reachable_) {
+    stats_.requests_while_unreachable++;
+    return Unavailable("TCSP unreachable");
+  }
+  bool any = false;
+  for (IspNms* nms : isps_) {
+    const Status status = nms->RemoveService(subscriber);
+    if (status.ok()) any = true;
+  }
+  return any ? Status::Ok()
+             : NotFound("subscriber has no deployments anywhere");
+}
+
+}  // namespace adtc

@@ -1,0 +1,145 @@
+// The Traffic Control Service Provider (Figs. 3-5).
+//
+// One TCSP serves many ISPs and many network users:
+//  * Registration (Fig. 4): identity check, ownership verification against
+//    the Internet number authority, certificate issuance.
+//  * Service deployment (Fig. 5): maps a ServiceRequest onto the enrolled
+//    ISPs' network-management systems, which configure their devices.
+//    Control-plane latency is modelled (user->TCSP, TCSP->ISP, per-device
+//    configuration time) so experiment T5 can measure worldwide
+//    deployment convergence.
+//  * Unreachability: when the TCSP is down (e.g. itself under DDoS),
+//    deployment requests fail and users fall back to contacting an ISP
+//    NMS directly, which relays peer-to-peer (IspNms::RelayDeploy).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/nms.h"
+#include "core/ownership.h"
+#include "core/tcsp_config.h"
+
+namespace adtc {
+
+struct DeploymentReport {
+  Status status;
+  std::size_t isps_configured = 0;
+  std::size_t devices_configured = 0;
+  SimTime requested_at = 0;
+  SimTime completed_at = 0;
+
+  SimDuration Latency() const { return completed_at - requested_at; }
+};
+
+struct TcspStats {
+  std::uint64_t registrations_accepted = 0;
+  std::uint64_t registrations_rejected = 0;
+  std::uint64_t deployments_completed = 0;
+  std::uint64_t deployments_failed = 0;
+  std::uint64_t requests_while_unreachable = 0;
+};
+
+class Tcsp {
+ public:
+  Tcsp(Network& net, NumberAuthority& authority, std::string signing_key,
+       TcspConfig config = {});
+
+  /// "The TCSP ... sets up contracts with many ISPs" — enrolled NMSes
+  /// receive deployment instructions. Also wires the ISP into the peer
+  /// mesh (each new ISP peers with all previously enrolled ones).
+  void EnrollIsp(IspNms* nms);
+  std::size_t isp_count() const { return isps_.size(); }
+
+  // --- Fig. 4: service registration -------------------------------------
+  /// Synchronous registration (identity assumed verified when
+  /// `identity_ok`): checks claimed ownership with the number authority
+  /// and issues a certificate bound to a fresh subscriber id.
+  Result<OwnershipCertificate> Register(const std::string& subject,
+                                        std::vector<Prefix> claimed,
+                                        bool identity_ok = true);
+
+  /// Latency-modelled registration: the callback fires after the
+  /// user->TCSP->authority round trips.
+  void RegisterAsync(
+      std::string subject, std::vector<Prefix> claimed,
+      std::function<void(Result<OwnershipCertificate>)> done);
+
+  /// "Traffic control can be executed by a designated party on behalf of
+  /// a network address owner" (Sec. 4.1): issues a certificate for (a
+  /// subset of) the owner's prefixes to a distinct subscriber. Requires
+  /// the owner's valid certificate — the delegation is the owner's act.
+  Result<OwnershipCertificate> RegisterDelegate(
+      const OwnershipCertificate& owner_cert, std::string delegate_name,
+      std::vector<Prefix> delegated_prefixes);
+
+  // --- Fig. 5: service deployment ----------------------------------------
+  /// Latency-modelled deployment across all enrolled ISPs; the callback
+  /// fires once the slowest ISP finished configuring its devices.
+  void DeployService(const OwnershipCertificate& cert,
+                     const ServiceRequest& request,
+                     std::function<void(const DeploymentReport&)> done);
+
+  /// Synchronous convenience for tests/benches (no latency modelling).
+  DeploymentReport DeployServiceNow(const OwnershipCertificate& cert,
+                                    const ServiceRequest& request);
+
+  Status RemoveService(SubscriberId subscriber);
+
+  // --- runtime operations (Fig. 5, third phase) ----------------------------
+  // "Once the service is deployed, a network user may activate, modify
+  //  specific parameters or read logs of the service. Therefore it sends
+  //  corresponding requests to the TCSP, which relays them to the
+  //  appropriate ISP's network management systems."
+
+  /// Applies `fn` to every stage graph of the subscriber across all
+  /// enrolled ISPs; returns the number of graphs visited.
+  std::size_t ForEachStageGraph(
+      SubscriberId subscriber,
+      const std::function<void(NodeId, ProcessingStage, ModuleGraph&)>& fn);
+
+  /// Arms/disarms every firewall MatchModule of the subscriber.
+  Status SetFirewallRulesActive(SubscriberId subscriber, bool active);
+
+  /// Retargets every rate limiter of the subscriber.
+  Status SetRateLimit(SubscriberId subscriber, double rate_pps);
+
+  /// Aggregated statistics across the subscriber's vantage points.
+  struct StatisticsReport {
+    std::size_t vantage_points = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+  };
+  Result<StatisticsReport> ReadStatistics(SubscriberId subscriber);
+
+  /// Concatenated sampled-log tails across vantage points.
+  Result<std::string> ReadLogs(SubscriberId subscriber,
+                               std::size_t max_lines_per_device = 5);
+
+  // --- availability -------------------------------------------------------
+  void set_reachable(bool reachable) { reachable_ = reachable; }
+  bool reachable() const { return reachable_; }
+
+  const CertificateAuthority& certificate_authority() const { return ca_; }
+  const SafetyValidator& validator() const { return validator_; }
+  const TcspStats& stats() const { return stats_; }
+
+  /// Home ASes of a prefix set (used for anti-spoof exemptions).
+  static std::vector<NodeId> HomeNodes(const std::vector<Prefix>& prefixes);
+
+ private:
+  Network& net_;
+  NumberAuthority& authority_;
+  CertificateAuthority ca_;
+  SafetyValidator validator_;
+  TcspConfig config_;
+  std::vector<IspNms*> isps_;
+  SubscriberId next_subscriber_ = 1;
+  bool reachable_ = true;
+  TcspStats stats_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,21 @@
+// Control-plane timing model of the TCSP (experiment T5 sweeps these).
+#pragma once
+
+#include "common/units.h"
+
+namespace adtc {
+
+struct TcspConfig {
+  /// Network user -> TCSP request latency (one way).
+  SimDuration user_to_tcsp_latency = Milliseconds(40);
+  /// TCSP -> ISP NMS instruction latency (one way, per ISP).
+  SimDuration tcsp_to_isp_latency = Milliseconds(40);
+  /// NMS-side configuration time per adaptive device.
+  SimDuration device_config_time = Milliseconds(5);
+  /// TCSP -> Internet number authority ownership lookup (round trip).
+  SimDuration authority_query_latency = Milliseconds(100);
+  /// Issued certificate lifetime.
+  SimDuration certificate_validity = Seconds(30LL * 24 * 3600);
+};
+
+}  // namespace adtc

@@ -1,0 +1,51 @@
+#include "core/traceback_service.h"
+
+namespace adtc {
+
+TcsTracebackService::TcsTracebackService(Network& net,
+                                         const std::vector<IspNms*>& isps,
+                                         SubscriberId subscriber)
+    : net_(net), stores_by_node_(net.node_count()) {
+  for (IspNms* nms : isps) {
+    for (NodeId node : nms->managed_nodes()) {
+      AdaptiveDevice* device = nms->device(node);
+      if (device == nullptr) continue;
+      for (ProcessingStage stage : {ProcessingStage::kSourceOwner,
+                                    ProcessingStage::kDestinationOwner}) {
+        ModuleGraph* graph = device->StageGraph(subscriber, stage);
+        if (graph == nullptr) continue;
+        if (auto* store = graph->FindModule<TracebackStoreModule>()) {
+          stores_by_node_[node].push_back(store);
+          store_count_++;
+        }
+      }
+    }
+  }
+}
+
+TraceResult TcsTracebackService::TraceDigest(std::uint64_t digest,
+                                             NodeId victim_node) const {
+  return ReconstructOrigins(net_, victim_node, [this, digest](NodeId node) {
+    for (const TracebackStoreModule* store : stores_by_node_[node]) {
+      if (store->Saw(digest)) return true;
+    }
+    return false;
+  });
+}
+
+TraceResult TcsTracebackService::Trace(const Packet& packet,
+                                       NodeId victim_node) const {
+  return TraceDigest(PacketDigest(packet), victim_node);
+}
+
+std::size_t TcsTracebackService::TotalMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& stores : stores_by_node_) {
+    for (const TracebackStoreModule* store : stores) {
+      total += store->MemoryBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace adtc

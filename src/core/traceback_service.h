@@ -1,0 +1,39 @@
+// User-facing traceback built on the TCS (Sec. 4.4 "Traceback"):
+// queries the subscriber's deployed TracebackStoreModules across all
+// enrolled ISPs and reconstructs where a packet entered the network —
+// "allow[ing] the network user to investigate the origin of spoofed
+// network traffic".
+#pragma once
+
+#include <vector>
+
+#include "core/modules/traceback.h"
+#include "core/nms.h"
+#include "net/reverse_path.h"
+
+namespace adtc {
+
+class TcsTracebackService {
+ public:
+  /// Gathers the subscriber's traceback stores from the ISPs' devices.
+  /// Call after the traceback ServiceRequest has been deployed.
+  TcsTracebackService(Network& net, const std::vector<IspNms*>& isps,
+                      SubscriberId subscriber);
+
+  /// Traces a received packet back from the querying user's AS.
+  TraceResult Trace(const Packet& packet, NodeId victim_node) const;
+  TraceResult TraceDigest(std::uint64_t digest, NodeId victim_node) const;
+
+  std::size_t store_count() const { return store_count_; }
+  /// Total Bloom memory across all vantage points (the paper's SPIE
+  /// deployment-cost concern).
+  std::size_t TotalMemoryBytes() const;
+
+ private:
+  Network& net_;
+  /// stores_by_node_[node] = traceback stores on that node's device.
+  std::vector<std::vector<const TracebackStoreModule*>> stores_by_node_;
+  std::size_t store_count_ = 0;
+};
+
+}  // namespace adtc

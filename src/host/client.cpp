@@ -1,0 +1,113 @@
+#include "host/client.h"
+
+namespace adtc {
+
+Client::Client(ClientConfig config) : config_(config) {}
+
+void Client::Start(SimDuration after, SimTime stop_at) {
+  running_ = true;
+  stop_at_ = stop_at;
+  sim().ScheduleAfter(after, [this] { SendRequest(); });
+  // Timeout sweep at 4x the timeout resolution.
+  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
+                                               Milliseconds(50)),
+                         [this] {
+                           ExpireRequests();
+                           return running_ || !outstanding_.empty();
+                         });
+}
+
+void Client::ScheduleNext() {
+  if (!running_) return;
+  if (stop_at_ != 0 && Now() >= stop_at_) {
+    running_ = false;
+    return;
+  }
+  const double rate = config_.request_rate;
+  if (rate <= 0.0) return;
+  const double mean_gap_s = 1.0 / rate;
+  const SimDuration gap = static_cast<SimDuration>(
+      (config_.poisson ? net().rng().NextExponential(mean_gap_s)
+                       : mean_gap_s) *
+      1e9);
+  sim().ScheduleAfter(std::max<SimDuration>(gap, Microseconds(1)),
+                      [this] { SendRequest(); });
+}
+
+void Client::SendRequest() {
+  if (!running_ || (stop_at_ != 0 && Now() >= stop_at_)) {
+    running_ = false;
+    return;
+  }
+  Packet request = MakePacket(config_.server,
+                              config_.kind == RequestKind::kUdpRequest
+                                  ? Protocol::kUdp
+                                  : config_.kind == RequestKind::kIcmpEcho
+                                        ? Protocol::kIcmp
+                                        : Protocol::kTcp,
+                              config_.request_bytes);
+  request.dst_port = config_.server_port;
+  request.src_port = next_port_;
+  next_port_ = next_port_ == 65535 ? 1024 : next_port_ + 1;
+  request.klass = TrafficClass::kLegitimate;
+  switch (config_.kind) {
+    case RequestKind::kTcpHandshake:
+      request.tcp_flags = tcp::kSyn;
+      break;
+    case RequestKind::kUdpRequest:
+      break;
+    case RequestKind::kIcmpEcho:
+      request.icmp = IcmpType::kEchoRequest;
+      break;
+  }
+
+  // Pre-stamp the serial so the reply's in_reply_to can be correlated;
+  // SendFromHost leaves pre-stamped packets alone.
+  const SimTime now = Now();
+  stats_.requests_sent++;
+  const PacketSerial serial = net().NextSerial();
+  request.serial = serial;
+  request.true_origin = id();
+  request.sent_at = now;
+  request.payload_hash = serial;
+  net().metrics().RecordSend(request);
+  outstanding_[serial] = Outstanding{now, now + config_.timeout};
+  net().SendFromHost(id(), std::move(request));
+
+  ScheduleNext();
+}
+
+void Client::HandlePacket(Packet&& packet) {
+  const auto it = outstanding_.find(packet.in_reply_to);
+  if (it == outstanding_.end()) return;  // late/duplicate/unsolicited
+  stats_.responses_received++;
+  stats_.latency_ms.Add(ToMilliseconds(Now() - it->second.sent_at));
+  outstanding_.erase(it);
+
+  // Complete the TCP handshake so the server frees its half-open slot.
+  if (config_.kind == RequestKind::kTcpHandshake &&
+      packet.proto == Protocol::kTcp &&
+      (packet.tcp_flags & (tcp::kSyn | tcp::kAck)) ==
+          (tcp::kSyn | tcp::kAck)) {
+    Packet ack = MakePacket(config_.server, Protocol::kTcp, 40);
+    ack.tcp_flags = tcp::kAck;
+    ack.dst_port = config_.server_port;
+    ack.src_port = packet.dst_port;
+    ack.klass = TrafficClass::kLegitimate;
+    SendPacket(std::move(ack));
+  }
+}
+
+void Client::ExpireRequests() {
+  const SimTime now = Now();
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.expires_at <= now) {
+      stats_.timeouts++;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace adtc

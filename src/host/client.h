@@ -1,0 +1,78 @@
+// Legitimate client: sends request flows at a configured rate and measures
+// service quality (success ratio, latency). Experiments read these stats
+// as the victim-side "goodput" quantity.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "host/host.h"
+
+namespace adtc {
+
+enum class RequestKind : std::uint8_t {
+  kTcpHandshake,  // SYN -> expect SYN-ACK (then final ACK is sent)
+  kUdpRequest,    // UDP request -> expect UDP reply
+  kIcmpEcho,      // echo request -> echo reply
+};
+
+struct ClientConfig {
+  Ipv4Address server;
+  std::uint16_t server_port = 80;
+  RequestKind kind = RequestKind::kTcpHandshake;
+  /// Mean request rate (requests/s); inter-arrival is exponential when
+  /// `poisson` is set, constant otherwise.
+  double request_rate = 10.0;
+  bool poisson = true;
+  std::uint32_t request_bytes = 40;
+  SimDuration timeout = Seconds(2);
+};
+
+struct ClientStats {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t responses_received = 0;
+  std::uint64_t timeouts = 0;
+  SummaryStats latency_ms;
+
+  double SuccessRatio() const {
+    return requests_sent > 0 ? static_cast<double>(responses_received) /
+                                   static_cast<double>(requests_sent)
+                             : 0.0;
+  }
+};
+
+class Client : public Host {
+ public:
+  explicit Client(ClientConfig config);
+
+  /// Starts the request process `after` from now, running until `stop_at`
+  /// (absolute sim time; 0 = forever).
+  void Start(SimDuration after = 0, SimTime stop_at = 0);
+  void Stop() { running_ = false; }
+
+  void HandlePacket(Packet&& packet) override;
+
+  const ClientStats& stats() const { return stats_; }
+  ClientConfig& config() { return config_; }
+
+ private:
+  void ScheduleNext();
+  void SendRequest();
+  void ExpireRequests();
+
+  ClientConfig config_;
+  ClientStats stats_;
+  bool running_ = false;
+  SimTime stop_at_ = 0;
+  std::uint16_t next_port_ = 1024;
+
+  struct Outstanding {
+    SimTime sent_at;
+    SimTime expires_at;
+  };
+  /// Keyed by the request's packet serial (echoed back in in_reply_to).
+  std::unordered_map<PacketSerial, Outstanding> outstanding_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,69 @@
+// End-host base class: convenience layer over net::Endpoint.
+//
+// Subclasses (servers, clients, attack agents, overlay nodes) get their
+// assigned address, a handle to the world, and packet construction/send
+// helpers. Spoofing is explicit: MakePacket() stamps the host's real
+// address; a caller that overwrites `src` must also set `spoofed_src` so
+// ground-truth accounting stays correct (the attack layer does).
+#pragma once
+
+#include <cassert>
+
+#include "net/network.h"
+
+namespace adtc {
+
+class Host : public Endpoint {
+ public:
+  ~Host() override = default;
+
+  void Bind(Network& net, HostId id) final {
+    net_ = &net;
+    id_ = id;
+  }
+
+  HostId id() const { return id_; }
+  Ipv4Address address() const { return net_->host_address(id_); }
+  NodeId attachment_node() const { return net_->host_node(id_); }
+  Network& net() const {
+    assert(net_ != nullptr && "host not attached");
+    return *net_;
+  }
+  Simulator& sim() const { return net().sim(); }
+  SimTime Now() const { return net().sim().Now(); }
+
+  bool IsUp() const override { return up_; }
+  void SetUp(bool up) { up_ = up; }
+
+  /// A packet from this host to `dst` with truthful source address.
+  Packet MakePacket(Ipv4Address dst, Protocol proto,
+                    std::uint32_t size_bytes) const {
+    Packet p;
+    p.src = address();
+    p.dst = dst;
+    p.proto = proto;
+    p.size_bytes = size_bytes;
+    return p;
+  }
+
+  /// Sends via the host's access uplink.
+  void SendPacket(Packet packet) { net().SendFromHost(id_, std::move(packet)); }
+
+ private:
+  Network* net_ = nullptr;
+  HostId id_ = kInvalidHost;
+  bool up_ = true;
+};
+
+/// Attaches a concrete Host subclass and returns a typed non-owning pointer
+/// (the Network owns the host for the world's lifetime).
+template <typename H, typename... Args>
+H* SpawnHost(Network& net, NodeId node, const LinkParams& access,
+             Args&&... args) {
+  auto host = std::make_unique<H>(std::forward<Args>(args)...);
+  H* raw = host.get();
+  net.AttachHost(std::move(host), node, access);
+  return raw;
+}
+
+}  // namespace adtc

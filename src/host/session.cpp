@@ -1,0 +1,68 @@
+#include "host/session.h"
+
+namespace adtc {
+
+SessionHost::SessionHost(SessionHostConfig config)
+    : config_(config), session_alive_(config.session_count, false) {}
+
+void SessionHost::Start() {
+  started_ = true;
+  session_alive_.assign(config_.session_count, true);
+  sim().SchedulePeriodic(config_.keepalive_every, [this] {
+    SendKeepalives();
+    return started_;
+  });
+}
+
+void SessionHost::SendKeepalives() {
+  for (std::uint32_t i = 0; i < config_.session_count; ++i) {
+    if (!session_alive_[i]) continue;
+    Packet keepalive = MakePacket(config_.server, Protocol::kTcp, 40);
+    keepalive.tcp_flags = tcp::kAck;
+    keepalive.src_port = static_cast<std::uint16_t>(base_port_ + i);
+    keepalive.dst_port = config_.server_port;
+    keepalive.klass = TrafficClass::kLegitimate;
+    stats_.keepalives_sent++;
+    SendPacket(std::move(keepalive));
+  }
+}
+
+void SessionHost::HandlePacket(Packet&& packet) {
+  // Teardown signals: a RST from the server's address and port, or an ICMP
+  // destination-unreachable claiming the server is gone. The naive stack
+  // cannot verify authenticity — that is the vulnerability.
+  const bool rst_from_server = packet.proto == Protocol::kTcp &&
+                               (packet.tcp_flags & tcp::kRst) != 0 &&
+                               packet.src == config_.server;
+  const bool icmp_unreachable = packet.proto == Protocol::kIcmp &&
+                                packet.icmp == IcmpType::kDestUnreachable;
+  if (!rst_from_server && !icmp_unreachable) return;
+
+  if (rst_from_server) {
+    const std::uint32_t idx = packet.dst_port >= base_port_
+                                  ? packet.dst_port - base_port_
+                                  : config_.session_count;
+    if (idx < session_alive_.size() && session_alive_[idx]) {
+      session_alive_[idx] = false;
+      stats_.teardowns_accepted++;
+    }
+  } else {
+    // ICMP unreachable kills sessions indiscriminately: tear down one
+    // still-alive session per message (models per-flow errors).
+    for (std::uint32_t i = 0; i < session_alive_.size(); ++i) {
+      if (session_alive_[i]) {
+        session_alive_[i] = false;
+        stats_.teardowns_accepted++;
+        break;
+      }
+    }
+  }
+}
+
+std::uint32_t SessionHost::alive_sessions() const {
+  std::uint32_t alive = 0;
+  for (bool s : session_alive_) alive += s ? 1 : 0;
+  return alive;
+}
+
+}  // namespace adtc

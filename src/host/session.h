@@ -1,0 +1,53 @@
+// Long-lived-session endpoint for protocol-misuse experiments.
+//
+// Models the victim side of "misuse of protocols that make the victim host
+// seem to be temporarily unavailable due to faked protocol signalling
+// (e.g. sending ICMP unreachable messages or TCP reset packets)" (Sec. 2).
+// The host keeps N logical sessions to a server; a RST or ICMP
+// dest-unreachable that *claims* to come from the server kills the matching
+// session, exactly as a naive TCP stack would tear down its connection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/host.h"
+
+namespace adtc {
+
+struct SessionHostConfig {
+  Ipv4Address server;
+  std::uint16_t server_port = 80;
+  std::uint32_t session_count = 16;
+  /// Keepalive interval per session (generates observable traffic).
+  SimDuration keepalive_every = Milliseconds(500);
+};
+
+struct SessionHostStats {
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t teardowns_accepted = 0;  // sessions killed by RST/ICMP
+};
+
+class SessionHost : public Host {
+ public:
+  explicit SessionHost(SessionHostConfig config);
+
+  /// Establishes the sessions and starts keepalives.
+  void Start();
+
+  void HandlePacket(Packet&& packet) override;
+
+  std::uint32_t alive_sessions() const;
+  const SessionHostStats& stats() const { return stats_; }
+
+ private:
+  void SendKeepalives();
+
+  SessionHostConfig config_;
+  SessionHostStats stats_;
+  std::vector<bool> session_alive_;
+  std::uint16_t base_port_ = 20000;
+  bool started_ = false;
+};
+
+}  // namespace adtc

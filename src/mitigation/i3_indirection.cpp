@@ -1,0 +1,134 @@
+#include "mitigation/i3_indirection.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+std::uint64_t I3PackTxn(std::uint64_t trigger, std::uint64_t txn) {
+  return (trigger << 40) | (txn & ((1ULL << 40) - 1));
+}
+
+std::uint64_t I3UnpackTrigger(std::uint64_t packed) { return packed >> 40; }
+
+// --- I3Node ------------------------------------------------------------------
+
+void I3Node::InsertTrigger(std::uint64_t trigger, Ipv4Address server,
+                           std::uint16_t service_port) {
+  triggers_[trigger] = {server, service_port};
+}
+
+void I3Node::RemoveTrigger(std::uint64_t trigger) {
+  triggers_.erase(trigger);
+}
+
+void I3Node::HandlePacket(Packet&& packet) {
+  if (packet.proto == Protocol::kUdp && packet.dst_port == kI3Port) {
+    const std::uint64_t trigger = I3UnpackTrigger(packet.payload_hash);
+    const auto it = triggers_.find(trigger);
+    if (it == triggers_.end()) return;  // no such trigger: blackhole
+    // Proxy the request to the hidden server address.
+    Packet proxied = MakePacket(it->second.server, Protocol::kUdp,
+                                packet.size_bytes);
+    proxied.dst_port = it->second.port;
+    proxied.src_port = kI3ProxyPort;
+    proxied.klass = packet.klass;
+    const PacketSerial serial = net().NextSerial();
+    proxied.serial = serial;
+    proxied.true_origin = id();
+    proxied.sent_at = Now();
+    proxied.payload_hash = serial;
+    net().metrics().RecordSend(proxied);
+    pending_[serial] = {packet.payload_hash, packet.src};
+    forwarded_++;
+    SendPacket(std::move(proxied));
+    return;
+  }
+  // A reply from a server to a proxied request.
+  const auto it = pending_.find(packet.in_reply_to);
+  if (it == pending_.end()) return;
+  const auto [txn, client] = it->second;
+  pending_.erase(it);
+  Packet reply = MakePacket(client, Protocol::kUdp, packet.size_bytes);
+  reply.dst_port = kI3ReplyPort;
+  reply.payload_hash = txn;
+  reply.klass = packet.klass;
+  SendPacket(std::move(reply));
+}
+
+// --- I3Client ----------------------------------------------------------------
+
+void I3Client::Start(SimDuration after) {
+  running_ = true;
+  sim().ScheduleAfter(after, [this] { SendOne(); });
+  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
+                                               Milliseconds(50)),
+                         [this] {
+                           Sweep();
+                           return running_ || !outstanding_.empty();
+                         });
+}
+
+void I3Client::SendOne() {
+  if (!running_) return;
+  const std::uint64_t txn =
+      I3PackTxn(config_.trigger,
+                (static_cast<std::uint64_t>(id()) << 20) | next_txn_++);
+  Packet request = MakePacket(config_.i3_node, Protocol::kUdp, 64);
+  request.dst_port = kI3Port;
+  request.payload_hash = txn;
+  request.klass = TrafficClass::kLegitimate;
+  sent_++;
+  const SimTime now = Now();
+  outstanding_[txn] = {now, now + config_.timeout};
+  SendPacket(std::move(request));
+
+  const double gap_s =
+      net().rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
+  sim().ScheduleAfter(
+      std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
+                            Microseconds(1)),
+      [this] { SendOne(); });
+}
+
+void I3Client::HandlePacket(Packet&& packet) {
+  if (packet.proto != Protocol::kUdp || packet.dst_port != kI3ReplyPort) {
+    return;
+  }
+  const auto it = outstanding_.find(packet.payload_hash);
+  if (it == outstanding_.end()) return;
+  received_++;
+  latency_ms_.Add(ToMilliseconds(Now() - it->second.first));
+  outstanding_.erase(it);
+}
+
+void I3Client::Sweep() {
+  const SimTime now = Now();
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.second <= now) {
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- I3Perimeter --------------------------------------------------------------
+
+I3Perimeter::I3Perimeter(Ipv4Address server,
+                         std::vector<Ipv4Address> i3_nodes)
+    : server_(server) {
+  for (Ipv4Address node : i3_nodes) {
+    allowed_.Insert(Prefix::Host(node), true);
+  }
+  allowed_.Insert(NodePrefix(AddressNode(server)), true);
+}
+
+Verdict I3Perimeter::Process(Packet& packet, const RouterContext& ctx) {
+  (void)ctx;
+  if (packet.dst != server_) return Verdict::kForward;
+  if (allowed_.ContainsAddress(packet.src)) return Verdict::kForward;
+  blocked_++;
+  return Verdict::kDrop;
+}
+
+}  // namespace adtc

@@ -1,0 +1,83 @@
+#include "mitigation/ingress_filter.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+Verdict IngressFilter::Process(Packet& packet, const RouterContext& ctx) {
+  switch (ctx.in_kind) {
+    case LinkKind::kAccessUp: {
+      if (!access_allowed_.ContainsAddress(packet.src)) {
+        dropped_++;
+        return Verdict::kDrop;
+      }
+      break;
+    }
+    case LinkKind::kCustomerToProvider: {
+      const auto it = per_link_allowed_.find(ctx.in_link);
+      if (it != per_link_allowed_.end() &&
+          !it->second.ContainsAddress(packet.src)) {
+        dropped_++;
+        return Verdict::kDrop;
+      }
+      break;
+    }
+    default:
+      break;  // transit / peer / downstream traffic: never source-checked
+  }
+  passed_++;
+  return Verdict::kForward;
+}
+
+std::vector<std::unique_ptr<IngressFilter>> DeployIngressFiltering(
+    Network& net, const TopologyInfo& topo,
+    const std::vector<NodeId>& deploying) {
+  std::vector<std::unique_ptr<IngressFilter>> filters;
+  filters.reserve(deploying.size());
+  for (NodeId node : deploying) {
+    auto filter = std::make_unique<IngressFilter>(node);
+    // Directly attached hosts may only source the AS's own prefix.
+    filter->AllowFromAccess(NodePrefix(node));
+
+    // Each customer edge may only source its customer cone.
+    for (NodeId customer : topo.customers[node]) {
+      // The in-link at `node` from `customer` is customer's outgoing link
+      // toward `node`.
+      LinkId in_link = kInvalidLink;
+      for (const auto& [neighbour, link] : net.node(customer).neighbours) {
+        if (neighbour == node) {
+          in_link = link;
+          break;
+        }
+      }
+      if (in_link == kInvalidLink) continue;
+      std::vector<Prefix> cone_prefixes;
+      for (NodeId member : topo.CustomerCone(customer)) {
+        cone_prefixes.push_back(NodePrefix(member));
+      }
+      filter->AllowFromLink(in_link, cone_prefixes);
+    }
+
+    net.AddProcessor(node, filter.get());
+    filters.push_back(std::move(filter));
+  }
+  return filters;
+}
+
+std::vector<NodeId> SampleAses(std::size_t node_count, double fraction,
+                               Rng& rng) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  std::vector<NodeId> all(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    all[i] = static_cast<NodeId>(i);
+  }
+  for (std::size_t i = all.size(); i > 1; --i) {
+    std::swap(all[i - 1], all[rng.NextBelow(i)]);
+  }
+  all.resize(static_cast<std::size_t>(fraction *
+                                      static_cast<double>(node_count)));
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace adtc

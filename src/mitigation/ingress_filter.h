@@ -1,0 +1,66 @@
+// Classic ingress filtering (RFC 2267, Ferguson & Senie) — the proactive
+// baseline of Sec. 3.2.
+//
+// A deploying AS checks every packet entering from a customer edge
+// (directly attached hosts, or customer ASes) against the legitimate
+// source space behind that edge (the customer cone). Spoofed sources are
+// dropped at the first filtering AS they try to pass. Deployment is per
+// AS — experiment E3 sweeps the deploying fraction to reproduce the
+// Park & Lee "effective from ~20% coverage" shape.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "net/prefix_trie.h"
+#include "net/topo_gen.h"
+
+namespace adtc {
+
+class IngressFilter : public PacketProcessor {
+ public:
+  explicit IngressFilter(NodeId node) : node_(node) {}
+
+  /// Legitimate prefixes for traffic from directly attached hosts.
+  void AllowFromAccess(const Prefix& prefix) {
+    access_allowed_.Insert(prefix, true);
+  }
+
+  /// Legitimate prefixes for traffic arriving on a specific customer
+  /// in-link (the customer's cone).
+  void AllowFromLink(LinkId in_link, const std::vector<Prefix>& prefixes) {
+    auto& trie = per_link_allowed_[in_link];
+    for (const Prefix& prefix : prefixes) trie.Insert(prefix, true);
+  }
+
+  Verdict Process(Packet& packet, const RouterContext& ctx) override;
+  std::string_view name() const override { return "ingress-filter"; }
+
+  NodeId node() const { return node_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t passed() const { return passed_; }
+
+ private:
+  NodeId node_;
+  PrefixTrie<bool> access_allowed_;
+  std::unordered_map<LinkId, PrefixTrie<bool>> per_link_allowed_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+/// Installs ingress filtering at every AS in `deploying`, with allowed
+/// sets derived from the topology's provider/customer structure. The
+/// returned filters own the per-edge state; keep them alive while the
+/// world runs.
+std::vector<std::unique_ptr<IngressFilter>> DeployIngressFiltering(
+    Network& net, const TopologyInfo& topo,
+    const std::vector<NodeId>& deploying);
+
+/// Picks a deterministic random subset of all ASes of the given fraction.
+std::vector<NodeId> SampleAses(std::size_t node_count, double fraction,
+                               Rng& rng);
+
+}  // namespace adtc

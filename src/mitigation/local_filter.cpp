@@ -1,0 +1,45 @@
+#include "mitigation/local_filter.h"
+
+namespace adtc {
+
+LastHopFilter::LastHopFilter(Network& net, Server* victim)
+    : LastHopFilter(net, victim, Config()) {}
+
+LastHopFilter::LastHopFilter(Network& net, Server* victim, Config config)
+    : net_(net),
+      victim_(victim),
+      config_(config),
+      victim_addr_(victim->address()) {
+  net_.AddProcessor(victim->attachment_node(), this);
+}
+
+Status LastHopFilter::TryInstall(const MatchRule& rule) {
+  // Pushing a rule out needs the victim's own CPU (it must observe the
+  // attack, build the rule and speak to the router) — exactly what the
+  // flood is consuming.
+  if (victim_->CpuHeadroom() < config_.min_headroom) {
+    install_failures_++;
+    return ResourceExhausted(
+        "victim CPU exhausted; cannot configure last-hop rules");
+  }
+  rules_.push_back(rule);
+  return Status::Ok();
+}
+
+void LastHopFilter::ForceInstall(const MatchRule& rule) {
+  rules_.push_back(rule);
+}
+
+Verdict LastHopFilter::Process(Packet& packet, const RouterContext& ctx) {
+  (void)ctx;
+  if (packet.dst != victim_addr_) return Verdict::kForward;
+  for (const MatchRule& rule : rules_) {
+    if (rule.Matches(packet)) {
+      dropped_++;
+      return Verdict::kDrop;
+    }
+  }
+  return Verdict::kForward;
+}
+
+}  // namespace adtc

@@ -1,0 +1,62 @@
+// Victim-installed filtering at the last-hop router (Lakshminarayanan et
+// al., "Taming IP packet flooding attacks" [11] in the paper).
+//
+// "The authors of [11] propose that attacked hosts set filter rules
+//  limiting the traffic to specific ports at the last hop IP router ...
+//  An interesting open question is, whether a host is still able to
+//  configure filter rules, if its computing or memory resources are
+//  exhausted under a DDoS attack." (Sec. 3.1)
+//
+// That open question is the mechanism here: installing a rule costs the
+// victim CPU headroom. TryInstall() succeeds only while the victim still
+// has at least `min_headroom` of its CPU burst available — under a hard
+// flood the rules never make it in (experiment E5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/modules/match.h"
+#include "host/server.h"
+#include "net/network.h"
+
+namespace adtc {
+
+class LastHopFilter : public PacketProcessor {
+ public:
+  struct Config {
+    /// CPU-burst fraction the victim needs to push a rule out.
+    double min_headroom = 0.05;
+  };
+
+  /// Attaches at the victim's AS router; `victim` provides the headroom.
+  LastHopFilter(Network& net, Server* victim);
+  LastHopFilter(Network& net, Server* victim, Config config);
+
+  /// The victim asks its last-hop router to deny matching traffic.
+  /// Fails (kResourceExhausted) when the victim lacks the CPU to do so.
+  Status TryInstall(const MatchRule& rule);
+
+  /// Unconditional install (control-channel assumed out of band) — the
+  /// ablation arm of experiment E5.
+  void ForceInstall(const MatchRule& rule);
+
+  Verdict Process(Packet& packet, const RouterContext& ctx) override;
+  std::string_view name() const override { return "last-hop-filter"; }
+
+  std::size_t rule_count() const { return rules_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t install_failures() const { return install_failures_; }
+
+ private:
+  Network& net_;
+  Server* victim_;
+  Config config_;
+  Ipv4Address victim_addr_;
+  std::vector<MatchRule> rules_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t install_failures_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,202 @@
+#include "mitigation/overlay_sos.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+// --- OverlayNode -----------------------------------------------------------
+
+void OverlayNode::HandlePacket(Packet&& packet) {
+  if (packet.proto == Protocol::kUdp &&
+      packet.dst_port == kOverlayForwardPort) {
+    // Forward direction: remember where to send the reply, pass along.
+    reply_path_[packet.payload_hash] = packet.src;
+    ForwardRequest(packet);
+    return;
+  }
+  if (packet.proto == Protocol::kUdp &&
+      packet.dst_port == kOverlayReplyPort) {
+    // Reply travelling back down the chain.
+    ForwardReplyBack(packet.payload_hash, packet);
+    return;
+  }
+  // Servlet only: reply from the target to a request we proxied.
+  const auto it = target_requests_.find(packet.in_reply_to);
+  if (it != target_requests_.end()) {
+    const std::uint64_t txn = it->second;
+    target_requests_.erase(it);
+    ForwardReplyBack(txn, packet);
+  }
+}
+
+void OverlayNode::ForwardRequest(const Packet& request) {
+  forwarded_++;
+  if (role_ == Role::kServlet) {
+    // Last overlay hop: issue the real service request to the target.
+    // Pre-stamp the serial so the target's reply can be correlated.
+    Packet to_target = MakePacket(target_, Protocol::kUdp, request.size_bytes);
+    to_target.dst_port = target_port_;
+    to_target.src_port = kServletProxyPort;
+    to_target.klass = request.klass;
+    const PacketSerial serial = net().NextSerial();
+    to_target.serial = serial;
+    to_target.true_origin = id();
+    to_target.sent_at = Now();
+    to_target.payload_hash = serial;
+    net().metrics().RecordSend(to_target);
+    target_requests_[serial] = request.payload_hash;
+    SendPacket(std::move(to_target));
+    return;
+  }
+  if (next_hops_.empty()) return;
+  const Ipv4Address next = next_hops_[round_robin_++ % next_hops_.size()];
+  Packet forward = MakePacket(next, Protocol::kUdp, request.size_bytes);
+  forward.dst_port = kOverlayForwardPort;
+  forward.payload_hash = request.payload_hash;  // txn id rides along
+  forward.klass = request.klass;
+  SendPacket(std::move(forward));
+}
+
+void OverlayNode::ForwardReplyBack(std::uint64_t txn, const Packet& reply) {
+  const auto it = reply_path_.find(txn);
+  if (it == reply_path_.end()) return;
+  const Ipv4Address back = it->second;
+  reply_path_.erase(it);
+  Packet packet = MakePacket(back, Protocol::kUdp, reply.size_bytes);
+  packet.dst_port = kOverlayReplyPort;
+  packet.payload_hash = txn;
+  packet.klass = reply.klass;
+  SendPacket(std::move(packet));
+}
+
+// --- SosClient ---------------------------------------------------------------
+
+void SosClient::Start(SimDuration after) {
+  running_ = true;
+  sim().ScheduleAfter(after, [this] { SendOne(); });
+  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
+                                               Milliseconds(50)),
+                         [this] {
+                           Sweep();
+                           return running_ || !outstanding_.empty();
+                         });
+}
+
+void SosClient::SendOne() {
+  if (!running_) return;
+  if (!config_.soaps.empty()) {
+    // Each request may enter via a different SOAP (resilience against a
+    // flooded access point).
+    const Ipv4Address soap =
+        config_.soaps[net().rng().NextBelow(config_.soaps.size())];
+    const std::uint64_t txn =
+        (static_cast<std::uint64_t>(id()) << 32) | next_txn_++;
+    Packet request = MakePacket(soap, Protocol::kUdp, config_.request_bytes);
+    request.dst_port = kOverlayForwardPort;
+    request.payload_hash = txn;
+    request.klass = TrafficClass::kLegitimate;
+    sent_++;
+    const SimTime now = Now();
+    outstanding_[txn] = {now, now + config_.timeout};
+    SendPacket(std::move(request));
+  }
+  const double gap_s =
+      net().rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
+  sim().ScheduleAfter(
+      std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
+                            Microseconds(1)),
+      [this] { SendOne(); });
+}
+
+void SosClient::HandlePacket(Packet&& packet) {
+  if (packet.proto != Protocol::kUdp ||
+      packet.dst_port != kOverlayReplyPort) {
+    return;
+  }
+  const auto it = outstanding_.find(packet.payload_hash);
+  if (it == outstanding_.end()) return;
+  received_++;
+  latency_ms_.Add(ToMilliseconds(Now() - it->second.first));
+  outstanding_.erase(it);
+}
+
+void SosClient::Sweep() {
+  const SimTime now = Now();
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.second <= now) {
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- PerimeterFilter -----------------------------------------------------------
+
+PerimeterFilter::PerimeterFilter(Ipv4Address target,
+                                 std::vector<Ipv4Address> servlets)
+    : target_(target) {
+  for (Ipv4Address servlet : servlets) {
+    allowed_sources_.Insert(Prefix::Host(servlet), true);
+  }
+  // The target's own AS (local management, same-site hosts) stays able
+  // to reach it.
+  allowed_sources_.Insert(NodePrefix(AddressNode(target)), true);
+}
+
+Verdict PerimeterFilter::Process(Packet& packet, const RouterContext& ctx) {
+  (void)ctx;
+  if (packet.dst != target_) return Verdict::kForward;
+  if (allowed_sources_.ContainsAddress(packet.src)) return Verdict::kForward;
+  blocked_++;
+  return Verdict::kDrop;
+}
+
+// --- SosSystem --------------------------------------------------------------
+
+SosSystem::SosSystem(Network& net, const TopologyInfo& topo, Server* target,
+                     Config config) {
+  const Ipv4Address target_addr = target->address();
+  const std::uint16_t target_port = target->config().service_port;
+
+  auto pick_stub = [&]() {
+    return topo.stub_nodes[net.rng().NextBelow(topo.stub_nodes.size())];
+  };
+
+  std::vector<Ipv4Address> beacons;
+  std::vector<OverlayNode*> servlet_nodes;
+  for (std::uint32_t i = 0; i < config.servlet_count; ++i) {
+    auto* servlet = SpawnHost<OverlayNode>(net, pick_stub(),
+                                           config.overlay_access,
+                                           OverlayNode::Role::kServlet,
+                                           target_addr, target_port);
+    nodes_.push_back(servlet);
+    servlet_nodes.push_back(servlet);
+    servlets_.push_back(servlet->address());
+  }
+  std::vector<OverlayNode*> beacon_nodes;
+  for (std::uint32_t i = 0; i < config.beacon_count; ++i) {
+    auto* beacon = SpawnHost<OverlayNode>(net, pick_stub(),
+                                          config.overlay_access,
+                                          OverlayNode::Role::kBeacon,
+                                          target_addr, target_port);
+    beacon->SetNextHops(servlets_);
+    nodes_.push_back(beacon);
+    beacon_nodes.push_back(beacon);
+    beacons.push_back(beacon->address());
+  }
+  for (std::uint32_t i = 0; i < config.soap_count; ++i) {
+    auto* soap = SpawnHost<OverlayNode>(net, pick_stub(),
+                                        config.overlay_access,
+                                        OverlayNode::Role::kSoap,
+                                        target_addr, target_port);
+    soap->SetNextHops(beacons);
+    nodes_.push_back(soap);
+    soaps_.push_back(soap->address());
+  }
+
+  perimeter_ = std::make_unique<PerimeterFilter>(target_addr, servlets_);
+  net.AddProcessor(AddressNode(target_addr), perimeter_.get());
+}
+
+}  // namespace adtc

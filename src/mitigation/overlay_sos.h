@@ -1,0 +1,157 @@
+// SOS — Secure Overlay Services (Keromytis et al.), with Mayday as its
+// generalisation: the proactive overlay baseline of Sec. 3.2.
+//
+// Architecture implemented:
+//   client -> SOAP (secure overlay access point) -> beacon -> secret
+//   servlet -> target, with a perimeter filter at the target's AS router
+//   admitting only the secret servlets' addresses. Replies retrace the
+//   overlay chain. Attack traffic aimed directly at the target dies at
+//   the perimeter; the overlay's cost is latency stretch and per-member
+//   trust state — the quantities experiment E4 reports.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "host/host.h"
+#include "host/server.h"
+#include "net/prefix_trie.h"
+#include "net/topo_gen.h"
+
+namespace adtc {
+
+inline constexpr std::uint16_t kOverlayForwardPort = 8000;
+inline constexpr std::uint16_t kOverlayReplyPort = 8001;
+/// Source port servlets use toward the target, so target replies are
+/// distinguishable from overlay-forwarded requests.
+inline constexpr std::uint16_t kServletProxyPort = 8002;
+
+/// One overlay node; roles are assigned by SosSystem.
+class OverlayNode : public Host {
+ public:
+  enum class Role : std::uint8_t { kSoap, kBeacon, kServlet };
+
+  OverlayNode(Role role, Ipv4Address target, std::uint16_t target_port)
+      : role_(role), target_(target), target_port_(target_port) {}
+
+  void SetNextHops(std::vector<Ipv4Address> next) {
+    next_hops_ = std::move(next);
+  }
+  Role role() const { return role_; }
+
+  void HandlePacket(Packet&& packet) override;
+
+  std::uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  void ForwardRequest(const Packet& request);
+  void ForwardReplyBack(std::uint64_t txn, const Packet& reply);
+
+  Role role_;
+  Ipv4Address target_;
+  std::uint16_t target_port_;
+  std::vector<Ipv4Address> next_hops_;
+  std::uint64_t round_robin_ = 0;
+  std::uint64_t forwarded_ = 0;
+
+  /// txn id -> who to send the reply back to.
+  std::unordered_map<std::uint64_t, Ipv4Address> reply_path_;
+  /// servlet only: serial of request sent to target -> txn id.
+  std::unordered_map<PacketSerial, std::uint64_t> target_requests_;
+};
+
+/// Client that reaches the protected service through the overlay.
+class SosClient : public Host {
+ public:
+  struct Config {
+    std::vector<Ipv4Address> soaps;
+    double request_rate = 10.0;
+    SimDuration timeout = Seconds(2);
+    std::uint32_t request_bytes = 64;
+  };
+
+  explicit SosClient(Config config) : config_(std::move(config)) {}
+
+  void Start(SimDuration after = 0);
+  void Stop() { running_ = false; }
+  void HandlePacket(Packet&& packet) override;
+
+  std::uint64_t requests_sent() const { return sent_; }
+  std::uint64_t responses_received() const { return received_; }
+  const SummaryStats& latency_ms() const { return latency_ms_; }
+  double SuccessRatio() const {
+    return sent_ ? static_cast<double>(received_) /
+                       static_cast<double>(sent_)
+                 : 0.0;
+  }
+
+ private:
+  void SendOne();
+  void Sweep();
+
+  Config config_;
+  bool running_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t next_txn_ = 1;
+  SummaryStats latency_ms_;
+  std::unordered_map<std::uint64_t, std::pair<SimTime, SimTime>>
+      outstanding_;  // txn -> (sent_at, expires_at)
+};
+
+/// Perimeter filter at the target's AS: only secret servlets (and local
+/// hosts of the same AS) may reach the target address.
+class PerimeterFilter : public PacketProcessor {
+ public:
+  PerimeterFilter(Ipv4Address target, std::vector<Ipv4Address> servlets);
+  Verdict Process(Packet& packet, const RouterContext& ctx) override;
+  std::string_view name() const override { return "sos-perimeter"; }
+
+  std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  Ipv4Address target_;
+  PrefixTrie<bool> allowed_sources_;
+  std::uint64_t blocked_ = 0;
+};
+
+/// Builds and wires a complete SOS deployment for one protected server.
+class SosSystem {
+ public:
+  struct Config {
+    std::uint32_t soap_count = 4;
+    std::uint32_t beacon_count = 4;
+    std::uint32_t servlet_count = 2;
+    LinkParams overlay_access{MegabitsPerSecond(100), Milliseconds(2),
+                              256 * 1024};
+  };
+
+  /// Spawns overlay nodes on random stub ASes and installs the perimeter
+  /// filter at the target's AS router.
+  SosSystem(Network& net, const TopologyInfo& topo, Server* target,
+            Config config);
+
+  const std::vector<Ipv4Address>& soap_addresses() const { return soaps_; }
+  const std::vector<Ipv4Address>& servlet_addresses() const {
+    return servlets_;
+  }
+  PerimeterFilter* perimeter() { return perimeter_.get(); }
+
+  std::size_t overlay_size() const { return nodes_.size(); }
+  /// Trust relationships each protected-communication group needs:
+  /// every member must keep keys with every overlay node (the
+  /// management-cost quantity of Sec. 3.2).
+  static std::uint64_t TrustRelationships(std::uint64_t members,
+                                          std::uint64_t overlay_size) {
+    return members * overlay_size;
+  }
+
+ private:
+  std::vector<OverlayNode*> nodes_;
+  std::vector<Ipv4Address> soaps_;
+  std::vector<Ipv4Address> servlets_;
+  std::unique_ptr<PerimeterFilter> perimeter_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,182 @@
+#include "mitigation/pushback.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+PushbackSystem::PushbackSystem(Network& net, PushbackConfig config)
+    : net_(net), config_(config) {
+  net_.SetQueueDropObserver(
+      [this](const Packet& packet, LinkId link) { OnQueueDrop(packet, link); });
+}
+
+PushbackSystem::~PushbackSystem() {
+  net_.SetQueueDropObserver(nullptr);
+}
+
+void PushbackSystem::EnableOn(NodeId node) {
+  if (limiters_.contains(node)) return;
+  auto limiter = std::make_unique<Limiter>(this);
+  net_.AddProcessor(node, limiter.get());
+  limiters_.emplace(node, std::move(limiter));
+}
+
+void PushbackSystem::EnableFraction(double fraction) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  for (NodeId node = 0; node < net_.node_count(); ++node) {
+    if (net_.rng().NextBool(fraction)) EnableOn(node);
+  }
+}
+
+bool PushbackSystem::EnabledOn(NodeId node) const {
+  return limiters_.contains(node);
+}
+
+void PushbackSystem::Start() {
+  if (started_) return;
+  started_ = true;
+  net_.sim().SchedulePeriodic(config_.window, [this] {
+    MonitorTick();
+    return true;
+  });
+}
+
+void PushbackSystem::OnQueueDrop(const Packet& packet, LinkId link_id) {
+  // Drops are attributed to the router that owns the congested out-link;
+  // a router only reacts if it speaks the protocol.
+  const Link& link = net_.link(link_id);
+  if (link.from.is_host) return;
+  const NodeId node = link.from.id;
+  if (!limiters_.contains(node)) return;
+  window_drops_[node][packet.src.bits() & PrefixMask(kNodePrefixLength)]++;
+}
+
+void PushbackSystem::MonitorTick() {
+  const SimTime now = net_.sim().Now();
+
+  // Expire stale rules.
+  for (auto& [node, limiter] : limiters_) {
+    (void)node;
+    for (auto it = limiter->rules.begin(); it != limiter->rules.end();) {
+      if (it->second.expires_at <= now) {
+        it = limiter->rules.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  for (auto& [node, drops] : window_drops_) {
+    std::uint64_t total = 0;
+    for (const auto& [prefix, count] : drops) total += count;
+    if (total < config_.drop_count_trigger) continue;
+    stats_.reactions++;
+
+    // Top-k aggregates by dropped-packet count (the paper's "class of
+    // source addresses with the highest dropped packet count").
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> ranked(
+        drops.begin(), drops.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;  // deterministic ties
+              });
+    const std::size_t k = std::min(config_.top_k, ranked.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      InstallRule(node, ranked[i].first, now, config_.max_depth);
+    }
+  }
+  window_drops_.clear();
+}
+
+void PushbackSystem::InstallRule(NodeId node, std::uint32_t prefix_base,
+                                 SimTime now, int remaining_depth) {
+  auto it = limiters_.find(node);
+  if (it == limiters_.end()) return;
+  auto& rule = it->second->rules[prefix_base];
+  rule.expires_at = net_.sim().Now() + config_.rule_timeout;
+  if (rule.refilled_at == 0) {
+    rule.tokens = config_.limit_pps;
+    rule.refilled_at = net_.sim().Now();
+  }
+  stats_.rules_installed++;
+
+  if (remaining_depth <= 0) return;
+  // Inform the upstream router on the path toward the aggregate's origin.
+  const NodeId origin = AddressNode(Ipv4Address(prefix_base));
+  if (origin >= net_.node_count() || origin == node) return;
+  const NodeId upstream = net_.NextHop(node, origin);
+  if (upstream == kInvalidNode || upstream == node) return;
+  stats_.messages_sent++;
+  if (!limiters_.contains(upstream)) {
+    // "If a router on a path between attacker(s) and victim does not
+    //  speak the protocol, the pushback of filter rules stops."
+    stats_.propagation_blocked++;
+    return;
+  }
+  net_.sim().ScheduleAfter(
+      config_.message_delay,
+      [this, upstream, prefix_base, remaining_depth] {
+        InstallRule(upstream, prefix_base, net_.sim().Now(),
+                    remaining_depth - 1);
+      });
+  (void)now;
+}
+
+Verdict PushbackSystem::Limiter::Process(Packet& packet,
+                                         const RouterContext& ctx) {
+  if (rules.empty()) return Verdict::kForward;
+  const std::uint32_t base = packet.src.bits() & PrefixMask(kNodePrefixLength);
+  const auto it = rules.find(base);
+  if (it == rules.end()) return Verdict::kForward;
+  LimitRule& rule = it->second;
+  const double elapsed_s =
+      static_cast<double>(ctx.now - rule.refilled_at) / 1e9;
+  rule.tokens = std::min(system_->config_.limit_pps,
+                         rule.tokens + elapsed_s * system_->config_.limit_pps);
+  rule.refilled_at = ctx.now;
+  if (rule.tokens >= 1.0) {
+    rule.tokens -= 1.0;
+    return Verdict::kForward;
+  }
+  system_->stats_.packets_rate_limited++;
+  return Verdict::kDrop;
+}
+
+std::vector<Prefix> PushbackSystem::ActiveLimitsAt(NodeId node) const {
+  std::vector<Prefix> out;
+  const auto it = limiters_.find(node);
+  if (it == limiters_.end()) return out;
+  for (const auto& [base, rule] : it->second->rules) {
+    (void)rule;
+    out.emplace_back(Ipv4Address(base), kNodePrefixLength);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PushbackSystem::CollateralAggregates(
+    const std::vector<NodeId>& agent_nodes) const {
+  std::vector<bool> has_agent;
+  for (NodeId node : agent_nodes) {
+    if (has_agent.size() <= node) has_agent.resize(node + 1, false);
+    has_agent[node] = true;
+  }
+  std::size_t collateral = 0;
+  std::vector<std::uint32_t> seen;
+  for (const auto& [node, limiter] : limiters_) {
+    (void)node;
+    for (const auto& [base, rule] : limiter->rules) {
+      (void)rule;
+      if (std::find(seen.begin(), seen.end(), base) != seen.end()) continue;
+      seen.push_back(base);
+      const NodeId origin = AddressNode(Ipv4Address(base));
+      const bool agent_home =
+          origin < has_agent.size() ? has_agent[origin] : false;
+      if (!agent_home) collateral++;
+    }
+  }
+  return collateral;
+}
+
+}  // namespace adtc

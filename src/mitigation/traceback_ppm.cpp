@@ -1,0 +1,60 @@
+#include "mitigation/traceback_ppm.h"
+
+namespace adtc {
+
+PpmSystem::PpmSystem(Network& net) : PpmSystem(net, Config()) {}
+
+PpmSystem::PpmSystem(Network& net, Config config)
+    : net_(net), config_(config) {}
+
+void PpmSystem::EnableOn(NodeId node) {
+  auto marker = std::make_unique<Marker>(this, node);
+  net_.AddProcessor(node, marker.get());
+  markers_.push_back(std::move(marker));
+}
+
+void PpmSystem::EnableAll() {
+  for (NodeId node = 0; node < net_.node_count(); ++node) EnableOn(node);
+}
+
+Verdict PpmSystem::Marker::Process(Packet& packet,
+                                   const RouterContext& ctx) {
+  (void)ctx;
+  Rng& rng = system_->net_.rng();
+  if (rng.NextBool(system_->config_.marking_probability)) {
+    // Start a new edge sample at this router.
+    packet.ppm.edge_start = node_;
+    packet.ppm.edge_end = kInvalidNode;
+    packet.ppm.distance = 0;
+    packet.ppm.valid = true;
+  } else if (packet.ppm.valid) {
+    if (packet.ppm.distance == 0 && packet.ppm.edge_end == kInvalidNode) {
+      packet.ppm.edge_end = node_;
+    }
+    if (packet.ppm.distance < 255) packet.ppm.distance++;
+  }
+  return Verdict::kForward;
+}
+
+void PpmSystem::Observe(const Packet& packet) {
+  if (!packet.ppm.valid) return;
+  marked_observed_++;
+  if (packet.ppm.edge_start == kInvalidNode) return;
+  edge_starts_.insert(packet.ppm.edge_start);
+  if (packet.ppm.edge_end != kInvalidNode) {
+    edges_[{packet.ppm.edge_start, packet.ppm.edge_end}]++;
+    edge_ends_.insert(packet.ppm.edge_end);
+  }
+}
+
+std::vector<NodeId> PpmSystem::InferredOrigins() const {
+  // Edge-start routers that never appear as an edge end had nothing
+  // marked upstream of them: they are adjacent to the traffic's entry.
+  std::vector<NodeId> origins;
+  for (NodeId start : edge_starts_) {
+    if (!edge_ends_.contains(start)) origins.push_back(start);
+  }
+  return origins;
+}
+
+}  // namespace adtc

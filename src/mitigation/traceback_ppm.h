@@ -1,0 +1,63 @@
+// Probabilistic packet marking traceback (Savage et al., edge sampling) —
+// the other reactive traceback baseline of Sec. 3.1.
+//
+// Participating routers overwrite a mark field with probability p (start
+// of a new edge) or complete/extend an existing mark. The victim collects
+// marks from received traffic and reconstructs the edge graph; inferred
+// origins are edge-start routers that never appear as an edge end.
+// As with SPIE, a reflector attack makes PPM converge on the
+// *reflectors'* paths, not the agents'.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/network.h"
+
+namespace adtc {
+
+class PpmSystem {
+ public:
+  struct Config {
+    double marking_probability = 0.04;  // Savage et al.'s p = 1/25
+  };
+
+  explicit PpmSystem(Network& net);
+  PpmSystem(Network& net, Config config);
+
+  void EnableOn(NodeId node);
+  void EnableAll();
+
+  /// Victim side: feed every received (suspicious) packet.
+  void Observe(const Packet& packet);
+
+  /// Edge-graph reconstruction from the observed marks.
+  std::vector<NodeId> InferredOrigins() const;
+  std::size_t observed_marks() const { return marked_observed_; }
+  std::size_t distinct_edges() const { return edges_.size(); }
+
+ private:
+  class Marker : public PacketProcessor {
+   public:
+    Marker(PpmSystem* system, NodeId node) : system_(system), node_(node) {}
+    Verdict Process(Packet& packet, const RouterContext& ctx) override;
+    std::string_view name() const override { return "ppm-marker"; }
+
+   private:
+    PpmSystem* system_;
+    NodeId node_;
+  };
+
+  Network& net_;
+  Config config_;
+  std::vector<std::unique_ptr<Marker>> markers_;
+  /// Observed (edge_start, edge_end) pairs with sample counts.
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> edges_;
+  std::set<NodeId> edge_starts_;
+  std::set<NodeId> edge_ends_;
+  std::size_t marked_observed_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,46 @@
+#include "mitigation/traceback_spie.h"
+
+namespace adtc {
+
+SpieSystem::SpieSystem(Network& net, Config config)
+    : net_(net), config_(config) {}
+
+void SpieSystem::EnableOn(NodeId node) {
+  if (collectors_.contains(node)) return;
+  auto collector = std::make_unique<Collector>(config_);
+  net_.AddProcessor(node, collector.get());
+  collectors_.emplace(node, std::move(collector));
+}
+
+void SpieSystem::EnableAll() {
+  for (NodeId node = 0; node < net_.node_count(); ++node) EnableOn(node);
+}
+
+TraceResult SpieSystem::Trace(const Packet& packet,
+                              NodeId victim_node) const {
+  const std::uint64_t digest = PacketDigest(packet);
+  return ReconstructOrigins(net_, victim_node, [this, digest](NodeId node) {
+    const auto it = collectors_.find(node);
+    return it != collectors_.end() && it->second->store_.Saw(digest);
+  });
+}
+
+std::size_t SpieSystem::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [node, collector] : collectors_) {
+    (void)node;
+    total += collector->store_.MemoryBytes();
+  }
+  return total;
+}
+
+std::uint64_t SpieSystem::digests_stored() const {
+  std::uint64_t total = 0;
+  for (const auto& [node, collector] : collectors_) {
+    (void)node;
+    total += collector->store_.digests_stored();
+  }
+  return total;
+}
+
+}  // namespace adtc

@@ -1,0 +1,63 @@
+// SPIE — hash-based IP traceback (Snoeren et al.), the reactive baseline
+// of Sec. 3.1. Every participating router keeps time-sliced Bloom digests
+// of all packets it forwarded; a victim presents a received packet and
+// the system walks the topology backwards along routers whose digests
+// contain it.
+//
+// The decisive property experiment E1 demonstrates: under a reflector
+// attack the victim's packets were *emitted by reflectors*, so the trace
+// terminates at the reflector's AS — "traceback mechanisms will yield a
+// wrong attack source — the reflectors — ... if DDoS attacks involve
+// reflectors" (Sec. 3.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/modules/traceback.h"
+#include "net/network.h"
+#include "net/reverse_path.h"
+
+namespace adtc {
+
+class SpieSystem {
+ public:
+  using Config = TracebackStoreModule::Config;
+
+  explicit SpieSystem(Network& net, Config config = Config());
+
+  /// Participates router `node` (collector on its datapath).
+  void EnableOn(NodeId node);
+  void EnableAll();
+  bool EnabledOn(NodeId node) const { return collectors_.contains(node); }
+
+  /// Reconstructs the attack graph for a packet received at
+  /// `victim_node`. Origins are the leaves (see net/reverse_path.h).
+  TraceResult Trace(const Packet& packet, NodeId victim_node) const;
+
+  std::size_t MemoryBytes() const;
+  std::uint64_t digests_stored() const;
+
+ private:
+  /// Datapath element: records every transiting packet's digest.
+  class Collector : public PacketProcessor {
+   public:
+    explicit Collector(Config config) : store_(config) {}
+    Verdict Process(Packet& packet, const RouterContext& ctx) override {
+      DeviceContext device_ctx;
+      device_ctx.now = ctx.now;
+      store_.OnPacket(packet, device_ctx);
+      return Verdict::kForward;
+    }
+    std::string_view name() const override { return "spie-collector"; }
+    TracebackStoreModule store_;
+  };
+
+  Network& net_;
+  Config config_;
+  std::unordered_map<NodeId, std::unique_ptr<Collector>> collectors_;
+};
+
+}  // namespace adtc

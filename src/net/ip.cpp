@@ -1,0 +1,91 @@
+#include "net/ip.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+
+namespace adtc {
+
+std::string Ipv4Address::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (bits_ >> 24) & 0xff,
+                (bits_ >> 16) & 0xff, (bits_ >> 8) & 0xff, bits_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t bits = 0;
+  const char* ptr = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(ptr, end, value);
+    if (ec != std::errc() || value > 255) return std::nullopt;
+    bits = (bits << 8) | value;
+    ptr = next;
+    if (octet < 3) {
+      if (ptr == end || *ptr != '.') return std::nullopt;
+      ++ptr;
+    }
+  }
+  if (ptr != end) return std::nullopt;
+  return Ipv4Address(bits);
+}
+
+Prefix::Prefix(Ipv4Address addr, int length)
+    : addr_(Ipv4Address(addr.bits() & PrefixMask(length))), length_(length) {
+  assert(length >= 0 && length <= 32);
+}
+
+bool Prefix::Contains(Ipv4Address addr) const {
+  return (addr.bits() & PrefixMask(length_)) == addr_.bits();
+}
+
+bool Prefix::Covers(const Prefix& other) const {
+  return other.length_ >= length_ && Contains(other.addr_);
+}
+
+std::string Prefix::ToString() const {
+  return addr_.ToString() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::Parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  const std::string_view len_text = text.substr(slash + 1);
+  auto [next, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc() || next != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, length);
+}
+
+Prefix NodePrefix(NodeId node) {
+  return Prefix(Ipv4Address(static_cast<std::uint32_t>(node) << kHostBits),
+                kNodePrefixLength);
+}
+
+Ipv4Address RouterAddress(NodeId node) {
+  return Ipv4Address((static_cast<std::uint32_t>(node) << kHostBits) |
+                     (kHostsPerNode + 1));
+}
+
+Ipv4Address HostAddress(NodeId node, std::uint32_t slot) {
+  assert(slot >= 1 && slot <= kHostsPerNode);
+  return Ipv4Address((static_cast<std::uint32_t>(node) << kHostBits) | slot);
+}
+
+NodeId AddressNode(Ipv4Address addr) {
+  return static_cast<NodeId>(addr.bits() >> kHostBits);
+}
+
+std::uint32_t AddressSlot(Ipv4Address addr) {
+  return addr.bits() & ((1u << kHostBits) - 1);
+}
+
+}  // namespace adtc

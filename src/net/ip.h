@@ -1,0 +1,95 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// The simulator allocates addresses deterministically: the node (router)
+// with dense id N owns the /20 prefix whose top 20 bits equal N, and hosts
+// attached to it occupy the 4094 low slots. This keeps routing arithmetic
+// O(1) while ownership matching in the traffic-control plane still uses
+// real longest-prefix matching over arbitrary CIDR prefixes (PrefixTrie).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.h"
+
+namespace adtc {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() : bits_(0) {}
+  constexpr explicit Ipv4Address(std::uint32_t bits) : bits_(bits) {}
+
+  constexpr std::uint32_t bits() const { return bits_; }
+
+  /// Dotted-quad "a.b.c.d".
+  std::string ToString() const;
+
+  /// Parses dotted-quad; nullopt on malformed input.
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t bits_;
+};
+
+/// CIDR prefix: address + mask length in [0, 32].
+class Prefix {
+ public:
+  constexpr Prefix() : addr_(), length_(0) {}
+  /// Host bits of `addr` below the mask are zeroed.
+  Prefix(Ipv4Address addr, int length);
+
+  Ipv4Address address() const { return addr_; }
+  int length() const { return length_; }
+
+  bool Contains(Ipv4Address addr) const;
+  /// True if `other` is fully inside this prefix (same or longer mask).
+  bool Covers(const Prefix& other) const;
+
+  std::string ToString() const;  // "a.b.c.d/len"
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  /// /0 — matches everything.
+  static Prefix Any() { return Prefix(Ipv4Address(0), 0); }
+  /// /32 host route.
+  static Prefix Host(Ipv4Address addr) { return Prefix(addr, 32); }
+
+  auto operator<=>(const Prefix&) const = default;
+
+ private:
+  Ipv4Address addr_;
+  int length_;
+};
+
+/// Bitmask with the top `length` bits set (length in [0,32]).
+constexpr std::uint32_t PrefixMask(int length) {
+  return length == 0 ? 0u : ~0u << (32 - length);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator address plan: node N owns the /20 at (N << 12).
+
+inline constexpr int kNodePrefixLength = 20;
+inline constexpr int kHostBits = 32 - kNodePrefixLength;
+inline constexpr std::uint32_t kHostsPerNode = (1u << kHostBits) - 2;
+
+/// The /20 prefix owned by a node.
+Prefix NodePrefix(NodeId node);
+
+/// Address of the node's own router interface (slot 0... we use slot 1).
+Ipv4Address RouterAddress(NodeId node);
+
+/// Address of host slot `slot` (1-based, <= kHostsPerNode) under a node.
+Ipv4Address HostAddress(NodeId node, std::uint32_t slot);
+
+/// Node that owns this address under the simulator address plan.
+NodeId AddressNode(Ipv4Address addr);
+
+/// Host slot within the owning node (0 = router interface).
+std::uint32_t AddressSlot(Ipv4Address addr);
+
+}  // namespace adtc

@@ -1,0 +1,76 @@
+// Unidirectional link model: fixed rate, propagation delay and a drop-tail
+// byte buffer. Serialisation is modelled exactly (busy-until bookkeeping),
+// so a flooded uplink exhibits queueing delay growth followed by loss —
+// the congestion behaviour DDoS experiments depend on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+/// Business relationship of a link, viewed in its transmission direction.
+/// The *receiving* router uses this to classify where a packet came from
+/// (e.g. ingress filtering and the anti-spoof module act only on traffic
+/// arriving from customer/access edges, never on transit traffic).
+enum class LinkKind : std::uint8_t {
+  kCustomerToProvider,  // stub/customer AS -> its provider
+  kProviderToCustomer,  // provider -> customer AS
+  kPeer,                // settlement-free peering between transit ASes
+  kAccessUp,            // end host -> its first-hop router
+  kAccessDown,          // first-hop router -> end host
+};
+
+std::string_view LinkKindName(LinkKind kind);
+
+struct LinkParams {
+  BitRate rate = MegabitsPerSecond(100);
+  SimDuration delay = Milliseconds(5);
+  /// Drop-tail buffer in bytes (content waiting for or in serialisation).
+  std::int64_t buffer_bytes = 256 * 1024;
+};
+
+/// One endpoint of a link: a router node or an attached host.
+struct LinkTarget {
+  bool is_host = false;
+  std::uint32_t id = kInvalidNode;  // NodeId or HostId depending on is_host
+
+  static LinkTarget Node(NodeId node) { return {false, node}; }
+  static LinkTarget Host(HostId host) { return {true, host}; }
+};
+
+struct LinkStats {
+  std::uint64_t forwarded_packets = 0;
+  std::uint64_t forwarded_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  /// Forwarded bytes split by ground-truth class (measurement only).
+  std::array<std::uint64_t, 5> forwarded_bytes_by_class{};
+  /// Total time the transmitter was serialising (utilisation numerator).
+  SimDuration busy_time = 0;
+
+  double Utilisation(SimDuration elapsed) const {
+    return elapsed > 0 ? static_cast<double>(busy_time) /
+                             static_cast<double>(elapsed)
+                       : 0.0;
+  }
+};
+
+/// Link state. Owned by Network; all behaviour lives in Network so the
+/// hot path stays branch-light and free of virtual dispatch.
+struct Link {
+  LinkTarget from;
+  LinkTarget to;
+  LinkKind kind = LinkKind::kPeer;
+  LinkParams params;
+
+  SimTime busy_until = 0;   // when the transmitter frees up
+  std::int64_t queued_bytes = 0;
+  LinkStats stats;
+};
+
+}  // namespace adtc

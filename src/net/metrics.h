@@ -1,0 +1,93 @@
+// World-level measurement counters.
+//
+// All quantities are derived from ground-truth packet labels, so they are
+// exact (no sampling). The experiment harness reads these after a run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+enum class DropReason : std::uint8_t {
+  kQueueFull = 0,
+  kTtlExpired,
+  kFiltered,      // dropped by a PacketProcessor (mitigation/device)
+  kNoRoute,
+  kNoHost,
+  kHostDown,
+  kHostOverload,  // host delivered but refused for lack of resources
+  kCount_,
+};
+
+std::string_view DropReasonName(DropReason reason);
+
+inline constexpr std::size_t kTrafficClassCount = 5;
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kCount_);
+
+struct Metrics {
+  std::array<std::uint64_t, kTrafficClassCount> packets_sent{};
+  std::array<std::uint64_t, kTrafficClassCount> packets_delivered{};
+  std::array<std::uint64_t, kTrafficClassCount> bytes_sent{};
+  std::array<std::uint64_t, kTrafficClassCount> bytes_delivered{};
+  std::array<std::array<std::uint64_t, kDropReasonCount>, kTrafficClassCount>
+      packets_dropped{};
+
+  /// bytes x links traversed by attack+reflected traffic: the "network
+  /// resources wasted for transporting attack traffic around the globe"
+  /// quantity of Sec. 6.
+  std::uint64_t attack_byte_hops = 0;
+  std::uint64_t legit_byte_hops = 0;
+
+  /// Hop count already travelled when a filter dropped an attack packet
+  /// (distance-from-source metric of experiment T2).
+  SummaryStats attack_drop_hops;
+
+  std::uint64_t sent(TrafficClass c) const {
+    return packets_sent[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t delivered(TrafficClass c) const {
+    return packets_delivered[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t dropped(TrafficClass c) const {
+    std::uint64_t total = 0;
+    for (auto v : packets_dropped[static_cast<std::size_t>(c)]) total += v;
+    return total;
+  }
+  std::uint64_t dropped(TrafficClass c, DropReason r) const {
+    return packets_dropped[static_cast<std::size_t>(c)]
+                          [static_cast<std::size_t>(r)];
+  }
+
+  void RecordSend(const Packet& p) {
+    packets_sent[static_cast<std::size_t>(p.klass)]++;
+    bytes_sent[static_cast<std::size_t>(p.klass)] += p.size_bytes;
+  }
+  void RecordDelivery(const Packet& p) {
+    packets_delivered[static_cast<std::size_t>(p.klass)]++;
+    bytes_delivered[static_cast<std::size_t>(p.klass)] += p.size_bytes;
+  }
+  void RecordDrop(const Packet& p, DropReason reason) {
+    packets_dropped[static_cast<std::size_t>(p.klass)]
+                   [static_cast<std::size_t>(reason)]++;
+    if (reason == DropReason::kFiltered &&
+        (p.klass == TrafficClass::kAttack ||
+         p.klass == TrafficClass::kReflected)) {
+      attack_drop_hops.Add(static_cast<double>(p.hops));
+    }
+  }
+  void RecordHop(const Packet& p) {
+    if (p.klass == TrafficClass::kAttack ||
+        p.klass == TrafficClass::kReflected) {
+      attack_byte_hops += p.size_bytes;
+    } else if (p.klass == TrafficClass::kLegitimate) {
+      legit_byte_hops += p.size_bytes;
+    }
+  }
+};
+
+}  // namespace adtc

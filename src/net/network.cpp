@@ -1,0 +1,376 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace adtc {
+
+std::string_view LinkKindName(LinkKind kind) {
+  switch (kind) {
+    case LinkKind::kCustomerToProvider: return "cust->prov";
+    case LinkKind::kProviderToCustomer: return "prov->cust";
+    case LinkKind::kPeer: return "peer";
+    case LinkKind::kAccessUp: return "access-up";
+    case LinkKind::kAccessDown: return "access-down";
+  }
+  return "?";
+}
+
+std::string_view DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueFull: return "queue_full";
+    case DropReason::kTtlExpired: return "ttl_expired";
+    case DropReason::kFiltered: return "filtered";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kNoHost: return "no_host";
+    case DropReason::kHostDown: return "host_down";
+    case DropReason::kHostOverload: return "host_overload";
+    case DropReason::kCount_: break;
+  }
+  return "?";
+}
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+NodeId Network::AddNode(NodeRole role) {
+  assert(!routing_built_ && "topology is frozen after FinalizeRouting()");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.role = role;
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+std::pair<LinkId, LinkId> Network::Connect(NodeId a, NodeId b,
+                                           const LinkParams& params,
+                                           LinkKind kind_ab) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  LinkKind kind_ba;
+  switch (kind_ab) {
+    case LinkKind::kCustomerToProvider:
+      kind_ba = LinkKind::kProviderToCustomer;
+      break;
+    case LinkKind::kProviderToCustomer:
+      kind_ba = LinkKind::kCustomerToProvider;
+      break;
+    default:
+      kind_ba = LinkKind::kPeer;
+      break;
+  }
+
+  const auto ab = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{LinkTarget::Node(a), LinkTarget::Node(b), kind_ab,
+                        params, 0, 0, {}});
+  const auto ba = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{LinkTarget::Node(b), LinkTarget::Node(a), kind_ba,
+                        params, 0, 0, {}});
+
+  nodes_[a].neighbours.emplace_back(b, ab);
+  nodes_[b].neighbours.emplace_back(a, ba);
+  return {ab, ba};
+}
+
+HostId Network::AttachHost(std::unique_ptr<Endpoint> endpoint, NodeId node,
+                           const LinkParams& access) {
+  assert(node < nodes_.size());
+  Node& router = nodes_[node];
+  assert(router.host_slots.size() < kHostsPerNode &&
+         "address space under this node exhausted");
+
+  const auto host_id = static_cast<HostId>(hosts_.size());
+  const auto slot = static_cast<std::uint32_t>(router.host_slots.size() + 1);
+
+  const auto up = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{LinkTarget::Host(host_id), LinkTarget::Node(node),
+                        LinkKind::kAccessUp, access, 0, 0, {}});
+  const auto down = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{LinkTarget::Node(node), LinkTarget::Host(host_id),
+                        LinkKind::kAccessDown, access, 0, 0, {}});
+
+  HostRecord record;
+  record.endpoint = std::move(endpoint);
+  record.node = node;
+  record.slot = slot;
+  record.address = HostAddress(node, slot);
+  record.uplink = up;
+  record.downlink = down;
+  hosts_.push_back(std::move(record));
+  router.host_slots.push_back(host_id);
+
+  hosts_.back().endpoint->Bind(*this, host_id);
+  hosts_.back().endpoint->OnAttached();
+  return host_id;
+}
+
+void Network::FinalizeRouting() {
+  if (routing_built_) return;
+  const std::size_t n = nodes_.size();
+  next_hop_.assign(n * n, kInvalidNode);
+  distance_.assign(n * n, UINT32_MAX);
+
+  // One BFS per destination over the (undirected) router adjacency.
+  // next_hop_[from * n + dest] = neighbour of `from` on a shortest path.
+  std::deque<NodeId> queue;
+  for (NodeId dest = 0; dest < n; ++dest) {
+    const std::size_t base_dest = static_cast<std::size_t>(dest);
+    distance_[dest * n + base_dest] = 0;
+    next_hop_[dest * n + base_dest] = dest;
+    queue.clear();
+    queue.push_back(dest);
+    while (!queue.empty()) {
+      const NodeId at = queue.front();
+      queue.pop_front();
+      const std::uint32_t dist_at = distance_[at * n + dest];
+      for (const auto& [neighbour, link] : nodes_[at].neighbours) {
+        (void)link;
+        std::uint32_t& dist_nb = distance_[neighbour * n + dest];
+        if (dist_nb != UINT32_MAX) continue;
+        dist_nb = dist_at + 1;
+        // The neighbour reaches `dest` via `at`.
+        next_hop_[neighbour * n + dest] = at;
+        queue.push_back(neighbour);
+      }
+    }
+  }
+  routing_built_ = true;
+}
+
+void Network::AddProcessor(NodeId node, PacketProcessor* processor) {
+  assert(node < nodes_.size() && processor != nullptr);
+  nodes_[node].processors.push_back(processor);
+}
+
+void Network::RemoveProcessor(NodeId node, PacketProcessor* processor) {
+  auto& chain = nodes_[node].processors;
+  chain.erase(std::remove(chain.begin(), chain.end(), processor),
+              chain.end());
+}
+
+HostId Network::HostAt(NodeId node, std::uint32_t slot) const {
+  if (node >= nodes_.size()) return kInvalidHost;
+  const auto& slots = nodes_[node].host_slots;
+  if (slot == 0 || slot > slots.size()) return kInvalidHost;
+  return slots[slot - 1];
+}
+
+HostId Network::HostByAddress(Ipv4Address addr) const {
+  return HostAt(AddressNode(addr), AddressSlot(addr));
+}
+
+std::uint32_t Network::HopDistance(NodeId a, NodeId b) const {
+  assert(routing_built_);
+  if (a >= nodes_.size() || b >= nodes_.size()) return UINT32_MAX;
+  return distance_[static_cast<std::size_t>(a) * nodes_.size() + b];
+}
+
+NodeId Network::NextHop(NodeId from, NodeId to) const {
+  assert(routing_built_);
+  if (from >= nodes_.size() || to >= nodes_.size()) return kInvalidNode;
+  return next_hop_[static_cast<std::size_t>(from) * nodes_.size() + to];
+}
+
+std::vector<NodeId> Network::PathBetween(NodeId a, NodeId b) const {
+  std::vector<NodeId> path;
+  if (HopDistance(a, b) == UINT32_MAX) return path;
+  NodeId at = a;
+  path.push_back(at);
+  while (at != b) {
+    at = NextHop(at, b);
+    if (at == kInvalidNode) return {};
+    path.push_back(at);
+  }
+  return path;
+}
+
+void Network::SendFromHost(HostId host, Packet packet) {
+  assert(host < hosts_.size());
+  const HostRecord& record = hosts_[host];
+  // A sender may pre-stamp the serial (to correlate replies before the
+  // packet leaves); in that case it has already recorded the send.
+  if (packet.serial == 0) {
+    packet.serial = NextSerial();
+    packet.true_origin = host;
+    packet.sent_at = sim_.Now();
+    if (packet.payload_hash == 0) packet.payload_hash = packet.serial;
+    metrics_.RecordSend(packet);
+  }
+  packet.hops = 0;
+  LinkSend(record.uplink, std::move(packet));
+}
+
+void Network::InjectAtNode(NodeId node, Packet packet) {
+  packet.serial = NextSerial();
+  packet.sent_at = sim_.Now();
+  packet.hops = 0;
+  if (packet.payload_hash == 0) packet.payload_hash = packet.serial;
+  metrics_.RecordSend(packet);
+  RouterReceive(node, kInvalidLink, std::move(packet));
+}
+
+void Network::LinkSend(LinkId link_id, Packet packet) {
+  Link& link = links_[link_id];
+  const SimTime now = sim_.Now();
+
+  if (link.queued_bytes + packet.size_bytes >
+      link.params.buffer_bytes) {
+    link.stats.dropped_packets++;
+    link.stats.dropped_bytes += packet.size_bytes;
+    metrics_.RecordDrop(packet, DropReason::kQueueFull);
+    if (drop_observer_) drop_observer_(packet, link_id);
+    return;
+  }
+
+  const SimDuration tx = TransmissionDelay(packet.size_bytes,
+                                           link.params.rate);
+  const SimTime start = std::max(now, link.busy_until);
+  const SimTime finish = start + tx;
+  link.busy_until = finish;
+  link.queued_bytes += packet.size_bytes;
+  link.stats.busy_time += tx;
+  link.stats.forwarded_packets++;
+  link.stats.forwarded_bytes += packet.size_bytes;
+  link.stats.forwarded_bytes_by_class[static_cast<std::size_t>(
+      packet.klass)] += packet.size_bytes;
+  metrics_.RecordHop(packet);
+
+  const SimTime arrive = finish + link.params.delay;
+  const std::uint32_t size = packet.size_bytes;
+  sim_.ScheduleAt(finish, [this, link_id, size] {
+    links_[link_id].queued_bytes -= size;
+  });
+  sim_.ScheduleAt(arrive,
+                  [this, link_id, p = std::move(packet)]() mutable {
+                    LinkArrive(link_id, std::move(p));
+                  });
+}
+
+void Network::LinkArrive(LinkId link_id, Packet packet) {
+  const Link& link = links_[link_id];
+  if (link.to.is_host) {
+    HostRecord& record = hosts_[link.to.id];
+    if (!record.endpoint->IsUp()) {
+      metrics_.RecordDrop(packet, DropReason::kHostDown);
+      return;
+    }
+    metrics_.RecordDelivery(packet);
+    record.endpoint->HandlePacket(std::move(packet));
+    return;
+  }
+  RouterReceive(link.to.id, link_id, std::move(packet));
+}
+
+void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
+  Node& node = nodes_[node_id];
+  const bool local_dest = AddressNode(packet.dst) == node_id;
+
+  // TTL is spent on every router traversal except final local delivery by
+  // the first-hop router of the source (hops==0 means we're at the edge).
+  if (!local_dest) {
+    if (packet.ttl == 0) {
+      metrics_.RecordDrop(packet, DropReason::kTtlExpired);
+      MaybeSendIcmpError(node_id, packet, IcmpType::kTimeExceeded);
+      return;
+    }
+    packet.ttl--;
+  }
+  packet.hops++;
+
+  RouterContext ctx;
+  ctx.net = this;
+  ctx.node = node_id;
+  ctx.role = node.role;
+  ctx.in_link = in_link;
+  ctx.in_kind = in_link == kInvalidLink ? LinkKind::kPeer
+                                        : links_[in_link].kind;
+  ctx.now = sim_.Now();
+
+  for (PacketProcessor* processor : node.processors) {
+    if (processor->Process(packet, ctx) == Verdict::kDrop) {
+      node.filtered++;
+      metrics_.RecordDrop(packet, DropReason::kFiltered);
+      return;
+    }
+  }
+
+  if (local_dest) {
+    DeliverLocal(node_id, in_link, std::move(packet));
+    return;
+  }
+
+  const NodeId dest_node = AddressNode(packet.dst);
+  if (dest_node >= nodes_.size()) {
+    metrics_.RecordDrop(packet, DropReason::kNoRoute);
+    MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
+    return;
+  }
+  const NodeId next = NextHop(node_id, dest_node);
+  if (next == kInvalidNode) {
+    metrics_.RecordDrop(packet, DropReason::kNoRoute);
+    MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
+    return;
+  }
+  // Find the out link toward `next`.
+  for (const auto& [neighbour, link] : node.neighbours) {
+    if (neighbour == next) {
+      node.forwarded++;
+      LinkSend(link, std::move(packet));
+      return;
+    }
+  }
+  metrics_.RecordDrop(packet, DropReason::kNoRoute);
+}
+
+void Network::DeliverLocal(NodeId node_id, LinkId /*in_link*/,
+                           Packet packet) {
+  const std::uint32_t slot = AddressSlot(packet.dst);
+  const HostId host = HostAt(node_id, slot);
+  if (host == kInvalidHost) {
+    metrics_.RecordDrop(packet, DropReason::kNoHost);
+    MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
+    return;
+  }
+  LinkSend(hosts_[host].downlink, std::move(packet));
+}
+
+void Network::MaybeSendIcmpError(NodeId node_id, const Packet& cause,
+                                 IcmpType type) {
+  if (!icmp_errors_) return;
+  // Never generate errors in response to ICMP errors (RFC 1122) — this is
+  // also what prevents error loops in the simulation.
+  if (cause.proto == Protocol::kIcmp &&
+      (cause.icmp == IcmpType::kDestUnreachable ||
+       cause.icmp == IcmpType::kTimeExceeded)) {
+    return;
+  }
+  Node& node = nodes_[node_id];
+  // Token bucket: 10 errors/s per router, burst 10.
+  const SimTime now = sim_.Now();
+  if (node.icmp_refill_at == 0) node.icmp_refill_at = now;
+  const double refill =
+      static_cast<double>(now - node.icmp_refill_at) / 1e9 * 10.0;
+  node.icmp_tokens = std::min(10.0, node.icmp_tokens + refill);
+  node.icmp_refill_at = now;
+  if (node.icmp_tokens < 1.0) return;
+  node.icmp_tokens -= 1.0;
+
+  Packet error;
+  error.src = RouterAddress(node_id);
+  error.dst = cause.src;
+  error.proto = Protocol::kIcmp;
+  error.icmp = type;
+  error.size_bytes = 56;  // ICMP error: header + leading bytes of cause
+  error.ttl = 64;
+  // An ICMP error elicited by attack traffic is reflected collateral; the
+  // router itself is innocent (Sec. 2.2 lists routers as reflectors).
+  error.klass = (cause.klass == TrafficClass::kAttack ||
+                 cause.klass == TrafficClass::kReflected)
+                    ? TrafficClass::kReflected
+                    : cause.klass;
+  error.true_origin = kInvalidHost;  // originated by infrastructure
+  error.spoofed_src = false;
+  error.in_reply_to = cause.serial;
+  InjectAtNode(node_id, std::move(error));
+}
+
+}  // namespace adtc

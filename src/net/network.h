@@ -1,0 +1,173 @@
+// The simulated world: topology + routing + data plane + attached hosts.
+//
+// One Network instance is one deterministic experiment replicate. It owns
+// the event queue, the RNG, all routers/links/hosts, and the global
+// metrics. Replicate-level parallelism never shares a Network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/ip.h"
+#include "net/link.h"
+#include "net/metrics.h"
+#include "net/packet.h"
+#include "net/router.h"
+#include "sim/simulator.h"
+
+namespace adtc {
+
+/// Anything that can terminate packets (end hosts, overlay nodes, ...).
+/// Implementations live in src/host and above.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called when a packet reaches this endpoint's NIC.
+  virtual void HandlePacket(Packet&& packet) = 0;
+  /// A crashed/overloaded-down host blackholes deliveries.
+  virtual bool IsUp() const { return true; }
+  /// Wiring callback: invoked by Network::AttachHost before OnAttached.
+  virtual void Bind(Network& net, HostId id) {
+    (void)net;
+    (void)id;
+  }
+  /// Invoked once after attachment (address assigned, network wired).
+  virtual void OnAttached() {}
+};
+
+struct HostRecord {
+  std::unique_ptr<Endpoint> endpoint;
+  NodeId node = kInvalidNode;
+  std::uint32_t slot = 0;  // address slot under the node, 1-based
+  Ipv4Address address;
+  LinkId uplink = kInvalidLink;    // host -> router
+  LinkId downlink = kInvalidLink;  // router -> host
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- construction -------------------------------------------------------
+  NodeId AddNode(NodeRole role);
+
+  /// Connects two routers with a duplex link (one Link each way).
+  /// `kind_ab` describes the a->b direction; the reverse direction gets the
+  /// mirrored kind (customer->provider mirrors provider->customer, peer
+  /// mirrors peer). Returns {link a->b, link b->a}.
+  std::pair<LinkId, LinkId> Connect(NodeId a, NodeId b,
+                                    const LinkParams& params,
+                                    LinkKind kind_ab);
+
+  /// Attaches a host to `node` with the given access-link parameters and
+  /// returns its id. The endpoint's address becomes HostAddress(node, slot).
+  HostId AttachHost(std::unique_ptr<Endpoint> endpoint, NodeId node,
+                    const LinkParams& access);
+
+  /// Builds shortest-path next-hop tables. Must be called after topology
+  /// construction and before any traffic. Idempotent.
+  void FinalizeRouting();
+
+  /// Registers an inline processor on a router (non-owning; callers keep
+  /// the processor alive for the Network's lifetime). Run in attach order.
+  void AddProcessor(NodeId node, PacketProcessor* processor);
+  void RemoveProcessor(NodeId node, PacketProcessor* processor);
+
+  // --- data plane ---------------------------------------------------------
+  /// Sends a packet from an attached host. Stamps serial/send-time/origin
+  /// metadata and accounts the send. The source address is NOT rewritten —
+  /// spoofing is the caller's decision (set packet.spoofed_src truthfully).
+  void SendFromHost(HostId host, Packet packet);
+
+  /// Injects a packet directly at a router (used by in-network services
+  /// that originate management traffic).
+  void InjectAtNode(NodeId node, Packet packet);
+
+  // --- queries ------------------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Rng& rng() { return rng_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  std::size_t host_count() const { return hosts_.size(); }
+
+  Node& node(NodeId id) { return nodes_[id]; }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  Link& link(LinkId id) { return links_[id]; }
+  const Link& link(LinkId id) const { return links_[id]; }
+  HostRecord& host(HostId id) { return hosts_[id]; }
+  const HostRecord& host(HostId id) const { return hosts_[id]; }
+  Endpoint* endpoint(HostId id) { return hosts_[id].endpoint.get(); }
+
+  Ipv4Address host_address(HostId id) const { return hosts_[id].address; }
+  NodeId host_node(HostId id) const { return hosts_[id].node; }
+
+  /// Host attached at (node, slot), or kInvalidHost.
+  HostId HostAt(NodeId node, std::uint32_t slot) const;
+  /// Host owning this address, or kInvalidHost.
+  HostId HostByAddress(Ipv4Address addr) const;
+
+  /// Hop count of the routed path a->b (kInvalidNode distance = UINT32_MAX).
+  std::uint32_t HopDistance(NodeId a, NodeId b) const;
+  /// Node sequence of the routed path a->b inclusive; empty if unreachable.
+  std::vector<NodeId> PathBetween(NodeId a, NodeId b) const;
+  /// Next hop from `from` toward `to` (kInvalidNode if unreachable).
+  NodeId NextHop(NodeId from, NodeId to) const;
+
+  PacketSerial NextSerial() { return ++serial_; }
+
+  /// Emit ICMP error packets (time-exceeded / dest-unreachable) from
+  /// routers — this is what makes routers usable as reflectors (Sec. 2.2).
+  void set_icmp_errors_enabled(bool enabled) { icmp_errors_ = enabled; }
+  bool icmp_errors_enabled() const { return icmp_errors_; }
+
+  /// Observer invoked on every queue-overflow drop (packet, congested
+  /// link). Pushback's congestion monitoring hangs off this — it is what
+  /// a real router's drop statistics would expose.
+  using DropObserver = std::function<void(const Packet&, LinkId)>;
+  void SetQueueDropObserver(DropObserver observer) {
+    drop_observer_ = std::move(observer);
+  }
+
+  /// Runs the simulation for `duration` of simulated time.
+  void Run(SimDuration duration) { sim_.RunUntil(sim_.Now() + duration); }
+
+ private:
+  /// Queue/transmit on a link; drops on buffer overflow.
+  void LinkSend(LinkId link_id, Packet packet);
+  /// Arrival at the link's target (router or host).
+  void LinkArrive(LinkId link_id, Packet packet);
+  /// Full router pipeline for a packet arriving at `node` via `in_link`.
+  void RouterReceive(NodeId node, LinkId in_link, Packet packet);
+  /// Deliver to a locally attached host (via its access downlink).
+  void DeliverLocal(NodeId node, LinkId in_link, Packet packet);
+  /// Rate-limited ICMP error generation back toward packet.src.
+  void MaybeSendIcmpError(NodeId node, const Packet& cause, IcmpType type);
+
+  Simulator sim_;
+  Rng rng_;
+  Metrics metrics_;
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<HostRecord> hosts_;
+
+  // next_hop_[from * node_count + to]; built by FinalizeRouting().
+  std::vector<NodeId> next_hop_;
+  std::vector<std::uint32_t> distance_;
+  bool routing_built_ = false;
+
+  PacketSerial serial_ = 0;
+  bool icmp_errors_ = true;
+  DropObserver drop_observer_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,46 @@
+#include "net/packet.h"
+
+#include "common/bloom.h"
+
+namespace adtc {
+
+std::string_view ProtocolName(Protocol proto) {
+  switch (proto) {
+    case Protocol::kUdp: return "udp";
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kIcmp: return "icmp";
+  }
+  return "?";
+}
+
+std::string_view TrafficClassName(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kLegitimate: return "legit";
+    case TrafficClass::kAttack: return "attack";
+    case TrafficClass::kReflected: return "reflected";
+    case TrafficClass::kControl: return "control";
+    case TrafficClass::kManagement: return "mgmt";
+  }
+  return "?";
+}
+
+std::uint64_t PacketDigest(const Packet& packet) {
+  std::uint64_t h = packet.serial;  // unique per packet, like payload bytes
+  h = Mix64(h ^ (static_cast<std::uint64_t>(packet.src.bits()) << 32 |
+                 packet.dst.bits()));
+  h = Mix64(h ^ packet.payload_hash);
+  h = Mix64(h ^ (static_cast<std::uint64_t>(packet.src_port) << 48 |
+                 static_cast<std::uint64_t>(packet.dst_port) << 32 |
+                 static_cast<std::uint64_t>(packet.proto) << 8 |
+                 packet.tcp_flags));
+  return h;
+}
+
+std::uint64_t FlowKey(const Packet& packet) {
+  return Mix64((static_cast<std::uint64_t>(packet.src.bits()) << 32) ^
+               packet.dst.bits() ^
+               (static_cast<std::uint64_t>(packet.dst_port) << 40) ^
+               (static_cast<std::uint64_t>(packet.proto) << 56));
+}
+
+}  // namespace adtc

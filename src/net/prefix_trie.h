@@ -1,0 +1,163 @@
+// Binary (unibit) trie keyed by CIDR prefixes with longest-prefix matching.
+//
+// This is the matching structure of the control plane: ownership registry,
+// device redirect tables and per-owner rule scopes are all prefix sets. A
+// unibit trie is deliberately simple — the datapath benchmark (T4) measures
+// its per-packet cost as a function of table size, which is one of the
+// scalability factors Sec. 5.3 of the paper calls out.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/ip.h"
+
+namespace adtc {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or overwrites the value at `prefix`.
+  void Insert(const Prefix& prefix, T value) {
+    Node* node = Walk(prefix, /*create=*/true);
+    if (!node->value) ++size_;
+    node->value = std::move(value);
+  }
+
+  /// Removes the exact prefix; returns whether it existed.
+  bool Erase(const Prefix& prefix) {
+    Node* node = Walk(prefix, /*create=*/false);
+    if (node == nullptr || !node->value) return false;
+    node->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Value stored at exactly `prefix`, if any.
+  const T* ExactMatch(const Prefix& prefix) const {
+    const Node* node = Walk(prefix, /*create=*/false);
+    return (node && node->value) ? &*node->value : nullptr;
+  }
+
+  /// Value of the longest prefix containing `addr`, if any.
+  const T* LongestMatch(Ipv4Address addr) const {
+    const Node* node = root_.get();
+    const T* best = node->value ? &*node->value : nullptr;
+    std::uint32_t bits = addr.bits();
+    for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+      const int branch = (bits >> (31 - depth)) & 1;
+      node = node->child[branch].get();
+      if (node && node->value) best = &*node->value;
+    }
+    return best;
+  }
+
+  /// True if any stored prefix contains `addr`.
+  bool ContainsAddress(Ipv4Address addr) const {
+    return LongestMatch(addr) != nullptr;
+  }
+
+  /// All (prefix, value) pairs in lexicographic prefix order.
+  std::vector<std::pair<Prefix, T>> Entries() const {
+    std::vector<std::pair<Prefix, T>> out;
+    Collect(root_.get(), 0, 0, out);
+    return out;
+  }
+
+  /// Invokes visitor(prefix, value) for every stored prefix that covers
+  /// `target` (i.e. every ancestor-or-equal allocation). Visitor returns
+  /// false to stop early. Returns true if iteration ran to completion.
+  template <typename Visitor>
+  bool VisitCovering(const Prefix& target, Visitor&& visitor) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = target.address().bits();
+    for (int depth = 0; node != nullptr && depth <= target.length();
+         ++depth) {
+      if (node->value) {
+        if (!visitor(Prefix(Ipv4Address(bits & PrefixMask(depth)), depth),
+                     *node->value)) {
+          return false;
+        }
+      }
+      if (depth == target.length()) break;
+      node = node->child[(bits >> (31 - depth)) & 1].get();
+    }
+    return true;
+  }
+
+  /// Invokes visitor(prefix, value) for every stored prefix lying inside
+  /// `target` (descendants, target itself included). Visitor returns false
+  /// to stop early. Returns true if iteration ran to completion.
+  template <typename Visitor>
+  bool VisitWithin(const Prefix& target, Visitor&& visitor) const {
+    const Node* node = Walk(target, /*create=*/false);
+    if (node == nullptr) return true;
+    return VisitSubtree(node, target.address().bits(), target.length(),
+                        visitor);
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* Walk(const Prefix& prefix, bool create) const {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().bits();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int branch = (bits >> (31 - depth)) & 1;
+      if (!node->child[branch]) {
+        if (!create) return nullptr;
+        node->child[branch] = std::make_unique<Node>();
+      }
+      node = node->child[branch].get();
+    }
+    return node;
+  }
+
+  template <typename Visitor>
+  static bool VisitSubtree(const Node* node, std::uint32_t bits, int depth,
+                           Visitor&& visitor) {
+    if (node == nullptr) return true;
+    if (node->value) {
+      if (!visitor(Prefix(Ipv4Address(bits), depth), *node->value)) {
+        return false;
+      }
+    }
+    if (depth >= 32) return true;
+    return VisitSubtree(node->child[0].get(), bits, depth + 1, visitor) &&
+           VisitSubtree(node->child[1].get(), bits | (1u << (31 - depth)),
+                        depth + 1, visitor);
+  }
+
+  static void Collect(const Node* node, std::uint32_t bits, int depth,
+                      std::vector<std::pair<Prefix, T>>& out) {
+    if (node == nullptr) return;
+    if (node->value) {
+      out.emplace_back(Prefix(Ipv4Address(bits), depth), *node->value);
+    }
+    if (depth < 32) {
+      Collect(node->child[0].get(), bits, depth + 1, out);
+      Collect(node->child[1].get(), bits | (1u << (31 - depth)), depth + 1,
+              out);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,42 @@
+#include "net/reverse_path.h"
+
+#include <deque>
+
+namespace adtc {
+
+TraceResult ReconstructOrigins(const Network& net, NodeId start,
+                               const std::function<bool(NodeId)>& saw) {
+  TraceResult result;
+  std::vector<bool> visited(net.node_count(), false);
+  std::deque<NodeId> queue;
+  queue.push_back(start);
+  visited[start] = true;
+
+  while (!queue.empty()) {
+    const NodeId at = queue.front();
+    queue.pop_front();
+    result.path_nodes.push_back(at);
+
+    bool has_upstream_sighting = false;
+    for (const auto& [neighbour, link] : net.node(at).neighbours) {
+      (void)link;
+      if (visited[neighbour]) continue;
+      if (saw(neighbour)) {
+        visited[neighbour] = true;
+        queue.push_back(neighbour);
+        has_upstream_sighting = true;
+      }
+    }
+    // BFS-tree leaves — sighting nodes from which no new upstream
+    // sighting was discovered — are where the traffic entered. (A node
+    // whose sighting neighbours were all reached via other branches is
+    // conservatively also reported; with tree-like attack paths this
+    // does not occur.)
+    if (!has_upstream_sighting) {
+      result.origin_nodes.push_back(at);
+    }
+  }
+  return result;
+}
+
+}  // namespace adtc

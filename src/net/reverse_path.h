@@ -1,0 +1,30 @@
+// Attack-graph reconstruction shared by the SPIE baseline and the TCS
+// traceback service: given a predicate "did this router see the packet",
+// walk the topology backwards from the victim and return the reachable
+// sighting subgraph and its leaves (the inferred origins).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+
+namespace adtc {
+
+struct TraceResult {
+  /// Nodes confirmed on the packet's path, in BFS order from the start.
+  std::vector<NodeId> path_nodes;
+  /// Sighting nodes with no further upstream sighting: the inferred
+  /// entry points of the traffic.
+  std::vector<NodeId> origin_nodes;
+};
+
+/// `saw(node)` must be a pure predicate (typically a Bloom-filter lookup,
+/// so false positives are possible — that is part of what experiments
+/// measure). `start` is included in the walk whether or not it saw the
+/// packet (the victim's own router always "saw" delivered traffic).
+TraceResult ReconstructOrigins(const Network& net, NodeId start,
+                               const std::function<bool(NodeId)>& saw);
+
+}  // namespace adtc

@@ -1,0 +1,71 @@
+// Router node state and the packet-processor extension point.
+//
+// A router is deliberately dumb (Sec. 5.2 of the paper: "legacy Internet
+// router with basic filtering and redirection mechanisms"): TTL handling,
+// FIB forwarding, and an ordered chain of PacketProcessors. The adaptive
+// device, ingress filters, pushback rate limiters etc. all attach through
+// the same PacketProcessor interface.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+class Network;
+
+/// Autonomous-system role. Peripheral (stub) ASes host customers; transit
+/// ASes carry third-party traffic — the distinction the paper's anti-spoof
+/// module must be aware of (Sec. 4.2).
+enum class NodeRole : std::uint8_t { kTransit, kStub };
+
+/// What a processor decides about a packet.
+enum class Verdict : std::uint8_t { kForward, kDrop };
+
+/// Context handed to processors along with the packet.
+struct RouterContext {
+  Network* net = nullptr;
+  NodeId node = kInvalidNode;
+  NodeRole role = NodeRole::kStub;
+  LinkId in_link = kInvalidLink;
+  /// Kind of the link the packet arrived on; kAccessUp means it came from
+  /// a directly attached host of this router's AS.
+  LinkKind in_kind = LinkKind::kPeer;
+  SimTime now = 0;
+};
+
+/// Inline packet-path extension. Implementations must be side-effect-safe:
+/// mutating wire fields is allowed only within the constraints enforced by
+/// the core safety validator (never src/dst/TTL for TCS modules).
+class PacketProcessor {
+ public:
+  virtual ~PacketProcessor() = default;
+  virtual Verdict Process(Packet& packet, const RouterContext& ctx) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// Router node. Owned by Network.
+struct Node {
+  NodeRole role = NodeRole::kStub;
+  /// Outgoing links keyed by neighbour node (adjacency order = insertion
+  /// order; BFS tie-breaking depends on it, keep deterministic).
+  std::vector<std::pair<NodeId, LinkId>> neighbours;
+  /// Inline processors, run in attach order on every transiting packet.
+  std::vector<PacketProcessor*> processors;
+  /// Hosts attached here, by address slot (slot-1 indexes this vector).
+  std::vector<HostId> host_slots;
+  /// Simple token bucket limiting ICMP error generation.
+  double icmp_tokens = 10.0;
+  SimTime icmp_refill_at = 0;
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t filtered = 0;
+};
+
+}  // namespace adtc

@@ -1,0 +1,153 @@
+#include "net/topo_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adtc {
+
+std::vector<NodeId> TopologyInfo::CustomerCone(NodeId root) const {
+  std::vector<NodeId> cone;
+  std::vector<bool> seen(customers.size(), false);
+  std::vector<NodeId> stack{root};
+  seen[root] = true;
+  while (!stack.empty()) {
+    const NodeId at = stack.back();
+    stack.pop_back();
+    cone.push_back(at);
+    for (NodeId child : customers[at]) {
+      if (!seen[child]) {
+        seen[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  std::sort(cone.begin(), cone.end());
+  return cone;
+}
+
+TopologyInfo BuildTransitStub(Network& net, const TransitStubParams& params) {
+  assert(net.node_count() == 0 && "generator requires an empty network");
+  assert(params.transit_count >= 2);
+  TopologyInfo info;
+  const std::uint32_t total = params.transit_count + params.stub_count;
+  info.customers.resize(total);
+  info.providers.resize(total);
+
+  // Transit core: ring + random chords.
+  for (std::uint32_t i = 0; i < params.transit_count; ++i) {
+    info.transit_nodes.push_back(net.AddNode(NodeRole::kTransit));
+  }
+  for (std::uint32_t i = 0; i < params.transit_count; ++i) {
+    const NodeId a = info.transit_nodes[i];
+    const NodeId b = info.transit_nodes[(i + 1) % params.transit_count];
+    if (params.transit_count == 2 && i == 1) break;  // avoid double edge
+    net.Connect(a, b, params.core_link, LinkKind::kPeer);
+  }
+  for (std::uint32_t i = 0; i < params.extra_core_links; ++i) {
+    const NodeId a =
+        info.transit_nodes[net.rng().NextBelow(params.transit_count)];
+    NodeId b = info.transit_nodes[net.rng().NextBelow(params.transit_count)];
+    if (a == b) continue;
+    // Skip existing edges to keep the adjacency simple.
+    bool exists = false;
+    for (const auto& [neighbour, link] : net.node(a).neighbours) {
+      (void)link;
+      if (neighbour == b) {
+        exists = true;
+        break;
+      }
+    }
+    if (!exists) net.Connect(a, b, params.core_link, LinkKind::kPeer);
+  }
+
+  // Stubs: each buys transit from one core AS, sometimes two.
+  for (std::uint32_t i = 0; i < params.stub_count; ++i) {
+    const NodeId stub = net.AddNode(NodeRole::kStub);
+    info.stub_nodes.push_back(stub);
+    const NodeId provider =
+        info.transit_nodes[net.rng().NextBelow(params.transit_count)];
+    net.Connect(stub, provider, params.edge_link,
+                LinkKind::kCustomerToProvider);
+    info.customers[provider].push_back(stub);
+    info.providers[stub].push_back(provider);
+    if (net.rng().NextBool(params.multihome_probability)) {
+      NodeId second =
+          info.transit_nodes[net.rng().NextBelow(params.transit_count)];
+      if (second != provider) {
+        net.Connect(stub, second, params.edge_link,
+                    LinkKind::kCustomerToProvider);
+        info.customers[second].push_back(stub);
+        info.providers[stub].push_back(second);
+      }
+    }
+  }
+
+  net.FinalizeRouting();
+  return info;
+}
+
+TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params) {
+  assert(net.node_count() == 0 && "generator requires an empty network");
+  const std::uint32_t m = std::max<std::uint32_t>(1, params.edges_per_node);
+  const std::uint32_t seed_nodes = m + 1;
+  assert(params.node_count > seed_nodes);
+
+  TopologyInfo info;
+  info.customers.resize(params.node_count);
+  info.providers.resize(params.node_count);
+
+  // Degree-proportional sampling via the repeated-endpoints trick: every
+  // edge contributes both endpoints to `endpoint_pool`.
+  std::vector<NodeId> endpoint_pool;
+  std::vector<std::uint32_t> degree(params.node_count, 0);
+
+  for (std::uint32_t i = 0; i < params.node_count; ++i) {
+    net.AddNode(NodeRole::kStub);  // roles reassigned below
+  }
+
+  // Seed: small clique among the first m+1 nodes (peer relations).
+  for (std::uint32_t i = 0; i < seed_nodes; ++i) {
+    for (std::uint32_t j = i + 1; j < seed_nodes; ++j) {
+      net.Connect(i, j, params.core_link, LinkKind::kPeer);
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+      degree[i]++;
+      degree[j]++;
+    }
+  }
+
+  for (std::uint32_t n = seed_nodes; n < params.node_count; ++n) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId candidate =
+          endpoint_pool[net.rng().NextBelow(endpoint_pool.size())];
+      if (candidate != n &&
+          std::find(targets.begin(), targets.end(), candidate) ==
+              targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (NodeId provider : targets) {
+      // The newcomer is the customer of the established node.
+      net.Connect(n, provider, params.edge_link,
+                  LinkKind::kCustomerToProvider);
+      info.customers[provider].push_back(n);
+      info.providers[n].push_back(provider);
+      endpoint_pool.push_back(n);
+      endpoint_pool.push_back(provider);
+      degree[n]++;
+      degree[provider]++;
+    }
+  }
+
+  for (std::uint32_t i = 0; i < params.node_count; ++i) {
+    const bool transit = degree[i] >= params.transit_degree_threshold;
+    net.node(i).role = transit ? NodeRole::kTransit : NodeRole::kStub;
+    (transit ? info.transit_nodes : info.stub_nodes).push_back(i);
+  }
+
+  net.FinalizeRouting();
+  return info;
+}
+
+}  // namespace adtc

@@ -1,0 +1,69 @@
+// AS-level topology generators.
+//
+// Two families used throughout the experiments:
+//  * Transit-stub: a well-connected transit core with peripheral stub ASes
+//    (the "peripheral ISP" / "transit AS" structure the paper's anti-spoof
+//    reasoning relies on, Secs. 4.2-4.3).
+//  * Power-law (Barabási–Albert preferential attachment): the Internet-like
+//    degree distribution under which Park & Lee's ~20% ingress-filtering
+//    coverage result holds (experiment E3 reproduces its shape).
+//
+// Generators return the provider/customer structure so mitigations can
+// compute customer cones (the legitimate source set behind an edge link).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/link.h"
+#include "net/network.h"
+
+namespace adtc {
+
+/// Provider/customer structure of a generated topology.
+struct TopologyInfo {
+  std::vector<NodeId> transit_nodes;
+  std::vector<NodeId> stub_nodes;
+  /// customers[n] = ASes that buy transit from n (edge direction n->child).
+  std::vector<std::vector<NodeId>> customers;
+  /// providers[n] = ASes n buys transit from.
+  std::vector<std::vector<NodeId>> providers;
+
+  /// All nodes in the customer cone of `root` (root itself included):
+  /// the set whose prefixes may legitimately source traffic entering a
+  /// provider through root's uplink.
+  std::vector<NodeId> CustomerCone(NodeId root) const;
+};
+
+struct TransitStubParams {
+  std::uint32_t transit_count = 16;
+  std::uint32_t stub_count = 240;
+  /// Extra random chords in the transit core beyond the ring.
+  std::uint32_t extra_core_links = 16;
+  /// Probability that a stub is multi-homed to a second provider.
+  double multihome_probability = 0.15;
+  LinkParams core_link{GigabitsPerSecond(10), Milliseconds(10),
+                       2 * 1024 * 1024};
+  LinkParams edge_link{GigabitsPerSecond(1), Milliseconds(5), 512 * 1024};
+};
+
+/// Builds a transit-stub topology into `net` (which must be empty).
+TopologyInfo BuildTransitStub(Network& net, const TransitStubParams& params);
+
+struct PowerLawParams {
+  std::uint32_t node_count = 400;
+  /// Edges added per new node (m in the BA model).
+  std::uint32_t edges_per_node = 2;
+  /// Nodes whose final degree is >= this are classified transit.
+  std::uint32_t transit_degree_threshold = 8;
+  LinkParams core_link{GigabitsPerSecond(10), Milliseconds(10),
+                       2 * 1024 * 1024};
+  LinkParams edge_link{GigabitsPerSecond(1), Milliseconds(5), 512 * 1024};
+};
+
+/// Builds a Barabási–Albert preferential-attachment topology into `net`.
+/// The newer endpoint of each edge is the customer of the older one.
+TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params);
+
+}  // namespace adtc

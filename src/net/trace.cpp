@@ -1,0 +1,96 @@
+#include "net/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace adtc {
+
+PacketTrace::PacketTrace(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void PacketTrace::Record(const Packet& packet, SimTime now) {
+  TraceRecord record{now,       packet.src,        packet.dst,
+                     packet.proto, packet.dst_port, packet.size_bytes,
+                     packet.ttl,  packet.hops};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[count_ % capacity_] = record;
+  }
+  ++count_;
+}
+
+std::vector<TraceRecord> PacketTrace::Snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  if (count_ <= capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = count_ % capacity_;
+    out.insert(out.end(), ring_.begin() + head, ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + head);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint16_t, std::uint64_t>> PacketTrace::TopPorts(
+    std::size_t k) const {
+  std::map<std::uint16_t, std::uint64_t> counts;
+  for (const TraceRecord& r : ring_) counts[r.dst_port]++;
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> out(counts.begin(),
+                                                           counts.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<std::pair<Ipv4Address, std::uint64_t>> PacketTrace::TopSources(
+    std::size_t k) const {
+  std::map<std::uint32_t, std::uint64_t> bytes;
+  for (const TraceRecord& r : ring_) bytes[r.src.bits()] += r.size_bytes;
+  std::vector<std::pair<Ipv4Address, std::uint64_t>> out;
+  out.reserve(bytes.size());
+  for (const auto& [addr, b] : bytes) out.emplace_back(Ipv4Address(addr), b);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+double PacketTrace::ObservedRate() const {
+  if (ring_.size() < 2) return 0.0;
+  const auto snapshot = Snapshot();
+  const SimDuration span = snapshot.back().at - snapshot.front().at;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(snapshot.size()) / ToSeconds(span);
+}
+
+void PacketTrace::Clear() {
+  ring_.clear();
+  count_ = 0;
+}
+
+std::string PacketTrace::Dump(std::size_t max_lines) const {
+  const auto snapshot = Snapshot();
+  std::string out;
+  const std::size_t start =
+      snapshot.size() > max_lines ? snapshot.size() - max_lines : 0;
+  for (std::size_t i = start; i < snapshot.size(); ++i) {
+    const TraceRecord& r = snapshot[i];
+    char line[160];
+    std::snprintf(line, sizeof(line), "%12.6f %s %s > %s:%u len=%u ttl=%u\n",
+                  ToSeconds(r.at), std::string(ProtocolName(r.proto)).c_str(),
+                  r.src.ToString().c_str(), r.dst.ToString().c_str(),
+                  r.dst_port, r.size_bytes, r.ttl);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace adtc

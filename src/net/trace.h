@@ -1,0 +1,67 @@
+// In-memory packet trace recorder.
+//
+// Implements the paper's "new ways of collecting traffic statistics" and
+// "distributed network debugging" observation capability (Sec. 4.4): a
+// bounded ring of per-packet records captured at a vantage point, with
+// simple aggregate queries. Used by the logging/statistics device modules
+// and the network-debugging example.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "net/packet.h"
+
+namespace adtc {
+
+struct TraceRecord {
+  SimTime at = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+  Protocol proto = Protocol::kUdp;
+  std::uint16_t dst_port = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t hops = 0;
+};
+
+class PacketTrace {
+ public:
+  explicit PacketTrace(std::size_t capacity = 65536);
+
+  void Record(const Packet& packet, SimTime now);
+
+  std::size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+  std::uint64_t total_recorded() const { return count_; }
+
+  /// Records in chronological order (oldest retained first).
+  std::vector<TraceRecord> Snapshot() const;
+
+  /// Aggregate counts per destination port among retained records.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> TopPorts(
+      std::size_t k) const;
+
+  /// Aggregate byte counts per source address among retained records.
+  std::vector<std::pair<Ipv4Address, std::uint64_t>> TopSources(
+      std::size_t k) const;
+
+  /// Observed packet rate over the retained window (packets/s); 0 if the
+  /// window spans no time.
+  double ObservedRate() const;
+
+  void Clear();
+
+  /// One-line-per-record textual dump (tcpdump-flavoured), newest last.
+  std::string Dump(std::size_t max_lines = 50) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t count_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,65 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace adtc {
+
+void Simulator::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::SchedulePeriodic(SimDuration period, std::function<bool()> cb) {
+  assert(period > 0);
+  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
+  // The tick closure reschedules itself while the callback returns true.
+  std::function<void()> tick = [this, period, shared]() {
+    if ((*shared)()) {
+      SchedulePeriodic(period, *shared);
+    }
+  };
+  ScheduleAfter(period, std::move(tick));
+}
+
+std::uint64_t Simulator::RunUntil(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+    // so copy the callback handle instead (std::function copy is cheap
+    // relative to simulated work per event).
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.cb();
+    ++ran;
+  }
+  if (now_ < until) now_ = until;
+  executed_ += ran;
+  return ran;
+}
+
+std::uint64_t Simulator::RunToCompletion() {
+  std::uint64_t ran = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.when;
+    event.cb();
+    ++ran;
+  }
+  executed_ += ran;
+  return ran;
+}
+
+void Simulator::Clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace adtc

@@ -1,0 +1,72 @@
+// Deterministic discrete-event simulation engine.
+//
+// A Simulator owns a priority queue of (time, sequence, callback) events.
+// The sequence number breaks ties so that two events scheduled for the same
+// instant always fire in scheduling order — this is what makes whole-world
+// runs bit-reproducible regardless of platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace adtc {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (clamped to >= Now()).
+  void ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` from now (delay < 0 treated as 0).
+  void ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Schedules a periodic callback: first at Now()+period, then every
+  /// period until it returns false or the simulation ends.
+  void SchedulePeriodic(SimDuration period, std::function<bool()> cb);
+
+  /// Runs until the queue drains or the clock passes `until`.
+  /// Returns the number of events executed.
+  std::uint64_t RunUntil(SimTime until);
+
+  /// Runs until the event queue is empty.
+  std::uint64_t RunToCompletion();
+
+  /// Discards all pending events (used between experiment phases).
+  void Clear();
+
+  bool Empty() const { return queue_.empty(); }
+  std::size_t PendingEvents() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace adtc

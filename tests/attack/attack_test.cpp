@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/agent.h"
+#include "attack/c2.h"
+#include "attack/scenario.h"
+#include "attack/spoof.h"
+#include "host/session.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+TEST(SpoofTest, NoneKeepsRealSource) {
+  Rng rng(1);
+  Packet p;
+  const Ipv4Address self = HostAddress(5, 1);
+  ApplySpoof(p, SpoofMode::kNone, self, HostAddress(9, 1), 20, rng);
+  EXPECT_EQ(p.src, self);
+  EXPECT_FALSE(p.spoofed_src);
+}
+
+TEST(SpoofTest, VictimModeUsesVictimAddress) {
+  Rng rng(1);
+  Packet p;
+  const Ipv4Address victim = HostAddress(9, 1);
+  ApplySpoof(p, SpoofMode::kVictim, HostAddress(5, 1), victim, 20, rng);
+  EXPECT_EQ(p.src, victim);
+  EXPECT_TRUE(p.spoofed_src);
+}
+
+TEST(SpoofTest, SameSubnetStaysInPrefix) {
+  Rng rng(1);
+  const Ipv4Address self = HostAddress(5, 1);
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    ApplySpoof(p, SpoofMode::kSameSubnet, self, HostAddress(9, 1), 20, rng);
+    EXPECT_TRUE(NodePrefix(5).Contains(p.src));
+  }
+}
+
+TEST(SpoofTest, RandomStaysInAllocatedSpace) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    Packet p;
+    ApplySpoof(p, SpoofMode::kRandom, HostAddress(5, 1), HostAddress(9, 1),
+               20, rng);
+    EXPECT_LT(AddressNode(p.src), 20u);
+    EXPECT_GE(AddressSlot(p.src), 1u);
+  }
+}
+
+TEST(AgentTest, FloodsAtConfiguredRateAndStops) {
+  Network net(3);
+  const NodeId a = net.AddNode(NodeRole::kStub);
+  const NodeId b = net.AddNode(NodeRole::kStub);
+  net.Connect(a, b, FastLink(), LinkKind::kPeer);
+  AttackDirective directive;
+  directive.type = AttackType::kDirectFlood;
+  directive.victim = HostAddress(b, 1);
+  directive.rate_pps = 100.0;
+  directive.duration = Seconds(2);
+  directive.spoof = SpoofMode::kNone;
+  auto* agent = SpawnHost<AgentHost>(net, a, FastLink(), directive);
+  net.FinalizeRouting();
+  agent->StartFlood();
+  net.Run(Seconds(5));
+  EXPECT_FALSE(agent->flooding());
+  // ~200 packets expected (100 pps for 2 s, +-jitter).
+  EXPECT_GT(agent->stats().attack_packets_sent, 150u);
+  EXPECT_LT(agent->stats().attack_packets_sent, 260u);
+}
+
+TEST(AgentTest, ControlPacketTriggersFlood) {
+  Network net(4);
+  const NodeId a = net.AddNode(NodeRole::kStub);
+  AttackDirective directive;
+  directive.victim = HostAddress(a, 99);
+  directive.duration = Seconds(1);
+  directive.rate_pps = 10.0;
+  auto* agent = SpawnHost<AgentHost>(net, a, FastLink(), directive);
+  auto* sender = SpawnHost<AgentHost>(net, a, FastLink(), directive);
+  net.FinalizeRouting();
+  net.set_icmp_errors_enabled(false);
+  Packet control = sender->MakePacket(agent->address(), Protocol::kUdp, 64);
+  control.dst_port = kControlPort;
+  control.klass = TrafficClass::kControl;
+  sender->SendPacket(std::move(control));
+  net.Run(Seconds(3));
+  EXPECT_EQ(agent->stats().control_packets_received, 1u);
+  EXPECT_GT(agent->stats().attack_packets_sent, 0u);
+}
+
+TEST(C2Test, AttackerMasterAgentChainAmplifies) {
+  SmallWorld world(7);
+  ScenarioParams params;
+  params.master_count = 2;
+  params.agents_per_master = 5;
+  params.reflector_count = 4;
+  params.client_count = 2;
+  params.directive.type = AttackType::kDirectFlood;
+  params.directive.rate_pps = 50.0;
+  params.directive.duration = Seconds(1);
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(3));
+
+  EXPECT_EQ(scenario.attacker->control_packets_sent(), 2u);
+  std::uint64_t relayed = 0;
+  for (const MasterHost* master : scenario.masters) {
+    relayed += master->commands_relayed();
+  }
+  EXPECT_EQ(relayed, 10u);
+  // 2 control packets unleashed ~50 pps x 10 agents x 1 s.
+  EXPECT_GT(scenario.AttackPacketsSent(), 300u);
+}
+
+TEST(ScenarioTest, ReflectorAttackFloodsVictimWithReflectedTraffic) {
+  SmallWorld world(11);
+  ScenarioParams params;
+  params.master_count = 2;
+  params.agents_per_master = 8;
+  params.reflector_count = 10;
+  params.client_count = 2;
+  params.directive.type = AttackType::kReflector;
+  params.directive.reflector_proto = Protocol::kTcp;
+  params.directive.rate_pps = 100.0;
+  params.directive.duration = Seconds(2);
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(4));
+
+  // The victim receives reflected SYN-ACKs from innocent servers.
+  const auto& metrics = world.net.metrics();
+  EXPECT_GT(metrics.delivered(TrafficClass::kReflected), 100u);
+  // Reflectors got the spoofed SYNs (attack class reached them).
+  std::uint64_t reflector_hits = 0;
+  for (const Server* reflector : scenario.reflectors) {
+    reflector_hits += reflector->stats().requests_received;
+  }
+  EXPECT_GT(reflector_hits, 500u);
+  // And crucially: the attack packets carried the victim's address.
+  EXPECT_GT(metrics.sent(TrafficClass::kAttack), 500u);
+}
+
+TEST(ScenarioTest, TeardownAttackKillsSessions) {
+  SmallWorld world(13);
+  // One session host talking to a server, plus a teardown agent.
+  const NodeId server_node = world.topo.stub_nodes[0];
+  const NodeId client_node = world.topo.stub_nodes[1];
+  const NodeId agent_node = world.topo.stub_nodes[2];
+  auto* server = SpawnHost<Server>(world.net, server_node, FastLink());
+  SessionHostConfig session_config;
+  session_config.server = server->address();
+  session_config.session_count = 16;
+  auto* sessions =
+      SpawnHost<SessionHost>(world.net, client_node, FastLink(),
+                             session_config);
+  AttackDirective directive;
+  directive.type = AttackType::kTeardown;
+  directive.teardown_targets = {sessions->address()};
+  directive.teardown_claimed_server = server->address();
+  directive.teardown_port_base = 20000;
+  directive.teardown_port_range = 16;
+  directive.rate_pps = 50.0;
+  directive.duration = Seconds(3);
+  auto* agent =
+      SpawnHost<AgentHost>(world.net, agent_node, FastLink(), directive);
+
+  sessions->Start();
+  agent->StartFlood();
+  world.net.Run(Seconds(5));
+
+  EXPECT_LT(sessions->alive_sessions(), 4u);
+  EXPECT_GT(sessions->stats().teardowns_accepted, 12u);
+}
+
+TEST(ScenarioTest, ClientsHealthyWithoutAttack) {
+  SmallWorld world(17);
+  ScenarioParams params;
+  params.client_count = 5;
+  params.client_request_rate = 10.0;
+  params.master_count = 1;
+  params.agents_per_master = 1;
+  params.reflector_count = 2;
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+  world.net.Run(Seconds(3));
+  EXPECT_GT(scenario.ClientSuccessRatio(), 0.95);
+  EXPECT_GT(scenario.ClientMeanLatencyMs(), 0.0);
+}
+
+TEST(ScenarioTest, DirectSynFloodDegradesVictim) {
+  SmallWorld world(19);
+  ScenarioParams params;
+  params.master_count = 3;
+  params.agents_per_master = 10;
+  params.client_count = 5;
+  params.reflector_count = 2;
+  params.victim_config.conn_table_size = 256;
+  params.victim_config.syn_timeout = Seconds(3);
+  params.directive.type = AttackType::kDirectFlood;
+  params.directive.flood_proto = Protocol::kTcp;
+  params.directive.spoof = SpoofMode::kRandom;
+  params.directive.rate_pps = 200.0;
+  params.directive.duration = Seconds(4);
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  // Health check before attack.
+  world.net.Run(Seconds(1));
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(5));
+
+  EXPECT_LT(scenario.ClientSuccessRatio(), 0.8);
+  EXPECT_GT(scenario.victim->stats().denied_conn_table +
+                scenario.victim->stats().denied_cpu,
+            100u);
+}
+
+}  // namespace
+}  // namespace adtc

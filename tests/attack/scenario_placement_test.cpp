@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/scenario.h"
+#include "core/modules/rate_limit.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+TEST(ScenarioPlacementTest, AgentsNeverShareAsWithVictimOrClients) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1000ULL}) {
+    SmallWorld world(seed, 4, 40);
+    ScenarioParams params;
+    params.master_count = 3;
+    params.agents_per_master = 8;
+    params.client_count = 8;
+    params.reflector_count = 6;
+    Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+    std::vector<NodeId> protected_nodes;
+    protected_nodes.push_back(scenario.victim_node);
+    for (HostId host : scenario.client_hosts) {
+      protected_nodes.push_back(world.net.host_node(host));
+    }
+    for (HostId host : scenario.agent_hosts) {
+      const NodeId agent_node = world.net.host_node(host);
+      EXPECT_EQ(std::count(protected_nodes.begin(), protected_nodes.end(),
+                           agent_node),
+                0)
+          << "agent in protected AS " << agent_node << " (seed " << seed
+          << ")";
+    }
+  }
+}
+
+TEST(ScenarioPlacementTest, AttackerAndMastersAlsoAvoidProtectedAses) {
+  SmallWorld world(5, 4, 40);
+  ScenarioParams params;
+  params.client_count = 8;
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+  std::vector<NodeId> protected_nodes{scenario.victim_node};
+  for (HostId host : scenario.client_hosts) {
+    protected_nodes.push_back(world.net.host_node(host));
+  }
+  const NodeId attacker_node =
+      world.net.host_node(scenario.attacker->id());
+  EXPECT_EQ(std::count(protected_nodes.begin(), protected_nodes.end(),
+                       attacker_node),
+            0);
+}
+
+// --- RateLimitModule bounded tracking (the spoofed-flood defence) -----------
+
+TEST(RateLimitTrackingTest, FreshSpoofedPrefixesShareAggregateWhenTableFull) {
+  RateLimitModule module(/*rate_pps=*/10.0, /*burst=*/2.0,
+                         RateLimitModule::Granularity::kPerSrcPrefix);
+  module.set_max_tracked_prefixes(4);
+  DeviceContext ctx;
+  ctx.now = Seconds(1);
+
+  // Four distinct tracked sources each get their own burst.
+  for (std::uint32_t node = 0; node < 4; ++node) {
+    Packet p;
+    p.src = HostAddress(node, 1);
+    p.dst = HostAddress(99, 1);
+    EXPECT_EQ(module.OnPacket(p, ctx), kPortDefault) << node;
+  }
+  // Every further *new* prefix shares the aggregate bucket: its 2-token
+  // burst exhausts after 2 packets no matter how many fresh sources show
+  // up — a random-spoofed flood cannot farm fresh buckets.
+  int passed = 0;
+  for (std::uint32_t node = 100; node < 150; ++node) {
+    Packet p;
+    p.src = HostAddress(node, 1);
+    p.dst = HostAddress(99, 1);
+    passed += module.OnPacket(p, ctx) == kPortDefault ? 1 : 0;
+  }
+  EXPECT_EQ(passed, 2);
+}
+
+TEST(RateLimitTrackingTest, ReconfigureClampsExistingBuckets) {
+  RateLimitModule module(1e12, 1e12,
+                         RateLimitModule::Granularity::kPerSrcPrefix);
+  DeviceContext ctx;
+  ctx.now = Seconds(1);
+  Packet p;
+  p.src = HostAddress(1, 1);
+  p.dst = HostAddress(2, 1);
+  // Prime the bucket with an astronomic token count.
+  EXPECT_EQ(module.OnPacket(p, ctx), kPortDefault);
+  module.Reconfigure(10.0, 2.0);
+  // Tightening takes effect immediately: only ~2 tokens remain.
+  int passed = 0;
+  for (int i = 0; i < 20; ++i) {
+    Packet q = p;
+    passed += module.OnPacket(q, ctx) == kPortDefault ? 1 : 0;
+  }
+  EXPECT_LE(passed, 2);
+}
+
+// --- routers as reflectors (Sec. 2.2) ----------------------------------------
+
+class SinkHost : public Host {
+ public:
+  void HandlePacket(Packet&& packet) override {
+    received.push_back(std::move(packet));
+  }
+  std::vector<Packet> received;
+};
+
+TEST(RouterReflectorTest, IcmpErrorsReflectToSpoofedVictim) {
+  // "Some prominent examples [of reflectors] are ... routers. They return
+  //  ... ICMP time exceeded or ICMP host unreachable messages upon
+  //  certain IP packets."
+  SmallWorld world(9);
+  world.net.set_icmp_errors_enabled(true);
+  const LinkParams access{GigabitsPerSecond(1), Milliseconds(1),
+                          1024 * 1024};
+  auto* victim = SpawnHost<SinkHost>(world.net, world.topo.stub_nodes[0],
+                                     access);
+  auto* agent = SpawnHost<SinkHost>(world.net, world.topo.stub_nodes[7],
+                                    access);
+
+  // The agent sends packets to nonexistent hosts with the victim's
+  // address spoofed as source; routers reply to the victim.
+  for (int i = 0; i < 5; ++i) {
+    Packet probe = agent->MakePacket(
+        HostAddress(world.topo.stub_nodes[11], 200 + i), Protocol::kUdp,
+        64);
+    probe.src = victim->address();
+    probe.spoofed_src = true;
+    probe.klass = TrafficClass::kAttack;
+    agent->SendPacket(std::move(probe));
+  }
+  world.net.Run(Seconds(1));
+  ASSERT_FALSE(victim->received.empty());
+  for (const Packet& packet : victim->received) {
+    EXPECT_EQ(packet.proto, Protocol::kIcmp);
+    EXPECT_EQ(packet.icmp, IcmpType::kDestUnreachable);
+    EXPECT_EQ(packet.klass, TrafficClass::kReflected);
+    // The "reflector" is infrastructure: a router interface address.
+    EXPECT_EQ(AddressSlot(packet.src), kHostsPerNode + 1);
+  }
+}
+
+}  // namespace
+}  // namespace adtc

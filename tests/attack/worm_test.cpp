@@ -1,0 +1,103 @@
+#include "attack/worm.h"
+
+#include <gtest/gtest.h>
+
+#include "host/server.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+TEST(WormTest, PatientZeroInfectsAndScans) {
+  SmallWorld world(7);
+  WormOutbreak outbreak(world.net, WormParams{20.0, 8, 404});
+  outbreak.SeedPopulation(world.topo.stub_nodes, 40, FastLink());
+  ASSERT_GT(outbreak.population(), 20u);
+  outbreak.ReleaseWorm();
+  EXPECT_EQ(outbreak.infected_count(), 1u);
+  world.net.Run(Seconds(2));
+  EXPECT_GT(outbreak.hosts().front()->probes_sent(), 10u);
+}
+
+TEST(WormTest, EpidemicSpreads) {
+  SmallWorld world(11, 4, 40);
+  WormOutbreak outbreak(world.net, WormParams{50.0, 4, 404});
+  // Dense population: 3 hosts per stub in the low slots.
+  outbreak.SeedPopulation(world.topo.stub_nodes, 120, FastLink());
+  outbreak.ReleaseWorm();
+  world.net.Run(Seconds(60));
+  // At 50 probes/s over 44 nodes x 4 slots = 176 addresses with ~120
+  // vulnerable, the epidemic saturates comfortably within a minute.
+  EXPECT_GT(outbreak.infected_count(), outbreak.population() / 2);
+  // The curve is monotone non-decreasing.
+  const auto& curve = outbreak.infection_curve();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_EQ(curve[i].second, curve[i - 1].second + 1);
+  }
+}
+
+TEST(WormTest, EpidemicIsExponentialEarly) {
+  SmallWorld world(13, 4, 40);
+  WormOutbreak outbreak(world.net, WormParams{50.0, 4, 404});
+  outbreak.SeedPopulation(world.topo.stub_nodes, 120, FastLink());
+  outbreak.ReleaseWorm();
+  world.net.Run(Seconds(120));
+  const auto& curve = outbreak.infection_curve();
+  ASSERT_GT(curve.size(), 20u);
+  // Doubling time shrinks or stays similar while the susceptible pool is
+  // large: time to go 2->4 should not be much smaller than 16->32
+  // (i.e. growth is at least exponential-ish early on). We check the
+  // weaker, robust property: the second half of infections happens
+  // faster than the first half.
+  const SimTime half_time = curve[curve.size() / 2].first;
+  const SimTime full_time = curve.back().first;
+  EXPECT_LT(full_time - half_time, half_time - curve.front().first + Seconds(1));
+}
+
+TEST(WormTest, InfectedHostsCanBeArmedAsAgents) {
+  SmallWorld world(17, 4, 40);
+  auto* victim = SpawnHost<Server>(world.net, world.topo.stub_nodes[0],
+                                   FastLink());
+  WormOutbreak outbreak(world.net, WormParams{50.0, 4, 404});
+  outbreak.SeedPopulation(world.topo.stub_nodes, 100, FastLink());
+  outbreak.ReleaseWorm();
+  world.net.Run(Seconds(60));
+  ASSERT_GT(outbreak.infected_count(), 10u);
+
+  AttackDirective directive;
+  directive.type = AttackType::kDirectFlood;
+  directive.victim = victim->address();
+  directive.flood_proto = Protocol::kUdp;
+  directive.spoof = SpoofMode::kNone;
+  directive.rate_pps = 20.0;
+  directive.duration = Seconds(3);
+  const std::size_t armed = outbreak.ArmInfected(directive);
+  EXPECT_EQ(armed, outbreak.infected_count());
+
+  const auto before = world.net.metrics().sent(TrafficClass::kAttack);
+  world.net.Run(Seconds(5));
+  const auto after = world.net.metrics().sent(TrafficClass::kAttack);
+  // Tens of agents at 20 pps for 3 s: thousands of attack packets on top
+  // of the scan noise.
+  EXPECT_GT(after - before, armed * 20u);
+}
+
+TEST(WormTest, UninfectedHostsStayClean) {
+  SmallWorld world(19);
+  WormOutbreak outbreak(world.net, WormParams{10.0, 8, 404});
+  outbreak.SeedPopulation(world.topo.stub_nodes, 20, FastLink());
+  // No release: nothing happens.
+  world.net.Run(Seconds(10));
+  EXPECT_EQ(outbreak.infected_count(), 0u);
+  EXPECT_EQ(world.net.metrics().sent(TrafficClass::kAttack), 0u);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,78 @@
+#include "common/bloom.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter bloom(1000, 0.01);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    bloom.Insert(key * 7919);
+  }
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_TRUE(bloom.MayContain(key * 7919));
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearTarget) {
+  BloomFilter bloom(10000, 0.01);
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    bloom.Insert(key);
+  }
+  std::uint64_t false_positives = 0;
+  const std::uint64_t probes = 100000;
+  for (std::uint64_t key = 1'000'000; key < 1'000'000 + probes; ++key) {
+    false_positives += bloom.MayContain(key) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(rate, 0.03);  // target 0.01, generous margin
+  EXPECT_NEAR(bloom.EstimatedFalsePositiveRate(), 0.01, 0.01);
+}
+
+TEST(BloomTest, EmptyFilterContainsNothing) {
+  BloomFilter bloom(100, 0.01);
+  int hits = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    hits += bloom.MayContain(key) ? 1 : 0;
+  }
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(BloomTest, ClearResets) {
+  BloomFilter bloom(100, 0.01);
+  bloom.Insert(42);
+  EXPECT_TRUE(bloom.MayContain(42));
+  bloom.Clear();
+  EXPECT_FALSE(bloom.MayContain(42));
+  EXPECT_EQ(bloom.inserted(), 0u);
+}
+
+TEST(BloomTest, SizingMonotonicInTargetRate) {
+  BloomFilter loose(1000, 0.1);
+  BloomFilter tight(1000, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GE(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomTest, DegenerateParamsClamped) {
+  BloomFilter bloom(0, 2.0);  // clamped to >=1 item, rate <= 0.5
+  bloom.Insert(1);
+  EXPECT_TRUE(bloom.MayContain(1));
+  EXPECT_GE(bloom.bit_count(), 64u);
+}
+
+TEST(Mix64Test, MixesLowBitsIntoHighBits) {
+  // Consecutive inputs should produce well-spread outputs.
+  std::uint64_t previous = Mix64(0);
+  int high_bits_changed = 0;
+  for (std::uint64_t i = 1; i < 100; ++i) {
+    const std::uint64_t mixed = Mix64(i);
+    high_bits_changed += ((mixed ^ previous) >> 32) != 0 ? 1 : 0;
+    previous = mixed;
+  }
+  EXPECT_GT(high_bits_changed, 95);
+}
+
+}  // namespace
+}  // namespace adtc

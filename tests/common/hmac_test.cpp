@@ -1,0 +1,69 @@
+#include "common/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adtc {
+namespace {
+
+std::string Hex(const Sha256::Digest& digest) {
+  return Sha256::ToHex(digest);
+}
+
+// RFC 4231 test vectors.
+TEST(HmacTest, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  EXPECT_EQ(
+      Hex(HmacSha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                     std::span<const std::uint8_t>(
+                         reinterpret_cast<const std::uint8_t*>("Hi There"),
+                         8))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(Hex(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  const std::vector<std::uint8_t> key(20, 0xaa);
+  const std::vector<std::uint8_t> data(50, 0xdd);
+  EXPECT_EQ(
+      Hex(HmacSha256(std::span<const std::uint8_t>(key.data(), key.size()),
+                     std::span<const std::uint8_t>(data.data(), data.size()))),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, Rfc4231LongKey) {
+  // Case 6: 131-byte key (forces key hashing).
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  EXPECT_EQ(
+      Hex(HmacSha256(
+          std::span<const std::uint8_t>(key.data(), key.size()),
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(
+                  "Test Using Larger Than Block-Size Key - Hash Key First"),
+              54))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, KeyMattersMessageMatters) {
+  EXPECT_NE(HmacSha256("key1", "msg"), HmacSha256("key2", "msg"));
+  EXPECT_NE(HmacSha256("key", "msg1"), HmacSha256("key", "msg2"));
+}
+
+TEST(HmacTest, DigestEqualsConstantTimeSemantics) {
+  const auto a = HmacSha256("k", "m");
+  auto b = a;
+  EXPECT_TRUE(DigestEquals(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(DigestEquals(a, b));
+  b[31] ^= 1;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(DigestEquals(a, b));
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,61 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = PermissionDenied("not yours");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(status.message(), "not yours");
+  EXPECT_EQ(status.ToString(), "permission_denied: not yours");
+}
+
+TEST(StatusTest, AllHelpersProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(NotFound("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(SafetyViolation("x").code(), ErrorCode::kSafetyViolation);
+  EXPECT_EQ(Unavailable("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(AlreadyExists("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhausted("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+}
+
+TEST(StatusTest, ErrorCodeNamesAreStable) {
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kOk), "ok");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kSafetyViolation), "safety_violation");
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kUnavailable), "unavailable");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+}  // namespace
+}  // namespace adtc

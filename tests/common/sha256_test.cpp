@@ -1,0 +1,75 @@
+#include "common/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace adtc {
+namespace {
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.Update(chunk);
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const std::string message =
+      "The quick brown fox jumps over the lazy dog, repeatedly and with "
+      "increasing enthusiasm, until the message spans several blocks.";
+  const auto oneshot = Sha256::Hash(message);
+  for (std::size_t split = 0; split <= message.size(); split += 7) {
+    Sha256 hasher;
+    hasher.Update(std::string_view(message).substr(0, split));
+    hasher.Update(std::string_view(message).substr(split));
+    EXPECT_EQ(hasher.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  // 55, 56, 63, 64, 65 bytes cross the padding boundary cases.
+  const char* expected_55 =
+      "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318";
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash(std::string(55, 'a'))), expected_55);
+  // Sanity: neighbours differ.
+  EXPECT_NE(Sha256::ToHex(Sha256::Hash(std::string(56, 'a'))), expected_55);
+  EXPECT_NE(Sha256::ToHex(Sha256::Hash(std::string(64, 'a'))),
+            Sha256::ToHex(Sha256::Hash(std::string(65, 'a'))));
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 hasher;
+  hasher.Update("first");
+  (void)hasher.Finish();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::Hash("a"), Sha256::Hash("b"));
+  EXPECT_NE(Sha256::Hash("abc"), Sha256::Hash("abd"));
+}
+
+}  // namespace
+}  // namespace adtc

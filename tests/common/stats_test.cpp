@@ -1,0 +1,104 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adtc {
+namespace {
+
+TEST(SummaryStatsTest, BasicMoments) {
+  SummaryStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(SummaryStatsTest, EmptyIsZero) {
+  SummaryStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(SummaryStatsTest, MergeMatchesCombinedStream) {
+  SummaryStats a, b, combined;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 == 0 ? a : b).Add(x);
+    combined.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(SummaryStatsTest, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  SummaryStats target;
+  target.Merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(HistogramTest, BucketsAndPercentiles) {
+  Histogram hist(0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) hist.Add(i + 0.5);
+  EXPECT_EQ(hist.total(), 100u);
+  EXPECT_NEAR(hist.Percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(hist.Percentile(0.99), 99.0, 1.5);
+}
+
+TEST(HistogramTest, UnderflowOverflow) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.Add(-5.0);
+  hist.Add(15.0);
+  hist.Add(5.0);
+  EXPECT_EQ(hist.underflow(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsLowerBound) {
+  Histogram hist(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 2.0);
+}
+
+TEST(EwmaTest, FirstSampleInitialises) {
+  Ewma ewma(0.5);
+  EXPECT_FALSE(ewma.initialised());
+  ewma.Add(10.0);
+  EXPECT_TRUE(ewma.initialised());
+  EXPECT_DOUBLE_EQ(ewma.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesTowardConstant) {
+  Ewma ewma(0.25);
+  ewma.Add(0.0);
+  for (int i = 0; i < 50; ++i) ewma.Add(100.0);
+  EXPECT_NEAR(ewma.value(), 100.0, 0.01);
+}
+
+TEST(EwmaTest, ResetClears) {
+  Ewma ewma(0.5);
+  ewma.Add(5.0);
+  ewma.Reset();
+  EXPECT_FALSE(ewma.initialised());
+  EXPECT_DOUBLE_EQ(ewma.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adtc {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table("demo");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"beta", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("=== demo ==="), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::Int(-42), "-42");
+  EXPECT_EQ(Table::Pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(Table::Pct(1.0, 0), "100%");
+}
+
+TEST(TableTest, ColumnsAlign) {
+  Table table;
+  table.SetHeader({"a", "long-header"});
+  table.AddRow({"longer-cell", "x"});
+  std::ostringstream out;
+  table.Print(out);
+  // Every printed row has the same length (aligned columns).
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t width = 0;
+  int rows = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    if (line[1] == '-') continue;  // rule line has its own format
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  std::ostringstream out;
+  table.Print(out);  // must not crash, missing cells empty
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,80 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace adtc {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { counter++; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelForTest, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(1000, [&hits](std::size_t i) { hits[i]++; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  bool ran = false;
+  ParallelFor(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SingleThreadFallback) {
+  std::vector<int> order;
+  ParallelFor(10, [&order](std::size_t i) { order.push_back(static_cast<int>(i)); },
+              /*max_threads=*/1);
+  // Sequential fallback preserves order.
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  EXPECT_THROW(
+      ParallelFor(100,
+                  [](std::size_t i) {
+                    if (i == 37) throw std::logic_error("bad index");
+                  },
+                  4),
+      std::logic_error);
+}
+
+TEST(ParallelForTest, ResultMatchesSequential) {
+  // Monte-Carlo-style accumulation: parallel partial sums equal serial.
+  std::vector<double> parallel_out(64, 0.0);
+  ParallelFor(64, [&parallel_out](std::size_t i) {
+    double acc = 0.0;
+    for (int k = 0; k < 1000; ++k) acc += (i + 1) * 0.001;
+    parallel_out[i] = acc;
+  });
+  for (std::size_t i = 0; i < 64; ++i) {
+    double acc = 0.0;
+    for (int k = 0; k < 1000; ++k) acc += (i + 1) * 0.001;
+    EXPECT_DOUBLE_EQ(parallel_out[i], acc);
+  }
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,87 @@
+#include "core/certificate.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+OwnershipCertificate IssueSample(const CertificateAuthority& ca,
+                                 SimTime now = Seconds(100)) {
+  return ca.Issue(7, "acme-shop",
+                  {*Prefix::Parse("10.5.0.0/16"), *Prefix::Parse("11.0.0.0/8")},
+                  now, Seconds(3600));
+}
+
+TEST(CertificateTest, IssueAndVerify) {
+  CertificateAuthority ca("secret-key");
+  const auto cert = IssueSample(ca);
+  EXPECT_TRUE(ca.Verify(cert, Seconds(200)));
+  EXPECT_EQ(cert.subscriber, 7u);
+  EXPECT_EQ(cert.subject, "acme-shop");
+}
+
+TEST(CertificateTest, ExpiryWindowEnforced) {
+  CertificateAuthority ca("secret-key");
+  const auto cert = IssueSample(ca, Seconds(100));
+  EXPECT_FALSE(ca.Verify(cert, Seconds(99)));          // not yet valid
+  EXPECT_TRUE(ca.Verify(cert, Seconds(100)));
+  EXPECT_TRUE(ca.Verify(cert, Seconds(100) + Seconds(3599)));
+  EXPECT_FALSE(ca.Verify(cert, Seconds(100) + Seconds(3600)));  // expired
+}
+
+TEST(CertificateTest, TamperedPrefixesRejected) {
+  CertificateAuthority ca("secret-key");
+  auto cert = IssueSample(ca);
+  cert.prefixes.push_back(*Prefix::Parse("12.0.0.0/8"));
+  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+}
+
+TEST(CertificateTest, TamperedSubjectRejected) {
+  CertificateAuthority ca("secret-key");
+  auto cert = IssueSample(ca);
+  cert.subject = "evil-corp";
+  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+}
+
+TEST(CertificateTest, TamperedSubscriberRejected) {
+  CertificateAuthority ca("secret-key");
+  auto cert = IssueSample(ca);
+  cert.subscriber = 8;
+  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+}
+
+TEST(CertificateTest, WrongKeyRejected) {
+  CertificateAuthority ca("secret-key");
+  CertificateAuthority impostor("other-key");
+  const auto cert = IssueSample(ca);
+  EXPECT_FALSE(impostor.Verify(cert, Seconds(200)));
+  // A certificate forged by the impostor fails against the real CA.
+  const auto forged = impostor.Issue(7, "acme-shop", cert.prefixes,
+                                     Seconds(100), Seconds(3600));
+  EXPECT_FALSE(ca.Verify(forged, Seconds(200)));
+}
+
+TEST(CertificateTest, CoversPrefixAndAddress) {
+  CertificateAuthority ca("k");
+  const auto cert = IssueSample(ca);
+  EXPECT_TRUE(cert.CoversPrefix(*Prefix::Parse("10.5.1.0/24")));
+  EXPECT_TRUE(cert.CoversPrefix(*Prefix::Parse("11.200.0.0/16")));
+  EXPECT_FALSE(cert.CoversPrefix(*Prefix::Parse("10.0.0.0/8")));  // wider
+  EXPECT_TRUE(cert.CoversAddress(*Ipv4Address::Parse("10.5.0.1")));
+  EXPECT_FALSE(cert.CoversAddress(*Ipv4Address::Parse("10.6.0.1")));
+}
+
+TEST(CertificateTest, CanonicalBodyIndependentOfPrefixOrder) {
+  CertificateAuthority ca("k");
+  const auto a = ca.Issue(1, "s", {*Prefix::Parse("10.0.0.0/8"),
+                                   *Prefix::Parse("11.0.0.0/8")},
+                          0, Seconds(10));
+  const auto b = ca.Issue(1, "s", {*Prefix::Parse("11.0.0.0/8"),
+                                   *Prefix::Parse("10.0.0.0/8")},
+                          0, Seconds(10));
+  EXPECT_EQ(a.CanonicalBody(), b.CanonicalBody());
+  EXPECT_EQ(a.signature, b.signature);
+}
+
+}  // namespace
+}  // namespace adtc

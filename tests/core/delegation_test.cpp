@@ -1,0 +1,125 @@
+// Delegation (Sec. 4.1): "Traffic control can be executed by a designated
+// party on behalf of a network address owner" — e.g. a managed-security
+// provider operating the defence for its customer.
+#include <gtest/gtest.h>
+
+#include "core/tcsp.h"
+#include "host/client.h"
+#include "host/server.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+struct DelegationWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  DelegationWorld() : SmallWorld(71), tcsp(net, authority, "dg-key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp", net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+  }
+};
+
+TEST(DelegationTest, DelegateGetsItsOwnSubscriberIdentity) {
+  DelegationWorld world;
+  const auto owner = world.tcsp.Register("as3", {NodePrefix(3)});
+  ASSERT_TRUE(owner.ok());
+  const auto delegate = world.tcsp.RegisterDelegate(
+      owner.value(), "soc-provider", {NodePrefix(3)});
+  ASSERT_TRUE(delegate.ok()) << delegate.status().ToString();
+  EXPECT_NE(delegate.value().subscriber, owner.value().subscriber);
+  EXPECT_EQ(delegate.value().subject, "soc-provider");
+  EXPECT_TRUE(world.tcsp.certificate_authority().Verify(
+      delegate.value(), world.net.sim().Now()));
+}
+
+TEST(DelegationTest, DelegateCanDeployForTheOwnersPrefixes) {
+  DelegationWorld world;
+  const auto owner = world.tcsp.Register("as3", {NodePrefix(3)});
+  ASSERT_TRUE(owner.ok());
+  const auto delegate = world.tcsp.RegisterDelegate(
+      owner.value(), "soc-provider", {NodePrefix(3)});
+  ASSERT_TRUE(delegate.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.control_scope = {NodePrefix(3)};
+  const auto report =
+      world.tcsp.DeployServiceNow(delegate.value(), request);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.devices_configured, world.net.node_count());
+}
+
+TEST(DelegationTest, DelegationCannotExceedOwnership) {
+  DelegationWorld world;
+  const auto owner = world.tcsp.Register("as3", {NodePrefix(3)});
+  ASSERT_TRUE(owner.ok());
+  const auto overreach = world.tcsp.RegisterDelegate(
+      owner.value(), "soc-provider", {NodePrefix(4)});
+  EXPECT_FALSE(overreach.ok());
+  EXPECT_EQ(overreach.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(DelegationTest, ForgedOwnerCertificateRejected) {
+  DelegationWorld world;
+  CertificateAuthority impostor("not-the-tcsp-key");
+  const auto forged = impostor.Issue(99, "as3", {NodePrefix(3)},
+                                     world.net.sim().Now(), Seconds(3600));
+  const auto result = world.tcsp.RegisterDelegate(
+      forged, "soc-provider", {NodePrefix(3)});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(DelegationTest, EmptyDelegationRejected) {
+  DelegationWorld world;
+  const auto owner = world.tcsp.Register("as3", {NodePrefix(3)});
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(world.tcsp.RegisterDelegate(owner.value(), "soc", {})
+                .status()
+                .code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(RouterTelemetryTest, ContextExposesRouterState) {
+  DelegationWorld world;
+  DeviceContext ctx;
+  ctx.net = &world.net;
+  ctx.node = world.topo.stub_nodes[0];
+  EXPECT_EQ(ctx.RouterForwardedPackets(), 0u);
+  EXPECT_EQ(ctx.RouterDropShare(), 0.0);
+
+  // Drive some traffic and observe the counters move.
+  auto* a = SpawnHost<Server>(world.net, world.topo.stub_nodes[0],
+                              LinkParams{GigabitsPerSecond(1),
+                                         Milliseconds(1), 1024 * 1024});
+  (void)a;
+  ClientConfig config;
+  config.server = a->address();
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 50.0;
+  SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
+                    LinkParams{GigabitsPerSecond(1), Milliseconds(1),
+                               1024 * 1024},
+                    config)
+      ->Start();
+  world.net.Run(Seconds(2));
+  EXPECT_GT(ctx.RouterForwardedPackets(), 50u);
+  EXPECT_GE(ctx.RouterDropShare(), 0.0);
+  EXPECT_LE(ctx.RouterDropShare(), 1.0);
+
+  DeviceContext detached;  // null-safe
+  EXPECT_EQ(detached.RouterForwardedPackets(), 0u);
+  EXPECT_EQ(detached.RouterDropShare(), 0.0);
+}
+
+}  // namespace
+}  // namespace adtc

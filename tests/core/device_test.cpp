@@ -1,0 +1,281 @@
+#include "core/adaptive_device.h"
+
+#include <gtest/gtest.h>
+
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+CertificateAuthority& Ca() {
+  static CertificateAuthority ca("tcsp-key");
+  return ca;
+}
+
+OwnershipCertificate CertFor(SubscriberId subscriber, NodeId node) {
+  return Ca().Issue(subscriber, "owner-of-" + std::to_string(node),
+                    {NodePrefix(node)}, 0, Seconds(3600));
+}
+
+RouterContext Ctx(NodeId node = 0,
+                  LinkKind in_kind = LinkKind::kPeer) {
+  RouterContext ctx;
+  ctx.node = node;
+  ctx.in_kind = in_kind;
+  ctx.now = Seconds(1);
+  return ctx;
+}
+
+Packet PacketBetween(NodeId src_node, NodeId dst_node) {
+  Packet p;
+  p.src = HostAddress(src_node, 1);
+  p.dst = HostAddress(dst_node, 1);
+  p.proto = Protocol::kUdp;
+  p.dst_port = 80;
+  p.size_bytes = 100;
+  return p;
+}
+
+/// Malicious modules for the runtime-guard tests.
+class SrcRewriter : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.src = Ipv4Address(0xDEAD);
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }  // lies
+};
+
+class TtlBooster : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.ttl = 255;
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+class Amplifier : public Module {
+ public:
+  int OnPacket(Packet& p, const DeviceContext&) override {
+    p.size_bytes *= 10;
+    return 0;
+  }
+  std::string_view type_name() const override { return "match"; }
+};
+
+TEST(AdaptiveDeviceTest, FastPathForUnmatchedTraffic) {
+  AdaptiveDevice device(0);
+  Packet p = PacketBetween(1, 2);
+  EXPECT_EQ(device.Process(p, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.stats().fast_path_packets, 1u);
+  EXPECT_EQ(device.stats().redirected_packets, 0u);
+}
+
+TEST(AdaptiveDeviceTest, InstallRequiresScopeWithinCertificate) {
+  AdaptiveDevice device(0);
+  const auto cert = CertFor(1, 5);
+  const Status status = device.InstallDeployment(
+      cert, {NodePrefix(6)},
+      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt);
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_FALSE(device.HasDeployment(1));
+}
+
+TEST(AdaptiveDeviceTest, DestinationStageControlsInboundTraffic) {
+  AdaptiveDevice device(0);
+  const auto cert = CertFor(1, 5);
+  // Owner of node 5 drops all UDP port 80 to itself.
+  MatchRule rule;
+  rule.proto = Protocol::kUdp;
+  rule.dst_port_range = {{80, 80}};
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      cert, {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<MatchModule>(rule))));
+
+  Packet inbound = PacketBetween(1, 5);
+  EXPECT_EQ(device.Process(inbound, Ctx()), Verdict::kDrop);
+  EXPECT_EQ(device.stats().redirected_packets, 1u);
+  EXPECT_EQ(device.stats().stage2_runs, 1u);
+  EXPECT_EQ(device.stats().stage1_runs, 0u);
+
+  // Traffic not to/from node 5 is untouched.
+  Packet unrelated = PacketBetween(1, 2);
+  EXPECT_EQ(device.Process(unrelated, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.stats().fast_path_packets, 1u);
+}
+
+TEST(AdaptiveDeviceTest, SourceStageControlsOutboundAndSpoofedTraffic) {
+  AdaptiveDevice device(0);
+  const auto cert = CertFor(1, 5);
+  MatchRule all;
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      cert, {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<MatchModule>(all)),
+      std::nullopt));
+  // A packet whose *source* claims node 5's space is stage-1 processed,
+  // wherever it shows up.
+  Packet claiming = PacketBetween(5, 2);
+  EXPECT_EQ(device.Process(claiming, Ctx()), Verdict::kDrop);
+  EXPECT_EQ(device.stats().stage1_runs, 1u);
+}
+
+TEST(AdaptiveDeviceTest, BothStagesRunWhenBothOwnersDeployed) {
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(2, 6), {NodePrefix(6)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<CounterModule>())));
+
+  Packet p = PacketBetween(5, 6);
+  EXPECT_EQ(device.Process(p, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.stats().stage1_runs, 1u);  // source owner (sub 1)
+  EXPECT_EQ(device.stats().stage2_runs, 1u);  // destination owner (sub 2)
+}
+
+TEST(AdaptiveDeviceTest, SourceStageDropShortCircuitsStageTwo) {
+  AdaptiveDevice device(0);
+  MatchRule all;
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<MatchModule>(all)),
+      std::nullopt));
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(2, 6), {NodePrefix(6)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<CounterModule>())));
+  Packet p = PacketBetween(5, 6);
+  EXPECT_EQ(device.Process(p, Ctx()), Verdict::kDrop);
+  EXPECT_EQ(device.stats().stage2_runs, 0u);
+}
+
+TEST(AdaptiveDeviceTest, DuplicateDeploymentRejected) {
+  AdaptiveDevice device(0);
+  const auto cert = CertFor(1, 5);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      cert, {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+  EXPECT_EQ(device
+                .InstallDeployment(
+                    cert, {NodePrefix(5)},
+                    ModuleGraph::Single(std::make_unique<CounterModule>()),
+                    std::nullopt)
+                .code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(AdaptiveDeviceTest, ScopeCollisionBetweenSubscribersRejected) {
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+  // A second subscriber with a certificate for the same prefix (e.g. a
+  // forged-but-signed config mishap) cannot shadow the first.
+  EXPECT_EQ(device
+                .InstallDeployment(
+                    CertFor(2, 5), {NodePrefix(5)},
+                    ModuleGraph::Single(std::make_unique<CounterModule>()),
+                    std::nullopt)
+                .code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(AdaptiveDeviceTest, RemoveDeploymentRestoresFastPath) {
+  AdaptiveDevice device(0);
+  MatchRule all;
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<MatchModule>(all))));
+  Packet p = PacketBetween(1, 5);
+  EXPECT_EQ(device.Process(p, Ctx()), Verdict::kDrop);
+  ADTC_ASSERT_OK(device.RemoveDeployment(1));
+  Packet again = PacketBetween(1, 5);
+  EXPECT_EQ(device.Process(again, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.redirect_prefix_count(), 0u);
+  EXPECT_EQ(device.RemoveDeployment(1).code(), ErrorCode::kNotFound);
+}
+
+TEST(AdaptiveDeviceTest, SourceRewriteQuarantinesDeployment) {
+  EventBuffer events;
+  AdaptiveDevice device(0, &events);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<SrcRewriter>())));
+  Packet p = PacketBetween(1, 5);
+  const Ipv4Address original_src = p.src;
+  EXPECT_EQ(device.Process(p, Ctx()), Verdict::kForward);  // fail open
+  EXPECT_EQ(p.src, original_src);                           // restored
+  EXPECT_TRUE(device.IsQuarantined(1));
+  EXPECT_EQ(device.stats().safety_violations, 1u);
+  EXPECT_EQ(events.CountOf(EventKind::kSafetyViolation), 1u);
+
+  // Quarantined deployment no longer processes anything.
+  Packet second = PacketBetween(1, 5);
+  EXPECT_EQ(device.Process(second, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.stats().safety_violations, 1u);
+}
+
+TEST(AdaptiveDeviceTest, TtlModificationBlocked) {
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<TtlBooster>())));
+  Packet p = PacketBetween(1, 5);
+  p.ttl = 60;
+  device.Process(p, Ctx());
+  EXPECT_EQ(p.ttl, 60);
+  EXPECT_TRUE(device.IsQuarantined(1));
+}
+
+TEST(AdaptiveDeviceTest, AmplificationBlocked) {
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<Amplifier>())));
+  Packet p = PacketBetween(1, 5);
+  p.size_bytes = 100;
+  device.Process(p, Ctx());
+  EXPECT_EQ(p.size_bytes, 100u);
+  EXPECT_TRUE(device.IsQuarantined(1));
+}
+
+TEST(AdaptiveDeviceTest, StageGraphAccessor) {
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)},
+      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+  EXPECT_NE(device.StageGraph(1, ProcessingStage::kSourceOwner), nullptr);
+  EXPECT_EQ(device.StageGraph(1, ProcessingStage::kDestinationOwner),
+            nullptr);
+  EXPECT_EQ(device.StageGraph(9, ProcessingStage::kSourceOwner), nullptr);
+}
+
+TEST(AdaptiveDeviceTest, MostSpecificOwnerWins) {
+  // AS owns the /20; a customer owns a /32 inside it. The customer's
+  // deployment must control traffic to its host.
+  AdaptiveDevice device(0);
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<CounterModule>())));
+  const Prefix host_prefix = Prefix::Host(HostAddress(5, 9));
+  const auto host_cert =
+      Ca().Issue(2, "customer", {host_prefix}, 0, Seconds(3600));
+  MatchRule all;
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      host_cert, {host_prefix}, std::nullopt,
+      ModuleGraph::Single(std::make_unique<MatchModule>(all))));
+
+  Packet to_host = PacketBetween(1, 5);
+  to_host.dst = HostAddress(5, 9);
+  EXPECT_EQ(device.Process(to_host, Ctx()), Verdict::kDrop);  // customer rule
+
+  Packet to_other = PacketBetween(1, 5);
+  to_other.dst = HostAddress(5, 10);
+  EXPECT_EQ(device.Process(to_other, Ctx()), Verdict::kForward);  // AS rule
+}
+
+}  // namespace
+}  // namespace adtc

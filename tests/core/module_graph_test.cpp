@@ -1,0 +1,169 @@
+#include "core/module_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+Packet UdpPacket(std::uint16_t dst_port = 80) {
+  Packet p;
+  p.src = HostAddress(1, 1);
+  p.dst = HostAddress(2, 1);
+  p.proto = Protocol::kUdp;
+  p.dst_port = dst_port;
+  p.size_bytes = 100;
+  return p;
+}
+
+DeviceContext Ctx() {
+  DeviceContext ctx;
+  ctx.now = Seconds(1);
+  return ctx;
+}
+
+TEST(ModuleGraphTest, SingleCounterAccepts) {
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  ASSERT_TRUE(graph.validated());
+  Packet p = UdpPacket();
+  const DeviceContext ctx = Ctx();
+  EXPECT_EQ(graph.Execute(p, ctx), Verdict::kForward);
+  EXPECT_EQ(graph.packets_processed(), 1u);
+  EXPECT_EQ(graph.packets_dropped(), 0u);
+}
+
+TEST(ModuleGraphTest, MatchPortOneDrops) {
+  MatchRule rule;
+  rule.proto = Protocol::kUdp;
+  rule.dst_port_range = {{80, 80}};
+  ModuleGraph graph =
+      ModuleGraph::Single(std::make_unique<MatchModule>(rule));
+  Packet hit = UdpPacket(80);
+  Packet miss = UdpPacket(443);
+  const DeviceContext ctx = Ctx();
+  EXPECT_EQ(graph.Execute(hit, ctx), Verdict::kDrop);
+  EXPECT_EQ(graph.Execute(miss, ctx), Verdict::kForward);
+  EXPECT_EQ(graph.packets_dropped(), 1u);
+}
+
+TEST(ModuleGraphTest, ChainRunsInOrder) {
+  std::vector<std::unique_ptr<Module>> modules;
+  modules.push_back(std::make_unique<CounterModule>());
+  modules.push_back(std::make_unique<CounterModule>());
+  ModuleGraph graph = ModuleGraph::Chain(std::move(modules));
+  Packet p = UdpPacket();
+  const DeviceContext ctx = Ctx();
+  EXPECT_EQ(graph.Execute(p, ctx), Verdict::kForward);
+  EXPECT_EQ(static_cast<const CounterModule*>(graph.module(0))->packets(), 1u);
+  EXPECT_EQ(static_cast<const CounterModule*>(graph.module(1))->packets(), 1u);
+}
+
+TEST(ModuleGraphTest, BranchingRoutesByPort) {
+  // match(port 80) -> [1] blacklist-ish drop path with counter, [0] accept.
+  ModuleGraph graph;
+  MatchRule rule;
+  rule.dst_port_range = {{80, 80}};
+  const int match = graph.AddModule(std::make_unique<MatchModule>(rule));
+  const int on_match = graph.AddModule(std::make_unique<CounterModule>());
+  ASSERT_TRUE(graph.SetEntry(match).ok());
+  ASSERT_TRUE(graph.WireTerminal(match, kPortDefault,
+                                 ModuleGraph::Terminal::kAccept)
+                  .ok());
+  ASSERT_TRUE(graph.Wire(match, kPortAlt, on_match).ok());
+  ASSERT_TRUE(graph.WireTerminal(on_match, kPortDefault,
+                                 ModuleGraph::Terminal::kDrop)
+                  .ok());
+  ADTC_ASSERT_OK(graph.Validate());
+
+  Packet hit = UdpPacket(80);
+  Packet miss = UdpPacket(443);
+  const DeviceContext ctx = Ctx();
+  EXPECT_EQ(graph.Execute(hit, ctx), Verdict::kDrop);
+  EXPECT_EQ(graph.Execute(miss, ctx), Verdict::kForward);
+  EXPECT_EQ(static_cast<const CounterModule*>(graph.module(on_match))
+                ->packets(),
+            1u);
+}
+
+TEST(ModuleGraphTest, ValidateRejectsEmptyGraph) {
+  ModuleGraph graph;
+  EXPECT_EQ(graph.Validate().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ModuleGraphTest, ValidateRejectsMissingEntry) {
+  ModuleGraph graph;
+  const int counter = graph.AddModule(std::make_unique<CounterModule>());
+  (void)graph.WireTerminal(counter, 0, ModuleGraph::Terminal::kAccept);
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(ModuleGraphTest, ValidateRejectsUnwiredPort) {
+  ModuleGraph graph;
+  MatchRule rule;
+  const int match = graph.AddModule(std::make_unique<MatchModule>(rule));
+  (void)graph.SetEntry(match);
+  (void)graph.WireTerminal(match, 0, ModuleGraph::Terminal::kAccept);
+  // Port 1 left unwired.
+  EXPECT_FALSE(graph.Validate().ok());
+}
+
+TEST(ModuleGraphTest, ValidateRejectsCycle) {
+  ModuleGraph graph;
+  const int a = graph.AddModule(std::make_unique<CounterModule>());
+  const int b = graph.AddModule(std::make_unique<CounterModule>());
+  (void)graph.SetEntry(a);
+  (void)graph.Wire(a, 0, b);
+  (void)graph.Wire(b, 0, a);  // cycle
+  const Status status = graph.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("cycle"), std::string::npos);
+}
+
+TEST(ModuleGraphTest, WireRejectsBadIds) {
+  ModuleGraph graph;
+  const int a = graph.AddModule(std::make_unique<CounterModule>());
+  EXPECT_FALSE(graph.Wire(a, 0, 99).ok());
+  EXPECT_FALSE(graph.Wire(99, 0, a).ok());
+  EXPECT_FALSE(graph.Wire(a, 5, a).ok());  // port out of range
+  EXPECT_FALSE(graph.SetEntry(-1).ok());
+}
+
+TEST(ModuleGraphTest, RewiringInvalidatesUntilRevalidated) {
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  EXPECT_TRUE(graph.validated());
+  const int extra = graph.AddModule(std::make_unique<CounterModule>());
+  EXPECT_FALSE(graph.validated());
+  (void)graph.WireTerminal(extra, 0, ModuleGraph::Terminal::kAccept);
+  ADTC_EXPECT_OK(graph.Validate());
+}
+
+TEST(ModuleGraphTest, FindModuleLocatesByType) {
+  std::vector<std::unique_ptr<Module>> modules;
+  modules.push_back(std::make_unique<CounterModule>());
+  modules.push_back(std::make_unique<PayloadDeleteModule>());
+  ModuleGraph graph = ModuleGraph::Chain(std::move(modules));
+  EXPECT_NE(graph.FindModule<PayloadDeleteModule>(), nullptr);
+  EXPECT_NE(graph.FindModule<CounterModule>(), nullptr);
+  EXPECT_EQ(graph.FindModule<MatchModule>(), nullptr);
+}
+
+TEST(ModuleGraphTest, DeepChainExecutes) {
+  std::vector<std::unique_ptr<Module>> modules;
+  for (int i = 0; i < 30; ++i) {
+    modules.push_back(std::make_unique<CounterModule>());
+  }
+  ModuleGraph graph = ModuleGraph::Chain(std::move(modules));
+  Packet p = UdpPacket();
+  const DeviceContext ctx = Ctx();
+  EXPECT_EQ(graph.Execute(p, ctx), Verdict::kForward);
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(static_cast<const CounterModule*>(graph.module(i))->packets(),
+              1u);
+  }
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,453 @@
+#include <gtest/gtest.h>
+
+#include "core/modules/antispoof.h"
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+#include "core/modules/observe.h"
+#include "core/modules/rate_limit.h"
+#include "core/modules/traceback.h"
+#include "net/network.h"
+
+namespace adtc {
+namespace {
+
+Packet UdpPacket(NodeId src_node = 1, NodeId dst_node = 2,
+                 std::uint16_t dst_port = 80) {
+  Packet p;
+  p.src = HostAddress(src_node, 1);
+  p.dst = HostAddress(dst_node, 1);
+  p.proto = Protocol::kUdp;
+  p.dst_port = dst_port;
+  p.size_bytes = 100;
+  p.serial = 1;
+  p.payload_hash = 1;
+  return p;
+}
+
+DeviceContext CtxAt(SimTime now, LinkKind in_kind = LinkKind::kAccessUp,
+                    NodeId node = 1) {
+  DeviceContext ctx;
+  ctx.now = now;
+  ctx.in_kind = in_kind;
+  ctx.node = node;
+  return ctx;
+}
+
+// --- MatchRule ---------------------------------------------------------------
+
+TEST(MatchRuleTest, EmptyRuleMatchesEverything) {
+  MatchRule rule;
+  EXPECT_TRUE(rule.Matches(UdpPacket()));
+}
+
+TEST(MatchRuleTest, EachFieldConstrains) {
+  Packet p = UdpPacket(1, 2, 80);
+  p.proto = Protocol::kTcp;
+  p.tcp_flags = tcp::kSyn;
+  p.src_port = 1234;
+
+  MatchRule rule;
+  rule.src_prefix = NodePrefix(1);
+  EXPECT_TRUE(rule.Matches(p));
+  rule.src_prefix = NodePrefix(9);
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.dst_prefix = NodePrefix(2);
+  EXPECT_TRUE(rule.Matches(p));
+  rule.dst_prefix = NodePrefix(9);
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.proto = Protocol::kTcp;
+  EXPECT_TRUE(rule.Matches(p));
+  rule.proto = Protocol::kIcmp;
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.dst_port_range = {{79, 81}};
+  EXPECT_TRUE(rule.Matches(p));
+  rule.dst_port_range = {{81, 90}};
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.src_port_range = {{1234, 1234}};
+  EXPECT_TRUE(rule.Matches(p));
+  rule.src_port_range = {{1, 2}};
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.tcp_flags_all = tcp::kSyn;
+  EXPECT_TRUE(rule.Matches(p));
+  rule.tcp_flags_all = static_cast<std::uint8_t>(tcp::kSyn | tcp::kAck);
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.size_range = {{50, 150}};
+  EXPECT_TRUE(rule.Matches(p));
+  rule.size_range = {{200, 300}};
+  EXPECT_FALSE(rule.Matches(p));
+
+  rule = MatchRule{};
+  rule.payload_hash = 1;
+  EXPECT_TRUE(rule.Matches(p));
+  rule.payload_hash = 2;
+  EXPECT_FALSE(rule.Matches(p));
+}
+
+TEST(MatchRuleTest, TcpFlagsRequireTcp) {
+  MatchRule rule;
+  rule.tcp_flags_all = tcp::kRst;
+  Packet p = UdpPacket();  // UDP
+  EXPECT_FALSE(rule.Matches(p));
+}
+
+TEST(MatchRuleTest, IcmpTypeMatch) {
+  MatchRule rule;
+  rule.icmp = IcmpType::kDestUnreachable;
+  Packet p = UdpPacket();
+  p.proto = Protocol::kIcmp;
+  p.icmp = IcmpType::kDestUnreachable;
+  EXPECT_TRUE(rule.Matches(p));
+  p.icmp = IcmpType::kEchoRequest;
+  EXPECT_FALSE(rule.Matches(p));
+}
+
+TEST(MatchModuleTest, InactiveRuleNeverMatches) {
+  MatchRule rule;  // matches everything
+  MatchModule module(rule);
+  module.set_active(false);
+  Packet p = UdpPacket();
+  const DeviceContext ctx = CtxAt(0);
+  EXPECT_EQ(module.OnPacket(p, ctx), kPortDefault);
+  module.set_active(true);
+  EXPECT_EQ(module.OnPacket(p, ctx), kPortAlt);
+  EXPECT_EQ(module.matched(), 1u);
+}
+
+TEST(MatchRuleTest, DescribeMentionsFields) {
+  MatchRule rule;
+  rule.src_prefix = NodePrefix(3);
+  rule.proto = Protocol::kTcp;
+  const std::string description = rule.Describe();
+  EXPECT_NE(description.find("src="), std::string::npos);
+  EXPECT_NE(description.find("tcp"), std::string::npos);
+}
+
+// --- Blacklist / PayloadDelete / Counter -------------------------------------
+
+TEST(BlacklistModuleTest, FlagsListedSources) {
+  BlacklistModule module;
+  module.Add(HostAddress(5, 7));
+  module.Add(NodePrefix(9));
+  const DeviceContext ctx = CtxAt(0);
+
+  Packet listed_host = UdpPacket();
+  listed_host.src = HostAddress(5, 7);
+  EXPECT_EQ(module.OnPacket(listed_host, ctx), kPortAlt);
+
+  Packet listed_prefix = UdpPacket();
+  listed_prefix.src = HostAddress(9, 123);
+  EXPECT_EQ(module.OnPacket(listed_prefix, ctx), kPortAlt);
+
+  Packet clean = UdpPacket();
+  clean.src = HostAddress(5, 8);
+  EXPECT_EQ(module.OnPacket(clean, ctx), kPortDefault);
+  EXPECT_EQ(module.hits(), 2u);
+}
+
+TEST(BlacklistModuleTest, RemoveUnlists) {
+  BlacklistModule module;
+  module.Add(NodePrefix(9));
+  EXPECT_TRUE(module.Remove(NodePrefix(9)));
+  Packet p = UdpPacket();
+  p.src = HostAddress(9, 1);
+  const DeviceContext ctx = CtxAt(0);
+  EXPECT_EQ(module.OnPacket(p, ctx), kPortDefault);
+}
+
+TEST(PayloadDeleteModuleTest, ShrinksToHeader) {
+  PayloadDeleteModule module(40);
+  Packet p = UdpPacket();
+  p.size_bytes = 1500;
+  p.payload_hash = 123;
+  const DeviceContext ctx = CtxAt(0);
+  EXPECT_EQ(module.OnPacket(p, ctx), kPortDefault);
+  EXPECT_EQ(p.size_bytes, 40u);
+  EXPECT_EQ(p.payload_hash, 0u);
+  EXPECT_EQ(module.stripped_bytes(), 1460u);
+}
+
+TEST(PayloadDeleteModuleTest, NeverGrows) {
+  PayloadDeleteModule module(40);
+  Packet p = UdpPacket();
+  p.size_bytes = 30;  // already below header size
+  const DeviceContext ctx = CtxAt(0);
+  module.OnPacket(p, ctx);
+  EXPECT_EQ(p.size_bytes, 30u);
+}
+
+// --- AntiSpoof ---------------------------------------------------------------
+
+TEST(AntiSpoofTest, OwnerModeFlagsSpoofAtForeignEdge) {
+  AntiSpoofModule module(AntiSpoofModule::Mode::kProtectOwnerPrefixes);
+  module.AddProtectedPrefix(NodePrefix(9));  // the victim's prefix
+  module.AddLegitimateSourceNode(9);
+
+  // Spoofed packet claiming the victim's address enters at node 3.
+  Packet spoofed = UdpPacket();
+  spoofed.src = HostAddress(9, 1);
+  DeviceContext ctx = CtxAt(0, LinkKind::kAccessUp, /*node=*/3);
+  EXPECT_EQ(module.OnPacket(spoofed, ctx), kPortAlt);
+
+  // The same packet at the victim's own AS is legitimate.
+  ctx.node = 9;
+  EXPECT_EQ(module.OnPacket(spoofed, ctx), kPortDefault);
+
+  // Unprotected sources always pass.
+  Packet other = UdpPacket();
+  other.src = HostAddress(4, 1);
+  ctx.node = 3;
+  EXPECT_EQ(module.OnPacket(other, ctx), kPortDefault);
+}
+
+TEST(AntiSpoofTest, TransitTrafficNeverChecked) {
+  AntiSpoofModule module(AntiSpoofModule::Mode::kProtectOwnerPrefixes);
+  module.AddProtectedPrefix(NodePrefix(9));
+  Packet spoofed = UdpPacket();
+  spoofed.src = HostAddress(9, 1);
+  for (LinkKind kind : {LinkKind::kPeer, LinkKind::kProviderToCustomer}) {
+    DeviceContext ctx = CtxAt(0, kind, 3);
+    EXPECT_EQ(module.OnPacket(spoofed, ctx), kPortDefault)
+        << LinkKindName(kind);
+  }
+  EXPECT_EQ(module.transit_passed(), 2u);
+  EXPECT_EQ(module.spoofs_flagged(), 0u);
+}
+
+TEST(AntiSpoofTest, ConeModeDropsOutsideCone) {
+  AntiSpoofModule module(AntiSpoofModule::Mode::kAllowedCone);
+  module.AddAllowedPrefix(NodePrefix(3));
+  module.AddAllowedPrefix(NodePrefix(4));
+  DeviceContext ctx = CtxAt(0, LinkKind::kCustomerToProvider, 1);
+
+  Packet inside = UdpPacket();
+  inside.src = HostAddress(3, 5);
+  EXPECT_EQ(module.OnPacket(inside, ctx), kPortDefault);
+
+  Packet outside = UdpPacket();
+  outside.src = HostAddress(7, 5);
+  EXPECT_EQ(module.OnPacket(outside, ctx), kPortAlt);
+}
+
+// --- RateLimit / Sampler -------------------------------------------------------
+
+TEST(RateLimitModuleTest, AggregateBucketLimits) {
+  RateLimitModule module(/*rate_pps=*/10.0, /*burst=*/5.0);
+  int passed = 0, exceeded = 0;
+  for (int i = 0; i < 20; ++i) {
+    Packet p = UdpPacket();
+    const DeviceContext ctx = CtxAt(Milliseconds(i));  // 20 pkts in 20 ms
+    (module.OnPacket(p, ctx) == kPortDefault ? passed : exceeded)++;
+  }
+  EXPECT_EQ(passed, 5);  // burst only; refill in 20 ms is ~0.2 tokens
+  EXPECT_EQ(exceeded, 15);
+}
+
+TEST(RateLimitModuleTest, RefillRestoresFlow) {
+  RateLimitModule module(/*rate_pps=*/100.0, /*burst=*/1.0);
+  Packet p = UdpPacket();
+  EXPECT_EQ(module.OnPacket(p, CtxAt(0)), kPortDefault);
+  EXPECT_EQ(module.OnPacket(p, CtxAt(Microseconds(10))), kPortAlt);
+  // 100 pps -> a token every 10 ms.
+  EXPECT_EQ(module.OnPacket(p, CtxAt(Milliseconds(11))), kPortDefault);
+}
+
+TEST(RateLimitModuleTest, PerPrefixGranularityIsolatesSources) {
+  RateLimitModule module(10.0, 1.0,
+                         RateLimitModule::Granularity::kPerSrcPrefix);
+  Packet from_a = UdpPacket(1);
+  Packet from_b = UdpPacket(2);
+  const DeviceContext ctx = CtxAt(0);
+  EXPECT_EQ(module.OnPacket(from_a, ctx), kPortDefault);
+  EXPECT_EQ(module.OnPacket(from_a, ctx), kPortAlt);   // a exhausted
+  EXPECT_EQ(module.OnPacket(from_b, ctx), kPortDefault);  // b unaffected
+}
+
+TEST(SamplerModuleTest, EveryNthOnAltPort) {
+  SamplerModule module(4);
+  const DeviceContext ctx = CtxAt(0);
+  int alt = 0;
+  for (int i = 0; i < 20; ++i) {
+    Packet p = UdpPacket();
+    alt += module.OnPacket(p, ctx) == kPortAlt ? 1 : 0;
+  }
+  EXPECT_EQ(alt, 5);
+}
+
+// --- Observation ----------------------------------------------------------------
+
+TEST(LoggerModuleTest, RecordsIntoTrace) {
+  LoggerModule module(128);
+  const DeviceContext ctx = CtxAt(Seconds(1));
+  for (int i = 0; i < 10; ++i) {
+    Packet p = UdpPacket();
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_EQ(module.trace().size(), 10u);
+  EXPECT_GT(module.declared_overhead_bytes(), 0u);
+}
+
+TEST(StatisticsModuleTest, AggregatesWireDimensions) {
+  StatisticsModule module;
+  for (int i = 0; i < 6; ++i) {
+    Packet p = UdpPacket(1, 2, i % 2 == 0 ? 80 : 443);
+    module.OnPacket(p, CtxAt(Milliseconds(i * 100)));
+  }
+  Packet icmp = UdpPacket();
+  icmp.proto = Protocol::kIcmp;
+  module.OnPacket(icmp, CtxAt(Milliseconds(700)));
+
+  EXPECT_EQ(module.packets(), 7u);
+  EXPECT_EQ(module.bytes(), 700u);
+  EXPECT_EQ(module.ByProtocol(Protocol::kUdp), 6u);
+  EXPECT_EQ(module.ByProtocol(Protocol::kIcmp), 1u);
+  EXPECT_EQ(module.by_dst_port().at(80), 4u);  // includes the ICMP packet
+  EXPECT_EQ(module.by_dst_port().at(443), 3u);
+  EXPECT_NEAR(module.MeanRate(Seconds(1)), 7.0, 0.5);
+}
+
+TEST(TriggerModuleTest, FiresAboveThresholdOnly) {
+  TriggerModule::Config config;
+  config.rate_threshold_pps = 100.0;
+  config.window = Milliseconds(100);
+  config.cooldown = Milliseconds(500);
+  TriggerModule module(config);
+  EventBuffer events;
+  DeviceContext ctx = CtxAt(0);
+  ctx.events = &events;
+
+  // 10 pps for a second: below threshold, no firing.
+  for (int i = 0; i < 10; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Milliseconds(i * 100);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_EQ(module.fired_count(), 0u);
+
+  // 1000 pps burst: fires (respecting cooldown).
+  for (int i = 0; i < 1000; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Seconds(2) + Milliseconds(i);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_GE(module.fired_count(), 1u);
+  EXPECT_LE(module.fired_count(), 3u);  // cooldown caps it
+  EXPECT_EQ(events.CountOf(EventKind::kTriggerFired), module.fired_count());
+  EXPECT_GT(module.last_observed_rate(), 100.0);
+}
+
+TEST(TriggerModuleTest, ArmedActionRuns) {
+  TriggerModule::Config config;
+  config.rate_threshold_pps = 10.0;
+  config.window = Milliseconds(100);
+  TriggerModule module(config);
+  int activations = 0;
+  module.ArmAction([&activations](const DeviceContext&) { activations++; });
+  DeviceContext ctx = CtxAt(0);
+  for (int i = 0; i < 200; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Milliseconds(i);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_GE(activations, 1);
+}
+
+
+TEST(TriggerModuleTest, CongestionThresholdFires) {
+  // Telemetry-based triggering (Sec. 4.2 router state): a router whose
+  // out-links drop heavily trips the trigger even at low packet rates.
+  Network net(3);
+  const NodeId a = net.AddNode(NodeRole::kStub);
+  const NodeId b = net.AddNode(NodeRole::kStub);
+  // Tiny, slow link: guaranteed queue drops.
+  net.Connect(a, b, LinkParams{KilobitsPerSecond(64), Milliseconds(1), 512},
+              LinkKind::kPeer);
+  net.FinalizeRouting();
+
+  TriggerModule::Config config;
+  config.rate_threshold_pps = 1e12;     // rate path disabled
+  config.drop_share_threshold = 0.2;    // congestion path armed
+  config.window = Milliseconds(100);
+  TriggerModule module(config);
+
+  DeviceContext ctx;
+  ctx.net = &net;
+  ctx.node = a;
+
+  // Congest the a->b link by injecting traffic at the router.
+  for (int i = 0; i < 200; ++i) {
+    Packet flood;
+    flood.src = HostAddress(a, 1);
+    flood.dst = HostAddress(b, 1);
+    flood.size_bytes = 400;
+    net.InjectAtNode(a, std::move(flood));
+  }
+  net.Run(Seconds(1));
+  ASSERT_GT(ctx.RouterDropShare(), 0.2);
+
+  // Feed the trigger a slow trickle: fires on congestion, not rate.
+  for (int i = 0; i < 10; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Seconds(1) + Milliseconds(i * 50);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_GE(module.fired_count(), 1u);
+}
+
+TEST(TracebackStoreModuleTest, SawRecentPackets) {
+  TracebackStoreModule module;
+  Packet p = UdpPacket();
+  p.serial = 42;
+  p.payload_hash = 42;
+  const DeviceContext ctx = CtxAt(Seconds(1));
+  module.OnPacket(p, ctx);
+  EXPECT_TRUE(module.Saw(PacketDigest(p)));
+  Packet other = UdpPacket();
+  other.serial = 43;
+  other.payload_hash = 43;
+  EXPECT_FALSE(module.Saw(PacketDigest(other)));
+}
+
+TEST(TracebackStoreModuleTest, OldWindowsExpire) {
+  TracebackStoreModule::Config config;
+  config.window = Milliseconds(100);
+  config.window_count = 2;
+  TracebackStoreModule module(config);
+  Packet old_packet = UdpPacket();
+  old_packet.serial = 1;
+  module.OnPacket(old_packet, CtxAt(0));
+  // Roll far past the retention (2 windows of 100 ms).
+  for (int i = 1; i <= 10; ++i) {
+    Packet filler = UdpPacket();
+    filler.serial = 100 + i;
+    module.OnPacket(filler, CtxAt(Milliseconds(i * 100)));
+  }
+  EXPECT_FALSE(module.Saw(PacketDigest(old_packet)));
+}
+
+TEST(TracebackStoreModuleTest, SawDuringRespectsTimeRange) {
+  TracebackStoreModule::Config config;
+  config.window = Milliseconds(100);
+  config.window_count = 16;
+  TracebackStoreModule module(config);
+  Packet p = UdpPacket();
+  p.serial = 7;
+  module.OnPacket(p, CtxAt(Milliseconds(250)));
+  const std::uint64_t digest = PacketDigest(p);
+  EXPECT_TRUE(module.SawDuring(digest, Milliseconds(200), Milliseconds(400)));
+  EXPECT_FALSE(module.SawDuring(digest, Milliseconds(600), Milliseconds(900)));
+}
+
+}  // namespace
+}  // namespace adtc

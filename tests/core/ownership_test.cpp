@@ -1,0 +1,94 @@
+#include "core/ownership.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+TEST(NumberAuthorityTest, AllocateAndVerify) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "acme"));
+  EXPECT_TRUE(authority.VerifyOwnership("acme", *Prefix::Parse("10.0.0.0/8")));
+  EXPECT_TRUE(
+      authority.VerifyOwnership("acme", *Prefix::Parse("10.1.0.0/16")));
+  EXPECT_FALSE(
+      authority.VerifyOwnership("evil", *Prefix::Parse("10.1.0.0/16")));
+  EXPECT_FALSE(
+      authority.VerifyOwnership("acme", *Prefix::Parse("11.0.0.0/8")));
+}
+
+TEST(NumberAuthorityTest, OverlapRejected) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "acme"));
+  const Status inside =
+      authority.Allocate(*Prefix::Parse("10.1.0.0/16"), "other");
+  EXPECT_EQ(inside.code(), ErrorCode::kAlreadyExists);
+  const Status covering =
+      authority.Allocate(*Prefix::Parse("0.0.0.0/0"), "other");
+  EXPECT_EQ(covering.code(), ErrorCode::kAlreadyExists);
+  // Disjoint allocation fine.
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("11.0.0.0/8"), "other"));
+}
+
+TEST(NumberAuthorityTest, SameOwnerOverlapIdempotent) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "acme"));
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.1.0.0/16"), "acme"));
+  EXPECT_EQ(authority.allocation_count(), 2u);
+}
+
+TEST(NumberAuthorityTest, SuballocationFlow) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "isp"));
+  // Only the real parent may delegate.
+  EXPECT_EQ(authority
+                .Suballocate(*Prefix::Parse("10.5.0.0/16"), "shop", "other")
+                .code(),
+            ErrorCode::kPermissionDenied);
+  ADTC_EXPECT_OK(
+      authority.Suballocate(*Prefix::Parse("10.5.0.0/16"), "shop", "isp"));
+  EXPECT_TRUE(
+      authority.VerifyOwnership("shop", *Prefix::Parse("10.5.1.0/24")));
+  // Longest match now answers the customer.
+  EXPECT_EQ(authority.OwnerOf(*Ipv4Address::Parse("10.5.1.1")), "shop");
+  EXPECT_EQ(authority.OwnerOf(*Ipv4Address::Parse("10.6.0.1")), "isp");
+}
+
+TEST(NumberAuthorityTest, SuballocationCollisionWithThirdParty) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "isp"));
+  ADTC_EXPECT_OK(
+      authority.Suballocate(*Prefix::Parse("10.5.0.0/16"), "shop", "isp"));
+  const Status clash = authority.Suballocate(*Prefix::Parse("10.5.0.0/15"),
+                                             "rival", "isp");
+  EXPECT_EQ(clash.code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(NumberAuthorityTest, OwnerOfUnallocatedIsEmpty) {
+  NumberAuthority authority;
+  EXPECT_EQ(authority.OwnerOf(Ipv4Address(0x7f000001)), "");
+}
+
+TEST(NumberAuthorityTest, AllocationsOfLists) {
+  NumberAuthority authority;
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "acme"));
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("192.168.0.0/16"), "acme"));
+  ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("11.0.0.0/8"), "zeta"));
+  EXPECT_EQ(authority.AllocationsOf("acme").size(), 2u);
+  EXPECT_EQ(authority.AllocationsOf("zeta").size(), 1u);
+  EXPECT_TRUE(authority.AllocationsOf("nobody").empty());
+}
+
+TEST(NumberAuthorityTest, TopologyBootstrap) {
+  NumberAuthority authority;
+  AllocateTopologyPrefixes(authority, 50);
+  EXPECT_EQ(authority.allocation_count(), 50u);
+  EXPECT_TRUE(authority.VerifyOwnership(AsOrgName(7), NodePrefix(7)));
+  EXPECT_FALSE(authority.VerifyOwnership(AsOrgName(7), NodePrefix(8)));
+  EXPECT_EQ(authority.OwnerOf(HostAddress(13, 5)), "as13");
+}
+
+}  // namespace
+}  // namespace adtc

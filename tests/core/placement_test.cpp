@@ -1,0 +1,109 @@
+// Deployment-scoping criteria (Sec. 5.1): "The network user may scope the
+// deployment according to different criteria."
+#include <gtest/gtest.h>
+
+#include "core/tcsp.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+struct PlacementWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  OwnershipCertificate cert;
+  NodeId home;
+
+  PlacementWorld() : SmallWorld(81), tcsp(net, authority, "pl-key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp", net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+    home = topo.stub_nodes[0];
+    auto result = tcsp.Register(AsOrgName(home), {NodePrefix(home)});
+    EXPECT_TRUE(result.ok());
+    cert = result.value();
+  }
+
+  std::size_t DeployedDeviceCount() {
+    std::size_t count = 0;
+    for (auto& nms : nmses) count += nms->CountDeployments(cert.subscriber);
+    return count;
+  }
+
+  ServiceRequest BaseRequest() {
+    ServiceRequest request;
+    request.kind = ServiceKind::kStatistics;
+    request.control_scope = {NodePrefix(home)};
+    return request;
+  }
+};
+
+TEST(PlacementTest, WithinRadiusLimitsToNeighbourhood) {
+  PlacementWorld world;
+  ServiceRequest request = world.BaseRequest();
+  request.placement = PlacementPolicy::kWithinRadius;
+  request.placement_radius = 1;
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+
+  // Exactly: home + its direct neighbours.
+  const std::size_t expected =
+      1 + world.net.node(world.home).neighbours.size() -
+      0;  // hosts are not neighbours (separate links)
+  // Count neighbours that are router nodes:
+  std::size_t router_neighbours = 0;
+  for (const auto& [n, l] : world.net.node(world.home).neighbours) {
+    (void)l;
+    router_neighbours += n < world.net.node_count() ? 1 : 0;
+  }
+  EXPECT_EQ(world.DeployedDeviceCount(), 1 + router_neighbours);
+  (void)expected;
+
+  // Every deployed node is within the radius.
+  for (auto& nms : world.nmses) {
+    for (NodeId node : nms->managed_nodes()) {
+      if (nms->device(node)->HasDeployment(world.cert.subscriber)) {
+        EXPECT_LE(world.net.HopDistance(world.home, node), 1u);
+      }
+    }
+  }
+}
+
+TEST(PlacementTest, RadiusZeroIsHomeOnly) {
+  PlacementWorld world;
+  ServiceRequest request = world.BaseRequest();
+  request.placement = PlacementPolicy::kWithinRadius;
+  request.placement_radius = 0;
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  EXPECT_EQ(world.DeployedDeviceCount(), 1u);
+}
+
+TEST(PlacementTest, ExplicitNodesHonoured) {
+  PlacementWorld world;
+  ServiceRequest request = world.BaseRequest();
+  request.placement = PlacementPolicy::kExplicitNodes;
+  request.placement_nodes = {world.topo.stub_nodes[3],
+                             world.topo.transit_nodes[0], world.home};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  EXPECT_EQ(world.DeployedDeviceCount(), 3u);
+  EXPECT_TRUE(world.nmses[world.topo.stub_nodes[3]]
+                  ->device(world.topo.stub_nodes[3])
+                  ->HasDeployment(world.cert.subscriber));
+}
+
+TEST(PlacementTest, RolePoliciesStillWork) {
+  PlacementWorld world;
+  ServiceRequest request = world.BaseRequest();
+  request.placement = PlacementPolicy::kTransitNodesOnly;
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  EXPECT_EQ(world.DeployedDeviceCount(), world.topo.transit_nodes.size());
+}
+
+}  // namespace
+}  // namespace adtc

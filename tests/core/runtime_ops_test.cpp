@@ -1,0 +1,168 @@
+// Runtime operations of Fig. 5's third phase: activate, modify
+// parameters and read logs through the TCSP.
+#include <gtest/gtest.h>
+
+#include "attack/agent.h"
+#include "core/tcsp.h"
+#include "host/client.h"
+#include "host/server.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+struct OpsWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  Server* server;
+  NodeId server_as;
+  OwnershipCertificate cert;
+
+  explicit OpsWorld(std::uint64_t seed = 5)
+      : SmallWorld(seed), tcsp(net, authority, "ops-key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node),
+                                          net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+    server_as = topo.stub_nodes[0];
+    server = SpawnHost<Server>(net, server_as, FastLink());
+    auto result = tcsp.Register(AsOrgName(server_as), {NodePrefix(server_as)});
+    EXPECT_TRUE(result.ok());
+    cert = result.value();
+  }
+};
+
+TEST(RuntimeOpsTest, FirewallRulesCanBeDisarmedAndRearmed) {
+  OpsWorld world;
+  ServiceRequest request;
+  request.kind = ServiceKind::kDistributedFirewall;
+  request.control_scope = {NodePrefix(world.server_as)};
+  MatchRule deny_udp;
+  deny_udp.proto = Protocol::kUdp;
+  request.deny_rules = {deny_udp};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+
+  ClientConfig client_config;
+  client_config.server = world.server->address();
+  client_config.kind = RequestKind::kUdpRequest;
+  client_config.request_rate = 50.0;
+  Client* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
+                                     FastLink(), client_config);
+  client->Start();
+
+  // Armed: UDP blocked.
+  world.net.Run(Seconds(2));
+  EXPECT_LT(client->stats().SuccessRatio(), 0.05);
+
+  // Disarm via the TCSP: traffic flows again.
+  ADTC_ASSERT_OK(world.tcsp.SetFirewallRulesActive(
+      world.cert.subscriber, false));
+  const auto before = client->stats().responses_received;
+  world.net.Run(Seconds(2));
+  EXPECT_GT(client->stats().responses_received, before + 50);
+
+  // Re-arm: blocked again.
+  ADTC_ASSERT_OK(world.tcsp.SetFirewallRulesActive(
+      world.cert.subscriber, true));
+  const auto after_rearm = client->stats().responses_received;
+  world.net.Run(Seconds(2));
+  EXPECT_LT(client->stats().responses_received, after_rearm + 10);
+}
+
+TEST(RuntimeOpsTest, RateLimitParameterChange) {
+  OpsWorld world;
+  ServiceRequest request;
+  request.kind = ServiceKind::kDistributedFirewall;
+  request.control_scope = {NodePrefix(world.server_as)};
+  request.inbound_rate_limit_pps = 1000.0;
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+
+  AttackDirective directive;
+  directive.type = AttackType::kDirectFlood;
+  directive.victim = world.server->address();
+  directive.flood_proto = Protocol::kUdp;
+  directive.spoof = SpoofMode::kNone;
+  directive.rate_pps = 200.0;
+  directive.duration = Seconds(10);
+  auto* agent = SpawnHost<AgentHost>(world.net, world.topo.stub_nodes[7],
+                                     FastLink(), directive);
+  agent->StartFlood();
+  world.net.Run(Seconds(2));
+  const auto unlimited = world.net.metrics().dropped(
+      TrafficClass::kAttack, DropReason::kFiltered);
+  EXPECT_EQ(unlimited, 0u);  // 200 pps < 1000 pps limit
+
+  // Tighten the limit to 10 pps at runtime.
+  ADTC_ASSERT_OK(world.tcsp.SetRateLimit(world.cert.subscriber, 10.0));
+  world.net.Run(Seconds(4));
+  EXPECT_GT(world.net.metrics().dropped(TrafficClass::kAttack,
+                                        DropReason::kFiltered),
+            200u);
+}
+
+TEST(RuntimeOpsTest, ReadStatisticsAggregatesVantagePoints) {
+  OpsWorld world;
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(world.server_as)};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+
+  ClientConfig client_config;
+  client_config.server = world.server->address();
+  client_config.kind = RequestKind::kUdpRequest;
+  client_config.request_rate = 50.0;
+  SpawnHost<Client>(world.net, world.topo.stub_nodes[5], FastLink(),
+                    client_config)
+      ->Start();
+  world.net.Run(Seconds(3));
+
+  const auto report = world.tcsp.ReadStatistics(world.cert.subscriber);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().vantage_points, 0u);
+  EXPECT_GT(report.value().packets, 100u);
+  EXPECT_GT(report.value().bytes, report.value().packets * 30);
+
+  const auto logs = world.tcsp.ReadLogs(world.cert.subscriber);
+  ASSERT_TRUE(logs.ok());
+  EXPECT_NE(logs.value().find("vantage"), std::string::npos);
+}
+
+TEST(RuntimeOpsTest, OpsFailWhenNothingDeployed) {
+  OpsWorld world;
+  EXPECT_EQ(world.tcsp.SetFirewallRulesActive(world.cert.subscriber, true)
+                .code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(world.tcsp.SetRateLimit(world.cert.subscriber, 5.0).code(),
+            ErrorCode::kNotFound);
+  EXPECT_FALSE(world.tcsp.ReadStatistics(world.cert.subscriber).ok());
+  EXPECT_FALSE(world.tcsp.ReadLogs(world.cert.subscriber).ok());
+}
+
+TEST(RuntimeOpsTest, OpsFailWhenTcspDown) {
+  OpsWorld world;
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(world.server_as)};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  world.tcsp.set_reachable(false);
+  EXPECT_EQ(world.tcsp.ReadStatistics(world.cert.subscriber)
+                .status()
+                .code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(world.tcsp.SetRateLimit(world.cert.subscriber, 5.0).code(),
+            ErrorCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,204 @@
+#include "core/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "core/modules/basic.h"
+#include "core/modules/match.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+OwnershipCertificate SampleCert() {
+  CertificateAuthority ca("k");
+  return ca.Issue(1, "acme", {NodePrefix(5)}, 0, Seconds(3600));
+}
+
+/// A module type that is not on the vetted catalog.
+class RogueModule : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "rogue"; }
+};
+
+/// A "logging" module declaring outrageous per-packet overhead.
+class ChattyModule : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "logger"; }
+  std::uint32_t declared_overhead_bytes() const override { return 10000; }
+};
+
+TEST(SafetyValidatorTest, AcceptsWellFormedDeployment) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  ADTC_EXPECT_OK(validator.ValidateDeployment(SampleCert(), {NodePrefix(5)},
+                                              graph));
+}
+
+TEST(SafetyValidatorTest, RejectsForeignScope) {
+  // The fundamental rule: no control over traffic you do not own.
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  const Status status = validator.ValidateDeployment(
+      SampleCert(), {NodePrefix(6)}, graph);
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(SafetyValidatorTest, RejectsScopeWiderThanCertificate) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  // /8 strictly contains the certified /20 — still foreign territory.
+  const Status status = validator.ValidateDeployment(
+      SampleCert(), {Prefix(Ipv4Address(NodePrefix(5).address().bits()), 8)},
+      graph);
+  EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(SafetyValidatorTest, RejectsEmptyScope) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  EXPECT_EQ(validator.ValidateDeployment(SampleCert(), {}, graph).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(SafetyValidatorTest, RejectsUnvettedModule) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<RogueModule>());
+  const Status status = validator.ValidateDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(status.code(), ErrorCode::kSafetyViolation);
+  EXPECT_NE(status.message().find("rogue"), std::string::npos);
+}
+
+TEST(SafetyValidatorTest, RejectsUnvalidatedGraph) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph;  // empty, not validated
+  EXPECT_FALSE(
+      validator.ValidateDeployment(SampleCert(), {NodePrefix(5)}, graph)
+          .ok());
+}
+
+TEST(SafetyValidatorTest, RejectsExcessiveOverhead) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<ChattyModule>());
+  const Status status = validator.ValidateDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(status.code(), ErrorCode::kSafetyViolation);
+  EXPECT_NE(status.message().find("overhead"), std::string::npos);
+}
+
+TEST(SafetyValidatorTest, RejectsModuleCountAboveCap) {
+  SafetyLimits limits;
+  limits.max_modules_per_graph = 3;
+  SafetyValidator validator = MakeStandardValidator(limits);
+  std::vector<std::unique_ptr<Module>> modules;
+  for (int i = 0; i < 5; ++i) {
+    modules.push_back(std::make_unique<CounterModule>());
+  }
+  ModuleGraph graph = ModuleGraph::Chain(std::move(modules));
+  EXPECT_EQ(validator.ValidateDeployment(SampleCert(), {NodePrefix(5)}, graph)
+                .code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(SafetyValidatorTest, RejectsScopePrefixCountAboveCap) {
+  SafetyLimits limits;
+  limits.max_scope_prefixes = 2;
+  SafetyValidator validator = MakeStandardValidator(limits);
+  CertificateAuthority ca("k");
+  const auto cert = ca.Issue(
+      1, "acme", {NodePrefix(1), NodePrefix(2), NodePrefix(3)}, 0,
+      Seconds(10));
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<CounterModule>());
+  EXPECT_EQ(validator
+                .ValidateDeployment(
+                    cert, {NodePrefix(1), NodePrefix(2), NodePrefix(3)},
+                    graph)
+                .code(),
+            ErrorCode::kResourceExhausted);
+}
+
+TEST(SafetyValidatorTest, VettingIsExplicit) {
+  SafetyValidator validator;
+  EXPECT_FALSE(validator.IsVetted("match"));
+  validator.VetModuleType("match");
+  EXPECT_TRUE(validator.IsVetted("match"));
+}
+
+// --- runtime invariants --------------------------------------------------------
+
+TEST(EnforceInvariantsTest, NoChangeNoViolation) {
+  Packet p;
+  p.src = Ipv4Address(1);
+  p.dst = Ipv4Address(2);
+  p.ttl = 10;
+  p.size_bytes = 100;
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  EXPECT_EQ(EnforceInvariants(before, p), InvariantViolation::kNone);
+}
+
+TEST(EnforceInvariantsTest, SourceRewriteDetectedAndRestored) {
+  Packet p;
+  p.src = Ipv4Address(1);
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.src = Ipv4Address(99);
+  EXPECT_EQ(EnforceInvariants(before, p),
+            InvariantViolation::kSourceModified);
+  EXPECT_EQ(p.src, Ipv4Address(1));
+}
+
+TEST(EnforceInvariantsTest, DestinationRewriteDetectedAndRestored) {
+  Packet p;
+  p.dst = Ipv4Address(2);
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.dst = Ipv4Address(77);
+  EXPECT_EQ(EnforceInvariants(before, p),
+            InvariantViolation::kDestinationModified);
+  EXPECT_EQ(p.dst, Ipv4Address(2));
+}
+
+TEST(EnforceInvariantsTest, TtlChangeDetectedAndRestored) {
+  Packet p;
+  p.ttl = 64;
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.ttl = 255;  // an attempt to extend packet lifetime
+  EXPECT_EQ(EnforceInvariants(before, p), InvariantViolation::kTtlModified);
+  EXPECT_EQ(p.ttl, 64);
+}
+
+TEST(EnforceInvariantsTest, SizeGrowthDetectedAndRestored) {
+  Packet p;
+  p.size_bytes = 100;
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.size_bytes = 200;  // amplification attempt
+  EXPECT_EQ(EnforceInvariants(before, p),
+            InvariantViolation::kSizeIncreased);
+  EXPECT_EQ(p.size_bytes, 100u);
+}
+
+TEST(EnforceInvariantsTest, SizeShrinkIsAllowed) {
+  Packet p;
+  p.size_bytes = 100;
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.size_bytes = 40;  // payload deletion is fine
+  EXPECT_EQ(EnforceInvariants(before, p), InvariantViolation::kNone);
+  EXPECT_EQ(p.size_bytes, 40u);
+}
+
+TEST(EnforceInvariantsTest, FirstViolationReported) {
+  Packet p;
+  p.src = Ipv4Address(1);
+  p.ttl = 64;
+  const PacketInvariants before = PacketInvariants::Capture(p);
+  p.src = Ipv4Address(9);
+  p.ttl = 255;
+  EXPECT_EQ(EnforceInvariants(before, p),
+            InvariantViolation::kSourceModified);
+  // Both restored regardless.
+  EXPECT_EQ(p.src, Ipv4Address(1));
+  EXPECT_EQ(p.ttl, 64);
+}
+
+}  // namespace
+}  // namespace adtc

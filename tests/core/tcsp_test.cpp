@@ -1,0 +1,222 @@
+#include "core/tcsp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traceback_service.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+/// A world with a number authority, a TCSP and one NMS per AS.
+struct TcsWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  explicit TcsWorld(std::uint64_t seed = 42)
+      : SmallWorld(seed), tcsp(net, authority, "tcsp-signing-key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    // One ISP per AS, each managing its own router.
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node), net,
+                                          &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+  }
+};
+
+TEST(TcspTest, RegistrationVerifiesOwnership) {
+  TcsWorld world;
+  // as7 registers for its own prefix: accepted.
+  const auto good = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value().subject, "as7");
+  EXPECT_TRUE(world.tcsp.certificate_authority().Verify(good.value(),
+                                                        world.net.sim().Now()));
+
+  // as7 claiming as8's prefix: rejected.
+  const auto theft = world.tcsp.Register("as7", {NodePrefix(8)});
+  EXPECT_FALSE(theft.ok());
+  EXPECT_EQ(theft.status().code(), ErrorCode::kPermissionDenied);
+
+  EXPECT_EQ(world.tcsp.stats().registrations_accepted, 1u);
+  EXPECT_EQ(world.tcsp.stats().registrations_rejected, 1u);
+}
+
+TEST(TcspTest, RegistrationRejectsBadIdentity) {
+  TcsWorld world;
+  const auto result =
+      world.tcsp.Register("as7", {NodePrefix(7)}, /*identity_ok=*/false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(TcspTest, RegistrationRejectsEmptyClaim) {
+  TcsWorld world;
+  EXPECT_EQ(world.tcsp.Register("as7", {}).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(TcspTest, SubscriberIdsAreUnique) {
+  TcsWorld world;
+  const auto a = world.tcsp.Register("as1", {NodePrefix(1)});
+  const auto b = world.tcsp.Register("as2", {NodePrefix(2)});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().subscriber, b.value().subscriber);
+}
+
+TEST(TcspTest, DeployServiceNowConfiguresAllIsps) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployServiceNow(cert.value(), request);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.isps_configured, world.net.node_count());
+  EXPECT_EQ(report.devices_configured, world.net.node_count());
+  // Every device now has the deployment.
+  for (auto& nms : world.nmses) {
+    EXPECT_EQ(nms->CountDeployments(cert.value().subscriber), 1u);
+  }
+}
+
+TEST(TcspTest, PlacementPolicyRestrictsNodes) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kStubNodesOnly;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployServiceNow(cert.value(), request);
+  ASSERT_TRUE(report.status.ok());
+  EXPECT_EQ(report.devices_configured, world.topo.stub_nodes.size());
+}
+
+TEST(TcspTest, AsyncDeploymentModelsLatency) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kDistributedFirewall;
+  request.control_scope = {NodePrefix(7)};
+  MatchRule deny_udp;
+  deny_udp.proto = Protocol::kUdp;
+  request.deny_rules = {deny_udp};
+
+  bool completed = false;
+  DeploymentReport report;
+  world.tcsp.DeployService(cert.value(), request,
+                           [&](const DeploymentReport& r) {
+                             completed = true;
+                             report = r;
+                           });
+  EXPECT_FALSE(completed);  // nothing happens synchronously
+  world.net.Run(Seconds(5));
+  ASSERT_TRUE(completed);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_GT(report.Latency(), Milliseconds(80));  // at least two legs
+  EXPECT_EQ(report.isps_configured, world.net.node_count());
+}
+
+TEST(TcspTest, UnreachableTcspFailsRequests) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  world.tcsp.set_reachable(false);
+
+  EXPECT_EQ(world.tcsp.Register("as8", {NodePrefix(8)}).status().code(),
+            ErrorCode::kUnavailable);
+
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployServiceNow(cert.value(), request);
+  EXPECT_EQ(report.status.code(), ErrorCode::kUnavailable);
+  EXPECT_GE(world.tcsp.stats().requests_while_unreachable, 2u);
+}
+
+TEST(TcspTest, PeerRelayWorksWithTcspDown) {
+  TcsWorld world;
+  // Register while the TCSP is still up (the certificate is durable).
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  world.tcsp.set_reachable(false);
+
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.control_scope = {NodePrefix(7)};
+  // The user contacts one ISP directly; the config floods the peer mesh.
+  const std::vector<NodeId> home = Tcsp::HomeNodes(request.control_scope);
+  ADTC_ASSERT_OK(world.nmses[0]->RelayDeploy(
+      cert.value(), request, home, world.tcsp.certificate_authority()));
+
+  std::size_t deployed = 0;
+  for (auto& nms : world.nmses) {
+    deployed += nms->CountDeployments(cert.value().subscriber);
+  }
+  EXPECT_EQ(deployed, world.net.node_count());
+  EXPECT_GT(world.nmses[0]->stats().relays_forwarded, 0u);
+}
+
+TEST(TcspTest, RemoveServiceClearsAllDevices) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(7)};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+  ADTC_ASSERT_OK(world.tcsp.RemoveService(cert.value().subscriber));
+  for (auto& nms : world.nmses) {
+    EXPECT_EQ(nms->CountDeployments(cert.value().subscriber), 0u);
+  }
+}
+
+TEST(TcspTest, ExpiredCertificateRejectedAtDeploy) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  // Let simulated time pass beyond the certificate's validity.
+  world.net.Run(Seconds(31LL * 24 * 3600));
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployServiceNow(cert.value(), request);
+  EXPECT_EQ(report.status.code(), ErrorCode::kPermissionDenied);
+}
+
+TEST(TcspTest, HomeNodesDerivedFromScope) {
+  const auto homes =
+      Tcsp::HomeNodes({NodePrefix(3), NodePrefix(3), NodePrefix(9)});
+  EXPECT_EQ(homes, (std::vector<NodeId>{3, 9}));
+}
+
+TEST(NmsTest, RejectsScopeOutsideCertificate) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(8)};  // not owned
+  const DeploymentReport report =
+      world.tcsp.DeployServiceNow(cert.value(), request);
+  EXPECT_EQ(report.status.code(), ErrorCode::kPermissionDenied);
+  EXPECT_GT(world.nmses[0]->stats().deployments_rejected, 0u);
+}
+
+}  // namespace
+}  // namespace adtc

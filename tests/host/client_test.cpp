@@ -1,0 +1,131 @@
+#include "host/client.h"
+
+#include <gtest/gtest.h>
+
+#include "host/server.h"
+#include "host/session.h"
+
+namespace adtc {
+namespace {
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+struct ClientWorld {
+  Network net{77};
+  NodeId a, b;
+  Server* server;
+  Client* client;
+
+  explicit ClientWorld(ClientConfig client_config = {},
+                       ServerConfig server_config = {}) {
+    a = net.AddNode(NodeRole::kStub);
+    b = net.AddNode(NodeRole::kStub);
+    net.Connect(a, b, FastLink(), LinkKind::kPeer);
+    server = SpawnHost<Server>(net, b, FastLink(), server_config);
+    client_config.server = server->address();
+    client = SpawnHost<Client>(net, a, FastLink(), client_config);
+    net.FinalizeRouting();
+  }
+};
+
+TEST(ClientTest, TcpHandshakeSucceeds) {
+  ClientConfig config;
+  config.kind = RequestKind::kTcpHandshake;
+  config.request_rate = 50.0;
+  config.poisson = false;
+  ClientWorld world(config);
+  world.client->Start();
+  world.net.Run(Seconds(2));
+  world.client->Stop();
+  EXPECT_GT(world.client->stats().requests_sent, 50u);
+  EXPECT_NEAR(world.client->stats().SuccessRatio(), 1.0, 0.05);
+  // Handshake completions freed the server's slots.
+  EXPECT_GT(world.server->stats().handshakes_completed, 0u);
+}
+
+TEST(ClientTest, UdpRequestResponse) {
+  ClientConfig config;
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 100.0;
+  ClientWorld world(config);
+  world.client->Start();
+  world.net.Run(Seconds(2));
+  EXPECT_NEAR(world.client->stats().SuccessRatio(), 1.0, 0.05);
+  EXPECT_GT(world.client->stats().latency_ms.mean(), 0.0);
+  // Two 1 ms links each way + serialisation: latency around 4-5 ms.
+  EXPECT_LT(world.client->stats().latency_ms.mean(), 20.0);
+}
+
+TEST(ClientTest, IcmpEcho) {
+  ClientConfig config;
+  config.kind = RequestKind::kIcmpEcho;
+  config.request_rate = 20.0;
+  ClientWorld world(config);
+  world.client->Start();
+  world.net.Run(Seconds(2));
+  EXPECT_NEAR(world.client->stats().SuccessRatio(), 1.0, 0.1);
+}
+
+TEST(ClientTest, TimeoutsWhenServerDown) {
+  ClientConfig config;
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 20.0;
+  config.timeout = Milliseconds(500);
+  ClientWorld world(config);
+  world.server->SetUp(false);
+  world.client->Start();
+  world.net.Run(Seconds(3));
+  world.client->Stop();
+  world.net.Run(Seconds(1));
+  EXPECT_EQ(world.client->stats().responses_received, 0u);
+  EXPECT_GT(world.client->stats().timeouts, 10u);
+  EXPECT_EQ(world.client->stats().SuccessRatio(), 0.0);
+}
+
+TEST(ClientTest, SuccessDegradesWhenServerOverloaded) {
+  ClientConfig config;
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 200.0;
+  ServerConfig server_config;
+  server_config.cpu_capacity_rps = 20.0;  // can serve only 10% of demand
+  server_config.cpu_burst = 10.0;
+  ClientWorld world(config, server_config);
+  world.client->Start();
+  world.net.Run(Seconds(3));
+  EXPECT_LT(world.client->stats().SuccessRatio(), 0.5);
+  EXPECT_GT(world.client->stats().SuccessRatio(), 0.0);
+}
+
+TEST(ClientTest, StopAtDeadline) {
+  ClientConfig config;
+  config.request_rate = 100.0;
+  ClientWorld world(config);
+  world.client->Start(0, Seconds(1));
+  world.net.Run(Seconds(3));
+  const auto sent = world.client->stats().requests_sent;
+  EXPECT_GT(sent, 0u);
+  world.net.Run(Seconds(3));
+  EXPECT_EQ(world.client->stats().requests_sent, sent);  // no more sends
+}
+
+TEST(SessionHostTest, KeepalivesFlowAndSessionsStayUp) {
+  Network net(5);
+  const NodeId a = net.AddNode(NodeRole::kStub);
+  const NodeId b = net.AddNode(NodeRole::kStub);
+  net.Connect(a, b, FastLink(), LinkKind::kPeer);
+  auto* server = SpawnHost<Server>(net, b, FastLink());
+  SessionHostConfig config;
+  config.server = server->address();
+  config.session_count = 8;
+  auto* sessions = SpawnHost<SessionHost>(net, a, FastLink(), config);
+  net.FinalizeRouting();
+  sessions->Start();
+  net.Run(Seconds(2));
+  EXPECT_EQ(sessions->alive_sessions(), 8u);
+  EXPECT_GT(sessions->stats().keepalives_sent, 16u);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,203 @@
+// Failure injection: the system's behaviour when parts of it break at
+// awkward moments — mid-attack service removal, quarantine under fire,
+// TCSP loss between control-plane legs, crashing victims, and partial
+// deployment failures.
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+#include "core/tcsp.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+struct FailureWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  explicit FailureWorld(std::uint64_t seed)
+      : SmallWorld(seed, 4, 40), tcsp(net, authority, "fi-key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp", net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+  }
+};
+
+TEST(FailureInjectionTest, RemovingDefenceMidAttackReopensTheFlood) {
+  FailureWorld world(11);
+  ScenarioParams params;
+  params.master_count = 2;
+  params.agents_per_master = 8;
+  params.client_count = 0;
+  params.reflector_count = 2;
+  params.directive.type = AttackType::kDirectFlood;
+  params.directive.spoof = SpoofMode::kVictim;
+  params.directive.rate_pps = 100.0;
+  params.directive.duration = Seconds(10);
+  Scenario scenario = BuildAttackScenario(world.net, world.topo, params);
+
+  const Prefix scope = NodePrefix(scenario.victim_node);
+  const auto cert =
+      world.tcsp.Register(AsOrgName(scenario.victim_node), {scope});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.control_scope = {scope};
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+
+  scenario.attacker->Launch();
+  world.net.Run(Seconds(4));
+  const auto filtered_before = world.net.metrics().dropped(
+      TrafficClass::kAttack, DropReason::kFiltered);
+  const auto delivered_before =
+      world.net.metrics().delivered(TrafficClass::kAttack);
+  EXPECT_GT(filtered_before, 1000u);
+
+  // Subscriber cancels (or is de-provisioned) mid-attack.
+  ASSERT_TRUE(world.tcsp.RemoveService(cert.value().subscriber).ok());
+  world.net.Run(Seconds(4));
+  const auto filtered_after = world.net.metrics().dropped(
+      TrafficClass::kAttack, DropReason::kFiltered);
+  const auto delivered_after =
+      world.net.metrics().delivered(TrafficClass::kAttack);
+  // No more filtering; the flood flows again.
+  EXPECT_LT(filtered_after - filtered_before, 50u);
+  EXPECT_GT(delivered_after - delivered_before, 500u);
+}
+
+TEST(FailureInjectionTest, QuarantineFailsOpenNotClosed) {
+  // A deployment whose module misbehaves loses control but traffic keeps
+  // flowing — the network stays usable (Sec. 4.5's operator guarantee).
+  FailureWorld world(13);
+  class EvilAfterN : public Module {
+   public:
+    int OnPacket(Packet& p, const DeviceContext&) override {
+      if (++seen_ > 100) p.ttl = 255;  // goes rogue after behaving
+      return 0;
+    }
+    std::string_view type_name() const override { return "match"; }
+
+   private:
+    int seen_ = 0;
+  };
+
+  const NodeId home = world.topo.stub_nodes[0];
+  auto* server = SpawnHost<Server>(world.net, home, FastLink());
+  ClientConfig config;
+  config.server = server->address();
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 100.0;
+  auto* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
+                                   FastLink(), config);
+  const auto cert = world.tcsp.Register(AsOrgName(home), {NodePrefix(home)});
+  ASSERT_TRUE(cert.ok());
+  AdaptiveDevice* device = world.nmses[home]->device(home);
+  ASSERT_TRUE(device
+                  ->InstallDeployment(
+                      cert.value(), {NodePrefix(home)}, std::nullopt,
+                      ModuleGraph::Single(std::make_unique<EvilAfterN>()))
+                  .ok());
+
+  client->Start();
+  world.net.Run(Seconds(4));
+  EXPECT_TRUE(device->IsQuarantined(cert.value().subscriber));
+  // Service continued despite the rogue module: fail open.
+  EXPECT_GT(client->stats().SuccessRatio(), 0.95);
+  EXPECT_EQ(device->stats().safety_violations, 1u);
+}
+
+TEST(FailureInjectionTest, TcspDiesBetweenRequestAndCompletion) {
+  FailureWorld world(17);
+  const NodeId home = world.topo.stub_nodes[0];
+  const auto cert = world.tcsp.Register(AsOrgName(home), {NodePrefix(home)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(home)};
+
+  bool completed = false;
+  DeploymentReport report;
+  world.tcsp.DeployService(cert.value(), request,
+                           [&](const DeploymentReport& r) {
+                             completed = true;
+                             report = r;
+                           });
+  // The TCSP goes down 1 ms in — after accepting the request, before the
+  // ISP legs land. Already-scheduled instructions still execute (they
+  // left the TCSP), so the deployment completes: the failure window is
+  // only the acceptance instant.
+  world.net.sim().ScheduleAfter(Milliseconds(1),
+                                [&] { world.tcsp.set_reachable(false); });
+  world.net.Run(Seconds(5));
+  ASSERT_TRUE(completed);
+  EXPECT_TRUE(report.status.ok());
+  // But any *new* request fails until the outage ends.
+  const auto blocked = world.tcsp.DeployServiceNow(cert.value(), request);
+  EXPECT_EQ(blocked.status.code(), ErrorCode::kUnavailable);
+}
+
+TEST(FailureInjectionTest, VictimCrashAndRecovery) {
+  FailureWorld world(19);
+  const NodeId home = world.topo.stub_nodes[0];
+  auto* server = SpawnHost<Server>(world.net, home, FastLink());
+  ClientConfig config;
+  config.server = server->address();
+  config.kind = RequestKind::kUdpRequest;
+  config.request_rate = 50.0;
+  config.timeout = Milliseconds(500);
+  auto* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
+                                   FastLink(), config);
+  client->Start();
+  world.net.sim().ScheduleAt(Seconds(2), [&] { server->SetUp(false); });
+  world.net.sim().ScheduleAt(Seconds(4), [&] { server->SetUp(true); });
+  world.net.Run(Seconds(6));
+  // Outage window produced timeouts; service recovered afterwards.
+  EXPECT_GT(client->stats().timeouts, 50u);
+  EXPECT_GT(client->stats().responses_received, 150u);
+  EXPECT_GT(world.net.metrics().dropped(TrafficClass::kLegitimate,
+                                        DropReason::kHostDown),
+            50u);
+}
+
+TEST(FailureInjectionTest, PartialDeploymentReportsError) {
+  FailureWorld world(23);
+  const NodeId home = world.topo.stub_nodes[0];
+  const auto cert = world.tcsp.Register(AsOrgName(home), {NodePrefix(home)});
+  ASSERT_TRUE(cert.ok());
+
+  // Sabotage: one device already has a colliding deployment for the same
+  // prefix under a different subscriber (operator misconfiguration).
+  CertificateAuthority rogue_ca("fi-key");  // same key: passes verify
+  const auto squatter =
+      rogue_ca.Issue(9999, "squatter", {NodePrefix(home)}, 0, Seconds(1e6));
+  const NodeId sabotaged = world.topo.stub_nodes[7];
+  ASSERT_TRUE(world.nmses[sabotaged]
+                  ->device(sabotaged)
+                  ->InstallDeployment(
+                      squatter, {NodePrefix(home)}, std::nullopt,
+                      ModuleGraph::Single(std::make_unique<CounterModule>()))
+                  .ok());
+
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.control_scope = {NodePrefix(home)};
+  const auto report = world.tcsp.DeployServiceNow(cert.value(), request);
+  // The collision surfaces as an explicit error, not silent partial
+  // coverage.
+  EXPECT_FALSE(report.status.ok());
+  EXPECT_EQ(report.status.code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace adtc

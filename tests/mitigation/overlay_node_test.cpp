@@ -1,0 +1,161 @@
+// OverlayNode internals: forwarding chain, reply-path state and edge
+// cases not covered by the end-to-end SOS tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "host/server.h"
+#include "mitigation/overlay_sos.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+class ProbeHost : public Host {
+ public:
+  void HandlePacket(Packet&& packet) override {
+    received.push_back(std::move(packet));
+  }
+  std::vector<Packet> received;
+};
+
+struct ChainWorld : SmallWorld {
+  Server* target;
+  OverlayNode* servlet;
+  OverlayNode* beacon;
+  OverlayNode* soap;
+  ProbeHost* client;
+
+  ChainWorld() : SmallWorld(5) {
+    target = SpawnHost<Server>(net, topo.stub_nodes[0], FastLink());
+    servlet = SpawnHost<OverlayNode>(net, topo.stub_nodes[3], FastLink(),
+                                     OverlayNode::Role::kServlet,
+                                     target->address(),
+                                     target->config().service_port);
+    beacon = SpawnHost<OverlayNode>(net, topo.stub_nodes[5], FastLink(),
+                                    OverlayNode::Role::kBeacon,
+                                    target->address(),
+                                    target->config().service_port);
+    beacon->SetNextHops({servlet->address()});
+    soap = SpawnHost<OverlayNode>(net, topo.stub_nodes[7], FastLink(),
+                                  OverlayNode::Role::kSoap,
+                                  target->address(),
+                                  target->config().service_port);
+    soap->SetNextHops({beacon->address()});
+    client = SpawnHost<ProbeHost>(net, topo.stub_nodes[9], FastLink());
+  }
+
+  void SendViaOverlay(std::uint64_t txn) {
+    Packet request = client->MakePacket(soap->address(), Protocol::kUdp, 64);
+    request.dst_port = kOverlayForwardPort;
+    request.payload_hash = txn;
+    client->SendPacket(std::move(request));
+  }
+};
+
+TEST(OverlayNodeTest, FullChainDeliversAndRepliesRetracePath) {
+  ChainWorld world;
+  world.SendViaOverlay(/*txn=*/42);
+  world.net.Run(Seconds(2));
+
+  // Target was reached via SOAP -> beacon -> servlet.
+  EXPECT_EQ(world.target->stats().requests_received, 1u);
+  EXPECT_EQ(world.soap->forwarded(), 1u);
+  EXPECT_EQ(world.beacon->forwarded(), 1u);
+  EXPECT_EQ(world.servlet->forwarded(), 1u);
+
+  // The reply came back to the client carrying the txn.
+  ASSERT_EQ(world.client->received.size(), 1u);
+  EXPECT_EQ(world.client->received[0].dst_port, kOverlayReplyPort);
+  EXPECT_EQ(world.client->received[0].payload_hash, 42u);
+  // ...from the SOAP (the client's entry point), not the target directly.
+  EXPECT_EQ(world.client->received[0].src, world.soap->address());
+}
+
+TEST(OverlayNodeTest, DistinctTxnsKeptApart) {
+  ChainWorld world;
+  world.SendViaOverlay(1);
+  world.SendViaOverlay(2);
+  world.SendViaOverlay(3);
+  world.net.Run(Seconds(2));
+  ASSERT_EQ(world.client->received.size(), 3u);
+  std::set<std::uint64_t> txns;
+  for (const Packet& reply : world.client->received) {
+    txns.insert(reply.payload_hash);
+  }
+  EXPECT_EQ(txns, (std::set<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(OverlayNodeTest, ReplyPathStateIsConsumedOnce) {
+  ChainWorld world;
+  world.SendViaOverlay(7);
+  world.net.Run(Seconds(2));
+  ASSERT_EQ(world.client->received.size(), 1u);
+
+  // Replaying the same reply txn at the SOAP finds no pending state:
+  // nothing more reaches the client (no amplification through replays).
+  Packet replay = world.client->MakePacket(world.soap->address(),
+                                           Protocol::kUdp, 64);
+  replay.dst_port = kOverlayReplyPort;
+  replay.payload_hash = 7;
+  world.client->SendPacket(std::move(replay));
+  world.net.Run(Seconds(1));
+  EXPECT_EQ(world.client->received.size(), 1u);
+}
+
+TEST(OverlayNodeTest, SoapWithoutNextHopsBlackholes) {
+  SmallWorld world(9);
+  auto* target = SpawnHost<Server>(world.net, world.topo.stub_nodes[0],
+                                   FastLink());
+  auto* lonely = SpawnHost<OverlayNode>(world.net, world.topo.stub_nodes[3],
+                                        FastLink(),
+                                        OverlayNode::Role::kSoap,
+                                        target->address(), 80);
+  auto* client = SpawnHost<ProbeHost>(world.net, world.topo.stub_nodes[5],
+                                      FastLink());
+  Packet request = client->MakePacket(lonely->address(), Protocol::kUdp, 64);
+  request.dst_port = kOverlayForwardPort;
+  request.payload_hash = 1;
+  client->SendPacket(std::move(request));
+  world.net.Run(Seconds(1));
+  EXPECT_TRUE(client->received.empty());
+  EXPECT_EQ(target->stats().requests_received, 0u);
+}
+
+TEST(OverlayNodeTest, BeaconRoundRobinsAcrossServlets) {
+  SmallWorld world(11);
+  auto* target = SpawnHost<Server>(world.net, world.topo.stub_nodes[0],
+                                   FastLink());
+  auto* servlet_a = SpawnHost<OverlayNode>(
+      world.net, world.topo.stub_nodes[3], FastLink(),
+      OverlayNode::Role::kServlet, target->address(), 80);
+  auto* servlet_b = SpawnHost<OverlayNode>(
+      world.net, world.topo.stub_nodes[4], FastLink(),
+      OverlayNode::Role::kServlet, target->address(), 80);
+  auto* beacon = SpawnHost<OverlayNode>(
+      world.net, world.topo.stub_nodes[5], FastLink(),
+      OverlayNode::Role::kBeacon, target->address(), 80);
+  beacon->SetNextHops({servlet_a->address(), servlet_b->address()});
+  auto* client = SpawnHost<ProbeHost>(world.net, world.topo.stub_nodes[9],
+                                      FastLink());
+  for (std::uint64_t txn = 1; txn <= 6; ++txn) {
+    Packet request = client->MakePacket(beacon->address(), Protocol::kUdp,
+                                        64);
+    request.dst_port = kOverlayForwardPort;
+    request.payload_hash = txn;
+    client->SendPacket(std::move(request));
+  }
+  world.net.Run(Seconds(2));
+  EXPECT_EQ(servlet_a->forwarded(), 3u);
+  EXPECT_EQ(servlet_b->forwarded(), 3u);
+  EXPECT_EQ(target->stats().requests_received, 6u);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,197 @@
+#include "mitigation/pushback.h"
+
+#include <gtest/gtest.h>
+
+#include "attack/agent.h"
+#include "host/client.h"
+#include "host/server.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+/// Victim with a deliberately thin access link so floods overload it.
+struct PushbackWorld : SmallWorld {
+  Server* victim;
+  NodeId victim_node;
+  std::vector<AgentHost*> agents;
+
+  explicit PushbackWorld(std::uint64_t seed, double attack_pps,
+                         SpoofMode spoof = SpoofMode::kNone,
+                         LinkParams victim_access = {MegabitsPerSecond(2),
+                                                     Milliseconds(2),
+                                                     32 * 1024})
+      : SmallWorld(seed, 4, 30) {
+    victim_node = topo.stub_nodes[0];
+    victim = SpawnHost<Server>(net, victim_node, victim_access);
+    AttackDirective directive;
+    directive.type = AttackType::kDirectFlood;
+    directive.victim = victim->address();
+    directive.rate_pps = attack_pps;
+    directive.duration = Seconds(6);
+    directive.spoof = spoof;
+    directive.packet_bytes = 400;
+    for (int i = 1; i <= 6; ++i) {
+      agents.push_back(SpawnHost<AgentHost>(net, topo.stub_nodes[i],
+                                            FastLink(), directive));
+    }
+  }
+
+  void LaunchAll() {
+    for (auto* agent : agents) agent->StartFlood();
+  }
+};
+
+TEST(PushbackTest, DetectsCongestionAndInstallsRules) {
+  PushbackWorld world(41, /*attack_pps=*/800.0);
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  PushbackSystem pushback(world.net, config);
+  // Cooperating everywhere.
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    pushback.EnableOn(node);
+  }
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+
+  EXPECT_GT(pushback.stats().reactions, 0u);
+  EXPECT_GT(pushback.stats().rules_installed, 0u);
+  EXPECT_GT(pushback.stats().packets_rate_limited, 0u);
+  // Rules live at the victim's AS router (congested downlink owner).
+  EXPECT_FALSE(pushback.ActiveLimitsAt(world.victim_node).empty());
+}
+
+TEST(PushbackTest, NoCongestionNoReaction) {
+  // The paper's server-farm case: fat uplink, CPU dies first. Attack at
+  // a rate that exhausts the server but never the 100 Mbps link.
+  ServerConfig weak_server;
+  weak_server.cpu_capacity_rps = 50.0;
+  weak_server.cpu_burst = 25.0;
+  PushbackWorld world(43, /*attack_pps=*/150.0, SpoofMode::kNone,
+                      LinkParams{MegabitsPerSecond(100), Milliseconds(2),
+                                 1024 * 1024});
+  world.victim->config() = weak_server;
+
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  PushbackSystem pushback(world.net, config);
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    pushback.EnableOn(node);
+  }
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+
+  // The victim was overwhelmed ...
+  EXPECT_GT(world.victim->stats().denied_cpu, 100u);
+  // ... but pushback saw no link drops and never engaged.
+  EXPECT_EQ(pushback.stats().reactions, 0u);
+  EXPECT_EQ(pushback.stats().rules_installed, 0u);
+}
+
+TEST(PushbackTest, SpoofedSourcesCauseCollateralAggregates) {
+  PushbackWorld world(47, /*attack_pps=*/800.0, SpoofMode::kRandom);
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  config.top_k = 5;
+  PushbackSystem pushback(world.net, config);
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    pushback.EnableOn(node);
+  }
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+
+  ASSERT_GT(pushback.stats().rules_installed, 0u);
+  std::vector<NodeId> agent_nodes;
+  for (auto* agent : world.agents) {
+    agent_nodes.push_back(world.net.host_node(agent->id()));
+  }
+  // With uniformly spoofed sources the "top aggregates" are innocent
+  // prefixes: collateral.
+  EXPECT_GT(pushback.CollateralAggregates(agent_nodes), 0u);
+}
+
+TEST(PushbackTest, TruthfulSourcesAreIdentifiedCorrectly) {
+  PushbackWorld world(53, /*attack_pps=*/800.0, SpoofMode::kNone);
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  config.top_k = 3;
+  PushbackSystem pushback(world.net, config);
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    pushback.EnableOn(node);
+  }
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+
+  ASSERT_GT(pushback.stats().rules_installed, 0u);
+  std::vector<NodeId> agent_nodes;
+  for (auto* agent : world.agents) {
+    agent_nodes.push_back(world.net.host_node(agent->id()));
+  }
+  // Without spoofing, the identified aggregates are the real agents'.
+  EXPECT_EQ(pushback.CollateralAggregates(agent_nodes), 0u);
+}
+
+TEST(PushbackTest, PropagationStopsAtNonCooperatingRouter) {
+  PushbackWorld world(59, /*attack_pps=*/800.0, SpoofMode::kNone);
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  PushbackSystem pushback(world.net, config);
+  // Only the victim's AS cooperates; everything upstream does not.
+  pushback.EnableOn(world.victim_node);
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+
+  EXPECT_GT(pushback.stats().rules_installed, 0u);
+  EXPECT_GT(pushback.stats().propagation_blocked, 0u);
+  // No upstream router carries rules.
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    if (node == world.victim_node) continue;
+    EXPECT_TRUE(pushback.ActiveLimitsAt(node).empty());
+  }
+}
+
+TEST(PushbackTest, RulesExpireAfterAttackEnds) {
+  PushbackWorld world(61, /*attack_pps=*/800.0, SpoofMode::kNone);
+  PushbackConfig config;
+  config.drop_count_trigger = 50;
+  config.rule_timeout = Seconds(2);
+  PushbackSystem pushback(world.net, config);
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    pushback.EnableOn(node);
+  }
+  pushback.Start();
+  world.LaunchAll();
+  world.net.Run(Seconds(6));
+  EXPECT_FALSE(pushback.ActiveLimitsAt(world.victim_node).empty());
+  // Attack over (duration 6 s); rules age out.
+  world.net.Run(Seconds(6));
+  EXPECT_TRUE(pushback.ActiveLimitsAt(world.victim_node).empty());
+}
+
+TEST(PushbackTest, EnableFractionDeterministic) {
+  Network net_a(71), net_b(71);
+  for (int i = 0; i < 20; ++i) {
+    net_a.AddNode(NodeRole::kStub);
+    net_b.AddNode(NodeRole::kStub);
+  }
+  PushbackSystem a(net_a), b(net_b);
+  a.EnableFraction(0.5);
+  b.EnableFraction(0.5);
+  for (NodeId node = 0; node < 20; ++node) {
+    EXPECT_EQ(a.EnabledOn(node), b.EnabledOn(node));
+  }
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/scenario.h"
+#include "host/host.h"
+#include "mitigation/traceback_ppm.h"
+#include "mitigation/traceback_spie.h"
+#include "net/reverse_path.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+LinkParams FastLink() {
+  return LinkParams{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+}
+
+class SinkHost : public Host {
+ public:
+  void HandlePacket(Packet&& packet) override {
+    received.push_back(std::move(packet));
+  }
+  std::vector<Packet> received;
+};
+
+bool Contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(ReversePathTest, SimpleChainReconstruction) {
+  Network net(1);
+  for (int i = 0; i < 5; ++i) net.AddNode(NodeRole::kTransit);
+  for (NodeId i = 0; i < 4; ++i) {
+    net.Connect(i, i + 1, FastLink(), LinkKind::kPeer);
+  }
+  net.FinalizeRouting();
+  // Nodes 1..4 "saw" the packet; victim at 4, origin at 1.
+  const auto result = ReconstructOrigins(net, 4, [](NodeId node) {
+    return node >= 1;
+  });
+  EXPECT_TRUE(Contains(result.path_nodes, 2));
+  ASSERT_EQ(result.origin_nodes.size(), 1u);
+  EXPECT_EQ(result.origin_nodes[0], 1u);
+}
+
+TEST(ReversePathTest, BranchingAttackTree) {
+  // Star: victim 0; two branches 0-1-2 and 0-3-4.
+  Network net(2);
+  for (int i = 0; i < 5; ++i) net.AddNode(NodeRole::kTransit);
+  net.Connect(0, 1, FastLink(), LinkKind::kPeer);
+  net.Connect(1, 2, FastLink(), LinkKind::kPeer);
+  net.Connect(0, 3, FastLink(), LinkKind::kPeer);
+  net.Connect(3, 4, FastLink(), LinkKind::kPeer);
+  net.FinalizeRouting();
+  const auto result = ReconstructOrigins(net, 0, [](NodeId node) {
+    return node != 0;  // all other nodes saw it
+  });
+  EXPECT_EQ(result.origin_nodes.size(), 2u);
+  EXPECT_TRUE(Contains(result.origin_nodes, 2));
+  EXPECT_TRUE(Contains(result.origin_nodes, 4));
+}
+
+TEST(SpieTest, TracesDirectFloodToAgentAs) {
+  SmallWorld world(81);
+  SpieSystem spie(world.net);
+  spie.EnableAll();
+
+  const NodeId victim_node = world.topo.stub_nodes[0];
+  const NodeId agent_node = world.topo.stub_nodes[5];
+  auto* victim = SpawnHost<SinkHost>(world.net, victim_node, FastLink());
+  auto* agent = SpawnHost<SinkHost>(world.net, agent_node, FastLink());
+
+  Packet attack = agent->MakePacket(victim->address(), Protocol::kUdp, 100);
+  attack.klass = TrafficClass::kAttack;
+  attack.src = HostAddress(world.topo.stub_nodes[9], 3);  // spoofed!
+  attack.spoofed_src = true;
+  agent->SendPacket(std::move(attack));
+  world.net.Run(Seconds(1));
+  ASSERT_EQ(victim->received.size(), 1u);
+
+  const auto trace = spie.Trace(victim->received[0], victim_node);
+  // Despite the spoofed source, SPIE finds the true entry AS.
+  EXPECT_TRUE(Contains(trace.origin_nodes, agent_node));
+  EXPECT_FALSE(Contains(trace.origin_nodes, world.topo.stub_nodes[9]));
+}
+
+TEST(SpieTest, ReflectorAttackTracesToReflectorNotAgent) {
+  // The E1 mechanism: the packet the victim holds was emitted by the
+  // reflector, so its trace ends at the reflector's AS — not the agent's.
+  SmallWorld world(83);
+  SpieSystem spie(world.net);
+  spie.EnableAll();
+
+  const NodeId victim_node = world.topo.stub_nodes[0];
+  const NodeId reflector_node = world.topo.stub_nodes[7];
+  const NodeId agent_node = world.topo.stub_nodes[13];
+  auto* victim = SpawnHost<SinkHost>(world.net, victim_node, FastLink());
+  auto* reflector =
+      SpawnHost<Server>(world.net, reflector_node, FastLink());
+
+  AttackDirective directive;
+  directive.type = AttackType::kReflector;
+  directive.victim = victim->address();
+  directive.reflectors = {reflector->address()};
+  directive.reflector_proto = Protocol::kTcp;
+  directive.reflector_port = reflector->config().service_port;
+  directive.rate_pps = 100.0;
+  directive.duration = Seconds(2);
+  auto* agent =
+      SpawnHost<AgentHost>(world.net, agent_node, FastLink(), directive);
+  agent->StartFlood();
+  world.net.Run(Seconds(3));
+
+  ASSERT_FALSE(victim->received.empty());
+  const Packet& reflected = victim->received.front();
+  EXPECT_EQ(reflected.klass, TrafficClass::kReflected);
+  const auto trace = spie.Trace(reflected, victim_node);
+  // The trace finds the reflector's AS — the "wrong attack source".
+  EXPECT_TRUE(Contains(trace.origin_nodes, reflector_node));
+  EXPECT_FALSE(Contains(trace.origin_nodes, agent_node));
+}
+
+TEST(SpieTest, PartialDeploymentShortensTrace) {
+  Network net(85);
+  for (int i = 0; i < 6; ++i) net.AddNode(NodeRole::kTransit);
+  for (NodeId i = 0; i < 5; ++i) {
+    net.Connect(i, i + 1, FastLink(), LinkKind::kPeer);
+  }
+  auto* victim = SpawnHost<SinkHost>(net, 5, FastLink());
+  auto* agent = SpawnHost<SinkHost>(net, 0, FastLink());
+  net.FinalizeRouting();
+
+  SpieSystem spie(net);
+  // Only routers 3..5 participate.
+  spie.EnableOn(3);
+  spie.EnableOn(4);
+  spie.EnableOn(5);
+
+  Packet attack = agent->MakePacket(victim->address(), Protocol::kUdp, 100);
+  agent->SendPacket(std::move(attack));
+  net.Run(Seconds(1));
+  ASSERT_EQ(victim->received.size(), 1u);
+  const auto trace = spie.Trace(victim->received[0], 5);
+  // The trace dead-ends at node 3 (first non-participating upstream).
+  ASSERT_EQ(trace.origin_nodes.size(), 1u);
+  EXPECT_EQ(trace.origin_nodes[0], 3u);
+}
+
+TEST(PpmTest, VictimReconstructsPathFromMarks) {
+  Network net(87);
+  for (int i = 0; i < 6; ++i) net.AddNode(NodeRole::kTransit);
+  for (NodeId i = 0; i < 5; ++i) {
+    net.Connect(i, i + 1, FastLink(), LinkKind::kPeer);
+  }
+  auto* victim = SpawnHost<SinkHost>(net, 5, FastLink());
+  auto* agent = SpawnHost<SinkHost>(net, 0, FastLink());
+  net.FinalizeRouting();
+
+  PpmSystem ppm(net);
+  ppm.EnableAll();
+
+  // Thousands of packets so every edge gets sampled.
+  for (int i = 0; i < 3000; ++i) {
+    Packet attack = agent->MakePacket(victim->address(), Protocol::kUdp, 64);
+    attack.klass = TrafficClass::kAttack;
+    agent->SendPacket(std::move(attack));
+  }
+  net.Run(Seconds(10));
+  for (const Packet& packet : victim->received) {
+    ppm.Observe(packet);
+  }
+  ASSERT_GT(ppm.observed_marks(), 100u);
+  const auto origins = ppm.InferredOrigins();
+  // The agent's first-hop router (node 0) marks edges that never appear
+  // as edge ends.
+  ASSERT_FALSE(origins.empty());
+  EXPECT_TRUE(Contains(origins, 0));
+}
+
+TEST(PpmTest, NoMarksNoOrigins) {
+  Network net(89);
+  PpmSystem ppm(net);
+  EXPECT_TRUE(ppm.InferredOrigins().empty());
+  EXPECT_EQ(ppm.observed_marks(), 0u);
+}
+
+TEST(PpmTest, MarkDistanceSaturates) {
+  Network net(91);
+  for (int i = 0; i < 3; ++i) net.AddNode(NodeRole::kTransit);
+  net.Connect(0, 1, FastLink(), LinkKind::kPeer);
+  net.Connect(1, 2, FastLink(), LinkKind::kPeer);
+  net.FinalizeRouting();
+  PpmSystem::Config config;
+  config.marking_probability = 1.0;  // always mark: distance resets often
+  PpmSystem ppm(net, config);
+  ppm.EnableAll();
+  auto* victim = SpawnHost<SinkHost>(net, 2, FastLink());
+  auto* agent = SpawnHost<SinkHost>(net, 0, FastLink());
+  agent->SendPacket(agent->MakePacket(victim->address(), Protocol::kUdp, 64));
+  net.Run(Seconds(1));
+  ASSERT_EQ(victim->received.size(), 1u);
+  // With p=1 the last router always overwrites: the victim sees the
+  // nearest router's mark with distance 0.
+  EXPECT_TRUE(victim->received[0].ppm.valid);
+  EXPECT_EQ(victim->received[0].ppm.edge_start, 2u);
+  EXPECT_EQ(victim->received[0].ppm.distance, 0);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,121 @@
+// Measurement-only fields must never influence behaviour: the ground
+// truth convention of net/packet.h says no PacketProcessor or Module
+// decides based on true_origin / spoofed_src / klass / in_reply_to.
+// These tests feed identical wire packets with scrambled ground truth
+// through the full core stack and the baselines and require identical
+// verdicts.
+#include <gtest/gtest.h>
+
+#include "core/adaptive_device.h"
+#include "core/modules/antispoof.h"
+#include "core/modules/match.h"
+#include "core/modules/rate_limit.h"
+#include "mitigation/ingress_filter.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+Packet WirePacket() {
+  Packet p;
+  p.src = HostAddress(3, 1);
+  p.dst = HostAddress(5, 1);
+  p.proto = Protocol::kUdp;
+  p.dst_port = 80;
+  p.size_bytes = 100;
+  p.serial = 1;
+  p.payload_hash = 1;
+  return p;
+}
+
+/// Same wire identity, different ground truth.
+Packet ScrambleGroundTruth(Packet p) {
+  p.true_origin = 4242;
+  p.spoofed_src = !p.spoofed_src;
+  p.klass = TrafficClass::kAttack;
+  p.in_reply_to = 999;
+  return p;
+}
+
+TEST(GroundTruthTest, AdaptiveDeviceVerdictIgnoresLabels) {
+  CertificateAuthority ca("k");
+  const auto cert = ca.Issue(1, "o", {NodePrefix(5)}, 0, Seconds(3600));
+
+  // A firewall that drops UDP:80 to the owner.
+  MatchRule rule;
+  rule.proto = Protocol::kUdp;
+  rule.dst_port_range = {{80, 80}};
+
+  for (const bool expect_drop : {true, false}) {
+    AdaptiveDevice device(0);
+    MatchRule used = rule;
+    if (!expect_drop) used.dst_port_range = {{443, 443}};
+    ASSERT_TRUE(device
+                    .InstallDeployment(
+                        cert, {NodePrefix(5)}, std::nullopt,
+                        ModuleGraph::Single(
+                            std::make_unique<MatchModule>(used)))
+                    .ok());
+    RouterContext ctx;
+    Packet plain = WirePacket();
+    Packet scrambled = ScrambleGroundTruth(WirePacket());
+    EXPECT_EQ(device.Process(plain, ctx), device.Process(scrambled, ctx));
+    EXPECT_EQ(device.Process(plain, ctx),
+              expect_drop ? Verdict::kDrop : Verdict::kForward);
+  }
+}
+
+TEST(GroundTruthTest, AntiSpoofUsesOnlyWireAndContext) {
+  AntiSpoofModule module(AntiSpoofModule::Mode::kProtectOwnerPrefixes);
+  module.AddProtectedPrefix(NodePrefix(3));
+  DeviceContext ctx;
+  ctx.node = 7;
+  ctx.in_kind = LinkKind::kAccessUp;
+
+  Packet claims_protected = WirePacket();  // src in NodePrefix(3)
+  Packet scrambled = ScrambleGroundTruth(claims_protected);
+  scrambled.spoofed_src = false;  // even claiming "not spoofed"...
+  EXPECT_EQ(module.OnPacket(claims_protected, ctx),
+            module.OnPacket(scrambled, ctx));
+  EXPECT_EQ(module.OnPacket(claims_protected, ctx), kPortAlt);
+}
+
+TEST(GroundTruthTest, IngressFilterIgnoresSpoofFlag) {
+  testing::SmallWorld world(3);
+  const NodeId stub = world.topo.stub_nodes[0];
+  auto filters = DeployIngressFiltering(world.net, world.topo, {stub});
+  RouterContext ctx;
+  ctx.net = &world.net;
+  ctx.node = stub;
+  ctx.in_kind = LinkKind::kAccessUp;
+
+  // Wire-legit packet labelled as spoofed attack: must pass.
+  Packet labelled = WirePacket();
+  labelled.src = HostAddress(stub, 1);
+  labelled.spoofed_src = true;
+  labelled.klass = TrafficClass::kAttack;
+  EXPECT_EQ(filters[0]->Process(labelled, ctx), Verdict::kForward);
+
+  // Wire-spoofed packet labelled clean: must drop.
+  Packet clean_label = WirePacket();
+  clean_label.src = HostAddress(stub + 1, 1);
+  clean_label.spoofed_src = false;
+  clean_label.klass = TrafficClass::kLegitimate;
+  EXPECT_EQ(filters[0]->Process(clean_label, ctx), Verdict::kDrop);
+}
+
+TEST(GroundTruthTest, RateLimiterCountsPacketsNotClasses) {
+  RateLimitModule module(1.0, 1.0);
+  DeviceContext ctx;
+  ctx.now = Seconds(1);
+  Packet attack = WirePacket();
+  attack.klass = TrafficClass::kAttack;
+  Packet legit = WirePacket();
+  legit.klass = TrafficClass::kLegitimate;
+  // The single token goes to whichever arrives first, label-blind.
+  EXPECT_EQ(module.OnPacket(attack, ctx), kPortDefault);
+  EXPECT_EQ(module.OnPacket(legit, ctx), kPortAlt);
+}
+
+}  // namespace
+}  // namespace adtc

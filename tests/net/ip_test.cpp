@@ -1,0 +1,91 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+TEST(Ipv4AddressTest, RoundTripsDottedQuad) {
+  for (const char* text : {"0.0.0.0", "10.1.2.3", "255.255.255.255",
+                           "192.168.0.1"}) {
+    const auto addr = Ipv4Address::Parse(text);
+    ASSERT_TRUE(addr.has_value()) << text;
+    EXPECT_EQ(addr->ToString(), text);
+  }
+}
+
+TEST(Ipv4AddressTest, RejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1..2.3",
+        "1.2.3.4x"}) {
+    EXPECT_FALSE(Ipv4Address::Parse(text).has_value()) << text;
+  }
+}
+
+TEST(Ipv4AddressTest, BitsOrdering) {
+  const auto addr = Ipv4Address::Parse("1.2.3.4");
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->bits(), 0x01020304u);
+}
+
+TEST(PrefixTest, MasksHostBits) {
+  const Prefix prefix(Ipv4Address(0x0a0b0c0d), 16);
+  EXPECT_EQ(prefix.address().bits(), 0x0a0b0000u);
+  EXPECT_EQ(prefix.length(), 16);
+}
+
+TEST(PrefixTest, Contains) {
+  const auto prefix = Prefix::Parse("10.20.0.0/16");
+  ASSERT_TRUE(prefix);
+  EXPECT_TRUE(prefix->Contains(*Ipv4Address::Parse("10.20.1.1")));
+  EXPECT_TRUE(prefix->Contains(*Ipv4Address::Parse("10.20.255.255")));
+  EXPECT_FALSE(prefix->Contains(*Ipv4Address::Parse("10.21.0.0")));
+}
+
+TEST(PrefixTest, SlashZeroMatchesEverything) {
+  EXPECT_TRUE(Prefix::Any().Contains(Ipv4Address(0)));
+  EXPECT_TRUE(Prefix::Any().Contains(Ipv4Address(~0u)));
+}
+
+TEST(PrefixTest, HostRoute) {
+  const Ipv4Address addr(0x12345678);
+  const Prefix host = Prefix::Host(addr);
+  EXPECT_TRUE(host.Contains(addr));
+  EXPECT_FALSE(host.Contains(Ipv4Address(0x12345679)));
+}
+
+TEST(PrefixTest, Covers) {
+  const auto wide = *Prefix::Parse("10.0.0.0/8");
+  const auto narrow = *Prefix::Parse("10.1.0.0/16");
+  EXPECT_TRUE(wide.Covers(narrow));
+  EXPECT_FALSE(narrow.Covers(wide));
+  EXPECT_TRUE(wide.Covers(wide));
+}
+
+TEST(PrefixTest, ParseRejectsBadLength) {
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/1x").has_value());
+}
+
+TEST(AddressPlanTest, NodePrefixAndHostAddressesAgree) {
+  const NodeId node = 37;
+  const Prefix prefix = NodePrefix(node);
+  EXPECT_EQ(prefix.length(), kNodePrefixLength);
+  for (std::uint32_t slot : {1u, 2u, kHostsPerNode}) {
+    const Ipv4Address addr = HostAddress(node, slot);
+    EXPECT_TRUE(prefix.Contains(addr));
+    EXPECT_EQ(AddressNode(addr), node);
+    EXPECT_EQ(AddressSlot(addr), slot);
+  }
+  EXPECT_TRUE(prefix.Contains(RouterAddress(node)));
+}
+
+TEST(AddressPlanTest, DistinctNodesDistinctPrefixes) {
+  EXPECT_FALSE(NodePrefix(1).Contains(HostAddress(2, 1)));
+  EXPECT_NE(NodePrefix(1), NodePrefix(2));
+}
+
+}  // namespace
+}  // namespace adtc

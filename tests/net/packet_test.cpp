@@ -1,0 +1,74 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+Packet SamplePacket() {
+  Packet p;
+  p.src = Ipv4Address(0x0a000001);
+  p.dst = Ipv4Address(0x0a000002);
+  p.proto = Protocol::kTcp;
+  p.tcp_flags = tcp::kSyn;
+  p.src_port = 1234;
+  p.dst_port = 80;
+  p.size_bytes = 40;
+  p.serial = 77;
+  p.payload_hash = 0xdeadbeef;
+  return p;
+}
+
+TEST(PacketDigestTest, StableAcrossHops) {
+  Packet p = SamplePacket();
+  const std::uint64_t before = PacketDigest(p);
+  p.ttl--;         // routers decrement TTL
+  p.hops++;        // bookkeeping advances
+  p.ppm.valid = true;  // markers scribble
+  EXPECT_EQ(PacketDigest(p), before);
+}
+
+TEST(PacketDigestTest, SensitiveToWireIdentity) {
+  const Packet base = SamplePacket();
+  Packet p = base;
+  p.serial = 78;
+  EXPECT_NE(PacketDigest(p), PacketDigest(base));
+  p = base;
+  p.src = Ipv4Address(0x0b000001);
+  EXPECT_NE(PacketDigest(p), PacketDigest(base));
+  p = base;
+  p.payload_hash ^= 1;
+  EXPECT_NE(PacketDigest(p), PacketDigest(base));
+  p = base;
+  p.dst_port = 443;
+  EXPECT_NE(PacketDigest(p), PacketDigest(base));
+}
+
+TEST(FlowKeyTest, GroupsByAggregate) {
+  Packet a = SamplePacket();
+  Packet b = SamplePacket();
+  b.serial = 99;          // different packet ...
+  b.payload_hash = 123;   // ... different payload
+  EXPECT_EQ(FlowKey(a), FlowKey(b));  // same (src,dst,proto,port) aggregate
+  b.dst_port = 443;
+  EXPECT_NE(FlowKey(a), FlowKey(b));
+}
+
+TEST(PacketTest, TcpFlagHelpers) {
+  Packet p = SamplePacket();
+  EXPECT_TRUE(p.has_tcp_flag(tcp::kSyn));
+  EXPECT_FALSE(p.has_tcp_flag(tcp::kAck));
+  p.proto = Protocol::kUdp;
+  EXPECT_FALSE(p.has_tcp_flag(tcp::kSyn));  // not TCP at all
+}
+
+TEST(PacketTest, NameFunctions) {
+  EXPECT_EQ(ProtocolName(Protocol::kUdp), "udp");
+  EXPECT_EQ(ProtocolName(Protocol::kTcp), "tcp");
+  EXPECT_EQ(ProtocolName(Protocol::kIcmp), "icmp");
+  EXPECT_EQ(TrafficClassName(TrafficClass::kAttack), "attack");
+  EXPECT_EQ(TrafficClassName(TrafficClass::kReflected), "reflected");
+}
+
+}  // namespace
+}  // namespace adtc

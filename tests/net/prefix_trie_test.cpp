@@ -1,0 +1,173 @@
+#include "net/prefix_trie.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+
+namespace adtc {
+namespace {
+
+TEST(PrefixTrieTest, ExactInsertAndMatch) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  EXPECT_EQ(trie.size(), 1u);
+  const int* value = trie.ExactMatch(*Prefix::Parse("10.0.0.0/8"));
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 1);
+  EXPECT_EQ(trie.ExactMatch(*Prefix::Parse("10.0.0.0/9")), nullptr);
+}
+
+TEST(PrefixTrieTest, LongestMatchPrefersMostSpecific) {
+  PrefixTrie<std::string> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), "wide");
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), "mid");
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), "narrow");
+
+  EXPECT_EQ(*trie.LongestMatch(*Ipv4Address::Parse("10.1.2.3")), "narrow");
+  EXPECT_EQ(*trie.LongestMatch(*Ipv4Address::Parse("10.1.9.9")), "mid");
+  EXPECT_EQ(*trie.LongestMatch(*Ipv4Address::Parse("10.200.0.1")), "wide");
+  EXPECT_EQ(trie.LongestMatch(*Ipv4Address::Parse("11.0.0.1")), nullptr);
+}
+
+TEST(PrefixTrieTest, DefaultRouteSlashZero) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::Any(), 99);
+  EXPECT_EQ(*trie.LongestMatch(Ipv4Address(0x12345678)), 99);
+}
+
+TEST(PrefixTrieTest, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.Insert(Prefix::Host(Ipv4Address(42)), 7);
+  EXPECT_EQ(*trie.LongestMatch(Ipv4Address(42)), 7);
+  EXPECT_EQ(trie.LongestMatch(Ipv4Address(43)), nullptr);
+}
+
+TEST(PrefixTrieTest, EraseRemovesOnlyExact) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 2);
+  EXPECT_TRUE(trie.Erase(*Prefix::Parse("10.0.0.0/8")));
+  EXPECT_FALSE(trie.Erase(*Prefix::Parse("10.0.0.0/8")));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.LongestMatch(*Ipv4Address::Parse("10.1.2.3")), 2);
+  EXPECT_EQ(trie.LongestMatch(*Ipv4Address::Parse("10.2.0.0")), nullptr);
+}
+
+TEST(PrefixTrieTest, InsertOverwrites) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 2);
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(*trie.LongestMatch(Ipv4Address(0x0a000001)), 2);
+}
+
+TEST(PrefixTrieTest, EntriesReturnsAll) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Insert(*Prefix::Parse("192.168.0.0/16"), 2);
+  trie.Insert(*Prefix::Parse("0.0.0.0/0"), 0);
+  const auto entries = trie.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  // Lexicographic order: /0 first, then by bits.
+  EXPECT_EQ(entries[0].first, Prefix::Any());
+  EXPECT_EQ(entries[1].first, *Prefix::Parse("10.0.0.0/8"));
+  EXPECT_EQ(entries[2].first, *Prefix::Parse("192.168.0.0/16"));
+}
+
+TEST(PrefixTrieTest, VisitCoveringWalksAncestors) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 16);
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 24);
+  trie.Insert(*Prefix::Parse("10.9.0.0/16"), 99);  // not an ancestor
+
+  std::vector<int> seen;
+  trie.VisitCovering(*Prefix::Parse("10.1.2.0/24"),
+                     [&seen](const Prefix&, const int& value) {
+                       seen.push_back(value);
+                       return true;
+                     });
+  EXPECT_EQ(seen, (std::vector<int>{8, 16, 24}));
+}
+
+TEST(PrefixTrieTest, VisitWithinWalksDescendants) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 8);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 16);
+  trie.Insert(*Prefix::Parse("10.1.2.0/24"), 24);
+  trie.Insert(*Prefix::Parse("11.0.0.0/8"), 11);
+
+  std::vector<int> seen;
+  trie.VisitWithin(*Prefix::Parse("10.0.0.0/8"),
+                   [&seen](const Prefix&, const int& value) {
+                     seen.push_back(value);
+                     return true;
+                   });
+  EXPECT_EQ(seen, (std::vector<int>{8, 16, 24}));
+}
+
+TEST(PrefixTrieTest, VisitorEarlyStop) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Insert(*Prefix::Parse("10.1.0.0/16"), 2);
+  int visits = 0;
+  const bool completed = trie.VisitCovering(
+      *Prefix::Parse("10.1.0.0/16"), [&visits](const Prefix&, const int&) {
+        visits++;
+        return false;  // stop immediately
+      });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(PrefixTrieTest, ClearEmptiesEverything) {
+  PrefixTrie<int> trie;
+  trie.Insert(*Prefix::Parse("10.0.0.0/8"), 1);
+  trie.Clear();
+  EXPECT_TRUE(trie.empty());
+  EXPECT_EQ(trie.LongestMatch(Ipv4Address(0x0a000001)), nullptr);
+}
+
+// Property test: trie longest-match agrees with brute force over random
+// prefix sets.
+TEST(PrefixTrieTest, PropertyMatchesBruteForce) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    PrefixTrie<std::size_t> trie;
+    std::vector<Prefix> prefixes;
+    for (int i = 0; i < 50; ++i) {
+      const int length = static_cast<int>(rng.NextBelow(33));
+      const Prefix prefix(Ipv4Address(static_cast<std::uint32_t>(rng.Next())),
+                          length);
+      // Skip duplicates (overwrite semantics would complicate the oracle).
+      if (trie.ExactMatch(prefix) != nullptr) continue;
+      trie.Insert(prefix, prefixes.size());
+      prefixes.push_back(prefix);
+    }
+    for (int probe = 0; probe < 200; ++probe) {
+      const Ipv4Address addr(static_cast<std::uint32_t>(rng.Next()));
+      // Oracle: longest containing prefix wins.
+      int best_length = -1;
+      std::size_t best_index = 0;
+      for (std::size_t i = 0; i < prefixes.size(); ++i) {
+        if (prefixes[i].Contains(addr) &&
+            prefixes[i].length() > best_length) {
+          best_length = prefixes[i].length();
+          best_index = i;
+        }
+      }
+      const std::size_t* found = trie.LongestMatch(addr);
+      if (best_length < 0) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, best_index);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,153 @@
+#include "net/topo_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace adtc {
+namespace {
+
+TEST(TransitStubTest, BuildsRequestedCounts) {
+  Network net(1);
+  TransitStubParams params;
+  params.transit_count = 8;
+  params.stub_count = 40;
+  const TopologyInfo info = BuildTransitStub(net, params);
+  EXPECT_EQ(info.transit_nodes.size(), 8u);
+  EXPECT_EQ(info.stub_nodes.size(), 40u);
+  EXPECT_EQ(net.node_count(), 48u);
+}
+
+TEST(TransitStubTest, EveryStubHasAProvider) {
+  Network net(2);
+  TransitStubParams params;
+  const TopologyInfo info = BuildTransitStub(net, params);
+  for (NodeId stub : info.stub_nodes) {
+    EXPECT_FALSE(info.providers[stub].empty()) << "stub " << stub;
+    EXPECT_EQ(net.node(stub).role, NodeRole::kStub);
+  }
+}
+
+TEST(TransitStubTest, FullyConnected) {
+  Network net(3);
+  TransitStubParams params;
+  params.transit_count = 6;
+  params.stub_count = 30;
+  BuildTransitStub(net, params);
+  for (NodeId a = 0; a < net.node_count(); a += 7) {
+    for (NodeId b = 0; b < net.node_count(); b += 5) {
+      EXPECT_NE(net.HopDistance(a, b), UINT32_MAX)
+          << a << " cannot reach " << b;
+    }
+  }
+}
+
+TEST(TransitStubTest, CustomerEdgesHaveCorrectKinds) {
+  Network net(4);
+  TransitStubParams params;
+  params.multihome_probability = 0.0;
+  const TopologyInfo info = BuildTransitStub(net, params);
+  const NodeId stub = info.stub_nodes[0];
+  const NodeId provider = info.providers[stub][0];
+  // Stub's outgoing link toward provider: customer->provider.
+  for (const auto& [neighbour, link] : net.node(stub).neighbours) {
+    if (neighbour == provider) {
+      EXPECT_EQ(net.link(link).kind, LinkKind::kCustomerToProvider);
+    }
+  }
+  for (const auto& [neighbour, link] : net.node(provider).neighbours) {
+    if (neighbour == stub) {
+      EXPECT_EQ(net.link(link).kind, LinkKind::kProviderToCustomer);
+    }
+  }
+}
+
+TEST(TransitStubTest, DeterministicForSeed) {
+  Network net1(99), net2(99);
+  TransitStubParams params;
+  const TopologyInfo a = BuildTransitStub(net1, params);
+  const TopologyInfo b = BuildTransitStub(net2, params);
+  EXPECT_EQ(net1.link_count(), net2.link_count());
+  EXPECT_EQ(a.customers, b.customers);
+}
+
+TEST(PowerLawTest, BuildsRequestedNodeCount) {
+  Network net(5);
+  PowerLawParams params;
+  params.node_count = 200;
+  const TopologyInfo info = BuildPowerLaw(net, params);
+  EXPECT_EQ(net.node_count(), 200u);
+  EXPECT_EQ(info.transit_nodes.size() + info.stub_nodes.size(), 200u);
+  EXPECT_FALSE(info.transit_nodes.empty());
+  EXPECT_FALSE(info.stub_nodes.empty());
+}
+
+TEST(PowerLawTest, ConnectedAndHeavyTailed) {
+  Network net(6);
+  PowerLawParams params;
+  params.node_count = 300;
+  const TopologyInfo info = BuildPowerLaw(net, params);
+  (void)info;
+  // Connectivity.
+  for (NodeId node = 0; node < net.node_count(); node += 13) {
+    EXPECT_NE(net.HopDistance(0, node), UINT32_MAX);
+  }
+  // Heavy tail: the max degree should far exceed the mean (2m).
+  std::size_t max_degree = 0;
+  for (NodeId node = 0; node < net.node_count(); ++node) {
+    max_degree = std::max(max_degree, net.node(node).neighbours.size());
+  }
+  EXPECT_GT(max_degree, 20u);
+}
+
+TEST(PowerLawTest, NewerNodesAreCustomersOfOlder) {
+  Network net(7);
+  PowerLawParams params;
+  params.node_count = 100;
+  const TopologyInfo info = BuildPowerLaw(net, params);
+  for (NodeId node = 0; node < net.node_count(); ++node) {
+    for (NodeId provider : info.providers[node]) {
+      EXPECT_LT(provider, node);
+    }
+  }
+}
+
+TEST(CustomerConeTest, ConeContainsSelfAndDescendants) {
+  Network net(8);
+  TransitStubParams params;
+  params.transit_count = 4;
+  params.stub_count = 20;
+  params.multihome_probability = 0.0;
+  const TopologyInfo info = BuildTransitStub(net, params);
+  // A stub's cone is just itself.
+  const NodeId stub = info.stub_nodes[0];
+  EXPECT_EQ(info.CustomerCone(stub), std::vector<NodeId>{stub});
+  // A provider's cone contains all its customers.
+  const NodeId provider = info.providers[stub][0];
+  const auto cone = info.CustomerCone(provider);
+  EXPECT_TRUE(std::find(cone.begin(), cone.end(), stub) != cone.end());
+  EXPECT_TRUE(std::find(cone.begin(), cone.end(), provider) != cone.end());
+  EXPECT_EQ(cone.size(), info.customers[provider].size() + 1);
+}
+
+TEST(PowerLawTest, ShortPathsSmallWorld) {
+  Network net(9);
+  PowerLawParams params;
+  params.node_count = 300;
+  BuildPowerLaw(net, params);
+  // Power-law graphs have very short average paths.
+  double total = 0;
+  int samples = 0;
+  for (NodeId a = 0; a < net.node_count(); a += 17) {
+    for (NodeId b = 1; b < net.node_count(); b += 23) {
+      const auto d = net.HopDistance(a, b);
+      ASSERT_NE(d, UINT32_MAX);
+      total += d;
+      samples++;
+    }
+  }
+  EXPECT_LT(total / samples, 6.0);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,121 @@
+// Parameterised sweeps over topology-generator configurations: every
+// generated world must be connected, role-partitioned, and structurally
+// consistent (provider relations match link kinds).
+#include <gtest/gtest.h>
+
+#include "net/topo_gen.h"
+
+namespace adtc {
+namespace {
+
+struct TopoCase {
+  bool power_law;
+  std::uint32_t size;
+  std::uint64_t seed;
+};
+
+class TopologyPropertyTest : public ::testing::TestWithParam<TopoCase> {
+ protected:
+  void Build(Network& net, TopologyInfo& info) {
+    const TopoCase& c = GetParam();
+    if (c.power_law) {
+      PowerLawParams params;
+      params.node_count = c.size;
+      info = BuildPowerLaw(net, params);
+    } else {
+      TransitStubParams params;
+      params.transit_count = std::max<std::uint32_t>(3, c.size / 12);
+      params.stub_count = c.size - params.transit_count;
+      info = BuildTransitStub(net, params);
+    }
+  }
+};
+
+TEST_P(TopologyPropertyTest, FullyConnected) {
+  Network net(GetParam().seed);
+  TopologyInfo info;
+  Build(net, info);
+  for (NodeId node = 0; node < net.node_count(); ++node) {
+    EXPECT_NE(net.HopDistance(0, node), UINT32_MAX) << "node " << node;
+  }
+}
+
+TEST_P(TopologyPropertyTest, RolesPartitionNodes) {
+  Network net(GetParam().seed);
+  TopologyInfo info;
+  Build(net, info);
+  std::vector<int> seen(net.node_count(), 0);
+  for (NodeId node : info.transit_nodes) seen[node]++;
+  for (NodeId node : info.stub_nodes) seen[node]++;
+  for (NodeId node = 0; node < net.node_count(); ++node) {
+    EXPECT_EQ(seen[node], 1) << "node " << node;
+  }
+}
+
+TEST_P(TopologyPropertyTest, ProviderRelationsMatchLinkKinds) {
+  Network net(GetParam().seed);
+  TopologyInfo info;
+  Build(net, info);
+  for (NodeId customer = 0; customer < net.node_count(); ++customer) {
+    for (NodeId provider : info.providers[customer]) {
+      bool found = false;
+      for (const auto& [neighbour, link] : net.node(customer).neighbours) {
+        if (neighbour == provider) {
+          EXPECT_EQ(net.link(link).kind, LinkKind::kCustomerToProvider);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << customer << " -> " << provider;
+      // And the reverse registration exists.
+      const auto& customers = info.customers[provider];
+      EXPECT_NE(std::find(customers.begin(), customers.end(), customer),
+                customers.end());
+    }
+  }
+}
+
+TEST_P(TopologyPropertyTest, CustomerConesAreClosedUnderDescent) {
+  Network net(GetParam().seed);
+  TopologyInfo info;
+  Build(net, info);
+  // For a few roots: every member's customers are also members.
+  for (NodeId root = 0; root < net.node_count();
+       root += std::max<NodeId>(1, net.node_count() / 7)) {
+    const auto cone = info.CustomerCone(root);
+    std::vector<bool> in_cone(net.node_count(), false);
+    for (NodeId member : cone) in_cone[member] = true;
+    EXPECT_TRUE(in_cone[root]);
+    for (NodeId member : cone) {
+      for (NodeId customer : info.customers[member]) {
+        EXPECT_TRUE(in_cone[customer])
+            << customer << " missing from cone of " << root;
+      }
+    }
+  }
+}
+
+TEST_P(TopologyPropertyTest, RoutingIsSymmetricInHopCount) {
+  Network net(GetParam().seed);
+  TopologyInfo info;
+  Build(net, info);
+  Rng rng(GetParam().seed);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.NextBelow(net.node_count()));
+    const NodeId b = static_cast<NodeId>(rng.NextBelow(net.node_count()));
+    EXPECT_EQ(net.HopDistance(a, b), net.HopDistance(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopologyPropertyTest,
+    ::testing::Values(TopoCase{false, 40, 1}, TopoCase{false, 120, 2},
+                      TopoCase{false, 300, 3}, TopoCase{true, 60, 4},
+                      TopoCase{true, 200, 5}, TopoCase{true, 400, 6}),
+    [](const ::testing::TestParamInfo<TopoCase>& info) {
+      return std::string(info.param.power_law ? "PowerLaw" : "TransitStub") +
+             std::to_string(info.param.size) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,90 @@
+#include <algorithm>
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+Packet MakePkt(std::uint32_t src, std::uint16_t port, std::uint32_t size) {
+  Packet p;
+  p.src = Ipv4Address(src);
+  p.dst = Ipv4Address(0x01020304);
+  p.dst_port = port;
+  p.size_bytes = size;
+  return p;
+}
+
+TEST(PacketTraceTest, RecordsUpToCapacity) {
+  PacketTrace trace(8);
+  for (int i = 0; i < 5; ++i) {
+    trace.Record(MakePkt(i, 80, 100), Milliseconds(i));
+  }
+  EXPECT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.total_recorded(), 5u);
+}
+
+TEST(PacketTraceTest, RingOverwritesOldest) {
+  PacketTrace trace(4);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    trace.Record(MakePkt(i, 80, 100), Milliseconds(i));
+  }
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  const auto snapshot = trace.Snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  // Oldest retained is i=6.
+  EXPECT_EQ(snapshot.front().src.bits(), 6u);
+  EXPECT_EQ(snapshot.back().src.bits(), 9u);
+}
+
+TEST(PacketTraceTest, TopPortsRanked) {
+  PacketTrace trace(100);
+  for (int i = 0; i < 10; ++i) trace.Record(MakePkt(1, 80, 100), 0);
+  for (int i = 0; i < 5; ++i) trace.Record(MakePkt(1, 443, 100), 0);
+  for (int i = 0; i < 2; ++i) trace.Record(MakePkt(1, 22, 100), 0);
+  const auto top = trace.TopPorts(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 80);
+  EXPECT_EQ(top[0].second, 10u);
+  EXPECT_EQ(top[1].first, 443);
+}
+
+TEST(PacketTraceTest, TopSourcesByBytes) {
+  PacketTrace trace(100);
+  trace.Record(MakePkt(0xAA, 80, 1000), 0);
+  trace.Record(MakePkt(0xBB, 80, 100), 0);
+  trace.Record(MakePkt(0xBB, 80, 100), 0);
+  const auto top = trace.TopSources(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first.bits(), 0xAAu);
+  EXPECT_EQ(top[0].second, 1000u);
+  EXPECT_EQ(top[1].second, 200u);
+}
+
+TEST(PacketTraceTest, ObservedRate) {
+  PacketTrace trace(100);
+  // 11 packets over 1 second -> 11 pkt / 1 s.
+  for (int i = 0; i <= 10; ++i) {
+    trace.Record(MakePkt(1, 80, 100), Milliseconds(i * 100));
+  }
+  EXPECT_NEAR(trace.ObservedRate(), 11.0, 0.5);
+}
+
+TEST(PacketTraceTest, DumpHasOneLinePerRecord) {
+  PacketTrace trace(100);
+  for (int i = 0; i < 3; ++i) trace.Record(MakePkt(i, 80, 100), 0);
+  const std::string dump = trace.Dump();
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 3);
+}
+
+TEST(PacketTraceTest, ClearResets) {
+  PacketTrace trace(10);
+  trace.Record(MakePkt(1, 80, 100), 0);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+}  // namespace
+}  // namespace adtc

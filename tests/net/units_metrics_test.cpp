@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "attack/spoof.h"
+#include "attack/directive.h"
+#include "common/units.h"
+#include "core/safety.h"
+#include "core/service.h"
+#include "net/metrics.h"
+
+namespace adtc {
+namespace {
+
+TEST(UnitsTest, TimeConstructorsCompose) {
+  EXPECT_EQ(Seconds(1), Milliseconds(1000));
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+  EXPECT_EQ(Microseconds(1), Nanoseconds(1000));
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Seconds(2)), 2000.0);
+}
+
+TEST(UnitsTest, RateConstructorsCompose) {
+  EXPECT_EQ(GigabitsPerSecond(1), MegabitsPerSecond(1000));
+  EXPECT_EQ(MegabitsPerSecond(1), KilobitsPerSecond(1000));
+}
+
+TEST(UnitsTest, TransmissionDelayExact) {
+  // 1500 bytes at 1 Gbps = 12 us.
+  EXPECT_EQ(TransmissionDelay(1500, GigabitsPerSecond(1)),
+            Microseconds(12));
+  // 1000 bytes at 1 Mbps = 8 ms.
+  EXPECT_EQ(TransmissionDelay(1000, MegabitsPerSecond(1)),
+            Milliseconds(8));
+}
+
+TEST(UnitsTest, TransmissionDelayRoundsUp) {
+  // 1 byte at 3 bits/s: 8/3 s -> ceil to whole ns.
+  const SimDuration delay = TransmissionDelay(1, BitsPerSecond(3));
+  EXPECT_GE(delay, Nanoseconds(2'666'666'666));
+  EXPECT_LE(delay, Nanoseconds(2'666'666'667));
+}
+
+TEST(MetricsTest, AccessorsSumDropReasons) {
+  Metrics metrics;
+  Packet p;
+  p.klass = TrafficClass::kAttack;
+  p.size_bytes = 100;
+  metrics.RecordSend(p);
+  metrics.RecordDrop(p, DropReason::kQueueFull);
+  metrics.RecordDrop(p, DropReason::kFiltered);
+  EXPECT_EQ(metrics.sent(TrafficClass::kAttack), 1u);
+  EXPECT_EQ(metrics.dropped(TrafficClass::kAttack), 2u);
+  EXPECT_EQ(metrics.dropped(TrafficClass::kAttack, DropReason::kQueueFull),
+            1u);
+  EXPECT_EQ(metrics.dropped(TrafficClass::kAttack, DropReason::kFiltered),
+            1u);
+  EXPECT_EQ(metrics.dropped(TrafficClass::kLegitimate), 0u);
+}
+
+TEST(MetricsTest, FilteredAttackDropsFeedDistanceStats) {
+  Metrics metrics;
+  Packet p;
+  p.klass = TrafficClass::kAttack;
+  p.hops = 3;
+  metrics.RecordDrop(p, DropReason::kFiltered);
+  p.hops = 5;
+  metrics.RecordDrop(p, DropReason::kFiltered);
+  // Queue drops do not count toward filter-distance.
+  p.hops = 100;
+  metrics.RecordDrop(p, DropReason::kQueueFull);
+  EXPECT_EQ(metrics.attack_drop_hops.count(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.attack_drop_hops.mean(), 4.0);
+}
+
+TEST(MetricsTest, ByteHopsSplitByClass) {
+  Metrics metrics;
+  Packet attack;
+  attack.klass = TrafficClass::kAttack;
+  attack.size_bytes = 100;
+  Packet reflected = attack;
+  reflected.klass = TrafficClass::kReflected;
+  Packet legit = attack;
+  legit.klass = TrafficClass::kLegitimate;
+  Packet mgmt = attack;
+  mgmt.klass = TrafficClass::kManagement;
+  metrics.RecordHop(attack);
+  metrics.RecordHop(reflected);
+  metrics.RecordHop(legit);
+  metrics.RecordHop(mgmt);
+  EXPECT_EQ(metrics.attack_byte_hops, 200u);  // attack + reflected
+  EXPECT_EQ(metrics.legit_byte_hops, 100u);
+}
+
+TEST(LinkStatsTest, UtilisationBounded) {
+  LinkStats stats;
+  stats.busy_time = Milliseconds(500);
+  EXPECT_DOUBLE_EQ(stats.Utilisation(Seconds(1)), 0.5);
+  EXPECT_DOUBLE_EQ(stats.Utilisation(0), 0.0);
+}
+
+TEST(NamesTest, EnumNamesAreStable) {
+  EXPECT_EQ(DropReasonName(DropReason::kQueueFull), "queue_full");
+  EXPECT_EQ(DropReasonName(DropReason::kHostOverload), "host_overload");
+  EXPECT_EQ(LinkKindName(LinkKind::kAccessUp), "access-up");
+  EXPECT_EQ(EventKindName(EventKind::kSafetyViolation),
+            "safety_violation");
+  EXPECT_EQ(AttackTypeName(AttackType::kReflector), "reflector");
+  EXPECT_EQ(SpoofModeName(SpoofMode::kVictim), "victim");
+  EXPECT_EQ(ServiceKindName(ServiceKind::kTraceback), "traceback");
+  EXPECT_EQ(InvariantViolationName(InvariantViolation::kSizeIncreased),
+            "size_increased");
+}
+
+}  // namespace
+}  // namespace adtc

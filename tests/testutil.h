@@ -1,0 +1,41 @@
+// Shared helpers for the ADTC test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "attack/scenario.h"
+#include "net/network.h"
+#include "net/topo_gen.h"
+
+namespace adtc::testing {
+
+/// A small deterministic transit-stub world for integration tests.
+struct SmallWorld {
+  Network net;
+  TopologyInfo topo;
+
+  explicit SmallWorld(std::uint64_t seed = 42,
+                      std::uint32_t transit = 4, std::uint32_t stubs = 24)
+      : net(seed) {
+    TransitStubParams params;
+    params.transit_count = transit;
+    params.stub_count = stubs;
+    params.extra_core_links = 2;
+    topo = BuildTransitStub(net, params);
+  }
+};
+
+/// Expects a Status to be OK, printing the message otherwise.
+#define ADTC_EXPECT_OK(expr)                                     \
+  do {                                                           \
+    const ::adtc::Status status_ = (expr);                       \
+    EXPECT_TRUE(status_.ok()) << "status: " << status_.ToString(); \
+  } while (0)
+
+#define ADTC_ASSERT_OK(expr)                                     \
+  do {                                                           \
+    const ::adtc::Status status_ = (expr);                       \
+    ASSERT_TRUE(status_.ok()) << "status: " << status_.ToString(); \
+  } while (0)
+
+}  // namespace adtc::testing
