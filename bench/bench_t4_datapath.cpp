@@ -11,6 +11,10 @@
 // the scalability argument of Sec. 5.3 rests on.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/adaptive_device.h"
 #include "core/modules/match.h"
 #include "core/modules/basic.h"
@@ -157,4 +161,24 @@ BENCHMARK(BM_PrefixTrieLookup)->RangeMultiplier(8)->Range(8, 4096)
 }  // namespace
 }  // namespace adtc
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() with a harness-wide `--json <path>` spelling: it maps
+// onto google-benchmark's own JSON reporter so T4 results land in the
+// same machine-readable form as the plain-main experiment binaries.
+int main(int argc, char** argv) {
+  const std::string json_path = adtc::bench::ExtractJsonFlag(&argc, argv);
+  std::vector<std::string> extra;
+  if (!json_path.empty()) {
+    extra.push_back("--benchmark_out=" + json_path);
+    extra.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args(argv, argv + argc);
+  for (auto& arg : extra) args.push_back(arg.data());
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,7 +46,8 @@ struct GroupedWorld {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchResultFile results("T5", ExtractJsonFlag(&argc, argv));
   PrintHeader("T5 (Figs. 4-5, Sec. 5.1) — control plane",
               "single registration, worldwide deployment in sub-second "
               "latency; peer relay survives a TCSP outage");
@@ -79,6 +80,12 @@ int main() {
                     Table::Num(ToMilliseconds(report.Latency()), 0) + " ms",
                     Table::Int(static_cast<long long>(
                         report.devices_configured))});
+      const std::string tag = "/isps=" + std::to_string(isp_count) +
+                              ",stubs=" + std::to_string(stubs);
+      results.AddScalar("deploy_latency_ms" + tag,
+                        ToMilliseconds(report.Latency()));
+      results.AddScalar("devices_configured" + tag,
+                        static_cast<double>(report.devices_configured));
     }
   }
   table.Print(std::cout);
@@ -101,6 +108,8 @@ int main() {
     reg.AddRow({"identity + ownership verification round trip",
                 ok ? Table::Num(ToMilliseconds(completed_at), 0) + " ms"
                    : "FAILED"});
+    results.AddScalar("registration_latency_ms",
+                      ok ? ToMilliseconds(completed_at) : -1.0);
     const auto rejected = world.tcsp.Register("as1", {NodePrefix(2)});
     reg.AddRow({"foreign-prefix claim", rejected.status().ToString()});
     reg.Print(std::cout);
@@ -135,7 +144,11 @@ int main() {
     relay.AddRow({"direct to one ISP, peer relay", via_relay.ToString(),
                   Table::Int(static_cast<long long>(configured))});
     relay.Print(std::cout);
+    results.AddScalar("relay_devices_configured",
+                      static_cast<double>(configured));
+    results.AddScalar("relay_ok", via_relay.ok() ? 1.0 : 0.0);
   }
+  if (!results.Write()) return 1;
   std::printf(
       "\nreading: one registration covers every enrolled ISP; worldwide\n"
       "deployment completes in ~(2 legs + devices x config-time) per ISP,\n"

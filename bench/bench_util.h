@@ -6,10 +6,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "attack/scenario.h"
@@ -18,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "core/tcsp.h"
 #include "net/topo_gen.h"
+#include "obs/json.h"
 
 namespace adtc::bench {
 
@@ -110,5 +114,94 @@ inline void PrintHeader(const char* experiment_id, const char* claim) {
   std::printf("# %s\n# paper claim: %s\n", experiment_id, claim);
   std::printf("################################################\n");
 }
+
+/// Extracts a `--json <path>` (or `--json=<path>`) flag from argv and
+/// removes it, so experiment binaries stay tolerant of their other flags
+/// (e.g. google-benchmark's). Returns "" when the flag is absent.
+inline std::string ExtractJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const char* arg = argv[read];
+    if (std::strcmp(arg, "--json") == 0 && read + 1 < *argc) {
+      path = argv[++read];
+      continue;
+    }
+    if (std::strncmp(arg, "--json=", 7) == 0) {
+      path = arg + 7;
+      continue;
+    }
+    argv[write++] = argv[read];
+  }
+  *argc = write;
+  return path;
+}
+
+/// Collects named results from one experiment run and, if a path was
+/// given, writes them as a single machine-readable JSON object:
+///
+///   {"experiment":"T5","results":{
+///      "deploy_ms/isps=16":{"mean":..,"stddev":..,"min":..,"max":..,
+///                           "count":..},
+///      "relay_devices/isps=16":42}}
+///
+/// With an empty path every call is a no-op, so instrumenting a bench
+/// costs nothing for plain console runs.
+class BenchResultFile {
+ public:
+  BenchResultFile(std::string experiment_id, std::string path)
+      : experiment_(std::move(experiment_id)), path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void AddScalar(const std::string& name, double value) {
+    if (!enabled()) return;
+    scalars_.emplace_back(name, value);
+  }
+
+  void AddSummary(const std::string& name, const SummaryStats& stats) {
+    if (!enabled()) return;
+    summaries_.emplace_back(name, stats);
+  }
+
+  /// Writes the collected results. Returns false (after a console
+  /// warning) if the file cannot be opened.
+  bool Write() const {
+    if (!enabled()) return true;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write bench JSON to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    obs::JsonWriter w(out);
+    w.BeginObject();
+    w.Field("experiment", std::string_view(experiment_));
+    w.Key("results").BeginObject();
+    for (const auto& [name, value] : scalars_) {
+      w.Field(name, value);
+    }
+    for (const auto& [name, stats] : summaries_) {
+      w.Key(name).BeginObject();
+      w.Field("mean", stats.mean());
+      w.Field("stddev", stats.stddev());
+      w.Field("min", stats.min());
+      w.Field("max", stats.max());
+      w.Field("count", stats.count());
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+    out << '\n';
+    std::printf("wrote %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string experiment_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> scalars_;
+  std::vector<std::pair<std::string, SummaryStats>> summaries_;
+};
 
 }  // namespace adtc::bench

@@ -7,6 +7,46 @@ namespace adtc {
 AdaptiveDevice::AdaptiveDevice(NodeId node, EventSink* events)
     : node_(node), events_(events) {}
 
+AdaptiveDevice::~AdaptiveDevice() { BindTelemetry(nullptr); }
+
+void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr) {
+    telemetry_->registry().RemoveCollectors(this);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    process_wall_ns_ = stage_wall_ns_ = lookup_wall_ns_ = nullptr;
+    return;
+  }
+  auto& registry = telemetry_->registry();
+  // Wall-clock nanoseconds per operation; 0–100 µs covers the datapath.
+  process_wall_ns_ =
+      &registry.GetHistogram("device.process_wall_ns", 0.0, 1e5, 250);
+  stage_wall_ns_ =
+      &registry.GetHistogram("device.stage_wall_ns", 0.0, 1e5, 250);
+  lookup_wall_ns_ =
+      &registry.GetHistogram("device.lookup_wall_ns", 0.0, 1e5, 250);
+  const std::string prefix = "device.as" + std::to_string(node_) + ".";
+  registry.AddCollector(this, [this, prefix](obs::MetricsSnapshot& out) {
+    out.push_back({prefix + "fast_path_packets",
+                   static_cast<double>(stats_.fast_path_packets)});
+    out.push_back({prefix + "redirected_packets",
+                   static_cast<double>(stats_.redirected_packets)});
+    out.push_back(
+        {prefix + "stage1_runs", static_cast<double>(stats_.stage1_runs)});
+    out.push_back(
+        {prefix + "stage2_runs", static_cast<double>(stats_.stage2_runs)});
+    out.push_back({prefix + "dropped_packets",
+                   static_cast<double>(stats_.dropped_packets)});
+    out.push_back({prefix + "safety_violations",
+                   static_cast<double>(stats_.safety_violations)});
+    out.push_back({prefix + "deployments",
+                   static_cast<double>(deployments_.size())});
+    out.push_back({prefix + "redirect_prefixes",
+                   static_cast<double>(src_redirect_.size())});
+  });
+}
+
 Status AdaptiveDevice::InstallDeployment(
     const OwnershipCertificate& cert, std::vector<Prefix> scope,
     std::optional<ModuleGraph> source_stage,
@@ -33,9 +73,19 @@ Status AdaptiveDevice::InstallDeployment(
   if (deployments_.contains(cert.subscriber)) {
     return AlreadyExists("subscriber already deployed on this device");
   }
+  // Leaf of the control-plane trace: TCSP deploy → NMS configure →
+  // per-device install (Fig. 5's last arrow).
+  obs::ScopedSpan span(
+      telemetry_ != nullptr && telemetry_->tracing_enabled()
+          ? &telemetry_->tracer()
+          : nullptr,
+      "device.install");
+  span.SetNode(node_);
+  span.SetSubscriber(cert.subscriber);
   for (const Prefix& prefix : scope) {
     const SubscriberId* existing = src_redirect_.ExactMatch(prefix);
     if (existing != nullptr && *existing != cert.subscriber) {
+      span.Fail();
       return AlreadyExists("redirect prefix " + prefix.ToString() +
                            " already claimed on this device");
     }
@@ -90,6 +140,10 @@ Verdict AdaptiveDevice::RunStage(Deployment& deployment,
                     ? deployment.source_stage
                     : deployment.destination_stage;
   if (!graph || deployment.quarantined) return Verdict::kForward;
+  const obs::ScopedWallTimer stage_timer(
+      telemetry_ != nullptr && telemetry_->profiling_enabled()
+          ? stage_wall_ns_
+          : nullptr);
 
   DeviceContext device_ctx;
   device_ctx.net = ctx.net;
@@ -128,8 +182,20 @@ Verdict AdaptiveDevice::RunStage(Deployment& deployment,
 }
 
 Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
-  const SubscriberId* src_owner = src_redirect_.LongestMatch(packet.src);
-  const SubscriberId* dst_owner = dst_redirect_.LongestMatch(packet.dst);
+  // Profiling is a single cached-bool test per packet when disabled — the
+  // timers only read the wall clock once enabled.
+  const bool profiling =
+      telemetry_ != nullptr && telemetry_->profiling_enabled();
+  const obs::ScopedWallTimer process_timer(profiling ? process_wall_ns_
+                                                     : nullptr);
+  const SubscriberId* src_owner;
+  const SubscriberId* dst_owner;
+  {
+    const obs::ScopedWallTimer lookup_timer(profiling ? lookup_wall_ns_
+                                                      : nullptr);
+    src_owner = src_redirect_.LongestMatch(packet.src);
+    dst_owner = dst_redirect_.LongestMatch(packet.dst);
+  }
   if (src_owner == nullptr && dst_owner == nullptr) {
     stats_.fast_path_packets++;
     return Verdict::kForward;

@@ -25,21 +25,33 @@
 #include "core/safety.h"
 #include "net/prefix_trie.h"
 #include "net/router.h"
+#include "obs/telemetry.h"
+#include "obs/wall_clock.h"
 
 namespace adtc {
 
+/// Per-device datapath counters. Cells are obs::Counter so the device can
+/// export them through the world MetricsRegistry (BindTelemetry) under
+/// "device.as<node>.*" while call sites keep reading plain integers.
 struct DeviceStats {
-  std::uint64_t fast_path_packets = 0;   // no redirect-table match
-  std::uint64_t redirected_packets = 0;  // entered the device
-  std::uint64_t stage1_runs = 0;
-  std::uint64_t stage2_runs = 0;
-  std::uint64_t dropped_packets = 0;
-  std::uint64_t safety_violations = 0;
+  obs::Counter fast_path_packets;   // no redirect-table match
+  obs::Counter redirected_packets;  // entered the device
+  obs::Counter stage1_runs;
+  obs::Counter stage2_runs;
+  obs::Counter dropped_packets;
+  obs::Counter safety_violations;
 };
 
 class AdaptiveDevice : public PacketProcessor {
  public:
   explicit AdaptiveDevice(NodeId node, EventSink* events = nullptr);
+  ~AdaptiveDevice() override;
+
+  /// Hooks this device into a world's telemetry: registers its counters
+  /// as a registry collector and creates the wall-clock profiling
+  /// histograms ("device.process_wall_ns", ...). Timers stay dormant
+  /// until Telemetry::EnableProfiling(). Pass nullptr to detach.
+  void BindTelemetry(obs::Telemetry* telemetry);
 
   /// Installs a subscriber's processing on this device. Graphs are
   /// optional per stage (std::nullopt = pass-through for that stage).
@@ -87,6 +99,11 @@ class AdaptiveDevice : public PacketProcessor {
   NodeId node_;
   EventSink* events_;
   DeviceStats stats_;
+  obs::Telemetry* telemetry_ = nullptr;
+  // Profiling histograms (owned by the registry); nullptr when unbound.
+  Histogram* process_wall_ns_ = nullptr;
+  Histogram* stage_wall_ns_ = nullptr;
+  Histogram* lookup_wall_ns_ = nullptr;
   std::unordered_map<SubscriberId, Deployment> deployments_;
   PrefixTrie<SubscriberId> src_redirect_;
   PrefixTrie<SubscriberId> dst_redirect_;

@@ -20,7 +20,11 @@ enum class EventKind : std::uint8_t {
   kSafetyViolation,   // a module attempted a forbidden mutation
   kRuleActivated,     // pre-staged configuration switched on
   kLogNote,           // free-form module diagnostics
+  kCount_,
 };
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kCount_);
 
 std::string_view EventKindName(EventKind kind);
 
@@ -40,22 +44,72 @@ class EventSink {
   virtual void OnEvent(const DeviceEvent& event) = 0;
 };
 
-/// Simple buffering sink for tests and log readout.
+/// Buffering sink for tests and log readout: a bounded ring. Once
+/// `capacity` events are retained, each new event evicts the oldest and
+/// bumps the dropped-event counter — a long-running world can no longer
+/// grow an NMS log without bound (the drops are themselves exported to
+/// telemetry by the NMS collector).
 class EventBuffer : public EventSink {
  public:
+  explicit EventBuffer(std::size_t capacity = 65536)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
   void OnEvent(const DeviceEvent& event) override {
-    events_.push_back(event);
+    ++total_;
+    dirty_ = true;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(event);
+      return;
+    }
+    ring_[head_] = event;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
   }
-  const std::vector<DeviceEvent>& events() const { return events_; }
+
+  /// Retained events, oldest first (linearised lazily after wraparound).
+  const std::vector<DeviceEvent>& events() const {
+    if (dirty_) {
+      linear_.clear();
+      linear_.reserve(ring_.size());
+      for (std::size_t i = 0; i < ring_.size(); ++i) {
+        linear_.push_back(ring_[(head_ + i) % ring_.size()]);
+      }
+      dirty_ = false;
+    }
+    return linear_;
+  }
+
+  /// Count of `kind` among the retained events.
   std::size_t CountOf(EventKind kind) const {
     std::size_t n = 0;
-    for (const auto& e : events_) n += e.kind == kind ? 1 : 0;
+    for (const auto& e : ring_) n += e.kind == kind ? 1 : 0;
     return n;
   }
-  void Clear() { events_.clear(); }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted to make room (total_events - retained).
+  std::uint64_t dropped_events() const { return dropped_; }
+  /// All events ever offered to the buffer.
+  std::uint64_t total_events() const { return total_; }
+
+  void Clear() {
+    ring_.clear();
+    linear_.clear();
+    head_ = 0;
+    dropped_ = 0;
+    total_ = 0;
+    dirty_ = false;
+  }
 
  private:
-  std::vector<DeviceEvent> events_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // oldest retained event once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::uint64_t total_ = 0;
+  std::vector<DeviceEvent> ring_;
+  mutable std::vector<DeviceEvent> linear_;
+  mutable bool dirty_ = false;
 };
 
 }  // namespace adtc

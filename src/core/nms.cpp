@@ -12,11 +12,35 @@ std::uint64_t DeployKey(SubscriberId subscriber, ServiceKind kind) {
 
 IspNms::IspNms(std::string isp_name, Network& net,
                const SafetyValidator* validator)
-    : name_(std::move(isp_name)), net_(net), validator_(validator) {}
+    : name_(std::move(isp_name)), net_(net), validator_(validator) {
+  const std::string prefix = "nms." + name_ + ".";
+  net_.telemetry().registry().AddCollector(
+      this, [this, prefix](obs::MetricsSnapshot& out) {
+        out.push_back({prefix + "deployments_installed",
+                       static_cast<double>(stats_.deployments_installed)});
+        out.push_back({prefix + "deployments_rejected",
+                       static_cast<double>(stats_.deployments_rejected)});
+        out.push_back({prefix + "relays_forwarded",
+                       static_cast<double>(stats_.relays_forwarded)});
+        out.push_back({prefix + "relays_received",
+                       static_cast<double>(stats_.relays_received)});
+        out.push_back({prefix + "events_received",
+                       static_cast<double>(stats_.events_received)});
+        out.push_back({prefix + "events_dropped",
+                       static_cast<double>(event_log_.dropped_events())});
+        out.push_back({prefix + "devices",
+                       static_cast<double>(devices_.size())});
+      });
+}
+
+IspNms::~IspNms() {
+  net_.telemetry().registry().RemoveCollectors(this);
+}
 
 void IspNms::ManageNode(NodeId node) {
   if (devices_.contains(node)) return;
   auto device = std::make_unique<AdaptiveDevice>(node, this);
+  device->BindTelemetry(&net_.telemetry());
   net_.AddProcessor(node, device.get());
   devices_.emplace(node, std::move(device));
   managed_.push_back(node);
@@ -31,9 +55,22 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
                              const ServiceRequest& request,
                              const std::vector<NodeId>& home_nodes,
                              const CertificateAuthority& authority) {
-  if (!authority.Verify(cert, net_.sim().Now())) {
-    stats_.deployments_rejected++;
-    return PermissionDenied("certificate invalid or expired");
+  obs::Tracer* tracer = net_.telemetry().tracing_enabled()
+                            ? &net_.telemetry().tracer()
+                            : nullptr;
+  obs::ScopedSpan span(tracer, "nms.deploy");
+  span.SetSubscriber(cert.subscriber);
+  if (tracer != nullptr) {
+    tracer->Annotate(span.id(), "isp", name_);
+  }
+  {
+    obs::ScopedSpan validate_span(tracer, "cert.validate");
+    if (!authority.Verify(cert, net_.sim().Now())) {
+      stats_.deployments_rejected++;
+      validate_span.Fail();
+      span.Fail();
+      return PermissionDenied("certificate invalid or expired");
+    }
   }
   // Anti-spoofing must exempt every edge that can legitimately carry the
   // owner's addresses: the home ASes and their provider chains.
@@ -50,12 +87,14 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
                                       : nullptr);
     if (graph == nullptr) {
       stats_.deployments_rejected++;
+      span.Fail();
       return InvalidArgument("service request produced no graphs");
     }
     const Status status = validator_->ValidateDeployment(
         cert, request.control_scope, *graph);
     if (!status.ok()) {
       stats_.deployments_rejected++;
+      span.Fail();
       return status;
     }
     if (reference.destination_stage && reference.source_stage) {
@@ -63,6 +102,7 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
           cert, request.control_scope, *reference.destination_stage);
       if (!second.ok()) {
         stats_.deployments_rejected++;
+        span.Fail();
         return second;
       }
     }
@@ -81,6 +121,7 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
         std::move(graphs.destination_stage));
     if (!status.ok()) {
       stats_.deployments_rejected++;
+      span.Fail();
       return status;
     }
     any_installed = true;
@@ -141,6 +182,7 @@ std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
 }
 
 void IspNms::OnEvent(const DeviceEvent& event) {
+  stats_.events_received++;
   event_log_.OnEvent(event);
 }
 

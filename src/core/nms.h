@@ -17,11 +17,14 @@
 
 namespace adtc {
 
+/// Management-plane counters; obs::Counter cells exported through the
+/// world registry under "nms.<isp-name>.*".
 struct NmsStats {
-  std::uint64_t deployments_installed = 0;
-  std::uint64_t deployments_rejected = 0;
-  std::uint64_t relays_forwarded = 0;
-  std::uint64_t relays_received = 0;
+  obs::Counter deployments_installed;
+  obs::Counter deployments_rejected;
+  obs::Counter relays_forwarded;
+  obs::Counter relays_received;
+  obs::Counter events_received;
 };
 
 class IspNms : public EventSink {
@@ -29,6 +32,7 @@ class IspNms : public EventSink {
   /// `validator` must outlive the NMS (typically owned by the Tcsp).
   IspNms(std::string isp_name, Network& net,
          const SafetyValidator* validator);
+  ~IspNms() override;
 
   const std::string& name() const { return name_; }
 

@@ -10,7 +10,33 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
       authority_(authority),
       ca_(std::move(signing_key)),
       validator_(MakeStandardValidator()),
-      config_(config) {}
+      config_(config) {
+  net_.telemetry().registry().AddCollector(
+      this, [this](obs::MetricsSnapshot& out) {
+        out.push_back({"tcsp.registrations_accepted",
+                       static_cast<double>(stats_.registrations_accepted)});
+        out.push_back({"tcsp.registrations_rejected",
+                       static_cast<double>(stats_.registrations_rejected)});
+        out.push_back({"tcsp.deployments_completed",
+                       static_cast<double>(stats_.deployments_completed)});
+        out.push_back({"tcsp.deployments_failed",
+                       static_cast<double>(stats_.deployments_failed)});
+        out.push_back(
+            {"tcsp.requests_while_unreachable",
+             static_cast<double>(stats_.requests_while_unreachable)});
+        out.push_back(
+            {"tcsp.enrolled_isps", static_cast<double>(isps_.size())});
+      });
+}
+
+Tcsp::~Tcsp() { net_.telemetry().registry().RemoveCollectors(this); }
+
+/// Tracer of this world if any telemetry sink is attached, else nullptr
+/// (spans no-op).
+obs::Tracer* Tcsp::tracer() const {
+  return net_.telemetry().tracing_enabled() ? &net_.telemetry().tracer()
+                                            : nullptr;
+}
 
 void Tcsp::EnrollIsp(IspNms* nms) {
   for (IspNms* existing : isps_) {
@@ -23,28 +49,40 @@ void Tcsp::EnrollIsp(IspNms* nms) {
 Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
                                             std::vector<Prefix> claimed,
                                             bool identity_ok) {
+  obs::ScopedSpan span(tracer(), "tcsp.register");
+  if (tracer() != nullptr) {
+    tracer()->Annotate(span.id(), "subject", subject);
+  }
   if (!reachable_) {
     stats_.requests_while_unreachable++;
+    span.Fail();
     return Status(Unavailable("TCSP unreachable"));
   }
   // "The TCSP checks the identity of the network user" — modelled as a
   // boolean outcome of the offline/online CA-style verification.
   if (!identity_ok) {
     stats_.registrations_rejected++;
+    span.Fail();
     return Status(PermissionDenied("identity verification failed"));
   }
   if (claimed.empty()) {
     stats_.registrations_rejected++;
+    span.Fail();
     return Status(InvalidArgument("no prefixes claimed"));
   }
   // "the TcSP checks with Internet number authorities if the IP addresses
   //  are indeed owned by the service requester."
-  for (const Prefix& prefix : claimed) {
-    if (!authority_.VerifyOwnership(subject, prefix)) {
-      stats_.registrations_rejected++;
-      return Status(PermissionDenied("ownership of " + prefix.ToString() +
-                                     " not verified for '" + subject +
-                                     "'"));
+  {
+    obs::ScopedSpan verify_span(tracer(), "tcsp.verify_ownership");
+    for (const Prefix& prefix : claimed) {
+      if (!authority_.VerifyOwnership(subject, prefix)) {
+        stats_.registrations_rejected++;
+        verify_span.Fail();
+        span.Fail();
+        return Status(PermissionDenied("ownership of " + prefix.ToString() +
+                                       " not verified for '" + subject +
+                                       "'"));
+      }
     }
   }
   stats_.registrations_accepted++;
@@ -108,10 +146,13 @@ std::vector<NodeId> Tcsp::HomeNodes(const std::vector<Prefix>& prefixes) {
 
 DeploymentReport Tcsp::DeployServiceNow(const OwnershipCertificate& cert,
                                         const ServiceRequest& request) {
+  obs::ScopedSpan span(tracer(), "tcsp.deploy");
+  span.SetSubscriber(cert.subscriber);
   DeploymentReport report;
   report.requested_at = net_.sim().Now();
   if (!reachable_) {
     stats_.requests_while_unreachable++;
+    span.Fail();
     report.status = Unavailable("TCSP unreachable");
     report.completed_at = report.requested_at;
     return report;
@@ -122,6 +163,7 @@ DeploymentReport Tcsp::DeployServiceNow(const OwnershipCertificate& cert,
         nms->DeployService(cert, request, home_nodes, ca_);
     if (!status.ok()) {
       stats_.deployments_failed++;
+      span.Fail();
       report.status = status;
       report.completed_at = net_.sim().Now();
       return report;
@@ -138,8 +180,18 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
                          const ServiceRequest& request,
                          std::function<void(const DeploymentReport&)> done) {
   const SimTime requested_at = net_.sim().Now();
+  // The deploy span stays open across the scheduled ISP callbacks; its id
+  // is captured explicitly (the active-span stack does not survive
+  // Simulator::ScheduleAfter hops).
+  obs::SpanId deploy_span = obs::kNoSpan;
+  if (tracer() != nullptr) {
+    deploy_span = tracer()->StartSpan("tcsp.deploy");
+    tracer()->SetSubscriber(deploy_span, cert.subscriber);
+    tracer()->Annotate(deploy_span, "mode", "async");
+  }
   if (!reachable_) {
     stats_.requests_while_unreachable++;
+    if (tracer() != nullptr) tracer()->EndSpan(deploy_span, /*ok=*/false);
     DeploymentReport report;
     report.status = Unavailable("TCSP unreachable");
     report.requested_at = requested_at;
@@ -163,6 +215,7 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
     report->status = Status::Ok();
     report->completed_at = requested_at;
     stats_.deployments_completed++;
+    if (tracer() != nullptr) tracer()->EndSpan(deploy_span);
     net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
                              [report, done = std::move(done)] {
                                done(*report);
@@ -186,9 +239,14 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
         static_cast<SimDuration>(selected) * config_.device_config_time;
     net_.sim().ScheduleAfter(
         isp_delay, [this, nms, cert, request, home_nodes, report, pending,
-                    done_shared] {
-          const Status status =
-              nms->DeployService(cert, request, home_nodes, ca_);
+                    done_shared, deploy_span] {
+          Status status;
+          {
+            // Re-activate the deploy span so the NMS/device spans created
+            // inside this continuation parent correctly.
+            obs::ScopedActivation activation(tracer(), deploy_span);
+            status = nms->DeployService(cert, request, home_nodes, ca_);
+          }
           if (!status.ok() && report->status.ok()) {
             report->status = status;
           } else if (status.ok()) {
@@ -202,6 +260,9 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
               stats_.deployments_completed++;
             } else {
               stats_.deployments_failed++;
+            }
+            if (tracer() != nullptr) {
+              tracer()->EndSpan(deploy_span, report->status.ok());
             }
             (*done_shared)(*report);
           }

@@ -35,18 +35,21 @@ struct DeploymentReport {
   SimDuration Latency() const { return completed_at - requested_at; }
 };
 
+/// TCSP counters; obs::Counter cells exported through the world registry
+/// under "tcsp.*".
 struct TcspStats {
-  std::uint64_t registrations_accepted = 0;
-  std::uint64_t registrations_rejected = 0;
-  std::uint64_t deployments_completed = 0;
-  std::uint64_t deployments_failed = 0;
-  std::uint64_t requests_while_unreachable = 0;
+  obs::Counter registrations_accepted;
+  obs::Counter registrations_rejected;
+  obs::Counter deployments_completed;
+  obs::Counter deployments_failed;
+  obs::Counter requests_while_unreachable;
 };
 
 class Tcsp {
  public:
   Tcsp(Network& net, NumberAuthority& authority, std::string signing_key,
        TcspConfig config = {});
+  ~Tcsp();
 
   /// "The TCSP ... sets up contracts with many ISPs" — enrolled NMSes
   /// receive deployment instructions. Also wires the ISP into the peer
@@ -131,6 +134,9 @@ class Tcsp {
   static std::vector<NodeId> HomeNodes(const std::vector<Prefix>& prefixes);
 
  private:
+  /// World tracer when a telemetry sink is attached, else nullptr.
+  obs::Tracer* tracer() const;
+
   Network& net_;
   NumberAuthority& authority_;
   CertificateAuthority ca_;

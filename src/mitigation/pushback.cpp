@@ -8,9 +8,23 @@ PushbackSystem::PushbackSystem(Network& net, PushbackConfig config)
     : net_(net), config_(config) {
   net_.SetQueueDropObserver(
       [this](const Packet& packet, LinkId link) { OnQueueDrop(packet, link); });
+  net_.telemetry().registry().AddCollector(
+      this, [this](obs::MetricsSnapshot& out) {
+        out.push_back({"pushback.reactions",
+                       static_cast<double>(stats_.reactions)});
+        out.push_back({"pushback.rules_installed",
+                       static_cast<double>(stats_.rules_installed)});
+        out.push_back({"pushback.messages_sent",
+                       static_cast<double>(stats_.messages_sent)});
+        out.push_back({"pushback.propagation_blocked",
+                       static_cast<double>(stats_.propagation_blocked)});
+        out.push_back({"pushback.packets_rate_limited",
+                       static_cast<double>(stats_.packets_rate_limited)});
+      });
 }
 
 PushbackSystem::~PushbackSystem() {
+  net_.telemetry().registry().RemoveCollectors(this);
   net_.SetQueueDropObserver(nullptr);
 }
 

@@ -45,12 +45,14 @@ struct PushbackConfig {
   SimDuration rule_timeout = Seconds(5);
 };
 
+/// Pushback counters; obs::Counter cells exported through the world
+/// registry under "pushback.*".
 struct PushbackStats {
-  std::uint64_t reactions = 0;          // monitoring windows that acted
-  std::uint64_t rules_installed = 0;    // local + propagated
-  std::uint64_t messages_sent = 0;      // upstream pushback requests
-  std::uint64_t propagation_blocked = 0;  // upstream router not speaking
-  std::uint64_t packets_rate_limited = 0;
+  obs::Counter reactions;            // monitoring windows that acted
+  obs::Counter rules_installed;      // local + propagated
+  obs::Counter messages_sent;        // upstream pushback requests
+  obs::Counter propagation_blocked;  // upstream router not speaking
+  obs::Counter packets_rate_limited;
 };
 
 class PushbackSystem {

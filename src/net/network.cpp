@@ -31,7 +31,31 @@ std::string_view DropReasonName(DropReason reason) {
   return "?";
 }
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+Network::Network(std::uint64_t seed) : rng_(seed), telemetry_(sim_) {
+  // Publish the world's exact per-class ground-truth counters through the
+  // registry, so the time-series sampler sees attack/mitigation dynamics
+  // without any extra accounting on the datapath.
+  telemetry_.registry().AddCollector(this, [this](
+                                               obs::MetricsSnapshot& out) {
+    for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+      const auto klass = static_cast<TrafficClass>(c);
+      const std::string prefix =
+          "net.class." + std::string(TrafficClassName(klass)) + ".";
+      out.push_back({prefix + "sent",
+                     static_cast<double>(metrics_.packets_sent[c])});
+      out.push_back({prefix + "delivered",
+                     static_cast<double>(metrics_.packets_delivered[c])});
+      out.push_back(
+          {prefix + "dropped", static_cast<double>(metrics_.dropped(klass))});
+    }
+    out.push_back({"net.attack_byte_hops",
+                   static_cast<double>(metrics_.attack_byte_hops)});
+    out.push_back({"net.legit_byte_hops",
+                   static_cast<double>(metrics_.legit_byte_hops)});
+    out.push_back({"sim.executed_events",
+                   static_cast<double>(sim_.executed_events())});
+  });
+}
 
 NodeId Network::AddNode(NodeRole role) {
   assert(!routing_built_ && "topology is frozen after FinalizeRouting()");

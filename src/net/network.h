@@ -17,6 +17,7 @@
 #include "net/metrics.h"
 #include "net/packet.h"
 #include "net/router.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace adtc {
@@ -94,6 +95,11 @@ class Network {
   Rng& rng() { return rng_; }
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
+  /// World telemetry: metrics registry, tracer, time-series sampler.
+  /// The world's per-class Metrics are pre-registered as a collector
+  /// under "net.class.<class>.{sent,delivered,dropped}".
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
 
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t link_count() const { return links_.size(); }
@@ -155,6 +161,7 @@ class Network {
   Simulator sim_;
   Rng rng_;
   Metrics metrics_;
+  obs::Telemetry telemetry_;
 
   std::vector<Node> nodes_;
   std::vector<Link> links_;

@@ -1,0 +1,284 @@
+#include "obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace adtc::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Recursive-descent syntax checker over a raw string_view. `depth`
+// bounds nesting so pathological input can't blow the stack.
+class SyntaxChecker {
+ public:
+  explicit SyntaxChecker(std::string_view s) : s_(s) {}
+
+  bool Run() {
+    SkipWs();
+    if (!Value(0)) return false;
+    SkipWs();
+    return at_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void SkipWs() {
+    while (at_ < s_.size() &&
+           (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' ||
+            s_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (at_ < s_.size() && s_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (s_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (at_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[at_]);
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        ++at_;
+        if (at_ >= s_.size()) return false;
+        const char e = s_[at_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (at_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[at_ + i]))) {
+              return false;
+            }
+          }
+          at_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+      ++at_;
+    }
+    return false;  // unterminated
+  }
+
+  bool Digits() {
+    const std::size_t start = at_;
+    while (at_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[at_]))) {
+      ++at_;
+    }
+    return at_ > start;
+  }
+
+  bool Number() {
+    (void)Eat('-');
+    if (Eat('0')) {
+      // leading zero may not be followed by more digits
+      if (at_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[at_])))
+        return false;
+    } else if (!Digits()) {
+      return false;
+    }
+    if (Eat('.') && !Digits()) return false;
+    if (at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+      ++at_;
+      if (at_ < s_.size() && (s_[at_] == '+' || s_[at_] == '-')) ++at_;
+      if (!Digits()) return false;
+    }
+    return true;
+  }
+
+  bool Value(int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipWs();
+    if (at_ >= s_.size()) return false;
+    switch (s_[at_]) {
+      case '{': return Object(depth);
+      case '[': return Array(depth);
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object(int depth) {
+    ++at_;  // '{'
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array(int depth) {
+    ++at_;  // '['
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      if (!Value(depth + 1)) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+bool JsonSyntaxValid(std::string_view s) { return SyntaxChecker(s).Run(); }
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Integral doubles print without an exponent or trailing ".0" noise;
+  // everything else keeps full round-trip precision.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void JsonWriter::Separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote its separator and colon
+  }
+  if (!counts_.empty()) {
+    if (counts_.back() > 0) out_ << ',';
+    counts_.back()++;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ << '{';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!counts_.empty());
+  counts_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ << '[';
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!counts_.empty());
+  counts_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!pending_key_);
+  Separate();
+  out_ << '"' << JsonEscape(key) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view s) {
+  Separate();
+  out_ << '"' << JsonEscape(s) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  Separate();
+  out_ << JsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t v) {
+  Separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t v) {
+  Separate();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  Separate();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Separate();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace adtc::obs

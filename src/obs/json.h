@@ -1,0 +1,70 @@
+// Minimal streaming JSON writer for telemetry output.
+//
+// The telemetry layer emits machine-readable artefacts (JSONL timelines,
+// span records, bench result files). This writer covers exactly the JSON
+// subset those need — objects, arrays, strings, numbers, booleans — with
+// correct string escaping and locale-independent number formatting, so no
+// external dependency is required.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adtc::obs {
+
+/// Escapes `s` for use inside a JSON string literal (without the quotes).
+std::string JsonEscape(std::string_view s);
+
+/// Structural validity check (complete grammar except \u surrogate
+/// pairing): used by tests and the bench harness to assert that emitted
+/// artefacts parse. Not a parser — it produces no values.
+bool JsonSyntaxValid(std::string_view s);
+
+/// Formats a double as JSON: finite values via shortest round-trip-ish
+/// "%.17g" trimmed, non-finite values as null (JSON has no inf/nan).
+std::string JsonNumber(double value);
+
+/// Streaming writer with explicit structure calls. Keeps a small state
+/// stack so commas are inserted correctly; misuse is a programming error
+/// (asserted in debug builds, tolerated in release).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts a keyed value inside an object; follow with a value call or
+  /// Begin{Object,Array}.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view s);
+  JsonWriter& Value(const char* s) { return Value(std::string_view(s)); }
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(bool v);
+  JsonWriter& Null();
+
+  /// Convenience: Key(k) + Value(v).
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+ private:
+  void Separate();
+
+  std::ostream& out_;
+  // One entry per open container: number of elements written so far.
+  std::vector<std::size_t> counts_;
+  bool pending_key_ = false;
+};
+
+}  // namespace adtc::obs

@@ -1,0 +1,89 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace adtc::obs {
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return counters_[it->second];
+  const std::size_t index = counters_.size();
+  counters_.emplace_back();
+  counter_index_.emplace(std::string(name), index);
+  counter_order_.push_back({std::string(name), index});
+  return counters_[index];
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return gauges_[it->second];
+  const std::size_t index = gauges_.size();
+  gauges_.emplace_back();
+  gauge_index_.emplace(std::string(name), index);
+  gauge_order_.push_back({std::string(name), index});
+  return gauges_[index];
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name, double lo,
+                                         double hi, std::size_t buckets) {
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return histograms_[it->second];
+  const std::size_t index = histograms_.size();
+  histograms_.emplace_back(lo, hi, buckets);
+  histogram_index_.emplace(std::string(name), index);
+  histogram_order_.push_back({std::string(name), index});
+  return histograms_[index];
+}
+
+const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
+  const auto it = counter_index_.find(std::string(name));
+  return it == counter_index_.end() ? nullptr : &counters_[it->second];
+}
+
+const Gauge* MetricsRegistry::FindGauge(std::string_view name) const {
+  const auto it = gauge_index_.find(std::string(name));
+  return it == gauge_index_.end() ? nullptr : &gauges_[it->second];
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    std::string_view name) const {
+  const auto it = histogram_index_.find(std::string(name));
+  return it == histogram_index_.end() ? nullptr : &histograms_[it->second];
+}
+
+void MetricsRegistry::AddCollector(const void* owner, Collector fn) {
+  collectors_.push_back({owner, std::move(fn)});
+}
+
+void MetricsRegistry::RemoveCollectors(const void* owner) {
+  std::erase_if(collectors_, [owner](const OwnedCollector& c) {
+    return c.owner == owner;
+  });
+}
+
+MetricsSnapshot MetricsRegistry::TakeSnapshot() const {
+  MetricsSnapshot snapshot;
+  snapshot.reserve(counter_order_.size() + gauge_order_.size() +
+                   histogram_order_.size() * 3 + collectors_.size() * 4);
+  for (const Named& named : counter_order_) {
+    snapshot.push_back(
+        {named.name,
+         static_cast<double>(counters_[named.index].value())});
+  }
+  for (const Named& named : gauge_order_) {
+    snapshot.push_back({named.name, gauges_[named.index].value()});
+  }
+  for (const Named& named : histogram_order_) {
+    const Histogram& h = histograms_[named.index];
+    snapshot.push_back(
+        {named.name + ".count", static_cast<double>(h.total())});
+    snapshot.push_back({named.name + ".p50", h.Percentile(0.5)});
+    snapshot.push_back({named.name + ".p99", h.Percentile(0.99)});
+  }
+  for (const OwnedCollector& collector : collectors_) {
+    collector.fn(snapshot);
+  }
+  return snapshot;
+}
+
+}  // namespace adtc::obs

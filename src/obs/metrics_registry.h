@@ -1,0 +1,139 @@
+// Unified metrics vocabulary for the whole stack.
+//
+// Components no longer invent private stat structs with private readout
+// paths: the hot path increments obs::Counter cells (a bare uint64 — one
+// add, no indirection), and every component publishes its cells through a
+// MetricsRegistry collector so one Snapshot() call sees the entire world
+// under dotted metric names ("device.as12.fast_path_packets",
+// "net.class.attack.delivered", ...). The registry also owns named
+// counters/gauges/histograms directly for code that has no legacy struct
+// to preserve (e.g. the wall-clock profiling histograms).
+//
+// Naming convention (see docs/observability.md): lowercase dotted paths,
+// `<subsystem>.<instance>.<quantity>`, no units in the name except a
+// trailing `_ns` / `_bytes` / `_pps` suffix where ambiguity is possible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace adtc::obs {
+
+/// Hot-path counter cell: a plain uint64 with increment sugar. Existing
+/// `stats` structs use this as member type — implicit conversion keeps
+/// every `stats().foo > 0` call site compiling unchanged — while the
+/// owning component exports the cells through a registry collector.
+class Counter {
+ public:
+  constexpr Counter() = default;
+  constexpr Counter(std::uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  Counter& operator++() {
+    ++value_;
+    return *this;
+  }
+  std::uint64_t operator++(int) { return value_++; }
+  Counter& operator+=(std::uint64_t n) {
+    value_ += n;
+    return *this;
+  }
+
+  constexpr operator std::uint64_t() const { return value_; }  // NOLINT
+  constexpr std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement (queue depth, table size, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One named scalar in a registry snapshot.
+struct MetricValue {
+  std::string name;
+  double value = 0.0;
+};
+
+/// A full point-in-time readout of the registry, in registration order
+/// (deterministic: same world, same snapshot).
+using MetricsSnapshot = std::vector<MetricValue>;
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // --- registry-owned instruments (stable addresses for the hot path) ----
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the registry's lifetime.
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// Histogram over [lo, hi) with `buckets` uniform buckets. Repeated
+  /// calls with the same name return the original (bounds of later calls
+  /// are ignored).
+  Histogram& GetHistogram(std::string_view name, double lo, double hi,
+                          std::size_t buckets);
+
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  // --- collectors: components export their own cells -----------------------
+  /// A collector appends MetricValues to the snapshot being built.
+  using Collector = std::function<void(MetricsSnapshot&)>;
+
+  /// Registers `fn` under an owner token; the token is how a component
+  /// removes its collectors again (typically `this` in its destructor —
+  /// mandatory if the component can die before the registry).
+  void AddCollector(const void* owner, Collector fn);
+  void RemoveCollectors(const void* owner);
+  std::size_t collector_count() const { return collectors_.size(); }
+
+  /// Reads everything: owned counters and gauges, histogram summaries
+  /// (count / p50 / p99 / max-estimate), then every collector, in
+  /// registration order.
+  MetricsSnapshot TakeSnapshot() const;
+
+  std::size_t counter_count() const { return counters_.size(); }
+
+ private:
+  struct Named {
+    std::string name;
+    std::size_t index;  // into the matching deque
+  };
+
+  // Deques give stable element addresses as instruments are added.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Named> counter_order_;
+  std::vector<Named> gauge_order_;
+  std::vector<Named> histogram_order_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+
+  struct OwnedCollector {
+    const void* owner;
+    Collector fn;
+  };
+  std::vector<OwnedCollector> collectors_;
+};
+
+}  // namespace adtc::obs

@@ -1,0 +1,34 @@
+#include "obs/sampler.h"
+
+namespace adtc::obs {
+
+void TimeSeriesSampler::Start(SimDuration period) {
+  Stop();
+  control_ = std::make_shared<Control>();
+  control_->self = this;
+  sim_.SchedulePeriodic(period, [control = control_]() {
+    if (control->self == nullptr) return false;
+    control->self->SampleNow();
+    return true;
+  });
+}
+
+void TimeSeriesSampler::Stop() {
+  if (control_ != nullptr) {
+    control_->self = nullptr;
+    control_.reset();
+  }
+}
+
+void TimeSeriesSampler::SampleNow() {
+  if (sinks_.empty()) return;
+  TimeSeriesSample sample;
+  sample.at = sim_.Now();
+  sample.values = registry_.TakeSnapshot();
+  ++samples_taken_;
+  for (TelemetrySink* sink : sinks_) {
+    sink->OnSample(sample);
+  }
+}
+
+}  // namespace adtc::obs

@@ -1,0 +1,58 @@
+// Periodic time-series sampler: turns end-of-run totals into timelines.
+//
+// Driven by Simulator::SchedulePeriodic, each tick snapshots the world's
+// MetricsRegistry and hands the sample to the telemetry sink(s), so an
+// attack/mitigation experiment records how per-class delivered/dropped
+// counts (and every other registered metric) evolve over simulated time
+// instead of only their final values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/sink.h"
+#include "sim/simulator.h"
+
+namespace adtc::obs {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(Simulator& sim, MetricsRegistry& registry)
+      : sim_(sim), registry_(registry) {}
+  ~TimeSeriesSampler() { Stop(); }
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  void AddSink(TelemetrySink* sink) { sinks_.push_back(sink); }
+
+  /// Starts periodic sampling (first sample one period from now). The
+  /// sampler must outlive the simulation run, or Stop() must be called;
+  /// restarting replaces the previous schedule.
+  void Start(SimDuration period);
+
+  /// Detaches the pending periodic callback (safe mid-run).
+  void Stop();
+
+  /// Takes one sample immediately (also usable without Start()).
+  void SampleNow();
+
+  bool running() const { return control_ != nullptr; }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+
+ private:
+  // The periodic callback holds a shared handle; Stop()/destruction nulls
+  // the back-pointer so a live simulator never calls into a dead sampler.
+  struct Control {
+    TimeSeriesSampler* self = nullptr;
+  };
+
+  Simulator& sim_;
+  MetricsRegistry& registry_;
+  std::vector<TelemetrySink*> sinks_;
+  std::shared_ptr<Control> control_;
+  std::uint64_t samples_taken_ = 0;
+};
+
+}  // namespace adtc::obs

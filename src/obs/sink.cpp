@@ -1,0 +1,97 @@
+#include "obs/sink.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace adtc::obs {
+
+std::vector<const Span*> MemoryTelemetrySink::SpansNamed(
+    std::string_view name) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.name == name) out.push_back(&span);
+  }
+  return out;
+}
+
+std::vector<const Span*> MemoryTelemetrySink::ChildrenOf(
+    SpanId parent) const {
+  std::vector<const Span*> out;
+  for (const Span& span : spans_) {
+    if (span.parent == parent) out.push_back(&span);
+  }
+  return out;
+}
+
+bool MemoryTelemetrySink::HasDescendantChain(
+    SpanId root, const std::vector<std::string>& names) const {
+  if (names.empty()) return true;
+  for (const Span* child : ChildrenOf(root)) {
+    if (child->name != names.front()) continue;
+    if (HasDescendantChain(child->id,
+                           {names.begin() + 1, names.end()})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path);
+  if (file->is_open()) {
+    out_ = file.get();
+    owned_ = std::move(file);
+  }
+}
+
+JsonlTelemetrySink::~JsonlTelemetrySink() {
+  if (out_ != nullptr) out_->flush();
+}
+
+void JsonlTelemetrySink::OnSpan(const Span& span) {
+  if (out_ == nullptr) return;
+  JsonWriter json(*out_);
+  json.BeginObject()
+      .Field("type", "span")
+      .Field("name", span.name)
+      .Field("id", span.id)
+      .Field("parent", span.parent)
+      .Field("start_ns", static_cast<std::int64_t>(span.start))
+      .Field("end_ns", static_cast<std::int64_t>(span.end))
+      .Field("ok", span.ok);
+  if (span.node != kInvalidNode) {
+    json.Field("node", static_cast<std::uint64_t>(span.node));
+  }
+  if (span.subscriber != kInvalidSubscriber) {
+    json.Field("subscriber", static_cast<std::uint64_t>(span.subscriber));
+  }
+  if (!span.attributes.empty()) {
+    json.Key("attrs").BeginObject();
+    for (const auto& [key, value] : span.attributes) {
+      json.Field(key, value);
+    }
+    json.EndObject();
+  }
+  json.EndObject();
+  *out_ << '\n';
+  ++lines_;
+}
+
+void JsonlTelemetrySink::OnSample(const TimeSeriesSample& sample) {
+  if (out_ == nullptr) return;
+  JsonWriter json(*out_);
+  json.BeginObject()
+      .Field("type", "sample")
+      .Field("t_ns", static_cast<std::int64_t>(sample.at))
+      .Key("metrics")
+      .BeginObject();
+  for (const MetricValue& value : sample.values) {
+    json.Field(value.name, value.value);
+  }
+  json.EndObject().EndObject();
+  *out_ << '\n';
+  ++lines_;
+}
+
+}  // namespace adtc::obs

@@ -1,0 +1,90 @@
+// Pluggable receivers for telemetry records (spans + time-series samples).
+//
+// Sinks are deliberately dumb delivery targets: the MemoryTelemetrySink
+// buffers records for tests and in-process analysis (with span-tree query
+// helpers), the JsonlTelemetrySink streams one JSON object per line so an
+// experiment leaves a machine-readable timeline next to its printed
+// tables. Components never talk to sinks directly — they go through the
+// Tracer / TimeSeriesSampler, which no-op when no sink is attached.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/span.h"
+
+namespace adtc::obs {
+
+/// One sampler tick: the sim time plus the full registry snapshot.
+struct TimeSeriesSample {
+  SimTime at = 0;
+  MetricsSnapshot values;
+};
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void OnSpan(const Span& span) = 0;
+  virtual void OnSample(const TimeSeriesSample& sample) = 0;
+};
+
+/// Buffers everything; query helpers for tests and examples.
+class MemoryTelemetrySink : public TelemetrySink {
+ public:
+  void OnSpan(const Span& span) override { spans_.push_back(span); }
+  void OnSample(const TimeSeriesSample& sample) override {
+    samples_.push_back(sample);
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<TimeSeriesSample>& samples() const { return samples_; }
+
+  /// All finished spans with the given name.
+  std::vector<const Span*> SpansNamed(std::string_view name) const;
+  /// Direct children of `parent` among finished spans.
+  std::vector<const Span*> ChildrenOf(SpanId parent) const;
+  /// Depth-first check that `root` has at least one descendant chain
+  /// matching `names` (names[0] must be a child of root, etc.).
+  bool HasDescendantChain(SpanId root,
+                          const std::vector<std::string>& names) const;
+
+  void Clear() {
+    spans_.clear();
+    samples_.clear();
+  }
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<TimeSeriesSample> samples_;
+};
+
+/// Writes records as JSON Lines to a stream the caller owns (or to a file
+/// the sink owns, via the path constructor). Span lines:
+///   {"type":"span","name":...,"id":...,"parent":...,"start_ns":...,
+///    "end_ns":...,"ok":...,"node":...,"subscriber":...,"attrs":{...}}
+/// Sample lines:
+///   {"type":"sample","t_ns":...,"metrics":{"name":value,...}}
+class JsonlTelemetrySink : public TelemetrySink {
+ public:
+  explicit JsonlTelemetrySink(std::ostream& out) : out_(&out) {}
+  /// Opens `path` for writing; silently becomes a null sink on failure
+  /// (telemetry must never take down an experiment).
+  explicit JsonlTelemetrySink(const std::string& path);
+  ~JsonlTelemetrySink() override;
+
+  void OnSpan(const Span& span) override;
+  void OnSample(const TimeSeriesSample& sample) override;
+
+  bool valid() const { return out_ != nullptr; }
+  std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  std::ostream* out_ = nullptr;
+  std::unique_ptr<std::ostream> owned_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace adtc::obs

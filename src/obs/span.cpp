@@ -1,0 +1,47 @@
+#include "obs/span.h"
+
+#include "obs/sink.h"
+
+namespace adtc::obs {
+
+SpanId Tracer::StartSpan(std::string name, SpanId parent) {
+  if (sink_ == nullptr) return kNoSpan;
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent != kNoSpan ? parent : active();
+  span.name = std::move(name);
+  span.start = now_ ? now_() : 0;
+  span.end = span.start;
+  const SpanId id = span.id;
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void Tracer::SetNode(SpanId id, NodeId node) {
+  const auto it = open_.find(id);
+  if (it != open_.end()) it->second.node = node;
+}
+
+void Tracer::SetSubscriber(SpanId id, SubscriberId subscriber) {
+  const auto it = open_.find(id);
+  if (it != open_.end()) it->second.subscriber = subscriber;
+}
+
+void Tracer::Annotate(SpanId id, std::string key, std::string value) {
+  const auto it = open_.find(id);
+  if (it != open_.end()) {
+    it->second.attributes.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void Tracer::EndSpan(SpanId id, bool ok) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.end = now_ ? now_() : span.start;
+  span.ok = ok;
+  if (sink_ != nullptr) sink_->OnSpan(span);
+}
+
+}  // namespace adtc::obs

@@ -1,0 +1,152 @@
+// Trace spans over simulated time for control-plane operations.
+//
+// A Span is one timed operation (sim-time start/end) with a parent link,
+// so a full TCSP request — user registration, certificate validation,
+// per-ISP NMS configuration, per-device install (Figs. 3–5) — records as
+// a tree that can be reassembled from any TelemetrySink. Spans are cheap
+// and allocation-light when no sink is attached: StartSpan returns
+// kNoSpan and every other call no-ops.
+//
+// Parentage works two ways:
+//  * explicitly, by passing a parent SpanId (required across async hops —
+//    control-plane callbacks scheduled on the simulator capture the id);
+//  * implicitly, via the tracer's active-span stack (ScopedSpan /
+//    ScopedActivation), which synchronous callees pick up without any
+//    signature changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace adtc::obs {
+
+class TelemetrySink;
+
+using SpanId = std::uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::string name;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool ok = true;
+  NodeId node = kInvalidNode;
+  SubscriberId subscriber = kInvalidSubscriber;
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  SimDuration Duration() const { return end - start; }
+};
+
+/// Creates, annotates and finishes spans. One tracer per world; finished
+/// spans are emitted to the attached sink. The simulated clock is
+/// supplied by the owner (Telemetry wires it to Simulator::Now).
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Sink receiving finished spans; nullptr disables tracing entirely.
+  void SetSink(TelemetrySink* sink) { sink_ = sink; }
+  TelemetrySink* sink() const { return sink_; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  /// Clock callback returning the current sim time (set by Telemetry).
+  void SetClock(std::function<SimTime()> now) { now_ = std::move(now); }
+
+  /// Opens a span. parent == kNoSpan means "use the active span if any,
+  /// else root". Returns kNoSpan when tracing is disabled.
+  SpanId StartSpan(std::string name, SpanId parent = kNoSpan);
+
+  void SetNode(SpanId id, NodeId node);
+  void SetSubscriber(SpanId id, SubscriberId subscriber);
+  void Annotate(SpanId id, std::string key, std::string value);
+
+  /// Closes the span and emits it to the sink. Unknown/kNoSpan ids no-op.
+  void EndSpan(SpanId id, bool ok = true);
+
+  /// The innermost active span (see ScopedActivation), or kNoSpan.
+  SpanId active() const {
+    return active_.empty() ? kNoSpan : active_.back();
+  }
+  void PushActive(SpanId id) {
+    if (id != kNoSpan) active_.push_back(id);
+  }
+  void PopActive(SpanId id) {
+    if (id != kNoSpan && !active_.empty() && active_.back() == id) {
+      active_.pop_back();
+    }
+  }
+
+  std::size_t open_span_count() const { return open_.size(); }
+
+ private:
+  TelemetrySink* sink_ = nullptr;
+  std::function<SimTime()> now_;
+  SpanId next_id_ = 1;
+  std::unordered_map<SpanId, Span> open_;
+  std::vector<SpanId> active_;
+};
+
+/// Marks an already-open span as the implicit parent for the scope —
+/// used around async continuations where the span outlives any one scope.
+class ScopedActivation {
+ public:
+  ScopedActivation(Tracer* tracer, SpanId id) : tracer_(tracer), id_(id) {
+    if (tracer_ != nullptr) tracer_->PushActive(id_);
+  }
+  ~ScopedActivation() {
+    if (tracer_ != nullptr) tracer_->PopActive(id_);
+  }
+  ScopedActivation(const ScopedActivation&) = delete;
+  ScopedActivation& operator=(const ScopedActivation&) = delete;
+
+ private:
+  Tracer* tracer_;
+  SpanId id_;
+};
+
+/// Opens a span as a child of the active span, activates it, and ends it
+/// (status ok unless Fail() was called) when the scope exits.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->StartSpan(std::move(name));
+      tracer_->PushActive(id_);
+    }
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr && id_ != kNoSpan) {
+      tracer_->PopActive(id_);
+      tracer_->EndSpan(id_, ok_);
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  SpanId id() const { return id_; }
+  void Fail() { ok_ = false; }
+  void SetNode(NodeId node) {
+    if (tracer_ != nullptr) tracer_->SetNode(id_, node);
+  }
+  void SetSubscriber(SubscriberId subscriber) {
+    if (tracer_ != nullptr) tracer_->SetSubscriber(id_, subscriber);
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_ = kNoSpan;
+  bool ok_ = true;
+};
+
+}  // namespace adtc::obs

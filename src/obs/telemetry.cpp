@@ -1,0 +1,24 @@
+#include "obs/telemetry.h"
+
+namespace adtc::obs {
+
+Telemetry::Telemetry(Simulator& sim) : sampler_(sim, registry_) {
+  tracer_.SetClock([&sim] { return sim.Now(); });
+}
+
+void Telemetry::AttachSink(TelemetrySink* sink) {
+  if (sink == nullptr) return;
+  span_fanout_.Add(sink);
+  tracer_.SetSink(&span_fanout_);
+  sampler_.AddSink(sink);
+}
+
+bool Telemetry::OpenJsonlTimeline(const std::string& path) {
+  auto sink = std::make_unique<JsonlTelemetrySink>(path);
+  if (!sink->valid()) return false;
+  jsonl_ = std::move(sink);
+  AttachSink(jsonl_.get());
+  return true;
+}
+
+}  // namespace adtc::obs

@@ -1,0 +1,81 @@
+// The per-world telemetry bundle.
+//
+// One Telemetry instance per Network (per simulated world): the metrics
+// registry every component publishes into, the tracer for control-plane
+// spans, the periodic time-series sampler, and the attached sinks. With
+// no sink attached and profiling off — the default — every instrumented
+// site degrades to a null-pointer test, so a world that never asks for
+// telemetry pays (almost) nothing for carrying it.
+//
+// Typical experiment wiring:
+//   net.telemetry().AttachSink(&memory_sink);            // spans+samples
+//   net.telemetry().OpenJsonlTimeline("run.jsonl");      // and/or a file
+//   net.telemetry().sampler().Start(Milliseconds(100));  // the timeline
+//   net.telemetry().EnableProfiling();                   // wall-clock cost
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/sampler.h"
+#include "obs/sink.h"
+#include "obs/span.h"
+#include "sim/simulator.h"
+
+namespace adtc::obs {
+
+class Telemetry {
+ public:
+  explicit Telemetry(Simulator& sim);
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+  Tracer& tracer() { return tracer_; }
+  TimeSeriesSampler& sampler() { return sampler_; }
+
+  /// Attaches a non-owning sink to both the tracer and the sampler.
+  /// Finished spans fan out to every attached sink.
+  void AttachSink(TelemetrySink* sink);
+
+  /// Creates and attaches an owned JSONL sink writing to `path`.
+  /// Returns false (and attaches nothing) if the file cannot be opened.
+  bool OpenJsonlTimeline(const std::string& path);
+  JsonlTelemetrySink* jsonl_sink() { return jsonl_.get(); }
+
+  /// Wall-clock profiling switch for the hot-path scoped timers.
+  void EnableProfiling() { profiling_ = true; }
+  void DisableProfiling() { profiling_ = false; }
+  bool profiling_enabled() const { return profiling_; }
+
+  /// True once any sink is attached — components use this to skip
+  /// building span names and attributes for nobody.
+  bool tracing_enabled() const { return tracer_.enabled(); }
+
+ private:
+  /// The tracer holds one sink pointer; this fans finished spans out to
+  /// every attached sink. Samples are multiplexed by the sampler itself.
+  class SpanFanOut : public TelemetrySink {
+   public:
+    void Add(TelemetrySink* sink) { sinks_.push_back(sink); }
+    void OnSpan(const Span& span) override {
+      for (TelemetrySink* sink : sinks_) sink->OnSpan(span);
+    }
+    void OnSample(const TimeSeriesSample&) override {}
+
+   private:
+    std::vector<TelemetrySink*> sinks_;
+  };
+
+  MetricsRegistry registry_;
+  Tracer tracer_;
+  TimeSeriesSampler sampler_;
+  SpanFanOut span_fanout_;
+  std::unique_ptr<JsonlTelemetrySink> jsonl_;
+  bool profiling_ = false;
+};
+
+}  // namespace adtc::obs

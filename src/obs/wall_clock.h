@@ -1,0 +1,46 @@
+// Wall-clock (host-time) profiling hooks for simulator hot paths.
+//
+// Unlike everything else in obs/, these measure *real* nanoseconds — the
+// cost of running the reproduction itself (AdaptiveDevice::Process,
+// stage execution, redirect lookups), feeding registry histograms that
+// the bench harness and sampler read out. Profiling is off by default:
+// instrumented sites hold a Histogram* that is nullptr until
+// Telemetry::EnableProfiling(), and a disabled ScopedWallTimer is a
+// single pointer test — no clock read, no store.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/stats.h"
+
+namespace adtc::obs {
+
+inline std::uint64_t WallClockNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times its scope into `sink` (a registry histogram, in nanoseconds).
+/// Pass nullptr to disable: the constructor then skips the clock read
+/// entirely, which is what keeps the disabled datapath at seed speed.
+class ScopedWallTimer {
+ public:
+  explicit ScopedWallTimer(Histogram* sink)
+      : sink_(sink), start_ns_(sink == nullptr ? 0 : WallClockNowNs()) {}
+  ~ScopedWallTimer() {
+    if (sink_ != nullptr) {
+      sink_->Add(static_cast<double>(WallClockNowNs() - start_ns_));
+    }
+  }
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+ private:
+  Histogram* sink_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace adtc::obs

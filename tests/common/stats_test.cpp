@@ -53,6 +53,34 @@ TEST(SummaryStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(target.mean(), 2.0);
 }
 
+TEST(SummaryStatsTest, MergeEmptyWithEmptyStaysEmpty) {
+  SummaryStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+  // Still usable after the empty merge: sentinels must not have leaked
+  // into the observable state.
+  a.Add(7.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), 7.0);
+  EXPECT_DOUBLE_EQ(a.max(), 7.0);
+}
+
+TEST(SummaryStatsTest, MergeIntoEmptyCopiesAllMoments) {
+  SummaryStats src;
+  for (double x : {1.0, 2.0, 3.0, 10.0}) src.Add(x);
+  SummaryStats dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.count(), src.count());
+  EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+  EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+  EXPECT_DOUBLE_EQ(dst.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dst.max(), 10.0);
+}
+
 TEST(HistogramTest, BucketsAndPercentiles) {
   Histogram hist(0.0, 100.0, 10);
   for (int i = 0; i < 100; ++i) hist.Add(i + 0.5);
@@ -75,6 +103,38 @@ TEST(HistogramTest, UnderflowOverflow) {
 TEST(HistogramTest, EmptyPercentileIsLowerBound) {
   Histogram hist(2.0, 10.0, 4);
   EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 2.0);
+}
+
+TEST(HistogramTest, AllUnderflowPercentileIsLowerBound) {
+  Histogram hist(10.0, 20.0, 5);
+  hist.Add(1.0);
+  hist.Add(-3.0);
+  EXPECT_EQ(hist.underflow(), 2u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 10.0);
+}
+
+TEST(HistogramTest, AllOverflowPercentileIsUpperBound) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.Add(50.0);
+  hist.Add(60.0);
+  EXPECT_EQ(hist.overflow(), 2u);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 10.0);
+  // fraction 0 targets zero samples, which is satisfied before any bucket
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.0);
+}
+
+TEST(HistogramTest, PercentileFractionExtremesAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) hist.Add(i + 0.5);
+  EXPECT_DOUBLE_EQ(hist.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.0), 10.0);
+  // Out-of-range fractions clamp rather than extrapolate.
+  EXPECT_DOUBLE_EQ(hist.Percentile(-0.5), hist.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(hist.Percentile(1.5), hist.Percentile(1.0));
 }
 
 TEST(EwmaTest, FirstSampleInitialises) {

@@ -1,0 +1,40 @@
+// Exhaustiveness guard for the enum-name tables the telemetry layer
+// relies on: adding an enumerator without a name would silently emit "?"
+// into JSONL timelines and event logs.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "core/events.h"
+#include "net/metrics.h"
+
+namespace adtc {
+namespace {
+
+TEST(EnumNamesTest, DropReasonNamesDistinctAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kDropReasonCount; ++i) {
+    const std::string_view name = DropReasonName(static_cast<DropReason>(i));
+    EXPECT_FALSE(name.empty()) << "DropReason enumerator " << i;
+    EXPECT_NE(name, "?") << "DropReason enumerator " << i << " is unnamed";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate DropReason name: " << name;
+  }
+  EXPECT_EQ(seen.size(), kDropReasonCount);
+}
+
+TEST(EnumNamesTest, EventKindNamesDistinctAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const std::string_view name = EventKindName(static_cast<EventKind>(i));
+    EXPECT_FALSE(name.empty()) << "EventKind enumerator " << i;
+    EXPECT_NE(name, "?") << "EventKind enumerator " << i << " is unnamed";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate EventKind name: " << name;
+  }
+  EXPECT_EQ(seen.size(), kEventKindCount);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,88 @@
+#include "core/events.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+DeviceEvent Note(int i) {
+  DeviceEvent e;
+  e.kind = EventKind::kLogNote;
+  e.at = i;
+  e.detail = "e" + std::to_string(i);
+  return e;
+}
+
+TEST(EventBufferTest, UnderCapacityKeepsEverythingInOrder) {
+  EventBuffer buffer(8);
+  for (int i = 0; i < 5; ++i) buffer.OnEvent(Note(i));
+  EXPECT_EQ(buffer.size(), 5u);
+  EXPECT_EQ(buffer.dropped_events(), 0u);
+  EXPECT_EQ(buffer.total_events(), 5u);
+  const auto& events = buffer.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[i].at, i);
+}
+
+TEST(EventBufferTest, OverflowEvictsOldestAndCounts) {
+  EventBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) buffer.OnEvent(Note(i));
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.capacity(), 4u);
+  EXPECT_EQ(buffer.dropped_events(), 6u);
+  EXPECT_EQ(buffer.total_events(), 10u);
+  const auto& events = buffer.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The four newest survive, oldest first.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i].at, 6 + i);
+}
+
+TEST(EventBufferTest, EventsViewStaysCoherentAcrossInterleavedReads) {
+  EventBuffer buffer(3);
+  buffer.OnEvent(Note(0));
+  EXPECT_EQ(buffer.events().size(), 1u);  // read before wraparound
+  for (int i = 1; i < 7; ++i) buffer.OnEvent(Note(i));
+  const auto& events = buffer.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].at, 4);
+  EXPECT_EQ(events[2].at, 6);
+  // A second read without writes returns the identical linearisation.
+  EXPECT_EQ(&buffer.events(), &events);
+  EXPECT_EQ(buffer.events()[0].at, 4);
+}
+
+TEST(EventBufferTest, CountOfSeesOnlyRetainedEvents) {
+  EventBuffer buffer(3);
+  DeviceEvent violation;
+  violation.kind = EventKind::kSafetyViolation;
+  buffer.OnEvent(violation);  // will be evicted
+  for (int i = 0; i < 3; ++i) buffer.OnEvent(Note(i));
+  EXPECT_EQ(buffer.CountOf(EventKind::kSafetyViolation), 0u);
+  EXPECT_EQ(buffer.CountOf(EventKind::kLogNote), 3u);
+}
+
+TEST(EventBufferTest, ZeroCapacityClampsToOne) {
+  EventBuffer buffer(0);
+  EXPECT_EQ(buffer.capacity(), 1u);
+  buffer.OnEvent(Note(1));
+  buffer.OnEvent(Note(2));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  EXPECT_EQ(buffer.events()[0].at, 2);
+  EXPECT_EQ(buffer.dropped_events(), 1u);
+}
+
+TEST(EventBufferTest, ClearResetsEverything) {
+  EventBuffer buffer(2);
+  for (int i = 0; i < 5; ++i) buffer.OnEvent(Note(i));
+  buffer.Clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.dropped_events(), 0u);
+  EXPECT_EQ(buffer.total_events(), 0u);
+  buffer.OnEvent(Note(9));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  EXPECT_EQ(buffer.events()[0].at, 9);
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,196 @@
+// End-to-end telemetry: run the paper's attack+defence scenario with the
+// full telemetry layer on — memory sink, JSONL timeline, periodic
+// sampler, wall-clock profiling — and assert the recorded artefacts:
+// a complete TCSP -> NMS -> device span tree, a monotone time series with
+// per-class delivered/dropped metrics, and (via the bench harness) a
+// machine-readable JSON result file.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "attack/scenario.h"
+#include "core/tcsp.h"
+#include "obs/json.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+struct TelemetryWorld : SmallWorld {
+  NumberAuthority authority;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  Scenario scenario;
+  obs::MemoryTelemetrySink sink;
+
+  explicit TelemetryWorld(std::uint64_t seed = 2025)
+      : SmallWorld(seed, /*transit=*/4, /*stubs=*/40),
+        tcsp(net, authority, "key") {
+    // Sinks attach before any control-plane activity so every span lands.
+    net.telemetry().AttachSink(&sink);
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node), net,
+                                          &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+
+    ScenarioParams params;
+    params.master_count = 2;
+    params.agents_per_master = 10;
+    params.reflector_count = 12;
+    params.client_count = 6;
+    params.client_request_rate = 20.0;
+    params.directive.type = AttackType::kReflector;
+    params.directive.rate_pps = 200.0;
+    params.directive.duration = Seconds(6);
+    params.directive.reflector_proto = Protocol::kTcp;
+    params.directive.spoof = SpoofMode::kRandom;
+    params.victim_config.cpu_capacity_rps = 3000.0;
+    params.victim_config.cpu_burst = 300.0;
+    scenario = BuildAttackScenario(net, topo, params);
+  }
+
+  OwnershipCertificate DeployDefence() {
+    const Prefix scope = NodePrefix(scenario.victim_node);
+    auto cert = tcsp.Register(AsOrgName(scenario.victim_node), {scope});
+    EXPECT_TRUE(cert.ok()) << cert.status().ToString();
+    ServiceRequest request;
+    request.kind = ServiceKind::kRemoteIngressFiltering;
+    request.placement = PlacementPolicy::kAllManagedNodes;
+    request.control_scope = {scope};
+    // Async deployment: the span tree must survive the simulator hops
+    // between TCSP, each NMS, and each device install.
+    DeploymentReport report;
+    tcsp.DeployService(cert.value(), request,
+                       [&report](const DeploymentReport& r) { report = r; });
+    net.Run(Seconds(2));
+    EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+    return cert.value();
+  }
+};
+
+double FindValue(const obs::TimeSeriesSample& sample, std::string_view name) {
+  for (const obs::MetricValue& value : sample.values) {
+    if (value.name == name) return value.value;
+  }
+  return -1.0;
+}
+
+TEST(TelemetryIntegrationTest, ScenarioRecordsSpanTreeAndTimeline) {
+  const std::string timeline_path =
+      ::testing::TempDir() + "/adtc_scenario_timeline.jsonl";
+  {
+    TelemetryWorld world(211);
+    ASSERT_TRUE(world.net.telemetry().OpenJsonlTimeline(timeline_path));
+    world.net.telemetry().EnableProfiling();
+    world.net.telemetry().sampler().Start(Milliseconds(250));
+
+    world.DeployDefence();
+    world.scenario.attacker->Launch();
+    world.net.Run(Seconds(8));
+
+    // --- span tree: TCSP -> NMS -> device ------------------------------
+    const auto roots = world.sink.SpansNamed("tcsp.deploy");
+    ASSERT_FALSE(roots.empty());
+    bool complete_chain = false;
+    for (const obs::Span* root : roots) {
+      if (world.sink.HasDescendantChain(
+              root->id, {"nms.deploy", "device.install"})) {
+        complete_chain = true;
+      }
+    }
+    EXPECT_TRUE(complete_chain)
+        << "no complete tcsp.deploy -> nms.deploy -> device.install chain";
+    // Registration traced too, with its certificate-validation child.
+    ASSERT_FALSE(world.sink.SpansNamed("tcsp.register").empty());
+    EXPECT_TRUE(world.sink.HasDescendantChain(
+        world.sink.SpansNamed("tcsp.register")[0]->id,
+        {"tcsp.verify_ownership"}));
+    // Every span closed before the world wound down.
+    EXPECT_EQ(world.net.telemetry().tracer().open_span_count(), 0u);
+
+    // --- sampler time series ------------------------------------------
+    const auto& samples = world.sink.samples();
+    ASSERT_GE(samples.size(), 10u);
+    SimTime last = -1;
+    double last_delivered = -1.0;
+    for (const obs::TimeSeriesSample& sample : samples) {
+      EXPECT_GT(sample.at, last);
+      last = sample.at;
+      const double delivered =
+          FindValue(sample, "net.class.attack.delivered");
+      ASSERT_GE(delivered, 0.0) << "per-class series missing";
+      EXPECT_GE(delivered, last_delivered);
+      last_delivered = delivered;
+      ASSERT_GE(FindValue(sample, "net.class.legit.dropped"), 0.0);
+      ASSERT_GE(FindValue(sample, "net.class.reflected.delivered"), 0.0);
+    }
+    // The attack actually showed up in the series.
+    EXPECT_GT(FindValue(samples.back(), "net.class.attack.sent"), 0.0);
+
+    // --- device + control-plane metrics flowed into the registry ------
+    const auto snapshot = world.net.telemetry().registry().TakeSnapshot();
+    bool saw_device_metric = false;
+    bool saw_tcsp_metric = false;
+    bool saw_profile_histogram = false;
+    for (const obs::MetricValue& value : snapshot) {
+      if (value.name.rfind("device.as", 0) == 0) saw_device_metric = true;
+      if (value.name == "tcsp.deployments_completed" && value.value > 0.0) {
+        saw_tcsp_metric = true;
+      }
+      if (value.name == "device.process_wall_ns.count" && value.value > 0.0) {
+        saw_profile_histogram = true;
+      }
+    }
+    EXPECT_TRUE(saw_device_metric);
+    EXPECT_TRUE(saw_tcsp_metric);
+    EXPECT_TRUE(saw_profile_histogram) << "profiling hooks never fired";
+  }
+
+  // --- JSONL timeline: every line is valid JSON of a known type --------
+  std::ifstream in(timeline_path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t span_lines = 0;
+  std::size_t sample_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ASSERT_TRUE(obs::JsonSyntaxValid(line)) << line;
+    if (line.rfind("{\"type\":\"span\"", 0) == 0) ++span_lines;
+    if (line.rfind("{\"type\":\"sample\"", 0) == 0) ++sample_lines;
+  }
+  EXPECT_GT(span_lines, 0u);
+  EXPECT_GE(sample_lines, 10u);
+}
+
+TEST(TelemetryIntegrationTest, BenchJsonOutputIsParseable) {
+#ifndef ADTC_BENCH_DIR
+  GTEST_SKIP() << "bench directory not provided by the build";
+#else
+  const std::string out_path = ::testing::TempDir() + "/t5_results.json";
+  const std::string command = std::string(ADTC_BENCH_DIR) +
+                              "/bench_t5_control_plane --json " + out_path +
+                              " > /dev/null";
+  const int rc = std::system(command.c_str());
+  ASSERT_EQ(rc, 0) << command;
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_TRUE(obs::JsonSyntaxValid(json));
+  EXPECT_NE(json.find("\"experiment\":\"T5\""), std::string::npos);
+  EXPECT_NE(json.find("\"deploy_latency_ms"), std::string::npos);
+#endif
+}
+
+}  // namespace
+}  // namespace adtc

@@ -1,0 +1,80 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace adtc::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesSpecialsAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonNumberTest, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(42.0), "42");
+  EXPECT_EQ(JsonNumber(-7.0), "-7");
+}
+
+TEST(JsonNumberTest, FractionsKeepPrecisionAndNonFiniteIsNull) {
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, NestedStructureWithCommas) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Field("name", "run\"1\"");
+  w.Field("n", std::uint64_t{3});
+  w.Key("values").BeginArray().Value(1.5).Value(std::int64_t{-2}).Null()
+      .EndArray();
+  w.Key("nested").BeginObject().Field("ok", true).EndObject();
+  w.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"name\":\"run\\\"1\\\"\",\"n\":3,\"values\":[1.5,-2,null],"
+            "\"nested\":{\"ok\":true}}");
+}
+
+TEST(JsonWriterTest, OutputIsSyntaxValid) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Field("a", 1.25);
+  w.Key("b").BeginArray().Value("x\ny").Value(false).Null().EndArray();
+  w.EndObject();
+  EXPECT_TRUE(JsonSyntaxValid(out.str())) << out.str();
+}
+
+TEST(JsonSyntaxValidTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(JsonSyntaxValid("{}"));
+  EXPECT_TRUE(JsonSyntaxValid("[]"));
+  EXPECT_TRUE(JsonSyntaxValid("  {\"a\": [1, -2.5e3, true, null]} "));
+  EXPECT_TRUE(JsonSyntaxValid("\"just a string\\u00e9\""));
+  EXPECT_TRUE(JsonSyntaxValid("0"));
+  EXPECT_TRUE(JsonSyntaxValid("-0.125"));
+}
+
+TEST(JsonSyntaxValidTest, RejectsInvalidDocuments) {
+  EXPECT_FALSE(JsonSyntaxValid(""));
+  EXPECT_FALSE(JsonSyntaxValid("{"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\":}"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\":1,}"));
+  EXPECT_FALSE(JsonSyntaxValid("[1 2]"));
+  EXPECT_FALSE(JsonSyntaxValid("01"));
+  EXPECT_FALSE(JsonSyntaxValid("{\"a\":1} extra"));
+  EXPECT_FALSE(JsonSyntaxValid("\"unterminated"));
+  EXPECT_FALSE(JsonSyntaxValid("\"bad\\q\""));
+  EXPECT_FALSE(JsonSyntaxValid("nul"));
+}
+
+}  // namespace
+}  // namespace adtc::obs

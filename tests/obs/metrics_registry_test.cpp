@@ -1,0 +1,129 @@
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace adtc::obs {
+namespace {
+
+const MetricValue* Find(const MetricsSnapshot& snapshot,
+                        std::string_view name) {
+  const auto it = std::find_if(
+      snapshot.begin(), snapshot.end(),
+      [name](const MetricValue& v) { return v.name == name; });
+  return it == snapshot.end() ? nullptr : &*it;
+}
+
+TEST(CounterTest, BehavesLikeUint64) {
+  Counter c;
+  EXPECT_EQ(c, 0u);
+  ++c;
+  c++;
+  c += 3;
+  c.Increment(5);
+  EXPECT_EQ(c, 10u);
+  EXPECT_EQ(c.value(), 10u);
+  const std::uint64_t raw = c;  // implicit read keeps old call sites working
+  EXPECT_EQ(raw, 10u);
+  EXPECT_GT(c, 1u);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("x.count");
+  Counter& b = registry.GetCounter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.counter_count(), 1u);
+
+  // Addresses stay stable as more instruments register (deque-backed).
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("c" + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.GetCounter("x.count"), &a);
+}
+
+TEST(MetricsRegistryTest, FindDoesNotCreate) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindCounter("missing"), nullptr);
+  EXPECT_EQ(registry.FindGauge("missing"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  registry.GetCounter("present");
+  EXPECT_NE(registry.FindCounter("present"), nullptr);
+  EXPECT_EQ(registry.counter_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, SnapshotReportsOwnedInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("a.ticks") += 7;
+  registry.GetGauge("a.depth").Set(2.5);
+  Histogram& h = registry.GetHistogram("a.latency_ns", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+
+  const MetricsSnapshot snapshot = registry.TakeSnapshot();
+  const MetricValue* ticks = Find(snapshot, "a.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_DOUBLE_EQ(ticks->value, 7.0);
+  const MetricValue* depth = Find(snapshot, "a.depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value, 2.5);
+  const MetricValue* count = Find(snapshot, "a.latency_ns.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_DOUBLE_EQ(count->value, 100.0);
+  const MetricValue* p50 = Find(snapshot, "a.latency_ns.p50");
+  ASSERT_NE(p50, nullptr);
+  EXPECT_NEAR(p50->value, 50.0, 1.5);
+  EXPECT_NE(Find(snapshot, "a.latency_ns.p99"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotOrderIsDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("z.last");
+  registry.GetCounter("a.first");
+  const MetricsSnapshot s1 = registry.TakeSnapshot();
+  const MetricsSnapshot s2 = registry.TakeSnapshot();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].name, s2[i].name);
+  }
+  // Registration order, not lexical order.
+  EXPECT_EQ(s1[0].name, "z.last");
+  EXPECT_EQ(s1[1].name, "a.first");
+}
+
+TEST(MetricsRegistryTest, CollectorsAppendAndUnregisterByOwner) {
+  MetricsRegistry registry;
+  int owner_a = 0;
+  int owner_b = 0;
+  registry.AddCollector(&owner_a, [](MetricsSnapshot& out) {
+    out.push_back({"a.metric", 1.0});
+  });
+  registry.AddCollector(&owner_b, [](MetricsSnapshot& out) {
+    out.push_back({"b.metric", 2.0});
+  });
+  EXPECT_EQ(registry.collector_count(), 2u);
+  EXPECT_NE(Find(registry.TakeSnapshot(), "a.metric"), nullptr);
+
+  registry.RemoveCollectors(&owner_a);
+  EXPECT_EQ(registry.collector_count(), 1u);
+  const MetricsSnapshot after = registry.TakeSnapshot();
+  EXPECT_EQ(Find(after, "a.metric"), nullptr);
+  ASSERT_NE(Find(after, "b.metric"), nullptr);
+  EXPECT_DOUBLE_EQ(Find(after, "b.metric")->value, 2.0);
+
+  // Removing an owner with no collectors is a harmless no-op.
+  registry.RemoveCollectors(&owner_a);
+  EXPECT_EQ(registry.collector_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, HistogramReusesFirstBounds) {
+  MetricsRegistry registry;
+  Histogram& first = registry.GetHistogram("h", 0.0, 10.0, 5);
+  Histogram& again = registry.GetHistogram("h", 0.0, 99999.0, 77);
+  EXPECT_EQ(&first, &again);
+  again.Add(50.0);  // outside the original [0,10) -> overflow
+  EXPECT_EQ(first.overflow(), 1u);
+}
+
+}  // namespace
+}  // namespace adtc::obs

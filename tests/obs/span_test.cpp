@@ -1,0 +1,152 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/sink.h"
+
+namespace adtc::obs {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  TracerTest() {
+    tracer_.SetSink(&sink_);
+    tracer_.SetClock([this] { return now_; });
+  }
+
+  MemoryTelemetrySink sink_;
+  Tracer tracer_;
+  SimTime now_ = 0;
+};
+
+TEST_F(TracerTest, DisabledTracerNoOpsEverywhere) {
+  Tracer off;
+  off.SetClock([] { return SimTime{5}; });
+  const SpanId id = off.StartSpan("anything");
+  EXPECT_EQ(id, kNoSpan);
+  off.SetNode(id, 3);
+  off.Annotate(id, "k", "v");
+  off.EndSpan(id);
+  EXPECT_EQ(off.open_span_count(), 0u);
+  // Scoped helpers tolerate both a null tracer and a disabled one.
+  {
+    ScopedSpan null_scope(nullptr, "x");
+    ScopedSpan off_scope(&off, "y");
+    EXPECT_EQ(off_scope.id(), kNoSpan);
+    ScopedActivation activation(&off, kNoSpan);
+  }
+  EXPECT_EQ(off.active(), kNoSpan);
+}
+
+TEST_F(TracerTest, RecordsTimesStatusAndAttributes) {
+  now_ = 100;
+  const SpanId id = tracer_.StartSpan("op");
+  ASSERT_NE(id, kNoSpan);
+  EXPECT_EQ(tracer_.open_span_count(), 1u);
+  tracer_.SetNode(id, 7);
+  tracer_.SetSubscriber(id, 42);
+  tracer_.Annotate(id, "mode", "async");
+  now_ = 250;
+  tracer_.EndSpan(id, /*ok=*/false);
+  EXPECT_EQ(tracer_.open_span_count(), 0u);
+
+  ASSERT_EQ(sink_.spans().size(), 1u);
+  const Span& span = sink_.spans()[0];
+  EXPECT_EQ(span.name, "op");
+  EXPECT_EQ(span.start, 100);
+  EXPECT_EQ(span.end, 250);
+  EXPECT_EQ(span.Duration(), 150);
+  EXPECT_FALSE(span.ok);
+  EXPECT_EQ(span.node, 7u);
+  EXPECT_EQ(span.subscriber, 42u);
+  ASSERT_EQ(span.attributes.size(), 1u);
+  EXPECT_EQ(span.attributes[0].first, "mode");
+  EXPECT_EQ(span.attributes[0].second, "async");
+}
+
+TEST_F(TracerTest, ActiveStackParentsSynchronousChildren) {
+  const SpanId root = tracer_.StartSpan("root");
+  {
+    ScopedActivation activation(&tracer_, root);
+    const SpanId child = tracer_.StartSpan("child");
+    tracer_.EndSpan(child);
+  }
+  const SpanId sibling = tracer_.StartSpan("sibling");  // no active parent
+  tracer_.EndSpan(sibling);
+  tracer_.EndSpan(root);
+
+  ASSERT_EQ(sink_.spans().size(), 3u);
+  const Span* child = sink_.SpansNamed("child")[0];
+  EXPECT_EQ(child->parent, root);
+  const Span* top = sink_.SpansNamed("sibling")[0];
+  EXPECT_EQ(top->parent, kNoSpan);
+}
+
+TEST_F(TracerTest, ExplicitParentBeatsActiveStack) {
+  const SpanId a = tracer_.StartSpan("a");
+  const SpanId b = tracer_.StartSpan("b");
+  ScopedActivation activation(&tracer_, b);
+  const SpanId child = tracer_.StartSpan("child", a);
+  tracer_.EndSpan(child);
+  ASSERT_EQ(sink_.SpansNamed("child").size(), 1u);
+  EXPECT_EQ(sink_.SpansNamed("child")[0]->parent, a);
+  tracer_.EndSpan(b);
+  tracer_.EndSpan(a);
+}
+
+TEST_F(TracerTest, ScopedSpanNestsAndReportsFailure) {
+  {
+    ScopedSpan outer(&tracer_, "outer");
+    outer.SetNode(3);
+    {
+      ScopedSpan inner(&tracer_, "inner");
+      inner.Fail();
+    }
+  }
+  ASSERT_EQ(sink_.spans().size(), 2u);
+  // Inner ends first (emission order), outer is its parent.
+  const Span& inner = sink_.spans()[0];
+  const Span& outer = sink_.spans()[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_FALSE(inner.ok);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_TRUE(outer.ok);
+  EXPECT_EQ(outer.node, 3u);
+  EXPECT_EQ(tracer_.active(), kNoSpan);
+}
+
+TEST_F(TracerTest, EndingUnknownSpanIsSafe) {
+  tracer_.EndSpan(kNoSpan);
+  tracer_.EndSpan(9999);
+  EXPECT_TRUE(sink_.spans().empty());
+}
+
+TEST_F(TracerTest, MemorySinkTreeQueries) {
+  const SpanId root = tracer_.StartSpan("tcsp.deploy");
+  SpanId nms = kNoSpan;
+  {
+    ScopedActivation activate_root(&tracer_, root);
+    nms = tracer_.StartSpan("nms.deploy");
+    {
+      ScopedActivation activate_nms(&tracer_, nms);
+      const SpanId install = tracer_.StartSpan("device.install");
+      tracer_.EndSpan(install);
+      const SpanId install2 = tracer_.StartSpan("device.install");
+      tracer_.EndSpan(install2);
+    }
+    tracer_.EndSpan(nms);
+  }
+  tracer_.EndSpan(root);
+
+  EXPECT_EQ(sink_.SpansNamed("device.install").size(), 2u);
+  EXPECT_EQ(sink_.ChildrenOf(root).size(), 1u);
+  EXPECT_EQ(sink_.ChildrenOf(nms).size(), 2u);
+  EXPECT_TRUE(
+      sink_.HasDescendantChain(root, {"nms.deploy", "device.install"}));
+  EXPECT_FALSE(
+      sink_.HasDescendantChain(root, {"device.install", "nms.deploy"}));
+  EXPECT_FALSE(sink_.HasDescendantChain(root, {"missing"}));
+}
+
+}  // namespace
+}  // namespace adtc::obs

@@ -1,0 +1,95 @@
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/wall_clock.h"
+#include "sim/simulator.h"
+
+namespace adtc::obs {
+namespace {
+
+TEST(TelemetryTest, DisabledByDefault) {
+  Simulator sim;
+  Telemetry telemetry(sim);
+  EXPECT_FALSE(telemetry.tracing_enabled());
+  EXPECT_FALSE(telemetry.profiling_enabled());
+  EXPECT_EQ(telemetry.tracer().StartSpan("ignored"), kNoSpan);
+}
+
+TEST(TelemetryTest, AttachSinkEnablesTracingAndSampling) {
+  Simulator sim;
+  Telemetry telemetry(sim);
+  MemoryTelemetrySink sink;
+  telemetry.AttachSink(&sink);
+  EXPECT_TRUE(telemetry.tracing_enabled());
+
+  telemetry.registry().GetCounter("x") += 1;
+  const SpanId id = telemetry.tracer().StartSpan("op");
+  telemetry.tracer().EndSpan(id);
+  telemetry.sampler().SampleNow();
+  EXPECT_EQ(sink.spans().size(), 1u);
+  EXPECT_EQ(sink.samples().size(), 1u);
+
+  // Spans carry the simulated clock, not wall time.
+  sim.ScheduleAt(Milliseconds(5), [] {});
+  sim.RunUntil(Milliseconds(5));
+  const SpanId late = telemetry.tracer().StartSpan("late");
+  telemetry.tracer().EndSpan(late);
+  EXPECT_EQ(sink.spans()[1].start, Milliseconds(5));
+}
+
+TEST(TelemetryTest, JsonlTimelineWritesValidJsonLines) {
+  const std::string path = ::testing::TempDir() + "/adtc_timeline.jsonl";
+  Simulator sim;
+  {
+    // Scoped: destruction flushes the owned JSONL stream.
+    Telemetry telemetry(sim);
+    ASSERT_TRUE(telemetry.OpenJsonlTimeline(path));
+    ASSERT_NE(telemetry.jsonl_sink(), nullptr);
+    telemetry.registry().GetCounter("demo.count") += 3;
+    const SpanId id = telemetry.tracer().StartSpan("demo.op");
+    telemetry.tracer().Annotate(id, "key", "va\"lue");
+    telemetry.tracer().EndSpan(id, /*ok=*/false);
+    telemetry.sampler().SampleNow();
+    EXPECT_EQ(telemetry.jsonl_sink()->lines_written(), 2u);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(JsonSyntaxValid(line)) << line;
+    EXPECT_EQ(line.find("{\"type\":\""), 0u) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(TelemetryTest, OpenJsonlTimelineFailsCleanly) {
+  Simulator sim;
+  Telemetry telemetry(sim);
+  EXPECT_FALSE(telemetry.OpenJsonlTimeline("/nonexistent-dir/x/y.jsonl"));
+  EXPECT_EQ(telemetry.jsonl_sink(), nullptr);
+  EXPECT_FALSE(telemetry.tracing_enabled());
+}
+
+TEST(ScopedWallTimerTest, RecordsIntoHistogramOnlyWhenEnabled) {
+  Histogram hist(0.0, 1e9, 64);
+  {
+    ScopedWallTimer disabled(nullptr);
+  }
+  EXPECT_EQ(hist.total(), 0u);
+  {
+    ScopedWallTimer enabled(&hist);
+  }
+  EXPECT_EQ(hist.total(), 1u);
+}
+
+}  // namespace
+}  // namespace adtc::obs

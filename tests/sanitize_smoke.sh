@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Sanitizer smoke: build the test suite with ASan+UBSan (-DADTC_SANITIZE=ON)
+# in a separate tree and run the telemetry-focused subset. Catches the
+# lifetime bugs the telemetry layer is most exposed to (collector owners
+# dying before the registry, sampler callbacks outliving the sampler,
+# event-ring linearisation) without paying the sanitized build on every
+# ctest invocation.
+#
+# Usage: tests/sanitize_smoke.sh [source-dir] [build-dir]
+# Also registered with CTest when configured with -DADTC_SANITIZE_SMOKE=ON.
+set -euo pipefail
+
+SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+BUILD_DIR="${2:-${SRC_DIR}/build-sanitize}"
+FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*}"
+
+cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DADTC_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "${BUILD_DIR}" --target adtc_tests -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+"${BUILD_DIR}/tests/adtc_tests" --gtest_filter="${FILTER}" \
+    --gtest_brief=1
+echo "sanitize smoke: OK"
