@@ -94,7 +94,7 @@ int main() {
       ServiceRequest request;
       request.kind = ServiceKind::kRemoteIngressFiltering;
       request.control_scope = {NodePrefix(victim_as)};
-      (void)world.tcsp.DeployServiceNow(cert.value(), request);
+      (void)world.tcsp.DeployService(cert.value(), request);
     } else {
       // Hand-install the naive variant on every device.
       const std::vector<NodeId> legit = LegitimateForwarderSet(
@@ -105,8 +105,8 @@ int main() {
           module->AddProtectedPrefix(NodePrefix(victim_as));
           for (NodeId l : legit) module->AddLegitimateSourceNode(l);
           (void)nms->device(node)->InstallDeployment(
-              cert.value(), {NodePrefix(victim_as)},
-              ModuleGraph::Single(std::move(module)), std::nullopt);
+              {cert.value(), {NodePrefix(victim_as)},
+               ModuleGraph::Single(std::move(module)), std::nullopt});
         }
       }
     }
@@ -132,8 +132,8 @@ int main() {
     if (guarded) {
       AdaptiveDevice device(0);
       (void)device.InstallDeployment(
-          cert, {NodePrefix(5)}, std::nullopt,
-          ModuleGraph::Single(std::make_unique<Rerouter>()));
+          {cert, {NodePrefix(5)}, std::nullopt,
+           ModuleGraph::Single(std::make_unique<Rerouter>())});
       for (int i = 0; i < 1000; ++i) {
         Packet p;
         p.src = HostAddress(1, 1);

@@ -71,7 +71,7 @@ Outcome RunOne(std::uint64_t seed, Defence defence, double adoption) {
       ServiceRequest request;
       request.kind = ServiceKind::kRemoteIngressFiltering;
       request.control_scope = {scope};
-      (void)world.tcsp.DeployServiceNow(cert.value(), request);
+      (void)world.tcsp.DeployService(cert.value(), request);
       break;
     }
   }

@@ -80,7 +80,7 @@ int main() {
               ServiceRequest request;
               request.kind = ServiceKind::kRemoteIngressFiltering;
               request.control_scope = {scope};
-              (void)world.tcsp.DeployServiceNow(cert.value(), request);
+              (void)world.tcsp.DeployService(cert.value(), request);
               break;
             }
           }

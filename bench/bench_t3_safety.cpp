@@ -138,8 +138,8 @@ int main() {
       EventBuffer events;
       AdaptiveDevice device(0, &events);
       (void)device.InstallDeployment(
-          cert, {NodePrefix(5)}, std::nullopt,
-          ModuleGraph::Single(std::move(c.module)));
+          {cert, {NodePrefix(5)}, std::nullopt,
+           ModuleGraph::Single(std::move(c.module))});
       Packet p;
       p.src = HostAddress(1, 1);
       p.dst = HostAddress(5, 1);
@@ -177,8 +177,8 @@ int main() {
   {
     AdaptiveDevice device(0);
     (void)device.InstallDeployment(
-        cert, {NodePrefix(5)}, std::nullopt,
-        ModuleGraph::Single(std::make_unique<CounterModule>()));
+        {cert, {NodePrefix(5)}, std::nullopt,
+         ModuleGraph::Single(std::make_unique<CounterModule>())});
     Packet p;
     p.src = HostAddress(1, 1);
     p.dst = HostAddress(5, 1);

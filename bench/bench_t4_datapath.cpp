@@ -54,8 +54,8 @@ void BM_FastPathMiss(benchmark::State& state) {
   // One deployment installed; benchmarked packet matches neither table.
   AdaptiveDevice device(0);
   const auto cert = Ca().Issue(1, "o", {NodePrefix(5)}, 0, Seconds(1e6));
-  (void)device.InstallDeployment(cert, {NodePrefix(5)}, std::nullopt,
-                                 RuleChain(4));
+  (void)device.InstallDeployment(
+      {cert, {NodePrefix(5)}, std::nullopt, RuleChain(4)});
   Packet p = MakePacket(1, 2);
   RouterContext ctx;
   for (auto _ : state) {
@@ -65,28 +65,70 @@ void BM_FastPathMiss(benchmark::State& state) {
 BENCHMARK(BM_FastPathMiss);
 
 void BM_RedirectTwoStage(benchmark::State& state) {
-  // Packet owned on both ends: both stages run.
+  // Packet owned on both ends: both stages run. range(0)==0 disables the
+  // flow cache (every iteration pays lookups + module execution); 1 is
+  // the steady-state cached path the router sees on a long flow.
   AdaptiveDevice device(0);
+  device.set_flow_cache_enabled(state.range(0) == 1);
   const auto cert_src = Ca().Issue(1, "s", {NodePrefix(5)}, 0, Seconds(1e6));
   const auto cert_dst = Ca().Issue(2, "d", {NodePrefix(6)}, 0, Seconds(1e6));
-  (void)device.InstallDeployment(cert_src, {NodePrefix(5)}, RuleChain(2),
-                                 std::nullopt);
-  (void)device.InstallDeployment(cert_dst, {NodePrefix(6)}, std::nullopt,
-                                 RuleChain(2));
+  (void)device.InstallDeployment(
+      {cert_src, {NodePrefix(5)}, RuleChain(2), std::nullopt});
+  (void)device.InstallDeployment(
+      {cert_dst, {NodePrefix(6)}, std::nullopt, RuleChain(2)});
   Packet p = MakePacket(5, 6);
   RouterContext ctx;
   for (auto _ : state) {
     benchmark::DoNotOptimize(device.Process(p, ctx));
   }
 }
-BENCHMARK(BM_RedirectTwoStage);
+BENCHMARK(BM_RedirectTwoStage)->Arg(0)->Arg(1);
+
+void BM_FlowCacheChurn(benchmark::State& state) {
+  // Worst case for the cache: every packet is a new flow, so every
+  // iteration is a miss plus a fill (and periodically a wholesale clear
+  // when the cache reaches capacity).
+  AdaptiveDevice device(0);
+  const auto cert = Ca().Issue(1, "o", {NodePrefix(6)}, 0, Seconds(1e6));
+  (void)device.InstallDeployment(
+      {cert, {NodePrefix(6)}, std::nullopt, RuleChain(2)});
+  Packet p = MakePacket(1, 6);
+  RouterContext ctx;
+  std::uint16_t port = 0;
+  for (auto _ : state) {
+    p.src_port = port++;
+    benchmark::DoNotOptimize(device.Process(p, ctx));
+  }
+}
+BENCHMARK(BM_FlowCacheChurn);
+
+void BM_BatchProcess(benchmark::State& state) {
+  // The router-facing entry point: a PacketBatch driven through
+  // ProcessBatch, batch-of-1 exactly as RouterReceive does it.
+  AdaptiveDevice device(0);
+  const auto cert = Ca().Issue(1, "o", {NodePrefix(6)}, 0, Seconds(1e6));
+  (void)device.InstallDeployment(
+      {cert, {NodePrefix(6)}, std::nullopt, RuleChain(2)});
+  Packet p = MakePacket(5, 6);
+  RouterContext ctx;
+  for (auto _ : state) {
+    PacketBatch batch;
+    batch.Add(p);
+    device.ProcessBatch(batch, ctx);
+    benchmark::DoNotOptimize(batch.alive_count());
+  }
+}
+BENCHMARK(BM_BatchProcess);
 
 void BM_RuleChainLength(benchmark::State& state) {
   const int rules = static_cast<int>(state.range(0));
   AdaptiveDevice device(0);
+  // Cache off: this benchmark measures module-chain execution cost, and
+  // a cached verdict would flatten the curve to O(1).
+  device.set_flow_cache_enabled(false);
   const auto cert = Ca().Issue(1, "o", {NodePrefix(6)}, 0, Seconds(1e6));
-  (void)device.InstallDeployment(cert, {NodePrefix(6)}, std::nullopt,
-                                 RuleChain(rules));
+  (void)device.InstallDeployment(
+      {cert, {NodePrefix(6)}, std::nullopt, RuleChain(rules)});
   Packet p = MakePacket(1, 6);  // traverses the whole chain (no match)
   RouterContext ctx;
   for (auto _ : state) {
@@ -102,13 +144,15 @@ void BM_RedirectTableSize(benchmark::State& state) {
   // grows — the Sec. 5.3 "number of rules installed" scaling factor.
   const int subscribers = static_cast<int>(state.range(0));
   AdaptiveDevice device(0);
+  // Cache off: the subject is the redirect-table (trie) lookup itself.
+  device.set_flow_cache_enabled(false);
   for (int i = 0; i < subscribers; ++i) {
     const NodeId node = static_cast<NodeId>(1000 + i);
     const auto cert = Ca().Issue(static_cast<SubscriberId>(i + 1),
                                  "o" + std::to_string(i), {NodePrefix(node)},
                                  0, Seconds(1e6));
-    (void)device.InstallDeployment(cert, {NodePrefix(node)}, std::nullopt,
-                                   RuleChain(1));
+    (void)device.InstallDeployment(
+        {cert, {NodePrefix(node)}, std::nullopt, RuleChain(1)});
   }
   Packet p = MakePacket(1, 2);  // miss
   RouterContext ctx;
@@ -128,11 +172,11 @@ void BM_TwoStageVsMerged(benchmark::State& state) {
   const auto cert = Ca().Issue(1, "o", {NodePrefix(5), NodePrefix(6)}, 0,
                                Seconds(1e6));
   if (merged) {
-    (void)device.InstallDeployment(cert, {NodePrefix(5), NodePrefix(6)},
-                                   std::nullopt, RuleChain(4));
+    (void)device.InstallDeployment(
+        {cert, {NodePrefix(5), NodePrefix(6)}, std::nullopt, RuleChain(4)});
   } else {
-    (void)device.InstallDeployment(cert, {NodePrefix(5), NodePrefix(6)},
-                                   RuleChain(2), RuleChain(2));
+    (void)device.InstallDeployment(
+        {cert, {NodePrefix(5), NodePrefix(6)}, RuleChain(2), RuleChain(2)});
   }
   Packet p = MakePacket(5, 6);
   RouterContext ctx;

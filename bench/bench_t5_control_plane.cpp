@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
 
       DeploymentReport report;
       world.tcsp.DeployService(cert.value(), request,
+                               CompletionPolicy::kLatencyModelled,
                                [&](const DeploymentReport& r) { report = r; });
       world.net.Run(Seconds(60));
       table.AddRow({Table::Int(static_cast<long long>(isp_count)),
@@ -131,7 +132,7 @@ int main(int argc, char** argv) {
     request.control_scope = {NodePrefix(subject)};
 
     const DeploymentReport via_tcsp =
-        world.tcsp.DeployServiceNow(cert.value(), request);
+        world.tcsp.DeployService(cert.value(), request);
     relay.AddRow({"via TCSP (down)", via_tcsp.status.ToString(), "0"});
 
     const auto home = Tcsp::HomeNodes(request.control_scope);

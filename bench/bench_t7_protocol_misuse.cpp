@@ -65,7 +65,7 @@ Outcome RunOne(std::uint64_t seed, bool use_icmp, bool defend) {
     MatchRule deny_unreachable;
     deny_unreachable.icmp = IcmpType::kDestUnreachable;
     request.deny_rules = {deny_rst, deny_unreachable};
-    (void)world.tcsp.DeployServiceNow(cert.value(), request);
+    (void)world.tcsp.DeployService(cert.value(), request);
   }
 
   sessions->Start();

@@ -61,7 +61,7 @@ int main() {
           request.traceback.window_count = 16;
           request.traceback.false_positive_rate = fp_rate;
           request.traceback.expected_packets_per_window = 20000;
-          (void)world.tcsp.DeployServiceNow(cert.value(), request);
+          (void)world.tcsp.DeployService(cert.value(), request);
 
           AttackDirective directive;
           directive.type = AttackType::kDirectFlood;
@@ -142,7 +142,7 @@ int main() {
           request.trigger.rate_threshold_pps = 500.0;
           request.trigger.window = Milliseconds(250);
           request.reaction_rate_limit_pps = 100.0;
-          (void)world.tcsp.DeployServiceNow(cert.value(), request);
+          (void)world.tcsp.DeployService(cert.value(), request);
 
           AttackDirective directive;
           directive.type = AttackType::kDirectFlood;

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Fails (exit 1) if any benchmark present in both files is slower than the
+baseline by more than the threshold. Aggregate entries (BigO, RMS, mean,
+...) are skipped; only plain iteration benchmarks are compared. New or
+removed benchmarks are reported but never fail the check — the baseline
+is regenerated when the benchmark set changes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") != "iteration":
+            continue
+        name = bench["name"]
+        time = bench.get("real_time")
+        if time is not None:
+            times[name] = float(time)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    args = parser.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+    if not baseline:
+        print(f"error: no iteration benchmarks in baseline {args.baseline}")
+        return 1
+
+    regressions = []
+    for name in sorted(baseline.keys() & current.keys()):
+        ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        marker = ""
+        if ratio > 1.0 + args.threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(name)
+        print(f"{name:45s} {baseline[name]:10.1f} -> {current[name]:10.1f} ns"
+              f"  ({ratio:5.2f}x){marker}")
+    for name in sorted(baseline.keys() - current.keys()):
+        print(f"{name:45s} missing from current run (ignored)")
+    for name in sorted(current.keys() - baseline.keys()):
+        print(f"{name:45s} new benchmark, no baseline (ignored)")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(regressions)}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,7 +64,7 @@ int main() {
   reaction.trigger.rate_threshold_pps = 500.0;
   reaction.trigger.window = Milliseconds(250);
   reaction.reaction_rate_limit_pps = 100.0;
-  if (!tcsp.DeployServiceNow(cert.value(), reaction).status.ok()) return 1;
+  if (!tcsp.DeployService(cert.value(), reaction).status.ok()) return 1;
 
   // Statistics on a second subscriber (a different AS watching its own
   // traffic mix).
@@ -76,7 +76,7 @@ int main() {
   stats_request.kind = ServiceKind::kStatistics;
   stats_request.control_scope = {NodePrefix(other_as)};
   stats_request.log_sample_one_in = 8;
-  if (!tcsp.DeployServiceNow(stats_cert.value(), stats_request).status.ok()) {
+  if (!tcsp.DeployService(stats_cert.value(), stats_request).status.ok()) {
     return 1;
   }
   Server* observed = SpawnHost<Server>(net, other_as, access);

@@ -89,7 +89,7 @@ struct World {
     MatchRule deny_unreachable;
     deny_unreachable.icmp = IcmpType::kDestUnreachable;
     request.deny_rules = {deny_rst, deny_unreachable};
-    const DeploymentReport report = tcsp.DeployServiceNow(cert.value(),
+    const DeploymentReport report = tcsp.DeployService(cert.value(),
                                                           request);
     std::printf("teardown protection on %zu devices: %s\n",
                 report.devices_configured,

@@ -79,7 +79,7 @@ int main() {
   deny_udp_junk.proto = Protocol::kUdp;
   deny_udp_junk.dst_port_range = {{9999, 9999}};
   request.deny_rules = {deny_udp_junk};
-  const DeploymentReport report = tcsp.DeployServiceNow(cert.value(), request);
+  const DeploymentReport report = tcsp.DeployService(cert.value(), request);
   std::printf("perimeter deployed on %zu devices (radius 2)\n",
               report.devices_configured);
 

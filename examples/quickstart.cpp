@@ -79,7 +79,7 @@ int main() {
   deny.proto = Protocol::kUdp;
   deny.dst_port_range = {{9999, 9999}};
   request.deny_rules = {deny};
-  const DeploymentReport report = tcsp.DeployServiceNow(cert.value(), request);
+  const DeploymentReport report = tcsp.DeployService(cert.value(), request);
   std::printf("firewall deployed on %zu devices across %zu ISPs\n",
               report.devices_configured, report.isps_configured);
 

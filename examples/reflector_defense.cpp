@@ -99,6 +99,7 @@ int main() {
     request.control_scope = {scope};
     bool deployed = false;
     world.tcsp.DeployService(cert.value(), request,
+                             CompletionPolicy::kLatencyModelled,
                              [&](const DeploymentReport& report) {
                                deployed = report.status.ok();
                                std::printf(

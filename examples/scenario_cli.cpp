@@ -172,7 +172,7 @@ int main(int argc, char** argv) {
     ServiceRequest request;
     request.kind = ServiceKind::kRemoteIngressFiltering;
     request.control_scope = {scope};
-    const auto report = tcsp.DeployServiceNow(cert.value(), request);
+    const auto report = tcsp.DeployService(cert.value(), request);
     if (!report.status.ok()) {
       std::fprintf(stderr, "deployment failed: %s\n",
                    report.status.ToString().c_str());

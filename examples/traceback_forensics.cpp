@@ -62,7 +62,7 @@ int main() {
   request.control_scope = {NodePrefix(victim_as)};
   request.traceback.window = Seconds(2);
   request.traceback.window_count = 32;
-  const DeploymentReport report = tcsp.DeployServiceNow(cert.value(), request);
+  const DeploymentReport report = tcsp.DeployService(cert.value(), request);
   std::printf("traceback service on %zu devices\n",
               report.devices_configured);
 

@@ -12,6 +12,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnavailable: return "unavailable";
     case ErrorCode::kAlreadyExists: return "already_exists";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kExpired: return "expired";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";

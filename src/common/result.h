@@ -23,6 +23,7 @@ enum class ErrorCode {
   kUnavailable,       // peer unreachable (e.g. TCSP down)
   kAlreadyExists,     // duplicate registration / rule id
   kResourceExhausted, // device rule table or budget exceeded
+  kExpired,           // certificate/lease outside its validity window
   kInternal,
 };
 
@@ -72,6 +73,9 @@ inline Status AlreadyExists(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return {ErrorCode::kResourceExhausted, std::move(msg)};
+}
+inline Status Expired(std::string msg) {
+  return {ErrorCode::kExpired, std::move(msg)};
 }
 inline Status InternalError(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};

@@ -1,5 +1,7 @@
 #include "core/adaptive_device.h"
 
+#include <algorithm>
+
 #include "net/network.h"
 
 namespace adtc {
@@ -40,6 +42,12 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
                    static_cast<double>(stats_.dropped_packets)});
     out.push_back({prefix + "safety_violations",
                    static_cast<double>(stats_.safety_violations)});
+    out.push_back({prefix + "flow_cache_hits",
+                   static_cast<double>(stats_.flow_cache_hits)});
+    out.push_back({prefix + "flow_cache_misses",
+                   static_cast<double>(stats_.flow_cache_misses)});
+    out.push_back({prefix + "flow_cache_entries",
+                   static_cast<double>(flow_cache_.size())});
     out.push_back({prefix + "deployments",
                    static_cast<double>(deployments_.size())});
     out.push_back({prefix + "redirect_prefixes",
@@ -47,27 +55,25 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
   });
 }
 
-Status AdaptiveDevice::InstallDeployment(
-    const OwnershipCertificate& cert, std::vector<Prefix> scope,
-    std::optional<ModuleGraph> source_stage,
-    std::optional<ModuleGraph> destination_stage) {
+Status AdaptiveDevice::InstallDeployment(DeploymentSpec spec) {
+  const OwnershipCertificate& cert = spec.cert;
   if (cert.subscriber == kInvalidSubscriber) {
     return InvalidArgument("certificate carries no subscriber id");
   }
-  if (scope.empty()) {
+  if (spec.scope.empty()) {
     return InvalidArgument("deployment scope is empty");
   }
   // Defence in depth: the device itself never accepts scope outside the
   // certified ownership, regardless of what the NMS checked.
-  for (const Prefix& prefix : scope) {
+  for (const Prefix& prefix : spec.scope) {
     if (!cert.CoversPrefix(prefix)) {
       return PermissionDenied("scope prefix " + prefix.ToString() +
                               " outside certificate of '" + cert.subject +
                               "'");
     }
   }
-  if ((source_stage && !source_stage->validated()) ||
-      (destination_stage && !destination_stage->validated())) {
+  if ((spec.source_stage && !spec.source_stage->validated()) ||
+      (spec.destination_stage && !spec.destination_stage->validated())) {
     return InvalidArgument("stage graph not validated");
   }
   if (deployments_.contains(cert.subscriber)) {
@@ -82,7 +88,7 @@ Status AdaptiveDevice::InstallDeployment(
       "device.install");
   span.SetNode(node_);
   span.SetSubscriber(cert.subscriber);
-  for (const Prefix& prefix : scope) {
+  for (const Prefix& prefix : spec.scope) {
     const SubscriberId* existing = src_redirect_.ExactMatch(prefix);
     if (existing != nullptr && *existing != cert.subscriber) {
       span.Fail();
@@ -91,16 +97,18 @@ Status AdaptiveDevice::InstallDeployment(
     }
   }
 
-  for (const Prefix& prefix : scope) {
+  for (const Prefix& prefix : spec.scope) {
     src_redirect_.Insert(prefix, cert.subscriber);
     dst_redirect_.Insert(prefix, cert.subscriber);
   }
   Deployment deployment;
   deployment.cert = cert;
-  deployment.scope = std::move(scope);
-  deployment.source_stage = std::move(source_stage);
-  deployment.destination_stage = std::move(destination_stage);
+  deployment.scope = std::move(spec.scope);
+  deployment.source_stage = std::move(spec.source_stage);
+  deployment.destination_stage = std::move(spec.destination_stage);
+  deployment.label = std::move(spec.label);
   deployments_.emplace(cert.subscriber, std::move(deployment));
+  InvalidateFlowCache();
   return Status::Ok();
 }
 
@@ -115,6 +123,10 @@ Status AdaptiveDevice::RemoveDeployment(SubscriberId subscriber) {
     dst_redirect_.Erase(prefix);
   }
   deployments_.erase(it);
+  // Generation first, then the map can shrink: any entry holding a
+  // pointer into the erased node is already unreachable.
+  InvalidateFlowCache();
+  flow_cache_.clear();
   return Status::Ok();
 }
 
@@ -133,13 +145,18 @@ ModuleGraph* AdaptiveDevice::StageGraph(SubscriberId subscriber,
   return graph ? &*graph : nullptr;
 }
 
-Verdict AdaptiveDevice::RunStage(Deployment& deployment,
-                                 ProcessingStage stage, Packet& packet,
-                                 const RouterContext& ctx) {
+AdaptiveDevice::StageRun AdaptiveDevice::RunStage(Deployment& deployment,
+                                                  ProcessingStage stage,
+                                                  Packet& packet,
+                                                  const RouterContext& ctx,
+                                                  NodeId in_from_node,
+                                                  bool collect_cacheability) {
+  StageRun run;
   auto& graph = stage == ProcessingStage::kSourceOwner
                     ? deployment.source_stage
                     : deployment.destination_stage;
-  if (!graph || deployment.quarantined) return Verdict::kForward;
+  if (!graph || deployment.quarantined) return run;
+  run.ran = true;
   const obs::ScopedWallTimer stage_timer(
       telemetry_ != nullptr && telemetry_->profiling_enabled()
           ? stage_wall_ns_
@@ -150,10 +167,7 @@ Verdict AdaptiveDevice::RunStage(Deployment& deployment,
   device_ctx.node = ctx.node;
   device_ctx.role = ctx.role;
   device_ctx.in_kind = ctx.in_kind;
-  if (ctx.net != nullptr && ctx.in_link != kInvalidLink) {
-    const LinkTarget& from = ctx.net->link(ctx.in_link).from;
-    if (!from.is_host) device_ctx.in_from_node = from.id;
-  }
+  device_ctx.in_from_node = in_from_node;
   device_ctx.now = ctx.now;
   device_ctx.subscriber = deployment.cert.subscriber;
   device_ctx.stage = stage;
@@ -166,19 +180,88 @@ Verdict AdaptiveDevice::RunStage(Deployment& deployment,
   }
 
   const PacketInvariants before = PacketInvariants::Capture(packet);
-  const Verdict verdict = graph->Execute(packet, device_ctx);
+  if (collect_cacheability) {
+    visited_scratch_.clear();
+    run.verdict = graph->Execute(packet, device_ctx, &visited_scratch_);
+    for (const int id : visited_scratch_) {
+      switch (graph->module(id)->cacheability()) {
+        case Cacheability::kPure:
+          break;
+        case Cacheability::kPureTransform: {
+          const std::uint32_t to = graph->module(id)->cache_truncate_to();
+          if (to != 0) {
+            run.truncate_to =
+                run.truncate_to == 0 ? to : std::min(run.truncate_to, to);
+          }
+          break;
+        }
+        case Cacheability::kStateful:
+          run.pure = false;
+          break;
+      }
+    }
+  } else {
+    run.verdict = graph->Execute(packet, device_ctx);
+  }
   const InvariantViolation violation = EnforceInvariants(before, packet);
   if (violation != InvariantViolation::kNone) {
     stats_.safety_violations++;
     deployment.quarantined = true;
+    // Quarantine changes this deployment's treatment for every flow that
+    // touches it; cached verdicts from before the violation are void.
+    InvalidateFlowCache();
     device_ctx.Emit(EventKind::kSafetyViolation,
                     std::string(InvariantViolationName(violation)) +
                         " by deployment of '" + deployment.cert.subject +
                         "' — quarantined");
     // Fail open: the offending deployment loses control, traffic flows.
+    run.verdict = Verdict::kForward;
+    run.pure = false;
+    return run;
+  }
+  return run;
+}
+
+Verdict AdaptiveDevice::ReplayCachedVerdict(FlowCacheEntry& entry,
+                                            Packet& packet) {
+  // Mirror the uncached counter updates exactly, including the
+  // stage-1-drop short circuit that keeps stage-2 counters untouched.
+  if (!entry.redirected) {
+    stats_.fast_path_packets++;
     return Verdict::kForward;
   }
-  return verdict;
+  stats_.redirected_packets++;
+  if (entry.src_dep != nullptr) {
+    entry.src_dep->packets_seen++;
+    if (entry.stage1_ran) {
+      stats_.stage1_runs++;
+      entry.src_dep->source_stage->RecordCachedExecution(entry.drop_stage ==
+                                                         1);
+    }
+    if (entry.drop_stage == 1) {
+      stats_.dropped_packets++;
+      return Verdict::kDrop;
+    }
+  }
+  if (entry.dst_dep != nullptr) {
+    if (entry.dst_dep != entry.src_dep) {
+      entry.dst_dep->packets_seen++;
+    }
+    if (entry.stage2_ran) {
+      stats_.stage2_runs++;
+      entry.dst_dep->destination_stage->RecordCachedExecution(
+          entry.drop_stage == 2);
+    }
+    if (entry.drop_stage == 2) {
+      stats_.dropped_packets++;
+      return Verdict::kDrop;
+    }
+  }
+  if (entry.truncate_to != 0 && packet.size_bytes > entry.truncate_to) {
+    packet.size_bytes = entry.truncate_to;
+    packet.payload_hash = 0;
+  }
+  return Verdict::kForward;
 }
 
 Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
@@ -188,47 +271,148 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
       telemetry_ != nullptr && telemetry_->profiling_enabled();
   const obs::ScopedWallTimer process_timer(profiling ? process_wall_ns_
                                                      : nullptr);
-  const SubscriberId* src_owner;
-  const SubscriberId* dst_owner;
-  {
-    const obs::ScopedWallTimer lookup_timer(profiling ? lookup_wall_ns_
-                                                      : nullptr);
-    src_owner = src_redirect_.LongestMatch(packet.src);
-    dst_owner = dst_redirect_.LongestMatch(packet.dst);
-  }
-  if (src_owner == nullptr && dst_owner == nullptr) {
-    stats_.fast_path_packets++;
-    return Verdict::kForward;
-  }
-  stats_.redirected_packets++;
 
-  // Stage 1: control by the source-address owner.
-  if (src_owner != nullptr) {
-    const auto it = deployments_.find(*src_owner);
-    if (it != deployments_.end()) {
-      it->second.packets_seen++;
-      if (RunStage(it->second, ProcessingStage::kSourceOwner, packet, ctx) ==
-          Verdict::kDrop) {
-        stats_.dropped_packets++;
-        return Verdict::kDrop;
+  NodeId in_from_node = kInvalidNode;
+  if (ctx.net != nullptr && ctx.in_link != kInvalidLink) {
+    const LinkTarget& from = ctx.net->link(ctx.in_link).from;
+    if (!from.is_host) in_from_node = from.id;
+  }
+
+  const FlowKey key{packet.src,      packet.dst,  packet.proto,
+                    packet.src_port, packet.dst_port,
+                    ctx.in_kind,     in_from_node};
+  FlowCacheEntry* entry = nullptr;
+  if (flow_cache_enabled_) {
+    const auto it = flow_cache_.find(key);
+    if (it != flow_cache_.end()) {
+      if (EntryCurrent(it->second)) {
+        entry = &it->second;
+      } else {
+        flow_cache_.erase(it);
       }
     }
   }
-  // Stage 2: control by the destination-address owner.
-  if (dst_owner != nullptr) {
-    const auto it = deployments_.find(*dst_owner);
-    if (it != deployments_.end()) {
-      if (src_owner == nullptr || *src_owner != *dst_owner) {
-        it->second.packets_seen++;
-      }
-      if (RunStage(it->second, ProcessingStage::kDestinationOwner, packet,
-                   ctx) == Verdict::kDrop) {
+  if (entry != nullptr && entry->full_verdict) {
+    stats_.flow_cache_hits++;
+    return ReplayCachedVerdict(*entry, packet);
+  }
+
+  // Resolve the redirect tables and deployment records — from the partial
+  // cache entry when one exists (saving both LPM walks and map probes),
+  // from the tries otherwise.
+  Deployment* src_dep = nullptr;
+  Deployment* dst_dep = nullptr;
+  bool redirected = false;
+  if (entry != nullptr) {
+    stats_.flow_cache_hits++;
+    src_dep = entry->src_dep;
+    dst_dep = entry->dst_dep;
+    redirected = entry->redirected;
+  } else {
+    if (flow_cache_enabled_) stats_.flow_cache_misses++;
+    const SubscriberId* src_owner;
+    const SubscriberId* dst_owner;
+    {
+      const obs::ScopedWallTimer lookup_timer(profiling ? lookup_wall_ns_
+                                                        : nullptr);
+      src_owner = src_redirect_.LongestMatch(packet.src);
+      dst_owner = dst_redirect_.LongestMatch(packet.dst);
+    }
+    redirected = src_owner != nullptr || dst_owner != nullptr;
+    if (src_owner != nullptr) {
+      const auto it = deployments_.find(*src_owner);
+      if (it != deployments_.end()) src_dep = &it->second;
+    }
+    if (dst_owner != nullptr) {
+      const auto it = deployments_.find(*dst_owner);
+      if (it != deployments_.end()) dst_dep = &it->second;
+    }
+  }
+
+  // Execute, remembering everything a cache fill needs. `fill` is off for
+  // partial-entry hits (the entry already exists) and when caching is
+  // disabled.
+  const bool fill = flow_cache_enabled_ && entry == nullptr;
+  const std::uint64_t fill_generation = generation_;
+  Verdict verdict = Verdict::kForward;
+  std::uint8_t drop_stage = 0;
+  bool stage1_ran = false;
+  bool stage2_ran = false;
+  bool pure = true;
+  std::uint32_t truncate_to = 0;
+
+  if (!redirected) {
+    stats_.fast_path_packets++;
+  } else {
+    stats_.redirected_packets++;
+    // Stage 1: control by the source-address owner.
+    if (src_dep != nullptr) {
+      src_dep->packets_seen++;
+      const StageRun run = RunStage(*src_dep, ProcessingStage::kSourceOwner,
+                                    packet, ctx, in_from_node, fill);
+      stage1_ran = run.ran;
+      pure = pure && run.pure;
+      truncate_to = run.truncate_to != 0
+                        ? (truncate_to == 0
+                               ? run.truncate_to
+                               : std::min(truncate_to, run.truncate_to))
+                        : truncate_to;
+      if (run.verdict == Verdict::kDrop) {
         stats_.dropped_packets++;
-        return Verdict::kDrop;
+        verdict = Verdict::kDrop;
+        drop_stage = 1;
+      }
+    }
+    // Stage 2: control by the destination-address owner.
+    if (drop_stage == 0 && dst_dep != nullptr) {
+      if (dst_dep != src_dep) {
+        dst_dep->packets_seen++;
+      }
+      const StageRun run =
+          RunStage(*dst_dep, ProcessingStage::kDestinationOwner, packet, ctx,
+                   in_from_node, fill);
+      stage2_ran = run.ran;
+      pure = pure && run.pure;
+      truncate_to = run.truncate_to != 0
+                        ? (truncate_to == 0
+                               ? run.truncate_to
+                               : std::min(truncate_to, run.truncate_to))
+                        : truncate_to;
+      if (run.verdict == Verdict::kDrop) {
+        stats_.dropped_packets++;
+        verdict = Verdict::kDrop;
+        drop_stage = 2;
       }
     }
   }
-  return Verdict::kForward;
+
+  // Fill — unless the configuration moved underneath us (a quarantine
+  // fired during this very packet), in which case the observed behaviour
+  // no longer describes the flow's future treatment.
+  if (fill && generation_ == fill_generation) {
+    if (flow_cache_.size() >= kMaxFlowCacheEntries) flow_cache_.clear();
+    FlowCacheEntry fresh;
+    fresh.generation = generation_;
+    fresh.src_dep = src_dep;
+    fresh.dst_dep = dst_dep;
+    fresh.src_revision =
+        src_dep != nullptr && src_dep->source_stage
+            ? src_dep->source_stage->config_revision()
+            : 0;
+    fresh.dst_revision =
+        dst_dep != nullptr && dst_dep->destination_stage
+            ? dst_dep->destination_stage->config_revision()
+            : 0;
+    fresh.redirected = redirected;
+    fresh.full_verdict = pure;
+    fresh.verdict = verdict;
+    fresh.drop_stage = drop_stage;
+    fresh.stage1_ran = stage1_ran;
+    fresh.stage2_ran = stage2_ran;
+    fresh.truncate_to = truncate_to;
+    flow_cache_[key] = fresh;
+  }
+  return verdict;
 }
 
 }  // namespace adtc

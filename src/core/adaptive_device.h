@@ -14,10 +14,19 @@
 // the runtime safety guard: src/dst/TTL immutability and no size growth
 // are enforced on the wire no matter what the modules do; a violating
 // deployment is quarantined and the operator notified (Sec. 4.5).
+//
+// Flow verdict cache: the redirect lookups and — for stages whose
+// executed path consists only of pure modules (see Cacheability in
+// core/component.h) — the full verdict are memoised per flow. The cache
+// never changes semantics: it is generation-invalidated on every install,
+// removal and quarantine, and revision-invalidated on module
+// reconfiguration (blacklist edits, rule toggles), so a cached verdict is
+// always the verdict the modules would produce if run.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +49,23 @@ struct DeviceStats {
   obs::Counter stage2_runs;
   obs::Counter dropped_packets;
   obs::Counter safety_violations;
+  obs::Counter flow_cache_hits;    // verdict or lookup served from cache
+  obs::Counter flow_cache_misses;  // cache enabled but no usable entry
+};
+
+/// Everything needed to install a subscriber's processing on a device.
+/// Graphs are optional per stage (std::nullopt = pass-through for that
+/// stage); `scope` are the redirect prefixes. The caller (ISP NMS) must
+/// have run the SafetyValidator already; the device re-checks the
+/// essentials (scope within certificate, graphs validated) as defence in
+/// depth.
+struct DeploymentSpec {
+  OwnershipCertificate cert;
+  std::vector<Prefix> scope;
+  std::optional<ModuleGraph> source_stage;
+  std::optional<ModuleGraph> destination_stage;
+  /// Optional operator-facing tag carried into events and reports.
+  std::string label;
 };
 
 class AdaptiveDevice : public PacketProcessor {
@@ -53,15 +79,7 @@ class AdaptiveDevice : public PacketProcessor {
   /// until Telemetry::EnableProfiling(). Pass nullptr to detach.
   void BindTelemetry(obs::Telemetry* telemetry);
 
-  /// Installs a subscriber's processing on this device. Graphs are
-  /// optional per stage (std::nullopt = pass-through for that stage).
-  /// `scope` are the redirect prefixes — the caller (ISP NMS) must have
-  /// run the SafetyValidator already; the device re-checks the essentials
-  /// (scope within certificate, graphs validated) as defence in depth.
-  Status InstallDeployment(const OwnershipCertificate& cert,
-                           std::vector<Prefix> scope,
-                           std::optional<ModuleGraph> source_stage,
-                           std::optional<ModuleGraph> destination_stage);
+  Status InstallDeployment(DeploymentSpec spec);
 
   Status RemoveDeployment(SubscriberId subscriber);
 
@@ -77,6 +95,21 @@ class AdaptiveDevice : public PacketProcessor {
   Verdict Process(Packet& packet, const RouterContext& ctx) override;
   std::string_view name() const override { return "adaptive-device"; }
 
+  // --- flow verdict cache ---------------------------------------------------
+
+  /// Runtime switch, mainly for differential testing and benchmarking;
+  /// defaults to on. Disabling does not clear entries — they stay and
+  /// revalidate (generation + config revisions) if re-enabled.
+  void set_flow_cache_enabled(bool enabled) { flow_cache_enabled_ = enabled; }
+  bool flow_cache_enabled() const { return flow_cache_enabled_; }
+
+  /// Drops every cached verdict (O(1): bumps the generation). Called
+  /// internally on install/remove/quarantine; exposed for operators and
+  /// tests.
+  void InvalidateFlowCache() { generation_++; }
+
+  std::size_t flow_cache_size() const { return flow_cache_.size(); }
+
   const DeviceStats& stats() const { return stats_; }
   NodeId node() const { return node_; }
   std::size_t deployment_count() const { return deployments_.size(); }
@@ -88,13 +121,106 @@ class AdaptiveDevice : public PacketProcessor {
     std::vector<Prefix> scope;
     std::optional<ModuleGraph> source_stage;
     std::optional<ModuleGraph> destination_stage;
+    std::string label;
     bool quarantined = false;
     std::uint64_t packets_seen = 0;
   };
 
-  /// Runs one stage under the safety guard; returns the verdict.
-  Verdict RunStage(Deployment& deployment, ProcessingStage stage,
-                   Packet& packet, const RouterContext& ctx);
+  /// Exact flow identity: every input a pure module may branch on. Two
+  /// packets with equal keys are guaranteed the same treatment by any
+  /// pure-module stage under an unchanged configuration.
+  struct FlowKey {
+    Ipv4Address src;
+    Ipv4Address dst;
+    Protocol proto = Protocol::kUdp;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    LinkKind in_kind = LinkKind::kPeer;
+    NodeId in_from_node = kInvalidNode;
+
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& key) const {
+      auto mix = [](std::uint64_t x) {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+      };
+      const std::uint64_t a =
+          (static_cast<std::uint64_t>(key.src.bits()) << 32) |
+          key.dst.bits();
+      const std::uint64_t b =
+          (static_cast<std::uint64_t>(key.proto) << 56) |
+          (static_cast<std::uint64_t>(key.in_kind) << 48) |
+          (static_cast<std::uint64_t>(key.src_port) << 32) |
+          (static_cast<std::uint64_t>(key.dst_port) << 16);
+      return static_cast<std::size_t>(
+          mix(mix(a) ^ b) ^ mix(key.in_from_node));
+    }
+  };
+
+  /// A memoised treatment for one flow. Validity = generation match plus
+  /// config-revision match of both stage graphs; Deployment pointers are
+  /// safe to store because every event that could invalidate them
+  /// (install/remove/quarantine) bumps the generation first, and
+  /// unordered_map never relocates its nodes.
+  struct FlowCacheEntry {
+    std::uint64_t generation = 0;
+    std::uint64_t src_revision = 0;
+    std::uint64_t dst_revision = 0;
+    Deployment* src_dep = nullptr;
+    Deployment* dst_dep = nullptr;
+    /// Redirect-table outcome: did either table match? (false = fast path)
+    bool redirected = false;
+    /// True when the verdict below may be replayed without running the
+    /// modules (every visited module was pure). False entries still save
+    /// the two LPM lookups and deployment map probes.
+    bool full_verdict = false;
+    Verdict verdict = Verdict::kForward;
+    std::uint8_t drop_stage = 0;  // 0 none, 1 stage1, 2 stage2
+    bool stage1_ran = false;
+    bool stage2_ran = false;
+    /// Non-zero: replay payload truncation to this size on forward.
+    std::uint32_t truncate_to = 0;
+  };
+
+  /// Outcome of one stage execution, including what the cache-fill path
+  /// needs to decide cacheability.
+  struct StageRun {
+    Verdict verdict = Verdict::kForward;
+    bool ran = false;   // graph present, not quarantined
+    bool pure = true;   // every *visited* module was kPure/kPureTransform
+    std::uint32_t truncate_to = 0;  // accumulated kPureTransform rewrite
+  };
+
+  /// Runs one stage under the safety guard. `collect_cacheability`
+  /// additionally classifies the executed path for the flow cache.
+  StageRun RunStage(Deployment& deployment, ProcessingStage stage,
+                    Packet& packet, const RouterContext& ctx,
+                    NodeId in_from_node, bool collect_cacheability);
+
+  /// Re-applies a fully cached verdict: replays the counter updates the
+  /// uncached path would make (device stats, per-deployment packets_seen,
+  /// graph processed/dropped) and any pure packet transform.
+  Verdict ReplayCachedVerdict(FlowCacheEntry& entry, Packet& packet);
+
+  bool EntryCurrent(const FlowCacheEntry& entry) const {
+    if (entry.generation != generation_) return false;
+    if (entry.src_dep != nullptr && entry.src_dep->source_stage &&
+        entry.src_dep->source_stage->config_revision() != entry.src_revision) {
+      return false;
+    }
+    if (entry.dst_dep != nullptr && entry.dst_dep->destination_stage &&
+        entry.dst_dep->destination_stage->config_revision() !=
+            entry.dst_revision) {
+      return false;
+    }
+    return true;
+  }
+
+  static constexpr std::size_t kMaxFlowCacheEntries = 1 << 16;
 
   NodeId node_;
   EventSink* events_;
@@ -107,6 +233,11 @@ class AdaptiveDevice : public PacketProcessor {
   std::unordered_map<SubscriberId, Deployment> deployments_;
   PrefixTrie<SubscriberId> src_redirect_;
   PrefixTrie<SubscriberId> dst_redirect_;
+
+  bool flow_cache_enabled_ = true;
+  std::uint64_t generation_ = 0;
+  std::unordered_map<FlowKey, FlowCacheEntry, FlowKeyHash> flow_cache_;
+  std::vector<int> visited_scratch_;  // Execute() path buffer, reused
 };
 
 }  // namespace adtc

@@ -42,11 +42,19 @@ OwnershipCertificate CertificateAuthority::Issue(
   return cert;
 }
 
-bool CertificateAuthority::Verify(const OwnershipCertificate& cert,
-                                  SimTime now) const {
-  if (now < cert.issued_at || now >= cert.expires_at) return false;
+Status CertificateAuthority::Verify(const OwnershipCertificate& cert,
+                                    SimTime now) const {
+  // Signature first: an expired-but-forged certificate is forged.
   const Sha256::Digest expected = HmacSha256(key_, cert.CanonicalBody());
-  return DigestEquals(expected, cert.signature);
+  if (!DigestEquals(expected, cert.signature)) {
+    return PermissionDenied("certificate signature mismatch for '" +
+                            cert.subject + "'");
+  }
+  if (now < cert.issued_at || now >= cert.expires_at) {
+    return Expired("certificate of '" + cert.subject +
+                   "' outside validity window");
+  }
+  return Status::Ok();
 }
 
 }  // namespace adtc

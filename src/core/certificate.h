@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/hmac.h"
+#include "common/result.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "net/ip.h"
@@ -47,8 +48,11 @@ class CertificateAuthority {
                              std::vector<Prefix> prefixes, SimTime now,
                              SimDuration validity) const;
 
-  /// Signature + validity-window check.
-  bool Verify(const OwnershipCertificate& cert, SimTime now) const;
+  /// Signature + validity-window check. Distinguishes the two rejection
+  /// classes the control plane reacts differently to: kExpired (the
+  /// subscriber should re-register; certificate is otherwise genuine) vs
+  /// kPermissionDenied (forged or tampered — never retry).
+  Status Verify(const OwnershipCertificate& cert, SimTime now) const;
 
  private:
   std::string key_;

@@ -46,10 +46,7 @@ struct DeviceContext {
   /// True if the packet entered this router from a customer or directly
   /// attached host (the only place anti-spoofing may act; transit traffic
   /// must never be source-checked, Sec. 4.2).
-  bool FromCustomerEdge() const {
-    return in_kind == LinkKind::kAccessUp ||
-           in_kind == LinkKind::kCustomerToProvider;
-  }
+  bool FromCustomerEdge() const { return IsCustomerEdgeKind(in_kind); }
 
   // --- router telemetry (Sec. 4.2) ----------------------------------------
   // "if made available by the network operator, the router's state and
@@ -82,6 +79,27 @@ struct DeviceContext {
 inline constexpr int kPortDefault = 0;  // "pass" / "no match"
 inline constexpr int kPortAlt = 1;      // "match" / "exceeded"
 
+/// How a module's behaviour relates to the flow verdict cache.
+///
+/// A flow here is the exact tuple (src, dst, proto, src_port, dst_port,
+/// arrival-edge kind, arrival neighbour) — everything a pure module may
+/// branch on. Against that key:
+///
+///  - kPure:          the port chosen depends only on the flow key and the
+///                    module's *configuration* (which bumps the config
+///                    revision when mutated). Packet left unmodified.
+///  - kPureTransform: like kPure, but the module rewrites the packet in a
+///                    flow-deterministic way that the cache can replay
+///                    (today: payload truncation to `cache_truncate_to()`).
+///  - kStateful:      anything else — counters feeding triggers, rate
+///                    limiters, samplers, traceback stores, loggers. A
+///                    single stateful module on the executed path makes the
+///                    whole verdict uncacheable.
+///
+/// The conservative default is kStateful: a module must opt in to being
+/// cached, never the reverse.
+enum class Cacheability : std::uint8_t { kPure, kPureTransform, kStateful };
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -98,6 +116,30 @@ class Module {
   /// caps the per-graph sum (Sec. 4.5, footnote 1: only "a reasonable
   /// amount of additional traffic" for logging/statistics/triggers).
   virtual std::uint32_t declared_overhead_bytes() const { return 0; }
+
+  /// Whether a verdict involving this module may be served from the flow
+  /// cache. See Cacheability; the default deliberately disables caching.
+  virtual Cacheability cacheability() const { return Cacheability::kStateful; }
+
+  /// For kPureTransform modules: the packet size (bytes) the module
+  /// truncates payloads to, so a cache hit can replay the transform
+  /// without running the module. Ignored for other cacheability classes.
+  virtual std::uint32_t cache_truncate_to() const { return 0; }
+
+  /// Called by ModuleGraph::AddModule to hand the module the graph's
+  /// shared config-revision cell. Modules that allow post-deployment
+  /// reconfiguration (blacklist edits, rule toggles) must call
+  /// BumpConfigRevision() from every mutator so cached verdicts derived
+  /// from the old configuration are invalidated.
+  void BindConfigRevision(std::uint64_t* cell) { config_revision_ = cell; }
+
+ protected:
+  void BumpConfigRevision() {
+    if (config_revision_ != nullptr) ++*config_revision_;
+  }
+
+ private:
+  std::uint64_t* config_revision_ = nullptr;
 };
 
 }  // namespace adtc

@@ -40,22 +40,28 @@ class AntiSpoofModule : public Module {
   /// Owner mode: addresses being protected against spoofing.
   void AddProtectedPrefix(const Prefix& prefix) {
     protected_.Insert(prefix, true);
+    BumpConfigRevision();
   }
   /// Owner mode: edges that legitimately source the protected prefixes
   /// (the subscriber's own uplink AS) must be exempted.
   void AddLegitimateSourceNode(NodeId node) {
     if (legit_nodes_.size() <= node) legit_nodes_.resize(node + 1, false);
     legit_nodes_[node] = true;
+    BumpConfigRevision();
   }
 
   /// Cone mode: legitimate source space behind this router's edges.
   void AddAllowedPrefix(const Prefix& prefix) {
     allowed_.Insert(prefix, true);
+    BumpConfigRevision();
   }
 
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "anti-spoof"; }
   int port_count() const override { return 2; }
+  /// Branches on packet.src and the arrival edge (kind + neighbour), all
+  /// part of the flow key; configuration mutators bump the revision.
+  Cacheability cacheability() const override { return Cacheability::kPure; }
 
   std::uint64_t spoofs_flagged() const { return spoofs_flagged_; }
   std::uint64_t transit_passed() const { return transit_passed_; }

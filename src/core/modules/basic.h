@@ -14,9 +14,16 @@ namespace adtc {
 /// list. Entries can be exact hosts or whole prefixes.
 class BlacklistModule : public Module {
  public:
-  void Add(const Prefix& prefix) { listed_.Insert(prefix, true); }
+  void Add(const Prefix& prefix) {
+    listed_.Insert(prefix, true);
+    BumpConfigRevision();
+  }
   void Add(Ipv4Address addr) { Add(Prefix::Host(addr)); }
-  bool Remove(const Prefix& prefix) { return listed_.Erase(prefix); }
+  bool Remove(const Prefix& prefix) {
+    const bool erased = listed_.Erase(prefix);
+    if (erased) BumpConfigRevision();
+    return erased;
+  }
   std::size_t size() const { return listed_.size(); }
 
   int OnPacket(Packet& packet, const DeviceContext& ctx) override {
@@ -29,6 +36,8 @@ class BlacklistModule : public Module {
   }
   std::string_view type_name() const override { return "blacklist"; }
   int port_count() const override { return 2; }
+  /// Branches only on packet.src against the (revision-tracked) list.
+  Cacheability cacheability() const override { return Cacheability::kPure; }
 
   std::uint64_t hits() const { return hits_; }
 
@@ -55,6 +64,12 @@ class PayloadDeleteModule : public Module {
     return kPortDefault;
   }
   std::string_view type_name() const override { return "payload-delete"; }
+  /// Always takes port 0; the packet rewrite (truncate to header_bytes_)
+  /// is flow-independent, so a cache hit replays it via cache_truncate_to.
+  Cacheability cacheability() const override {
+    return Cacheability::kPureTransform;
+  }
+  std::uint32_t cache_truncate_to() const override { return header_bytes_; }
 
   std::uint64_t stripped_bytes() const { return stripped_bytes_; }
 

@@ -33,6 +33,14 @@ struct MatchRule {
 
   bool Matches(const Packet& packet) const;
   std::string Describe() const;
+
+  /// True when the rule consults only fields of the flow key (addresses,
+  /// protocol, ports). Rules over per-packet payload characteristics
+  /// (TCP flags, ICMP type, size, payload hash) can differ between
+  /// packets of one flow and therefore defeat verdict caching.
+  bool FlowDeterministic() const {
+    return !tcp_flags_all && !icmp && !size_range && !payload_hash;
+  }
 };
 
 /// Port kPortAlt (1) when the rule matches, kPortDefault (0) otherwise.
@@ -45,13 +53,22 @@ class MatchModule : public Module {
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "match"; }
   int port_count() const override { return 2; }
+  Cacheability cacheability() const override {
+    return rule_.FlowDeterministic() ? Cacheability::kPure
+                                     : Cacheability::kStateful;
+  }
 
   const MatchRule& rule() const { return rule_; }
   std::uint64_t matched() const { return matched_; }
 
   /// Rules can be armed/disarmed without rewiring the graph — this is the
   /// switch pre-staged configurations flip during attacks (Sec. 4.2).
-  void set_active(bool active) { active_ = active; }
+  void set_active(bool active) {
+    if (active_ != active) {
+      active_ = active;
+      BumpConfigRevision();
+    }
+  }
   bool active() const { return active_; }
 
  private:

@@ -65,11 +65,12 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
   }
   {
     obs::ScopedSpan validate_span(tracer, "cert.validate");
-    if (!authority.Verify(cert, net_.sim().Now())) {
+    if (const Status verified = authority.Verify(cert, net_.sim().Now());
+        !verified.ok()) {
       stats_.deployments_rejected++;
       validate_span.Fail();
       span.Fail();
-      return PermissionDenied("certificate invalid or expired");
+      return verified;
     }
   }
   // Anti-spoofing must exempt every edge that can legitimately carry the
@@ -116,9 +117,13 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
     AdaptiveDevice* dev = devices_.at(node).get();
     if (dev->HasDeployment(cert.subscriber)) continue;
     StageGraphs graphs = BuildStageGraphs(request, legit_forwarders);
-    const Status status = dev->InstallDeployment(
-        cert, request.control_scope, std::move(graphs.source_stage),
-        std::move(graphs.destination_stage));
+    DeploymentSpec spec;
+    spec.cert = cert;
+    spec.scope = request.control_scope;
+    spec.source_stage = std::move(graphs.source_stage);
+    spec.destination_stage = std::move(graphs.destination_stage);
+    spec.label = std::string(ServiceKindName(request.kind));
+    const Status status = dev->InstallDeployment(std::move(spec));
     if (!status.ok()) {
       stats_.deployments_rejected++;
       span.Fail();

@@ -25,10 +25,11 @@ Status NumberAuthority::Allocate(const Prefix& prefix, std::string owner) {
 
 Status NumberAuthority::Suballocate(const Prefix& prefix, std::string owner,
                                     std::string_view parent_owner) {
-  if (!VerifyOwnership(parent_owner, prefix)) {
+  if (const Status held = VerifyOwnership(parent_owner, prefix);
+      !held.ok()) {
     return PermissionDenied(std::string(parent_owner) +
                             " holds no allocation covering " +
-                            prefix.ToString());
+                            prefix.ToString() + " (" + held.ToString() + ")");
   }
   // Nothing *inside* the delegated range may belong to a third party.
   Status conflict = Status::Ok();
@@ -47,20 +48,27 @@ Status NumberAuthority::Suballocate(const Prefix& prefix, std::string owner,
   return Status::Ok();
 }
 
-bool NumberAuthority::VerifyOwnership(std::string_view owner,
-                                      const Prefix& prefix) const {
+Status NumberAuthority::VerifyOwnership(std::string_view owner,
+                                        const Prefix& prefix) const {
   // The claimed prefix must lie fully inside an allocation held by owner;
   // all candidate allocations are on the trie path above `prefix`.
   bool verified = false;
+  bool covered = false;
   allocations_.VisitCovering(
       prefix, [&](const Prefix& /*existing*/, const std::string& holder) {
+        covered = true;
         if (holder == owner) {
           verified = true;
           return false;  // stop
         }
         return true;
       });
-  return verified;
+  if (verified) return Status::Ok();
+  if (!covered) {
+    return NotFound("no allocation covers " + prefix.ToString());
+  }
+  return PermissionDenied("allocations covering " + prefix.ToString() +
+                          " are held by another organisation");
 }
 
 std::string NumberAuthority::OwnerOf(Ipv4Address addr) const {

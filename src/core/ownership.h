@@ -34,8 +34,11 @@ class NumberAuthority {
   Status Suballocate(const Prefix& prefix, std::string owner,
                      std::string_view parent_owner);
 
-  /// True iff `owner` holds an allocation covering `prefix` entirely.
-  bool VerifyOwnership(std::string_view owner, const Prefix& prefix) const;
+  /// Ok iff `owner` holds an allocation covering `prefix` entirely.
+  /// kNotFound: nothing in the registry covers the prefix at all;
+  /// kPermissionDenied: covered, but every covering allocation is held by
+  /// someone else.
+  Status VerifyOwnership(std::string_view owner, const Prefix& prefix) const;
 
   /// Owner of the longest allocation containing `addr` ("" if none).
   std::string OwnerOf(Ipv4Address addr) const;

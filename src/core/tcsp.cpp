@@ -75,13 +75,14 @@ Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
   {
     obs::ScopedSpan verify_span(tracer(), "tcsp.verify_ownership");
     for (const Prefix& prefix : claimed) {
-      if (!authority_.VerifyOwnership(subject, prefix)) {
+      if (const Status held = authority_.VerifyOwnership(subject, prefix);
+          !held.ok()) {
         stats_.registrations_rejected++;
         verify_span.Fail();
         span.Fail();
-        return Status(PermissionDenied("ownership of " + prefix.ToString() +
+        return Status(held.code(), "ownership of " + prefix.ToString() +
                                        " not verified for '" + subject +
-                                       "'"));
+                                       "': " + held.message());
       }
     }
   }
@@ -110,9 +111,10 @@ Result<OwnershipCertificate> Tcsp::RegisterDelegate(
     stats_.requests_while_unreachable++;
     return Status(Unavailable("TCSP unreachable"));
   }
-  if (!ca_.Verify(owner_cert, net_.sim().Now())) {
+  if (const Status verified = ca_.Verify(owner_cert, net_.sim().Now());
+      !verified.ok()) {
     stats_.registrations_rejected++;
-    return Status(PermissionDenied("owner certificate invalid or expired"));
+    return verified;
   }
   if (delegated_prefixes.empty()) {
     stats_.registrations_rejected++;
@@ -144,41 +146,11 @@ std::vector<NodeId> Tcsp::HomeNodes(const std::vector<Prefix>& prefixes) {
   return nodes;
 }
 
-DeploymentReport Tcsp::DeployServiceNow(const OwnershipCertificate& cert,
-                                        const ServiceRequest& request) {
-  obs::ScopedSpan span(tracer(), "tcsp.deploy");
-  span.SetSubscriber(cert.subscriber);
-  DeploymentReport report;
-  report.requested_at = net_.sim().Now();
-  if (!reachable_) {
-    stats_.requests_while_unreachable++;
-    span.Fail();
-    report.status = Unavailable("TCSP unreachable");
-    report.completed_at = report.requested_at;
-    return report;
-  }
-  const std::vector<NodeId> home_nodes = HomeNodes(request.control_scope);
-  for (IspNms* nms : isps_) {
-    const Status status =
-        nms->DeployService(cert, request, home_nodes, ca_);
-    if (!status.ok()) {
-      stats_.deployments_failed++;
-      span.Fail();
-      report.status = status;
-      report.completed_at = net_.sim().Now();
-      return report;
-    }
-    report.isps_configured++;
-    report.devices_configured += nms->CountDeployments(cert.subscriber);
-  }
-  stats_.deployments_completed++;
-  report.completed_at = net_.sim().Now();
-  return report;
-}
-
-void Tcsp::DeployService(const OwnershipCertificate& cert,
-                         const ServiceRequest& request,
-                         std::function<void(const DeploymentReport&)> done) {
+DeploymentReport Tcsp::DeployService(
+    const OwnershipCertificate& cert, const ServiceRequest& request,
+    CompletionPolicy policy,
+    std::function<void(const DeploymentReport&)> done) {
+  const bool modelled = policy == CompletionPolicy::kLatencyModelled;
   const SimTime requested_at = net_.sim().Now();
   // The deploy span stays open across the scheduled ISP callbacks; its id
   // is captured explicitly (the active-span stack does not survive
@@ -187,8 +159,24 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
   if (tracer() != nullptr) {
     deploy_span = tracer()->StartSpan("tcsp.deploy");
     tracer()->SetSubscriber(deploy_span, cert.subscriber);
-    tracer()->Annotate(deploy_span, "mode", "async");
+    tracer()->Annotate(deploy_span, "mode",
+                       modelled ? "latency-modelled" : "immediate");
   }
+  // Hands the finished report to the caller: synchronously for
+  // kImmediate, after the user->TCSP response latency for
+  // kLatencyModelled.
+  auto deliver = [this, modelled](
+                     const DeploymentReport& report,
+                     std::function<void(const DeploymentReport&)>& cb) {
+    if (!cb) return;
+    if (!modelled) {
+      cb(report);
+      return;
+    }
+    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
+                             [report, cb = std::move(cb)] { cb(report); });
+  };
+
   if (!reachable_) {
     stats_.requests_while_unreachable++;
     if (tracer() != nullptr) tracer()->EndSpan(deploy_span, /*ok=*/false);
@@ -196,37 +184,64 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
     report.status = Unavailable("TCSP unreachable");
     report.requested_at = requested_at;
     report.completed_at = requested_at;
-    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
-                             [report, done = std::move(done)] {
-                               done(report);
-                             });
-    return;
+    deliver(report, done);
+    return report;
   }
 
   // The request reaches the TCSP, which instructs every ISP in parallel;
   // each ISP configures its selected devices sequentially. The report
-  // completes when the slowest ISP is done.
+  // completes when the slowest ISP is done. Every ISP is attempted even
+  // after a failure; the first error is what the report carries.
   auto report = std::make_shared<DeploymentReport>();
   report->requested_at = requested_at;
-  auto pending = std::make_shared<std::size_t>(isps_.size());
   const std::vector<NodeId> home_nodes = HomeNodes(request.control_scope);
 
   if (isps_.empty()) {
-    report->status = Status::Ok();
     report->completed_at = requested_at;
     stats_.deployments_completed++;
     if (tracer() != nullptr) tracer()->EndSpan(deploy_span);
-    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
-                             [report, done = std::move(done)] {
-                               done(*report);
-                             });
-    return;
+    deliver(*report, done);
+    return *report;
   }
 
+  auto pending = std::make_shared<std::size_t>(isps_.size());
   auto done_shared =
       std::make_shared<std::function<void(const DeploymentReport&)>>(
           std::move(done));
+  const auto configure = [this, cert, request, home_nodes, report, pending,
+                          done_shared, deploy_span](IspNms* nms) {
+    Status status;
+    {
+      // Re-activate the deploy span so the NMS/device spans created
+      // inside this continuation parent correctly.
+      obs::ScopedActivation activation(tracer(), deploy_span);
+      status = nms->DeployService(cert, request, home_nodes, ca_);
+    }
+    if (!status.ok() && report->status.ok()) {
+      report->status = status;
+    } else if (status.ok()) {
+      report->isps_configured++;
+      report->devices_configured += nms->CountDeployments(cert.subscriber);
+    }
+    if (--*pending == 0) {
+      report->completed_at = net_.sim().Now();
+      if (report->status.ok()) {
+        stats_.deployments_completed++;
+      } else {
+        stats_.deployments_failed++;
+      }
+      if (tracer() != nullptr) {
+        tracer()->EndSpan(deploy_span, report->status.ok());
+      }
+      if (*done_shared) (*done_shared)(*report);
+    }
+  };
+
   for (IspNms* nms : isps_) {
+    if (!modelled) {
+      configure(nms);
+      continue;
+    }
     // Count configurable devices for this ISP to model config time.
     std::size_t selected = 0;
     for (NodeId node : nms->managed_nodes()) {
@@ -237,37 +252,12 @@ void Tcsp::DeployService(const OwnershipCertificate& cert,
     const SimDuration isp_delay =
         config_.user_to_tcsp_latency + config_.tcsp_to_isp_latency +
         static_cast<SimDuration>(selected) * config_.device_config_time;
-    net_.sim().ScheduleAfter(
-        isp_delay, [this, nms, cert, request, home_nodes, report, pending,
-                    done_shared, deploy_span] {
-          Status status;
-          {
-            // Re-activate the deploy span so the NMS/device spans created
-            // inside this continuation parent correctly.
-            obs::ScopedActivation activation(tracer(), deploy_span);
-            status = nms->DeployService(cert, request, home_nodes, ca_);
-          }
-          if (!status.ok() && report->status.ok()) {
-            report->status = status;
-          } else if (status.ok()) {
-            report->isps_configured++;
-            report->devices_configured +=
-                nms->CountDeployments(cert.subscriber);
-          }
-          if (--*pending == 0) {
-            report->completed_at = net_.sim().Now();
-            if (report->status.ok()) {
-              stats_.deployments_completed++;
-            } else {
-              stats_.deployments_failed++;
-            }
-            if (tracer() != nullptr) {
-              tracer()->EndSpan(deploy_span, report->status.ok());
-            }
-            (*done_shared)(*report);
-          }
-        });
+    net_.sim().ScheduleAfter(isp_delay,
+                             [configure, nms] { configure(nms); });
   }
+  // kImmediate: `configure` ran for every ISP above, the report is final.
+  // kLatencyModelled: provisional snapshot (completed_at still 0).
+  return *report;
 }
 
 std::size_t Tcsp::ForEachStageGraph(

@@ -35,6 +35,18 @@ struct DeploymentReport {
   SimDuration Latency() const { return completed_at - requested_at; }
 };
 
+/// When a deployment's outcome is known (Fig. 5's handshake, with or
+/// without the control-plane latency model).
+enum class CompletionPolicy : std::uint8_t {
+  /// All ISPs are configured inside the call; the returned report is
+  /// final and a callback (if given) fires before the call returns.
+  kImmediate,
+  /// Control-plane latency is modelled: ISPs configure via scheduled
+  /// simulator events and the callback fires once the slowest ISP
+  /// finished. The returned report is provisional (completed_at == 0).
+  kLatencyModelled,
+};
+
 /// TCSP counters; obs::Counter cells exported through the world registry
 /// under "tcsp.*".
 struct TcspStats {
@@ -80,15 +92,16 @@ class Tcsp {
       std::vector<Prefix> delegated_prefixes);
 
   // --- Fig. 5: service deployment ----------------------------------------
-  /// Latency-modelled deployment across all enrolled ISPs; the callback
-  /// fires once the slowest ISP finished configuring its devices.
-  void DeployService(const OwnershipCertificate& cert,
-                     const ServiceRequest& request,
-                     std::function<void(const DeploymentReport&)> done);
-
-  /// Synchronous convenience for tests/benches (no latency modelling).
-  DeploymentReport DeployServiceNow(const OwnershipCertificate& cert,
-                                    const ServiceRequest& request);
+  /// Deploys across all enrolled ISPs. One entry point for both shapes of
+  /// completion: kImmediate (default) configures synchronously and the
+  /// returned report is final; kLatencyModelled schedules the per-ISP
+  /// configuration through the simulator and reports through `done`.
+  /// Either way every ISP is attempted, the first failure is recorded in
+  /// the report's status, and the same DeploymentReport shape is used.
+  DeploymentReport DeployService(
+      const OwnershipCertificate& cert, const ServiceRequest& request,
+      CompletionPolicy policy = CompletionPolicy::kImmediate,
+      std::function<void(const DeploymentReport&)> done = nullptr);
 
   Status RemoveService(SubscriberId subscriber);
 

@@ -51,6 +51,15 @@ class SpieSystem {
       store_.OnPacket(packet, device_ctx);
       return Verdict::kForward;
     }
+    /// A tap never drops, so the batch hook skips per-packet verdict
+    /// dispatch and builds the module context once per batch.
+    void ProcessBatch(PacketBatch& batch, const RouterContext& ctx) override {
+      DeviceContext device_ctx;
+      device_ctx.now = ctx.now;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch.alive(i)) store_.OnPacket(batch.packet(i), device_ctx);
+      }
+    }
     std::string_view name() const override { return "spie-collector"; }
     TracebackStoreModule store_;
   };

@@ -309,8 +309,15 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
                                         : links_[in_link].kind;
   ctx.now = sim_.Now();
 
+  // The processor chain consumes batches; link serialisation delivers one
+  // packet per arrival event, so the router's batch is a batch of one
+  // (stack-allocated, inline storage — no per-packet allocation). Benches
+  // and future bulk-arrival paths hand larger batches to the same API.
+  PacketBatch batch;
+  batch.Add(packet);
   for (PacketProcessor* processor : node.processors) {
-    if (processor->Process(packet, ctx) == Verdict::kDrop) {
+    processor->ProcessBatch(batch, ctx);
+    if (batch.alive_count() == 0) {
       node.filtered++;
       metrics_.RecordDrop(packet, DropReason::kFiltered);
       return;

@@ -28,7 +28,9 @@ enum class NodeRole : std::uint8_t { kTransit, kStub };
 /// What a processor decides about a packet.
 enum class Verdict : std::uint8_t { kForward, kDrop };
 
-/// Context handed to processors along with the packet.
+/// Context handed to processors along with the packet (or batch). All
+/// packets of one batch share a context: same router, same arrival link,
+/// same instant.
 struct RouterContext {
   Network* net = nullptr;
   NodeId node = kInvalidNode;
@@ -40,13 +42,117 @@ struct RouterContext {
   SimTime now = 0;
 };
 
+/// A run of packets traversing a router pipeline together. Processors
+/// consume the batch in place: dropping a packet masks it out so later
+/// processors in the chain never see it. Storage is non-owning — the
+/// packets outlive the batch — and the common single-packet case stays
+/// allocation-free via inline slots.
+class PacketBatch {
+ public:
+  PacketBatch() = default;
+
+  void Add(Packet& packet) {
+    if (count_ < kInlineSlots) {
+      inline_[count_] = &packet;
+    } else {
+      overflow_.push_back(&packet);
+    }
+    dropped_mask_.reset_bit(count_);
+    ++count_;
+    ++alive_;
+  }
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Packets not yet dropped by an earlier processor.
+  std::size_t alive_count() const { return alive_; }
+
+  Packet& packet(std::size_t i) {
+    return i < kInlineSlots ? *inline_[i] : *overflow_[i - kInlineSlots];
+  }
+  const Packet& packet(std::size_t i) const {
+    return i < kInlineSlots ? *inline_[i] : *overflow_[i - kInlineSlots];
+  }
+
+  bool alive(std::size_t i) const { return !dropped_mask_.bit(i); }
+  void Drop(std::size_t i) {
+    if (!dropped_mask_.bit(i)) {
+      dropped_mask_.set_bit(i);
+      --alive_;
+    }
+  }
+
+  void Clear() {
+    count_ = 0;
+    alive_ = 0;
+    overflow_.clear();
+    dropped_mask_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kInlineSlots = 8;
+
+  /// Growable bitset with inline storage for the first 64 slots.
+  struct DropMask {
+    std::uint64_t inline_bits = 0;
+    std::vector<std::uint64_t> overflow;
+
+    bool bit(std::size_t i) const {
+      if (i < 64) return (inline_bits >> i) & 1u;
+      const std::size_t word = i / 64 - 1;
+      return word < overflow.size() && ((overflow[word] >> (i % 64)) & 1u);
+    }
+    void set_bit(std::size_t i) {
+      if (i < 64) {
+        inline_bits |= std::uint64_t{1} << i;
+        return;
+      }
+      const std::size_t word = i / 64 - 1;
+      if (overflow.size() <= word) overflow.resize(word + 1, 0);
+      overflow[word] |= std::uint64_t{1} << (i % 64);
+    }
+    void reset_bit(std::size_t i) {
+      if (i < 64) {
+        inline_bits &= ~(std::uint64_t{1} << i);
+        return;
+      }
+      const std::size_t word = i / 64 - 1;
+      if (word < overflow.size()) {
+        overflow[word] &= ~(std::uint64_t{1} << (i % 64));
+      }
+    }
+    void clear() {
+      inline_bits = 0;
+      overflow.clear();
+    }
+  };
+
+  std::size_t count_ = 0;
+  std::size_t alive_ = 0;
+  Packet* inline_[kInlineSlots] = {};
+  std::vector<Packet*> overflow_;
+  DropMask dropped_mask_;
+};
+
 /// Inline packet-path extension. Implementations must be side-effect-safe:
 /// mutating wire fields is allowed only within the constraints enforced by
 /// the core safety validator (never src/dst/TTL for TCS modules).
+///
+/// The router drives the *batch* entry point; `Process` is the per-packet
+/// workhorse most processors implement. Override `ProcessBatch` to
+/// amortise per-packet costs (table lookups, flow-cache probes) across a
+/// batch — the default simply loops `Process` over the alive packets, so
+/// every existing processor keeps working unchanged.
 class PacketProcessor {
  public:
   virtual ~PacketProcessor() = default;
   virtual Verdict Process(Packet& packet, const RouterContext& ctx) = 0;
+  virtual void ProcessBatch(PacketBatch& batch, const RouterContext& ctx) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch.alive(i)) continue;
+      if (Process(batch.packet(i), ctx) == Verdict::kDrop) batch.Drop(i);
+    }
+  }
   virtual std::string_view name() const = 0;
 };
 

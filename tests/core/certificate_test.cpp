@@ -15,7 +15,7 @@ OwnershipCertificate IssueSample(const CertificateAuthority& ca,
 TEST(CertificateTest, IssueAndVerify) {
   CertificateAuthority ca("secret-key");
   const auto cert = IssueSample(ca);
-  EXPECT_TRUE(ca.Verify(cert, Seconds(200)));
+  EXPECT_TRUE(ca.Verify(cert, Seconds(200)).ok());
   EXPECT_EQ(cert.subscriber, 7u);
   EXPECT_EQ(cert.subject, "acme-shop");
 }
@@ -23,42 +23,50 @@ TEST(CertificateTest, IssueAndVerify) {
 TEST(CertificateTest, ExpiryWindowEnforced) {
   CertificateAuthority ca("secret-key");
   const auto cert = IssueSample(ca, Seconds(100));
-  EXPECT_FALSE(ca.Verify(cert, Seconds(99)));          // not yet valid
-  EXPECT_TRUE(ca.Verify(cert, Seconds(100)));
-  EXPECT_TRUE(ca.Verify(cert, Seconds(100) + Seconds(3599)));
-  EXPECT_FALSE(ca.Verify(cert, Seconds(100) + Seconds(3600)));  // expired
+  // Window violations are kExpired: genuine but stale, re-register.
+  EXPECT_EQ(ca.Verify(cert, Seconds(99)).code(),
+            ErrorCode::kExpired);  // not yet valid
+  EXPECT_TRUE(ca.Verify(cert, Seconds(100)).ok());
+  EXPECT_TRUE(ca.Verify(cert, Seconds(100) + Seconds(3599)).ok());
+  EXPECT_EQ(ca.Verify(cert, Seconds(100) + Seconds(3600)).code(),
+            ErrorCode::kExpired);
 }
 
 TEST(CertificateTest, TamperedPrefixesRejected) {
   CertificateAuthority ca("secret-key");
   auto cert = IssueSample(ca);
   cert.prefixes.push_back(*Prefix::Parse("12.0.0.0/8"));
-  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+  EXPECT_EQ(ca.Verify(cert, Seconds(200)).code(),
+            ErrorCode::kPermissionDenied);
 }
 
 TEST(CertificateTest, TamperedSubjectRejected) {
   CertificateAuthority ca("secret-key");
   auto cert = IssueSample(ca);
   cert.subject = "evil-corp";
-  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+  EXPECT_EQ(ca.Verify(cert, Seconds(200)).code(),
+            ErrorCode::kPermissionDenied);
 }
 
 TEST(CertificateTest, TamperedSubscriberRejected) {
   CertificateAuthority ca("secret-key");
   auto cert = IssueSample(ca);
   cert.subscriber = 8;
-  EXPECT_FALSE(ca.Verify(cert, Seconds(200)));
+  EXPECT_EQ(ca.Verify(cert, Seconds(200)).code(),
+            ErrorCode::kPermissionDenied);
 }
 
 TEST(CertificateTest, WrongKeyRejected) {
   CertificateAuthority ca("secret-key");
   CertificateAuthority impostor("other-key");
   const auto cert = IssueSample(ca);
-  EXPECT_FALSE(impostor.Verify(cert, Seconds(200)));
+  EXPECT_EQ(impostor.Verify(cert, Seconds(200)).code(),
+            ErrorCode::kPermissionDenied);
   // A certificate forged by the impostor fails against the real CA.
   const auto forged = impostor.Issue(7, "acme-shop", cert.prefixes,
                                      Seconds(100), Seconds(3600));
-  EXPECT_FALSE(ca.Verify(forged, Seconds(200)));
+  EXPECT_EQ(ca.Verify(forged, Seconds(200)).code(),
+            ErrorCode::kPermissionDenied);
 }
 
 TEST(CertificateTest, CoversPrefixAndAddress) {

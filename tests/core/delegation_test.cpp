@@ -38,7 +38,7 @@ TEST(DelegationTest, DelegateGetsItsOwnSubscriberIdentity) {
   ASSERT_TRUE(delegate.ok()) << delegate.status().ToString();
   EXPECT_NE(delegate.value().subscriber, owner.value().subscriber);
   EXPECT_EQ(delegate.value().subject, "soc-provider");
-  EXPECT_TRUE(world.tcsp.certificate_authority().Verify(
+  ADTC_EXPECT_OK(world.tcsp.certificate_authority().Verify(
       delegate.value(), world.net.sim().Now()));
 }
 
@@ -53,7 +53,7 @@ TEST(DelegationTest, DelegateCanDeployForTheOwnersPrefixes) {
   request.kind = ServiceKind::kRemoteIngressFiltering;
   request.control_scope = {NodePrefix(3)};
   const auto report =
-      world.tcsp.DeployServiceNow(delegate.value(), request);
+      world.tcsp.DeployService(delegate.value(), request);
   EXPECT_TRUE(report.status.ok()) << report.status.ToString();
   EXPECT_EQ(report.devices_configured, world.net.node_count());
 }

@@ -78,8 +78,10 @@ TEST(AdaptiveDeviceTest, InstallRequiresScopeWithinCertificate) {
   AdaptiveDevice device(0);
   const auto cert = CertFor(1, 5);
   const Status status = device.InstallDeployment(
-      cert, {NodePrefix(6)},
-      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt);
+      {cert,
+       {NodePrefix(6)},
+       ModuleGraph::Single(std::make_unique<CounterModule>()),
+       std::nullopt});
   EXPECT_EQ(status.code(), ErrorCode::kPermissionDenied);
   EXPECT_FALSE(device.HasDeployment(1));
 }
@@ -92,8 +94,10 @@ TEST(AdaptiveDeviceTest, DestinationStageControlsInboundTraffic) {
   rule.proto = Protocol::kUdp;
   rule.dst_port_range = {{80, 80}};
   ADTC_ASSERT_OK(device.InstallDeployment(
-      cert, {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<MatchModule>(rule))));
+      {cert,
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<MatchModule>(rule))}));
 
   Packet inbound = PacketBetween(1, 5);
   EXPECT_EQ(device.Process(inbound, Ctx()), Verdict::kDrop);
@@ -112,9 +116,10 @@ TEST(AdaptiveDeviceTest, SourceStageControlsOutboundAndSpoofedTraffic) {
   const auto cert = CertFor(1, 5);
   MatchRule all;
   ADTC_ASSERT_OK(device.InstallDeployment(
-      cert, {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<MatchModule>(all)),
-      std::nullopt));
+      {cert,
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<MatchModule>(all)),
+       std::nullopt}));
   // A packet whose *source* claims node 5's space is stage-1 processed,
   // wherever it shows up.
   Packet claiming = PacketBetween(5, 2);
@@ -125,11 +130,15 @@ TEST(AdaptiveDeviceTest, SourceStageControlsOutboundAndSpoofedTraffic) {
 TEST(AdaptiveDeviceTest, BothStagesRunWhenBothOwnersDeployed) {
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<CounterModule>()),
+       std::nullopt}));
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(2, 6), {NodePrefix(6)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<CounterModule>())));
+      {CertFor(2, 6),
+       {NodePrefix(6)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<CounterModule>())}));
 
   Packet p = PacketBetween(5, 6);
   EXPECT_EQ(device.Process(p, Ctx()), Verdict::kForward);
@@ -141,12 +150,15 @@ TEST(AdaptiveDeviceTest, SourceStageDropShortCircuitsStageTwo) {
   AdaptiveDevice device(0);
   MatchRule all;
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<MatchModule>(all)),
-      std::nullopt));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<MatchModule>(all)),
+       std::nullopt}));
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(2, 6), {NodePrefix(6)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<CounterModule>())));
+      {CertFor(2, 6),
+       {NodePrefix(6)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<CounterModule>())}));
   Packet p = PacketBetween(5, 6);
   EXPECT_EQ(device.Process(p, Ctx()), Verdict::kDrop);
   EXPECT_EQ(device.stats().stage2_runs, 0u);
@@ -156,13 +168,16 @@ TEST(AdaptiveDeviceTest, DuplicateDeploymentRejected) {
   AdaptiveDevice device(0);
   const auto cert = CertFor(1, 5);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      cert, {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+      {cert,
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<CounterModule>()),
+       std::nullopt}));
   EXPECT_EQ(device
                 .InstallDeployment(
-                    cert, {NodePrefix(5)},
-                    ModuleGraph::Single(std::make_unique<CounterModule>()),
-                    std::nullopt)
+                    {cert,
+                     {NodePrefix(5)},
+                     ModuleGraph::Single(std::make_unique<CounterModule>()),
+                     std::nullopt})
                 .code(),
             ErrorCode::kAlreadyExists);
 }
@@ -170,15 +185,18 @@ TEST(AdaptiveDeviceTest, DuplicateDeploymentRejected) {
 TEST(AdaptiveDeviceTest, ScopeCollisionBetweenSubscribersRejected) {
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<CounterModule>()),
+       std::nullopt}));
   // A second subscriber with a certificate for the same prefix (e.g. a
   // forged-but-signed config mishap) cannot shadow the first.
   EXPECT_EQ(device
                 .InstallDeployment(
-                    CertFor(2, 5), {NodePrefix(5)},
-                    ModuleGraph::Single(std::make_unique<CounterModule>()),
-                    std::nullopt)
+                    {CertFor(2, 5),
+                     {NodePrefix(5)},
+                     ModuleGraph::Single(std::make_unique<CounterModule>()),
+                     std::nullopt})
                 .code(),
             ErrorCode::kAlreadyExists);
 }
@@ -187,8 +205,10 @@ TEST(AdaptiveDeviceTest, RemoveDeploymentRestoresFastPath) {
   AdaptiveDevice device(0);
   MatchRule all;
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<MatchModule>(all))));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<MatchModule>(all))}));
   Packet p = PacketBetween(1, 5);
   EXPECT_EQ(device.Process(p, Ctx()), Verdict::kDrop);
   ADTC_ASSERT_OK(device.RemoveDeployment(1));
@@ -202,8 +222,10 @@ TEST(AdaptiveDeviceTest, SourceRewriteQuarantinesDeployment) {
   EventBuffer events;
   AdaptiveDevice device(0, &events);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<SrcRewriter>())));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<SrcRewriter>())}));
   Packet p = PacketBetween(1, 5);
   const Ipv4Address original_src = p.src;
   EXPECT_EQ(device.Process(p, Ctx()), Verdict::kForward);  // fail open
@@ -221,8 +243,10 @@ TEST(AdaptiveDeviceTest, SourceRewriteQuarantinesDeployment) {
 TEST(AdaptiveDeviceTest, TtlModificationBlocked) {
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<TtlBooster>())));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<TtlBooster>())}));
   Packet p = PacketBetween(1, 5);
   p.ttl = 60;
   device.Process(p, Ctx());
@@ -233,8 +257,10 @@ TEST(AdaptiveDeviceTest, TtlModificationBlocked) {
 TEST(AdaptiveDeviceTest, AmplificationBlocked) {
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<Amplifier>())));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<Amplifier>())}));
   Packet p = PacketBetween(1, 5);
   p.size_bytes = 100;
   device.Process(p, Ctx());
@@ -245,8 +271,10 @@ TEST(AdaptiveDeviceTest, AmplificationBlocked) {
 TEST(AdaptiveDeviceTest, StageGraphAccessor) {
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)},
-      ModuleGraph::Single(std::make_unique<CounterModule>()), std::nullopt));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       ModuleGraph::Single(std::make_unique<CounterModule>()),
+       std::nullopt}));
   EXPECT_NE(device.StageGraph(1, ProcessingStage::kSourceOwner), nullptr);
   EXPECT_EQ(device.StageGraph(1, ProcessingStage::kDestinationOwner),
             nullptr);
@@ -258,15 +286,19 @@ TEST(AdaptiveDeviceTest, MostSpecificOwnerWins) {
   // deployment must control traffic to its host.
   AdaptiveDevice device(0);
   ADTC_ASSERT_OK(device.InstallDeployment(
-      CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<CounterModule>())));
+      {CertFor(1, 5),
+       {NodePrefix(5)},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<CounterModule>())}));
   const Prefix host_prefix = Prefix::Host(HostAddress(5, 9));
   const auto host_cert =
       Ca().Issue(2, "customer", {host_prefix}, 0, Seconds(3600));
   MatchRule all;
   ADTC_ASSERT_OK(device.InstallDeployment(
-      host_cert, {host_prefix}, std::nullopt,
-      ModuleGraph::Single(std::make_unique<MatchModule>(all))));
+      {host_cert,
+       {host_prefix},
+       std::nullopt,
+       ModuleGraph::Single(std::make_unique<MatchModule>(all))}));
 
   Packet to_host = PacketBetween(1, 5);
   to_host.dst = HostAddress(5, 9);

@@ -96,7 +96,7 @@ BystanderOutcome RunWorld(std::uint64_t seed,
   if (deploy_kind) {
     const auto cert = tcsp.Register(AsOrgName(sub_as), {NodePrefix(sub_as)});
     EXPECT_TRUE(cert.ok());
-    const auto report = tcsp.DeployServiceNow(
+    const auto report = tcsp.DeployService(
         cert.value(), AggressiveRequest(*deploy_kind, NodePrefix(sub_as)));
     EXPECT_TRUE(report.status.ok()) << report.status.ToString();
   }

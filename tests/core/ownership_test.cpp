@@ -10,13 +10,17 @@ namespace {
 TEST(NumberAuthorityTest, AllocateAndVerify) {
   NumberAuthority authority;
   ADTC_EXPECT_OK(authority.Allocate(*Prefix::Parse("10.0.0.0/8"), "acme"));
-  EXPECT_TRUE(authority.VerifyOwnership("acme", *Prefix::Parse("10.0.0.0/8")));
-  EXPECT_TRUE(
+  ADTC_EXPECT_OK(
+      authority.VerifyOwnership("acme", *Prefix::Parse("10.0.0.0/8")));
+  ADTC_EXPECT_OK(
       authority.VerifyOwnership("acme", *Prefix::Parse("10.1.0.0/16")));
-  EXPECT_FALSE(
-      authority.VerifyOwnership("evil", *Prefix::Parse("10.1.0.0/16")));
-  EXPECT_FALSE(
-      authority.VerifyOwnership("acme", *Prefix::Parse("11.0.0.0/8")));
+  // Covered by someone else vs not covered at all: distinct typed codes.
+  EXPECT_EQ(
+      authority.VerifyOwnership("evil", *Prefix::Parse("10.1.0.0/16")).code(),
+      ErrorCode::kPermissionDenied);
+  EXPECT_EQ(
+      authority.VerifyOwnership("acme", *Prefix::Parse("11.0.0.0/8")).code(),
+      ErrorCode::kNotFound);
 }
 
 TEST(NumberAuthorityTest, OverlapRejected) {
@@ -49,7 +53,7 @@ TEST(NumberAuthorityTest, SuballocationFlow) {
             ErrorCode::kPermissionDenied);
   ADTC_EXPECT_OK(
       authority.Suballocate(*Prefix::Parse("10.5.0.0/16"), "shop", "isp"));
-  EXPECT_TRUE(
+  ADTC_EXPECT_OK(
       authority.VerifyOwnership("shop", *Prefix::Parse("10.5.1.0/24")));
   // Longest match now answers the customer.
   EXPECT_EQ(authority.OwnerOf(*Ipv4Address::Parse("10.5.1.1")), "shop");
@@ -85,8 +89,9 @@ TEST(NumberAuthorityTest, TopologyBootstrap) {
   NumberAuthority authority;
   AllocateTopologyPrefixes(authority, 50);
   EXPECT_EQ(authority.allocation_count(), 50u);
-  EXPECT_TRUE(authority.VerifyOwnership(AsOrgName(7), NodePrefix(7)));
-  EXPECT_FALSE(authority.VerifyOwnership(AsOrgName(7), NodePrefix(8)));
+  ADTC_EXPECT_OK(authority.VerifyOwnership(AsOrgName(7), NodePrefix(7)));
+  EXPECT_EQ(authority.VerifyOwnership(AsOrgName(7), NodePrefix(8)).code(),
+            ErrorCode::kPermissionDenied);
   EXPECT_EQ(authority.OwnerOf(HostAddress(13, 5)), "as13");
 }
 

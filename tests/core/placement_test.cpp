@@ -50,7 +50,7 @@ TEST(PlacementTest, WithinRadiusLimitsToNeighbourhood) {
   ServiceRequest request = world.BaseRequest();
   request.placement = PlacementPolicy::kWithinRadius;
   request.placement_radius = 1;
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
 
   // Exactly: home + its direct neighbours.
   const std::size_t expected =
@@ -80,7 +80,7 @@ TEST(PlacementTest, RadiusZeroIsHomeOnly) {
   ServiceRequest request = world.BaseRequest();
   request.placement = PlacementPolicy::kWithinRadius;
   request.placement_radius = 0;
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
   EXPECT_EQ(world.DeployedDeviceCount(), 1u);
 }
 
@@ -90,7 +90,7 @@ TEST(PlacementTest, ExplicitNodesHonoured) {
   request.placement = PlacementPolicy::kExplicitNodes;
   request.placement_nodes = {world.topo.stub_nodes[3],
                              world.topo.transit_nodes[0], world.home};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
   EXPECT_EQ(world.DeployedDeviceCount(), 3u);
   EXPECT_TRUE(world.nmses[world.topo.stub_nodes[3]]
                   ->device(world.topo.stub_nodes[3])
@@ -101,7 +101,7 @@ TEST(PlacementTest, RolePoliciesStillWork) {
   PlacementWorld world;
   ServiceRequest request = world.BaseRequest();
   request.placement = PlacementPolicy::kTransitNodesOnly;
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
   EXPECT_EQ(world.DeployedDeviceCount(), world.topo.transit_nodes.size());
 }
 

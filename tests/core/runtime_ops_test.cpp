@@ -51,7 +51,7 @@ TEST(RuntimeOpsTest, FirewallRulesCanBeDisarmedAndRearmed) {
   MatchRule deny_udp;
   deny_udp.proto = Protocol::kUdp;
   request.deny_rules = {deny_udp};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
 
   ClientConfig client_config;
   client_config.server = world.server->address();
@@ -86,7 +86,7 @@ TEST(RuntimeOpsTest, RateLimitParameterChange) {
   request.kind = ServiceKind::kDistributedFirewall;
   request.control_scope = {NodePrefix(world.server_as)};
   request.inbound_rate_limit_pps = 1000.0;
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
 
   AttackDirective directive;
   directive.type = AttackType::kDirectFlood;
@@ -116,7 +116,7 @@ TEST(RuntimeOpsTest, ReadStatisticsAggregatesVantagePoints) {
   ServiceRequest request;
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(world.server_as)};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
 
   ClientConfig client_config;
   client_config.server = world.server->address();
@@ -154,7 +154,7 @@ TEST(RuntimeOpsTest, OpsFailWhenTcspDown) {
   ServiceRequest request;
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(world.server_as)};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(world.cert, request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(world.cert, request).status.ok());
   world.tcsp.set_reachable(false);
   EXPECT_EQ(world.tcsp.ReadStatistics(world.cert.subscriber)
                 .status()

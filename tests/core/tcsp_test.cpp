@@ -36,8 +36,8 @@ TEST(TcspTest, RegistrationVerifiesOwnership) {
   const auto good = world.tcsp.Register("as7", {NodePrefix(7)});
   ASSERT_TRUE(good.ok()) << good.status().ToString();
   EXPECT_EQ(good.value().subject, "as7");
-  EXPECT_TRUE(world.tcsp.certificate_authority().Verify(good.value(),
-                                                        world.net.sim().Now()));
+  ADTC_EXPECT_OK(world.tcsp.certificate_authority().Verify(
+      good.value(), world.net.sim().Now()));
 
   // as7 claiming as8's prefix: rejected.
   const auto theft = world.tcsp.Register("as7", {NodePrefix(8)});
@@ -70,7 +70,7 @@ TEST(TcspTest, SubscriberIdsAreUnique) {
   EXPECT_NE(a.value().subscriber, b.value().subscriber);
 }
 
-TEST(TcspTest, DeployServiceNowConfiguresAllIsps) {
+TEST(TcspTest, ImmediateDeployConfiguresAllIsps) {
   TcsWorld world;
   const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
   ASSERT_TRUE(cert.ok());
@@ -80,7 +80,7 @@ TEST(TcspTest, DeployServiceNowConfiguresAllIsps) {
   request.placement = PlacementPolicy::kAllManagedNodes;
   request.control_scope = {NodePrefix(7)};
   const DeploymentReport report =
-      world.tcsp.DeployServiceNow(cert.value(), request);
+      world.tcsp.DeployService(cert.value(), request);
   ASSERT_TRUE(report.status.ok()) << report.status.ToString();
   EXPECT_EQ(report.isps_configured, world.net.node_count());
   EXPECT_EQ(report.devices_configured, world.net.node_count());
@@ -99,7 +99,7 @@ TEST(TcspTest, PlacementPolicyRestrictsNodes) {
   request.placement = PlacementPolicy::kStubNodesOnly;
   request.control_scope = {NodePrefix(7)};
   const DeploymentReport report =
-      world.tcsp.DeployServiceNow(cert.value(), request);
+      world.tcsp.DeployService(cert.value(), request);
   ASSERT_TRUE(report.status.ok());
   EXPECT_EQ(report.devices_configured, world.topo.stub_nodes.size());
 }
@@ -118,6 +118,7 @@ TEST(TcspTest, AsyncDeploymentModelsLatency) {
   bool completed = false;
   DeploymentReport report;
   world.tcsp.DeployService(cert.value(), request,
+                           CompletionPolicy::kLatencyModelled,
                            [&](const DeploymentReport& r) {
                              completed = true;
                              report = r;
@@ -143,7 +144,7 @@ TEST(TcspTest, UnreachableTcspFailsRequests) {
   request.kind = ServiceKind::kRemoteIngressFiltering;
   request.control_scope = {NodePrefix(7)};
   const DeploymentReport report =
-      world.tcsp.DeployServiceNow(cert.value(), request);
+      world.tcsp.DeployService(cert.value(), request);
   EXPECT_EQ(report.status.code(), ErrorCode::kUnavailable);
   EXPECT_GE(world.tcsp.stats().requests_while_unreachable, 2u);
 }
@@ -178,7 +179,7 @@ TEST(TcspTest, RemoveServiceClearsAllDevices) {
   ServiceRequest request;
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(7)};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(cert.value(), request).status.ok());
   ADTC_ASSERT_OK(world.tcsp.RemoveService(cert.value().subscriber));
   for (auto& nms : world.nmses) {
     EXPECT_EQ(nms->CountDeployments(cert.value().subscriber), 0u);
@@ -195,8 +196,8 @@ TEST(TcspTest, ExpiredCertificateRejectedAtDeploy) {
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(7)};
   const DeploymentReport report =
-      world.tcsp.DeployServiceNow(cert.value(), request);
-  EXPECT_EQ(report.status.code(), ErrorCode::kPermissionDenied);
+      world.tcsp.DeployService(cert.value(), request);
+  EXPECT_EQ(report.status.code(), ErrorCode::kExpired);
 }
 
 TEST(TcspTest, HomeNodesDerivedFromScope) {
@@ -213,7 +214,7 @@ TEST(NmsTest, RejectsScopeOutsideCertificate) {
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(8)};  // not owned
   const DeploymentReport report =
-      world.tcsp.DeployServiceNow(cert.value(), request);
+      world.tcsp.DeployService(cert.value(), request);
   EXPECT_EQ(report.status.code(), ErrorCode::kPermissionDenied);
   EXPECT_GT(world.nmses[0]->stats().deployments_rejected, 0u);
 }

@@ -58,7 +58,7 @@ struct TracebackWorld : SmallWorld {
     request.control_scope = {NodePrefix(victim_node)};
     request.traceback.window = Seconds(2);
     request.traceback.window_count = 16;
-    EXPECT_TRUE(tcsp.DeployServiceNow(cert, request).status.ok());
+    EXPECT_TRUE(tcsp.DeployService(cert, request).status.ok());
   }
 
   std::vector<IspNms*> Isps() {
@@ -177,8 +177,10 @@ TEST(NmsEventsTest, SafetyEventsReachTheNms) {
   ASSERT_NE(device, nullptr);
   ASSERT_TRUE(device
                   ->InstallDeployment(
-                      cert.value(), {NodePrefix(node)}, std::nullopt,
-                      ModuleGraph::Single(std::make_unique<Evil>()))
+                      {cert.value(),
+                       {NodePrefix(node)},
+                       std::nullopt,
+                       ModuleGraph::Single(std::make_unique<Evil>())})
                   .ok());
   Packet p;
   p.src = HostAddress(1, 1);

@@ -57,7 +57,7 @@ RunSummary RunFullScenario(std::uint64_t seed) {
   ServiceRequest request;
   request.kind = ServiceKind::kRemoteIngressFiltering;
   request.control_scope = {scope};
-  EXPECT_TRUE(tcsp.DeployServiceNow(cert.value(), request).status.ok());
+  EXPECT_TRUE(tcsp.DeployService(cert.value(), request).status.ok());
 
   scenario.attacker->Launch();
   net.Run(Seconds(6));

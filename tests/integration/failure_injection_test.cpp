@@ -54,7 +54,7 @@ TEST(FailureInjectionTest, RemovingDefenceMidAttackReopensTheFlood) {
   ServiceRequest request;
   request.kind = ServiceKind::kRemoteIngressFiltering;
   request.control_scope = {scope};
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(cert.value(), request).status.ok());
 
   scenario.attacker->Launch();
   world.net.Run(Seconds(4));
@@ -105,8 +105,10 @@ TEST(FailureInjectionTest, QuarantineFailsOpenNotClosed) {
   AdaptiveDevice* device = world.nmses[home]->device(home);
   ASSERT_TRUE(device
                   ->InstallDeployment(
-                      cert.value(), {NodePrefix(home)}, std::nullopt,
-                      ModuleGraph::Single(std::make_unique<EvilAfterN>()))
+                      {cert.value(),
+                       {NodePrefix(home)},
+                       std::nullopt,
+                       ModuleGraph::Single(std::make_unique<EvilAfterN>())})
                   .ok());
 
   client->Start();
@@ -129,6 +131,7 @@ TEST(FailureInjectionTest, TcspDiesBetweenRequestAndCompletion) {
   bool completed = false;
   DeploymentReport report;
   world.tcsp.DeployService(cert.value(), request,
+                           CompletionPolicy::kLatencyModelled,
                            [&](const DeploymentReport& r) {
                              completed = true;
                              report = r;
@@ -143,7 +146,7 @@ TEST(FailureInjectionTest, TcspDiesBetweenRequestAndCompletion) {
   ASSERT_TRUE(completed);
   EXPECT_TRUE(report.status.ok());
   // But any *new* request fails until the outage ends.
-  const auto blocked = world.tcsp.DeployServiceNow(cert.value(), request);
+  const auto blocked = world.tcsp.DeployService(cert.value(), request);
   EXPECT_EQ(blocked.status.code(), ErrorCode::kUnavailable);
 }
 
@@ -185,14 +188,16 @@ TEST(FailureInjectionTest, PartialDeploymentReportsError) {
   ASSERT_TRUE(world.nmses[sabotaged]
                   ->device(sabotaged)
                   ->InstallDeployment(
-                      squatter, {NodePrefix(home)}, std::nullopt,
-                      ModuleGraph::Single(std::make_unique<CounterModule>()))
+                      {squatter,
+                       {NodePrefix(home)},
+                       std::nullopt,
+                       ModuleGraph::Single(std::make_unique<CounterModule>())})
                   .ok());
 
   ServiceRequest request;
   request.kind = ServiceKind::kStatistics;
   request.control_scope = {NodePrefix(home)};
-  const auto report = world.tcsp.DeployServiceNow(cert.value(), request);
+  const auto report = world.tcsp.DeployService(cert.value(), request);
   // The collision surfaces as an explicit error, not silent partial
   // coverage.
   EXPECT_FALSE(report.status.ok());

@@ -61,7 +61,7 @@ struct DefenceWorld : SmallWorld {
     request.placement = PlacementPolicy::kAllManagedNodes;
     request.control_scope = {scope};
     const DeploymentReport report =
-        tcsp.DeployServiceNow(cert.value(), request);
+        tcsp.DeployService(cert.value(), request);
     EXPECT_TRUE(report.status.ok()) << report.status.ToString();
     return cert.value();
   }
@@ -148,7 +148,7 @@ TEST(ReflectorDefenceTest, TcsTracebackFindsSpoofedTrafficEntryPoints) {
   request.control_scope = {scope};
   request.traceback.window = Seconds(2);
   request.traceback.window_count = 16;
-  ASSERT_TRUE(world.tcsp.DeployServiceNow(cert.value(), request).status.ok());
+  ASSERT_TRUE(world.tcsp.DeployService(cert.value(), request).status.ok());
 
   world.scenario.attacker->Launch();
   world.net.Run(Seconds(4));

@@ -70,6 +70,7 @@ struct TelemetryWorld : SmallWorld {
     // between TCSP, each NMS, and each device install.
     DeploymentReport report;
     tcsp.DeployService(cert.value(), request,
+                       CompletionPolicy::kLatencyModelled,
                        [&report](const DeploymentReport& r) { report = r; });
     net.Run(Seconds(2));
     EXPECT_TRUE(report.status.ok()) << report.status.ToString();

@@ -52,9 +52,11 @@ TEST(GroundTruthTest, AdaptiveDeviceVerdictIgnoresLabels) {
     if (!expect_drop) used.dst_port_range = {{443, 443}};
     ASSERT_TRUE(device
                     .InstallDeployment(
-                        cert, {NodePrefix(5)}, std::nullopt,
-                        ModuleGraph::Single(
-                            std::make_unique<MatchModule>(used)))
+                        {cert,
+                         {NodePrefix(5)},
+                         std::nullopt,
+                         ModuleGraph::Single(
+                             std::make_unique<MatchModule>(used))})
                     .ok());
     RouterContext ctx;
     Packet plain = WirePacket();
