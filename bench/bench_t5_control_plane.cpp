@@ -9,6 +9,7 @@
 // Regenerates: worldwide deployment convergence time vs. ISP count and
 // per-ISP device count; registration latency; the TCSP-down relay path.
 #include "bench_util.h"
+#include "sim/faults.h"
 
 using namespace adtc;
 using namespace adtc::bench;
@@ -25,8 +26,8 @@ struct GroupedWorld {
   std::vector<std::unique_ptr<IspNms>> nmses;
 
   GroupedWorld(std::uint64_t seed, std::uint32_t stub_count,
-               std::size_t isp_count)
-      : net(seed), tcsp(net, authority, "t5-key") {
+               std::size_t isp_count, TcspConfig config = {})
+      : net(seed), tcsp(net, authority, "t5-key", config) {
     TransitStubParams params;
     params.transit_count = 8;
     params.stub_count = stub_count;
@@ -149,6 +150,85 @@ int main(int argc, char** argv) {
                       static_cast<double>(configured));
     results.AddScalar("relay_ok", via_relay.ok() ? 1.0 : 0.0);
   }
+  // --- degraded mode: convergence vs. control-channel loss rate ---
+  {
+    Table degraded(
+        "degraded control plane: convergence vs. message loss (retries "
+        "with capped exponential backoff, anti-entropy resync every 2 s)");
+    degraded.SetHeader({"loss rate", "converged at", "devices configured",
+                        "retries", "messages lost"});
+    for (const double loss : {0.0, 0.1, 0.2, 0.3}) {
+      TcspConfig config;
+      config.retry.initial_backoff = Milliseconds(50);
+      config.retry.max_backoff = Seconds(1);
+      config.retry.max_attempts = 8;
+      config.retry.deadline = Seconds(30);
+      GroupedWorld world(13, 56, 8, config);
+      FaultInjector injector(13);
+      ChannelFaults faults;
+      faults.loss = loss;
+      faults.jitter_max = Milliseconds(10);
+      injector.SetDefaultFaults(faults);
+      world.tcsp.AttachFaultInjector(&injector);
+
+      const NodeId subject = world.topo.stub_nodes[0];
+      const auto cert =
+          world.tcsp.Register(AsOrgName(subject), {NodePrefix(subject)});
+      if (!cert.ok()) return 1;
+      ServiceRequest request;
+      request.kind = ServiceKind::kRemoteIngressFiltering;
+      request.control_scope = {NodePrefix(subject)};
+
+      DeploymentReport report;
+      world.tcsp.DeployService(cert.value(), request,
+                               CompletionPolicy::kLatencyModelled,
+                               [&](const DeploymentReport& r) { report = r; });
+      for (auto& nms : world.nmses) nms->StartResync(Seconds(2));
+      // Advance until every device carries the deployment (or time out):
+      // the point where the lossy control plane has fully converged.
+      SimTime converged_at = -1;
+      for (int step = 0; step < 120; ++step) {
+        world.net.Run(Milliseconds(250));
+        std::size_t configured = 0;
+        for (auto& nms : world.nmses) {
+          configured += nms->CountDeployments(cert.value().subscriber);
+        }
+        if (configured == world.net.node_count()) {
+          converged_at = world.net.sim().Now();
+          break;
+        }
+      }
+      for (auto& nms : world.nmses) nms->StopResync();
+
+      std::size_t configured = 0;
+      for (auto& nms : world.nmses) {
+        configured += nms->CountDeployments(cert.value().subscriber);
+      }
+      std::uint64_t retries = world.tcsp.stats().deploy_retries;
+      for (auto& nms : world.nmses) {
+        retries += nms->stats().install_retries;
+      }
+      degraded.AddRow(
+          {Table::Num(loss * 100.0, 0) + " %",
+           converged_at >= 0
+               ? Table::Num(ToMilliseconds(converged_at), 0) + " ms"
+               : "did not converge",
+           Table::Int(static_cast<long long>(configured)),
+           Table::Int(static_cast<long long>(retries)),
+           Table::Int(static_cast<long long>(
+               injector.stats().messages_lost))});
+      const std::string tag = "/loss=" + Table::Num(loss, 1);
+      results.AddScalar("degraded_converge_ms" + tag,
+                        converged_at >= 0 ? ToMilliseconds(converged_at)
+                                          : -1.0);
+      results.AddScalar("degraded_devices_configured" + tag,
+                        static_cast<double>(configured));
+      results.AddScalar("degraded_retries" + tag,
+                        static_cast<double>(retries));
+    }
+    degraded.Print(std::cout);
+  }
+
   if (!results.Write()) return 1;
   std::printf(
       "\nreading: one registration covers every enrolled ISP; worldwide\n"

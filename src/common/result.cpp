@@ -18,6 +18,26 @@ std::string_view ErrorCodeName(ErrorCode code) {
   return "unknown";
 }
 
+int ErrorSeverity(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kAlreadyExists: return 1;
+    case ErrorCode::kNotFound: return 2;
+    case ErrorCode::kInvalidArgument: return 3;
+    case ErrorCode::kExpired: return 4;
+    case ErrorCode::kPermissionDenied: return 5;
+    case ErrorCode::kSafetyViolation: return 6;
+    case ErrorCode::kResourceExhausted: return 7;
+    case ErrorCode::kUnavailable: return 8;
+    case ErrorCode::kInternal: return 9;
+  }
+  return 9;
+}
+
+const Status& WorseStatus(const Status& a, const Status& b) {
+  return ErrorSeverity(b.code()) > ErrorSeverity(a.code()) ? b : a;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "ok";
   std::string out(ErrorCodeName(code_));

@@ -30,6 +30,13 @@ enum class ErrorCode {
 /// Human-readable name of an ErrorCode ("ok", "safety_violation", ...).
 std::string_view ErrorCodeName(ErrorCode code);
 
+/// Operational severity for aggregating many outcomes into one (higher =
+/// worse). The ordering groups codes by what the operator must do:
+/// nothing (kOk) < benign duplicates (kAlreadyExists) < lookup/config
+/// errors < credential problems < safety rejections < capacity and
+/// availability failures < internal faults.
+int ErrorSeverity(ErrorCode code);
+
 /// A success-or-error outcome without a payload.
 class Status {
  public:
@@ -52,6 +59,10 @@ class Status {
   ErrorCode code_;
   std::string message_;
 };
+
+/// The worse of two statuses under ErrorSeverity (ties keep `a`, so the
+/// first-observed failure of a given severity wins deterministically).
+const Status& WorseStatus(const Status& a, const Status& b);
 
 inline Status InvalidArgument(std::string msg) {
   return {ErrorCode::kInvalidArgument, std::move(msg)};

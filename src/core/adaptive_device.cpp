@@ -48,6 +48,10 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
                    static_cast<double>(stats_.flow_cache_misses)});
     out.push_back({prefix + "flow_cache_entries",
                    static_cast<double>(flow_cache_.size())});
+    out.push_back({prefix + "installs_applied",
+                   static_cast<double>(stats_.installs_applied)});
+    out.push_back({prefix + "duplicate_installs",
+                   static_cast<double>(stats_.duplicate_installs)});
     out.push_back({prefix + "deployments",
                    static_cast<double>(deployments_.size())});
     out.push_back({prefix + "redirect_prefixes",
@@ -56,6 +60,22 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
 }
 
 Status AdaptiveDevice::InstallDeployment(DeploymentSpec spec) {
+  // Exactly-once: a duplicated or retried instruction (same id) replays
+  // the recorded outcome without touching tables or counters.
+  if (spec.deployment_id.valid()) {
+    const auto it = applied_installs_.find(spec.deployment_id);
+    if (it != applied_installs_.end()) {
+      stats_.duplicate_installs++;
+      return it->second;
+    }
+  }
+  const DeploymentId id = spec.deployment_id;
+  const Status status = InstallDeploymentImpl(std::move(spec));
+  if (id.valid()) applied_installs_.emplace(id, status);
+  return status;
+}
+
+Status AdaptiveDevice::InstallDeploymentImpl(DeploymentSpec spec) {
   const OwnershipCertificate& cert = spec.cert;
   if (cert.subscriber == kInvalidSubscriber) {
     return InvalidArgument("certificate carries no subscriber id");
@@ -109,6 +129,7 @@ Status AdaptiveDevice::InstallDeployment(DeploymentSpec spec) {
   deployment.label = std::move(spec.label);
   deployments_.emplace(cert.subscriber, std::move(deployment));
   InvalidateFlowCache();
+  stats_.installs_applied++;
   return Status::Ok();
 }
 

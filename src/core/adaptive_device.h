@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/deployment_id.h"
 #include "core/module_graph.h"
 #include "core/safety.h"
 #include "net/prefix_trie.h"
@@ -51,6 +52,8 @@ struct DeviceStats {
   obs::Counter safety_violations;
   obs::Counter flow_cache_hits;    // verdict or lookup served from cache
   obs::Counter flow_cache_misses;  // cache enabled but no usable entry
+  obs::Counter installs_applied;     // effectful InstallDeployment calls
+  obs::Counter duplicate_installs;   // re-delivered ids served from record
 };
 
 /// Everything needed to install a subscriber's processing on a device.
@@ -66,6 +69,9 @@ struct DeploymentSpec {
   std::optional<ModuleGraph> destination_stage;
   /// Optional operator-facing tag carried into events and reports.
   std::string label;
+  /// Exactly-once handle: a re-delivered spec with a valid id the device
+  /// already processed returns the recorded outcome with no effects.
+  DeploymentId deployment_id;
 };
 
 class AdaptiveDevice : public PacketProcessor {
@@ -82,6 +88,11 @@ class AdaptiveDevice : public PacketProcessor {
   Status InstallDeployment(DeploymentSpec spec);
 
   Status RemoveDeployment(SubscriberId subscriber);
+
+  /// Installs already processed by id (duplicates were suppressed).
+  std::size_t applied_install_count() const {
+    return applied_installs_.size();
+  }
 
   bool HasDeployment(SubscriberId subscriber) const {
     return deployments_.contains(subscriber);
@@ -195,6 +206,9 @@ class AdaptiveDevice : public PacketProcessor {
     std::uint32_t truncate_to = 0;  // accumulated kPureTransform rewrite
   };
 
+  /// The effectful install path behind the DeploymentId dedup shield.
+  Status InstallDeploymentImpl(DeploymentSpec spec);
+
   /// Runs one stage under the safety guard. `collect_cacheability`
   /// additionally classifies the executed path for the flow cache.
   StageRun RunStage(Deployment& deployment, ProcessingStage stage,
@@ -231,6 +245,10 @@ class AdaptiveDevice : public PacketProcessor {
   Histogram* stage_wall_ns_ = nullptr;
   Histogram* lookup_wall_ns_ = nullptr;
   std::unordered_map<SubscriberId, Deployment> deployments_;
+  /// Outcome of every id-stamped install ever delivered here. Ids are
+  /// never reused (monotonic per origin), so entries are permanent.
+  std::unordered_map<DeploymentId, Status, DeploymentIdHash>
+      applied_installs_;
   PrefixTrie<SubscriberId> src_redirect_;
   PrefixTrie<SubscriberId> dst_redirect_;
 

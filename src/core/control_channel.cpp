@@ -1,0 +1,151 @@
+#include "core/control_channel.h"
+
+#include <algorithm>
+
+namespace adtc {
+
+SimDuration RetryPolicy::BackoffAfter(std::size_t attempt,
+                                      Rng& rng) const {
+  double base = static_cast<double>(std::max<SimDuration>(initial_backoff, 0));
+  const double cap = static_cast<double>(std::max<SimDuration>(max_backoff, 0));
+  for (std::size_t i = 1; i < attempt && base < cap; ++i) {
+    base *= std::max(multiplier, 1.0);
+  }
+  base = std::min(base, cap);
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  const double factor = 1.0 - j + 2.0 * j * rng.NextDouble();
+  return static_cast<SimDuration>(base * factor);
+}
+
+struct ControlChannel::CallState {
+  std::function<Status()> request;
+  std::function<void(const Status&, const CallOutcome&)> done;
+  CallOptions opts;
+  SimTime start = 0;
+  CallOutcome outcome;
+  bool completed = false;
+};
+
+ControlChannel::ControlChannel(Simulator& sim, Rng& rng, std::string name,
+                               FaultInjector* injector,
+                               std::function<bool()> remote_up)
+    : sim_(sim),
+      rng_(rng),
+      name_(std::move(name)),
+      injector_(injector),
+      remote_up_(std::move(remote_up)) {}
+
+void ControlChannel::Call(
+    std::function<Status()> request,
+    std::function<void(const Status&, const CallOutcome&)> done,
+    const CallOptions& options) {
+  // Fault-free zero-latency channels are plain function calls — the
+  // default (kImmediate, no injector) control plane stays synchronous.
+  if (injector_ == nullptr && options.request_latency == 0 &&
+      options.response_latency == 0) {
+    CallOutcome outcome;
+    outcome.attempts = 1;
+    outcome.messages_sent = 1;
+    const Status status = (remote_up_ && !remote_up_())
+                              ? Unavailable("remote down on " + name_)
+                              : request();
+    done(status, outcome);
+    return;
+  }
+  auto state = std::make_shared<CallState>();
+  state->request = std::move(request);
+  state->done = std::move(done);
+  state->opts = options;
+  state->start = sim_.Now();
+  TryAttempt(state);
+}
+
+void ControlChannel::TryAttempt(const std::shared_ptr<CallState>& state) {
+  if (state->completed) return;
+  state->outcome.attempts++;
+  SendRequestCopies(state);
+  // Retry timer: one round trip plus this attempt's backoff. If the
+  // response arrives first the timer no-ops; if it fires first we either
+  // retry or give up (attempt budget / deadline).
+  const SimDuration rto =
+      state->opts.request_latency + state->opts.response_latency +
+      state->opts.retry.BackoffAfter(state->outcome.attempts, rng_);
+  sim_.ScheduleAfter(rto, [this, state] {
+    if (state->completed) return;
+    const RetryPolicy& retry = state->opts.retry;
+    const bool budget_spent = state->outcome.attempts >= retry.max_attempts;
+    const bool past_deadline =
+        sim_.Now() - state->start >= retry.deadline;
+    if (budget_spent || past_deadline) {
+      state->outcome.deadline_expired = past_deadline;
+      Complete(state,
+               Unavailable("no response on " + name_ + " after " +
+                           std::to_string(state->outcome.attempts) +
+                           " attempts"));
+      return;
+    }
+    TryAttempt(state);
+  });
+}
+
+void ControlChannel::SendRequestCopies(
+    const std::shared_ptr<CallState>& state) {
+  MessageFate fate;
+  if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
+  state->outcome.messages_sent++;
+  if (fate.deliver) {
+    sim_.ScheduleAfter(state->opts.request_latency + fate.extra_delay,
+                       [this, state] { DeliverRequest(state); });
+  }
+  if (fate.duplicate) {
+    state->outcome.messages_sent++;
+    sim_.ScheduleAfter(
+        state->opts.request_latency + fate.duplicate_delay,
+        [this, state] { DeliverRequest(state); });
+  }
+}
+
+void ControlChannel::DeliverRequest(
+    const std::shared_ptr<CallState>& state) {
+  // A dead remote blackholes the message; the retry timer notices.
+  if (remote_up_ && !remote_up_()) return;
+  // Duplicated / retried copies execute the handler again on purpose —
+  // exactly-once *effects* are the remote's job (DeploymentId dedup).
+  const Status status = state->request();
+  MessageFate fate;
+  if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
+  if (fate.deliver) {
+    sim_.ScheduleAfter(state->opts.response_latency + fate.extra_delay,
+                       [this, state, status] { Complete(state, status); });
+  }
+  if (fate.duplicate) {
+    sim_.ScheduleAfter(
+        state->opts.response_latency + fate.duplicate_delay,
+        [this, state, status] { Complete(state, status); });
+  }
+}
+
+void ControlChannel::Complete(const std::shared_ptr<CallState>& state,
+                              const Status& status) {
+  if (state->completed) return;
+  state->completed = true;
+  state->done(status, state->outcome);
+}
+
+void ControlChannel::Send(std::function<void()> deliver,
+                          SimDuration latency) {
+  if (injector_ == nullptr && latency == 0) {
+    deliver();
+    return;
+  }
+  MessageFate fate;
+  if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
+  if (fate.deliver) {
+    sim_.ScheduleAfter(latency + fate.extra_delay, deliver);
+  }
+  if (fate.duplicate) {
+    sim_.ScheduleAfter(latency + fate.duplicate_delay, std::move(deliver));
+  }
+}
+
+}  // namespace adtc

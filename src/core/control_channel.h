@@ -1,0 +1,107 @@
+// The control-channel abstraction every management-plane message rides.
+//
+// In-process function calls cannot be lost, duplicated or delayed, so
+// the original control plane could not exercise the paper's availability
+// claims. A ControlChannel models one directed management link
+// (user→TCSP, TCSP→NMS, NMS→peer-NMS, NMS→device): messages are
+// scheduled through the simulator with the channel's latency, and — when
+// a FaultInjector is attached — each message first asks the injector for
+// its fate (loss, duplication, extra delay).
+//
+// `Call` is the reliable request/response primitive: it retries with
+// capped exponential backoff plus jitter until the response arrives, the
+// attempt budget is spent, or the per-request deadline passes. Retries
+// can re-deliver the request after a lost *response*, so every remote
+// handler passed to Call must be idempotent — deployment instructions
+// achieve that with DeploymentId dedup at the NMS and device.
+//
+// Fast path: a channel with no injector and zero latency completes
+// synchronously inline, which is what keeps the default (fault-free,
+// kImmediate) control plane byte-identical to the pre-fault behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/faults.h"
+#include "sim/simulator.h"
+
+namespace adtc {
+
+/// Capped exponential backoff with symmetric jitter and a deadline.
+struct RetryPolicy {
+  SimDuration initial_backoff = Milliseconds(50);
+  double multiplier = 2.0;
+  SimDuration max_backoff = Seconds(2);
+  /// Each backoff is drawn uniformly from [base*(1-jitter), base*(1+jitter)].
+  double jitter = 0.2;
+  std::size_t max_attempts = 8;
+  /// Hard wall from the first attempt; expiry completes with kUnavailable.
+  SimDuration deadline = Seconds(30);
+
+  /// Backoff after the `attempt`-th try (1-based). Deterministic given
+  /// the rng state; always in [0, max_backoff*(1+jitter)].
+  SimDuration BackoffAfter(std::size_t attempt, Rng& rng) const;
+};
+
+/// Metadata about how a reliable call went.
+struct CallOutcome {
+  std::uint32_t attempts = 0;       // tries started (>= 1)
+  std::uint32_t messages_sent = 0;  // request copies handed to the channel
+  bool deadline_expired = false;
+};
+
+class ControlChannel {
+ public:
+  /// `remote_up` is evaluated at request-delivery time; a down remote
+  /// swallows the message (no response, so the caller retries).
+  /// `injector` may be nullptr (fault-free channel). Both must outlive
+  /// the channel.
+  ControlChannel(Simulator& sim, Rng& rng, std::string name,
+                 FaultInjector* injector = nullptr,
+                 std::function<bool()> remote_up = nullptr);
+
+  struct CallOptions {
+    SimDuration request_latency = 0;
+    SimDuration response_latency = 0;
+    RetryPolicy retry;
+  };
+
+  /// Reliable request/response. `request` runs remote-side when a
+  /// request copy gets through and the remote is up; its Status rides
+  /// the response leg back. `done` fires exactly once: with the remote
+  /// Status, or kUnavailable if attempts/deadline ran out first. With no
+  /// injector and zero latencies everything happens synchronously before
+  /// Call returns.
+  void Call(std::function<Status()> request,
+            std::function<void(const Status&, const CallOutcome&)> done,
+            const CallOptions& options);
+
+  /// One-way best-effort message: applies the channel's fault plan and
+  /// latency, no retries, no response. Synchronous when the channel is
+  /// fault-free with zero latency.
+  void Send(std::function<void()> deliver, SimDuration latency = 0);
+
+  const std::string& name() const { return name_; }
+  bool faulty() const { return injector_ != nullptr; }
+
+ private:
+  struct CallState;
+  void TryAttempt(const std::shared_ptr<CallState>& state);
+  void SendRequestCopies(const std::shared_ptr<CallState>& state);
+  void DeliverRequest(const std::shared_ptr<CallState>& state);
+  void Complete(const std::shared_ptr<CallState>& state,
+                const Status& status);
+
+  Simulator& sim_;
+  Rng& rng_;
+  std::string name_;
+  FaultInjector* injector_;
+  std::function<bool()> remote_up_;
+};
+
+}  // namespace adtc

@@ -1,5 +1,9 @@
 #include "core/nms.h"
 
+#include <algorithm>
+
+#include "obs/span.h"
+
 namespace adtc {
 namespace {
 
@@ -12,7 +16,11 @@ std::uint64_t DeployKey(SubscriberId subscriber, ServiceKind kind) {
 
 IspNms::IspNms(std::string isp_name, Network& net,
                const SafetyValidator* validator)
-    : name_(std::move(isp_name)), net_(net), validator_(validator) {
+    : name_(std::move(isp_name)),
+      net_(net),
+      validator_(validator),
+      control_rng_(DeploymentOriginTag(name_)),
+      origin_tag_(DeploymentOriginTag(name_)) {
   const std::string prefix = "nms." + name_ + ".";
   net_.telemetry().registry().AddCollector(
       this, [this, prefix](obs::MetricsSnapshot& out) {
@@ -30,6 +38,18 @@ IspNms::IspNms(std::string isp_name, Network& net,
                        static_cast<double>(event_log_.dropped_events())});
         out.push_back({prefix + "devices",
                        static_cast<double>(devices_.size())});
+        out.push_back({prefix + "duplicate_instructions",
+                       static_cast<double>(stats_.duplicate_instructions)});
+        out.push_back({prefix + "install_retries",
+                       static_cast<double>(stats_.install_retries)});
+        out.push_back({prefix + "installs_deferred",
+                       static_cast<double>(stats_.installs_deferred)});
+        out.push_back({prefix + "retry_sweeps",
+                       static_cast<double>(stats_.retry_sweeps)});
+        out.push_back({prefix + "resync_rounds",
+                       static_cast<double>(stats_.resync_rounds)});
+        out.push_back({prefix + "resync_installs",
+                       static_cast<double>(stats_.resync_installs)});
       });
 }
 
@@ -51,21 +71,93 @@ AdaptiveDevice* IspNms::device(NodeId node) {
   return it != devices_.end() ? it->second.get() : nullptr;
 }
 
+void IspNms::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  // Channels capture the injector at construction; drop them so the next
+  // use rebuilds against the new plan.
+  device_channels_.clear();
+  peer_channels_.clear();
+}
+
+void IspNms::AddPeer(IspNms* peer) {
+  if (peer == nullptr || peer == this) return;
+  if (std::find(peers_.begin(), peers_.end(), peer) != peers_.end()) {
+    return;
+  }
+  peers_.push_back(peer);
+}
+
+std::string IspNms::DeviceChannelName(NodeId node) const {
+  return "nms:" + name_ + "->dev:" + std::to_string(node);
+}
+
+ControlChannel& IspNms::DeviceChannel(NodeId node) {
+  auto it = device_channels_.find(node);
+  if (it == device_channels_.end()) {
+    auto channel = std::make_unique<ControlChannel>(
+        net_.sim(), control_rng_, DeviceChannelName(node), injector_,
+        [this, node] {
+          return injector_ == nullptr ||
+                 injector_->DeviceUp(node, net_.sim().Now());
+        });
+    it = device_channels_.emplace(node, std::move(channel)).first;
+  }
+  return *it->second;
+}
+
+ControlChannel& IspNms::PeerChannel(IspNms* peer) {
+  auto it = peer_channels_.find(peer);
+  if (it == peer_channels_.end()) {
+    auto channel = std::make_unique<ControlChannel>(
+        net_.sim(), control_rng_, "nms:" + name_ + "->nms:" + peer->name(),
+        injector_);
+    it = peer_channels_.emplace(peer, std::move(channel)).first;
+  }
+  return *it->second;
+}
+
 Status IspNms::DeployService(const OwnershipCertificate& cert,
                              const ServiceRequest& request,
                              const std::vector<NodeId>& home_nodes,
                              const CertificateAuthority& authority) {
+  DeploymentInstruction instr;
+  instr.id = DeploymentId{origin_tag_, next_local_seq_++};
+  instr.cert = cert;
+  instr.request = request;
+  instr.home_nodes = home_nodes;
+  return ApplyDeployment(instr, authority);
+}
+
+Status IspNms::ApplyDeployment(const DeploymentInstruction& instr,
+                               const CertificateAuthority& authority) {
+  if (instr.id.valid()) {
+    if (const auto it = applied_.find(instr.id); it != applied_.end()) {
+      stats_.duplicate_instructions++;
+      return it->second;
+    }
+  }
+  const Status status = ApplyDeploymentImpl(instr, authority);
+  if (instr.id.valid()) {
+    applied_.emplace(instr.id, status);
+  }
+  return status;
+}
+
+Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
+                                   const CertificateAuthority& authority) {
   obs::Tracer* tracer = net_.telemetry().tracing_enabled()
                             ? &net_.telemetry().tracer()
                             : nullptr;
   obs::ScopedSpan span(tracer, "nms.deploy");
-  span.SetSubscriber(cert.subscriber);
+  span.SetSubscriber(instr.cert.subscriber);
   if (tracer != nullptr) {
     tracer->Annotate(span.id(), "isp", name_);
   }
+  authority_ = &authority;
   {
     obs::ScopedSpan validate_span(tracer, "cert.validate");
-    if (const Status verified = authority.Verify(cert, net_.sim().Now());
+    if (const Status verified =
+            authority.Verify(instr.cert, net_.sim().Now());
         !verified.ok()) {
       stats_.deployments_rejected++;
       validate_span.Fail();
@@ -75,12 +167,13 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
   }
   // Anti-spoofing must exempt every edge that can legitimately carry the
   // owner's addresses: the home ASes and their provider chains.
-  const std::vector<NodeId> legit_forwarders =
-      LegitimateForwarderSet(net_, home_nodes);
+  std::vector<NodeId> legit_forwarders =
+      LegitimateForwarderSet(net_, instr.home_nodes);
   // Validate once against a reference graph (all devices get identically
   // shaped graphs for a given request).
   {
-    StageGraphs reference = BuildStageGraphs(request, legit_forwarders);
+    StageGraphs reference =
+        BuildStageGraphs(instr.request, legit_forwarders);
     const ModuleGraph* graph =
         reference.source_stage ? &*reference.source_stage
                                : (reference.destination_stage
@@ -92,7 +185,7 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
       return InvalidArgument("service request produced no graphs");
     }
     const Status status = validator_->ValidateDeployment(
-        cert, request.control_scope, *graph);
+        instr.cert, instr.request.control_scope, *graph);
     if (!status.ok()) {
       stats_.deployments_rejected++;
       span.Fail();
@@ -100,7 +193,8 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
     }
     if (reference.destination_stage && reference.source_stage) {
       const Status second = validator_->ValidateDeployment(
-          cert, request.control_scope, *reference.destination_stage);
+          instr.cert, instr.request.control_scope,
+          *reference.destination_stage);
       if (!second.ok()) {
         stats_.deployments_rejected++;
         span.Fail();
@@ -109,33 +203,183 @@ Status IspNms::DeployService(const OwnershipCertificate& cert,
     }
   }
 
-  bool any_installed = false;
-  for (NodeId node : managed_) {
-    if (!PlacementSelectsNode(request, net_, node)) {
-      continue;
-    }
-    AdaptiveDevice* dev = devices_.at(node).get();
-    if (dev->HasDeployment(cert.subscriber)) continue;
-    StageGraphs graphs = BuildStageGraphs(request, legit_forwarders);
-    DeploymentSpec spec;
-    spec.cert = cert;
-    spec.scope = request.control_scope;
-    spec.source_stage = std::move(graphs.source_stage);
-    spec.destination_stage = std::move(graphs.destination_stage);
-    spec.label = std::string(ServiceKindName(request.kind));
-    const Status status = dev->InstallDeployment(std::move(spec));
-    if (!status.ok()) {
-      stats_.deployments_rejected++;
-      span.Fail();
-      return status;
-    }
-    any_installed = true;
-  }
-  if (any_installed) {
-    stats_.deployments_installed++;
-    deployed_keys_.insert(DeployKey(cert.subscriber, request.kind));
+  DesiredDeployment desired;
+  desired.instr = instr;
+  desired.legit_forwarders = std::move(legit_forwarders);
+  const DeploymentId key = instr.id;
+  desired_.insert_or_assign(key, std::move(desired));
+  sweep_attempt_ = 0;  // a fresh deployment gets a fresh retry budget
+  InstallRound(key);
+  // Fault-free channels completed inline, so `worst` is final here; a
+  // faulty channel reports later and converges through retries/resync,
+  // in which case acceptance is what we can promise now.
+  const DesiredDeployment& d = desired_.at(key);
+  if (!d.worst.ok()) {
+    stats_.deployments_rejected++;
+    span.Fail();
+    return d.worst;
   }
   return Status::Ok();
+}
+
+void IspNms::InstallRound(const DeploymentId& id) {
+  const auto it = desired_.find(id);
+  if (it == desired_.end()) return;
+  const DesiredDeployment& d = it->second;
+  const SubscriberId subscriber = d.instr.cert.subscriber;
+  const ServiceRequest request = d.instr.request;
+  for (NodeId node : managed_) {
+    if (!PlacementSelectsNode(request, net_, node)) continue;
+    if (devices_.at(node)->HasDeployment(subscriber)) continue;
+    ControlChannel::CallOptions opts;
+    opts.retry = retry_policy_;
+    DeviceChannel(node).Call(
+        [this, id, node] { return InstallOnDevice(id, node); },
+        [this, id, node](const Status& status, const CallOutcome& outcome) {
+          OnDeviceInstallResult(id, node, status, outcome);
+        },
+        opts);
+  }
+}
+
+Status IspNms::InstallOnDevice(const DeploymentId& id, NodeId node) {
+  const auto it = desired_.find(id);
+  if (it == desired_.end()) {
+    return NotFound("deployment no longer desired at " + name_);
+  }
+  const DesiredDeployment& d = it->second;
+  AdaptiveDevice* dev = devices_.at(node).get();
+  // Re-delivered copies of an already-landed install are a no-op.
+  if (dev->HasDeployment(d.instr.cert.subscriber)) return Status::Ok();
+  StageGraphs graphs =
+      BuildStageGraphs(d.instr.request, d.legit_forwarders);
+  DeploymentSpec spec;
+  spec.cert = d.instr.cert;
+  spec.scope = d.instr.request.control_scope;
+  spec.source_stage = std::move(graphs.source_stage);
+  spec.destination_stage = std::move(graphs.destination_stage);
+  spec.label = std::string(ServiceKindName(d.instr.request.kind));
+  spec.deployment_id = id;
+  return dev->InstallDeployment(std::move(spec));
+}
+
+void IspNms::OnDeviceInstallResult(const DeploymentId& id, NodeId node,
+                                   const Status& status,
+                                   const CallOutcome& outcome) {
+  (void)node;
+  const auto it = desired_.find(id);
+  if (it == desired_.end()) return;  // removed while in flight
+  DesiredDeployment& d = it->second;
+  if (outcome.attempts > 1) {
+    stats_.install_retries += outcome.attempts - 1;
+  }
+  if (status.ok()) {
+    if (!d.counted) {
+      d.counted = true;
+      stats_.deployments_installed++;
+      deployed_keys_.insert(
+          DeployKey(d.instr.cert.subscriber, d.instr.request.kind));
+    }
+    return;
+  }
+  d.worst = WorseStatus(d.worst, status);
+  if (status.code() == ErrorCode::kUnavailable) {
+    // Device crashed or every copy was lost; keep trying on a backoff
+    // sweep until the budget runs out, then leave it to resync.
+    stats_.installs_deferred++;
+    ScheduleRetrySweep();
+  }
+}
+
+void IspNms::ScheduleRetrySweep() {
+  if (sweep_scheduled_ || sweep_attempt_ >= kMaxSweepAttempts) return;
+  sweep_scheduled_ = true;
+  const SimDuration delay =
+      retry_policy_.BackoffAfter(++sweep_attempt_, control_rng_);
+  net_.sim().ScheduleAfter(std::max<SimDuration>(delay, 1), [this] {
+    sweep_scheduled_ = false;
+    stats_.retry_sweeps++;
+    (void)ResyncLocalDevices(/*from_resync=*/false);
+    if (AnyInstallPending()) {
+      ScheduleRetrySweep();
+    } else {
+      sweep_attempt_ = 0;
+    }
+  });
+}
+
+bool IspNms::AnyInstallPending() const {
+  for (const auto& [id, d] : desired_) {
+    (void)id;
+    for (NodeId node : managed_) {
+      if (!PlacementSelectsNode(d.instr.request, net_, node)) continue;
+      if (!devices_.at(node)->HasDeployment(d.instr.cert.subscriber)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t IspNms::ResyncLocalDevices(bool from_resync) {
+  std::size_t installed = 0;
+  const SimTime now = net_.sim().Now();
+  for (auto& [id, d] : desired_) {
+    for (NodeId node : managed_) {
+      if (!PlacementSelectsNode(d.instr.request, net_, node)) continue;
+      if (devices_.at(node)->HasDeployment(d.instr.cert.subscriber)) {
+        continue;
+      }
+      if (injector_ != nullptr && !injector_->DeviceUp(node, now)) {
+        continue;  // still down; a later round catches it
+      }
+      MessageFate fate;
+      if (injector_ != nullptr) {
+        fate = injector_->PlanMessage(DeviceChannelName(node));
+      }
+      if (!fate.deliver) continue;
+      const Status status = InstallOnDevice(id, node);
+      if (fate.duplicate) {
+        (void)InstallOnDevice(id, node);  // device dedups by id
+      }
+      if (status.ok()) {
+        installed++;
+        if (from_resync) stats_.resync_installs++;
+        if (!d.counted) {
+          d.counted = true;
+          stats_.deployments_installed++;
+          deployed_keys_.insert(
+              DeployKey(d.instr.cert.subscriber, d.instr.request.kind));
+        }
+      }
+    }
+  }
+  return installed;
+}
+
+std::size_t IspNms::ResyncNow() {
+  stats_.resync_rounds++;
+  const std::size_t installed = ResyncLocalDevices(/*from_resync=*/true);
+  // Peer anti-entropy: re-offer everything we hold; a peer that already
+  // has an instruction replays its record by id, one that missed it
+  // (partition, lost relay) finally applies it.
+  if (authority_ != nullptr) {
+    for (const auto& [id, d] : desired_) {
+      (void)id;
+      RelayToPeers(d.instr, *authority_);
+    }
+  }
+  return installed;
+}
+
+void IspNms::StartResync(SimDuration period) {
+  if (resync_running_) return;
+  resync_running_ = true;
+  net_.sim().SchedulePeriodic(period, [this] {
+    if (!resync_running_) return false;
+    ResyncNow();
+    return true;
+  });
 }
 
 Status IspNms::RemoveService(SubscriberId subscriber) {
@@ -153,6 +397,10 @@ Status IspNms::RemoveService(SubscriberId subscriber) {
   std::erase_if(deployed_keys_, [subscriber](std::uint64_t key) {
     return (key >> 8) == subscriber;
   });
+  // Stop converging toward the removed service.
+  std::erase_if(desired_, [subscriber](const auto& entry) {
+    return entry.second.instr.cert.subscriber == subscriber;
+  });
   return Status::Ok();
 }
 
@@ -160,21 +408,53 @@ Status IspNms::RelayDeploy(const OwnershipCertificate& cert,
                            const ServiceRequest& request,
                            const std::vector<NodeId>& home_nodes,
                            const CertificateAuthority& authority) {
-  if (deployed_keys_.contains(DeployKey(cert.subscriber, request.kind))) {
-    return Status::Ok();  // already have it; relay terminates here
+  DeploymentInstruction instr;
+  instr.id = DeploymentId{origin_tag_, next_local_seq_++};
+  instr.cert = cert;
+  instr.request = request;
+  instr.home_nodes = home_nodes;
+  return RelayDeploy(instr, authority);
+}
+
+Status IspNms::RelayDeploy(const DeploymentInstruction& instr,
+                           const CertificateAuthority& authority) {
+  if (instr.id.valid()) {
+    if (const auto it = applied_.find(instr.id); it != applied_.end()) {
+      stats_.duplicate_instructions++;
+      return it->second;  // flood terminates: this hop already has it
+    }
+  }
+  if (deployed_keys_.contains(
+          DeployKey(instr.cert.subscriber, instr.request.kind))) {
+    return Status::Ok();  // same service landed under an earlier id
   }
   stats_.relays_received++;
-  const Status local = DeployService(cert, request, home_nodes, authority);
+  const Status local = ApplyDeployment(instr, authority);
   if (!local.ok() && local.code() != ErrorCode::kAlreadyExists) {
     return local;
   }
+  RelayToPeers(instr, authority);
+  return Status::Ok();
+}
+
+void IspNms::RelayToPeers(const DeploymentInstruction& instr,
+                          const CertificateAuthority& authority) {
   for (IspNms* peer : peers_) {
     stats_.relays_forwarded++;
     // Best effort: a peer rejecting (e.g. no matching nodes) does not
-    // abort the flood.
-    (void)peer->RelayDeploy(cert, request, home_nodes, authority);
+    // abort the flood. Partitions are checked at delivery time, so a
+    // heal during flight lets the message through.
+    const CertificateAuthority* auth = &authority;
+    PeerChannel(peer).Send(
+        [this, peer, instr, auth] {
+          if (injector_ != nullptr &&
+              injector_->Partitioned(name_, peer->name())) {
+            return;
+          }
+          (void)peer->RelayDeploy(instr, *auth);
+        },
+        peer_latency_);
   }
-  return Status::Ok();
 }
 
 std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {

@@ -2,6 +2,15 @@
 // ISP's routers, validates and installs deployments, collects device
 // events, and relays configuration to peer ISPs when asked — the fallback
 // path for when the TCSP itself is unreachable (Sec. 5.1).
+//
+// Deployment is idempotent and fault-tolerant: every instruction carries
+// a DeploymentId, the NMS and each device record the outcome per id, and
+// re-delivered/duplicated copies replay the record instead of re-applying.
+// NMS→device and NMS→peer messages ride ControlChannels, so an attached
+// FaultInjector can lose, duplicate or delay them; failed device installs
+// go to a backoff retry sweep, and a periodic anti-entropy resync
+// (StartResync) re-installs whatever a crashed device or partitioned peer
+// missed, converging the world to the desired configuration.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +21,21 @@
 #include <vector>
 
 #include "core/adaptive_device.h"
+#include "core/control_channel.h"
+#include "core/deployment_id.h"
 #include "core/service.h"
 #include "net/network.h"
 
 namespace adtc {
+
+/// Everything one deployment needs, as it travels user→TCSP→NMS→peer.
+/// The id makes every hop idempotent.
+struct DeploymentInstruction {
+  DeploymentId id;
+  OwnershipCertificate cert;
+  ServiceRequest request;
+  std::vector<NodeId> home_nodes;
+};
 
 /// Management-plane counters; obs::Counter cells exported through the
 /// world registry under "nms.<isp-name>.*".
@@ -25,6 +45,12 @@ struct NmsStats {
   obs::Counter relays_forwarded;
   obs::Counter relays_received;
   obs::Counter events_received;
+  obs::Counter duplicate_instructions;  // id already applied, replayed
+  obs::Counter install_retries;         // extra device-channel attempts
+  obs::Counter installs_deferred;       // device unreachable, left to resync
+  obs::Counter retry_sweeps;            // backoff-driven local sweeps
+  obs::Counter resync_rounds;           // periodic anti-entropy rounds
+  obs::Counter resync_installs;         // installs recovered by resync
 };
 
 class IspNms : public EventSink {
@@ -42,26 +68,65 @@ class IspNms : public EventSink {
   const std::vector<NodeId>& managed_nodes() const { return managed_; }
   AdaptiveDevice* device(NodeId node);
 
+  /// Wires the control channels to a fault plan (nullptr detaches).
+  /// Must outlive the NMS. Existing channels are rebuilt lazily.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Retry/backoff policy for NMS→device and retry sweeps.
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+  }
+  /// One-way latency of NMS→peer-NMS relays (0 = synchronous when no
+  /// injector is attached).
+  void set_peer_latency(SimDuration latency) { peer_latency_ = latency; }
+
   /// Validates (certificate freshness + safety) and installs a service
   /// for a subscriber on every managed node selected by the placement
   /// policy. Home nodes = ASes legitimately originating the scope.
+  /// Allocates a local DeploymentId (this entry point is the
+  /// un-numbered legacy surface; the TCSP stamps its own ids).
   Status DeployService(const OwnershipCertificate& cert,
                        const ServiceRequest& request,
                        const std::vector<NodeId>& home_nodes,
                        const CertificateAuthority& authority);
 
+  /// Idempotent instruction application: the first delivery validates
+  /// and installs; every later delivery of the same id replays the
+  /// recorded status with zero side effects. `authority` must outlive
+  /// the NMS (it is retained for resync re-validation of peers).
+  Status ApplyDeployment(const DeploymentInstruction& instr,
+                         const CertificateAuthority& authority);
+
   Status RemoveService(SubscriberId subscriber);
 
-  /// Peer-to-peer configuration forwarding: deploys locally, then asks
-  /// every peer NMS to do the same (each ISP deploys at most once per
-  /// subscriber/service — the relay terminates). Used when the TCSP is
+  /// Peer-to-peer configuration forwarding: applies locally, then offers
+  /// the instruction to every peer NMS over the peer channels (each hop
+  /// dedups by id — the relay terminates). Used when the TCSP is
   /// unreachable "e.g. because of an ongoing DDoS attack on the TCSP".
+  Status RelayDeploy(const DeploymentInstruction& instr,
+                     const CertificateAuthority& authority);
+  /// Legacy user-originated entry: stamps a local id and relays.
   Status RelayDeploy(const OwnershipCertificate& cert,
                      const ServiceRequest& request,
                      const std::vector<NodeId>& home_nodes,
                      const CertificateAuthority& authority);
 
-  void AddPeer(IspNms* peer) { peers_.push_back(peer); }
+  /// Guarded against self- and duplicate peering: the mesh stays simple
+  /// no matter how enrolment wires it.
+  void AddPeer(IspNms* peer);
+  std::size_t peer_count() const { return peers_.size(); }
+  const std::vector<IspNms*>& peers() const { return peers_; }
+
+  // --- anti-entropy resync -------------------------------------------------
+  /// One resync round now: re-installs desired deployments on every up
+  /// device that misses them and re-offers them to all peers (peers
+  /// dedup by id). Returns the number of device installs recovered.
+  std::size_t ResyncNow();
+  /// Periodic resync every `period` until StopResync().
+  void StartResync(SimDuration period);
+  void StopResync() { resync_running_ = false; }
+  bool resync_running() const { return resync_running_; }
 
   // EventSink: devices report here.
   void OnEvent(const DeviceEvent& event) override;
@@ -72,16 +137,73 @@ class IspNms : public EventSink {
   std::size_t device_count() const { return devices_.size(); }
   /// Number of managed devices currently carrying this subscriber.
   std::size_t CountDeployments(SubscriberId subscriber) const;
+  /// Instructions applied (for tests asserting exactly-once counting).
+  std::size_t applied_instruction_count() const { return applied_.size(); }
 
  private:
+  /// A validated instruction this NMS is responsible for converging.
+  struct DesiredDeployment {
+    DeploymentInstruction instr;
+    std::vector<NodeId> legit_forwarders;
+    Status worst;          // worst device outcome observed so far
+    bool counted = false;  // deployments_installed already bumped
+  };
+
+  static constexpr std::size_t kMaxSweepAttempts = 16;
+
+  /// The effectful path behind the id-dedup shield.
+  Status ApplyDeploymentImpl(const DeploymentInstruction& instr,
+                             const CertificateAuthority& authority);
+  /// Sends one install attempt per selected, still-missing device
+  /// through its channel.
+  void InstallRound(const DeploymentId& id);
+  /// Builds the spec and installs on one device (idempotent via the
+  /// device's own id record). Safe to run on re-delivered copies.
+  Status InstallOnDevice(const DeploymentId& id, NodeId node);
+  void OnDeviceInstallResult(const DeploymentId& id, NodeId node,
+                             const Status& status,
+                             const CallOutcome& outcome);
+  /// Device-level sweep used by both the backoff retry path and the
+  /// periodic resync. Returns installs recovered.
+  std::size_t ResyncLocalDevices(bool from_resync);
+  bool AnyInstallPending() const;
+  void ScheduleRetrySweep();
+  void RelayToPeers(const DeploymentInstruction& instr,
+                    const CertificateAuthority& authority);
+
+  ControlChannel& DeviceChannel(NodeId node);
+  ControlChannel& PeerChannel(IspNms* peer);
+  std::string DeviceChannelName(NodeId node) const;
+
   std::string name_;
   Network& net_;
   const SafetyValidator* validator_;
+  FaultInjector* injector_ = nullptr;
+  /// Control-plane randomness (backoff jitter, channel dice) is drawn
+  /// from a private stream so the world's packet Rng is untouched.
+  Rng control_rng_;
+  RetryPolicy retry_policy_;
+  SimDuration peer_latency_ = 0;
   std::vector<NodeId> managed_;
   std::unordered_map<NodeId, std::unique_ptr<AdaptiveDevice>> devices_;
   std::vector<IspNms*> peers_;
-  /// (subscriber, kind) pairs already deployed — relay termination.
+  std::unordered_map<NodeId, std::unique_ptr<ControlChannel>>
+      device_channels_;
+  std::unordered_map<IspNms*, std::unique_ptr<ControlChannel>>
+      peer_channels_;
+  /// (subscriber, kind) pairs already deployed — legacy relay
+  /// termination for un-numbered requests.
   std::unordered_set<std::uint64_t> deployed_keys_;
+  /// Outcome per instruction id — the exactly-once record.
+  std::unordered_map<DeploymentId, Status, DeploymentIdHash> applied_;
+  std::unordered_map<DeploymentId, DesiredDeployment, DeploymentIdHash>
+      desired_;
+  const CertificateAuthority* authority_ = nullptr;  // for resync re-offers
+  std::uint64_t origin_tag_;
+  std::uint64_t next_local_seq_ = 1;
+  bool sweep_scheduled_ = false;
+  std::size_t sweep_attempt_ = 0;
+  bool resync_running_ = false;
   EventBuffer event_log_;
   NmsStats stats_;
 };

@@ -26,6 +26,25 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
              static_cast<double>(stats_.requests_while_unreachable)});
         out.push_back(
             {"tcsp.enrolled_isps", static_cast<double>(isps_.size())});
+        out.push_back({"tcsp.deploy_retries",
+                       static_cast<double>(stats_.deploy_retries)});
+        out.push_back({"tcsp.relay_fallbacks",
+                       static_cast<double>(stats_.relay_fallbacks)});
+        if (injector_ != nullptr) {
+          const FaultInjectorStats& fs = injector_->stats();
+          out.push_back({"faults.messages_planned",
+                         static_cast<double>(fs.messages_planned)});
+          out.push_back({"faults.messages_lost",
+                         static_cast<double>(fs.messages_lost)});
+          out.push_back({"faults.messages_duplicated",
+                         static_cast<double>(fs.messages_duplicated)});
+          out.push_back({"faults.messages_delayed",
+                         static_cast<double>(fs.messages_delayed)});
+          out.push_back({"faults.messages_reordered",
+                         static_cast<double>(fs.messages_reordered)});
+          out.push_back({"faults.partition_blocks",
+                         static_cast<double>(fs.partition_blocks)});
+        }
       });
 }
 
@@ -39,11 +58,43 @@ obs::Tracer* Tcsp::tracer() const {
 }
 
 void Tcsp::EnrollIsp(IspNms* nms) {
+  if (nms == nullptr) return;
+  for (IspNms* existing : isps_) {
+    if (existing == nms) return;  // already enrolled
+  }
   for (IspNms* existing : isps_) {
     existing->AddPeer(nms);
     nms->AddPeer(existing);
   }
   isps_.push_back(nms);
+  nms->set_retry_policy(config_.retry);
+  nms->set_peer_latency(config_.nms_peer_latency);
+  if (injector_ != nullptr) {
+    nms->AttachFaultInjector(injector_);
+  }
+}
+
+void Tcsp::AttachFaultInjector(FaultInjector* injector) {
+  injector_ = injector;
+  isp_channels_.clear();  // rebuilt lazily against the new plan
+  for (IspNms* nms : isps_) {
+    nms->AttachFaultInjector(injector);
+  }
+}
+
+bool Tcsp::TcspReachable() const {
+  return reachable_ &&
+         (injector_ == nullptr || injector_->TcspUp(net_.sim().Now()));
+}
+
+ControlChannel& Tcsp::IspChannel(IspNms* nms) {
+  auto it = isp_channels_.find(nms);
+  if (it == isp_channels_.end()) {
+    auto channel = std::make_unique<ControlChannel>(
+        net_.sim(), control_rng_, "tcsp->nms:" + nms->name(), injector_);
+    it = isp_channels_.emplace(nms, std::move(channel)).first;
+  }
+  return *it->second;
 }
 
 Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
@@ -53,7 +104,7 @@ Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
   if (tracer() != nullptr) {
     tracer()->Annotate(span.id(), "subject", subject);
   }
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     span.Fail();
     return Status(Unavailable("TCSP unreachable"));
@@ -107,7 +158,7 @@ void Tcsp::RegisterAsync(
 Result<OwnershipCertificate> Tcsp::RegisterDelegate(
     const OwnershipCertificate& owner_cert, std::string delegate_name,
     std::vector<Prefix> delegated_prefixes) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Status(Unavailable("TCSP unreachable"));
   }
@@ -177,8 +228,20 @@ DeploymentReport Tcsp::DeployService(
                              [report, cb = std::move(cb)] { cb(report); });
   };
 
-  if (!reachable_) {
+  // Every deployment gets one instruction with one id, shared by every
+  // ISP: however many times any channel re-delivers it, each NMS and
+  // device applies it exactly once.
+  DeploymentInstruction instr;
+  instr.id = DeploymentId{0, next_deployment_seq_++};
+  instr.cert = cert;
+  instr.request = request;
+  instr.home_nodes = HomeNodes(request.control_scope);
+
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
+    if (config_.relay_fallback && !isps_.empty()) {
+      return RelayFallback(instr, requested_at, deploy_span, done);
+    }
     if (tracer() != nullptr) tracer()->EndSpan(deploy_span, /*ok=*/false);
     DeploymentReport report;
     report.status = Unavailable("TCSP unreachable");
@@ -188,13 +251,13 @@ DeploymentReport Tcsp::DeployService(
     return report;
   }
 
-  // The request reaches the TCSP, which instructs every ISP in parallel;
-  // each ISP configures its selected devices sequentially. The report
-  // completes when the slowest ISP is done. Every ISP is attempted even
-  // after a failure; the first error is what the report carries.
+  // The request reaches the TCSP, which instructs every ISP in parallel
+  // over its control channel; each ISP configures its selected devices
+  // sequentially. The report completes when the slowest ISP answered
+  // (or its retry budget ran out). Every ISP is attempted even after a
+  // failure; the report carries the worst observed outcome.
   auto report = std::make_shared<DeploymentReport>();
   report->requested_at = requested_at;
-  const std::vector<NodeId> home_nodes = HomeNodes(request.control_scope);
 
   if (isps_.empty()) {
     report->completed_at = requested_at;
@@ -204,60 +267,122 @@ DeploymentReport Tcsp::DeployService(
     return *report;
   }
 
+  report->isp_outcomes.resize(isps_.size());
   auto pending = std::make_shared<std::size_t>(isps_.size());
   auto done_shared =
       std::make_shared<std::function<void(const DeploymentReport&)>>(
           std::move(done));
-  const auto configure = [this, cert, request, home_nodes, report, pending,
-                          done_shared, deploy_span](IspNms* nms) {
-    Status status;
-    {
-      // Re-activate the deploy span so the NMS/device spans created
-      // inside this continuation parent correctly.
-      obs::ScopedActivation activation(tracer(), deploy_span);
-      status = nms->DeployService(cert, request, home_nodes, ca_);
-    }
-    if (!status.ok() && report->status.ok()) {
-      report->status = status;
-    } else if (status.ok()) {
-      report->isps_configured++;
-      report->devices_configured += nms->CountDeployments(cert.subscriber);
-    }
-    if (--*pending == 0) {
-      report->completed_at = net_.sim().Now();
-      if (report->status.ok()) {
-        stats_.deployments_completed++;
-      } else {
-        stats_.deployments_failed++;
-      }
-      if (tracer() != nullptr) {
-        tracer()->EndSpan(deploy_span, report->status.ok());
-      }
-      if (*done_shared) (*done_shared)(*report);
-    }
-  };
 
-  for (IspNms* nms : isps_) {
-    if (!modelled) {
-      configure(nms);
-      continue;
-    }
-    // Count configurable devices for this ISP to model config time.
-    std::size_t selected = 0;
-    for (NodeId node : nms->managed_nodes()) {
-      if (PlacementSelectsNode(request, net_, node)) {
-        ++selected;
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    IspNms* nms = isps_[i];
+    report->isp_outcomes[i].isp = nms->name();
+    ControlChannel::CallOptions opts;
+    opts.retry = config_.retry;
+    if (modelled) {
+      // Count configurable devices for this ISP to model config time.
+      std::size_t selected = 0;
+      for (NodeId node : nms->managed_nodes()) {
+        if (PlacementSelectsNode(request, net_, node)) {
+          ++selected;
+        }
       }
+      opts.request_latency =
+          config_.user_to_tcsp_latency + config_.tcsp_to_isp_latency +
+          static_cast<SimDuration>(selected) * config_.device_config_time;
     }
-    const SimDuration isp_delay =
-        config_.user_to_tcsp_latency + config_.tcsp_to_isp_latency +
-        static_cast<SimDuration>(selected) * config_.device_config_time;
-    net_.sim().ScheduleAfter(isp_delay,
-                             [configure, nms] { configure(nms); });
+    IspChannel(nms).Call(
+        [this, instr, nms, deploy_span]() -> Status {
+          // Re-activate the deploy span so the NMS/device spans created
+          // inside this continuation parent correctly. A retried or
+          // duplicated copy re-runs this handler; ApplyDeployment
+          // replays its record by id instead of re-installing.
+          obs::ScopedActivation activation(tracer(), deploy_span);
+          return nms->ApplyDeployment(instr, ca_);
+        },
+        [this, report, pending, done_shared, deploy_span, nms, i,
+         subscriber = cert.subscriber](const Status& status,
+                                       const CallOutcome& outcome) {
+          IspOutcome& slot = report->isp_outcomes[i];
+          slot.status = status;
+          slot.attempts = outcome.attempts;
+          if (outcome.attempts > 1) {
+            const std::uint32_t extra = outcome.attempts - 1;
+            report->retries += extra;
+            stats_.deploy_retries += extra;
+          }
+          report->status = WorseStatus(report->status, status);
+          if (status.ok()) {
+            report->isps_configured++;
+            slot.devices_configured = nms->CountDeployments(subscriber);
+            report->devices_configured += slot.devices_configured;
+          }
+          if (--*pending == 0) {
+            report->completed_at = net_.sim().Now();
+            if (report->status.ok()) {
+              stats_.deployments_completed++;
+            } else {
+              stats_.deployments_failed++;
+            }
+            if (tracer() != nullptr) {
+              tracer()->EndSpan(deploy_span, report->status.ok());
+            }
+            if (*done_shared) (*done_shared)(*report);
+          }
+        },
+        opts);
   }
-  // kImmediate: `configure` ran for every ISP above, the report is final.
-  // kLatencyModelled: provisional snapshot (completed_at still 0).
+  // kImmediate with no injector: every channel completed inline above
+  // and the report is final. Otherwise: provisional snapshot
+  // (completed_at still 0) and the outcome arrives through `done`.
   return *report;
+}
+
+DeploymentReport Tcsp::RelayFallback(
+    const DeploymentInstruction& instr, SimTime requested_at,
+    obs::SpanId deploy_span,
+    const std::function<void(const DeploymentReport&)>& done) {
+  stats_.relay_fallbacks++;
+  if (tracer() != nullptr) {
+    tracer()->Annotate(deploy_span, "path", "relayed");
+  }
+  DeploymentReport report;
+  report.path = DeployPath::kRelayed;
+  report.requested_at = requested_at;
+  // The user contacts the first enrolled ISP directly; the instruction
+  // floods the peer mesh from there (and anti-entropy resync catches
+  // any peer a faulty relay missed).
+  IspNms* entry = isps_.front();
+  Status status;
+  {
+    obs::ScopedActivation activation(tracer(), deploy_span);
+    status = entry->RelayDeploy(instr, ca_);
+  }
+  report.status = status;
+  for (IspNms* nms : isps_) {
+    IspOutcome outcome;
+    outcome.isp = nms->name();
+    // attempts == 0 marks ISPs reached via the mesh, not instructed
+    // directly; their status is unknowable from an unreachable TCSP, so
+    // only the device snapshot is reported.
+    outcome.attempts = nms == entry ? 1 : 0;
+    outcome.status = nms == entry ? status : Status::Ok();
+    outcome.devices_configured =
+        nms->CountDeployments(instr.cert.subscriber);
+    if (outcome.devices_configured > 0) report.isps_configured++;
+    report.devices_configured += outcome.devices_configured;
+    report.isp_outcomes.push_back(std::move(outcome));
+  }
+  report.completed_at = net_.sim().Now();
+  if (report.status.ok()) {
+    stats_.deployments_completed++;
+  } else {
+    stats_.deployments_failed++;
+  }
+  if (tracer() != nullptr) {
+    tracer()->EndSpan(deploy_span, report.status.ok());
+  }
+  if (done) done(report);
+  return report;
 }
 
 std::size_t Tcsp::ForEachStageGraph(
@@ -282,7 +407,7 @@ std::size_t Tcsp::ForEachStageGraph(
 }
 
 Status Tcsp::SetFirewallRulesActive(SubscriberId subscriber, bool active) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Unavailable("TCSP unreachable");
   }
@@ -306,7 +431,7 @@ Status Tcsp::SetFirewallRulesActive(SubscriberId subscriber, bool active) {
 }
 
 Status Tcsp::SetRateLimit(SubscriberId subscriber, double rate_pps) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Unavailable("TCSP unreachable");
   }
@@ -331,7 +456,7 @@ Status Tcsp::SetRateLimit(SubscriberId subscriber, double rate_pps) {
 
 Result<Tcsp::StatisticsReport> Tcsp::ReadStatistics(
     SubscriberId subscriber) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Status(Unavailable("TCSP unreachable"));
   }
@@ -353,7 +478,7 @@ Result<Tcsp::StatisticsReport> Tcsp::ReadStatistics(
 
 Result<std::string> Tcsp::ReadLogs(SubscriberId subscriber,
                                    std::size_t max_lines_per_device) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Status(Unavailable("TCSP unreachable"));
   }
@@ -375,7 +500,7 @@ Result<std::string> Tcsp::ReadLogs(SubscriberId subscriber,
 }
 
 Status Tcsp::RemoveService(SubscriberId subscriber) {
-  if (!reachable_) {
+  if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     return Unavailable("TCSP unreachable");
   }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,13 +23,34 @@
 #include "core/nms.h"
 #include "core/ownership.h"
 #include "core/tcsp_config.h"
+#include "obs/span.h"
 
 namespace adtc {
 
+/// How a deployment reached the ISPs.
+enum class DeployPath : std::uint8_t {
+  kDirect,   // TCSP instructed every NMS itself
+  kRelayed,  // TCSP unreachable; flooded through the NMS peer mesh
+};
+
+/// Per-ISP view of one deployment.
+struct IspOutcome {
+  std::string isp;
+  Status status;
+  std::uint32_t attempts = 0;  // channel attempts (1 = no retries)
+  std::size_t devices_configured = 0;
+};
+
 struct DeploymentReport {
+  /// Aggregate over all ISPs: the *worst* observed outcome (see
+  /// ErrorSeverity); Ok only when every ISP accepted.
   Status status;
   std::size_t isps_configured = 0;
   std::size_t devices_configured = 0;
+  /// Extra channel attempts summed over all ISPs (0 when fault-free).
+  std::uint32_t retries = 0;
+  DeployPath path = DeployPath::kDirect;
+  std::vector<IspOutcome> isp_outcomes;
   SimTime requested_at = 0;
   SimTime completed_at = 0;
 
@@ -55,6 +77,8 @@ struct TcspStats {
   obs::Counter deployments_completed;
   obs::Counter deployments_failed;
   obs::Counter requests_while_unreachable;
+  obs::Counter deploy_retries;    // extra TCSP->NMS channel attempts
+  obs::Counter relay_fallbacks;   // deployments that took the peer mesh
 };
 
 class Tcsp {
@@ -139,6 +163,14 @@ class Tcsp {
   void set_reachable(bool reachable) { reachable_ = reachable; }
   bool reachable() const { return reachable_; }
 
+  /// Routes every control channel (TCSP->NMS of all enrolled and future
+  /// ISPs, plus their NMS->device and NMS->peer channels) through a
+  /// fault plan and exports the injector's counters as "faults.*".
+  /// The injector also decides TCSP outage windows (TcspUp). Pass
+  /// nullptr to detach. Must outlive the Tcsp.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
   const CertificateAuthority& certificate_authority() const { return ca_; }
   const SafetyValidator& validator() const { return validator_; }
   const TcspStats& stats() const { return stats_; }
@@ -150,12 +182,30 @@ class Tcsp {
   /// World tracer when a telemetry sink is attached, else nullptr.
   obs::Tracer* tracer() const;
 
+  /// Operator switch AND the injector's outage schedule.
+  bool TcspReachable() const;
+  /// Lazily built TCSP->NMS channel for one enrolled ISP.
+  ControlChannel& IspChannel(IspNms* nms);
+  /// Unreachable-TCSP degradation: floods the instruction through the
+  /// peer mesh starting at the first enrolled NMS.
+  DeploymentReport RelayFallback(
+      const DeploymentInstruction& instr, SimTime requested_at,
+      obs::SpanId deploy_span,
+      const std::function<void(const DeploymentReport&)>& done);
+
   Network& net_;
   NumberAuthority& authority_;
   CertificateAuthority ca_;
   SafetyValidator validator_;
   TcspConfig config_;
   std::vector<IspNms*> isps_;
+  FaultInjector* injector_ = nullptr;
+  /// Control-plane randomness (channel dice, backoff jitter) uses its
+  /// own stream so attaching faults never perturbs the world Rng.
+  Rng control_rng_{0x7c5c0de5eedULL};
+  std::unordered_map<IspNms*, std::unique_ptr<ControlChannel>>
+      isp_channels_;
+  std::uint64_t next_deployment_seq_ = 1;
   SubscriberId next_subscriber_ = 1;
   bool reachable_ = true;
   TcspStats stats_;

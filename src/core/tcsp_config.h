@@ -2,6 +2,7 @@
 #pragma once
 
 #include "common/units.h"
+#include "core/control_channel.h"
 
 namespace adtc {
 
@@ -16,6 +17,16 @@ struct TcspConfig {
   SimDuration authority_query_latency = Milliseconds(100);
   /// Issued certificate lifetime.
   SimDuration certificate_validity = Seconds(30LL * 24 * 3600);
+  /// Retry/backoff applied to TCSP->NMS and NMS->device channel calls
+  /// when a fault injector is attached.
+  RetryPolicy retry;
+  /// One-way NMS -> peer-NMS relay latency (0 = synchronous relay when
+  /// no fault injector is attached, the pre-fault behaviour).
+  SimDuration nms_peer_latency = 0;
+  /// Graceful degradation: when the TCSP is unreachable at deploy time,
+  /// relay the deployment through the peer mesh of the first enrolled
+  /// ISP NMS instead of failing the request.
+  bool relay_fallback = false;
 };
 
 }  // namespace adtc

@@ -1,0 +1,104 @@
+#include "sim/faults.h"
+
+namespace adtc {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::SetDefaultFaults(const ChannelFaults& faults) {
+  default_faults_ = faults;
+}
+
+void FaultInjector::SetChannelFaults(const std::string& channel,
+                                     const ChannelFaults& faults) {
+  per_channel_[channel] = faults;
+}
+
+const ChannelFaults& FaultInjector::PlanFor(
+    const std::string& channel) const {
+  const auto it = per_channel_.find(channel);
+  return it != per_channel_.end() ? it->second : default_faults_;
+}
+
+MessageFate FaultInjector::PlanMessage(const std::string& channel) {
+  stats_.messages_planned++;
+  MessageFate fate;
+  const ChannelFaults& plan = PlanFor(channel);
+  if (plan.None()) return fate;
+  if (rng_.NextBool(plan.loss)) {
+    stats_.messages_lost++;
+    fate.deliver = false;
+    return fate;
+  }
+  if (plan.jitter_max > 0) {
+    fate.extra_delay = static_cast<SimDuration>(
+        rng_.NextBelow(static_cast<std::uint64_t>(plan.jitter_max) + 1));
+    if (fate.extra_delay > 0) stats_.messages_delayed++;
+  }
+  if (rng_.NextBool(plan.reorder)) {
+    stats_.messages_reordered++;
+    fate.extra_delay += plan.reorder_delay;
+  }
+  if (rng_.NextBool(plan.duplicate)) {
+    stats_.messages_duplicated++;
+    fate.duplicate = true;
+    fate.duplicate_delay =
+        fate.extra_delay +
+        (plan.jitter_max > 0
+             ? static_cast<SimDuration>(rng_.NextBelow(
+                   static_cast<std::uint64_t>(plan.jitter_max) + 1))
+             : Milliseconds(1));
+  }
+  return fate;
+}
+
+void FaultInjector::AddTcspOutage(SimTime start, SimTime end) {
+  tcsp_outages_.emplace_back(start, end);
+}
+
+bool FaultInjector::TcspUp(SimTime now) const {
+  for (const auto& [start, end] : tcsp_outages_) {
+    if (now >= start && now < end) return false;
+  }
+  return true;
+}
+
+void FaultInjector::AddDeviceOutage(NodeId node, SimTime start,
+                                    SimTime end) {
+  device_outages_[node].emplace_back(start, end);
+}
+
+bool FaultInjector::DeviceUp(NodeId node, SimTime now) const {
+  const auto it = device_outages_.find(node);
+  if (it == device_outages_.end()) return true;
+  for (const auto& [start, end] : it->second) {
+    if (now >= start && now < end) return false;
+  }
+  return true;
+}
+
+std::string FaultInjector::PartitionKey(const std::string& a,
+                                        const std::string& b) {
+  return a < b ? a + "|" + b : b + "|" + a;
+}
+
+void FaultInjector::Partition(const std::string& nms_a,
+                              const std::string& nms_b) {
+  partitions_.insert(PartitionKey(nms_a, nms_b));
+}
+
+void FaultInjector::Heal(const std::string& nms_a,
+                         const std::string& nms_b) {
+  partitions_.erase(PartitionKey(nms_a, nms_b));
+}
+
+bool FaultInjector::Partitioned(const std::string& nms_a,
+                                const std::string& nms_b) {
+  if (partitions_.empty()) return false;
+  if (partitions_.contains(PartitionKey(nms_a, nms_b))) {
+    stats_.partition_blocks++;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace adtc

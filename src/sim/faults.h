@@ -1,0 +1,120 @@
+// Deterministic fault injection for the control plane.
+//
+// The paper's availability argument (Sec. 5.1) is that traffic control
+// keeps working while the control plane itself is under attack. To test
+// that, a FaultInjector holds a *fault plan* — per-channel message
+// loss/duplication/delay/reorder probabilities, TCSP outage windows,
+// device crash/recovery schedules, and NMS partitions — and every
+// control message routed through a ControlChannel (src/core/
+// control_channel.h) asks the injector for its fate before delivery.
+//
+// Determinism: the injector owns its own Rng, seeded independently of
+// the world's packet-level Rng, so attaching an injector never perturbs
+// datapath random streams. Given the same seed, plan and simulated call
+// order, every fault decision replays identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+
+namespace adtc {
+
+/// Per-channel fault probabilities. All default to "no faults".
+struct ChannelFaults {
+  /// Probability one message is silently dropped.
+  double loss = 0.0;
+  /// Probability a delivered message is delivered a second time.
+  double duplicate = 0.0;
+  /// Uniform extra delivery delay in [0, jitter_max].
+  SimDuration jitter_max = 0;
+  /// Probability a delivered message is additionally held back by
+  /// `reorder_delay` (so a later message can overtake it).
+  double reorder = 0.0;
+  SimDuration reorder_delay = Milliseconds(50);
+
+  bool None() const {
+    return loss == 0.0 && duplicate == 0.0 && jitter_max == 0 &&
+           reorder == 0.0;
+  }
+};
+
+/// The fate the injector assigned to one message.
+struct MessageFate {
+  bool deliver = true;
+  SimDuration extra_delay = 0;
+  bool duplicate = false;
+  SimDuration duplicate_delay = 0;
+};
+
+/// Plain counters (the sim layer cannot depend on obs; the component
+/// that owns the injector exports these through the metrics registry).
+struct FaultInjectorStats {
+  std::uint64_t messages_planned = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;
+  std::uint64_t messages_reordered = 0;
+  std::uint64_t partition_blocks = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed);
+
+  // --- channel fault plans -----------------------------------------------
+  /// Plan applied to every channel without a more specific entry.
+  void SetDefaultFaults(const ChannelFaults& faults);
+  /// Plan for one exact channel name (e.g. "tcsp->nms:isp-3"), taking
+  /// precedence over the default.
+  void SetChannelFaults(const std::string& channel,
+                        const ChannelFaults& faults);
+
+  /// Rolls the dice for one message on `channel`. Consumes randomness
+  /// only when the effective plan has any fault enabled, so attaching an
+  /// all-zero injector is behaviourally inert.
+  MessageFate PlanMessage(const std::string& channel);
+
+  // --- endpoint availability schedules ------------------------------------
+  /// The TCSP is unreachable during [start, end) (its own DDoS).
+  void AddTcspOutage(SimTime start, SimTime end);
+  bool TcspUp(SimTime now) const;
+
+  /// Device at `node` is crashed during [start, end); control messages
+  /// to it are blackholed until it recovers.
+  void AddDeviceOutage(NodeId node, SimTime start, SimTime end);
+  bool DeviceUp(NodeId node, SimTime now) const;
+
+  // --- NMS partitions ------------------------------------------------------
+  /// Symmetric: peer-relay messages between the two named NMSes are
+  /// blocked until Heal(). Counted in stats().partition_blocks when a
+  /// send is refused.
+  void Partition(const std::string& nms_a, const std::string& nms_b);
+  void Heal(const std::string& nms_a, const std::string& nms_b);
+  bool Partitioned(const std::string& nms_a, const std::string& nms_b);
+
+  const FaultInjectorStats& stats() const { return stats_; }
+
+ private:
+  const ChannelFaults& PlanFor(const std::string& channel) const;
+  static std::string PartitionKey(const std::string& a,
+                                  const std::string& b);
+
+  Rng rng_;
+  ChannelFaults default_faults_;
+  std::unordered_map<std::string, ChannelFaults> per_channel_;
+  std::vector<std::pair<SimTime, SimTime>> tcsp_outages_;
+  std::unordered_map<NodeId, std::vector<std::pair<SimTime, SimTime>>>
+      device_outages_;
+  std::unordered_set<std::string> partitions_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace adtc

@@ -1,0 +1,290 @@
+#include "core/control_channel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_device.h"
+#include "core/certificate.h"
+#include "core/modules/observe.h"
+#include "net/ip.h"
+
+namespace adtc {
+namespace {
+
+TEST(WorseStatusTest, RanksAvailabilityAboveBenignDuplicates) {
+  const Status ok = Status::Ok();
+  const Status dup = AlreadyExists("dup");
+  const Status down = Unavailable("down");
+  EXPECT_EQ(WorseStatus(ok, dup).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(WorseStatus(dup, down).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(WorseStatus(down, dup).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(WorseStatus(ok, ok).code(), ErrorCode::kOk);
+}
+
+TEST(WorseStatusTest, TiesKeepTheFirstObserved) {
+  const Status first = NotFound("first");
+  const Status second = NotFound("second");
+  EXPECT_EQ(WorseStatus(first, second).message(), "first");
+}
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff = Milliseconds(10);
+  policy.multiplier = 2.0;
+  policy.max_backoff = Milliseconds(80);
+  policy.jitter = 0.0;
+  Rng rng(1);
+  EXPECT_EQ(policy.BackoffAfter(1, rng), Milliseconds(10));
+  EXPECT_EQ(policy.BackoffAfter(2, rng), Milliseconds(20));
+  EXPECT_EQ(policy.BackoffAfter(3, rng), Milliseconds(40));
+  EXPECT_EQ(policy.BackoffAfter(4, rng), Milliseconds(80));
+  EXPECT_EQ(policy.BackoffAfter(9, rng), Milliseconds(80));  // stays capped
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinSymmetricBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff = Milliseconds(100);
+  policy.multiplier = 1.0;
+  policy.max_backoff = Milliseconds(100);
+  policy.jitter = 0.2;
+  Rng rng(7);
+  SimDuration lo = Milliseconds(100), hi = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration backoff = policy.BackoffAfter(1, rng);
+    EXPECT_GE(backoff, Milliseconds(80));
+    EXPECT_LE(backoff, Milliseconds(120));
+    lo = std::min(lo, backoff);
+    hi = std::max(hi, backoff);
+  }
+  EXPECT_LT(lo, hi);  // jitter actually spreads the schedule
+}
+
+TEST(ControlChannelTest, FaultFreeZeroLatencyCallIsSynchronous) {
+  Simulator sim;
+  Rng rng(1);
+  ControlChannel channel(sim, rng, "sync");
+  int handler_runs = 0;
+  Status got;
+  CallOutcome outcome;
+  channel.Call([&] { handler_runs++; return Status::Ok(); },
+               [&](const Status& status, const CallOutcome& o) {
+                 got = status;
+                 outcome = o;
+               },
+               {});
+  // Everything happened before Call returned, with no events queued.
+  EXPECT_EQ(handler_runs, 1);
+  EXPECT_TRUE(got.ok());
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(sim.RunToCompletion(), 0u);
+}
+
+TEST(ControlChannelTest, GivesUpAfterAttemptBudgetOnTotalLoss) {
+  Simulator sim;
+  Rng rng(1);
+  FaultInjector injector(5);
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  injector.SetDefaultFaults(faults);
+  ControlChannel channel(sim, rng, "blackhole", &injector);
+  ControlChannel::CallOptions opts;
+  opts.retry.initial_backoff = Milliseconds(10);
+  opts.retry.max_attempts = 3;
+  opts.retry.deadline = Seconds(60);
+  int handler_runs = 0;
+  bool completed = false;
+  Status got;
+  CallOutcome outcome;
+  channel.Call([&] { handler_runs++; return Status::Ok(); },
+               [&](const Status& status, const CallOutcome& o) {
+                 completed = true;
+                 got = status;
+                 outcome = o;
+               },
+               opts);
+  sim.RunToCompletion();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(handler_runs, 0);  // nothing ever got through
+  EXPECT_EQ(got.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_FALSE(outcome.deadline_expired);
+}
+
+TEST(ControlChannelTest, DeadlineExpiryIsReported) {
+  Simulator sim;
+  Rng rng(1);
+  FaultInjector injector(5);
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  injector.SetDefaultFaults(faults);
+  ControlChannel channel(sim, rng, "blackhole", &injector);
+  ControlChannel::CallOptions opts;
+  opts.retry.initial_backoff = Milliseconds(40);
+  opts.retry.jitter = 0.0;
+  opts.retry.max_attempts = 100;
+  opts.retry.deadline = Milliseconds(50);
+  bool completed = false;
+  Status got;
+  CallOutcome outcome;
+  channel.Call([] { return Status::Ok(); },
+               [&](const Status& status, const CallOutcome& o) {
+                 completed = true;
+                 got = status;
+                 outcome = o;
+               },
+               opts);
+  sim.RunToCompletion();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(got.code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(outcome.deadline_expired);
+  EXPECT_LT(outcome.attempts, 100u);
+}
+
+TEST(ControlChannelTest, RetriesUntilTheLossClears) {
+  Simulator sim;
+  Rng rng(1);
+  FaultInjector injector(5);
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  injector.SetChannelFaults("flaky", faults);
+  ControlChannel channel(sim, rng, "flaky", &injector);
+  ControlChannel::CallOptions opts;
+  opts.retry.initial_backoff = Milliseconds(10);
+  opts.retry.max_attempts = 10;
+  // Heal the channel shortly after the first attempts are swallowed.
+  sim.ScheduleAfter(Milliseconds(100), [&] {
+    injector.SetChannelFaults("flaky", ChannelFaults{});
+  });
+  int handler_runs = 0;
+  bool completed = false;
+  CallOutcome outcome;
+  Status got;
+  channel.Call([&] { handler_runs++; return Status::Ok(); },
+               [&](const Status& status, const CallOutcome& o) {
+                 completed = true;
+                 got = status;
+                 outcome = o;
+               },
+               opts);
+  sim.RunToCompletion();
+  EXPECT_TRUE(completed);
+  EXPECT_TRUE(got.ok()) << got.ToString();
+  EXPECT_EQ(handler_runs, 1);
+  EXPECT_GT(outcome.attempts, 1u);  // the lost attempts were retried
+}
+
+TEST(ControlChannelTest, DuplicatedRequestRunsHandlerTwiceCompletesOnce) {
+  Simulator sim;
+  Rng rng(1);
+  FaultInjector injector(5);
+  ChannelFaults faults;
+  faults.duplicate = 1.0;
+  injector.SetDefaultFaults(faults);
+  ControlChannel channel(sim, rng, "dupe", &injector);
+  int handler_runs = 0;
+  int completions = 0;
+  channel.Call([&] { handler_runs++; return Status::Ok(); },
+               [&](const Status&, const CallOutcome&) { completions++; },
+               {});
+  sim.RunToCompletion();
+  // Both request copies execute the handler — exactly-once effects are
+  // the remote's job (DeploymentId dedup) — but `done` fires once.
+  EXPECT_EQ(handler_runs, 2);
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(ControlChannelTest, DownRemoteBlackholesUntilRecovery) {
+  Simulator sim;
+  Rng rng(1);
+  FaultInjector injector(5);
+  injector.AddDeviceOutage(3, 0, Milliseconds(100));
+  ControlChannel channel(sim, rng, "to-dev", &injector, [&] {
+    return injector.DeviceUp(3, sim.Now());
+  });
+  ControlChannel::CallOptions opts;
+  opts.retry.initial_backoff = Milliseconds(30);
+  opts.retry.max_attempts = 10;
+  int handler_runs = 0;
+  Status got;
+  channel.Call([&] { handler_runs++; return Status::Ok(); },
+               [&](const Status& status, const CallOutcome&) { got = status; },
+               opts);
+  sim.RunToCompletion();
+  EXPECT_TRUE(got.ok()) << got.ToString();
+  EXPECT_EQ(handler_runs, 1);  // only the post-recovery delivery ran
+}
+
+// --- DeploymentId ---------------------------------------------------------
+
+TEST(DeploymentIdTest, ValidityAndEquality) {
+  EXPECT_FALSE(DeploymentId{}.valid());
+  EXPECT_TRUE((DeploymentId{0, 1}).valid());
+  EXPECT_EQ((DeploymentId{2, 3}), (DeploymentId{2, 3}));
+  EXPECT_NE((DeploymentId{2, 3}), (DeploymentId{2, 4}));
+  EXPECT_NE((DeploymentId{2, 3}), (DeploymentId{3, 3}));
+}
+
+TEST(DeploymentIdTest, OriginTagsAreNonZeroAndNameSpecific) {
+  EXPECT_NE(DeploymentOriginTag("isp-0"), 0u);
+  EXPECT_NE(DeploymentOriginTag("isp-0"), DeploymentOriginTag("isp-1"));
+  EXPECT_EQ(DeploymentOriginTag("isp-0"), DeploymentOriginTag("isp-0"));
+}
+
+DeploymentSpec MakeSpec(const OwnershipCertificate& cert,
+                        DeploymentId id) {
+  DeploymentSpec spec;
+  spec.cert = cert;
+  spec.scope = cert.prefixes;
+  spec.source_stage = ModuleGraph::Single(
+      std::make_unique<StatisticsModule>());
+  spec.label = "test";
+  spec.deployment_id = id;
+  return spec;
+}
+
+TEST(DeploymentIdTest, DeviceDeduplicatesRedeliveredInstalls) {
+  CertificateAuthority ca("key");
+  const OwnershipCertificate cert =
+      ca.Issue(1, "as3", {NodePrefix(3)}, 0, Seconds(3600));
+  AdaptiveDevice device(3);
+  const DeploymentId id{7, 1};
+  ASSERT_TRUE(device.InstallDeployment(MakeSpec(cert, id)).ok());
+  // The same instruction arrives again (channel duplicate or retry):
+  // the recorded outcome is replayed, nothing is re-applied.
+  ASSERT_TRUE(device.InstallDeployment(MakeSpec(cert, id)).ok());
+  EXPECT_EQ(device.deployment_count(), 1u);
+  EXPECT_EQ(device.stats().installs_applied, 1u);
+  EXPECT_EQ(device.stats().duplicate_installs, 1u);
+  EXPECT_EQ(device.applied_install_count(), 1u);
+}
+
+TEST(DeploymentIdTest, DeviceReplaysRecordedFailures) {
+  CertificateAuthority ca("key");
+  const OwnershipCertificate cert =
+      ca.Issue(1, "as3", {NodePrefix(3)}, 0, Seconds(3600));
+  AdaptiveDevice device(3);
+  ASSERT_TRUE(
+      device.InstallDeployment(MakeSpec(cert, DeploymentId{7, 1})).ok());
+  // A different id for the same subscriber fails (already installed) —
+  // and every re-delivery of that id replays the same failure.
+  const DeploymentId second{7, 2};
+  const Status first_try =
+      device.InstallDeployment(MakeSpec(cert, second));
+  const Status replay = device.InstallDeployment(MakeSpec(cert, second));
+  EXPECT_FALSE(first_try.ok());
+  EXPECT_EQ(replay.code(), first_try.code());
+  EXPECT_EQ(device.stats().duplicate_installs, 1u);
+}
+
+TEST(DeploymentIdTest, UnnumberedSpecsSkipTheDedupRecord) {
+  CertificateAuthority ca("key");
+  const OwnershipCertificate cert =
+      ca.Issue(1, "as3", {NodePrefix(3)}, 0, Seconds(3600));
+  AdaptiveDevice device(3);
+  ASSERT_TRUE(
+      device.InstallDeployment(MakeSpec(cert, DeploymentId{})).ok());
+  EXPECT_EQ(device.applied_install_count(), 0u);
+  EXPECT_EQ(device.deployment_count(), 1u);
+}
+
+}  // namespace
+}  // namespace adtc

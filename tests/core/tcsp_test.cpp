@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/traceback_service.h"
+#include "sim/faults.h"
 #include "testutil.h"
 
 namespace adtc {
@@ -16,8 +17,8 @@ struct TcsWorld : SmallWorld {
   Tcsp tcsp;
   std::vector<std::unique_ptr<IspNms>> nmses;
 
-  explicit TcsWorld(std::uint64_t seed = 42)
-      : SmallWorld(seed), tcsp(net, authority, "tcsp-signing-key") {
+  explicit TcsWorld(std::uint64_t seed = 42, TcspConfig config = {})
+      : SmallWorld(seed), tcsp(net, authority, "tcsp-signing-key", config) {
     AllocateTopologyPrefixes(authority, net.node_count());
     // One ISP per AS, each managing its own router.
     for (NodeId node = 0; node < net.node_count(); ++node) {
@@ -217,6 +218,127 @@ TEST(NmsTest, RejectsScopeOutsideCertificate) {
       world.tcsp.DeployService(cert.value(), request);
   EXPECT_EQ(report.status.code(), ErrorCode::kPermissionDenied);
   EXPECT_GT(world.nmses[0]->stats().deployments_rejected, 0u);
+}
+
+TEST(TcspTest, EnrollIspWiresFullMeshWithoutDuplicates) {
+  TcsWorld world;
+  // Every enrolled NMS peers with every other exactly once.
+  for (const auto& nms : world.nmses) {
+    EXPECT_EQ(nms->peer_count(), world.nmses.size() - 1);
+  }
+  // Re-enrolling must not double the mesh, and AddPeer rejects self and
+  // duplicate edges on its own.
+  world.tcsp.EnrollIsp(world.nmses[0].get());
+  world.tcsp.EnrollIsp(nullptr);
+  EXPECT_EQ(world.tcsp.isp_count(), world.nmses.size());
+  world.nmses[0]->AddPeer(world.nmses[0].get());
+  world.nmses[0]->AddPeer(world.nmses[1].get());
+  world.nmses[0]->AddPeer(nullptr);
+  EXPECT_EQ(world.nmses[0]->peer_count(), world.nmses.size() - 1);
+}
+
+TEST(TcspTest, ReportAggregatesWorstOutcomeAcrossIsps) {
+  TcspConfig config;
+  config.retry.initial_backoff = Milliseconds(10);
+  config.retry.max_attempts = 3;
+  TcsWorld world(42, config);
+  // One TCSP->NMS channel is a total blackhole; every other ISP is fine.
+  FaultInjector injector(1);
+  ChannelFaults blackhole;
+  blackhole.loss = 1.0;
+  injector.SetChannelFaults("tcsp->nms:isp-3", blackhole);
+  world.tcsp.AttachFaultInjector(&injector);
+
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  // With a lossy channel the retries play out through the simulator, so
+  // the final report arrives through the completion callback.
+  bool completed = false;
+  DeploymentReport report;
+  world.tcsp.DeployService(cert.value(), request,
+                           CompletionPolicy::kLatencyModelled,
+                           [&](const DeploymentReport& r) {
+                             completed = true;
+                             report = r;
+                           });
+  world.net.Run(Seconds(30));
+  ASSERT_TRUE(completed);
+
+  // The report's status is the worst observed outcome, and the per-ISP
+  // breakdown shows which ISP failed and how hard the TCSP tried.
+  EXPECT_EQ(report.status.code(), ErrorCode::kUnavailable);
+  ASSERT_EQ(report.isp_outcomes.size(), world.nmses.size());
+  std::size_t failed = 0;
+  for (const auto& outcome : report.isp_outcomes) {
+    if (outcome.isp == "isp-3") {
+      EXPECT_EQ(outcome.status.code(), ErrorCode::kUnavailable);
+      EXPECT_EQ(outcome.attempts, config.retry.max_attempts);
+      failed++;
+    } else {
+      EXPECT_TRUE(outcome.status.ok()) << outcome.isp;
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_EQ(world.tcsp.stats().deploy_retries, report.retries);
+  // The unreachable ISP configured nothing; everyone else converged.
+  EXPECT_EQ(world.nmses[3]->CountDeployments(cert.value().subscriber), 0u);
+  EXPECT_EQ(world.nmses[0]->CountDeployments(cert.value().subscriber), 1u);
+}
+
+TEST(TcspTest, RelayFallbackDeploysThroughPeerMeshWhenTcspDown) {
+  TcspConfig config;
+  config.relay_fallback = true;
+  TcsWorld world(42, config);
+  FaultInjector injector(1);
+  injector.AddTcspOutage(0, Seconds(10));
+  world.tcsp.AttachFaultInjector(&injector);
+
+  // The certificate was issued before the outage (carried by the user),
+  // so the peer mesh can still validate it offline.
+  CertificateAuthority offline_ca("tcsp-signing-key");
+  const OwnershipCertificate cert =
+      offline_ca.Issue(77, "as7", {NodePrefix(7)}, 0, Seconds(3600));
+
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployService(cert, request);
+  world.net.Run(Seconds(5));
+
+  EXPECT_EQ(report.path, DeployPath::kRelayed);
+  EXPECT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(world.tcsp.stats().relay_fallbacks, 1u);
+  // The instruction flooded the whole mesh: every device is configured
+  // exactly once even though each NMS hears the offer from many peers.
+  for (const auto& nms : world.nmses) {
+    EXPECT_EQ(nms->CountDeployments(cert.subscriber), 1u);
+    EXPECT_LE(nms->stats().deployments_installed, 1u);
+  }
+}
+
+TEST(TcspTest, UnreachableTcspWithoutFallbackStaysUnavailable) {
+  TcsWorld world;
+  FaultInjector injector(1);
+  injector.AddTcspOutage(0, Seconds(10));
+  world.tcsp.AttachFaultInjector(&injector);
+  CertificateAuthority offline_ca("tcsp-signing-key");
+  const OwnershipCertificate cert =
+      offline_ca.Issue(77, "as7", {NodePrefix(7)}, 0, Seconds(3600));
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployService(cert, request);
+  EXPECT_EQ(report.status.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(report.path, DeployPath::kDirect);
+  EXPECT_EQ(world.tcsp.stats().relay_fallbacks, 0u);
 }
 
 }  // namespace

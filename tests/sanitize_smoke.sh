@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Sanitizer smoke: build the test suite with ASan+UBSan (-DADTC_SANITIZE=ON)
-# in a separate tree and run the telemetry-focused subset. Catches the
-# lifetime bugs the telemetry layer is most exposed to (collector owners
-# dying before the registry, sampler callbacks outliving the sampler,
-# event-ring linearisation) without paying the sanitized build on every
-# ctest invocation.
+# in a separate tree and run the lifetime-sensitive subset: the telemetry
+# layer (collector owners dying before the registry, sampler callbacks
+# outliving the sampler, event-ring linearisation) and the fault-injected
+# control plane (retry closures capturing channel state across simulated
+# time, duplicated deliveries, chaos-driven teardown ordering) — without
+# paying the sanitized build on every ctest invocation.
 #
 # Usage: tests/sanitize_smoke.sh [source-dir] [build-dir]
 # Also registered with CTest when configured with -DADTC_SANITIZE_SMOKE=ON.
@@ -12,7 +13,7 @@ set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${2:-${SRC_DIR}/build-sanitize}"
-FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*}"
+FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*:FaultInjector*:ControlChannel*:RetryPolicy*:WorseStatus*:DeploymentId*:*ChaosConvergence*}"
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DADTC_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

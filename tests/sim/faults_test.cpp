@@ -1,0 +1,115 @@
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc {
+namespace {
+
+TEST(FaultInjectorTest, NoFaultsDeliversEverything) {
+  FaultInjector injector(1);
+  for (int i = 0; i < 100; ++i) {
+    const MessageFate fate = injector.PlanMessage("any");
+    EXPECT_TRUE(fate.deliver);
+    EXPECT_FALSE(fate.duplicate);
+    EXPECT_EQ(fate.extra_delay, 0);
+  }
+  EXPECT_EQ(injector.stats().messages_planned, 100u);
+  EXPECT_EQ(injector.stats().messages_lost, 0u);
+}
+
+TEST(FaultInjectorTest, CertainLossDropsEveryMessage) {
+  FaultInjector injector(1);
+  ChannelFaults faults;
+  faults.loss = 1.0;
+  injector.SetDefaultFaults(faults);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(injector.PlanMessage("ch").deliver);
+  }
+  EXPECT_EQ(injector.stats().messages_lost, 50u);
+}
+
+TEST(FaultInjectorTest, CertainDuplicationDuplicatesEveryDelivery) {
+  FaultInjector injector(1);
+  ChannelFaults faults;
+  faults.duplicate = 1.0;
+  injector.SetDefaultFaults(faults);
+  const MessageFate fate = injector.PlanMessage("ch");
+  EXPECT_TRUE(fate.deliver);
+  EXPECT_TRUE(fate.duplicate);
+  EXPECT_EQ(injector.stats().messages_duplicated, 1u);
+}
+
+TEST(FaultInjectorTest, JitterStaysWithinConfiguredBound) {
+  FaultInjector injector(7);
+  ChannelFaults faults;
+  faults.jitter_max = Milliseconds(25);
+  injector.SetDefaultFaults(faults);
+  bool any_delay = false;
+  for (int i = 0; i < 200; ++i) {
+    const MessageFate fate = injector.PlanMessage("ch");
+    EXPECT_GE(fate.extra_delay, 0);
+    EXPECT_LE(fate.extra_delay, Milliseconds(25));
+    any_delay = any_delay || fate.extra_delay > 0;
+  }
+  EXPECT_TRUE(any_delay);
+}
+
+TEST(FaultInjectorTest, PerChannelPlanOverridesDefault) {
+  FaultInjector injector(3);
+  ChannelFaults lossy;
+  lossy.loss = 1.0;
+  injector.SetDefaultFaults(lossy);
+  injector.SetChannelFaults("clean", ChannelFaults{});
+  EXPECT_TRUE(injector.PlanMessage("clean").deliver);
+  EXPECT_FALSE(injector.PlanMessage("other").deliver);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalFates) {
+  ChannelFaults faults;
+  faults.loss = 0.4;
+  faults.duplicate = 0.3;
+  faults.jitter_max = Milliseconds(10);
+  FaultInjector a(99), b(99);
+  a.SetDefaultFaults(faults);
+  b.SetDefaultFaults(faults);
+  for (int i = 0; i < 500; ++i) {
+    const MessageFate fa = a.PlanMessage("ch");
+    const MessageFate fb = b.PlanMessage("ch");
+    EXPECT_EQ(fa.deliver, fb.deliver);
+    EXPECT_EQ(fa.duplicate, fb.duplicate);
+    EXPECT_EQ(fa.extra_delay, fb.extra_delay);
+    EXPECT_EQ(fa.duplicate_delay, fb.duplicate_delay);
+  }
+}
+
+TEST(FaultInjectorTest, TcspOutageWindowIsHalfOpen) {
+  FaultInjector injector(1);
+  injector.AddTcspOutage(Seconds(2), Seconds(4));
+  EXPECT_TRUE(injector.TcspUp(0));
+  EXPECT_TRUE(injector.TcspUp(Seconds(2) - 1));
+  EXPECT_FALSE(injector.TcspUp(Seconds(2)));
+  EXPECT_FALSE(injector.TcspUp(Seconds(4) - 1));
+  EXPECT_TRUE(injector.TcspUp(Seconds(4)));
+}
+
+TEST(FaultInjectorTest, DeviceOutagesArePerNode) {
+  FaultInjector injector(1);
+  injector.AddDeviceOutage(5, Seconds(1), Seconds(3));
+  EXPECT_FALSE(injector.DeviceUp(5, Seconds(2)));
+  EXPECT_TRUE(injector.DeviceUp(5, Seconds(3)));
+  EXPECT_TRUE(injector.DeviceUp(6, Seconds(2)));  // other nodes unaffected
+}
+
+TEST(FaultInjectorTest, PartitionsAreSymmetricAndHealable) {
+  FaultInjector injector(1);
+  injector.Partition("isp-a", "isp-b");
+  EXPECT_TRUE(injector.Partitioned("isp-a", "isp-b"));
+  EXPECT_TRUE(injector.Partitioned("isp-b", "isp-a"));
+  EXPECT_FALSE(injector.Partitioned("isp-a", "isp-c"));
+  EXPECT_EQ(injector.stats().partition_blocks, 2u);
+  injector.Heal("isp-b", "isp-a");
+  EXPECT_FALSE(injector.Partitioned("isp-a", "isp-b"));
+}
+
+}  // namespace
+}  // namespace adtc
