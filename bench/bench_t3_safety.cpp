@@ -60,15 +60,70 @@ class ChattyLogger : public Module {
   std::uint32_t declared_overhead_bytes() const override { return 100000; }
 };
 
+/// Declares (truthfully) that it may duplicate packets — the static
+/// analyzer must reject it at admission, no runtime needed.
+class DeclaredDuplicator : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "sampler"; }
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.rate_factor_max = 2.0;
+    return sig;
+  }
+};
+
 double NowMicros() {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
+/// Linear chain of n counters (n modules, 1 path).
+ModuleGraph ChainGraph(int n) {
+  std::vector<std::unique_ptr<Module>> modules;
+  for (int i = 0; i < n; ++i) {
+    modules.push_back(std::make_unique<CounterModule>());
+  }
+  return ModuleGraph::Chain(std::move(modules));
+}
+
+/// `layers` diamond layers of match-branch / rejoin: 3*layers+1 modules,
+/// 2^layers entry->terminal paths — the abstract interpretation must stay
+/// linear in modules while covering exponentially many paths.
+ModuleGraph LayeredBranchGraph(int layers) {
+  ModuleGraph graph;
+  MatchRule udp;
+  udp.proto = Protocol::kUdp;
+  int previous = graph.AddModule(std::make_unique<MatchModule>(udp));
+  (void)graph.SetEntry(previous);
+  for (int layer = 0; layer < layers; ++layer) {
+    const int left = graph.AddModule(std::make_unique<CounterModule>());
+    const int right = graph.AddModule(std::make_unique<CounterModule>());
+    const bool last = layer + 1 == layers;
+    const int join =
+        last ? -1 : graph.AddModule(std::make_unique<MatchModule>(udp));
+    (void)graph.Wire(previous, kPortDefault, left);
+    (void)graph.Wire(previous, kPortAlt, right);
+    if (last) {
+      (void)graph.WireTerminal(left, kPortDefault,
+                               ModuleGraph::Terminal::kAccept);
+      (void)graph.WireTerminal(right, kPortDefault,
+                               ModuleGraph::Terminal::kAccept);
+    } else {
+      (void)graph.Wire(left, kPortDefault, join);
+      (void)graph.Wire(right, kPortDefault, join);
+      previous = join;
+    }
+  }
+  (void)graph.Validate();
+  return graph;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchResultFile results("T3", ExtractJsonFlag(&argc, argv));
   PrintHeader("T3 (Sec. 4.5) — safety: misuse ruled out",
               "foreign scope, forbidden mutations, amplification and "
               "unvetted modules are all stopped");
@@ -123,7 +178,21 @@ int main() {
     table.AddRow({"cyclic module graph", "graph validation",
                   graph.Validate().ToString()});
   }
-  // 6-8. Runtime mutations (lie through vetting, caught by the guard).
+  // 6. Truthfully declared duplication: stopped by the static verifier
+  //    at admission, with a witness path — no runtime involved.
+  {
+    ModuleGraph graph =
+        ModuleGraph::Single(std::make_unique<DeclaredDuplicator>());
+    const DeploymentAnalysis admission =
+        validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    table.AddRow({"declare 2x packet duplication", "static analysis",
+                  admission.status.ToString()});
+    if (results.enabled()) {
+      results.AddScalar("analysis_rejects_declared_duplication",
+                        admission.report.proven() ? 0.0 : 1.0);
+    }
+  }
+  // 7-9. Runtime mutations (lie through vetting, caught by the guard).
   {
     struct RuntimeCase {
       const char* name;
@@ -173,6 +242,7 @@ int main() {
     const double per_call = (NowMicros() - start) / iterations;
     cost.AddRow({"ValidateDeployment (1 module, 1 prefix)",
                  Table::Num(per_call, 3) + " us"});
+    results.AddScalar("validate_us/modules=1", per_call);
   }
   {
     AdaptiveDevice device(0);
@@ -191,11 +261,62 @@ int main() {
     const double per_packet = (NowMicros() - start) / iterations * 1000.0;
     cost.AddRow({"device datapath incl. invariant guard (per packet)",
                  Table::Num(per_packet, 1) + " ns"});
+    results.AddScalar("guard_ns_per_packet", per_packet);
   }
   cost.Print(std::cout);
+
+  // --- admission-time static analysis cost ---
+  // The verifier is a fixed number of linear passes over the graph, so
+  // verify time must scale with module count, not with the (potentially
+  // exponential) number of entry->terminal paths it covers.
+  Table analysis_cost("admission-time static analysis");
+  analysis_cost.SetHeader(
+      {"graph shape", "modules", "paths covered", "verify latency"});
+  const int kIterations = 5000;
+  for (const int n : {1, 8, 16, 32}) {
+    ModuleGraph graph = ChainGraph(n);
+    const DeploymentAnalysis one =
+        validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    const double start = NowMicros();
+    for (int i = 0; i < kIterations; ++i) {
+      (void)validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    }
+    const double per_call = (NowMicros() - start) / kIterations;
+    analysis_cost.AddRow({"chain", Table::Num(n, 0),
+                          Table::Num(static_cast<double>(one.report.paths_covered), 0),
+                          Table::Num(per_call, 3) + " us"});
+    results.AddScalar("analysis_verify_us/modules=" + std::to_string(n),
+                      per_call);
+  }
+  for (const int layers : {2, 5, 10}) {
+    ModuleGraph graph = LayeredBranchGraph(layers);
+    const DeploymentAnalysis one =
+        validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    const double start = NowMicros();
+    for (int i = 0; i < kIterations; ++i) {
+      (void)validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    }
+    const double per_call = (NowMicros() - start) / kIterations;
+    analysis_cost.AddRow(
+        {"branch diamond x" + std::to_string(layers),
+         Table::Num(static_cast<double>(graph.module_count()), 0),
+         Table::Num(static_cast<double>(one.report.paths_covered), 0),
+         Table::Num(per_call, 3) + " us"});
+    results.AddScalar("analysis_verify_us/paths=" +
+                          std::to_string(one.report.paths_covered),
+                      per_call);
+    results.AddScalar("analysis_paths_covered/layers=" +
+                          std::to_string(layers),
+                      static_cast<double>(one.report.paths_covered));
+  }
+  analysis_cost.Print(std::cout);
+
   std::printf(
       "\nreading: every adversarial attempt is rejected at install time or\n"
-      "quarantined at runtime with the packet restored; the always-on\n"
-      "guard costs nanoseconds per redirected packet.\n");
+      "quarantined at runtime with the packet restored; declared hazards\n"
+      "are proven away by the admission-time verifier in microseconds even\n"
+      "for graphs with ~1000 distinct paths, and the always-on guard costs\n"
+      "nanoseconds per redirected packet.\n");
+  if (!results.Write()) return 1;
   return 0;
 }

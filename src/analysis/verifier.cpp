@@ -1,0 +1,428 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace adtc::analysis {
+
+std::string_view ContextRequirementName(ContextRequirement requirement) {
+  switch (requirement) {
+    case ContextRequirement::kNone:
+      return "none";
+    case ContextRequirement::kCustomerEdgeOnly:
+      return "customer-edge-only";
+    case ContextRequirement::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::string_view InvariantKindName(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kRateAmplification:
+      return "rate-amplification";
+    case InvariantKind::kByteAmplification:
+      return "byte-amplification";
+    case InvariantKind::kHeaderMutation:
+      return "header-mutation";
+    case InvariantKind::kContextViolation:
+      return "context-violation";
+    case InvariantKind::kUnwiredPort:
+      return "unwired-port";
+    case InvariantKind::kNonTerminating:
+      return "non-terminating";
+    case InvariantKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::string_view AnalysisStatusName(AnalysisStatus status) {
+  switch (status) {
+    case AnalysisStatus::kNotRun:
+      return "not-run";
+    case AnalysisStatus::kProven:
+      return "proven";
+    case AnalysisStatus::kRejected:
+      return "rejected";
+    case AnalysisStatus::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::string WitnessToString(const GraphView& view,
+                            const std::vector<int>& witness) {
+  std::ostringstream out;
+  bool first = true;
+  for (int index : witness) {
+    if (!first) out << " -> ";
+    if (first) out << "entry:";
+    first = false;
+    if (index >= 0 && static_cast<std::size_t>(index) < view.modules.size()) {
+      out << view.modules[static_cast<std::size_t>(index)].type_name;
+    } else {
+      out << "#" << index;
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+// Follows `parent` links from `node` back to the entry and returns the
+// entry->node index path. `parent[entry]` must be -1.
+std::vector<int> TracePath(const std::vector<int>& parent, int node) {
+  std::vector<int> path;
+  for (int cursor = node; cursor >= 0; cursor = parent[static_cast<std::size_t>(cursor)]) {
+    path.push_back(cursor);
+    if (path.size() > parent.size()) break;  // defensive: corrupt links
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  return (a > kMax - b) ? kMax : a + b;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Per-node worst-case abstract state propagated in topological order.
+struct NodeState {
+  double rate = 1.0;           // max composed rate factor entry->node
+  std::uint64_t bytes = 0;     // max composed bytes-out delta entry->node
+  std::int64_t wire_min = 0;   // min cumulative wire delta entry->node
+  std::size_t stateful = 0;    // stateful modules on the worst-bytes path
+  int rate_parent = -1;        // argmax predecessor for the rate bound
+  int bytes_parent = -1;       // argmax predecessor for the bytes bound
+  std::uint64_t paths_in = 0;  // distinct entry->node paths (saturating)
+  bool seen = false;
+};
+
+}  // namespace
+
+AnalysisReport VerifyGraph(const GraphView& view, const AnalysisContext& ctx,
+                           const AnalysisLimits& limits) {
+  AnalysisReport report;
+  const int count = static_cast<int>(view.modules.size());
+
+  auto reject = [&report](InvariantKind kind, std::string detail,
+                          std::vector<int> witness) {
+    Violation violation;
+    violation.kind = kind;
+    violation.detail = std::move(detail);
+    violation.witness_path = std::move(witness);
+    report.violations.push_back(std::move(violation));
+  };
+
+  if (view.entry < 0 || view.entry >= count) {
+    reject(InvariantKind::kUnwiredPort, "graph has no entry module", {});
+    report.status = AnalysisStatus::kRejected;
+    return report;
+  }
+
+  // Pass 1: BFS reachability from the entry, recording one parent per
+  // module so every later violation can cite a concrete witness path.
+  // Structural defects (unwired or dangling ports) are found here too.
+  std::vector<int> parent(static_cast<std::size_t>(count), -1);
+  std::vector<char> reachable(static_cast<std::size_t>(count), 0);
+  std::vector<int> order;  // BFS order, used as the worklist
+  order.reserve(static_cast<std::size_t>(count));
+  reachable[static_cast<std::size_t>(view.entry)] = 1;
+  order.push_back(view.entry);
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int at = order[head];
+    const ModuleView& module = view.modules[static_cast<std::size_t>(at)];
+    std::vector<int> witness = TracePath(parent, at);
+    if (module.ports.empty()) {
+      reject(InvariantKind::kUnwiredPort,
+             "module '" + module.type_name + "' has no output ports", witness);
+      continue;
+    }
+    for (std::size_t port = 0; port < module.ports.size(); ++port) {
+      const PortView& link = module.ports[port];
+      if (!link.wired) {
+        reject(InvariantKind::kUnwiredPort,
+               "port " + std::to_string(port) + " of '" + module.type_name +
+                   "' is not wired",
+               witness);
+        continue;
+      }
+      if (link.is_terminal) continue;
+      if (link.next < 0 || link.next >= count) {
+        reject(InvariantKind::kUnwiredPort,
+               "port " + std::to_string(port) + " of '" + module.type_name +
+                   "' links to missing module #" + std::to_string(link.next),
+               witness);
+        continue;
+      }
+      if (!reachable[static_cast<std::size_t>(link.next)]) {
+        reachable[static_cast<std::size_t>(link.next)] = 1;
+        parent[static_cast<std::size_t>(link.next)] = at;
+        order.push_back(link.next);
+      }
+    }
+  }
+  report.modules_examined = order.size();
+
+  // Pass 2: per-module effect checks against the deployment context.
+  for (int at : order) {
+    const ModuleView& module = view.modules[static_cast<std::size_t>(at)];
+    const EffectSignature& sig = module.signature;
+    if (sig.header_writes != kNoHeaderWrites) {
+      std::string fields;
+      if (Writes(sig.header_writes, HeaderField::kSrc)) fields += " src";
+      if (Writes(sig.header_writes, HeaderField::kDst)) fields += " dst";
+      if (Writes(sig.header_writes, HeaderField::kTtl)) fields += " ttl";
+      if (Writes(sig.header_writes, HeaderField::kSizeGrow)) {
+        fields += " size-grow";
+      }
+      reject(InvariantKind::kHeaderMutation,
+             "module '" + module.type_name + "' declares header writes:" +
+                 fields,
+             TracePath(parent, at));
+    }
+    // A declared positive wire delta IS packet growth: map it onto the
+    // same invariant the runtime guard enforces (any size increase is
+    // forbidden), so the static verdict can never be more permissive
+    // than the guard for a truthfully-declared module.
+    if (sig.wire_bytes_delta_max > 0 &&
+        !Writes(sig.header_writes, HeaderField::kSizeGrow)) {
+      reject(InvariantKind::kHeaderMutation,
+             "module '" + module.type_name +
+                 "' declares a positive worst-case wire-size delta (+" +
+                 std::to_string(sig.wire_bytes_delta_max) +
+                 " bytes) — packet growth is forbidden",
+             TracePath(parent, at));
+    }
+    if (sig.context == ContextRequirement::kCustomerEdgeOnly &&
+        !sig.self_gates_transit && !ctx.customer_edge_guaranteed) {
+      reject(InvariantKind::kContextViolation,
+             "module '" + module.type_name +
+                 "' requires a customer-edge guarantee but transit-edge "
+                 "packets can reach this deployment",
+             TracePath(parent, at));
+    }
+  }
+
+  // Pass 3: cycle detection over the reachable subgraph (colour DFS,
+  // iterative), producing a reverse topological order for pass 4.
+  enum : char { kWhite = 0, kGrey = 1, kBlack = 2 };
+  std::vector<char> colour(static_cast<std::size_t>(count), kWhite);
+  std::vector<int> topo;  // reverse topological order (post-order)
+  topo.reserve(order.size());
+  bool cyclic = false;
+  {
+    struct Frame {
+      int node;
+      std::size_t port;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({view.entry, 0});
+    colour[static_cast<std::size_t>(view.entry)] = kGrey;
+    while (!stack.empty() && !cyclic) {
+      Frame& frame = stack.back();
+      const ModuleView& module =
+          view.modules[static_cast<std::size_t>(frame.node)];
+      if (frame.port >= module.ports.size()) {
+        colour[static_cast<std::size_t>(frame.node)] = kBlack;
+        topo.push_back(frame.node);
+        stack.pop_back();
+        continue;
+      }
+      const PortView& link = module.ports[frame.port++];
+      if (!link.wired || link.is_terminal || link.next < 0 ||
+          link.next >= count) {
+        continue;
+      }
+      const char next_colour = colour[static_cast<std::size_t>(link.next)];
+      if (next_colour == kGrey) {
+        std::vector<int> witness;
+        for (const Frame& f : stack) witness.push_back(f.node);
+        witness.push_back(link.next);
+        reject(InvariantKind::kNonTerminating,
+               "cycle: '" + module.type_name + "' loops back to '" +
+                   view.modules[static_cast<std::size_t>(link.next)].type_name +
+                   "'",
+               std::move(witness));
+        cyclic = true;
+      } else if (next_colour == kWhite) {
+        colour[static_cast<std::size_t>(link.next)] = kGrey;
+        stack.push_back({link.next, 0});
+      }
+    }
+  }
+
+  // Pass 4: worst-case bound propagation in topological order. Joining
+  // predecessor states with max at every node covers every
+  // entry->terminal path without enumerating them; argmax predecessor
+  // links reconstruct a concrete witness path for any exceeded bound.
+  // Skipped when the graph cycles — bounds would diverge.
+  if (!cyclic) {
+    std::vector<NodeState> state(static_cast<std::size_t>(count));
+    NodeState& entry_state = state[static_cast<std::size_t>(view.entry)];
+    entry_state.seen = true;
+    entry_state.paths_in = 1;
+    // `topo` is post-order, so iterate it backwards for forward topo order.
+    bool rate_rejected = false;
+    bool bytes_rejected = false;
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const int at = *it;
+      NodeState& in = state[static_cast<std::size_t>(at)];
+      if (!in.seen) continue;
+      const ModuleView& module = view.modules[static_cast<std::size_t>(at)];
+      const EffectSignature& sig = module.signature;
+      // Apply this module's effects to the incoming worst case.
+      NodeState out = in;
+      out.rate = in.rate * std::max(0.0, sig.rate_factor_max);
+      out.bytes = SaturatingAdd(
+          in.bytes,
+          sig.overhead_bytes_max +
+              static_cast<std::uint64_t>(std::max<std::int32_t>(
+                  0, sig.wire_bytes_delta_max)));
+      out.wire_min = in.wire_min +
+                     std::min<std::int64_t>(0, sig.wire_bytes_delta_max);
+      out.stateful = in.stateful + (sig.stateful ? 1 : 0);
+      report.bounds.rate_factor = std::max(report.bounds.rate_factor, out.rate);
+      report.bounds.wire_bytes_delta_min =
+          std::min(report.bounds.wire_bytes_delta_min, out.wire_min);
+      bool has_terminal = false;
+      for (const PortView& link : module.ports) {
+        if (!link.wired) continue;
+        if (link.is_terminal) {
+          has_terminal = true;
+          report.paths_covered =
+              SaturatingAdd(report.paths_covered, in.paths_in);
+          continue;
+        }
+        if (link.next < 0 || link.next >= count) continue;
+        NodeState& next = state[static_cast<std::size_t>(link.next)];
+        if (!next.seen || out.rate > next.rate) {
+          next.rate = out.rate;
+          next.rate_parent = at;
+        }
+        if (!next.seen || out.bytes > next.bytes) {
+          next.bytes = out.bytes;
+          next.bytes_parent = at;
+          next.stateful = out.stateful;
+        }
+        next.wire_min =
+            next.seen ? std::min(next.wire_min, out.wire_min) : out.wire_min;
+        next.paths_in = SaturatingAdd(next.paths_in, in.paths_in);
+        next.seen = true;
+      }
+      if (has_terminal) {
+        report.bounds.bytes_out_delta =
+            std::max(report.bounds.bytes_out_delta, out.bytes);
+        if (report.bounds.bytes_out_delta == out.bytes) {
+          report.bounds.stateful_modules = out.stateful;
+        }
+      }
+      // Bounds are monotone along a path, so the first node where a
+      // bound breaks yields the shortest witness; report it once.
+      if (!rate_rejected && out.rate > 1.0 + 1e-9) {
+        std::vector<int> witness;
+        for (int cursor = at; cursor >= 0;
+             cursor = state[static_cast<std::size_t>(cursor)].rate_parent) {
+          witness.push_back(cursor);
+          if (witness.size() > static_cast<std::size_t>(count)) break;
+        }
+        std::reverse(witness.begin(), witness.end());
+        std::ostringstream detail;
+        detail << "composed worst-case rate factor " << out.rate
+               << " exceeds 1 at '" << module.type_name << "'";
+        reject(InvariantKind::kRateAmplification, detail.str(),
+               std::move(witness));
+        rate_rejected = true;
+      }
+      if (!bytes_rejected && out.bytes > limits.max_overhead_bytes_per_packet) {
+        std::vector<int> witness;
+        for (int cursor = at; cursor >= 0;
+             cursor = state[static_cast<std::size_t>(cursor)].bytes_parent) {
+          witness.push_back(cursor);
+          if (witness.size() > static_cast<std::size_t>(count)) break;
+        }
+        std::reverse(witness.begin(), witness.end());
+        reject(InvariantKind::kByteAmplification,
+               "worst-case bytes-out delta " + std::to_string(out.bytes) +
+                   " exceeds the per-packet overhead allowance of " +
+                   std::to_string(limits.max_overhead_bytes_per_packet) +
+                   " at '" + module.type_name + "'",
+               std::move(witness));
+        bytes_rejected = true;
+      }
+    }
+  }
+
+  report.status = report.violations.empty() ? AnalysisStatus::kProven
+                                            : AnalysisStatus::kRejected;
+  return report;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::ostringstream out;
+  out << AnalysisStatusName(status) << ": " << modules_examined
+      << " modules, " << paths_covered << " paths, worst rate x"
+      << bounds.rate_factor << ", worst bytes-out +" << bounds.bytes_out_delta;
+  for (const Violation& violation : violations) {
+    out << "; " << InvariantKindName(violation.kind) << " ("
+        << violation.detail << ")";
+    if (!violation.witness_path.empty()) {
+      out << " via [";
+      bool first = true;
+      for (int index : violation.witness_path) {
+        if (!first) out << " -> ";
+        first = false;
+        out << index;
+      }
+      out << "]";
+    }
+  }
+  return out.str();
+}
+
+std::string AnalysisReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"status\":\"" << AnalysisStatusName(status)
+      << "\",\"modules_examined\":" << modules_examined
+      << ",\"paths_covered\":" << paths_covered
+      << ",\"rate_factor_max\":" << bounds.rate_factor
+      << ",\"bytes_out_delta_max\":" << bounds.bytes_out_delta
+      << ",\"wire_bytes_delta_min\":" << bounds.wire_bytes_delta_min
+      << ",\"stateful_modules\":" << bounds.stateful_modules
+      << ",\"violations\":[";
+  bool first = true;
+  for (const Violation& violation : violations) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"kind\":\"" << InvariantKindName(violation.kind)
+        << "\",\"detail\":\"" << JsonEscape(violation.detail)
+        << "\",\"witness\":[";
+    bool first_index = true;
+    for (int index : violation.witness_path) {
+      if (!first_index) out << ",";
+      first_index = false;
+      out << index;
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adtc::analysis

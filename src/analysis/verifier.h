@@ -1,0 +1,113 @@
+// Admission-time static verifier for module graphs (Sec. 4.5).
+//
+// The verifier performs abstract interpretation over the DAG of a module
+// graph: a worst-case state (composed rate factor, cumulative bytes-out
+// delta) is propagated from the entry to every terminal in topological
+// order, joining incoming edges with max — which covers *every*
+// entry->terminal path without enumerating them (path counts are
+// exponential in the number of branch modules). Reachability facts
+// (header-mutating effect, context requirement) are checked against the
+// deployment context, and graph well-formedness (all ports wired, no
+// cycle reachable from entry) is re-derived independently of
+// ModuleGraph::Validate().
+//
+// The verifier works on a GraphView — a plain structural snapshot — so
+// it has no dependency on the core component model and can be unit- and
+// property-tested with synthetic graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/effects.h"
+
+namespace adtc::analysis {
+
+/// One output port of one module in the view.
+struct PortView {
+  bool wired = false;
+  /// Terminal port (accept/drop) when true, else `next` names a module.
+  bool is_terminal = false;
+  int next = -1;
+};
+
+/// One module in the view.
+struct ModuleView {
+  std::string type_name;
+  EffectSignature signature;
+  std::vector<PortView> ports;
+};
+
+/// Structural snapshot of a module graph. Built from a ModuleGraph by
+/// core/safety.cpp; built by hand in tests.
+struct GraphView {
+  int entry = -1;
+  std::vector<ModuleView> modules;
+};
+
+/// What the deployment site guarantees about arriving packets.
+struct AnalysisContext {
+  /// True when every packet reaching the graph is guaranteed to have
+  /// arrived over a customer edge. False for any real placement that
+  /// includes transit vantage points — which is every standard
+  /// placement policy, so kCustomerEdgeOnly modules must self-gate.
+  bool customer_edge_guaranteed = false;
+};
+
+/// Limits the verifier proves against (mirrors SafetyLimits; duplicated
+/// here so the analysis library stays free of core headers).
+struct AnalysisLimits {
+  std::uint32_t max_overhead_bytes_per_packet = 64;
+};
+
+/// Worst-case bounds over all entry->terminal paths through a graph.
+struct PathBounds {
+  /// Composed worst-case rate factor (product along the worst path).
+  double rate_factor = 1.0;
+  /// Worst-case bytes-out delta: wire growth + management overhead.
+  std::uint64_t bytes_out_delta = 0;
+  /// Most negative cumulative wire delta (best-case shrink, reporting).
+  std::int64_t wire_bytes_delta_min = 0;
+  /// Number of stateful modules on the worst-bytes path.
+  std::size_t stateful_modules = 0;
+};
+
+/// One violated invariant with a proof-shaped explanation: the witness
+/// is a concrete entry->module path along which the invariant breaks.
+struct Violation {
+  InvariantKind kind = InvariantKind::kCount_;
+  std::string detail;
+  /// Module indices from the entry to the violating module, inclusive.
+  std::vector<int> witness_path;
+};
+
+/// Machine-readable outcome of one graph analysis, attached to the
+/// DeploymentReport and summarised through the obs registry.
+struct AnalysisReport {
+  AnalysisStatus status = AnalysisStatus::kNotRun;
+  std::size_t modules_examined = 0;
+  /// Distinct entry->terminal paths covered by the abstract
+  /// interpretation (saturates at uint64 max on pathological graphs).
+  std::uint64_t paths_covered = 0;
+  PathBounds bounds;
+  std::vector<Violation> violations;
+
+  bool proven() const { return status == AnalysisStatus::kProven; }
+
+  /// "proven" or "rejected: <kind> (<detail>) via <witness>".
+  std::string ToString() const;
+  /// Compact JSON object (status, bounds, violations with witnesses).
+  std::string ToJson() const;
+};
+
+/// Renders a witness path as "entry:match -> rate-limit -> logger".
+std::string WitnessToString(const GraphView& view,
+                            const std::vector<int>& witness);
+
+/// Runs the full analysis. Never throws; a malformed view (bad entry,
+/// dangling port target) is reported as a violation, not UB.
+AnalysisReport VerifyGraph(const GraphView& view, const AnalysisContext& ctx,
+                           const AnalysisLimits& limits);
+
+}  // namespace adtc::analysis

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "analysis/effects.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "core/events.h"
@@ -125,6 +126,23 @@ class Module {
   /// truncates payloads to, so a cache hit can replay the transform
   /// without running the module. Ignored for other cacheability classes.
   virtual std::uint32_t cache_truncate_to() const { return 0; }
+
+  /// The module type's declared worst-case effects — what the admission
+  /// verifier (src/analysis/verifier.h) composes to prove the Sec. 4.5
+  /// invariants over the whole graph before deployment. Like
+  /// declared_overhead_bytes(), this is a *claim*: an honest signature
+  /// makes the static proof sound, a lying one is caught by the runtime
+  /// safety guard and flagged as an analyzer-soundness violation.
+  ///
+  /// The default derives the most conservative honest signature from the
+  /// traits above: no header writes, no duplication, overhead as
+  /// declared, stateful iff not cacheable-pure.
+  virtual analysis::EffectSignature effect_signature() const {
+    analysis::EffectSignature sig;
+    sig.overhead_bytes_max = declared_overhead_bytes();
+    sig.stateful = cacheability() == Cacheability::kStateful;
+    return sig;
+  }
 
   /// Called by ModuleGraph::AddModule to hand the module the graph's
   /// shared config-revision cell. Modules that allow post-deployment

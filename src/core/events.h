@@ -20,6 +20,10 @@ enum class EventKind : std::uint8_t {
   kSafetyViolation,   // a module attempted a forbidden mutation
   kRuleActivated,     // pre-staged configuration switched on
   kLogNote,           // free-form module diagnostics
+  /// Runtime guard contradicted a statically-proven property: the
+  /// quarantined deployment had passed admission analysis, so a module's
+  /// declared effect signature was wrong (analyzer-soundness oracle).
+  kAnalysisSoundness,
   kCount_,
 };
 

@@ -10,6 +10,7 @@ std::string_view EventKindName(EventKind kind) {
     case EventKind::kSafetyViolation: return "safety_violation";
     case EventKind::kRuleActivated: return "rule_activated";
     case EventKind::kLogNote: return "log_note";
+    case EventKind::kAnalysisSoundness: return "analysis_soundness";
     case EventKind::kCount_: break;
   }
   return "?";

@@ -68,6 +68,24 @@ class ModuleGraph {
   Module* module(int id) { return modules_[id].module.get(); }
   const Module* module(int id) const { return modules_[id].module.get(); }
 
+  /// Read-only structural inspection, used by the admission verifier to
+  /// snapshot the wiring into an analysis::GraphView.
+  struct PortLink {
+    bool wired = false;
+    bool is_terminal = false;
+    Terminal terminal = Terminal::kAccept;
+    int next = -1;
+  };
+  int entry() const { return entry_; }
+  std::size_t port_link_count(int id) const {
+    return modules_[static_cast<std::size_t>(id)].edges.size();
+  }
+  PortLink port_link(int id, int port) const {
+    const Edge& edge =
+        modules_[static_cast<std::size_t>(id)].edges[static_cast<std::size_t>(port)];
+    return PortLink{edge.wired, edge.is_terminal, edge.terminal, edge.next};
+  }
+
   /// Looks up the first module of dynamic type M (nullptr if none) — used
   /// by services to reach their observation modules after deployment.
   template <typename M>

@@ -62,6 +62,17 @@ class AntiSpoofModule : public Module {
   /// Branches on packet.src and the arrival edge (kind + neighbour), all
   /// part of the flow key; configuration mutators bump the revision.
   Cacheability cacheability() const override { return Cacheability::kPure; }
+  /// Source checking is only meaningful for customer-edge arrivals
+  /// (Sec. 4.2) — but this module gates that itself: OnPacket passes
+  /// transit traffic unexamined, so it is provably safe to reach from
+  /// any vantage point (self_gates_transit discharges the requirement).
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = false;
+    sig.context = analysis::ContextRequirement::kCustomerEdgeOnly;
+    sig.self_gates_transit = true;
+    return sig;
+  }
 
   std::uint64_t spoofs_flagged() const { return spoofs_flagged_; }
   std::uint64_t transit_passed() const { return transit_passed_; }

@@ -38,6 +38,12 @@ class BlacklistModule : public Module {
   int port_count() const override { return 2; }
   /// Branches only on packet.src against the (revision-tracked) list.
   Cacheability cacheability() const override { return Cacheability::kPure; }
+  /// Pass-or-branch, no writes, no duplication, no overhead.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = false;
+    return sig;
+  }
 
   std::uint64_t hits() const { return hits_; }
 
@@ -70,6 +76,14 @@ class PayloadDeleteModule : public Module {
     return Cacheability::kPureTransform;
   }
   std::uint32_t cache_truncate_to() const override { return header_bytes_; }
+  /// Only ever shrinks the packet: worst-case wire delta is 0, never
+  /// positive, so no kSizeGrow header write is declared.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = false;
+    sig.wire_bytes_delta_max = 0;
+    return sig;
+  }
 
   std::uint64_t stripped_bytes() const { return stripped_bytes_; }
 
@@ -88,6 +102,12 @@ class CounterModule : public Module {
     return kPortDefault;
   }
   std::string_view type_name() const override { return "counter"; }
+  /// Keeps cross-packet totals but emits nothing and mutates nothing.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    return sig;
+  }
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t bytes() const { return bytes_; }

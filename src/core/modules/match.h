@@ -57,6 +57,13 @@ class MatchModule : public Module {
     return rule_.FlowDeterministic() ? Cacheability::kPure
                                      : Cacheability::kStateful;
   }
+  /// Branch-only: even a non-flow-deterministic rule keeps no state
+  /// across packets, writes nothing and emits nothing.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = false;
+    return sig;
+  }
 
   const MatchRule& rule() const { return rule_; }
   std::uint64_t matched() const { return matched_; }

@@ -28,6 +28,13 @@ class LoggerModule : public Module {
   }
   std::string_view type_name() const override { return "logger"; }
   std::uint32_t declared_overhead_bytes() const override { return 24; }
+  /// One 24-byte trace record per packet to the management plane.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    sig.overhead_bytes_max = declared_overhead_bytes();
+    return sig;
+  }
 
   const PacketTrace& trace() const { return trace_; }
   PacketTrace& trace() { return trace_; }
@@ -43,6 +50,13 @@ class StatisticsModule : public Module {
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "statistics"; }
   std::uint32_t declared_overhead_bytes() const override { return 2; }
+  /// Aggregates are periodically exported: ~2 bytes/packet amortised.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    sig.overhead_bytes_max = declared_overhead_bytes();
+    return sig;
+  }
 
   std::uint64_t packets() const { return packets_; }
   std::uint64_t bytes() const { return bytes_; }
@@ -92,6 +106,13 @@ class TriggerModule : public Module {
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "trigger"; }
   std::uint32_t declared_overhead_bytes() const override { return 1; }
+  /// Rare event emission, bounded by cooldown: ≤ 1 byte/packet.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    sig.overhead_bytes_max = declared_overhead_bytes();
+    return sig;
+  }
 
   std::uint64_t fired_count() const { return fired_count_; }
   double last_observed_rate() const { return last_rate_; }

@@ -59,6 +59,13 @@ class RateLimitModule : public Module {
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "rate-limit"; }
   int port_count() const override { return 2; }
+  /// Token buckets are cross-packet state; can only remove packets, so
+  /// rate factor stays at the pass-through worst case of 1.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    return sig;
+  }
 
   void set_rate(double rate_pps) { rate_pps_ = rate_pps; }
   /// Atomically retargets rate and burst, clamping already-accumulated
@@ -103,6 +110,13 @@ class SamplerModule : public Module {
   }
   std::string_view type_name() const override { return "sampler"; }
   int port_count() const override { return 2; }
+  /// The modulo counter is state; every packet still leaves on exactly
+  /// one port, so no duplication.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    return sig;
+  }
 
  private:
   std::uint32_t n_;

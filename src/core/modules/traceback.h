@@ -31,6 +31,13 @@ class TracebackStoreModule : public Module {
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "traceback-store"; }
   std::uint32_t declared_overhead_bytes() const override { return 0; }
+  /// Digests stay on-device (queried on demand), so no per-packet
+  /// management overhead despite the substantial local state.
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.stateful = true;
+    return sig;
+  }
 
   /// Was a packet with this digest seen here within the retained history?
   bool Saw(std::uint64_t digest) const;

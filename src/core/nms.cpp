@@ -50,6 +50,8 @@ IspNms::IspNms(std::string isp_name, Network& net,
                        static_cast<double>(stats_.resync_rounds)});
         out.push_back({prefix + "resync_installs",
                        static_cast<double>(stats_.resync_installs)});
+        out.push_back({prefix + "soundness_flags",
+                       static_cast<double>(stats_.soundness_flags)});
       });
 }
 
@@ -169,9 +171,13 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
   // owner's addresses: the home ASes and their provider chains.
   std::vector<NodeId> legit_forwarders =
       LegitimateForwarderSet(net_, instr.home_nodes);
-  // Validate once against a reference graph (all devices get identically
-  // shaped graphs for a given request).
+  // Analyze once against reference graphs (all devices get identically
+  // shaped graphs for a given request). Devices sit at transit vantage
+  // points too, so no customer-edge guarantee is claimed — the default
+  // AnalysisContext.
+  bool statically_proven = false;
   {
+    obs::ScopedSpan analyze_span(tracer, "safety.analyze");
     StageGraphs reference =
         BuildStageGraphs(instr.request, legit_forwarders);
     const ModuleGraph* graph =
@@ -181,31 +187,37 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
                                       : nullptr);
     if (graph == nullptr) {
       stats_.deployments_rejected++;
+      analyze_span.Fail();
       span.Fail();
       return InvalidArgument("service request produced no graphs");
     }
-    const Status status = validator_->ValidateDeployment(
+    const DeploymentAnalysis first = validator_->AnalyzeDeployment(
         instr.cert, instr.request.control_scope, *graph);
-    if (!status.ok()) {
+    if (!first.status.ok()) {
       stats_.deployments_rejected++;
+      analyze_span.Fail();
       span.Fail();
-      return status;
+      return first.status;
     }
+    statically_proven = first.report.proven();
     if (reference.destination_stage && reference.source_stage) {
-      const Status second = validator_->ValidateDeployment(
+      const DeploymentAnalysis second = validator_->AnalyzeDeployment(
           instr.cert, instr.request.control_scope,
           *reference.destination_stage);
-      if (!second.ok()) {
+      if (!second.status.ok()) {
         stats_.deployments_rejected++;
+        analyze_span.Fail();
         span.Fail();
-        return second;
+        return second.status;
       }
+      statically_proven = statically_proven && second.report.proven();
     }
   }
 
   DesiredDeployment desired;
   desired.instr = instr;
   desired.legit_forwarders = std::move(legit_forwarders);
+  desired.statically_proven = statically_proven;
   const DeploymentId key = instr.id;
   desired_.insert_or_assign(key, std::move(desired));
   sweep_attempt_ = 0;  // a fresh deployment gets a fresh retry budget
@@ -469,6 +481,23 @@ std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
 void IspNms::OnEvent(const DeviceEvent& event) {
   stats_.events_received++;
   event_log_.OnEvent(event);
+  if (event.kind != EventKind::kSafetyViolation) return;
+  // Soundness oracle: the guard quarantined a deployment whose graphs
+  // the verifier had proven safe — some module's declared effect
+  // signature was wrong. Flag it so the analyzer's trustworthiness is
+  // continuously measured in production, not assumed.
+  for (const auto& [id, d] : desired_) {
+    (void)id;
+    if (!d.statically_proven) continue;
+    if (d.instr.cert.subscriber != event.subscriber) continue;
+    validator_->CountSoundnessViolation();
+    stats_.soundness_flags++;
+    DeviceEvent flag = event;
+    flag.kind = EventKind::kAnalysisSoundness;
+    flag.detail = "runtime guard contradicted static proof: " + event.detail;
+    event_log_.OnEvent(flag);
+    break;
+  }
 }
 
 }  // namespace adtc

@@ -51,6 +51,9 @@ struct NmsStats {
   obs::Counter retry_sweeps;            // backoff-driven local sweeps
   obs::Counter resync_rounds;           // periodic anti-entropy rounds
   obs::Counter resync_installs;         // installs recovered by resync
+  /// Safety-guard quarantine of a deployment the analyzer had proven —
+  /// a module's effect signature lied (soundness-oracle flag).
+  obs::Counter soundness_flags;
 };
 
 class IspNms : public EventSink {
@@ -147,6 +150,10 @@ class IspNms : public EventSink {
     std::vector<NodeId> legit_forwarders;
     Status worst;          // worst device outcome observed so far
     bool counted = false;  // deployments_installed already bumped
+    /// Every stage graph was proven safe by the static verifier at
+    /// admission — a later runtime safety violation is then an
+    /// analyzer-soundness event, not mere defence-in-depth.
+    bool statically_proven = false;
   };
 
   static constexpr std::size_t kMaxSweepAttempts = 16;

@@ -12,13 +12,45 @@ bool SafetyValidator::IsVetted(std::string_view type_name) const {
   return vetted_.contains(std::string(type_name));
 }
 
-Status SafetyValidator::ValidateDeployment(
-    const OwnershipCertificate& cert, const std::vector<Prefix>& scope,
-    const ModuleGraph& graph) const {
+analysis::GraphView BuildGraphView(const ModuleGraph& graph) {
+  analysis::GraphView view;
+  view.entry = graph.entry();
+  view.modules.reserve(graph.module_count());
+  for (std::size_t i = 0; i < graph.module_count(); ++i) {
+    const int id = static_cast<int>(i);
+    const Module* module = graph.module(id);
+    analysis::ModuleView mv;
+    mv.type_name = std::string(module->type_name());
+    mv.signature = module->effect_signature();
+    const std::size_t ports = graph.port_link_count(id);
+    mv.ports.reserve(ports);
+    for (std::size_t port = 0; port < ports; ++port) {
+      const ModuleGraph::PortLink link =
+          graph.port_link(id, static_cast<int>(port));
+      analysis::PortView pv;
+      pv.wired = link.wired;
+      pv.is_terminal = link.is_terminal;
+      pv.next = link.next;
+      mv.ports.push_back(pv);
+    }
+    view.modules.push_back(std::move(mv));
+  }
+  return view;
+}
+
+namespace {
+
+// Admission checks 1-4 (scoping, well-formedness, catalog, overhead
+// total) — everything that predates the static verifier.
+Status PreAnalysisChecks(const SafetyValidator& validator,
+                         const SafetyLimits& limits,
+                         const OwnershipCertificate& cert,
+                         const std::vector<Prefix>& scope,
+                         const ModuleGraph& graph) {
   if (scope.empty()) {
     return InvalidArgument("deployment scope is empty");
   }
-  if (scope.size() > limits_.max_scope_prefixes) {
+  if (scope.size() > limits.max_scope_prefixes) {
     return ResourceExhausted("scope exceeds prefix cap");
   }
   // The fundamental restriction: control only over owned traffic.
@@ -32,23 +64,59 @@ Status SafetyValidator::ValidateDeployment(
   if (!graph.validated()) {
     return InvalidArgument("module graph failed validation");
   }
-  if (graph.module_count() > limits_.max_modules_per_graph) {
+  if (graph.module_count() > limits.max_modules_per_graph) {
     return ResourceExhausted("module graph exceeds module cap");
   }
   for (std::size_t i = 0; i < graph.module_count(); ++i) {
     const std::string_view type =
         graph.module(static_cast<int>(i))->type_name();
-    if (!IsVetted(type)) {
+    if (!validator.IsVetted(type)) {
       return SafetyViolation("module type '" + std::string(type) +
                              "' is not on the vetted catalog");
     }
   }
-  if (graph.TotalDeclaredOverhead() >
-      limits_.max_overhead_bytes_per_packet) {
-    return SafetyViolation(
-        "declared management overhead exceeds the allowance");
-  }
+  // No whole-graph overhead total here: the overhead allowance is a
+  // per-packet quantity and a packet traverses one path, so the verifier
+  // enforces it as the per-path sum (kByteAmplification) — strictly more
+  // precise than the old TotalDeclaredOverhead() cap it replaces.
   return Status::Ok();
+}
+
+}  // namespace
+
+DeploymentAnalysis SafetyValidator::AnalyzeDeployment(
+    const OwnershipCertificate& cert, const std::vector<Prefix>& scope,
+    const ModuleGraph& graph, const analysis::AnalysisContext& ctx) const {
+  DeploymentAnalysis out;
+  out.status = PreAnalysisChecks(*this, limits_, cert, scope, graph);
+  if (!out.status.ok()) {
+    ++stats_.graphs_rejected;
+    return out;  // report stays kNotRun: the verifier never saw the graph
+  }
+  analysis::AnalysisLimits analysis_limits;
+  analysis_limits.max_overhead_bytes_per_packet =
+      limits_.max_overhead_bytes_per_packet;
+  const analysis::GraphView view = BuildGraphView(graph);
+  out.report = analysis::VerifyGraph(view, ctx, analysis_limits);
+  stats_.violations_found += out.report.violations.size();
+  if (!out.report.proven()) {
+    ++stats_.graphs_rejected;
+    const analysis::Violation& first = out.report.violations.front();
+    out.status = SafetyViolation(
+        "static analysis rejected deployment: " +
+        std::string(analysis::InvariantKindName(first.kind)) + " — " +
+        first.detail + " [witness: " +
+        analysis::WitnessToString(view, first.witness_path) + "]");
+    return out;
+  }
+  ++stats_.graphs_verified;
+  return out;
+}
+
+Status SafetyValidator::ValidateDeployment(
+    const OwnershipCertificate& cert, const std::vector<Prefix>& scope,
+    const ModuleGraph& graph) const {
+  return AnalyzeDeployment(cert, scope, graph).status;
 }
 
 SafetyValidator MakeStandardValidator(SafetyLimits limits) {
@@ -70,6 +138,7 @@ std::string_view InvariantViolationName(InvariantViolation violation) {
       return "destination_modified";
     case InvariantViolation::kTtlModified: return "ttl_modified";
     case InvariantViolation::kSizeIncreased: return "size_increased";
+    case InvariantViolation::kCount_: break;
   }
   return "?";
 }

@@ -4,13 +4,22 @@
 //  * SafetyValidator — static admission control run at install time:
 //    ownership scoping (the fundamental rule: control only over owned
 //    traffic), vetted module types, graph well-formedness, bounded
-//    management-plane overhead, resource caps.
+//    management-plane overhead, resource caps — and, on top, the static
+//    dataflow verifier (src/analysis/verifier.h): abstract interpretation
+//    over the module graph proving the Sec. 4.5 invariants (no rate or
+//    byte amplification on any path, no header mutation reachable,
+//    context requirements met) from the modules' declared effect
+//    signatures, yielding a machine-readable AnalysisReport with witness
+//    paths for every rejection.
 //  * SafetyGuard — runtime invariant enforcement around every module-graph
 //    execution: source/destination/TTL immutability and no-size-growth.
 //    A violating deployment is quarantined (fails open to plain
 //    forwarding) and the operator is notified — the network stays
 //    manageable by the network operator no matter what a subscriber
-//    installs.
+//    installs. Because admission already *proved* those properties from
+//    the declared signatures, any runtime violation means a module lied —
+//    the guard doubles as a continuous soundness oracle for the analyzer
+//    (counted in analysis.soundness_violations).
 #pragma once
 
 #include <cstdint>
@@ -18,9 +27,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "common/result.h"
 #include "core/certificate.h"
 #include "core/module_graph.h"
+#include "obs/metrics_registry.h"
 
 namespace adtc {
 
@@ -32,6 +43,29 @@ struct SafetyLimits {
   /// Redirect-scope prefixes per deployment (device table headroom).
   std::uint32_t max_scope_prefixes = 64;
 };
+
+/// Admission counters, exported through the obs registry as "analysis.*"
+/// by whoever owns the validator (the Tcsp registers the collector).
+struct AnalysisStats {
+  obs::Counter graphs_verified;   // admissions that ended in a proof
+  obs::Counter graphs_rejected;   // admissions rejected (any reason)
+  obs::Counter violations_found;  // individual invariant violations
+  /// Runtime guard contradicted a statically-proven property — a module
+  /// lied in its effect signature. The analyzer's soundness oracle.
+  obs::Counter soundness_violations;
+};
+
+/// Full admission outcome: the Status callers gate on plus the verifier's
+/// machine-readable report (bounds, violations, witness paths), which the
+/// TCSP attaches to the DeploymentReport.
+struct DeploymentAnalysis {
+  Status status;
+  analysis::AnalysisReport report;
+};
+
+/// Snapshots a validated graph's wiring and the modules' declared effect
+/// signatures into the verifier's structural view.
+analysis::GraphView BuildGraphView(const ModuleGraph& graph);
 
 class SafetyValidator {
  public:
@@ -47,16 +81,36 @@ class SafetyValidator {
   ///  1. every scope prefix lies inside the certificate's address space;
   ///  2. the graph validated (complete, acyclic) and within module caps;
   ///  3. every module type is vetted;
-  ///  4. total declared overhead within the allowance.
+  ///  4. the static verifier proves the Sec. 4.5 invariants over every
+  ///     entry->terminal path under `ctx` (see analysis/verifier.h) —
+  ///     including the per-path overhead allowance, which subsumes the
+  ///     old whole-graph TotalDeclaredOverhead() cap.
+  /// The returned report is kNotRun when a pre-analysis check (1-3)
+  /// already rejected the deployment.
+  DeploymentAnalysis AnalyzeDeployment(
+      const OwnershipCertificate& cert, const std::vector<Prefix>& scope,
+      const ModuleGraph& graph,
+      const analysis::AnalysisContext& ctx = {}) const;
+
+  /// Status-only convenience over AnalyzeDeployment (no context
+  /// guarantee: transit packets assumed reachable, the safe default).
   Status ValidateDeployment(const OwnershipCertificate& cert,
                             const std::vector<Prefix>& scope,
                             const ModuleGraph& graph) const;
 
   const SafetyLimits& limits() const { return limits_; }
 
+  const AnalysisStats& analysis_stats() const { return stats_; }
+  /// Called by the management plane when the runtime guard quarantines a
+  /// deployment the analyzer had proven safe (see NMS event handling).
+  void CountSoundnessViolation() const { ++stats_.soundness_violations; }
+
  private:
   SafetyLimits limits_;
   std::unordered_set<std::string> vetted_;
+  /// Mutable: admission is logically const (no validator state changes),
+  /// the counters are telemetry.
+  mutable AnalysisStats stats_;
 };
 
 /// Returns a validator pre-loaded with the standard module catalog.
@@ -80,6 +134,7 @@ enum class InvariantViolation : std::uint8_t {
   kDestinationModified,
   kTtlModified,
   kSizeIncreased,
+  kCount_,
 };
 
 std::string_view InvariantViolationName(InvariantViolation violation);

@@ -30,6 +30,15 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
                        static_cast<double>(stats_.deploy_retries)});
         out.push_back({"tcsp.relay_fallbacks",
                        static_cast<double>(stats_.relay_fallbacks)});
+        const AnalysisStats& analysis = validator_.analysis_stats();
+        out.push_back({"analysis.graphs_verified",
+                       static_cast<double>(analysis.graphs_verified)});
+        out.push_back({"analysis.graphs_rejected",
+                       static_cast<double>(analysis.graphs_rejected)});
+        out.push_back({"analysis.violations_found",
+                       static_cast<double>(analysis.violations_found)});
+        out.push_back({"analysis.soundness_violations",
+                       static_cast<double>(analysis.soundness_violations)});
         if (injector_ != nullptr) {
           const FaultInjectorStats& fs = injector_->stats();
           out.push_back({"faults.messages_planned",
@@ -237,14 +246,22 @@ DeploymentReport Tcsp::DeployService(
   instr.request = request;
   instr.home_nodes = HomeNodes(request.control_scope);
 
+  // Static admission analysis, attached to the report either way the
+  // deployment travels. Each NMS re-runs the authoritative gate on the
+  // same shared validator before installing anything.
+  const analysis::AnalysisReport analysis =
+      AnalyzeRequest(cert, request, instr.home_nodes);
+
   if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
     if (config_.relay_fallback && !isps_.empty()) {
-      return RelayFallback(instr, requested_at, deploy_span, done);
+      return RelayFallback(instr, analysis, requested_at, deploy_span,
+                           done);
     }
     if (tracer() != nullptr) tracer()->EndSpan(deploy_span, /*ok=*/false);
     DeploymentReport report;
     report.status = Unavailable("TCSP unreachable");
+    report.analysis = analysis;
     report.requested_at = requested_at;
     report.completed_at = requested_at;
     deliver(report, done);
@@ -258,6 +275,7 @@ DeploymentReport Tcsp::DeployService(
   // failure; the report carries the worst observed outcome.
   auto report = std::make_shared<DeploymentReport>();
   report->requested_at = requested_at;
+  report->analysis = analysis;
 
   if (isps_.empty()) {
     report->completed_at = requested_at;
@@ -337,8 +355,30 @@ DeploymentReport Tcsp::DeployService(
   return *report;
 }
 
+analysis::AnalysisReport Tcsp::AnalyzeRequest(
+    const OwnershipCertificate& cert, const ServiceRequest& request,
+    const std::vector<NodeId>& home_nodes) const {
+  StageGraphs reference = BuildStageGraphs(
+      request, LegitimateForwarderSet(net_, home_nodes));
+  analysis::AnalysisReport merged;  // stays kNotRun with no graphs
+  for (const auto* stage : {&reference.source_stage,
+                            &reference.destination_stage}) {
+    if (!stage->has_value()) continue;
+    DeploymentAnalysis one = validator_.AnalyzeDeployment(
+        cert, request.control_scope, **stage);
+    // First rejection wins (it carries the witness); otherwise keep the
+    // first stage's proof.
+    if (merged.status == analysis::AnalysisStatus::kNotRun ||
+        (!one.report.proven() && merged.proven())) {
+      merged = std::move(one.report);
+    }
+  }
+  return merged;
+}
+
 DeploymentReport Tcsp::RelayFallback(
-    const DeploymentInstruction& instr, SimTime requested_at,
+    const DeploymentInstruction& instr,
+    const analysis::AnalysisReport& analysis, SimTime requested_at,
     obs::SpanId deploy_span,
     const std::function<void(const DeploymentReport&)>& done) {
   stats_.relay_fallbacks++;
@@ -347,6 +387,7 @@ DeploymentReport Tcsp::RelayFallback(
   }
   DeploymentReport report;
   report.path = DeployPath::kRelayed;
+  report.analysis = analysis;
   report.requested_at = requested_at;
   // The user contacts the first enrolled ISP directly; the instruction
   // floods the peer mesh from there (and anti-entropy resync catches

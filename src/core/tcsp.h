@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/verifier.h"
 #include "core/nms.h"
 #include "core/ownership.h"
 #include "core/tcsp_config.h"
@@ -51,6 +52,11 @@ struct DeploymentReport {
   std::uint32_t retries = 0;
   DeployPath path = DeployPath::kDirect;
   std::vector<IspOutcome> isp_outcomes;
+  /// Static admission analysis of the request's reference graphs
+  /// (src/analysis): per-path worst-case bounds when proven, the violated
+  /// invariant with a witness path when rejected. kNotRun when the
+  /// request never produced an analyzable graph.
+  analysis::AnalysisReport analysis;
   SimTime requested_at = 0;
   SimTime completed_at = 0;
 
@@ -186,10 +192,19 @@ class Tcsp {
   bool TcspReachable() const;
   /// Lazily built TCSP->NMS channel for one enrolled ISP.
   ControlChannel& IspChannel(IspNms* nms);
+  /// Runs the static verifier over the request's reference stage graphs
+  /// so the outcome can be attached to the DeploymentReport. The
+  /// authoritative admission gate is each NMS's AnalyzeDeployment (same
+  /// shared validator); this pass only makes the proof visible to the
+  /// requesting user.
+  analysis::AnalysisReport AnalyzeRequest(
+      const OwnershipCertificate& cert, const ServiceRequest& request,
+      const std::vector<NodeId>& home_nodes) const;
   /// Unreachable-TCSP degradation: floods the instruction through the
   /// peer mesh starting at the first enrolled NMS.
   DeploymentReport RelayFallback(
-      const DeploymentInstruction& instr, SimTime requested_at,
+      const DeploymentInstruction& instr,
+      const analysis::AnalysisReport& analysis, SimTime requested_at,
       obs::SpanId deploy_span,
       const std::function<void(const DeploymentReport&)>& done);
 

@@ -1,0 +1,215 @@
+// Differential soundness harness for the static verifier.
+//
+// Property under test: for *honest* modules — modules whose
+// effect_signature() truthfully over-approximates what OnPacket does —
+// a statically proven graph never trips the runtime guard. I.e. the
+// static verdict is never more permissive than SafetyGuard's runtime
+// observation; proven + quarantined can only mean a module lied.
+//
+// The harness generates random DAG-shaped module graphs out of synthetic
+// modules with random behaviours, derives each signature truthfully from
+// the behaviour, admits the graph through the real SafetyValidator, then
+// executes a batch of random packets and checks EnforceInvariants (the
+// exact check SafetyGuard applies around every execution).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/safety.h"
+
+namespace adtc {
+namespace {
+
+/// What a synthetic module actually does per packet.
+struct Behavior {
+  bool write_src = false;
+  bool write_ttl = false;
+  std::int32_t wire_delta = 0;     // applied to size_bytes (clamped at 1)
+  std::uint32_t overhead = 0;      // declared management overhead
+  bool customer_edge_only = false; // requires the edge guarantee
+  int ports = 1;                   // 1 or 2; port chosen per packet
+};
+
+/// Executes its behaviour literally and declares it truthfully.
+class SyntheticModule : public Module {
+ public:
+  SyntheticModule(Behavior behavior, std::uint64_t seed)
+      : behavior_(behavior), rng_(seed) {}
+
+  int OnPacket(Packet& packet, const DeviceContext&) override {
+    if (behavior_.write_src) packet.src = Ipv4Address(packet.src.bits() ^ 1);
+    if (behavior_.write_ttl && packet.ttl > 0) packet.ttl--;
+    if (behavior_.wire_delta != 0) {
+      const std::int64_t size =
+          static_cast<std::int64_t>(packet.size_bytes) + behavior_.wire_delta;
+      packet.size_bytes = static_cast<std::uint32_t>(std::max<std::int64_t>(
+          1, size));
+    }
+    if (behavior_.ports == 1) return 0;
+    return static_cast<int>(rng_() % 2);
+  }
+
+  // The vetted catalog gates on type names; the property under test is
+  // the effect analysis, so synthetics reuse a vetted name.
+  std::string_view type_name() const override { return "match"; }
+  int port_count() const override { return behavior_.ports; }
+  std::uint32_t declared_overhead_bytes() const override {
+    return behavior_.overhead;
+  }
+
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.header_writes = analysis::kNoHeaderWrites;
+    if (behavior_.write_src) {
+      sig.header_writes = sig.header_writes | analysis::HeaderField::kSrc;
+    }
+    if (behavior_.write_ttl) {
+      sig.header_writes = sig.header_writes | analysis::HeaderField::kTtl;
+    }
+    if (behavior_.wire_delta > 0) {
+      sig.header_writes =
+          sig.header_writes | analysis::HeaderField::kSizeGrow;
+    }
+    sig.wire_bytes_delta_max = behavior_.wire_delta;
+    sig.overhead_bytes_max = behavior_.overhead;
+    sig.stateful = false;
+    sig.context = behavior_.customer_edge_only
+                      ? analysis::ContextRequirement::kCustomerEdgeOnly
+                      : analysis::ContextRequirement::kNone;
+    return sig;
+  }
+
+ private:
+  Behavior behavior_;
+  std::mt19937_64 rng_;
+};
+
+Behavior RandomBehavior(std::mt19937_64& rng) {
+  Behavior b;
+  // Most modules are benign so that a useful share of graphs is proven;
+  // each hazard appears often enough to exercise every invariant.
+  b.write_src = rng() % 8 == 0;
+  b.write_ttl = rng() % 8 == 0;
+  switch (rng() % 6) {
+    case 0: b.wire_delta = static_cast<std::int32_t>(rng() % 32) + 1; break;
+    case 1: b.wire_delta = -static_cast<std::int32_t>(rng() % 32); break;
+    default: break;
+  }
+  b.overhead = static_cast<std::uint32_t>(rng() % 40);
+  b.customer_edge_only = rng() % 8 == 0;
+  b.ports = (rng() % 3 == 0) ? 2 : 1;
+  return b;
+}
+
+/// Random DAG: module i only wires forward (to j > i) or to a terminal,
+/// so ModuleGraph::Validate() accepts it and runtime execution is safe.
+ModuleGraph RandomGraph(std::mt19937_64& rng) {
+  ModuleGraph graph;
+  const int count = 1 + static_cast<int>(rng() % 8);
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(graph.AddModule(
+        std::make_unique<SyntheticModule>(RandomBehavior(rng), rng())));
+  }
+  (void)graph.SetEntry(ids.front());
+  for (int i = 0; i < count; ++i) {
+    const int ports = graph.module(ids[i])->port_count();
+    for (int port = 0; port < ports; ++port) {
+      const bool last = i + 1 >= count;
+      if (last || rng() % 3 == 0) {
+        (void)graph.WireTerminal(ids[i], port,
+                                 rng() % 4 == 0
+                                     ? ModuleGraph::Terminal::kDrop
+                                     : ModuleGraph::Terminal::kAccept);
+      } else {
+        const int target = i + 1 + static_cast<int>(rng() % (count - i - 1));
+        (void)graph.Wire(ids[i], port, ids[target]);
+      }
+    }
+  }
+  (void)graph.Validate();
+  return graph;
+}
+
+Packet RandomPacket(std::mt19937_64& rng) {
+  Packet packet;
+  packet.src = Ipv4Address(static_cast<std::uint32_t>(rng()));
+  packet.dst = Ipv4Address(static_cast<std::uint32_t>(rng()));
+  packet.ttl = static_cast<std::uint8_t>(1 + rng() % 64);
+  packet.size_bytes = static_cast<std::uint32_t>(64 + rng() % 1400);
+  return packet;
+}
+
+TEST(AnalysisSoundnessTest, ProvenGraphsNeverTripTheRuntimeGuard) {
+  std::mt19937_64 rng(0xADCC5EED);
+  CertificateAuthority ca("k");
+  const OwnershipCertificate cert =
+      ca.Issue(1, "acme", {NodePrefix(5)}, 0, Seconds(3600));
+  const SafetyValidator validator = MakeStandardValidator();
+
+  int proven = 0;
+  int rejected = 0;
+  for (int round = 0; round < 300; ++round) {
+    ModuleGraph graph = RandomGraph(rng);
+    ASSERT_TRUE(graph.validated());
+    const DeploymentAnalysis admission =
+        validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    (admission.report.proven() ? proven : rejected)++;
+
+    // Runtime side: execute a packet batch under the guard's own check.
+    DeviceContext ctx;
+    bool runtime_violation = false;
+    for (int shot = 0; shot < 32 && !runtime_violation; ++shot) {
+      Packet packet = RandomPacket(rng);
+      const PacketInvariants before = PacketInvariants::Capture(packet);
+      (void)graph.Execute(packet, ctx);
+      runtime_violation =
+          EnforceInvariants(before, packet) != InvariantViolation::kNone;
+    }
+
+    // The soundness property. (The converse is intentionally NOT
+    // asserted: the static analysis is worst-case, so it may reject
+    // graphs whose hazard never fired in this batch.)
+    if (runtime_violation) {
+      EXPECT_FALSE(admission.report.proven())
+          << "round " << round
+          << ": runtime guard tripped on a statically proven graph:\n"
+          << admission.report.ToString();
+    }
+  }
+  // The generator must exercise both verdicts for the test to mean much.
+  EXPECT_GT(proven, 10);
+  EXPECT_GT(rejected, 10);
+}
+
+TEST(AnalysisSoundnessTest, RejectionsAlwaysCiteAWitnessPath) {
+  std::mt19937_64 rng(0x5AFE17);
+  CertificateAuthority ca("k");
+  const OwnershipCertificate cert =
+      ca.Issue(1, "acme", {NodePrefix(5)}, 0, Seconds(3600));
+  const SafetyValidator validator = MakeStandardValidator();
+  for (int round = 0; round < 200; ++round) {
+    ModuleGraph graph = RandomGraph(rng);
+    const DeploymentAnalysis admission =
+        validator.AnalyzeDeployment(cert, {NodePrefix(5)}, graph);
+    if (admission.report.status != analysis::AnalysisStatus::kRejected) {
+      continue;
+    }
+    ASSERT_FALSE(admission.report.violations.empty());
+    for (const analysis::Violation& violation : admission.report.violations) {
+      // Every witness starts at the entry and stays inside the graph.
+      ASSERT_FALSE(violation.witness_path.empty());
+      EXPECT_EQ(violation.witness_path.front(), graph.entry());
+      for (int index : violation.witness_path) {
+        EXPECT_GE(index, 0);
+        EXPECT_LT(static_cast<std::size_t>(index), graph.module_count());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtc

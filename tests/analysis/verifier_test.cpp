@@ -1,0 +1,282 @@
+// Unit tests for the admission-time static verifier, driving it directly
+// through hand-built GraphViews — no ModuleGraph involved, exercising the
+// structural cases ModuleGraph::Validate() would refuse to produce
+// (cycles, dangling links, missing entries).
+#include "analysis/verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace adtc::analysis {
+namespace {
+
+/// A module with `ports` output ports, all wired to terminals.
+ModuleView Leaf(std::string name, EffectSignature sig = {},
+                std::size_t ports = 1) {
+  ModuleView mv;
+  mv.type_name = std::move(name);
+  mv.signature = sig;
+  mv.ports.resize(ports);
+  for (PortView& pv : mv.ports) {
+    pv.wired = true;
+    pv.is_terminal = true;
+  }
+  return mv;
+}
+
+/// Rewires port `port` of `mv` to module `next`.
+void Link(ModuleView& mv, std::size_t port, int next) {
+  mv.ports[port].wired = true;
+  mv.ports[port].is_terminal = false;
+  mv.ports[port].next = next;
+}
+
+GraphView SingleView(EffectSignature sig) {
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("m", sig));
+  return view;
+}
+
+TEST(VerifierTest, ProvesTrivialGraph) {
+  const AnalysisReport report = VerifyGraph(SingleView({}), {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.modules_examined, 1u);
+  EXPECT_EQ(report.paths_covered, 1u);
+  EXPECT_DOUBLE_EQ(report.bounds.rate_factor, 1.0);
+  EXPECT_EQ(report.bounds.bytes_out_delta, 0u);
+}
+
+TEST(VerifierTest, MissingEntryIsRejected) {
+  GraphView view;  // entry = -1
+  view.modules.push_back(Leaf("m"));
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(report.violations.front().kind, InvariantKind::kUnwiredPort);
+}
+
+TEST(VerifierTest, UnwiredPortIsRejectedWithWitness) {
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("a"));
+  view.modules.push_back(Leaf("b", {}, 2));
+  Link(view.modules[0], 0, 1);
+  view.modules[1].ports[1].wired = false;  // b's alt port dangles
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  const Violation& violation = report.violations.front();
+  EXPECT_EQ(violation.kind, InvariantKind::kUnwiredPort);
+  EXPECT_EQ(violation.witness_path, (std::vector<int>{0, 1}));
+  EXPECT_EQ(WitnessToString(view, violation.witness_path), "entry:a -> b");
+}
+
+TEST(VerifierTest, DanglingLinkTargetIsRejected) {
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("a"));
+  Link(view.modules[0], 0, 7);  // no module #7
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(report.violations.front().kind, InvariantKind::kUnwiredPort);
+}
+
+TEST(VerifierTest, CycleIsNonTerminating) {
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("a"));
+  view.modules.push_back(Leaf("b"));
+  Link(view.modules[0], 0, 1);
+  Link(view.modules[1], 0, 0);  // b -> a closes the loop
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  const Violation& violation = report.violations.front();
+  EXPECT_EQ(violation.kind, InvariantKind::kNonTerminating);
+  // The witness walks the loop: a -> b -> a.
+  EXPECT_EQ(violation.witness_path, (std::vector<int>{0, 1, 0}));
+}
+
+TEST(VerifierTest, SelfLoopIsNonTerminating) {
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("a"));
+  Link(view.modules[0], 0, 0);
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(report.violations.front().kind, InvariantKind::kNonTerminating);
+}
+
+TEST(VerifierTest, UnreachableModulesAreIgnored) {
+  // An island module with declared header writes is harmless: no packet
+  // can reach it.
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("entry"));
+  EffectSignature writer;
+  writer.header_writes = kNoHeaderWrites | HeaderField::kSrc;
+  view.modules.push_back(Leaf("island", writer));
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.modules_examined, 1u);
+}
+
+TEST(VerifierTest, RateFactorComposesMultiplicatively) {
+  // 0.5 * 2.0 = 1.0: a sampler ahead of a duplicator nets out safe.
+  GraphView view;
+  view.entry = 0;
+  EffectSignature half;
+  half.rate_factor_max = 0.5;
+  EffectSignature twice;
+  twice.rate_factor_max = 2.0;
+  view.modules.push_back(Leaf("sampler", half));
+  view.modules.push_back(Leaf("dup", twice));
+  Link(view.modules[0], 0, 1);
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_DOUBLE_EQ(report.bounds.rate_factor, 1.0);
+
+  // Swap in a second duplicator: 0.5 * 2 * 2 = 2 > 1.
+  view.modules.push_back(Leaf("dup2", twice));
+  Link(view.modules[1], 0, 2);
+  const AnalysisReport bad = VerifyGraph(view, {}, {});
+  ASSERT_EQ(bad.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(bad.violations.front().kind, InvariantKind::kRateAmplification);
+  EXPECT_EQ(bad.violations.front().witness_path,
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(VerifierTest, WorstPathDominatesDiamond) {
+  // Diamond: entry branches to a cheap and an expensive middle, both
+  // rejoin at a tail. The worst-case bytes bound must follow the
+  // expensive branch, and the witness must name it.
+  GraphView view;
+  view.entry = 0;
+  EffectSignature cheap;
+  cheap.overhead_bytes_max = 1;
+  EffectSignature expensive;
+  expensive.overhead_bytes_max = 100;
+  view.modules.push_back(Leaf("branch", {}, 2));
+  view.modules.push_back(Leaf("cheap", cheap));
+  view.modules.push_back(Leaf("expensive", expensive));
+  view.modules.push_back(Leaf("tail"));
+  Link(view.modules[0], 0, 1);
+  Link(view.modules[0], 1, 2);
+  Link(view.modules[1], 0, 3);
+  Link(view.modules[2], 0, 3);
+  AnalysisLimits limits;
+  limits.max_overhead_bytes_per_packet = 64;
+  const AnalysisReport report = VerifyGraph(view, {}, limits);
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  const Violation& violation = report.violations.front();
+  EXPECT_EQ(violation.kind, InvariantKind::kByteAmplification);
+  EXPECT_EQ(violation.witness_path, (std::vector<int>{0, 2}));
+  EXPECT_EQ(report.bounds.bytes_out_delta, 100u);
+  EXPECT_EQ(report.paths_covered, 2u);
+
+  // Raising the allowance over the worst path proves the same graph.
+  limits.max_overhead_bytes_per_packet = 100;
+  EXPECT_TRUE(VerifyGraph(view, {}, limits).proven());
+}
+
+TEST(VerifierTest, PathCountingIsExactOnLayeredBranches) {
+  // k layers of 2-way branches rejoining: 2^k distinct paths, covered
+  // without enumeration.
+  constexpr int kLayers = 10;
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("fan", {}, 2));
+  int previous = 0;
+  for (int layer = 1; layer < kLayers; ++layer) {
+    const int left = static_cast<int>(view.modules.size());
+    view.modules.push_back(Leaf("l", {}, 1));
+    const int right = static_cast<int>(view.modules.size());
+    view.modules.push_back(Leaf("r", {}, 1));
+    const int join = static_cast<int>(view.modules.size());
+    view.modules.push_back(Leaf("fan", {}, 2));
+    Link(view.modules[previous], 0, left);
+    Link(view.modules[previous], 1, right);
+    Link(view.modules[left], 0, join);
+    Link(view.modules[right], 0, join);
+    previous = join;
+  }
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.paths_covered, std::uint64_t{1} << kLayers);
+}
+
+TEST(VerifierTest, WireShrinkIsTrackedButNeverViolates) {
+  EffectSignature shrink;
+  shrink.wire_bytes_delta_max = -42;  // payload deletion
+  const AnalysisReport report = VerifyGraph(SingleView(shrink), {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.bounds.wire_bytes_delta_min, -42);
+}
+
+TEST(VerifierTest, StatefulModulesCountedOnWorstPath) {
+  GraphView view;
+  view.entry = 0;
+  EffectSignature stateful;
+  stateful.stateful = true;
+  stateful.overhead_bytes_max = 10;
+  EffectSignature stateless;
+  stateless.stateful = false;
+  view.modules.push_back(Leaf("a", stateless));
+  view.modules.push_back(Leaf("b", stateful));
+  Link(view.modules[0], 0, 1);
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.bounds.stateful_modules, 1u);
+}
+
+TEST(VerifierTest, ContextGuaranteeDischargesEdgeRequirement) {
+  EffectSignature edge_only;
+  edge_only.context = ContextRequirement::kCustomerEdgeOnly;
+  const GraphView view = SingleView(edge_only);
+
+  AnalysisContext transit;  // default: transit reachable
+  ASSERT_EQ(VerifyGraph(view, transit, {}).status, AnalysisStatus::kRejected);
+
+  AnalysisContext edge;
+  edge.customer_edge_guaranteed = true;
+  EXPECT_TRUE(VerifyGraph(view, edge, {}).proven());
+}
+
+TEST(VerifierTest, ReportsEveryViolationNotJustTheFirst) {
+  // One graph, two independent defects: a header writer AND a per-path
+  // overhead blowout. Both must be reported.
+  GraphView view;
+  view.entry = 0;
+  EffectSignature writer;
+  writer.header_writes = kNoHeaderWrites | HeaderField::kTtl;
+  EffectSignature chatty;
+  chatty.overhead_bytes_max = 1000;
+  view.modules.push_back(Leaf("w", writer));
+  view.modules.push_back(Leaf("c", chatty));
+  Link(view.modules[0], 0, 1);
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  ASSERT_EQ(report.violations.size(), 2u);
+  EXPECT_EQ(report.violations[0].kind, InvariantKind::kHeaderMutation);
+  EXPECT_EQ(report.violations[1].kind, InvariantKind::kByteAmplification);
+}
+
+TEST(VerifierTest, EnumNamesAreStable) {
+  EXPECT_EQ(InvariantKindName(InvariantKind::kRateAmplification),
+            "rate-amplification");
+  EXPECT_EQ(InvariantKindName(InvariantKind::kByteAmplification),
+            "byte-amplification");
+  EXPECT_EQ(InvariantKindName(InvariantKind::kHeaderMutation),
+            "header-mutation");
+  EXPECT_EQ(InvariantKindName(InvariantKind::kContextViolation),
+            "context-violation");
+  EXPECT_EQ(InvariantKindName(InvariantKind::kUnwiredPort), "unwired-port");
+  EXPECT_EQ(InvariantKindName(InvariantKind::kNonTerminating),
+            "non-terminating");
+  EXPECT_EQ(AnalysisStatusName(AnalysisStatus::kNotRun), "not-run");
+  EXPECT_EQ(AnalysisStatusName(AnalysisStatus::kProven), "proven");
+  EXPECT_EQ(AnalysisStatusName(AnalysisStatus::kRejected), "rejected");
+  EXPECT_EQ(ContextRequirementName(ContextRequirement::kNone), "none");
+  EXPECT_EQ(ContextRequirementName(ContextRequirement::kCustomerEdgeOnly),
+            "customer-edge-only");
+}
+
+}  // namespace
+}  // namespace adtc::analysis

@@ -6,11 +6,27 @@
 #include <set>
 #include <string_view>
 
+#include "analysis/effects.h"
 #include "core/events.h"
+#include "core/safety.h"
 #include "net/metrics.h"
 
 namespace adtc {
 namespace {
+
+/// Shared distinct-and-named check over [0, count).
+template <typename E, typename NameFn>
+void CheckNames(std::size_t count, NameFn name_of, const char* enum_name) {
+  std::set<std::string_view> seen;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string_view name = name_of(static_cast<E>(i));
+    EXPECT_FALSE(name.empty()) << enum_name << " enumerator " << i;
+    EXPECT_NE(name, "?") << enum_name << " enumerator " << i << " is unnamed";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate " << enum_name << " name: " << name;
+  }
+  EXPECT_EQ(seen.size(), count);
+}
 
 TEST(EnumNamesTest, DropReasonNamesDistinctAndNonEmpty) {
   std::set<std::string_view> seen;
@@ -34,6 +50,30 @@ TEST(EnumNamesTest, EventKindNamesDistinctAndNonEmpty) {
         << "duplicate EventKind name: " << name;
   }
   EXPECT_EQ(seen.size(), kEventKindCount);
+}
+
+TEST(EnumNamesTest, InvariantViolationNamesDistinctAndNonEmpty) {
+  CheckNames<InvariantViolation>(
+      static_cast<std::size_t>(InvariantViolation::kCount_),
+      InvariantViolationName, "InvariantViolation");
+}
+
+TEST(EnumNamesTest, InvariantKindNamesDistinctAndNonEmpty) {
+  CheckNames<analysis::InvariantKind>(
+      static_cast<std::size_t>(analysis::InvariantKind::kCount_),
+      analysis::InvariantKindName, "InvariantKind");
+}
+
+TEST(EnumNamesTest, AnalysisStatusNamesDistinctAndNonEmpty) {
+  CheckNames<analysis::AnalysisStatus>(
+      static_cast<std::size_t>(analysis::AnalysisStatus::kCount_),
+      analysis::AnalysisStatusName, "AnalysisStatus");
+}
+
+TEST(EnumNamesTest, ContextRequirementNamesDistinctAndNonEmpty) {
+  CheckNames<analysis::ContextRequirement>(
+      static_cast<std::size_t>(analysis::ContextRequirement::kCount_),
+      analysis::ContextRequirementName, "ContextRequirement");
 }
 
 }  // namespace

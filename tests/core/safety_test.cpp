@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/modules/antispoof.h"
 #include "core/modules/basic.h"
 #include "core/modules/match.h"
 #include "testutil.h"
@@ -124,6 +125,246 @@ TEST(SafetyValidatorTest, VettingIsExplicit) {
   EXPECT_FALSE(validator.IsVetted("match"));
   validator.VetModuleType("match");
   EXPECT_TRUE(validator.IsVetted("match"));
+}
+
+// --- static admission analysis -------------------------------------------------
+//
+// These modules *declare their misbehaviour truthfully* in their effect
+// signatures. Before the static verifier existed, each of them passed
+// admission (vetted type name, modest declared overhead) and was only
+// stopped at runtime by SafetyGuard quarantine — after the first packet
+// had already been processed. Now admission rejects them with a witness.
+
+/// Declares it may emit two packets per input packet.
+class DeclaredAmplifier : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "sampler"; }
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.rate_factor_max = 2.0;
+    return sig;
+  }
+};
+
+/// Declares it writes the source address.
+class DeclaredSrcWriter : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "match"; }
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.header_writes = analysis::kNoHeaderWrites |
+                        analysis::HeaderField::kSrc;
+    return sig;
+  }
+};
+
+/// Declares it may grow the packet by 8 wire bytes.
+class DeclaredGrower : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "match"; }
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.wire_bytes_delta_max = 8;
+    return sig;
+  }
+};
+
+/// Requires a customer-edge guarantee but does NOT gate transit itself
+/// (unlike the standard AntiSpoofModule, which passes transit internally).
+class NonGatingEdgeChecker : public Module {
+ public:
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "anti-spoof"; }
+  analysis::EffectSignature effect_signature() const override {
+    analysis::EffectSignature sig;
+    sig.context = analysis::ContextRequirement::kCustomerEdgeOnly;
+    sig.self_gates_transit = false;
+    return sig;
+  }
+};
+
+/// A "logger" variant with a configurable overhead declaration.
+class OverheadModule : public Module {
+ public:
+  explicit OverheadModule(std::uint32_t bytes) : bytes_(bytes) {}
+  int OnPacket(Packet&, const DeviceContext&) override { return 0; }
+  std::string_view type_name() const override { return "logger"; }
+  std::uint32_t declared_overhead_bytes() const override { return bytes_; }
+
+ private:
+  std::uint32_t bytes_;
+};
+
+TEST(StaticAnalysisTest, RejectsDeclaredRateAmplificationAtAdmission) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph =
+      ModuleGraph::Single(std::make_unique<DeclaredAmplifier>());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(result.status.code(), ErrorCode::kSafetyViolation);
+  ASSERT_EQ(result.report.status, analysis::AnalysisStatus::kRejected);
+  ASSERT_FALSE(result.report.violations.empty());
+  EXPECT_EQ(result.report.violations.front().kind,
+            analysis::InvariantKind::kRateAmplification);
+  // The witness names the path to the offending module.
+  EXPECT_FALSE(result.report.violations.front().witness_path.empty());
+  EXPECT_NE(result.status.message().find("rate-amplification"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(result.report.bounds.rate_factor, 2.0);
+}
+
+TEST(StaticAnalysisTest, RejectsDeclaredHeaderWriteAtAdmission) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph =
+      ModuleGraph::Single(std::make_unique<DeclaredSrcWriter>());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(result.status.code(), ErrorCode::kSafetyViolation);
+  ASSERT_FALSE(result.report.violations.empty());
+  EXPECT_EQ(result.report.violations.front().kind,
+            analysis::InvariantKind::kHeaderMutation);
+}
+
+TEST(StaticAnalysisTest, DeclaredWireGrowthIsHeaderMutation) {
+  // The runtime guard forbids ANY size increase, so a declared positive
+  // wire delta must reject for the same invariant — never be traded off
+  // against the overhead allowance.
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<DeclaredGrower>());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(result.status.code(), ErrorCode::kSafetyViolation);
+  ASSERT_FALSE(result.report.violations.empty());
+  EXPECT_EQ(result.report.violations.front().kind,
+            analysis::InvariantKind::kHeaderMutation);
+}
+
+TEST(StaticAnalysisTest, RejectsPerPathOverheadAboveAllowance) {
+  const SafetyValidator validator = MakeStandardValidator();
+  std::vector<std::unique_ptr<Module>> chain;
+  for (int i = 0; i < 3; ++i) {
+    chain.push_back(std::make_unique<OverheadModule>(30));  // 90 > 64
+  }
+  ModuleGraph graph = ModuleGraph::Chain(std::move(chain));
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(result.status.code(), ErrorCode::kSafetyViolation);
+  ASSERT_FALSE(result.report.violations.empty());
+  EXPECT_EQ(result.report.violations.front().kind,
+            analysis::InvariantKind::kByteAmplification);
+  // The witness is the concrete module path whose sum breaks the cap.
+  EXPECT_EQ(result.report.violations.front().witness_path.size(), 3u);
+  EXPECT_EQ(result.report.bounds.bytes_out_delta, 90u);
+}
+
+TEST(StaticAnalysisTest, BranchedOverheadIsCountedPerPath) {
+  // Two exclusive branches of 40 bytes each: the old whole-graph total
+  // (80) would have rejected this, but no single packet can cross both
+  // branches — the per-path analysis correctly admits it.
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph;
+  MatchRule udp;
+  udp.proto = Protocol::kUdp;
+  const int branch = graph.AddModule(std::make_unique<MatchModule>(udp));
+  const int left = graph.AddModule(std::make_unique<OverheadModule>(40));
+  const int right = graph.AddModule(std::make_unique<OverheadModule>(40));
+  ADTC_ASSERT_OK(graph.SetEntry(branch));
+  ADTC_ASSERT_OK(graph.Wire(branch, kPortDefault, left));
+  ADTC_ASSERT_OK(graph.Wire(branch, kPortAlt, right));
+  ADTC_ASSERT_OK(
+      graph.WireTerminal(left, kPortDefault, ModuleGraph::Terminal::kAccept));
+  ADTC_ASSERT_OK(graph.WireTerminal(right, kPortDefault,
+                                    ModuleGraph::Terminal::kAccept));
+  ADTC_ASSERT_OK(graph.Validate());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  ADTC_EXPECT_OK(result.status);
+  EXPECT_EQ(result.report.status, analysis::AnalysisStatus::kProven);
+  EXPECT_EQ(result.report.bounds.bytes_out_delta, 40u);
+  EXPECT_EQ(result.report.paths_covered, 2u);
+}
+
+TEST(StaticAnalysisTest, NonGatingEdgeModuleRejectedFromTransitContext) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph =
+      ModuleGraph::Single(std::make_unique<NonGatingEdgeChecker>());
+  // Default context: transit packets can reach the deployment.
+  const DeploymentAnalysis transit = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  EXPECT_EQ(transit.status.code(), ErrorCode::kSafetyViolation);
+  ASSERT_FALSE(transit.report.violations.empty());
+  EXPECT_EQ(transit.report.violations.front().kind,
+            analysis::InvariantKind::kContextViolation);
+
+  // The same graph is provable where the site guarantees customer-edge
+  // arrivals only.
+  analysis::AnalysisContext edge;
+  edge.customer_edge_guaranteed = true;
+  const DeploymentAnalysis guarded = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph, edge);
+  ADTC_EXPECT_OK(guarded.status);
+}
+
+TEST(StaticAnalysisTest, SelfGatingAntiSpoofProvableAnywhere) {
+  // The standard module passes transit traffic internally, so its
+  // customer-edge requirement is discharged at any vantage point.
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<AntiSpoofModule>(
+      AntiSpoofModule::Mode::kProtectOwnerPrefixes));
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  ADTC_EXPECT_OK(result.status);
+  EXPECT_EQ(result.report.status, analysis::AnalysisStatus::kProven);
+}
+
+TEST(StaticAnalysisTest, LyingModuleStillPassesAdmission) {
+  // Signatures are claims: a module whose OnPacket misbehaves but whose
+  // signature is benign is admitted — that is exactly why the runtime
+  // guard stays as defence-in-depth and doubles as the soundness oracle.
+  class LyingSrcRewriter : public Module {
+   public:
+    int OnPacket(Packet& p, const DeviceContext&) override {
+      p.src = Ipv4Address(0xBAD);
+      return 0;
+    }
+    std::string_view type_name() const override { return "match"; }
+  };
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph = ModuleGraph::Single(std::make_unique<LyingSrcRewriter>());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  ADTC_EXPECT_OK(result.status);
+  EXPECT_EQ(result.report.status, analysis::AnalysisStatus::kProven);
+}
+
+TEST(StaticAnalysisTest, StatsCountProofsAndRejections) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph good = ModuleGraph::Single(std::make_unique<CounterModule>());
+  ModuleGraph bad =
+      ModuleGraph::Single(std::make_unique<DeclaredAmplifier>());
+  (void)validator.AnalyzeDeployment(SampleCert(), {NodePrefix(5)}, good);
+  (void)validator.AnalyzeDeployment(SampleCert(), {NodePrefix(5)}, bad);
+  EXPECT_EQ(validator.analysis_stats().graphs_verified, 1u);
+  EXPECT_EQ(validator.analysis_stats().graphs_rejected, 1u);
+  EXPECT_GE(validator.analysis_stats().violations_found, 1u);
+  validator.CountSoundnessViolation();
+  EXPECT_EQ(validator.analysis_stats().soundness_violations, 1u);
+}
+
+TEST(StaticAnalysisTest, ReportSerialisesToJson) {
+  const SafetyValidator validator = MakeStandardValidator();
+  ModuleGraph graph =
+      ModuleGraph::Single(std::make_unique<DeclaredAmplifier>());
+  const DeploymentAnalysis result = validator.AnalyzeDeployment(
+      SampleCert(), {NodePrefix(5)}, graph);
+  const std::string json = result.report.ToJson();
+  EXPECT_NE(json.find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_NE(json.find("rate-amplification"), std::string::npos);
+  EXPECT_NE(json.find("\"witness\":[0]"), std::string::npos);
+  EXPECT_FALSE(result.report.ToString().empty());
 }
 
 // --- runtime invariants --------------------------------------------------------

@@ -91,6 +91,64 @@ TEST(TcspTest, ImmediateDeployConfiguresAllIsps) {
   }
 }
 
+TEST(TcspTest, DeploymentReportCarriesAnalysisProof) {
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployService(cert.value(), request);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  EXPECT_EQ(report.analysis.status, analysis::AnalysisStatus::kProven);
+  EXPECT_GT(report.analysis.modules_examined, 0u);
+  EXPECT_GT(report.analysis.paths_covered, 0u);
+  EXPECT_TRUE(report.analysis.violations.empty());
+  // Every NMS admission of the per-stage graphs counted as a proof.
+  EXPECT_GT(world.tcsp.validator().analysis_stats().graphs_verified, 0u);
+  EXPECT_EQ(world.tcsp.validator().analysis_stats().graphs_rejected, 0u);
+}
+
+TEST(TcspTest, RuntimeViolationOfProvenDeploymentFlagsSoundness) {
+  // The soundness-oracle loop: a deployment the analyzer proved safe is
+  // later quarantined by the runtime guard (a module lied). The NMS must
+  // flag the contradiction, count it on the shared validator, and log a
+  // kAnalysisSoundness event next to the original violation.
+  TcsWorld world;
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  const DeploymentReport report =
+      world.tcsp.DeployService(cert.value(), request);
+  ASSERT_TRUE(report.status.ok()) << report.status.ToString();
+  ASSERT_TRUE(report.analysis.proven());
+
+  IspNms& nms = *world.nmses.front();
+  DeviceEvent quarantine;
+  quarantine.kind = EventKind::kSafetyViolation;
+  quarantine.subscriber = cert.value().subscriber;
+  quarantine.detail = "invariant source_modified";
+  nms.OnEvent(quarantine);
+
+  EXPECT_EQ(nms.stats().soundness_flags, 1u);
+  EXPECT_EQ(world.tcsp.validator().analysis_stats().soundness_violations, 1u);
+  EXPECT_EQ(nms.events().CountOf(EventKind::kAnalysisSoundness), 1u);
+  EXPECT_EQ(nms.events().CountOf(EventKind::kSafetyViolation), 1u);
+
+  // A violation from a subscriber with no proven deployment is NOT a
+  // soundness flag — nothing was proven about it.
+  DeviceEvent unrelated = quarantine;
+  unrelated.subscriber = cert.value().subscriber + 1;
+  nms.OnEvent(unrelated);
+  EXPECT_EQ(nms.stats().soundness_flags, 1u);
+  EXPECT_EQ(world.tcsp.validator().analysis_stats().soundness_violations, 1u);
+}
+
 TEST(TcspTest, PlacementPolicyRestrictsNodes) {
   TcsWorld world;
   const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});

@@ -2,10 +2,17 @@
 # Sanitizer smoke: build the test suite with ASan+UBSan (-DADTC_SANITIZE=ON)
 # in a separate tree and run the lifetime-sensitive subset: the telemetry
 # layer (collector owners dying before the registry, sampler callbacks
-# outliving the sampler, event-ring linearisation) and the fault-injected
+# outliving the sampler, event-ring linearisation), the fault-injected
 # control plane (retry closures capturing channel state across simulated
-# time, duplicated deliveries, chaos-driven teardown ordering) — without
-# paying the sanitized build on every ctest invocation.
+# time, duplicated deliveries, chaos-driven teardown ordering), and the
+# static-analysis layer (random-graph soundness harness) — without paying
+# the sanitized build on every ctest invocation.
+#
+# A second phase rebuilds with ThreadSanitizer (-DADTC_SANITIZE_THREAD=ON)
+# and runs the genuinely multi-threaded subset: the thread pool /
+# ParallelFor plumbing and the batched datapath tests that ride on it.
+# ASan/UBSan stays the default first phase; set ADTC_SKIP_TSAN=1 to skip
+# the TSan phase (e.g. on toolchains without libtsan).
 #
 # Usage: tests/sanitize_smoke.sh [source-dir] [build-dir]
 # Also registered with CTest when configured with -DADTC_SANITIZE_SMOKE=ON.
@@ -13,7 +20,8 @@ set -euo pipefail
 
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${2:-${SRC_DIR}/build-sanitize}"
-FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*:FaultInjector*:ControlChannel*:RetryPolicy*:WorseStatus*:DeploymentId*:*ChaosConvergence*}"
+FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*:FaultInjector*:ControlChannel*:RetryPolicy*:WorseStatus*:DeploymentId*:*ChaosConvergence*:VerifierTest*:AnalysisSoundnessTest*:StaticAnalysisTest*}"
+TSAN_FILTER="${ADTC_TSAN_FILTER:-ThreadPoolTest*:ParallelForTest*:NetworkTest*:AdaptiveDeviceTest*:FlowCache*:AnalysisSoundnessTest*}"
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DADTC_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -23,4 +31,16 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
 "${BUILD_DIR}/tests/adtc_tests" --gtest_filter="${FILTER}" \
     --gtest_brief=1
+echo "sanitize smoke (asan+ubsan): OK"
+
+if [[ "${ADTC_SKIP_TSAN:-0}" != "1" ]]; then
+  TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
+  cmake -S "${SRC_DIR}" -B "${TSAN_BUILD_DIR}" -DADTC_SANITIZE_THREAD=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${TSAN_BUILD_DIR}" --target adtc_tests -j "$(nproc)"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      "${TSAN_BUILD_DIR}/tests/adtc_tests" --gtest_filter="${TSAN_FILTER}" \
+      --gtest_brief=1
+  echo "sanitize smoke (tsan): OK"
+fi
 echo "sanitize smoke: OK"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (using the checked-in .clang-tidy) over the project
+# sources against a compile_commands.json.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [path-filter-regex]
+#   build-dir          defaults to ./build (created/configured if missing)
+#   path-filter-regex  defaults to 'src/' — pass e.g. 'src/analysis' to
+#                      lint one subsystem
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI recipes
+# can call it unconditionally (the container ships only gcc).
+set -euo pipefail
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${SRC_DIR}/build}"
+PATH_FILTER="${2:-src/}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (OK)"
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(cd "${SRC_DIR}" && git ls-files '*.cpp' \
+    | grep -E "^${PATH_FILTER}" || true)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "run_clang_tidy: no files match '${PATH_FILTER}'"
+  exit 0
+fi
+
+STATUS=0
+for file in "${FILES[@]}"; do
+  clang-tidy -p "${BUILD_DIR}" --quiet "${SRC_DIR}/${file}" || STATUS=1
+done
+
+if [[ ${STATUS} -ne 0 ]]; then
+  echo "run_clang_tidy: findings reported above"
+  exit 1
+fi
+echo "run_clang_tidy: clean (${#FILES[@]} files)"
