@@ -120,6 +120,26 @@ void BM_BatchProcess(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchProcess);
 
+void BM_FlightRecorder(benchmark::State& state) {
+  // Forensics overhead on the steady-state cached redirect path — the
+  // packets a recorder actually captures. range(0)==0 is the default
+  // (no recorder attached: one never-taken null test per packet, the
+  // perf-smoke guarded configuration); 1 records every verdict into the
+  // bounded ring.
+  AdaptiveDevice device(0);
+  obs::FlightRecorder recorder;
+  if (state.range(0) == 1) device.AttachFlightRecorder(&recorder);
+  const auto cert = Ca().Issue(1, "o", {NodePrefix(6)}, 0, Seconds(1e6));
+  (void)device.InstallDeployment(
+      {cert, {NodePrefix(6)}, std::nullopt, RuleChain(2)});
+  Packet p = MakePacket(5, 6);
+  RouterContext ctx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.Process(p, ctx));
+  }
+}
+BENCHMARK(BM_FlightRecorder)->Arg(0)->Arg(1);
+
 void BM_RuleChainLength(benchmark::State& state) {
   const int rules = static_cast<int>(state.range(0));
   AdaptiveDevice device(0);

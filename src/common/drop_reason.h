@@ -1,0 +1,48 @@
+// Datapath drop-reason taxonomy.
+//
+// Every dropped packet gets an explicit reason: the policy family that
+// killed it (blacklist, rate-limit, anti-spoof, ...), a transport cause
+// (queue overflow), or an injected fault. The enum lives in common so the
+// whole stack shares one taxonomy — net counts queue drops, core's module
+// graph tags policy drops, and the obs flight recorder serialises the
+// value per verdict. Distinct from net::DropReason, which classifies
+// *delivery* failures inside the packet network; this classifies
+// *verdicts* rendered by the traffic-control datapath.
+#pragma once
+
+#include <cstdint>
+
+namespace adtc {
+
+enum class DatapathDropReason : std::uint8_t {
+  kNone = 0,        ///< Not dropped (accept verdicts carry this).
+  kBlacklist,       ///< Source matched a blacklist module.
+  kFirewallRule,    ///< A match/firewall rule's drop action fired.
+  kRateLimit,       ///< Token-bucket rate limiter exhausted.
+  kAntiSpoof,       ///< Failed reverse-path / anti-spoofing check.
+  kModulePolicy,    ///< Some other module routed to the drop terminal.
+  kQueueOverflow,   ///< Device or link queue was full.
+  kFaultInjected,   ///< Dropped by the fault-injection layer.
+  kCount_,          ///< Sentinel — keep last.
+};
+
+inline constexpr std::size_t kDatapathDropReasonCount =
+    static_cast<std::size_t>(DatapathDropReason::kCount_);
+
+/// Stable lower-case names, used as metric labels and in JSONL records.
+inline const char* DatapathDropReasonName(DatapathDropReason reason) {
+  switch (reason) {
+    case DatapathDropReason::kNone: return "none";
+    case DatapathDropReason::kBlacklist: return "blacklist";
+    case DatapathDropReason::kFirewallRule: return "firewall-rule";
+    case DatapathDropReason::kRateLimit: return "rate-limit";
+    case DatapathDropReason::kAntiSpoof: return "anti-spoof";
+    case DatapathDropReason::kModulePolicy: return "module-policy";
+    case DatapathDropReason::kQueueOverflow: return "queue-overflow";
+    case DatapathDropReason::kFaultInjected: return "fault-injected";
+    case DatapathDropReason::kCount_: break;
+  }
+  return "unknown";
+}
+
+}  // namespace adtc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/network.h"
+#include "obs/trace_context.h"
 
 namespace adtc {
 
@@ -56,6 +57,12 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
                    static_cast<double>(deployments_.size())});
     out.push_back({prefix + "redirect_prefixes",
                    static_cast<double>(src_redirect_.size())});
+    for (std::size_t i = 1; i < kDatapathDropReasonCount; ++i) {
+      out.push_back(
+          {prefix + "drops." +
+               DatapathDropReasonName(static_cast<DatapathDropReason>(i)),
+           static_cast<double>(stats_.drops_by_reason[i])});
+    }
   });
 }
 
@@ -108,6 +115,12 @@ Status AdaptiveDevice::InstallDeploymentImpl(DeploymentSpec spec) {
       "device.install");
   span.SetNode(node_);
   span.SetSubscriber(cert.subscriber);
+  if (spec.deployment_id.valid() && telemetry_ != nullptr &&
+      telemetry_->tracing_enabled()) {
+    AnnotateTrace(&telemetry_->tracer(), span.id(),
+                  obs::TraceContext::ForDeployment(spec.deployment_id.origin,
+                                                   spec.deployment_id.seq));
+  }
   for (const Prefix& prefix : spec.scope) {
     const SubscriberId* existing = src_redirect_.ExactMatch(prefix);
     if (existing != nullptr && *existing != cert.subscriber) {
@@ -224,6 +237,9 @@ AdaptiveDevice::StageRun AdaptiveDevice::RunStage(Deployment& deployment,
   } else {
     run.verdict = graph->Execute(packet, device_ctx);
   }
+  if (run.verdict == Verdict::kDrop) {
+    run.drop_reason = graph->last_drop_reason();
+  }
   const InvariantViolation violation = EnforceInvariants(before, packet);
   if (violation != InvariantViolation::kNone) {
     stats_.safety_violations++;
@@ -237,6 +253,7 @@ AdaptiveDevice::StageRun AdaptiveDevice::RunStage(Deployment& deployment,
                         "' — quarantined");
     // Fail open: the offending deployment loses control, traffic flows.
     run.verdict = Verdict::kForward;
+    run.drop_reason = DatapathDropReason::kNone;
     run.pure = false;
     return run;
   }
@@ -261,6 +278,7 @@ Verdict AdaptiveDevice::ReplayCachedVerdict(FlowCacheEntry& entry,
     }
     if (entry.drop_stage == 1) {
       stats_.dropped_packets++;
+      stats_.drops_by_reason[static_cast<std::size_t>(entry.drop_reason)]++;
       return Verdict::kDrop;
     }
   }
@@ -275,6 +293,7 @@ Verdict AdaptiveDevice::ReplayCachedVerdict(FlowCacheEntry& entry,
     }
     if (entry.drop_stage == 2) {
       stats_.dropped_packets++;
+      stats_.drops_by_reason[static_cast<std::size_t>(entry.drop_reason)]++;
       return Verdict::kDrop;
     }
   }
@@ -315,7 +334,12 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
   }
   if (entry != nullptr && entry->full_verdict) {
     stats_.flow_cache_hits++;
-    return ReplayCachedVerdict(*entry, packet);
+    const Verdict cached = ReplayCachedVerdict(*entry, packet);
+    if (recorder_ != nullptr) {
+      RecordFlight(packet, ctx, cached, entry->drop_reason,
+                   /*cache_hit=*/true, entry->redirected, entry->stage2_ran);
+    }
+    return cached;
   }
 
   // Resolve the redirect tables and deployment records — from the partial
@@ -357,6 +381,7 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
   const std::uint64_t fill_generation = generation_;
   Verdict verdict = Verdict::kForward;
   std::uint8_t drop_stage = 0;
+  DatapathDropReason drop_reason = DatapathDropReason::kNone;
   bool stage1_ran = false;
   bool stage2_ran = false;
   bool pure = true;
@@ -380,8 +405,10 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
                         : truncate_to;
       if (run.verdict == Verdict::kDrop) {
         stats_.dropped_packets++;
+        stats_.drops_by_reason[static_cast<std::size_t>(run.drop_reason)]++;
         verdict = Verdict::kDrop;
         drop_stage = 1;
+        drop_reason = run.drop_reason;
       }
     }
     // Stage 2: control by the destination-address owner.
@@ -401,8 +428,10 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
                         : truncate_to;
       if (run.verdict == Verdict::kDrop) {
         stats_.dropped_packets++;
+        stats_.drops_by_reason[static_cast<std::size_t>(run.drop_reason)]++;
         verdict = Verdict::kDrop;
         drop_stage = 2;
+        drop_reason = run.drop_reason;
       }
     }
   }
@@ -428,12 +457,37 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
     fresh.full_verdict = pure;
     fresh.verdict = verdict;
     fresh.drop_stage = drop_stage;
+    fresh.drop_reason = drop_reason;
     fresh.stage1_ran = stage1_ran;
     fresh.stage2_ran = stage2_ran;
     fresh.truncate_to = truncate_to;
     flow_cache_[key] = fresh;
   }
+  if (recorder_ != nullptr) {
+    RecordFlight(packet, ctx, verdict, drop_reason,
+                 /*cache_hit=*/entry != nullptr, redirected, stage2_ran);
+  }
   return verdict;
+}
+
+void AdaptiveDevice::RecordFlight(const Packet& packet,
+                                  const RouterContext& ctx, Verdict verdict,
+                                  DatapathDropReason reason, bool cache_hit,
+                                  bool redirected, bool stage2) {
+  obs::VerdictRecord record;
+  record.at = ctx.now;
+  record.node = node_;
+  record.src = packet.src.bits();
+  record.dst = packet.dst.bits();
+  record.src_port = packet.src_port;
+  record.dst_port = packet.dst_port;
+  record.protocol = static_cast<std::uint8_t>(packet.proto);
+  record.dropped = verdict == Verdict::kDrop;
+  record.drop_reason = reason;
+  record.cache_hit = cache_hit;
+  record.redirected = redirected;
+  record.stage2 = stage2;
+  recorder_->Record(record);
 }
 
 }  // namespace adtc

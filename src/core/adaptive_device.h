@@ -30,11 +30,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/drop_reason.h"
 #include "core/deployment_id.h"
 #include "core/module_graph.h"
 #include "core/safety.h"
 #include "net/prefix_trie.h"
 #include "net/router.h"
+#include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "obs/wall_clock.h"
 
@@ -54,6 +56,9 @@ struct DeviceStats {
   obs::Counter flow_cache_misses;  // cache enabled but no usable entry
   obs::Counter installs_applied;     // effectful InstallDeployment calls
   obs::Counter duplicate_installs;   // re-delivered ids served from record
+  /// Drops attributed per taxonomy entry (indexed by DatapathDropReason);
+  /// the sum over policy reasons equals dropped_packets.
+  obs::Counter drops_by_reason[kDatapathDropReasonCount];
 };
 
 /// Everything needed to install a subscriber's processing on a device.
@@ -84,6 +89,14 @@ class AdaptiveDevice : public PacketProcessor {
   /// histograms ("device.process_wall_ns", ...). Timers stay dormant
   /// until Telemetry::EnableProfiling(). Pass nullptr to detach.
   void BindTelemetry(obs::Telemetry* telemetry);
+
+  /// Attaches (or detaches, with nullptr) the datapath flight recorder.
+  /// When detached — the default — the per-packet cost is one pointer
+  /// test; when attached every Process() exit appends a VerdictRecord.
+  void AttachFlightRecorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  obs::FlightRecorder* flight_recorder() const { return recorder_; }
 
   Status InstallDeployment(DeploymentSpec spec);
 
@@ -191,6 +204,9 @@ class AdaptiveDevice : public PacketProcessor {
     bool full_verdict = false;
     Verdict verdict = Verdict::kForward;
     std::uint8_t drop_stage = 0;  // 0 none, 1 stage1, 2 stage2
+    /// Taxonomy attribution of a cached drop verdict, replayed into the
+    /// per-reason counters and flight records on every hit.
+    DatapathDropReason drop_reason = DatapathDropReason::kNone;
     bool stage1_ran = false;
     bool stage2_ran = false;
     /// Non-zero: replay payload truncation to this size on forward.
@@ -204,6 +220,8 @@ class AdaptiveDevice : public PacketProcessor {
     bool ran = false;   // graph present, not quarantined
     bool pure = true;   // every *visited* module was kPure/kPureTransform
     std::uint32_t truncate_to = 0;  // accumulated kPureTransform rewrite
+    /// Graph attribution when verdict == kDrop (kNone otherwise).
+    DatapathDropReason drop_reason = DatapathDropReason::kNone;
   };
 
   /// The effectful install path behind the DeploymentId dedup shield.
@@ -219,6 +237,12 @@ class AdaptiveDevice : public PacketProcessor {
   /// uncached path would make (device stats, per-deployment packets_seen,
   /// graph processed/dropped) and any pure packet transform.
   Verdict ReplayCachedVerdict(FlowCacheEntry& entry, Packet& packet);
+
+  /// Appends one flight record; callers guard on recorder_ != nullptr so
+  /// the disabled path stays a single pointer test.
+  void RecordFlight(const Packet& packet, const RouterContext& ctx,
+                    Verdict verdict, DatapathDropReason reason,
+                    bool cache_hit, bool redirected, bool stage2);
 
   bool EntryCurrent(const FlowCacheEntry& entry) const {
     if (entry.generation != generation_) return false;
@@ -240,6 +264,7 @@ class AdaptiveDevice : public PacketProcessor {
   EventSink* events_;
   DeviceStats stats_;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   // Profiling histograms (owned by the registry); nullptr when unbound.
   Histogram* process_wall_ns_ = nullptr;
   Histogram* stage_wall_ns_ = nullptr;

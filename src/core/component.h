@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "analysis/effects.h"
+#include "common/drop_reason.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "core/events.h"
@@ -121,6 +122,15 @@ class Module {
   /// Whether a verdict involving this module may be served from the flow
   /// cache. See Cacheability; the default deliberately disables caching.
   virtual Cacheability cacheability() const { return Cacheability::kStateful; }
+
+  /// The taxonomy entry recorded when a packet reaches the drop terminal
+  /// through this module — how the forensic flight recorder and the
+  /// per-reason drop counters attribute the kill. Policy modules that
+  /// have a more specific family (blacklist, rate-limit, anti-spoof, ...)
+  /// override this; kModulePolicy is the honest generic default.
+  virtual DatapathDropReason drop_reason() const {
+    return DatapathDropReason::kModulePolicy;
+  }
 
   /// For kPureTransform modules: the packet size (bytes) the module
   /// truncates payloads to, so a cache hit can replay the transform

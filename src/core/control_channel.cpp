@@ -24,6 +24,10 @@ struct ControlChannel::CallState {
   SimTime start = 0;
   CallOutcome outcome;
   bool completed = false;
+  /// Tracing state (kNoSpan when the call is untraced): the per-call
+  /// root span and the currently open per-try span.
+  obs::SpanId call_span = obs::kNoSpan;
+  obs::SpanId attempt_span = obs::kNoSpan;
 };
 
 ControlChannel::ControlChannel(Simulator& sim, Rng& rng, std::string name,
@@ -35,6 +39,17 @@ ControlChannel::ControlChannel(Simulator& sim, Rng& rng, std::string name,
       injector_(injector),
       remote_up_(std::move(remote_up)) {}
 
+obs::SpanId ControlChannel::StartCallSpan(const CallOptions& options) {
+  if (tracer_ == nullptr || !options.trace.valid()) return obs::kNoSpan;
+  const obs::SpanId span =
+      tracer_->StartSpan("ctrl.call", options.trace.parent_span);
+  if (span != obs::kNoSpan) {
+    tracer_->Annotate(span, "channel", name_);
+    AnnotateTrace(tracer_, span, options.trace);
+  }
+  return span;
+}
+
 void ControlChannel::Call(
     std::function<Status()> request,
     std::function<void(const Status&, const CallOutcome&)> done,
@@ -43,12 +58,28 @@ void ControlChannel::Call(
   // default (kImmediate, no injector) control plane stays synchronous.
   if (injector_ == nullptr && options.request_latency == 0 &&
       options.response_latency == 0) {
+    const obs::SpanId call_span = StartCallSpan(options);
+    obs::SpanId attempt_span = obs::kNoSpan;
+    if (call_span != obs::kNoSpan) {
+      attempt_span = tracer_->StartSpan("ctrl.attempt", call_span);
+      Annotate(attempt_span, "channel", name_);
+      Annotate(attempt_span, "attempt", "1");
+      AnnotateTrace(tracer_, attempt_span, options.trace);
+    }
     CallOutcome outcome;
     outcome.attempts = 1;
     outcome.messages_sent = 1;
-    const Status status = (remote_up_ && !remote_up_())
-                              ? Unavailable("remote down on " + name_)
-                              : request();
+    Status status;
+    if (remote_up_ && !remote_up_()) {
+      status = Unavailable("remote down on " + name_);
+      Annotate(attempt_span, "remote", "down");
+    } else {
+      const obs::ScopedActivation activation(tracer_, attempt_span);
+      status = request();
+    }
+    EndSpan(attempt_span, status.ok());
+    Annotate(call_span, "attempts", "1");
+    EndSpan(call_span, status.ok());
     done(status, outcome);
     return;
   }
@@ -57,12 +88,25 @@ void ControlChannel::Call(
   state->done = std::move(done);
   state->opts = options;
   state->start = sim_.Now();
+  state->call_span = StartCallSpan(options);
   TryAttempt(state);
 }
 
 void ControlChannel::TryAttempt(const std::shared_ptr<CallState>& state) {
   if (state->completed) return;
+  // A still-open previous attempt span means its response never came
+  // back before the retry timer fired — close it as failed.
+  EndSpan(state->attempt_span, false);
+  state->attempt_span = obs::kNoSpan;
   state->outcome.attempts++;
+  if (state->call_span != obs::kNoSpan) {
+    state->attempt_span =
+        tracer_->StartSpan("ctrl.attempt", state->call_span);
+    Annotate(state->attempt_span, "channel", name_);
+    Annotate(state->attempt_span, "attempt",
+             std::to_string(state->outcome.attempts));
+    AnnotateTrace(tracer_, state->attempt_span, state->opts.trace);
+  }
   SendRequestCopies(state);
   // Retry timer: one round trip plus this attempt's backoff. If the
   // response arrives first the timer no-ops; if it fires first we either
@@ -93,27 +137,47 @@ void ControlChannel::SendRequestCopies(
   MessageFate fate;
   if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
   state->outcome.messages_sent++;
+  // The fault outcome of this try's request leg, as the injector decided
+  // it — the forensic record of *why* a deployment needed retries.
+  Annotate(state->attempt_span, "request",
+           fate.deliver ? "delivered" : "lost");
+  if (fate.duplicate) Annotate(state->attempt_span, "request_dup", "1");
+  // A late copy of this attempt can arrive after the next attempt has
+  // opened; capture the span now so the delivery stays attributed to the
+  // try that sent it.
+  const obs::SpanId attempt_span = state->attempt_span;
   if (fate.deliver) {
-    sim_.ScheduleAfter(state->opts.request_latency + fate.extra_delay,
-                       [this, state] { DeliverRequest(state); });
+    sim_.ScheduleAfter(
+        state->opts.request_latency + fate.extra_delay,
+        [this, state, attempt_span] { DeliverRequest(state, attempt_span); });
   }
   if (fate.duplicate) {
     state->outcome.messages_sent++;
     sim_.ScheduleAfter(
         state->opts.request_latency + fate.duplicate_delay,
-        [this, state] { DeliverRequest(state); });
+        [this, state, attempt_span] { DeliverRequest(state, attempt_span); });
   }
 }
 
-void ControlChannel::DeliverRequest(
-    const std::shared_ptr<CallState>& state) {
+void ControlChannel::DeliverRequest(const std::shared_ptr<CallState>& state,
+                                    obs::SpanId attempt_span) {
   // A dead remote blackholes the message; the retry timer notices.
-  if (remote_up_ && !remote_up_()) return;
+  if (remote_up_ && !remote_up_()) {
+    Annotate(attempt_span, "remote", "down");
+    return;
+  }
   // Duplicated / retried copies execute the handler again on purpose —
   // exactly-once *effects* are the remote's job (DeploymentId dedup).
-  const Status status = state->request();
+  // The attempt span is active while the handler runs so remote-side
+  // spans (nms.deploy, device.install) parent under the delivering try.
+  Status status;
+  {
+    const obs::ScopedActivation activation(tracer_, attempt_span);
+    status = state->request();
+  }
   MessageFate fate;
   if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
+  if (!fate.deliver) Annotate(attempt_span, "response", "lost");
   if (fate.deliver) {
     sim_.ScheduleAfter(state->opts.response_latency + fate.extra_delay,
                        [this, state, status] { Complete(state, status); });
@@ -129,22 +193,56 @@ void ControlChannel::Complete(const std::shared_ptr<CallState>& state,
                               const Status& status) {
   if (state->completed) return;
   state->completed = true;
+  EndSpan(state->attempt_span, status.ok());
+  if (state->call_span != obs::kNoSpan) {
+    Annotate(state->call_span, "attempts",
+             std::to_string(state->outcome.attempts));
+    Annotate(state->call_span, "messages",
+             std::to_string(state->outcome.messages_sent));
+    if (state->outcome.deadline_expired) {
+      Annotate(state->call_span, "deadline", "expired");
+    }
+    EndSpan(state->call_span, status.ok());
+  }
   state->done(status, state->outcome);
 }
 
-void ControlChannel::Send(std::function<void()> deliver,
-                          SimDuration latency) {
+void ControlChannel::Send(std::function<void()> deliver, SimDuration latency,
+                          obs::TraceContext trace) {
+  obs::SpanId span = obs::kNoSpan;
+  if (tracer_ != nullptr && trace.valid()) {
+    span = tracer_->StartSpan("ctrl.send", trace.parent_span);
+    Annotate(span, "channel", name_);
+    if (span != obs::kNoSpan) AnnotateTrace(tracer_, span, trace);
+  }
   if (injector_ == nullptr && latency == 0) {
+    Annotate(span, "fate", "delivered");
+    EndSpan(span, true);
+    const obs::ScopedActivation activation(tracer_, span);
     deliver();
     return;
   }
   MessageFate fate;
   if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
+  Annotate(span, "fate", fate.deliver
+                             ? (fate.duplicate ? "duplicated" : "delivered")
+                             : "lost");
+  // The span closes when the message's fate is sealed, not when the
+  // delayed delivery runs — a one-way send has no response to wait for.
+  // Delivery callbacks still activate it so remote spans parent here.
+  EndSpan(span, fate.deliver);
   if (fate.deliver) {
-    sim_.ScheduleAfter(latency + fate.extra_delay, deliver);
+    sim_.ScheduleAfter(latency + fate.extra_delay, [this, span, deliver] {
+      const obs::ScopedActivation activation(tracer_, span);
+      deliver();
+    });
   }
   if (fate.duplicate) {
-    sim_.ScheduleAfter(latency + fate.duplicate_delay, std::move(deliver));
+    sim_.ScheduleAfter(latency + fate.duplicate_delay,
+                       [this, span, deliver = std::move(deliver)] {
+                         const obs::ScopedActivation activation(tracer_, span);
+                         deliver();
+                       });
   }
 }
 

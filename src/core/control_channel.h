@@ -27,6 +27,8 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/span.h"
+#include "obs/trace_context.h"
 #include "sim/faults.h"
 #include "sim/simulator.h"
 
@@ -69,6 +71,12 @@ class ControlChannel {
     SimDuration request_latency = 0;
     SimDuration response_latency = 0;
     RetryPolicy retry;
+    /// Causal identity of the deployment this call belongs to. With a
+    /// valid context (and a tracer with a sink) the channel opens one
+    /// "ctrl.call" span parented under `trace.parent_span` plus one
+    /// "ctrl.attempt" span per try, each annotated with the
+    /// fault-injector fate of its request/response messages.
+    obs::TraceContext trace;
   };
 
   /// Reliable request/response. `request` runs remote-side when a
@@ -83,8 +91,17 @@ class ControlChannel {
 
   /// One-way best-effort message: applies the channel's fault plan and
   /// latency, no retries, no response. Synchronous when the channel is
-  /// fault-free with zero latency.
-  void Send(std::function<void()> deliver, SimDuration latency = 0);
+  /// fault-free with zero latency. A valid `trace` records the message
+  /// as a "ctrl.send" span annotated with its fate, and the delivery
+  /// callback runs with that span active so remote-side spans parent
+  /// under it.
+  void Send(std::function<void()> deliver, SimDuration latency = 0,
+            obs::TraceContext trace = {});
+
+  /// Tracer used for call/attempt/send spans; nullptr (the default)
+  /// disables channel tracing entirely. The tracer no-ops without a sink,
+  /// so wiring this is free for untelemetered worlds.
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   const std::string& name() const { return name_; }
   bool faulty() const { return injector_ != nullptr; }
@@ -93,15 +110,30 @@ class ControlChannel {
   struct CallState;
   void TryAttempt(const std::shared_ptr<CallState>& state);
   void SendRequestCopies(const std::shared_ptr<CallState>& state);
-  void DeliverRequest(const std::shared_ptr<CallState>& state);
+  void DeliverRequest(const std::shared_ptr<CallState>& state,
+                      obs::SpanId attempt_span);
   void Complete(const std::shared_ptr<CallState>& state,
                 const Status& status);
+
+  /// Opens the per-call root span (kNoSpan when tracing is off).
+  obs::SpanId StartCallSpan(const CallOptions& options);
+  void Annotate(obs::SpanId span, std::string key, std::string value) {
+    if (tracer_ != nullptr && span != obs::kNoSpan) {
+      tracer_->Annotate(span, std::move(key), std::move(value));
+    }
+  }
+  void EndSpan(obs::SpanId span, bool ok) {
+    if (tracer_ != nullptr && span != obs::kNoSpan) {
+      tracer_->EndSpan(span, ok);
+    }
+  }
 
   Simulator& sim_;
   Rng& rng_;
   std::string name_;
   FaultInjector* injector_;
   std::function<bool()> remote_up_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace adtc

@@ -113,6 +113,7 @@ Verdict ModuleGraph::Execute(Packet& packet, const DeviceContext& ctx,
                              std::vector<int>* visited) {
   assert(validated_ && "Validate() must pass before Execute()");
   packets_processed_++;
+  last_drop_reason_ = DatapathDropReason::kNone;
   int at = entry_;
   // Acyclic: at most module_count() steps.
   for (std::size_t step = 0; step <= modules_.size(); ++step) {
@@ -126,6 +127,9 @@ Verdict ModuleGraph::Execute(Packet& packet, const DeviceContext& ctx,
     if (edge.is_terminal) {
       if (edge.terminal == Terminal::kDrop) {
         packets_dropped_++;
+        // `entry` is the module whose port fed the drop terminal, so its
+        // declared family is the drop's attribution.
+        last_drop_reason_ = entry.module->drop_reason();
         return Verdict::kDrop;
       }
       return Verdict::kForward;

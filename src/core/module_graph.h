@@ -103,6 +103,11 @@ class ModuleGraph {
   std::uint64_t packets_processed() const { return packets_processed_; }
   std::uint64_t packets_dropped() const { return packets_dropped_; }
 
+  /// Taxonomy attribution of the most recent Execute(): the drop_reason()
+  /// of the module that routed the packet to the drop terminal, or kNone
+  /// when the packet was accepted. Valid until the next Execute().
+  DatapathDropReason last_drop_reason() const { return last_drop_reason_; }
+
   /// Convenience: single-module graph `module -> accept`, with port 1
   /// (if any) wired to drop.
   static ModuleGraph Single(std::unique_ptr<Module> module);
@@ -127,6 +132,7 @@ class ModuleGraph {
   bool validated_ = false;
   std::uint64_t packets_processed_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  DatapathDropReason last_drop_reason_ = DatapathDropReason::kNone;
   /// Heap cell so the address modules bind to survives graph moves.
   std::unique_ptr<std::uint64_t> config_revision_ =
       std::make_unique<std::uint64_t>(0);

@@ -58,6 +58,9 @@ class AntiSpoofModule : public Module {
 
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "anti-spoof"; }
+  DatapathDropReason drop_reason() const override {
+    return DatapathDropReason::kAntiSpoof;
+  }
   int port_count() const override { return 2; }
   /// Branches on packet.src and the arrival edge (kind + neighbour), all
   /// part of the flow key; configuration mutators bump the revision.

@@ -38,6 +38,9 @@ class BlacklistModule : public Module {
   int port_count() const override { return 2; }
   /// Branches only on packet.src against the (revision-tracked) list.
   Cacheability cacheability() const override { return Cacheability::kPure; }
+  DatapathDropReason drop_reason() const override {
+    return DatapathDropReason::kBlacklist;
+  }
   /// Pass-or-branch, no writes, no duplication, no overhead.
   analysis::EffectSignature effect_signature() const override {
     analysis::EffectSignature sig;

@@ -57,6 +57,9 @@ class MatchModule : public Module {
     return rule_.FlowDeterministic() ? Cacheability::kPure
                                      : Cacheability::kStateful;
   }
+  DatapathDropReason drop_reason() const override {
+    return DatapathDropReason::kFirewallRule;
+  }
   /// Branch-only: even a non-flow-deterministic rule keeps no state
   /// across packets, writes nothing and emits nothing.
   analysis::EffectSignature effect_signature() const override {

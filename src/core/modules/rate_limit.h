@@ -58,6 +58,9 @@ class RateLimitModule : public Module {
 
   int OnPacket(Packet& packet, const DeviceContext& ctx) override;
   std::string_view type_name() const override { return "rate-limit"; }
+  DatapathDropReason drop_reason() const override {
+    return DatapathDropReason::kRateLimit;
+  }
   int port_count() const override { return 2; }
   /// Token buckets are cross-packet state; can only remove packets, so
   /// rate factor stays at the pass-through worst case of 1.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/span.h"
+#include "obs/trace_context.h"
 
 namespace adtc {
 namespace {
@@ -102,6 +103,7 @@ ControlChannel& IspNms::DeviceChannel(NodeId node) {
           return injector_ == nullptr ||
                  injector_->DeviceUp(node, net_.sim().Now());
         });
+    channel->SetTracer(&net_.telemetry().tracer());
     it = device_channels_.emplace(node, std::move(channel)).first;
   }
   return *it->second;
@@ -113,6 +115,7 @@ ControlChannel& IspNms::PeerChannel(IspNms* peer) {
     auto channel = std::make_unique<ControlChannel>(
         net_.sim(), control_rng_, "nms:" + name_ + "->nms:" + peer->name(),
         injector_);
+    channel->SetTracer(&net_.telemetry().tracer());
     it = peer_channels_.emplace(peer, std::move(channel)).first;
   }
   return *it->second;
@@ -154,6 +157,9 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
   span.SetSubscriber(instr.cert.subscriber);
   if (tracer != nullptr) {
     tracer->Annotate(span.id(), "isp", name_);
+    AnnotateTrace(tracer, span.id(),
+                  obs::TraceContext::ForDeployment(instr.id.origin,
+                                                   instr.id.seq));
   }
   authority_ = &authority;
   {
@@ -218,6 +224,7 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
   desired.instr = instr;
   desired.legit_forwarders = std::move(legit_forwarders);
   desired.statically_proven = statically_proven;
+  desired.trace_anchor = span.id();
   const DeploymentId key = instr.id;
   desired_.insert_or_assign(key, std::move(desired));
   sweep_attempt_ = 0;  // a fresh deployment gets a fresh retry budget
@@ -245,6 +252,8 @@ void IspNms::InstallRound(const DeploymentId& id) {
     if (devices_.at(node)->HasDeployment(subscriber)) continue;
     ControlChannel::CallOptions opts;
     opts.retry = retry_policy_;
+    opts.trace = obs::TraceContext::ForDeployment(id.origin, id.seq,
+                                                  d.trace_anchor);
     DeviceChannel(node).Call(
         [this, id, node] { return InstallOnDevice(id, node); },
         [this, id, node](const Status& status, const CallOutcome& outcome) {
@@ -336,6 +345,9 @@ bool IspNms::AnyInstallPending() const {
 std::size_t IspNms::ResyncLocalDevices(bool from_resync) {
   std::size_t installed = 0;
   const SimTime now = net_.sim().Now();
+  obs::Tracer* tracer = net_.telemetry().tracing_enabled()
+                            ? &net_.telemetry().tracer()
+                            : nullptr;
   for (auto& [id, d] : desired_) {
     for (NodeId node : managed_) {
       if (!PlacementSelectsNode(d.instr.request, net_, node)) continue;
@@ -349,11 +361,36 @@ std::size_t IspNms::ResyncLocalDevices(bool from_resync) {
       if (injector_ != nullptr) {
         fate = injector_->PlanMessage(DeviceChannelName(node));
       }
-      if (!fate.deliver) continue;
-      const Status status = InstallOnDevice(id, node);
-      if (fate.duplicate) {
-        (void)InstallOnDevice(id, node);  // device dedups by id
+      // Each recovery attempt is a span under the deployment's local
+      // anchor, with the injector's verdict on its single message — so
+      // the offline timeline shows *how* convergence happened, not just
+      // that it did.
+      obs::SpanId span = obs::kNoSpan;
+      if (tracer != nullptr) {
+        span = tracer->StartSpan("nms.resync_install", d.trace_anchor);
+        tracer->SetNode(span, node);
+        tracer->Annotate(span, "channel", DeviceChannelName(node));
+        tracer->Annotate(span, "sweep", from_resync ? "resync" : "retry");
+        AnnotateTrace(tracer, span,
+                      obs::TraceContext::ForDeployment(id.origin, id.seq));
+        tracer->Annotate(
+            span, "fate",
+            !fate.deliver ? "lost"
+                          : (fate.duplicate ? "duplicated" : "delivered"));
       }
+      if (!fate.deliver) {
+        if (tracer != nullptr) tracer->EndSpan(span, false);
+        continue;
+      }
+      Status status;
+      {
+        const obs::ScopedActivation activation(tracer, span);
+        status = InstallOnDevice(id, node);
+        if (fate.duplicate) {
+          (void)InstallOnDevice(id, node);  // device dedups by id
+        }
+      }
+      if (tracer != nullptr) tracer->EndSpan(span, status.ok());
       if (status.ok()) {
         installed++;
         if (from_resync) stats_.resync_installs++;
@@ -451,6 +488,16 @@ Status IspNms::RelayDeploy(const DeploymentInstruction& instr,
 
 void IspNms::RelayToPeers(const DeploymentInstruction& instr,
                           const CertificateAuthority& authority) {
+  // Relay sends parent under this NMS's anchor for the instruction, so a
+  // flood that crosses several peers stays one causal tree rooted at the
+  // deployment's origin.
+  obs::TraceContext trace;
+  if (net_.telemetry().tracing_enabled() && instr.id.valid()) {
+    const auto it = desired_.find(instr.id);
+    trace = obs::TraceContext::ForDeployment(
+        instr.id.origin, instr.id.seq,
+        it != desired_.end() ? it->second.trace_anchor : obs::kNoSpan);
+  }
   for (IspNms* peer : peers_) {
     stats_.relays_forwarded++;
     // Best effort: a peer rejecting (e.g. no matching nodes) does not
@@ -465,7 +512,7 @@ void IspNms::RelayToPeers(const DeploymentInstruction& instr,
           }
           (void)peer->RelayDeploy(instr, *auth);
         },
-        peer_latency_);
+        peer_latency_, trace);
   }
 }
 

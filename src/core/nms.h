@@ -154,6 +154,11 @@ class IspNms : public EventSink {
     /// admission — a later runtime safety violation is then an
     /// analyzer-soundness event, not mere defence-in-depth.
     bool statically_proven = false;
+    /// This NMS's "nms.deploy" span for the instruction — the local
+    /// causal anchor that later install calls, resync recoveries and
+    /// peer re-offers parent under, keeping every span of a deployment
+    /// in one rooted tree. kNoSpan when tracing was off at admission.
+    obs::SpanId trace_anchor = obs::kNoSpan;
   };
 
   static constexpr std::size_t kMaxSweepAttempts = 16;

@@ -101,6 +101,9 @@ ControlChannel& Tcsp::IspChannel(IspNms* nms) {
   if (it == isp_channels_.end()) {
     auto channel = std::make_unique<ControlChannel>(
         net_.sim(), control_rng_, "tcsp->nms:" + nms->name(), injector_);
+    // The tracer's address is stable for the world's lifetime and no-ops
+    // without a sink, so the channel is always wired for tracing.
+    channel->SetTracer(&net_.telemetry().tracer());
     it = isp_channels_.emplace(nms, std::move(channel)).first;
   }
   return *it->second;
@@ -246,6 +249,13 @@ DeploymentReport Tcsp::DeployService(
   instr.request = request;
   instr.home_nodes = HomeNodes(request.control_scope);
 
+  // The causal identity every hop of this deployment stamps its spans
+  // with: channels open call/attempt spans under the deploy root, and
+  // the offline analyzer reassembles the lifecycle by this tag.
+  const obs::TraceContext trace = obs::TraceContext::ForDeployment(
+      instr.id.origin, instr.id.seq, deploy_span);
+  AnnotateTrace(tracer(), deploy_span, trace);
+
   // Static admission analysis, attached to the report either way the
   // deployment travels. Each NMS re-runs the authoritative gate on the
   // same shared validator before installing anything.
@@ -296,6 +306,7 @@ DeploymentReport Tcsp::DeployService(
     report->isp_outcomes[i].isp = nms->name();
     ControlChannel::CallOptions opts;
     opts.retry = config_.retry;
+    opts.trace = trace;
     if (modelled) {
       // Count configurable devices for this ISP to model config time.
       std::size_t selected = 0;
@@ -309,12 +320,12 @@ DeploymentReport Tcsp::DeployService(
           static_cast<SimDuration>(selected) * config_.device_config_time;
     }
     IspChannel(nms).Call(
-        [this, instr, nms, deploy_span]() -> Status {
-          // Re-activate the deploy span so the NMS/device spans created
-          // inside this continuation parent correctly. A retried or
-          // duplicated copy re-runs this handler; ApplyDeployment
-          // replays its record by id instead of re-installing.
-          obs::ScopedActivation activation(tracer(), deploy_span);
+        [this, instr, nms]() -> Status {
+          // The channel runs this with its per-try "ctrl.attempt" span
+          // active, so the NMS/device spans created inside parent under
+          // the delivering attempt. A retried or duplicated copy re-runs
+          // this handler; ApplyDeployment replays its record by id
+          // instead of re-installing.
           return nms->ApplyDeployment(instr, ca_);
         },
         [this, report, pending, done_shared, deploy_span, nms, i,

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <deque>
 
+#include "common/drop_reason.h"
+
 namespace adtc {
 
 std::string_view LinkKindName(LinkKind kind) {
@@ -54,6 +56,18 @@ Network::Network(std::uint64_t seed) : rng_(seed), telemetry_(sim_) {
                    static_cast<double>(metrics_.legit_byte_hops)});
     out.push_back({"sim.executed_events",
                    static_cast<double>(sim_.executed_events())});
+    // The transport-caused entry of the datapath drop taxonomy: device
+    // policy drops are counted per reason by each AdaptiveDevice, queue
+    // overflows happen here in the packet network.
+    std::uint64_t queue_drops = 0;
+    for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+      queue_drops += metrics_.packets_dropped[c][static_cast<std::size_t>(
+          DropReason::kQueueFull)];
+    }
+    out.push_back(
+        {std::string("net.drops.") +
+             DatapathDropReasonName(DatapathDropReason::kQueueOverflow),
+         static_cast<double>(queue_drops)});
   });
 }
 

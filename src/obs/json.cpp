@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace adtc::obs {
 
@@ -178,9 +179,210 @@ class SyntaxChecker {
   std::size_t at_ = 0;
 };
 
+// Recursive-descent parser sharing the checker's grammar (and depth
+// bound), but producing values. Kept separate from SyntaxChecker so the
+// validation-only path stays allocation-free.
+class Parser {
+ public:
+  explicit Parser(std::string_view s) : s_(s) {}
+
+  std::optional<JsonValue> Run() {
+    SkipWs();
+    JsonValue value;
+    if (!Value(0, value)) return std::nullopt;
+    SkipWs();
+    if (at_ != s_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void SkipWs() {
+    while (at_ < s_.size() &&
+           (s_[at_] == ' ' || s_[at_] == '\t' || s_[at_] == '\n' ||
+            s_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (at_ < s_.size() && s_[at_] == c) {
+      ++at_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view word) {
+    if (s_.substr(at_, word.size()) != word) return false;
+    at_ += word.size();
+    return true;
+  }
+
+  static void AppendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  bool String(std::string& out) {
+    if (!Eat('"')) return false;
+    out.clear();
+    while (at_ < s_.size()) {
+      const unsigned char c = static_cast<unsigned char>(s_[at_]);
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c < 0x20) return false;
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        ++at_;
+        continue;
+      }
+      ++at_;
+      if (at_ >= s_.size()) return false;
+      const char e = s_[at_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (at_ + 4 > s_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[at_ + static_cast<std::size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) return false;
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0'
+                                : (std::tolower(static_cast<unsigned char>(h)) -
+                                   'a' + 10));
+          }
+          at_ += 4;
+          AppendUtf8(out, code);
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool Number(double& out) {
+    const std::size_t start = at_;
+    (void)Eat('-');
+    auto digits = [this] {
+      const std::size_t from = at_;
+      while (at_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[at_]))) {
+        ++at_;
+      }
+      return at_ > from;
+    };
+    if (Eat('0')) {
+      if (at_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[at_])))
+        return false;
+    } else if (!digits()) {
+      return false;
+    }
+    if (Eat('.') && !digits()) return false;
+    if (at_ < s_.size() && (s_[at_] == 'e' || s_[at_] == 'E')) {
+      ++at_;
+      if (at_ < s_.size() && (s_[at_] == '+' || s_[at_] == '-')) ++at_;
+      if (!digits()) return false;
+    }
+    out = std::strtod(std::string(s_.substr(start, at_ - start)).c_str(),
+                      nullptr);
+    return true;
+  }
+
+  bool Value(int depth, JsonValue& out) {
+    if (depth > kMaxDepth) return false;
+    SkipWs();
+    if (at_ >= s_.size()) return false;
+    switch (s_[at_]) {
+      case '{': return Object(depth, out);
+      case '[': return Array(depth, out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return String(out.string_value);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = true;
+        return Literal("true");
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.bool_value = false;
+        return Literal("false");
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return Literal("null");
+      default:
+        out.kind = JsonValue::Kind::kNumber;
+        return Number(out.number_value);
+    }
+  }
+
+  bool Object(int depth, JsonValue& out) {
+    ++at_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Eat('}')) return true;
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!String(key)) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      JsonValue value;
+      if (!Value(depth + 1, value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array(int depth, JsonValue& out) {
+    ++at_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Eat(']')) return true;
+    while (true) {
+      JsonValue value;
+      if (!Value(depth + 1, value)) return false;
+      out.array.push_back(std::move(value));
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  std::string_view s_;
+  std::size_t at_ = 0;
+};
+
 }  // namespace
 
 bool JsonSyntaxValid(std::string_view s) { return SyntaxChecker(s).Run(); }
+
+std::optional<JsonValue> JsonParse(std::string_view s) {
+  return Parser(s).Run();
+}
 
 std::string JsonNumber(double value) {
   if (!std::isfinite(value)) return "null";

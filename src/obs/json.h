@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace adtc::obs {
@@ -26,6 +28,62 @@ bool JsonSyntaxValid(std::string_view s);
 /// Formats a double as JSON: finite values via shortest round-trip-ish
 /// "%.17g" trimmed, non-finite values as null (JSON has no inf/nan).
 std::string JsonNumber(double value);
+
+/// A parsed JSON value — the counterpart of JsonWriter, sized for the
+/// telemetry artefacts this repo emits (JSONL span/sample lines, bench
+/// result files). Objects keep their key order; duplicate keys keep the
+/// first occurrence on lookup. Numbers are held as doubles, which is
+/// exact for every integer the telemetry layer writes (< 2^53).
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* Get(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Typed member accessors with defaults — the shape adtc_trace reads
+  /// span lines with.
+  std::string GetString(std::string_view key,
+                        std::string fallback = "") const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string_value
+                                                    : std::move(fallback);
+  }
+  double GetNumber(std::string_view key, double fallback = 0.0) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number_value
+                                                    : fallback;
+  }
+  bool GetBool(std::string_view key, bool fallback = false) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->kind == Kind::kBool ? v->bool_value : fallback;
+  }
+};
+
+/// Full recursive-descent parse of one JSON document. std::nullopt on
+/// any syntax error (same grammar as JsonSyntaxValid, including the
+/// nesting-depth bound). \uXXXX escapes decode to UTF-8.
+std::optional<JsonValue> JsonParse(std::string_view s);
 
 /// Streaming writer with explicit structure calls. Keeps a small state
 /// stack so commas are inserted correctly; misuse is a programming error

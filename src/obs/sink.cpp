@@ -45,7 +45,9 @@ JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path) {
   }
 }
 
-JsonlTelemetrySink::~JsonlTelemetrySink() {
+JsonlTelemetrySink::~JsonlTelemetrySink() { Flush(); }
+
+void JsonlTelemetrySink::Flush() {
   if (out_ != nullptr) out_->flush();
 }
 

@@ -31,16 +31,38 @@ class TelemetrySink {
   virtual void OnSample(const TimeSeriesSample& sample) = 0;
 };
 
-/// Buffers everything; query helpers for tests and examples.
+/// Buffers records with query helpers for tests and examples. Bounded:
+/// once `capacity` records of a kind are retained, each new record
+/// evicts the oldest and bumps the dropped-records counter — the same
+/// ring convention as core's EventBuffer, so a long chaos run cannot
+/// grow an in-memory timeline without bound. The default capacity is
+/// generous enough that no existing test ever wraps.
 class MemoryTelemetrySink : public TelemetrySink {
  public:
-  void OnSpan(const Span& span) override { spans_.push_back(span); }
+  explicit MemoryTelemetrySink(std::size_t capacity = 1 << 20)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  void OnSpan(const Span& span) override {
+    if (spans_.size() >= capacity_) {
+      spans_.erase(spans_.begin());
+      ++dropped_records_;
+    }
+    spans_.push_back(span);
+  }
   void OnSample(const TimeSeriesSample& sample) override {
+    if (samples_.size() >= capacity_) {
+      samples_.erase(samples_.begin());
+      ++dropped_records_;
+    }
     samples_.push_back(sample);
   }
 
   const std::vector<Span>& spans() const { return spans_; }
   const std::vector<TimeSeriesSample>& samples() const { return samples_; }
+
+  std::size_t capacity() const { return capacity_; }
+  /// Records evicted to stay within capacity (spans + samples).
+  std::uint64_t dropped_records() const { return dropped_records_; }
 
   /// All finished spans with the given name.
   std::vector<const Span*> SpansNamed(std::string_view name) const;
@@ -54,9 +76,12 @@ class MemoryTelemetrySink : public TelemetrySink {
   void Clear() {
     spans_.clear();
     samples_.clear();
+    dropped_records_ = 0;
   }
 
  private:
+  std::size_t capacity_;
+  std::uint64_t dropped_records_ = 0;
   std::vector<Span> spans_;
   std::vector<TimeSeriesSample> samples_;
 };
@@ -77,6 +102,12 @@ class JsonlTelemetrySink : public TelemetrySink {
 
   void OnSpan(const Span& span) override;
   void OnSample(const TimeSeriesSample& sample) override;
+
+  /// Pushes buffered lines to the underlying stream now. The destructor
+  /// flushes too, but an explicit flush lets a test or bench hand the
+  /// file to the offline analyzer mid-run (e.g. before an early exit or
+  /// an external validation step) without tearing the sink down.
+  void Flush();
 
   bool valid() const { return out_ != nullptr; }
   std::uint64_t lines_written() const { return lines_; }

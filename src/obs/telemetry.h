@@ -46,6 +46,12 @@ class Telemetry {
   bool OpenJsonlTimeline(const std::string& path);
   JsonlTelemetrySink* jsonl_sink() { return jsonl_.get(); }
 
+  /// Flushes the owned JSONL timeline (if any) so its file is complete
+  /// for an external reader while the world is still running.
+  void FlushSinks() {
+    if (jsonl_ != nullptr) jsonl_->Flush();
+  }
+
   /// Wall-clock profiling switch for the hot-path scoped timers.
   void EnableProfiling() { profiling_ = true; }
   void DisableProfiling() { profiling_ = false; }

@@ -1,0 +1,186 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace adtc::obs {
+
+namespace {
+
+const std::string* GetAttr(const Span& span, std::string_view key) {
+  for (const auto& [k, v] : span.attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// An attempt/send span that did not get its message through. The
+// control channel stamps the injector-decided fate of each message
+// onto the span, so loss attribution falls out of the attributes.
+bool MessageWasLost(const Span& span) {
+  for (const char* key : {"request", "response", "fate"}) {
+    const std::string* v = GetAttr(span, key);
+    if (v != nullptr && *v != "delivered" && *v != "duplicated") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+SimDuration DurationPercentile(std::vector<SimDuration> values, double pct) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;  // nearest-rank, 1-based -> 0-based
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+void TraceAnalyzer::Analyze(const std::vector<Span>& spans) {
+  timelines_.clear();
+  summary_ = TraceSummary{};
+
+  for (const Span& span : spans) {
+    const std::string* tag = GetAttr(span, "deployment");
+    if (tag == nullptr) {
+      ++summary_.untagged_spans;
+      continue;
+    }
+    DeploymentTimeline& timeline = timelines_[*tag];
+    timeline.deployment = *tag;
+    timeline.spans.push_back(&span);
+  }
+
+  std::vector<SimDuration> latencies;
+  latencies.reserve(timelines_.size());
+
+  for (auto& [tag, timeline] : timelines_) {
+    std::sort(timeline.spans.begin(), timeline.spans.end(),
+              [](const Span* a, const Span* b) {
+                return a->start != b->start ? a->start < b->start
+                                            : a->id < b->id;
+              });
+
+    std::unordered_set<SpanId> ids;
+    ids.reserve(timeline.spans.size());
+    for (const Span* span : timeline.spans) ids.insert(span->id);
+
+    timeline.first_start = timeline.spans.front()->start;
+    timeline.last_end = timeline.spans.front()->end;
+    for (const Span* span : timeline.spans) {
+      timeline.last_end = std::max(timeline.last_end, span->end);
+      if (span->parent == kNoSpan || ids.count(span->parent) == 0) {
+        timeline.roots.push_back(span);
+      }
+      if (!span->ok) ++timeline.failed_span_count;
+      if (span->name == "ctrl.call") ++timeline.call_count;
+      if (span->name == "ctrl.send") ++timeline.send_count;
+      if (span->name == "nms.resync_install") ++timeline.resync_count;
+      if (span->name == "ctrl.attempt") ++timeline.attempt_count;
+      if ((span->name == "ctrl.attempt" || span->name == "ctrl.send" ||
+           span->name == "nms.resync_install") &&
+          MessageWasLost(*span)) {
+        const std::string* channel = GetAttr(*span, "channel");
+        ++timeline.lost_by_channel[channel != nullptr ? *channel
+                                                      : "(unknown)"];
+      }
+    }
+    timeline.orphan_count =
+        timeline.roots.empty() ? 0 : timeline.roots.size() - 1;
+
+    ++summary_.deployment_count;
+    if (timeline.Complete()) ++summary_.complete_count;
+    summary_.total_spans += timeline.spans.size();
+    summary_.orphan_spans += timeline.orphan_count;
+    summary_.total_attempts += timeline.attempt_count;
+    summary_.total_calls += timeline.call_count;
+    for (const auto& [channel, count] : timeline.lost_by_channel) {
+      summary_.lost_by_channel[channel] += count;
+    }
+    latencies.push_back(timeline.ConvergenceLatency());
+  }
+
+  summary_.convergence_p50 = DurationPercentile(latencies, 50.0);
+  summary_.convergence_p95 = DurationPercentile(latencies, 95.0);
+  summary_.convergence_p99 = DurationPercentile(latencies, 99.0);
+  summary_.retry_amplification =
+      summary_.total_calls == 0
+          ? 0.0
+          : static_cast<double>(summary_.total_attempts) /
+                static_cast<double>(summary_.total_calls);
+}
+
+std::string TraceAnalyzer::RenderTimeline(
+    const DeploymentTimeline& timeline) const {
+  std::ostringstream out;
+  out << "deployment " << timeline.deployment << ": "
+      << timeline.spans.size() << " spans, converge "
+      << timeline.ConvergenceLatency() << " ns, "
+      << timeline.attempt_count << " attempts / " << timeline.call_count
+      << " calls";
+  if (!timeline.Complete()) {
+    out << "  [INCOMPLETE: " << timeline.roots.size() << " roots, "
+        << timeline.orphan_count << " orphans]";
+  }
+  out << '\n';
+
+  // Children in start order, then a depth-first walk from each root so
+  // the printed indentation mirrors the causal tree.
+  std::unordered_map<SpanId, std::vector<const Span*>> children;
+  std::unordered_set<SpanId> ids;
+  for (const Span* span : timeline.spans) ids.insert(span->id);
+  for (const Span* span : timeline.spans) {
+    if (span->parent != kNoSpan && ids.count(span->parent) != 0) {
+      children[span->parent].push_back(span);
+    }
+  }
+
+  const std::function<void(const Span*, int)> walk =
+      [&](const Span* span, int depth) {
+        out << "  " << span->start << "ns ";
+        for (int i = 0; i < depth; ++i) out << "  ";
+        out << span->name;
+        if (span->node != kInvalidNode) out << " node=" << span->node;
+        for (const auto& [key, value] : span->attributes) {
+          if (key == "deployment" || key == "trace") continue;
+          out << ' ' << key << '=' << value;
+        }
+        if (!span->ok) out << " FAILED";
+        out << " (" << span->Duration() << "ns)\n";
+        auto it = children.find(span->id);
+        if (it == children.end()) return;
+        for (const Span* child : it->second) walk(child, depth + 1);
+      };
+  for (const Span* root : timeline.roots) walk(root, 0);
+  return out.str();
+}
+
+std::string TraceAnalyzer::RenderSummary() const {
+  std::ostringstream out;
+  out << "deployments: " << summary_.deployment_count << " ("
+      << summary_.complete_count << " complete, " << summary_.orphan_spans
+      << " orphan spans)\n";
+  out << "spans: " << summary_.total_spans << " tagged, "
+      << summary_.untagged_spans << " untagged\n";
+  out << "convergence latency ns: p50=" << summary_.convergence_p50
+      << " p95=" << summary_.convergence_p95
+      << " p99=" << summary_.convergence_p99 << '\n';
+  out << "retry amplification: " << summary_.retry_amplification << " ("
+      << summary_.total_attempts << " attempts / " << summary_.total_calls
+      << " calls)\n";
+  if (!summary_.lost_by_channel.empty()) {
+    out << "lost messages by channel:\n";
+    for (const auto& [channel, count] : summary_.lost_by_channel) {
+      out << "  " << channel << ": " << count << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace adtc::obs

@@ -1,0 +1,115 @@
+// Offline analysis over finished spans: causal timeline reassembly.
+//
+// The tracer stamps every control-plane span that belongs to a
+// deployment with a "deployment" attribute ("origin:seq", see
+// TraceContext). This analyzer groups finished spans by that tag and
+// reassembles each deployment's causal tree, independent of where the
+// spans came from — a MemoryTelemetrySink in-process, or span lines
+// parsed back out of a JSONL timeline by tools/adtc_trace.
+//
+// From the reassembled trees it derives the forensic scalars the bench
+// and chaos tests assert on: convergence latency percentiles, retry
+// amplification, per-channel loss attribution, and the completeness
+// invariant (every deployment forms exactly one rooted tree with no
+// orphan spans).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/span.h"
+
+namespace adtc::obs {
+
+/// Everything reassembled about one deployment's lifecycle.
+struct DeploymentTimeline {
+  std::string deployment;  ///< "origin:seq" tag.
+  std::vector<const Span*> spans;  ///< Sorted by (start, id).
+
+  /// Spans whose parent is not in this deployment's span set. A
+  /// well-formed timeline has exactly one: the origin (tcsp.deploy, or
+  /// the entry nms.deploy for deployments injected at an NMS).
+  std::vector<const Span*> roots;
+  /// Roots beyond the first — spans severed from the causal chain.
+  std::size_t orphan_count = 0;
+
+  SimTime first_start = 0;  ///< Earliest span start (deployment began).
+  SimTime last_end = 0;     ///< Latest span end (deployment settled).
+
+  std::size_t call_count = 0;     ///< "ctrl.call" spans (logical RPCs).
+  std::size_t attempt_count = 0;  ///< "ctrl.attempt" spans (tries).
+  std::size_t send_count = 0;     ///< "ctrl.send" spans (one-way relays).
+  std::size_t resync_count = 0;   ///< "nms.resync_install" recoveries.
+  std::size_t failed_span_count = 0;  ///< Spans that ended !ok.
+
+  /// Lost/faulted message attempts attributed per channel name.
+  std::map<std::string, std::size_t> lost_by_channel;
+
+  /// Sim-time from first span start to last span end.
+  SimDuration ConvergenceLatency() const { return last_end - first_start; }
+  /// Delivery tries per logical RPC; 1.0 means no retries were needed.
+  double RetryAmplification() const {
+    return call_count == 0
+               ? 0.0
+               : static_cast<double>(attempt_count) /
+                     static_cast<double>(call_count);
+  }
+  bool Complete() const { return roots.size() == 1 && orphan_count == 0; }
+};
+
+/// Aggregates across all deployments in an analyzed span set.
+struct TraceSummary {
+  std::size_t deployment_count = 0;
+  std::size_t complete_count = 0;  ///< Timelines passing Complete().
+  std::size_t total_spans = 0;     ///< Spans carrying a deployment tag.
+  std::size_t untagged_spans = 0;  ///< Spans with no deployment tag.
+  std::size_t orphan_spans = 0;    ///< Sum of per-timeline orphans.
+  std::size_t total_attempts = 0;
+  std::size_t total_calls = 0;
+
+  SimDuration convergence_p50 = 0;
+  SimDuration convergence_p95 = 0;
+  SimDuration convergence_p99 = 0;
+
+  double retry_amplification = 0.0;  ///< total_attempts / total_calls.
+
+  std::map<std::string, std::size_t> lost_by_channel;
+};
+
+/// Groups spans by deployment tag and derives timelines + summary. The
+/// analyzer borrows the spans — keep the source vector alive while
+/// reading results.
+class TraceAnalyzer {
+ public:
+  /// Ingests finished spans (order-independent; re-entrant: replaces any
+  /// previous analysis).
+  void Analyze(const std::vector<Span>& spans);
+
+  /// Timelines keyed by deployment tag, iteration in tag order.
+  const std::map<std::string, DeploymentTimeline>& timelines() const {
+    return timelines_;
+  }
+  const TraceSummary& summary() const { return summary_; }
+
+  /// True when every deployment reassembled into a single rooted tree.
+  bool AllComplete() const {
+    return summary_.complete_count == summary_.deployment_count;
+  }
+
+  /// Human-readable per-deployment causal timeline (adtc_trace output).
+  std::string RenderTimeline(const DeploymentTimeline& timeline) const;
+  /// Human-readable aggregate report.
+  std::string RenderSummary() const;
+
+ private:
+  std::map<std::string, DeploymentTimeline> timelines_;
+  TraceSummary summary_;
+};
+
+/// Sorted-vector percentile (nearest-rank on a copy); 0 on empty input.
+SimDuration DurationPercentile(std::vector<SimDuration> values, double pct);
+
+}  // namespace adtc::obs

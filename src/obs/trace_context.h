@@ -1,0 +1,84 @@
+// Causal trace identity carried along control-plane message paths.
+//
+// A TraceContext names one deployment lifecycle: the trace id (one per
+// DeploymentId, derived deterministically from it), the span to parent
+// under when the context crosses an async hop, and the deployment
+// identity itself as raw origin/seq words (the obs layer cannot depend
+// on core's DeploymentId type). ControlChannel::Call/Send take a context
+// in their options and open per-attempt spans annotated with the fault
+// outcome of each message copy, so the full retry/relay/resync history
+// of a deployment is reassemblable from any sink (see
+// obs/trace_analysis.h and tools/adtc_trace).
+//
+// Like the rest of the tracing layer, the context is free when tracing
+// is disabled: carrying one costs three integers, and every span it
+// would open degrades to the Tracer's no-sink fast path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/span.h"
+
+namespace adtc::obs {
+
+struct TraceContext {
+  /// One id per deployment lifecycle; 0 = "no trace" (spans are still
+  /// cheap but channels skip opening them entirely).
+  std::uint64_t trace_id = 0;
+  /// Span to parent the next hop under (kNoSpan = root / active span).
+  SpanId parent_span = kNoSpan;
+  /// DeploymentId words, carried for span annotation ("deployment"
+  /// attribute) so the analyzer can group spans without core types.
+  std::uint64_t deployment_origin = 0;
+  std::uint64_t deployment_seq = 0;
+
+  bool valid() const { return trace_id != 0; }
+
+  /// Canonical "origin:seq" form used in the "deployment" span attribute
+  /// — the grouping key of the offline analyzer.
+  std::string DeploymentTag() const {
+    return std::to_string(deployment_origin) + ":" +
+           std::to_string(deployment_seq);
+  }
+
+  /// Derives the trace id from the deployment identity words (splitmix
+  /// finalizer, forced non-zero) so every component stamps the same id
+  /// for the same deployment without coordination.
+  static std::uint64_t TraceIdFor(std::uint64_t origin, std::uint64_t seq) {
+    std::uint64_t x = origin * 0x9e3779b97f4a7c15ull ^ seq;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x == 0 ? 1 : x;
+  }
+
+  /// Builds a context for a deployment, rooted at `parent`.
+  static TraceContext ForDeployment(std::uint64_t origin, std::uint64_t seq,
+                                    SpanId parent = kNoSpan) {
+    TraceContext ctx;
+    ctx.trace_id = TraceIdFor(origin, seq);
+    ctx.parent_span = parent;
+    ctx.deployment_origin = origin;
+    ctx.deployment_seq = seq;
+    return ctx;
+  }
+
+  /// The same trace, re-parented for the next hop.
+  TraceContext WithParent(SpanId parent) const {
+    TraceContext ctx = *this;
+    ctx.parent_span = parent;
+    return ctx;
+  }
+};
+
+/// Stamps the standard trace attributes ("trace", "deployment") on an
+/// open span. No-ops when the tracer is null or the span is kNoSpan.
+inline void AnnotateTrace(Tracer* tracer, SpanId span,
+                          const TraceContext& ctx) {
+  if (tracer == nullptr || span == kNoSpan || !ctx.valid()) return;
+  tracer->Annotate(span, "trace", std::to_string(ctx.trace_id));
+  tracer->Annotate(span, "deployment", ctx.DeploymentTag());
+}
+
+}  // namespace adtc::obs

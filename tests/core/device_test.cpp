@@ -309,5 +309,87 @@ TEST(AdaptiveDeviceTest, MostSpecificOwnerWins) {
   EXPECT_EQ(device.Process(to_other, Ctx()), Verdict::kForward);  // AS rule
 }
 
+TEST(AdaptiveDeviceTest, DropsAttributedPerTaxonomyReason) {
+  AdaptiveDevice device(0);
+  auto blacklist = std::make_unique<BlacklistModule>();
+  blacklist->Add(Prefix::Host(HostAddress(9, 1)));
+  MatchRule rule;
+  rule.dst_port_range = {{7000, 7000}};
+  std::vector<std::unique_ptr<Module>> modules;
+  modules.push_back(std::move(blacklist));
+  modules.push_back(std::make_unique<MatchModule>(rule));
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      {CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+       ModuleGraph::Chain(std::move(modules))}));
+
+  Packet listed = PacketBetween(9, 5);
+  EXPECT_EQ(device.Process(listed, Ctx()), Verdict::kDrop);
+  Packet matched = PacketBetween(3, 5);
+  matched.dst_port = 7000;
+  EXPECT_EQ(device.Process(matched, Ctx()), Verdict::kDrop);
+  Packet clean = PacketBetween(3, 5);
+  EXPECT_EQ(device.Process(clean, Ctx()), Verdict::kForward);
+
+  const DeviceStats& stats = device.stats();
+  using R = DatapathDropReason;
+  EXPECT_EQ(stats.drops_by_reason[static_cast<std::size_t>(R::kBlacklist)],
+            1u);
+  EXPECT_EQ(
+      stats.drops_by_reason[static_cast<std::size_t>(R::kFirewallRule)], 1u);
+  EXPECT_EQ(stats.dropped_packets, 2u);
+
+  // Cached replays attribute the same reason as the original verdict.
+  Packet listed_again = PacketBetween(9, 5);
+  EXPECT_EQ(device.Process(listed_again, Ctx()), Verdict::kDrop);
+  EXPECT_GT(device.stats().flow_cache_hits, 0u);
+  EXPECT_EQ(stats.drops_by_reason[static_cast<std::size_t>(R::kBlacklist)],
+            2u);
+}
+
+TEST(AdaptiveDeviceTest, FlightRecorderCapturesVerdicts) {
+  AdaptiveDevice device(7);
+  obs::FlightRecorder recorder(16);
+  device.AttachFlightRecorder(&recorder);
+  ASSERT_EQ(device.flight_recorder(), &recorder);
+  auto blacklist = std::make_unique<BlacklistModule>();
+  blacklist->Add(Prefix::Host(HostAddress(9, 1)));
+  ADTC_ASSERT_OK(device.InstallDeployment(
+      {CertFor(1, 5), {NodePrefix(5)}, std::nullopt,
+       ModuleGraph::Single(std::move(blacklist))}));
+
+  Packet fast = PacketBetween(1, 2);       // no redirect-table match
+  Packet dropped = PacketBetween(9, 5);    // blacklist drop
+  Packet forwarded = PacketBetween(3, 5);  // redirected, clean
+  EXPECT_EQ(device.Process(fast, Ctx()), Verdict::kForward);
+  EXPECT_EQ(device.Process(dropped, Ctx()), Verdict::kDrop);
+  EXPECT_EQ(device.Process(forwarded, Ctx()), Verdict::kForward);
+  // Replay the drop from the verdict cache: still recorded, as a hit.
+  Packet dropped_again = PacketBetween(9, 5);
+  EXPECT_EQ(device.Process(dropped_again, Ctx()), Verdict::kDrop);
+
+  const auto records = recorder.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_FALSE(records[0].redirected);
+  EXPECT_FALSE(records[0].dropped);
+  EXPECT_TRUE(records[1].dropped);
+  EXPECT_EQ(records[1].drop_reason, DatapathDropReason::kBlacklist);
+  EXPECT_FALSE(records[1].cache_hit);
+  EXPECT_TRUE(records[2].redirected);
+  EXPECT_FALSE(records[2].dropped);
+  EXPECT_TRUE(records[3].dropped);
+  EXPECT_EQ(records[3].drop_reason, DatapathDropReason::kBlacklist);
+  EXPECT_TRUE(records[3].cache_hit);
+  for (const obs::VerdictRecord& record : records) {
+    EXPECT_EQ(record.node, 7u);
+    EXPECT_EQ(record.at, Seconds(1));
+  }
+
+  // Detaching restores the zero-cost path: nothing further is recorded.
+  device.AttachFlightRecorder(nullptr);
+  Packet later = PacketBetween(1, 2);
+  (void)device.Process(later, Ctx());
+  EXPECT_EQ(recorder.total_recorded(), 4u);
+}
+
 }  // namespace
 }  // namespace adtc

@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "analysis/effects.h"
+#include "common/drop_reason.h"
 #include "core/events.h"
 #include "core/safety.h"
 #include "net/metrics.h"
@@ -68,6 +69,15 @@ TEST(EnumNamesTest, AnalysisStatusNamesDistinctAndNonEmpty) {
   CheckNames<analysis::AnalysisStatus>(
       static_cast<std::size_t>(analysis::AnalysisStatus::kCount_),
       analysis::AnalysisStatusName, "AnalysisStatus");
+}
+
+TEST(EnumNamesTest, DatapathDropReasonNamesDistinctAndNonEmpty) {
+  CheckNames<DatapathDropReason>(kDatapathDropReasonCount,
+                                 DatapathDropReasonName,
+                                 "DatapathDropReason");
+  // Out-of-range values degrade to the sentinel, never to garbage.
+  EXPECT_STREQ(DatapathDropReasonName(DatapathDropReason::kCount_),
+               "unknown");
 }
 
 TEST(EnumNamesTest, ContextRequirementNamesDistinctAndNonEmpty) {

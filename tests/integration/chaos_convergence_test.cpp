@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/tcsp.h"
+#include "obs/trace_analysis.h"
 #include "sim/faults.h"
 #include "testutil.h"
 
@@ -25,11 +26,14 @@ struct ChaosWorld : SmallWorld {
   FaultInjector injector;
   Tcsp tcsp;
   std::vector<std::unique_ptr<IspNms>> nmses;
+  /// Records every control-plane span for the trace-completeness check.
+  obs::MemoryTelemetrySink sink;
 
   explicit ChaosWorld(std::uint64_t fault_seed, TcspConfig config)
       : SmallWorld(42),
         injector(fault_seed),
         tcsp(net, authority, "tcsp-signing-key", config) {
+    net.telemetry().AttachSink(&sink);
     AllocateTopologyPrefixes(authority, net.node_count());
     for (NodeId node = 0; node < net.node_count(); ++node) {
       auto nms = std::make_unique<IspNms>(
@@ -142,6 +146,21 @@ TEST_P(ChaosConvergenceTest, ConvergesExactlyOnceUnderChaos) {
   // plane worked around them.
   EXPECT_GT(world.injector.stats().messages_lost, 0u);
   EXPECT_GT(world.injector.stats().messages_duplicated, 0u);
+
+  // Forensic completeness: after all the loss, duplication, relays and
+  // resync sweeps, every deployment's spans still reassemble into a
+  // single rooted causal tree (no orphan spans), and no span leaked
+  // open.
+  EXPECT_EQ(world.net.telemetry().tracer().open_span_count(), 0u);
+  obs::TraceAnalyzer analyzer;
+  analyzer.Analyze(world.sink.spans());
+  EXPECT_EQ(analyzer.summary().deployment_count, 2u);
+  for (const auto& [tag, timeline] : analyzer.timelines()) {
+    EXPECT_TRUE(timeline.Complete())
+        << "deployment " << tag << ": " << timeline.roots.size()
+        << " roots, " << timeline.orphan_count << " orphan span(s)";
+  }
+  EXPECT_TRUE(analyzer.AllComplete());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosConvergenceTest,

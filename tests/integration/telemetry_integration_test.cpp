@@ -98,18 +98,23 @@ TEST(TelemetryIntegrationTest, ScenarioRecordsSpanTreeAndTimeline) {
     world.scenario.attacker->Launch();
     world.net.Run(Seconds(8));
 
-    // --- span tree: TCSP -> NMS -> device ------------------------------
+    // --- span tree: TCSP -> channel -> NMS -> channel -> device --------
+    // Every management-plane hop rides a ControlChannel, and a traced
+    // channel interposes one ctrl.call span (with a ctrl.attempt per try)
+    // between caller and remote handler.
     const auto roots = world.sink.SpansNamed("tcsp.deploy");
     ASSERT_FALSE(roots.empty());
     bool complete_chain = false;
     for (const obs::Span* root : roots) {
       if (world.sink.HasDescendantChain(
-              root->id, {"nms.deploy", "device.install"})) {
+              root->id, {"ctrl.call", "ctrl.attempt", "nms.deploy",
+                         "ctrl.call", "ctrl.attempt", "device.install"})) {
         complete_chain = true;
       }
     }
     EXPECT_TRUE(complete_chain)
-        << "no complete tcsp.deploy -> nms.deploy -> device.install chain";
+        << "no complete tcsp.deploy -> ctrl.call -> ctrl.attempt -> "
+           "nms.deploy -> ctrl.call -> ctrl.attempt -> device.install chain";
     // Registration traced too, with its certificate-validation child.
     ASSERT_FALSE(world.sink.SpansNamed("tcsp.register").empty());
     EXPECT_TRUE(world.sink.HasDescendantChain(

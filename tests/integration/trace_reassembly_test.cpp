@@ -1,0 +1,167 @@
+// Causal deployment tracing across async control-plane hops (the
+// tentpole invariant of the forensics layer): under message loss,
+// duplication, retry, relay fallback and anti-entropy resync, every
+// span a deployment ever produced — on the TCSP, every NMS, every
+// device channel, every peer relay — reassembles into a SINGLE rooted
+// causal tree keyed by its DeploymentId tag, with no orphan spans.
+#include <gtest/gtest.h>
+
+#include "core/tcsp.h"
+#include "obs/trace_analysis.h"
+#include "sim/faults.h"
+#include "testutil.h"
+
+namespace adtc {
+namespace {
+
+using testing::SmallWorld;
+
+struct TracedChaosWorld : SmallWorld {
+  NumberAuthority authority;
+  FaultInjector injector;
+  Tcsp tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+  obs::MemoryTelemetrySink sink;
+
+  explicit TracedChaosWorld(std::uint64_t fault_seed, TcspConfig config)
+      : SmallWorld(42, /*transit=*/3, /*stubs=*/12),
+        injector(fault_seed),
+        tcsp(net, authority, "trace-key", config) {
+    net.telemetry().AttachSink(&sink);
+    AllocateTopologyPrefixes(authority, net.node_count());
+    for (NodeId node = 0; node < net.node_count(); ++node) {
+      auto nms = std::make_unique<IspNms>(
+          "isp-" + std::to_string(node), net, &tcsp.validator());
+      nms->ManageNode(node);
+      tcsp.EnrollIsp(nms.get());
+      nmses.push_back(std::move(nms));
+    }
+    tcsp.AttachFaultInjector(&injector);
+  }
+};
+
+class TraceReassemblyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceReassemblyTest, EveryDeploymentFormsOneRootedTree) {
+  TcspConfig config;
+  config.retry.initial_backoff = Milliseconds(20);
+  config.retry.max_backoff = Milliseconds(500);
+  config.retry.max_attempts = 6;
+  config.retry.deadline = Seconds(20);
+  config.relay_fallback = true;
+  TracedChaosWorld world(GetParam(), config);
+
+  ChannelFaults faults;
+  faults.loss = 0.3;
+  faults.duplicate = 0.2;
+  faults.jitter_max = Milliseconds(30);
+  world.injector.SetDefaultFaults(faults);
+  world.injector.AddDeviceOutage(/*node=*/5, 0, Seconds(10));
+  world.injector.AddTcspOutage(Seconds(2), Seconds(4));
+
+  const auto cert1 = world.tcsp.Register("as7", {NodePrefix(7)});
+  const auto cert2 = world.tcsp.Register("as9", {NodePrefix(9)});
+  ASSERT_TRUE(cert1.ok() && cert2.ok());
+
+  // Deployment 1: direct, but retried through heavy loss and recovered
+  // on the crashed device by resync.
+  ServiceRequest request1;
+  request1.kind = ServiceKind::kRemoteIngressFiltering;
+  request1.placement = PlacementPolicy::kAllManagedNodes;
+  request1.control_scope = {NodePrefix(7)};
+  world.tcsp.DeployService(cert1.value(), request1,
+                           CompletionPolicy::kLatencyModelled,
+                           [](const DeploymentReport&) {});
+  for (auto& nms : world.nmses) nms->StartResync(Seconds(5));
+
+  // Deployment 2: requested during the TCSP outage, so it takes the
+  // peer-mesh relay path — its spans hop NMS to NMS via ctrl.send.
+  world.net.Run(Seconds(3));
+  ServiceRequest request2;
+  request2.kind = ServiceKind::kRemoteIngressFiltering;
+  request2.placement = PlacementPolicy::kAllManagedNodes;
+  request2.control_scope = {NodePrefix(9)};
+  const DeploymentReport report2 =
+      world.tcsp.DeployService(cert2.value(), request2);
+  ASSERT_EQ(report2.path, DeployPath::kRelayed);
+
+  world.net.Run(Seconds(60));
+  for (auto& nms : world.nmses) nms->StopResync();
+  world.net.Run(Seconds(10));
+
+  // No span leaked open across the whole chaotic run.
+  EXPECT_EQ(world.net.telemetry().tracer().open_span_count(), 0u);
+
+  obs::TraceAnalyzer analyzer;
+  analyzer.Analyze(world.sink.spans());
+  const obs::TraceSummary& summary = analyzer.summary();
+  ASSERT_EQ(summary.deployment_count, 2u);
+  for (const auto& [tag, timeline] : analyzer.timelines()) {
+    EXPECT_TRUE(timeline.Complete())
+        << "deployment " << tag << " reassembled into "
+        << timeline.roots.size() << " roots with " << timeline.orphan_count
+        << " orphan span(s)";
+    // The chaos actually exercised the async machinery this test is
+    // about: multiple RPCs, and spans from more than one component.
+    EXPECT_GT(timeline.call_count, 1u) << tag;
+    EXPECT_GE(timeline.spans.size(), 4u) << tag;
+  }
+  EXPECT_TRUE(analyzer.AllComplete());
+
+  // Retries happened (loss was real), and the analyzer attributed the
+  // lost messages to named channels.
+  EXPECT_GT(summary.retry_amplification, 1.0);
+  EXPECT_FALSE(summary.lost_by_channel.empty());
+
+  // The relayed deployment's timeline contains peer-relay sends.
+  bool saw_relay_sends = false;
+  for (const auto& [tag, timeline] : analyzer.timelines()) {
+    if (timeline.send_count > 0) saw_relay_sends = true;
+  }
+  EXPECT_TRUE(saw_relay_sends);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceReassemblyTest,
+                         ::testing::Values(3u, 7u, 31u));
+
+TEST(TraceReassemblyTest, ResyncRecoverySpansJoinTheDeploymentTree) {
+  // A device down for the whole initial install window: only the
+  // anti-entropy resync can converge it, and the recovery spans must
+  // still attach to the same causal tree.
+  TcspConfig config;
+  config.retry.initial_backoff = Milliseconds(20);
+  config.retry.max_backoff = Milliseconds(200);
+  config.retry.max_attempts = 3;
+  config.retry.deadline = Seconds(5);
+  TracedChaosWorld world(/*fault_seed=*/11, config);
+  world.injector.AddDeviceOutage(/*node=*/4, 0, Seconds(20));
+
+  const auto cert = world.tcsp.Register("as7", {NodePrefix(7)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(7)};
+  world.tcsp.DeployService(cert.value(), request,
+                           CompletionPolicy::kLatencyModelled,
+                           [](const DeploymentReport&) {});
+  for (auto& nms : world.nmses) nms->StartResync(Seconds(5));
+  world.net.Run(Seconds(40));
+  for (auto& nms : world.nmses) nms->StopResync();
+  world.net.Run(Seconds(5));
+
+  ASSERT_EQ(world.nmses[4]->CountDeployments(cert.value().subscriber), 1u);
+
+  obs::TraceAnalyzer analyzer;
+  analyzer.Analyze(world.sink.spans());
+  ASSERT_EQ(analyzer.summary().deployment_count, 1u);
+  const obs::DeploymentTimeline& timeline =
+      analyzer.timelines().begin()->second;
+  EXPECT_TRUE(timeline.Complete());
+  // The recovery is visible as resync_install spans inside the tree.
+  EXPECT_GT(timeline.resync_count, 0u);
+}
+
+}  // namespace
+}  // namespace adtc

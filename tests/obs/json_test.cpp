@@ -76,5 +76,75 @@ TEST(JsonSyntaxValidTest, RejectsInvalidDocuments) {
   EXPECT_FALSE(JsonSyntaxValid("nul"));
 }
 
+TEST(JsonParseTest, ParsesScalarsAndStructure) {
+  const auto doc = JsonParse(
+      "{\"name\":\"deploy\",\"id\":42,\"ok\":true,\"miss\":null,"
+      "\"attrs\":{\"channel\":\"tcsp->nms\"},\"xs\":[1,-2.5,\"s\"]}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->GetString("name"), "deploy");
+  EXPECT_EQ(doc->GetNumber("id"), 42.0);
+  EXPECT_TRUE(doc->GetBool("ok"));
+  ASSERT_NE(doc->Get("miss"), nullptr);
+  EXPECT_EQ(doc->Get("miss")->kind, JsonValue::Kind::kNull);
+  const JsonValue* attrs = doc->Get("attrs");
+  ASSERT_NE(attrs, nullptr);
+  EXPECT_EQ(attrs->GetString("channel"), "tcsp->nms");
+  const JsonValue* xs = doc->Get("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->array.size(), 3u);
+  EXPECT_EQ(xs->array[1].number_value, -2.5);
+  EXPECT_EQ(xs->array[2].string_value, "s");
+}
+
+TEST(JsonParseTest, TypedAccessorsFallBackOnMismatch) {
+  const auto doc = JsonParse("{\"n\":1,\"s\":\"x\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->GetString("n", "fb"), "fb");   // number, asked as string
+  EXPECT_EQ(doc->GetNumber("s", -1.0), -1.0);   // string, asked as number
+  EXPECT_EQ(doc->GetString("absent", "fb"), "fb");
+  EXPECT_EQ(doc->Get("absent"), nullptr);
+}
+
+TEST(JsonParseTest, DecodesEscapesIncludingUnicode) {
+  const auto doc = JsonParse("\"a\\n\\\"b\\\\c\\u00e9\\u0041\"");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_value, "a\n\"b\\c\xc3\xa9""A");
+}
+
+TEST(JsonParseTest, RejectsWhatSyntaxValidRejects) {
+  for (const char* bad :
+       {"", "{", "{\"a\":}", "{\"a\":1,}", "[1 2]", "01",
+        "{\"a\":1} extra", "\"unterminated", "\"bad\\q\"", "nul"}) {
+    EXPECT_FALSE(JsonParse(bad).has_value()) << bad;
+  }
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject()
+      .Field("type", "span")
+      .Field("id", std::uint64_t{7})
+      .Field("ok", false)
+      .Key("attrs")
+      .BeginObject()
+      .Field("fate", "lost")
+      .EndObject()
+      .EndObject();
+  const auto doc = JsonParse(out.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->GetString("type"), "span");
+  EXPECT_EQ(doc->GetNumber("id"), 7.0);
+  EXPECT_FALSE(doc->GetBool("ok", true));
+  EXPECT_EQ(doc->Get("attrs")->GetString("fate"), "lost");
+}
+
+TEST(JsonParseTest, DuplicateKeysKeepFirstOnLookup) {
+  const auto doc = JsonParse("{\"k\":1,\"k\":2}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->GetNumber("k"), 1.0);
+}
+
 }  // namespace
 }  // namespace adtc::obs

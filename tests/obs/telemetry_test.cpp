@@ -79,6 +79,46 @@ TEST(TelemetryTest, OpenJsonlTimelineFailsCleanly) {
   EXPECT_FALSE(telemetry.tracing_enabled());
 }
 
+TEST(TelemetryTest, MemorySinkIsBoundedAndCountsEvictions) {
+  Simulator sim;
+  Telemetry telemetry(sim);
+  MemoryTelemetrySink sink(/*capacity=*/3);
+  telemetry.AttachSink(&sink);
+  for (int i = 0; i < 5; ++i) {
+    const SpanId id =
+        telemetry.tracer().StartSpan("op" + std::to_string(i));
+    telemetry.tracer().EndSpan(id);
+  }
+  // Ring semantics: capacity retained, oldest evicted, evictions counted.
+  EXPECT_EQ(sink.capacity(), 3u);
+  ASSERT_EQ(sink.spans().size(), 3u);
+  EXPECT_EQ(sink.dropped_records(), 2u);
+  EXPECT_EQ(sink.spans().front().name, "op2");
+  EXPECT_EQ(sink.spans().back().name, "op4");
+
+  sink.Clear();
+  EXPECT_TRUE(sink.spans().empty());
+  EXPECT_EQ(sink.dropped_records(), 0u);
+}
+
+TEST(TelemetryTest, ExplicitFlushMakesTimelineReadableMidRun) {
+  const std::string path = ::testing::TempDir() + "/adtc_flush.jsonl";
+  Simulator sim;
+  Telemetry telemetry(sim);
+  ASSERT_TRUE(telemetry.OpenJsonlTimeline(path));
+  const SpanId id = telemetry.tracer().StartSpan("mid.run");
+  telemetry.tracer().EndSpan(id);
+  // The telemetry object (and its buffered stream) is still alive; an
+  // explicit flush must make the line visible to an external reader.
+  telemetry.FlushSinks();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(JsonSyntaxValid(line)) << line;
+  EXPECT_NE(line.find("mid.run"), std::string::npos);
+}
+
 TEST(ScopedWallTimerTest, RecordsIntoHistogramOnlyWhenEnabled) {
   Histogram hist(0.0, 1e9, 64);
   {

@@ -1,0 +1,341 @@
+// adtc_trace — offline forensics over ADTC JSONL telemetry timelines.
+//
+// Ingests the JSONL artefacts the telemetry layer writes (span lines
+// from JsonlTelemetrySink, verdict lines from the datapath flight
+// recorder, sample lines from the periodic sampler) and reassembles the
+// causal story: one rooted tree per deployment, convergence-latency
+// percentiles, retry-amplification factors, per-channel fault
+// attribution, and the top datapath drop reasons.
+//
+// Modes:
+//   adtc_trace <timeline.jsonl>...             full forensic report
+//   adtc_trace --validate <timeline.jsonl>...  schema + completeness
+//                                              check; nonzero exit on any
+//                                              malformed line, unknown
+//                                              record type, or deployment
+//                                              whose spans do not form a
+//                                              single rooted tree
+//   adtc_trace --json <out> <timeline.jsonl>.. also write the aggregate
+//                                              summary as JSON
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/drop_reason.h"
+#include "common/types.h"
+#include "obs/json.h"
+#include "obs/span.h"
+#include "obs/trace_analysis.h"
+
+namespace adtc {
+namespace {
+
+struct Ingest {
+  std::vector<obs::Span> spans;
+  std::size_t sample_lines = 0;
+  std::size_t verdict_lines = 0;
+  std::size_t dropped_verdicts = 0;
+  std::map<std::string, std::size_t> drop_reasons;  // dropped==true only
+  std::vector<std::string> violations;              // schema problems
+
+  void Violation(const std::string& file, std::size_t line_no,
+                 const std::string& what) {
+    violations.push_back(file + ":" + std::to_string(line_no) + ": " + what);
+  }
+};
+
+bool IsKnownDropReason(const std::string& reason) {
+  for (std::size_t i = 0; i < kDatapathDropReasonCount; ++i) {
+    if (reason == DatapathDropReasonName(static_cast<DatapathDropReason>(i))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One "span" line back into an obs::Span. Returns std::nullopt (and
+/// records violations) when required fields are missing or mistyped.
+std::optional<obs::Span> ParseSpanLine(const obs::JsonValue& value,
+                                       const std::string& file,
+                                       std::size_t line_no, Ingest& ingest) {
+  bool ok = true;
+  const auto require_number = [&](const char* key) {
+    const obs::JsonValue* v = value.Get(key);
+    if (v == nullptr || !v->is_number()) {
+      ingest.Violation(file, line_no,
+                       std::string("span line missing numeric \"") + key +
+                           "\"");
+      ok = false;
+      return 0.0;
+    }
+    return v->number_value;
+  };
+  obs::Span span;
+  span.id = static_cast<obs::SpanId>(require_number("id"));
+  span.parent = static_cast<obs::SpanId>(require_number("parent"));
+  span.start = static_cast<SimTime>(require_number("start_ns"));
+  span.end = static_cast<SimTime>(require_number("end_ns"));
+  const obs::JsonValue* name = value.Get("name");
+  if (name == nullptr || !name->is_string() || name->string_value.empty()) {
+    ingest.Violation(file, line_no, "span line missing \"name\"");
+    ok = false;
+  } else {
+    span.name = name->string_value;
+  }
+  const obs::JsonValue* okv = value.Get("ok");
+  if (okv == nullptr || okv->kind != obs::JsonValue::Kind::kBool) {
+    ingest.Violation(file, line_no, "span line missing boolean \"ok\"");
+    ok = false;
+  } else {
+    span.ok = okv->bool_value;
+  }
+  if (ok && span.id == obs::kNoSpan) {
+    ingest.Violation(file, line_no, "span line with id 0 (kNoSpan)");
+    ok = false;
+  }
+  if (ok && span.end < span.start) {
+    ingest.Violation(file, line_no, "span line with end_ns < start_ns");
+    ok = false;
+  }
+  if (const obs::JsonValue* node = value.Get("node");
+      node != nullptr && node->is_number()) {
+    span.node = static_cast<NodeId>(node->number_value);
+  }
+  if (const obs::JsonValue* sub = value.Get("subscriber");
+      sub != nullptr && sub->is_number()) {
+    span.subscriber = static_cast<SubscriberId>(sub->number_value);
+  }
+  if (const obs::JsonValue* attrs = value.Get("attrs"); attrs != nullptr) {
+    if (!attrs->is_object()) {
+      ingest.Violation(file, line_no, "span \"attrs\" is not an object");
+      ok = false;
+    } else {
+      for (const auto& [key, attr] : attrs->object) {
+        if (!attr.is_string()) {
+          ingest.Violation(file, line_no,
+                           "span attr \"" + key + "\" is not a string");
+          ok = false;
+          continue;
+        }
+        span.attributes.emplace_back(key, attr.string_value);
+      }
+    }
+  }
+  if (!ok) return std::nullopt;
+  return span;
+}
+
+void ParseVerdictLine(const obs::JsonValue& value, const std::string& file,
+                      std::size_t line_no, Ingest& ingest) {
+  ++ingest.verdict_lines;
+  const obs::JsonValue* reason = value.Get("reason");
+  if (reason == nullptr || !reason->is_string() ||
+      !IsKnownDropReason(reason->string_value)) {
+    ingest.Violation(file, line_no,
+                     "verdict line with missing or unknown \"reason\"");
+    return;
+  }
+  const obs::JsonValue* t = value.Get("t_ns");
+  const obs::JsonValue* node = value.Get("node");
+  if (t == nullptr || !t->is_number() || node == nullptr ||
+      !node->is_number()) {
+    ingest.Violation(file, line_no,
+                     "verdict line missing numeric \"t_ns\"/\"node\"");
+    return;
+  }
+  const obs::JsonValue* dropped = value.Get("dropped");
+  if (dropped == nullptr || dropped->kind != obs::JsonValue::Kind::kBool) {
+    ingest.Violation(file, line_no,
+                     "verdict line missing boolean \"dropped\"");
+    return;
+  }
+  if (dropped->bool_value) {
+    if (reason->string_value ==
+        DatapathDropReasonName(DatapathDropReason::kNone)) {
+      ingest.Violation(file, line_no,
+                       "dropped verdict with reason \"none\"");
+      return;
+    }
+    ++ingest.dropped_verdicts;
+    ++ingest.drop_reasons[reason->string_value];
+  }
+}
+
+bool IngestFile(const std::string& path, Ingest& ingest) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::cerr << "adtc_trace: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::optional<obs::JsonValue> value = obs::JsonParse(line);
+    if (!value.has_value() || !value->is_object()) {
+      ingest.Violation(path, line_no, "not a JSON object");
+      continue;
+    }
+    const std::string type = value->GetString("type");
+    if (type == "span") {
+      if (auto span = ParseSpanLine(*value, path, line_no, ingest)) {
+        ingest.spans.push_back(std::move(*span));
+      }
+    } else if (type == "sample") {
+      ++ingest.sample_lines;
+    } else if (type == "verdict") {
+      ParseVerdictLine(*value, path, line_no, ingest);
+    } else {
+      ingest.Violation(path, line_no,
+                       type.empty() ? "record without \"type\""
+                                    : "unknown record type \"" + type + "\"");
+    }
+  }
+  return true;
+}
+
+void WriteJsonSummary(const std::string& path, const Ingest& ingest,
+                      const obs::TraceAnalyzer& analyzer) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "adtc_trace: cannot write " << path << "\n";
+    return;
+  }
+  const obs::TraceSummary& summary = analyzer.summary();
+  obs::JsonWriter json(out);
+  json.BeginObject()
+      .Field("tool", "adtc_trace")
+      .Field("deployments", static_cast<std::uint64_t>(summary.deployment_count))
+      .Field("complete", static_cast<std::uint64_t>(summary.complete_count))
+      .Field("spans", static_cast<std::uint64_t>(summary.total_spans))
+      .Field("untagged_spans",
+             static_cast<std::uint64_t>(summary.untagged_spans))
+      .Field("orphan_spans", static_cast<std::uint64_t>(summary.orphan_spans))
+      .Field("convergence_p50_ms",
+             static_cast<double>(summary.convergence_p50) / 1e6)
+      .Field("convergence_p95_ms",
+             static_cast<double>(summary.convergence_p95) / 1e6)
+      .Field("convergence_p99_ms",
+             static_cast<double>(summary.convergence_p99) / 1e6)
+      .Field("retry_amplification", summary.retry_amplification);
+  json.Key("lost_by_channel").BeginObject();
+  for (const auto& [channel, count] : summary.lost_by_channel) {
+    json.Field(channel, static_cast<std::uint64_t>(count));
+  }
+  json.EndObject();
+  json.Key("drop_reasons").BeginObject();
+  for (const auto& [reason, count] : ingest.drop_reasons) {
+    json.Field(reason, static_cast<std::uint64_t>(count));
+  }
+  json.EndObject();
+  json.Field("verdicts", static_cast<std::uint64_t>(ingest.verdict_lines))
+      .Field("dropped_verdicts",
+             static_cast<std::uint64_t>(ingest.dropped_verdicts))
+      .EndObject();
+  out << "\n";
+}
+
+int Run(int argc, char** argv) {
+  bool validate = false;
+  std::string json_out;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "adtc_trace: --json needs a path\n";
+        return 2;
+      }
+      json_out = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: adtc_trace [--validate] [--json <out>] "
+                   "<timeline.jsonl>...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "adtc_trace: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: adtc_trace [--validate] [--json <out>] "
+                 "<timeline.jsonl>...\n";
+    return 2;
+  }
+
+  Ingest ingest;
+  for (const std::string& file : files) {
+    if (!IngestFile(file, ingest)) return 2;
+  }
+
+  obs::TraceAnalyzer analyzer;
+  analyzer.Analyze(ingest.spans);
+
+  if (!json_out.empty()) WriteJsonSummary(json_out, ingest, analyzer);
+
+  if (validate) {
+    // Schema violations first, then the causal-completeness invariant:
+    // every deployment's spans must reassemble into a single rooted tree.
+    std::size_t incomplete = 0;
+    for (const auto& [tag, timeline] : analyzer.timelines()) {
+      if (timeline.Complete()) continue;
+      ++incomplete;
+      std::cerr << "INCOMPLETE deployment " << tag << ": "
+                << timeline.roots.size() << " roots, "
+                << timeline.orphan_count << " orphan span(s)\n";
+    }
+    for (const std::string& violation : ingest.violations) {
+      std::cerr << "VIOLATION " << violation << "\n";
+    }
+    if (!ingest.violations.empty() || incomplete > 0) {
+      std::cerr << "FAIL: " << ingest.violations.size()
+                << " schema violation(s), " << incomplete
+                << " incomplete deployment timeline(s)\n";
+      return 1;
+    }
+    std::cout << "OK: " << ingest.spans.size() << " spans, "
+              << analyzer.summary().deployment_count
+              << " deployments (all complete), " << ingest.verdict_lines
+              << " verdicts, " << ingest.sample_lines << " samples\n";
+    return 0;
+  }
+
+  // Report mode: per-deployment causal timelines, then the aggregates.
+  for (const auto& [tag, timeline] : analyzer.timelines()) {
+    std::cout << analyzer.RenderTimeline(timeline) << "\n";
+  }
+  std::cout << analyzer.RenderSummary();
+  if (ingest.verdict_lines > 0) {
+    std::cout << "\ndatapath verdicts: " << ingest.verdict_lines << " ("
+              << ingest.dropped_verdicts << " dropped)\n";
+    // Sort reasons by count, descending, for the "top drop reasons" view.
+    std::vector<std::pair<std::size_t, std::string>> ranked;
+    for (const auto& [reason, count] : ingest.drop_reasons) {
+      ranked.emplace_back(count, reason);
+    }
+    std::sort(ranked.rbegin(), ranked.rend());
+    for (const auto& [count, reason] : ranked) {
+      std::cout << "  " << reason << ": " << count << "\n";
+    }
+  }
+  if (!ingest.violations.empty()) {
+    std::cout << "\nWARNING: " << ingest.violations.size()
+              << " malformed line(s); run with --validate for details\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adtc
+
+int main(int argc, char** argv) { return adtc::Run(argc, argv); }
