@@ -70,7 +70,7 @@ int main() {
 
             // Every 500 ms the victim tries to push the obvious rule.
             double installs_ok = 0, installs_failed = 0;
-            world.net.sim().SchedulePeriodic(
+            world.net.control().PostEvery(
                 Milliseconds(500), [&]() -> bool {
                   if (filter.rule_count() > 0) return false;  // done
                   MatchRule rule;

@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
         AsOrgName(subject), {NodePrefix(subject)},
         [&](Result<OwnershipCertificate> result) {
           ok = result.ok();
-          completed_at = world.net.sim().Now();
+          completed_at = world.net.Now();
         });
     world.net.Run(Seconds(5));
     reg.AddRow({"identity + ownership verification round trip",
@@ -195,7 +195,7 @@ int main(int argc, char** argv) {
           configured += nms->CountDeployments(cert.value().subscriber);
         }
         if (configured == world.net.node_count()) {
-          converged_at = world.net.sim().Now();
+          converged_at = world.net.Now();
           break;
         }
       }

@@ -158,7 +158,7 @@ int main() {
                 world.net, world.topo.stub_nodes[20 + i], kAccess,
                 directive));
           }
-          world.net.sim().ScheduleAt(flood_start, [&agents] {
+          world.net.control().Post(flood_start, [&agents] {
             for (auto* agent : agents) agent->StartFlood();
           });
           world.net.Run(Seconds(8));

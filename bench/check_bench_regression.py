@@ -1,13 +1,26 @@
 #!/usr/bin/env python3
-"""Compare a fresh google-benchmark JSON run against a checked-in baseline.
+"""Compare a fresh benchmark JSON run against a checked-in baseline.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--threshold 0.25]
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--threshold 0.25] [--gate NAME[:higher]]...
 
-Fails (exit 1) if any benchmark present in both files is slower than the
-baseline by more than the threshold. Aggregate entries (BigO, RMS, mean,
-...) are skipped; only plain iteration benchmarks are compared. New or
-removed benchmarks are reported but never fail the check — the baseline
-is regenerated when the benchmark set changes.
+Two file formats are auto-detected:
+
+* google-benchmark output (a "benchmarks" list): every benchmark present
+  in both files is compared, lower-is-better, and any one slower than
+  the baseline by more than the threshold fails the check. Aggregate
+  entries (BigO, RMS, mean, ...) are skipped; only plain iteration
+  benchmarks are compared.
+
+* a BenchResultFile document (a "results" map, as written by the repro
+  binaries' --json flag): scalars are compared only informationally
+  UNLESS named by a --gate flag. A gate defaults to lower-is-better;
+  append ":higher" for throughput-style scalars (events/s). This lets a
+  file carry machine-dependent rows (multi-shard speedups on a 1-CPU
+  box) next to gated ones without flapping CI.
+
+New or removed entries are reported but never fail the check — the
+baseline is regenerated when the benchmark set changes.
 """
 
 import argparse
@@ -15,7 +28,12 @@ import json
 import sys
 
 
-def load_times(path):
+def load_doc(path):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def times_from_google_benchmark(doc):
     """Map benchmark name -> representative real_time in ns.
 
     When the run used --benchmark_repetitions, the minimum across
@@ -25,8 +43,6 @@ def load_times(path):
     min keeps the gate one-sided and stable. Plain single runs just
     have one iteration entry per name.
     """
-    with open(path) as handle:
-        doc = json.load(handle)
     times = {}
     for bench in doc.get("benchmarks", []):
         if bench.get("run_type") != "iteration":
@@ -41,38 +57,101 @@ def load_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--threshold", type=float, default=0.25)
-    args = parser.parse_args()
+def scalars_from_result_file(doc):
+    """Map scalar name -> value from a BenchResultFile document.
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
-    if not baseline:
-        print(f"error: no iteration benchmarks in baseline {args.baseline}")
-        return 1
+    Distribution entries ({"mean": ..., ...}) are reduced to their mean.
+    """
+    scalars = {}
+    for name, value in doc.get("results", {}).items():
+        if isinstance(value, dict):
+            value = value.get("mean")
+        if isinstance(value, (int, float)):
+            scalars[name] = float(value)
+    return scalars
 
-    regressions = []
+
+def parse_gates(specs):
+    """'name' or 'name:higher' -> {name: higher_is_better}."""
+    gates = {}
+    for spec in specs:
+        name, sep, direction = spec.partition(":")
+        if direction not in ("", "higher", "lower"):
+            raise SystemExit(f"error: bad --gate direction in {spec!r}")
+        gates[name] = direction == "higher"
+    return gates
+
+
+def compare(baseline, current, threshold, gates):
+    """Print the comparison table; return the list of gated failures.
+
+    With gates=None every common entry is gated lower-is-better (the
+    google-benchmark behaviour). Otherwise only names in `gates` can
+    fail, each in its declared direction.
+    """
+    failures = []
     for name in sorted(baseline.keys() & current.keys()):
         ratio = current[name] / baseline[name] if baseline[name] > 0 else 1.0
+        if gates is None:
+            gated, higher_is_better = True, False
+        else:
+            gated = name in gates
+            higher_is_better = gates.get(name, False)
+        if higher_is_better:
+            regressed = ratio < 1.0 - threshold
+        else:
+            regressed = ratio > 1.0 + threshold
         marker = ""
-        if ratio > 1.0 + args.threshold:
+        if gated and regressed:
             marker = "  <-- REGRESSION"
-            regressions.append(name)
-        print(f"{name:45s} {baseline[name]:10.1f} -> {current[name]:10.1f} ns"
+            failures.append(name)
+        elif not gated:
+            marker = "  (informational)"
+        print(f"{name:45s} {baseline[name]:14.1f} -> {current[name]:14.1f}"
               f"  ({ratio:5.2f}x){marker}")
     for name in sorted(baseline.keys() - current.keys()):
         print(f"{name:45s} missing from current run (ignored)")
     for name in sorted(current.keys() - baseline.keys()):
         print(f"{name:45s} new benchmark, no baseline (ignored)")
+    return failures
 
-    if regressions:
-        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
-              f"{args.threshold:.0%}: {', '.join(regressions)}")
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25)
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="NAME[:higher]",
+                        help="scalar-mode only: gate this result name; "
+                             "repeatable; ':higher' = throughput-style")
+    args = parser.parse_args()
+
+    baseline_doc = load_doc(args.baseline)
+    current_doc = load_doc(args.current)
+    scalar_mode = "results" in baseline_doc
+    if scalar_mode:
+        baseline = scalars_from_result_file(baseline_doc)
+        current = scalars_from_result_file(current_doc)
+        gates = parse_gates(args.gate)
+        unknown = sorted(set(gates) - set(baseline))
+        if unknown:
+            print(f"error: gated name(s) not in baseline: {', '.join(unknown)}")
+            return 1
+    else:
+        baseline = times_from_google_benchmark(baseline_doc)
+        current = times_from_google_benchmark(current_doc)
+        gates = None
+    if not baseline:
+        print(f"error: no comparable entries in baseline {args.baseline}")
         return 1
-    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+
+    failures = compare(baseline, current, args.threshold, gates)
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nOK: no gated benchmark regressed more than {args.threshold:.0%}")
     return 0
 
 

@@ -37,9 +37,9 @@ void AgentHost::ScheduleNext() {
   }
   // CBR with +-20% jitter so agent streams do not phase-lock.
   const double base_gap_s = 1.0 / directive_.rate_pps;
-  const double jitter = 0.8 + 0.4 * net().rng().NextDouble();
+  const double jitter = 0.8 + 0.4 * rng().NextDouble();
   const auto gap = static_cast<SimDuration>(base_gap_s * jitter * 1e9);
-  sim().ScheduleAfter(std::max<SimDuration>(gap, Microseconds(1)),
+  sched().PostIn(std::max<SimDuration>(gap, Microseconds(1)),
                       [this] { SendOne(); });
 }
 
@@ -55,7 +55,7 @@ void AgentHost::SendOne() {
   p.size_bytes = directive_.packet_bytes;
   p.src = address();
   p.src_port = static_cast<std::uint16_t>(
-      1024 + net().rng().NextBelow(60000));
+      1024 + rng().NextBelow(60000));
 
   switch (directive_.type) {
     case AttackType::kDirectFlood: {
@@ -69,7 +69,7 @@ void AgentHost::SendOne() {
         p.icmp = IcmpType::kEchoRequest;
       }
       ApplySpoof(p, directive_.spoof, address(), directive_.victim,
-                 static_cast<std::uint32_t>(net().node_count()), net().rng());
+                 static_cast<std::uint32_t>(net().node_count()), rng());
       break;
     }
     case AttackType::kReflector: {
@@ -90,7 +90,7 @@ void AgentHost::SendOne() {
       // The defining trick of the reflector attack: the request claims to
       // come from the victim, so the reply floods the victim.
       ApplySpoof(p, SpoofMode::kVictim, address(), directive_.victim,
-                 static_cast<std::uint32_t>(net().node_count()), net().rng());
+                 static_cast<std::uint32_t>(net().node_count()), rng());
       break;
     }
     case AttackType::kTeardown: {
@@ -98,7 +98,7 @@ void AgentHost::SendOne() {
         flooding_ = false;
         return;
       }
-      p.dst = directive_.teardown_targets[net().rng().NextBelow(
+      p.dst = directive_.teardown_targets[rng().NextBelow(
           directive_.teardown_targets.size())];
       if (directive_.teardown_use_icmp) {
         p.proto = Protocol::kIcmp;
@@ -110,7 +110,7 @@ void AgentHost::SendOne() {
         p.size_bytes = 40;
         p.dst_port = static_cast<std::uint16_t>(
             directive_.teardown_port_base +
-            net().rng().NextBelow(std::max<std::uint32_t>(
+            rng().NextBelow(std::max<std::uint32_t>(
                 1, directive_.teardown_port_range)));
         p.src_port = 80;
       }

@@ -25,7 +25,7 @@ void VulnerableHost::Scan() {
   // One probe to a uniformly random address in the scanned space. Most
   // probes hit nothing (NoHost drops / innocent hosts); a hit on a
   // susceptible VulnerableHost propagates the infection.
-  Rng& rng = net().rng();
+  Rng& rng = this->rng();
   const NodeId node =
       static_cast<NodeId>(rng.NextBelow(net().node_count()));
   const std::uint32_t slot =
@@ -37,8 +37,8 @@ void VulnerableHost::Scan() {
   probes_sent_++;
   SendPacket(std::move(probe));
 
-  const double gap_s = net().rng().NextExponential(1.0 / params_.scan_rate);
-  sim().ScheduleAfter(
+  const double gap_s = rng.NextExponential(1.0 / params_.scan_rate);
+  sched().PostIn(
       std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
                             Microseconds(10)),
       [this] { Scan(); });
@@ -56,8 +56,8 @@ void VulnerableHost::Arm(const AttackDirective& directive) {
 void VulnerableHost::ScheduleNextAttackPacket() {
   if (!flooding_ || directive_.rate_pps <= 0) return;
   const double base_gap_s = 1.0 / directive_.rate_pps;
-  const double jitter = 0.8 + 0.4 * net().rng().NextDouble();
-  sim().ScheduleAfter(
+  const double jitter = 0.8 + 0.4 * rng().NextDouble();
+  sched().PostIn(
       std::max<SimDuration>(
           static_cast<SimDuration>(base_gap_s * jitter * 1e9),
           Microseconds(1)),
@@ -75,7 +75,7 @@ void VulnerableHost::SendAttackPacket() {
   p.size_bytes = directive_.packet_bytes;
   p.src = address();
   p.src_port =
-      static_cast<std::uint16_t>(1024 + net().rng().NextBelow(60000));
+      static_cast<std::uint16_t>(1024 + rng().NextBelow(60000));
   if (directive_.type == AttackType::kReflector &&
       !directive_.reflectors.empty()) {
     p.dst = directive_.reflectors[round_robin_++ %
@@ -87,7 +87,7 @@ void VulnerableHost::SendAttackPacket() {
       p.size_bytes = 40;
     }
     ApplySpoof(p, SpoofMode::kVictim, address(), directive_.victim,
-               static_cast<std::uint32_t>(net().node_count()), net().rng());
+               static_cast<std::uint32_t>(net().node_count()), rng());
   } else {
     p.dst = directive_.victim;
     p.dst_port = directive_.victim_port;
@@ -97,7 +97,7 @@ void VulnerableHost::SendAttackPacket() {
       p.size_bytes = std::max<std::uint32_t>(p.size_bytes, 40);
     }
     ApplySpoof(p, directive_.spoof, address(), directive_.victim,
-               static_cast<std::uint32_t>(net().node_count()), net().rng());
+               static_cast<std::uint32_t>(net().node_count()), rng());
   }
   agent_stats_.attack_packets_sent++;
   agent_stats_.attack_bytes_sent += p.size_bytes;
@@ -138,9 +138,11 @@ std::size_t WormOutbreak::ArmInfected(const AttackDirective& directive) {
 }
 
 void WormOutbreak::NotifyInfected(VulnerableHost* host) {
+  // Runs on the infected host's shard; the outbreak curve is global
+  // state, so worm scenarios are single-shard-only (docs/sharding.md).
   (void)host;
   infected_count_++;
-  curve_.emplace_back(net_.sim().Now(), infected_count_);
+  curve_.emplace_back(net_.Now(), infected_count_);
 }
 
 }  // namespace adtc

@@ -23,11 +23,15 @@ using AsNumber = std::uint32_t;
 using PacketSerial = std::uint64_t;
 /// Identifier of a registered traffic-control service subscriber.
 using SubscriberId = std::uint32_t;
+/// Index of a simulation shard (one worker event loop). Dense, 0-based;
+/// shard 0 is the control shard by convention (see docs/sharding.md).
+using ShardId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 inline constexpr HostId kInvalidHost = std::numeric_limits<HostId>::max();
 inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
 inline constexpr SubscriberId kInvalidSubscriber =
     std::numeric_limits<SubscriberId>::max();
+inline constexpr ShardId kInvalidShard = std::numeric_limits<ShardId>::max();
 
 }  // namespace adtc

@@ -48,15 +48,15 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
     out.push_back({prefix + "flow_cache_misses",
                    static_cast<double>(stats_.flow_cache_misses)});
     out.push_back({prefix + "flow_cache_entries",
-                   static_cast<double>(flow_cache_.size())});
+                   static_cast<double>(flow_cache_entries_gauge_.value())});
     out.push_back({prefix + "installs_applied",
                    static_cast<double>(stats_.installs_applied)});
     out.push_back({prefix + "duplicate_installs",
                    static_cast<double>(stats_.duplicate_installs)});
     out.push_back({prefix + "deployments",
-                   static_cast<double>(deployments_.size())});
+                   static_cast<double>(deployments_gauge_.value())});
     out.push_back({prefix + "redirect_prefixes",
-                   static_cast<double>(src_redirect_.size())});
+                   static_cast<double>(redirect_prefixes_gauge_.value())});
     for (std::size_t i = 1; i < kDatapathDropReasonCount; ++i) {
       out.push_back(
           {prefix + "drops." +
@@ -141,6 +141,8 @@ Status AdaptiveDevice::InstallDeploymentImpl(DeploymentSpec spec) {
   deployment.destination_stage = std::move(spec.destination_stage);
   deployment.label = std::move(spec.label);
   deployments_.emplace(cert.subscriber, std::move(deployment));
+  deployments_gauge_ = deployments_.size();
+  redirect_prefixes_gauge_ = src_redirect_.size();
   InvalidateFlowCache();
   stats_.installs_applied++;
   return Status::Ok();
@@ -157,10 +159,13 @@ Status AdaptiveDevice::RemoveDeployment(SubscriberId subscriber) {
     dst_redirect_.Erase(prefix);
   }
   deployments_.erase(it);
+  deployments_gauge_ = deployments_.size();
+  redirect_prefixes_gauge_ = src_redirect_.size();
   // Generation first, then the map can shrink: any entry holding a
   // pointer into the erased node is already unreachable.
   InvalidateFlowCache();
   flow_cache_.clear();
+  flow_cache_entries_gauge_ = 0;
   return Status::Ok();
 }
 
@@ -329,6 +334,7 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
         entry = &it->second;
       } else {
         flow_cache_.erase(it);
+        flow_cache_entries_gauge_ = flow_cache_.size();
       }
     }
   }
@@ -462,6 +468,7 @@ Verdict AdaptiveDevice::Process(Packet& packet, const RouterContext& ctx) {
     fresh.stage2_ran = stage2_ran;
     fresh.truncate_to = truncate_to;
     flow_cache_[key] = fresh;
+    flow_cache_entries_gauge_ = flow_cache_.size();
   }
   if (recorder_ != nullptr) {
     RecordFlight(packet, ctx, verdict, drop_reason,

@@ -280,6 +280,13 @@ class AdaptiveDevice : public PacketProcessor {
   bool flow_cache_enabled_ = true;
   std::uint64_t generation_ = 0;
   std::unordered_map<FlowKey, FlowCacheEntry, FlowKeyHash> flow_cache_;
+  /// Table sizes mirrored into relaxed-atomic cells: the telemetry
+  /// collector reads them from the control shard while this device's
+  /// shard is mid-window, so it must not touch the containers
+  /// themselves (docs/sharding.md). Updated wherever the tables change.
+  obs::Counter flow_cache_entries_gauge_;
+  obs::Counter deployments_gauge_;
+  obs::Counter redirect_prefixes_gauge_;
   std::vector<int> visited_scratch_;  // Execute() path buffer, reused
 };
 

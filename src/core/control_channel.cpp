@@ -30,10 +30,11 @@ struct ControlChannel::CallState {
   obs::SpanId attempt_span = obs::kNoSpan;
 };
 
-ControlChannel::ControlChannel(Simulator& sim, Rng& rng, std::string name,
-                               FaultInjector* injector,
+ControlChannel::ControlChannel(ShardRef local, ShardRef remote, Rng& rng,
+                               std::string name, FaultInjector* injector,
                                std::function<bool()> remote_up)
-    : sim_(sim),
+    : local_(local),
+      remote_(remote),
       rng_(rng),
       name_(std::move(name)),
       injector_(injector),
@@ -54,10 +55,11 @@ void ControlChannel::Call(
     std::function<Status()> request,
     std::function<void(const Status&, const CallOutcome&)> done,
     const CallOptions& options) {
-  // Fault-free zero-latency channels are plain function calls — the
-  // default (kImmediate, no injector) control plane stays synchronous.
+  // Fault-free zero-latency same-shard channels are plain function
+  // calls — the default (kImmediate, no injector) control plane stays
+  // synchronous.
   if (injector_ == nullptr && options.request_latency == 0 &&
-      options.response_latency == 0) {
+      options.response_latency == 0 && local_.SameShard(remote_)) {
     const obs::SpanId call_span = StartCallSpan(options);
     obs::SpanId attempt_span = obs::kNoSpan;
     if (call_span != obs::kNoSpan) {
@@ -87,7 +89,7 @@ void ControlChannel::Call(
   state->request = std::move(request);
   state->done = std::move(done);
   state->opts = options;
-  state->start = sim_.Now();
+  state->start = local_.Now();
   state->call_span = StartCallSpan(options);
   TryAttempt(state);
 }
@@ -114,12 +116,12 @@ void ControlChannel::TryAttempt(const std::shared_ptr<CallState>& state) {
   const SimDuration rto =
       state->opts.request_latency + state->opts.response_latency +
       state->opts.retry.BackoffAfter(state->outcome.attempts, rng_);
-  sim_.ScheduleAfter(rto, [this, state] {
+  local_.PostIn(rto, [this, state] {
     if (state->completed) return;
     const RetryPolicy& retry = state->opts.retry;
     const bool budget_spent = state->outcome.attempts >= retry.max_attempts;
     const bool past_deadline =
-        sim_.Now() - state->start >= retry.deadline;
+        local_.Now() - state->start >= retry.deadline;
     if (budget_spent || past_deadline) {
       state->outcome.deadline_expired = past_deadline;
       Complete(state,
@@ -146,15 +148,19 @@ void ControlChannel::SendRequestCopies(
   // opened; capture the span now so the delivery stays attributed to the
   // try that sent it.
   const obs::SpanId attempt_span = state->attempt_span;
+  // Request legs leave the local shard now and land on the remote shard;
+  // the arrival instant is computed from the *local* clock (the only one
+  // this thread may read) — exactly a cross-shard link's semantics.
+  const SimTime now = local_.Now();
   if (fate.deliver) {
-    sim_.ScheduleAfter(
-        state->opts.request_latency + fate.extra_delay,
+    remote_.Post(
+        now + state->opts.request_latency + fate.extra_delay,
         [this, state, attempt_span] { DeliverRequest(state, attempt_span); });
   }
   if (fate.duplicate) {
     state->outcome.messages_sent++;
-    sim_.ScheduleAfter(
-        state->opts.request_latency + fate.duplicate_delay,
+    remote_.Post(
+        now + state->opts.request_latency + fate.duplicate_delay,
         [this, state, attempt_span] { DeliverRequest(state, attempt_span); });
   }
 }
@@ -178,14 +184,16 @@ void ControlChannel::DeliverRequest(const std::shared_ptr<CallState>& state,
   MessageFate fate;
   if (injector_ != nullptr) fate = injector_->PlanMessage(name_);
   if (!fate.deliver) Annotate(attempt_span, "response", "lost");
+  // Response legs run on the remote shard, so the departure instant is
+  // the remote clock; completion lands back on the caller's shard.
+  const SimTime now = remote_.Now();
   if (fate.deliver) {
-    sim_.ScheduleAfter(state->opts.response_latency + fate.extra_delay,
-                       [this, state, status] { Complete(state, status); });
+    local_.Post(now + state->opts.response_latency + fate.extra_delay,
+                [this, state, status] { Complete(state, status); });
   }
   if (fate.duplicate) {
-    sim_.ScheduleAfter(
-        state->opts.response_latency + fate.duplicate_delay,
-        [this, state, status] { Complete(state, status); });
+    local_.Post(now + state->opts.response_latency + fate.duplicate_delay,
+                [this, state, status] { Complete(state, status); });
   }
 }
 
@@ -215,7 +223,7 @@ void ControlChannel::Send(std::function<void()> deliver, SimDuration latency,
     Annotate(span, "channel", name_);
     if (span != obs::kNoSpan) AnnotateTrace(tracer_, span, trace);
   }
-  if (injector_ == nullptr && latency == 0) {
+  if (injector_ == nullptr && latency == 0 && local_.SameShard(remote_)) {
     Annotate(span, "fate", "delivered");
     EndSpan(span, true);
     const obs::ScopedActivation activation(tracer_, span);
@@ -231,18 +239,19 @@ void ControlChannel::Send(std::function<void()> deliver, SimDuration latency,
   // delayed delivery runs — a one-way send has no response to wait for.
   // Delivery callbacks still activate it so remote spans parent here.
   EndSpan(span, fate.deliver);
+  const SimTime now = local_.Now();
   if (fate.deliver) {
-    sim_.ScheduleAfter(latency + fate.extra_delay, [this, span, deliver] {
+    remote_.Post(now + latency + fate.extra_delay, [this, span, deliver] {
       const obs::ScopedActivation activation(tracer_, span);
       deliver();
     });
   }
   if (fate.duplicate) {
-    sim_.ScheduleAfter(latency + fate.duplicate_delay,
-                       [this, span, deliver = std::move(deliver)] {
-                         const obs::ScopedActivation activation(tracer_, span);
-                         deliver();
-                       });
+    remote_.Post(now + latency + fate.duplicate_delay,
+                 [this, span, deliver = std::move(deliver)] {
+                   const obs::ScopedActivation activation(tracer_, span);
+                   deliver();
+                 });
   }
 }
 

@@ -15,9 +15,18 @@
 // handler passed to Call must be idempotent — deployment instructions
 // achieve that with DeploymentId dedup at the NMS and device.
 //
-// Fast path: a channel with no injector and zero latency completes
-// synchronously inline, which is what keeps the default (fault-free,
-// kImmediate) control plane byte-identical to the pre-fault behaviour.
+// Fast path: a same-shard channel with no injector and zero latency
+// completes synchronously inline, which is what keeps the default
+// (fault-free, kImmediate) control plane byte-identical to the pre-fault
+// behaviour.
+//
+// Sharding (docs/sharding.md): a channel is anchored to two ShardRefs —
+// `local` (the caller: retry timers, the done callback) and `remote`
+// (the responder: the request handler runs there). Cross-shard channels
+// must declare latency >= the engine's epoch so deliveries land beyond
+// the exchange barrier; each side reads only its own shard's clock.
+// FaultInjector-backed channels are single-shard only (the injector's
+// RNG is unsynchronised).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +39,7 @@
 #include "obs/span.h"
 #include "obs/trace_context.h"
 #include "sim/faults.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace adtc {
 
@@ -62,10 +71,19 @@ class ControlChannel {
   /// `remote_up` is evaluated at request-delivery time; a down remote
   /// swallows the message (no response, so the caller retries).
   /// `injector` may be nullptr (fault-free channel). Both must outlive
-  /// the channel.
-  ControlChannel(Simulator& sim, Rng& rng, std::string name,
-                 FaultInjector* injector = nullptr,
+  /// the channel. `local` is the caller's shard, `remote` the
+  /// responder's; for a cross-shard pair the channel's latencies must be
+  /// >= the engine epoch.
+  ControlChannel(ShardRef local, ShardRef remote, Rng& rng,
+                 std::string name, FaultInjector* injector = nullptr,
                  std::function<bool()> remote_up = nullptr);
+
+  /// Same-shard convenience: both endpoints on `sched`.
+  ControlChannel(Scheduler& sched, Rng& rng, std::string name,
+                 FaultInjector* injector = nullptr,
+                 std::function<bool()> remote_up = nullptr)
+      : ControlChannel(ShardRef(&sched), ShardRef(&sched), rng,
+                       std::move(name), injector, std::move(remote_up)) {}
 
   struct CallOptions {
     SimDuration request_latency = 0;
@@ -128,7 +146,8 @@ class ControlChannel {
     }
   }
 
-  Simulator& sim_;
+  ShardRef local_;
+  ShardRef remote_;
   Rng& rng_;
   std::string name_;
   FaultInjector* injector_;

@@ -5,6 +5,7 @@
 // TCSP (Fig. 3's "event/log" arrows).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -59,7 +60,7 @@ class EventBuffer : public EventSink {
       : capacity_(capacity > 0 ? capacity : 1) {}
 
   void OnEvent(const DeviceEvent& event) override {
-    ++total_;
+    total_.fetch_add(1, std::memory_order_relaxed);
     dirty_ = true;
     if (ring_.size() < capacity_) {
       ring_.push_back(event);
@@ -67,7 +68,7 @@ class EventBuffer : public EventSink {
     }
     ring_[head_] = event;
     head_ = (head_ + 1) % capacity_;
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Retained events, oldest first (linearised lazily after wraparound).
@@ -92,10 +93,16 @@ class EventBuffer : public EventSink {
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
-  /// Events evicted to make room (total_events - retained).
-  std::uint64_t dropped_events() const { return dropped_; }
+  /// Events evicted to make room (total_events - retained). The two
+  /// totals are relaxed-atomic cells so the telemetry collector can
+  /// read them cross-shard mid-window (docs/sharding.md).
+  std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
   /// All events ever offered to the buffer.
-  std::uint64_t total_events() const { return total_; }
+  std::uint64_t total_events() const {
+    return total_.load(std::memory_order_relaxed);
+  }
 
   void Clear() {
     ring_.clear();
@@ -109,8 +116,8 @@ class EventBuffer : public EventSink {
  private:
   std::size_t capacity_;
   std::size_t head_ = 0;  // oldest retained event once the ring is full
-  std::uint64_t dropped_ = 0;
-  std::uint64_t total_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> total_{0};
   std::vector<DeviceEvent> ring_;
   mutable std::vector<DeviceEvent> linear_;
   mutable bool dirty_ = false;

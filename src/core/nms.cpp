@@ -1,6 +1,7 @@
 #include "core/nms.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "obs/span.h"
 #include "obs/trace_context.h"
@@ -19,6 +20,7 @@ IspNms::IspNms(std::string isp_name, Network& net,
                const SafetyValidator* validator)
     : name_(std::move(isp_name)),
       net_(net),
+      sched_(net.control()),
       validator_(validator),
       control_rng_(DeploymentOriginTag(name_)),
       origin_tag_(DeploymentOriginTag(name_)) {
@@ -62,6 +64,12 @@ IspNms::~IspNms() {
 
 void IspNms::ManageNode(NodeId node) {
   if (devices_.contains(node)) return;
+  if (managed_.empty()) {
+    sched_ = net_.shard_at(node);  // first device pins the NMS's shard
+  } else {
+    assert(net_.shard_at(node).SameShard(sched_) &&
+           "an NMS and all its managed devices must share one shard");
+  }
   auto device = std::make_unique<AdaptiveDevice>(node, this);
   device->BindTelemetry(&net_.telemetry());
   net_.AddProcessor(node, device.get());
@@ -97,11 +105,13 @@ std::string IspNms::DeviceChannelName(NodeId node) const {
 ControlChannel& IspNms::DeviceChannel(NodeId node) {
   auto it = device_channels_.find(node);
   if (it == device_channels_.end()) {
+    // NMS and device share a shard (ManageNode contract), so the
+    // channel's both ends anchor there and the inline fast path holds.
     auto channel = std::make_unique<ControlChannel>(
-        net_.sim(), control_rng_, DeviceChannelName(node), injector_,
-        [this, node] {
+        sched_, net_.shard_at(node), control_rng_, DeviceChannelName(node),
+        injector_, [this, node] {
           return injector_ == nullptr ||
-                 injector_->DeviceUp(node, net_.sim().Now());
+                 injector_->DeviceUp(node, net_.Now());
         });
     channel->SetTracer(&net_.telemetry().tracer());
     it = device_channels_.emplace(node, std::move(channel)).first;
@@ -112,9 +122,12 @@ ControlChannel& IspNms::DeviceChannel(NodeId node) {
 ControlChannel& IspNms::PeerChannel(IspNms* peer) {
   auto it = peer_channels_.find(peer);
   if (it == peer_channels_.end()) {
+    // Peer relays cross management domains — and possibly shards: the
+    // remote end is the peer NMS's shard. Cross-shard peers need
+    // set_peer_latency >= the engine epoch.
     auto channel = std::make_unique<ControlChannel>(
-        net_.sim(), control_rng_, "nms:" + name_ + "->nms:" + peer->name(),
-        injector_);
+        sched_, peer->sched(), control_rng_,
+        "nms:" + name_ + "->nms:" + peer->name(), injector_);
     channel->SetTracer(&net_.telemetry().tracer());
     it = peer_channels_.emplace(peer, std::move(channel)).first;
   }
@@ -165,7 +178,7 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
   {
     obs::ScopedSpan validate_span(tracer, "cert.validate");
     if (const Status verified =
-            authority.Verify(instr.cert, net_.sim().Now());
+            authority.Verify(instr.cert, net_.Now());
         !verified.ok()) {
       stats_.deployments_rejected++;
       validate_span.Fail();
@@ -317,7 +330,7 @@ void IspNms::ScheduleRetrySweep() {
   sweep_scheduled_ = true;
   const SimDuration delay =
       retry_policy_.BackoffAfter(++sweep_attempt_, control_rng_);
-  net_.sim().ScheduleAfter(std::max<SimDuration>(delay, 1), [this] {
+  sched_.PostIn(std::max<SimDuration>(delay, 1), [this] {
     sweep_scheduled_ = false;
     stats_.retry_sweeps++;
     (void)ResyncLocalDevices(/*from_resync=*/false);
@@ -344,7 +357,7 @@ bool IspNms::AnyInstallPending() const {
 
 std::size_t IspNms::ResyncLocalDevices(bool from_resync) {
   std::size_t installed = 0;
-  const SimTime now = net_.sim().Now();
+  const SimTime now = net_.Now();
   obs::Tracer* tracer = net_.telemetry().tracing_enabled()
                             ? &net_.telemetry().tracer()
                             : nullptr;
@@ -424,7 +437,7 @@ std::size_t IspNms::ResyncNow() {
 void IspNms::StartResync(SimDuration period) {
   if (resync_running_) return;
   resync_running_ = true;
-  net_.sim().SchedulePeriodic(period, [this] {
+  sched_.PostEvery(period, [this] {
     if (!resync_running_) return false;
     ResyncNow();
     return true;

@@ -66,8 +66,15 @@ class IspNms : public EventSink {
   const std::string& name() const { return name_; }
 
   /// Puts an adaptive device next to the router at `node` and hooks it
-  /// into the datapath (Fig. 2). Idempotent per node.
+  /// into the datapath (Fig. 2). Idempotent per node. Shard affinity:
+  /// the first managed node pins this NMS to that node's shard, and every
+  /// later node must live on the same shard — an ISP's management system
+  /// and its devices are one sequential domain (docs/sharding.md).
   void ManageNode(NodeId node);
+
+  /// The shard this NMS (timers, channels, device state) executes on.
+  /// Control shard until the first ManageNode call pins it.
+  ShardRef sched() const { return sched_; }
   const std::vector<NodeId>& managed_nodes() const { return managed_; }
   AdaptiveDevice* device(NodeId node);
 
@@ -189,6 +196,7 @@ class IspNms : public EventSink {
 
   std::string name_;
   Network& net_;
+  ShardRef sched_;
   const SafetyValidator* validator_;
   FaultInjector* injector_ = nullptr;
   /// Control-plane randomness (backoff jitter, channel dice) is drawn

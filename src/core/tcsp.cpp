@@ -93,14 +93,15 @@ void Tcsp::AttachFaultInjector(FaultInjector* injector) {
 
 bool Tcsp::TcspReachable() const {
   return reachable_ &&
-         (injector_ == nullptr || injector_->TcspUp(net_.sim().Now()));
+         (injector_ == nullptr || injector_->TcspUp(net_.Now()));
 }
 
 ControlChannel& Tcsp::IspChannel(IspNms* nms) {
   auto it = isp_channels_.find(nms);
   if (it == isp_channels_.end()) {
     auto channel = std::make_unique<ControlChannel>(
-        net_.sim(), control_rng_, "tcsp->nms:" + nms->name(), injector_);
+        net_.control(), nms->sched(), control_rng_,
+        "tcsp->nms:" + nms->name(), injector_);
     // The tracer's address is stable for the world's lifetime and no-ops
     // without a sink, so the channel is always wired for tracing.
     channel->SetTracer(&net_.telemetry().tracer());
@@ -151,7 +152,7 @@ Result<OwnershipCertificate> Tcsp::Register(const std::string& subject,
   }
   stats_.registrations_accepted++;
   return ca_.Issue(next_subscriber_++, subject, std::move(claimed),
-                   net_.sim().Now(), config_.certificate_validity);
+                   net_.Now(), config_.certificate_validity);
 }
 
 void Tcsp::RegisterAsync(
@@ -160,7 +161,7 @@ void Tcsp::RegisterAsync(
   const SimDuration total = config_.user_to_tcsp_latency +
                             config_.authority_query_latency +
                             config_.user_to_tcsp_latency;
-  net_.sim().ScheduleAfter(
+  net_.control().PostIn(
       total, [this, subject = std::move(subject),
               claimed = std::move(claimed), done = std::move(done)] {
         done(Register(subject, claimed));
@@ -174,7 +175,7 @@ Result<OwnershipCertificate> Tcsp::RegisterDelegate(
     stats_.requests_while_unreachable++;
     return Status(Unavailable("TCSP unreachable"));
   }
-  if (const Status verified = ca_.Verify(owner_cert, net_.sim().Now());
+  if (const Status verified = ca_.Verify(owner_cert, net_.Now());
       !verified.ok()) {
     stats_.registrations_rejected++;
     return verified;
@@ -194,7 +195,7 @@ Result<OwnershipCertificate> Tcsp::RegisterDelegate(
   }
   stats_.registrations_accepted++;
   return ca_.Issue(next_subscriber_++, std::move(delegate_name),
-                   std::move(delegated_prefixes), net_.sim().Now(),
+                   std::move(delegated_prefixes), net_.Now(),
                    config_.certificate_validity);
 }
 
@@ -214,10 +215,10 @@ DeploymentReport Tcsp::DeployService(
     CompletionPolicy policy,
     std::function<void(const DeploymentReport&)> done) {
   const bool modelled = policy == CompletionPolicy::kLatencyModelled;
-  const SimTime requested_at = net_.sim().Now();
+  const SimTime requested_at = net_.Now();
   // The deploy span stays open across the scheduled ISP callbacks; its id
   // is captured explicitly (the active-span stack does not survive
-  // Simulator::ScheduleAfter hops).
+  // scheduler Post hops).
   obs::SpanId deploy_span = obs::kNoSpan;
   if (tracer() != nullptr) {
     deploy_span = tracer()->StartSpan("tcsp.deploy");
@@ -236,8 +237,8 @@ DeploymentReport Tcsp::DeployService(
       cb(report);
       return;
     }
-    net_.sim().ScheduleAfter(config_.user_to_tcsp_latency,
-                             [report, cb = std::move(cb)] { cb(report); });
+    net_.control().PostIn(config_.user_to_tcsp_latency,
+                          [report, cb = std::move(cb)] { cb(report); });
   };
 
   // Every deployment gets one instruction with one id, shared by every
@@ -318,6 +319,10 @@ DeploymentReport Tcsp::DeployService(
       opts.request_latency =
           config_.user_to_tcsp_latency + config_.tcsp_to_isp_latency +
           static_cast<SimDuration>(selected) * config_.device_config_time;
+      // The NMS's acknowledgement rides the same control network back.
+      // (Also keeps a cross-shard ISP channel inside the epoch contract:
+      // a zero-latency response leg cannot legally cross shards.)
+      opts.response_latency = config_.tcsp_to_isp_latency;
     }
     IspChannel(nms).Call(
         [this, instr, nms]() -> Status {
@@ -346,7 +351,7 @@ DeploymentReport Tcsp::DeployService(
             report->devices_configured += slot.devices_configured;
           }
           if (--*pending == 0) {
-            report->completed_at = net_.sim().Now();
+            report->completed_at = net_.Now();
             if (report->status.ok()) {
               stats_.deployments_completed++;
             } else {
@@ -424,7 +429,7 @@ DeploymentReport Tcsp::RelayFallback(
     report.devices_configured += outcome.devices_configured;
     report.isp_outcomes.push_back(std::move(outcome));
   }
-  report.completed_at = net_.sim().Now();
+  report.completed_at = net_.Now();
   if (report.status.ok()) {
     stats_.deployments_completed++;
   } else {

@@ -7,14 +7,14 @@ Client::Client(ClientConfig config) : config_(config) {}
 void Client::Start(SimDuration after, SimTime stop_at) {
   running_ = true;
   stop_at_ = stop_at;
-  sim().ScheduleAfter(after, [this] { SendRequest(); });
+  sched().PostIn(after, [this] { SendRequest(); });
   // Timeout sweep at 4x the timeout resolution.
-  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
-                                               Milliseconds(50)),
-                         [this] {
-                           ExpireRequests();
-                           return running_ || !outstanding_.empty();
-                         });
+  sched().PostEvery(std::max<SimDuration>(config_.timeout / 4,
+                                          Milliseconds(50)),
+                    [this] {
+                      ExpireRequests();
+                      return running_ || !outstanding_.empty();
+                    });
 }
 
 void Client::ScheduleNext() {
@@ -27,11 +27,11 @@ void Client::ScheduleNext() {
   if (rate <= 0.0) return;
   const double mean_gap_s = 1.0 / rate;
   const SimDuration gap = static_cast<SimDuration>(
-      (config_.poisson ? net().rng().NextExponential(mean_gap_s)
+      (config_.poisson ? rng().NextExponential(mean_gap_s)
                        : mean_gap_s) *
       1e9);
-  sim().ScheduleAfter(std::max<SimDuration>(gap, Microseconds(1)),
-                      [this] { SendRequest(); });
+  sched().PostIn(std::max<SimDuration>(gap, Microseconds(1)),
+                 [this] { SendRequest(); });
 }
 
 void Client::SendRequest() {
@@ -65,12 +65,12 @@ void Client::SendRequest() {
   // SendFromHost leaves pre-stamped packets alone.
   const SimTime now = Now();
   stats_.requests_sent++;
-  const PacketSerial serial = net().NextSerial();
+  const PacketSerial serial = net().NextSerialFor(id());
   request.serial = serial;
   request.true_origin = id();
   request.sent_at = now;
   request.payload_hash = serial;
-  net().metrics().RecordSend(request);
+  net().metrics_cell().RecordSend(request);
   outstanding_[serial] = Outstanding{now, now + config_.timeout};
   net().SendFromHost(id(), std::move(request));
 

@@ -1,14 +1,22 @@
 // End-host base class: convenience layer over net::Endpoint.
 //
 // Subclasses (servers, clients, attack agents, overlay nodes) get their
-// assigned address, a handle to the world, and packet construction/send
-// helpers. Spoofing is explicit: MakePacket() stamps the host's real
-// address; a caller that overwrites `src` must also set `spoofed_src` so
-// ground-truth accounting stays correct (the attack layer does).
+// assigned address, a handle to the world, a per-host RNG stream, and
+// packet construction/send helpers. Spoofing is explicit: MakePacket()
+// stamps the host's real address; a caller that overwrites `src` must
+// also set `spoofed_src` so ground-truth accounting stays correct (the
+// attack layer does).
+//
+// Sharding: a host lives on its access router's shard. `sched()` is the
+// ShardRef all of the host's timers go through, and `rng()` is a private
+// stream forked at attach time (attach order is a construction-time,
+// main-thread decision), so host behaviour is identical for every shard
+// count (docs/sharding.md).
 #pragma once
 
 #include <cassert>
 
+#include "common/rng.h"
 #include "net/network.h"
 
 namespace adtc {
@@ -20,6 +28,8 @@ class Host : public Endpoint {
   void Bind(Network& net, HostId id) final {
     net_ = &net;
     id_ = id;
+    sched_ = net.shard_at(net.host_node(id));
+    rng_ = net.rng().Fork();
   }
 
   HostId id() const { return id_; }
@@ -29,8 +39,11 @@ class Host : public Endpoint {
     assert(net_ != nullptr && "host not attached");
     return *net_;
   }
-  Simulator& sim() const { return net().sim(); }
-  SimTime Now() const { return net().sim().Now(); }
+  /// The host's shard scheduler — all of this host's timers live here.
+  ShardRef sched() const { return sched_; }
+  SimTime Now() const { return sched_.Now(); }
+  /// Host-private deterministic random stream (never share across hosts).
+  Rng& rng() { return rng_; }
 
   bool IsUp() const override { return up_; }
   void SetUp(bool up) { up_ = up; }
@@ -52,6 +65,8 @@ class Host : public Endpoint {
  private:
   Network* net_ = nullptr;
   HostId id_ = kInvalidHost;
+  ShardRef sched_;
+  Rng rng_;
   bool up_ = true;
 };
 
@@ -62,7 +77,7 @@ H* SpawnHost(Network& net, NodeId node, const LinkParams& access,
              Args&&... args) {
   auto host = std::make_unique<H>(std::forward<Args>(args)...);
   H* raw = host.get();
-  net.AttachHost(std::move(host), node, access);
+  net.AttachEndpoint(std::move(host), node, access);
   return raw;
 }
 

@@ -68,7 +68,7 @@ void Server::HandlePacket(Packet&& packet) {
   if (!ConsumeCpuToken()) {
     stats_.denied_cpu++;
     if (legit) stats_.legit_denied_cpu++;
-    net().metrics().RecordDrop(packet, DropReason::kHostOverload);
+    net().metrics_cell().RecordDrop(packet, DropReason::kHostOverload);
     return;
   }
 
@@ -109,7 +109,7 @@ void Server::HandlePacket(Packet&& packet) {
         if (half_open_.size() >= config_.conn_table_size) {
           stats_.denied_conn_table++;
           if (legit) stats_.legit_denied_conn++;
-          net().metrics().RecordDrop(packet, DropReason::kHostOverload);
+          net().metrics_cell().RecordDrop(packet, DropReason::kHostOverload);
           return;
         }
         half_open_[ConnKey(packet.src, packet.src_port)] =

@@ -8,7 +8,7 @@ SessionHost::SessionHost(SessionHostConfig config)
 void SessionHost::Start() {
   started_ = true;
   session_alive_.assign(config_.session_count, true);
-  sim().SchedulePeriodic(config_.keepalive_every, [this] {
+  sched().PostEvery(config_.keepalive_every, [this] {
     SendKeepalives();
     return started_;
   });

@@ -32,12 +32,12 @@ void I3Node::HandlePacket(Packet&& packet) {
     proxied.dst_port = it->second.port;
     proxied.src_port = kI3ProxyPort;
     proxied.klass = packet.klass;
-    const PacketSerial serial = net().NextSerial();
+    const PacketSerial serial = net().NextSerialFor(id());
     proxied.serial = serial;
     proxied.true_origin = id();
     proxied.sent_at = Now();
     proxied.payload_hash = serial;
-    net().metrics().RecordSend(proxied);
+    net().metrics_cell().RecordSend(proxied);
     pending_[serial] = {packet.payload_hash, packet.src};
     forwarded_++;
     SendPacket(std::move(proxied));
@@ -59,9 +59,9 @@ void I3Node::HandlePacket(Packet&& packet) {
 
 void I3Client::Start(SimDuration after) {
   running_ = true;
-  sim().ScheduleAfter(after, [this] { SendOne(); });
-  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
-                                               Milliseconds(50)),
+  sched().PostIn(after, [this] { SendOne(); });
+  sched().PostEvery(std::max<SimDuration>(config_.timeout / 4,
+                                          Milliseconds(50)),
                          [this] {
                            Sweep();
                            return running_ || !outstanding_.empty();
@@ -83,8 +83,8 @@ void I3Client::SendOne() {
   SendPacket(std::move(request));
 
   const double gap_s =
-      net().rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
-  sim().ScheduleAfter(
+      rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
+  sched().PostIn(
       std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
                             Microseconds(1)),
       [this] { SendOne(); });

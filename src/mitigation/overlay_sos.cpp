@@ -38,12 +38,12 @@ void OverlayNode::ForwardRequest(const Packet& request) {
     to_target.dst_port = target_port_;
     to_target.src_port = kServletProxyPort;
     to_target.klass = request.klass;
-    const PacketSerial serial = net().NextSerial();
+    const PacketSerial serial = net().NextSerialFor(id());
     to_target.serial = serial;
     to_target.true_origin = id();
     to_target.sent_at = Now();
     to_target.payload_hash = serial;
-    net().metrics().RecordSend(to_target);
+    net().metrics_cell().RecordSend(to_target);
     target_requests_[serial] = request.payload_hash;
     SendPacket(std::move(to_target));
     return;
@@ -73,9 +73,9 @@ void OverlayNode::ForwardReplyBack(std::uint64_t txn, const Packet& reply) {
 
 void SosClient::Start(SimDuration after) {
   running_ = true;
-  sim().ScheduleAfter(after, [this] { SendOne(); });
-  sim().SchedulePeriodic(std::max<SimDuration>(config_.timeout / 4,
-                                               Milliseconds(50)),
+  sched().PostIn(after, [this] { SendOne(); });
+  sched().PostEvery(std::max<SimDuration>(config_.timeout / 4,
+                                          Milliseconds(50)),
                          [this] {
                            Sweep();
                            return running_ || !outstanding_.empty();
@@ -88,7 +88,7 @@ void SosClient::SendOne() {
     // Each request may enter via a different SOAP (resilience against a
     // flooded access point).
     const Ipv4Address soap =
-        config_.soaps[net().rng().NextBelow(config_.soaps.size())];
+        config_.soaps[rng().NextBelow(config_.soaps.size())];
     const std::uint64_t txn =
         (static_cast<std::uint64_t>(id()) << 32) | next_txn_++;
     Packet request = MakePacket(soap, Protocol::kUdp, config_.request_bytes);
@@ -101,8 +101,8 @@ void SosClient::SendOne() {
     SendPacket(std::move(request));
   }
   const double gap_s =
-      net().rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
-  sim().ScheduleAfter(
+      rng().NextExponential(1.0 / std::max(config_.request_rate, 1e-9));
+  sched().PostIn(
       std::max<SimDuration>(static_cast<SimDuration>(gap_s * 1e9),
                             Microseconds(1)),
       [this] { SendOne(); });

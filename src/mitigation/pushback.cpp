@@ -49,7 +49,10 @@ bool PushbackSystem::EnabledOn(NodeId node) const {
 void PushbackSystem::Start() {
   if (started_) return;
   started_ = true;
-  net_.sim().SchedulePeriodic(config_.window, [this] {
+  // The monitoring loop ticks on the control shard. Pushback keeps
+  // global monitoring state (window_drops_ spans every cooperating
+  // router), so it is single-shard-only (docs/sharding.md).
+  net_.control().PostEvery(config_.window, [this] {
     MonitorTick();
     return true;
   });
@@ -66,7 +69,7 @@ void PushbackSystem::OnQueueDrop(const Packet& packet, LinkId link_id) {
 }
 
 void PushbackSystem::MonitorTick() {
-  const SimTime now = net_.sim().Now();
+  const SimTime now = net_.Now();
 
   // Expire stale rules.
   for (auto& [node, limiter] : limiters_) {
@@ -108,10 +111,10 @@ void PushbackSystem::InstallRule(NodeId node, std::uint32_t prefix_base,
   auto it = limiters_.find(node);
   if (it == limiters_.end()) return;
   auto& rule = it->second->rules[prefix_base];
-  rule.expires_at = net_.sim().Now() + config_.rule_timeout;
+  rule.expires_at = net_.Now() + config_.rule_timeout;
   if (rule.refilled_at == 0) {
     rule.tokens = config_.limit_pps;
-    rule.refilled_at = net_.sim().Now();
+    rule.refilled_at = net_.Now();
   }
   stats_.rules_installed++;
 
@@ -128,10 +131,13 @@ void PushbackSystem::InstallRule(NodeId node, std::uint32_t prefix_base,
     stats_.propagation_blocked++;
     return;
   }
-  net_.sim().ScheduleAfter(
-      config_.message_delay,
+  // The pushback message travels to the upstream router and the rule
+  // install executes on *its* shard (rules are touched only by their
+  // router's shard plus the control-shard expiry sweep).
+  net_.shard_at(upstream).Post(
+      net_.Now() + config_.message_delay,
       [this, upstream, prefix_base, remaining_depth] {
-        InstallRule(upstream, prefix_base, net_.sim().Now(),
+        InstallRule(upstream, prefix_base, net_.Now(),
                     remaining_depth - 1);
       });
   (void)now;

@@ -8,7 +8,7 @@ PpmSystem::PpmSystem(Network& net, Config config)
     : net_(net), config_(config) {}
 
 void PpmSystem::EnableOn(NodeId node) {
-  auto marker = std::make_unique<Marker>(this, node);
+  auto marker = std::make_unique<Marker>(this, node, net_.rng().Fork());
   net_.AddProcessor(node, marker.get());
   markers_.push_back(std::move(marker));
 }
@@ -20,8 +20,7 @@ void PpmSystem::EnableAll() {
 Verdict PpmSystem::Marker::Process(Packet& packet,
                                    const RouterContext& ctx) {
   (void)ctx;
-  Rng& rng = system_->net_.rng();
-  if (rng.NextBool(system_->config_.marking_probability)) {
+  if (rng_.NextBool(system_->config_.marking_probability)) {
     // Start a new edge sample at this router.
     packet.ppm.edge_start = node_;
     packet.ppm.edge_end = kInvalidNode;

@@ -39,15 +39,20 @@ class PpmSystem {
   std::size_t distinct_edges() const { return edges_.size(); }
 
  private:
+  /// One marker per participating router; each owns a private RNG stream
+  /// (forked at enable time) so marking decisions run contention-free on
+  /// the router's shard and are independent of the shard count.
   class Marker : public PacketProcessor {
    public:
-    Marker(PpmSystem* system, NodeId node) : system_(system), node_(node) {}
+    Marker(PpmSystem* system, NodeId node, Rng rng)
+        : system_(system), node_(node), rng_(rng) {}
     Verdict Process(Packet& packet, const RouterContext& ctx) override;
     std::string_view name() const override { return "ppm-marker"; }
 
    private:
     PpmSystem* system_;
     NodeId node_;
+    Rng rng_;
   };
 
   Network& net_;

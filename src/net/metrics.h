@@ -2,6 +2,11 @@
 //
 // All quantities are derived from ground-truth packet labels, so they are
 // exact (no sampling). The experiment harness reads these after a run.
+//
+// Sharded worlds keep one Metrics cell block per shard (contention-free
+// single-writer hot path; cells are obs::Counter so the time-series
+// sampler may read them mid-window from the control shard) and aggregate
+// with Merge — Network::metrics() returns the merged view.
 #pragma once
 
 #include <array>
@@ -9,6 +14,7 @@
 
 #include "common/stats.h"
 #include "net/packet.h"
+#include "obs/metrics_registry.h"
 
 namespace adtc {
 
@@ -30,18 +36,18 @@ inline constexpr std::size_t kDropReasonCount =
     static_cast<std::size_t>(DropReason::kCount_);
 
 struct Metrics {
-  std::array<std::uint64_t, kTrafficClassCount> packets_sent{};
-  std::array<std::uint64_t, kTrafficClassCount> packets_delivered{};
-  std::array<std::uint64_t, kTrafficClassCount> bytes_sent{};
-  std::array<std::uint64_t, kTrafficClassCount> bytes_delivered{};
-  std::array<std::array<std::uint64_t, kDropReasonCount>, kTrafficClassCount>
+  std::array<obs::Counter, kTrafficClassCount> packets_sent{};
+  std::array<obs::Counter, kTrafficClassCount> packets_delivered{};
+  std::array<obs::Counter, kTrafficClassCount> bytes_sent{};
+  std::array<obs::Counter, kTrafficClassCount> bytes_delivered{};
+  std::array<std::array<obs::Counter, kDropReasonCount>, kTrafficClassCount>
       packets_dropped{};
 
   /// bytes x links traversed by attack+reflected traffic: the "network
   /// resources wasted for transporting attack traffic around the globe"
   /// quantity of Sec. 6.
-  std::uint64_t attack_byte_hops = 0;
-  std::uint64_t legit_byte_hops = 0;
+  obs::Counter attack_byte_hops;
+  obs::Counter legit_byte_hops;
 
   /// Hop count already travelled when a filter dropped an attack packet
   /// (distance-from-source metric of experiment T2).
@@ -55,7 +61,9 @@ struct Metrics {
   }
   std::uint64_t dropped(TrafficClass c) const {
     std::uint64_t total = 0;
-    for (auto v : packets_dropped[static_cast<std::size_t>(c)]) total += v;
+    for (const auto& v : packets_dropped[static_cast<std::size_t>(c)]) {
+      total += v;
+    }
     return total;
   }
   std::uint64_t dropped(TrafficClass c, DropReason r) const {
@@ -87,6 +95,32 @@ struct Metrics {
     } else if (p.klass == TrafficClass::kLegitimate) {
       legit_byte_hops += p.size_bytes;
     }
+  }
+
+  /// Folds another shard's counter cells into this one. The cells are
+  /// relaxed atomics, so this is safe even while `other`'s shard is
+  /// mid-window — the mid-window readout may trail the hot path, but
+  /// never tears. Skips `attack_drop_hops` (not atomically readable).
+  void MergeCounters(const Metrics& other) {
+    for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
+      packets_sent[c] += other.packets_sent[c];
+      packets_delivered[c] += other.packets_delivered[c];
+      bytes_sent[c] += other.bytes_sent[c];
+      bytes_delivered[c] += other.bytes_delivered[c];
+      for (std::size_t r = 0; r < kDropReasonCount; ++r) {
+        packets_dropped[c][r] += other.packets_dropped[c][r];
+      }
+    }
+    attack_byte_hops += other.attack_byte_hops;
+    legit_byte_hops += other.legit_byte_hops;
+  }
+
+  /// Folds another shard's full cell block into this one, including the
+  /// SummaryStats cell (end-of-run or barrier-time aggregation only;
+  /// never called while `other`'s shard runs).
+  void Merge(const Metrics& other) {
+    MergeCounters(other);
+    attack_drop_hops.Merge(other.attack_drop_hops);
   }
 };
 

@@ -33,35 +33,49 @@ std::string_view DropReasonName(DropReason reason) {
   return "?";
 }
 
-Network::Network(std::uint64_t seed) : rng_(seed), telemetry_(sim_) {
+Network::Network(std::uint64_t seed, std::size_t num_shards)
+    : engine_(num_shards, seed),
+      rng_(seed),
+      metrics_(engine_.shard_count()),
+      telemetry_(*engine_.control().get()) {
+  // Span timestamps must come from the executing shard's clock, not the
+  // control shard's (which is mid-window stale on worker threads).
+  telemetry_.tracer().SetClock([this] { return engine_.Now(); });
   // Publish the world's exact per-class ground-truth counters through the
   // registry, so the time-series sampler sees attack/mitigation dynamics
-  // without any extra accounting on the datapath.
+  // without any extra accounting on the datapath. Cells are relaxed
+  // atomics; a mid-window readout may trail the hot path by up to one
+  // epoch (exact at every barrier).
   telemetry_.registry().AddCollector(this, [this](
                                                obs::MetricsSnapshot& out) {
+    // Counters-only merge: the collector runs mid-window on the control
+    // shard while other shards write their cells, so it must not touch
+    // the non-atomic SummaryStats cell (docs/sharding.md).
+    Metrics merged;
+    for (const Metrics& cell : metrics_) merged.MergeCounters(cell);
     for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
       const auto klass = static_cast<TrafficClass>(c);
       const std::string prefix =
           "net.class." + std::string(TrafficClassName(klass)) + ".";
       out.push_back({prefix + "sent",
-                     static_cast<double>(metrics_.packets_sent[c])});
+                     static_cast<double>(merged.packets_sent[c])});
       out.push_back({prefix + "delivered",
-                     static_cast<double>(metrics_.packets_delivered[c])});
+                     static_cast<double>(merged.packets_delivered[c])});
       out.push_back(
-          {prefix + "dropped", static_cast<double>(metrics_.dropped(klass))});
+          {prefix + "dropped", static_cast<double>(merged.dropped(klass))});
     }
     out.push_back({"net.attack_byte_hops",
-                   static_cast<double>(metrics_.attack_byte_hops)});
+                   static_cast<double>(merged.attack_byte_hops)});
     out.push_back({"net.legit_byte_hops",
-                   static_cast<double>(metrics_.legit_byte_hops)});
+                   static_cast<double>(merged.legit_byte_hops)});
     out.push_back({"sim.executed_events",
-                   static_cast<double>(sim_.executed_events())});
+                   static_cast<double>(engine_.executed_events())});
     // The transport-caused entry of the datapath drop taxonomy: device
     // policy drops are counted per reason by each AdaptiveDevice, queue
     // overflows happen here in the packet network.
     std::uint64_t queue_drops = 0;
     for (std::size_t c = 0; c < kTrafficClassCount; ++c) {
-      queue_drops += metrics_.packets_dropped[c][static_cast<std::size_t>(
+      queue_drops += merged.packets_dropped[c][static_cast<std::size_t>(
           DropReason::kQueueFull)];
     }
     out.push_back(
@@ -71,11 +85,21 @@ Network::Network(std::uint64_t seed) : rng_(seed), telemetry_(sim_) {
   });
 }
 
-NodeId Network::AddNode(NodeRole role) {
+Metrics Network::metrics() const {
+  Metrics merged = metrics_[0];
+  for (std::size_t s = 1; s < metrics_.size(); ++s) {
+    merged.Merge(metrics_[s]);
+  }
+  return merged;
+}
+
+NodeId Network::AddNode(NodeRole role, ShardId shard) {
   assert(!routing_built_ && "topology is frozen after FinalizeRouting()");
+  assert(shard < engine_.shard_count() && "shard out of range");
   const auto id = static_cast<NodeId>(nodes_.size());
   Node node;
   node.role = role;
+  node.shard = shard;
   nodes_.push_back(std::move(node));
   return id;
 }
@@ -109,10 +133,14 @@ std::pair<LinkId, LinkId> Network::Connect(NodeId a, NodeId b,
   return {ab, ba};
 }
 
-HostId Network::AttachHost(std::unique_ptr<Endpoint> endpoint, NodeId node,
-                           const LinkParams& access) {
+HostId Network::AttachEndpoint(std::unique_ptr<Endpoint> endpoint,
+                               NodeId node, const LinkParams& access,
+                               ShardId shard) {
   assert(node < nodes_.size());
   Node& router = nodes_[node];
+  assert((shard == kInvalidShard || shard == router.shard) &&
+         "endpoints live on their access router's shard");
+  (void)shard;
   assert(router.host_slots.size() < kHostsPerNode &&
          "address space under this node exhausted");
 
@@ -172,6 +200,22 @@ void Network::FinalizeRouting() {
     }
   }
   routing_built_ = true;
+
+  // Conservative lookahead: the epoch is the smallest propagation delay
+  // of any link whose two sides live on different shards. Events cannot
+  // cross shards faster than that, so the engine may run each shard one
+  // epoch ahead without ever missing an arrival (docs/sharding.md).
+  SimDuration min_cross = kSimTimeMax;
+  for (const Link& link : links_) {
+    if (ShardOf(link.from) == ShardOf(link.to)) continue;
+    min_cross = std::min(min_cross, link.params.delay);
+  }
+  if (min_cross != kSimTimeMax) engine_.SetEpoch(min_cross);
+}
+
+ShardId Network::ShardOf(const LinkTarget& target) const {
+  return target.is_host ? nodes_[hosts_[target.id].node].shard
+                        : nodes_[target.id].shard;
 }
 
 void Network::AddProcessor(NodeId node, PacketProcessor* processor) {
@@ -221,40 +265,53 @@ std::vector<NodeId> Network::PathBetween(NodeId a, NodeId b) const {
   return path;
 }
 
+PacketSerial Network::NextSerialFor(HostId host) {
+  // Per-origin serial spaces: the high word tags the origin, the low word
+  // counts its packets. Identities are unique world-wide yet independent
+  // of how shards interleave — the determinism anchor for sharded runs.
+  HostRecord& record = hosts_[host];
+  return (static_cast<PacketSerial>(host) + 1) << 32 | ++record.next_serial;
+}
+
+PacketSerial Network::NextSerialForNode(NodeId node) {
+  return (PacketSerial{1} << 63) |
+         (static_cast<PacketSerial>(node) << 32) | ++nodes_[node].next_serial;
+}
+
 void Network::SendFromHost(HostId host, Packet packet) {
   assert(host < hosts_.size());
   const HostRecord& record = hosts_[host];
   // A sender may pre-stamp the serial (to correlate replies before the
   // packet leaves); in that case it has already recorded the send.
   if (packet.serial == 0) {
-    packet.serial = NextSerial();
+    packet.serial = NextSerialFor(host);
     packet.true_origin = host;
-    packet.sent_at = sim_.Now();
+    packet.sent_at = Now();
     if (packet.payload_hash == 0) packet.payload_hash = packet.serial;
-    metrics_.RecordSend(packet);
+    metrics_cell().RecordSend(packet);
   }
   packet.hops = 0;
   LinkSend(record.uplink, std::move(packet));
 }
 
 void Network::InjectAtNode(NodeId node, Packet packet) {
-  packet.serial = NextSerial();
-  packet.sent_at = sim_.Now();
+  packet.serial = NextSerialForNode(node);
+  packet.sent_at = Now();
   packet.hops = 0;
   if (packet.payload_hash == 0) packet.payload_hash = packet.serial;
-  metrics_.RecordSend(packet);
+  metrics_cell().RecordSend(packet);
   RouterReceive(node, kInvalidLink, std::move(packet));
 }
 
 void Network::LinkSend(LinkId link_id, Packet packet) {
   Link& link = links_[link_id];
-  const SimTime now = sim_.Now();
+  const SimTime now = Now();
 
   if (link.queued_bytes + packet.size_bytes >
       link.params.buffer_bytes) {
     link.stats.dropped_packets++;
     link.stats.dropped_bytes += packet.size_bytes;
-    metrics_.RecordDrop(packet, DropReason::kQueueFull);
+    metrics_cell().RecordDrop(packet, DropReason::kQueueFull);
     if (drop_observer_) drop_observer_(packet, link_id);
     return;
   }
@@ -270,17 +327,21 @@ void Network::LinkSend(LinkId link_id, Packet packet) {
   link.stats.forwarded_bytes += packet.size_bytes;
   link.stats.forwarded_bytes_by_class[static_cast<std::size_t>(
       packet.klass)] += packet.size_bytes;
-  metrics_.RecordHop(packet);
+  metrics_cell().RecordHop(packet);
 
   const SimTime arrive = finish + link.params.delay;
   const std::uint32_t size = packet.size_bytes;
-  sim_.ScheduleAt(finish, [this, link_id, size] {
+  // Link state (queued_bytes) is owned by the sending side's shard; the
+  // arrival executes on the receiving side's shard. For a cross-shard
+  // link, delay >= epoch guarantees the arrival lands beyond the current
+  // window and crosses cleanly at the barrier.
+  engine_.shard(ShardOf(link.from)).Post(finish, [this, link_id, size] {
     links_[link_id].queued_bytes -= size;
   });
-  sim_.ScheduleAt(arrive,
-                  [this, link_id, p = std::move(packet)]() mutable {
-                    LinkArrive(link_id, std::move(p));
-                  });
+  engine_.shard(ShardOf(link.to))
+      .Post(arrive, [this, link_id, p = std::move(packet)]() mutable {
+        LinkArrive(link_id, std::move(p));
+      });
 }
 
 void Network::LinkArrive(LinkId link_id, Packet packet) {
@@ -288,10 +349,10 @@ void Network::LinkArrive(LinkId link_id, Packet packet) {
   if (link.to.is_host) {
     HostRecord& record = hosts_[link.to.id];
     if (!record.endpoint->IsUp()) {
-      metrics_.RecordDrop(packet, DropReason::kHostDown);
+      metrics_cell().RecordDrop(packet, DropReason::kHostDown);
       return;
     }
-    metrics_.RecordDelivery(packet);
+    metrics_cell().RecordDelivery(packet);
     record.endpoint->HandlePacket(std::move(packet));
     return;
   }
@@ -306,7 +367,7 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
   // the first-hop router of the source (hops==0 means we're at the edge).
   if (!local_dest) {
     if (packet.ttl == 0) {
-      metrics_.RecordDrop(packet, DropReason::kTtlExpired);
+      metrics_cell().RecordDrop(packet, DropReason::kTtlExpired);
       MaybeSendIcmpError(node_id, packet, IcmpType::kTimeExceeded);
       return;
     }
@@ -321,7 +382,7 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
   ctx.in_link = in_link;
   ctx.in_kind = in_link == kInvalidLink ? LinkKind::kPeer
                                         : links_[in_link].kind;
-  ctx.now = sim_.Now();
+  ctx.now = Now();
 
   // The processor chain consumes batches; link serialisation delivers one
   // packet per arrival event, so the router's batch is a batch of one
@@ -333,7 +394,7 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
     processor->ProcessBatch(batch, ctx);
     if (batch.alive_count() == 0) {
       node.filtered++;
-      metrics_.RecordDrop(packet, DropReason::kFiltered);
+      metrics_cell().RecordDrop(packet, DropReason::kFiltered);
       return;
     }
   }
@@ -345,13 +406,13 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
 
   const NodeId dest_node = AddressNode(packet.dst);
   if (dest_node >= nodes_.size()) {
-    metrics_.RecordDrop(packet, DropReason::kNoRoute);
+    metrics_cell().RecordDrop(packet, DropReason::kNoRoute);
     MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
     return;
   }
   const NodeId next = NextHop(node_id, dest_node);
   if (next == kInvalidNode) {
-    metrics_.RecordDrop(packet, DropReason::kNoRoute);
+    metrics_cell().RecordDrop(packet, DropReason::kNoRoute);
     MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
     return;
   }
@@ -363,7 +424,7 @@ void Network::RouterReceive(NodeId node_id, LinkId in_link, Packet packet) {
       return;
     }
   }
-  metrics_.RecordDrop(packet, DropReason::kNoRoute);
+  metrics_cell().RecordDrop(packet, DropReason::kNoRoute);
 }
 
 void Network::DeliverLocal(NodeId node_id, LinkId /*in_link*/,
@@ -371,7 +432,7 @@ void Network::DeliverLocal(NodeId node_id, LinkId /*in_link*/,
   const std::uint32_t slot = AddressSlot(packet.dst);
   const HostId host = HostAt(node_id, slot);
   if (host == kInvalidHost) {
-    metrics_.RecordDrop(packet, DropReason::kNoHost);
+    metrics_cell().RecordDrop(packet, DropReason::kNoHost);
     MaybeSendIcmpError(node_id, packet, IcmpType::kDestUnreachable);
     return;
   }
@@ -390,7 +451,7 @@ void Network::MaybeSendIcmpError(NodeId node_id, const Packet& cause,
   }
   Node& node = nodes_[node_id];
   // Token bucket: 10 errors/s per router, burst 10.
-  const SimTime now = sim_.Now();
+  const SimTime now = Now();
   if (node.icmp_refill_at == 0) node.icmp_refill_at = now;
   const double refill =
       static_cast<double>(now - node.icmp_refill_at) / 1e9 * 10.0;

@@ -1,8 +1,15 @@
 // The simulated world: topology + routing + data plane + attached hosts.
 //
 // One Network instance is one deterministic experiment replicate. It owns
-// the event queue, the RNG, all routers/links/hosts, and the global
-// metrics. Replicate-level parallelism never shares a Network.
+// the sharded event engine, the RNG, all routers/links/hosts, and the
+// global metrics. Replicate-level parallelism never shares a Network.
+//
+// Sharding (docs/sharding.md): the world is partitioned by router —
+// AddNode pins each router (its links' sending sides, processors and
+// attached hosts) to a shard; a one-shard world is the classic
+// single-threaded simulator through the exact same API. Components
+// schedule through ShardRef handles (`control()`, `shard_at(node)`)
+// rather than a global event queue.
 #pragma once
 
 #include <cstdint>
@@ -18,7 +25,8 @@
 #include "net/packet.h"
 #include "net/router.h"
 #include "obs/telemetry.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
+#include "sim/sharded.h"
 
 namespace adtc {
 
@@ -31,7 +39,8 @@ class Endpoint {
   virtual void HandlePacket(Packet&& packet) = 0;
   /// A crashed/overloaded-down host blackholes deliveries.
   virtual bool IsUp() const { return true; }
-  /// Wiring callback: invoked by Network::AttachHost before OnAttached.
+  /// Wiring callback: invoked by Network::AttachEndpoint before
+  /// OnAttached.
   virtual void Bind(Network& net, HostId id) {
     (void)net;
     (void)id;
@@ -47,16 +56,21 @@ struct HostRecord {
   Ipv4Address address;
   LinkId uplink = kInvalidLink;    // host -> router
   LinkId downlink = kInvalidLink;  // router -> host
+  /// Per-host serial space (host-shard-owned; see Network::NextSerialFor).
+  std::uint64_t next_serial = 0;
 };
 
 class Network {
  public:
-  explicit Network(std::uint64_t seed = 1);
+  explicit Network(std::uint64_t seed = 1, std::size_t num_shards = 1);
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
   // --- construction -------------------------------------------------------
-  NodeId AddNode(NodeRole role);
+  /// Adds a router pinned to `shard` (< shard_count()). Everything the
+  /// router owns — sending link sides, processors, attached hosts —
+  /// executes on that shard.
+  NodeId AddNode(NodeRole role, ShardId shard = 0);
 
   /// Connects two routers with a duplex link (one Link each way).
   /// `kind_ab` describes the a->b direction; the reverse direction gets the
@@ -66,13 +80,20 @@ class Network {
                                     const LinkParams& params,
                                     LinkKind kind_ab);
 
-  /// Attaches a host to `node` with the given access-link parameters and
-  /// returns its id. The endpoint's address becomes HostAddress(node, slot).
-  HostId AttachHost(std::unique_ptr<Endpoint> endpoint, NodeId node,
-                    const LinkParams& access);
+  /// Attaches an endpoint to `node` with the given access-link parameters
+  /// and returns its id. The endpoint's address becomes
+  /// HostAddress(node, slot), its shard the node's shard. An explicit
+  /// `shard` (anything but kInvalidShard) is a placement assertion: it
+  /// must equal the node's shard — endpoints cannot live away from their
+  /// access router.
+  HostId AttachEndpoint(std::unique_ptr<Endpoint> endpoint, NodeId node,
+                        const LinkParams& access,
+                        ShardId shard = kInvalidShard);
 
-  /// Builds shortest-path next-hop tables. Must be called after topology
-  /// construction and before any traffic. Idempotent.
+  /// Builds shortest-path next-hop tables and sizes the engine's epoch to
+  /// the minimum cross-shard link delay (the conservative lookahead).
+  /// Must be called after topology construction and before any traffic.
+  /// Idempotent.
   void FinalizeRouting();
 
   /// Registers an inline processor on a router (non-owning; callers keep
@@ -87,14 +108,50 @@ class Network {
   void SendFromHost(HostId host, Packet packet);
 
   /// Injects a packet directly at a router (used by in-network services
-  /// that originate management traffic).
+  /// that originate management traffic). Must be called on the node's
+  /// shard (or from the main thread between runs).
   void InjectAtNode(NodeId node, Packet packet);
 
+  // --- scheduling / time --------------------------------------------------
+  ShardedSimulator& engine() { return engine_; }
+  const ShardedSimulator& engine() const { return engine_; }
+  std::size_t shard_count() const { return engine_.shard_count(); }
+
+  /// The control shard (shard 0): management-plane services (TCSP, CA,
+  /// experiment drivers) schedule here.
+  ShardRef control() { return engine_.control(); }
+  ShardRef shard(ShardId id) { return engine_.shard(id); }
+  /// Scheduler of the shard owning `node`.
+  ShardRef shard_at(NodeId node) {
+    return engine_.shard(nodes_[node].shard);
+  }
+  ShardId node_shard(NodeId node) const { return nodes_[node].shard; }
+  ShardId host_shard(HostId host) const {
+    return nodes_[hosts_[host].node].shard;
+  }
+
+  /// Current simulated time (the executing shard's clock on a worker
+  /// thread; the barrier time on the main thread).
+  SimTime Now() const { return engine_.Now(); }
+
+  /// Runs the simulation for `duration` of simulated time.
+  void Run(SimDuration duration) { engine_.RunUntil(Now() + duration); }
+  std::uint64_t RunUntil(SimTime until) { return engine_.RunUntil(until); }
+  std::uint64_t RunToCompletion() { return engine_.RunToCompletion(); }
+
   // --- queries ------------------------------------------------------------
-  Simulator& sim() { return sim_; }
   Rng& rng() { return rng_; }
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+
+  /// Merged world metrics (aggregates every shard's cell block). Returns
+  /// by value: bind `const Metrics&`/`auto` for end-of-run reads; the
+  /// snapshot does not track later simulation.
+  Metrics metrics() const;
+  /// This shard's mutable cell block — the single-writer accounting cell
+  /// for code running on the current shard (hosts, processors).
+  Metrics& metrics_cell() {
+    return metrics_[engine_.CurrentShardIndex()];
+  }
+
   /// World telemetry: metrics registry, tracer, time-series sampler.
   /// The world's per-class Metrics are pre-registered as a collector
   /// under "net.class.<class>.{sent,delivered,dropped}".
@@ -128,7 +185,12 @@ class Network {
   /// Next hop from `from` toward `to` (kInvalidNode if unreachable).
   NodeId NextHop(NodeId from, NodeId to) const;
 
-  PacketSerial NextSerial() { return ++serial_; }
+  /// Fresh serial from the host's own serial space (host-shard-owned:
+  /// packet identities do not depend on cross-shard interleaving).
+  PacketSerial NextSerialFor(HostId host);
+  /// Fresh serial from a router's serial space (ICMP errors, service
+  /// traffic injected at the node).
+  PacketSerial NextSerialForNode(NodeId node);
 
   /// Emit ICMP error packets (time-exceeded / dest-unreachable) from
   /// routers — this is what makes routers usable as reflectors (Sec. 2.2).
@@ -137,17 +199,17 @@ class Network {
 
   /// Observer invoked on every queue-overflow drop (packet, congested
   /// link). Pushback's congestion monitoring hangs off this — it is what
-  /// a real router's drop statistics would expose.
+  /// a real router's drop statistics would expose. The observer runs on
+  /// the shard of the congested link's sender; observers of multi-shard
+  /// worlds must be shard-safe.
   using DropObserver = std::function<void(const Packet&, LinkId)>;
   void SetQueueDropObserver(DropObserver observer) {
     drop_observer_ = std::move(observer);
   }
 
-  /// Runs the simulation for `duration` of simulated time.
-  void Run(SimDuration duration) { sim_.RunUntil(sim_.Now() + duration); }
-
  private:
-  /// Queue/transmit on a link; drops on buffer overflow.
+  /// Queue/transmit on a link; drops on buffer overflow. Runs on the
+  /// shard owning the link's sending side.
   void LinkSend(LinkId link_id, Packet packet);
   /// Arrival at the link's target (router or host).
   void LinkArrive(LinkId link_id, Packet packet);
@@ -157,10 +219,13 @@ class Network {
   void DeliverLocal(NodeId node, LinkId in_link, Packet packet);
   /// Rate-limited ICMP error generation back toward packet.src.
   void MaybeSendIcmpError(NodeId node, const Packet& cause, IcmpType type);
+  /// Shard owning a link endpoint (host targets resolve to their node).
+  ShardId ShardOf(const LinkTarget& target) const;
 
-  Simulator sim_;
+  ShardedSimulator engine_;
   Rng rng_;
-  Metrics metrics_;
+  /// One cell block per shard; metrics() merges them.
+  std::vector<Metrics> metrics_;
   obs::Telemetry telemetry_;
 
   std::vector<Node> nodes_;
@@ -172,7 +237,6 @@ class Network {
   std::vector<std::uint32_t> distance_;
   bool routing_built_ = false;
 
-  PacketSerial serial_ = 0;
   bool icmp_errors_ = true;
   DropObserver drop_observer_;
 };

@@ -159,6 +159,11 @@ class PacketProcessor {
 /// Router node. Owned by Network.
 struct Node {
   NodeRole role = NodeRole::kStub;
+  /// The simulation shard this router (its links' sending sides, its
+  /// processors, its attached hosts) executes on. Assigned at AddNode
+  /// time and immutable afterwards — shard affinity is a construction
+  /// decision (docs/sharding.md).
+  ShardId shard = 0;
   /// Outgoing links keyed by neighbour node (adjacency order = insertion
   /// order; BFS tie-breaking depends on it, keep deterministic).
   std::vector<std::pair<NodeId, LinkId>> neighbours;
@@ -169,6 +174,10 @@ struct Node {
   /// Simple token bucket limiting ICMP error generation.
   double icmp_tokens = 10.0;
   SimTime icmp_refill_at = 0;
+  /// Per-node serial space for router-originated packets (ICMP errors,
+  /// service traffic injected here): keeps packet identities independent
+  /// of cross-shard event interleaving.
+  std::uint64_t next_serial = 0;
 
   std::uint64_t forwarded = 0;
   std::uint64_t filtered = 0;

@@ -5,6 +5,18 @@
 
 namespace adtc {
 
+namespace {
+
+/// Resolves a params.shards knob: 0 means "use every engine shard".
+std::uint32_t ResolveShards(const Network& net, std::uint32_t requested) {
+  const auto available = static_cast<std::uint32_t>(net.shard_count());
+  if (requested == 0) return available;
+  assert(requested <= available && "topology asks for more shards than engine has");
+  return std::min(requested, available);
+}
+
+}  // namespace
+
 std::vector<NodeId> TopologyInfo::CustomerCone(NodeId root) const {
   std::vector<NodeId> cone;
   std::vector<bool> seen(customers.size(), false);
@@ -30,12 +42,19 @@ TopologyInfo BuildTransitStub(Network& net, const TransitStubParams& params) {
   assert(params.transit_count >= 2);
   TopologyInfo info;
   const std::uint32_t total = params.transit_count + params.stub_count;
+  const std::uint32_t shards = ResolveShards(net, params.shards);
   info.customers.resize(total);
   info.providers.resize(total);
+  info.shard_of.resize(total, 0);
 
-  // Transit core: ring + random chords.
+  // Transit core: ring + random chords. Transit ASes round-robin across
+  // shards so the core itself is spread; stubs follow their primary
+  // provider, keeping each access tree shard-local.
   for (std::uint32_t i = 0; i < params.transit_count; ++i) {
-    info.transit_nodes.push_back(net.AddNode(NodeRole::kTransit));
+    const ShardId shard = i % shards;
+    const NodeId id = net.AddNode(NodeRole::kTransit, shard);
+    info.transit_nodes.push_back(id);
+    info.shard_of[id] = shard;
   }
   for (std::uint32_t i = 0; i < params.transit_count; ++i) {
     const NodeId a = info.transit_nodes[i];
@@ -60,12 +79,17 @@ TopologyInfo BuildTransitStub(Network& net, const TransitStubParams& params) {
     if (!exists) net.Connect(a, b, params.core_link, LinkKind::kPeer);
   }
 
-  // Stubs: each buys transit from one core AS, sometimes two.
+  // Stubs: each buys transit from one core AS, sometimes two. The primary
+  // provider is drawn before AddNode so the stub can be pinned to its
+  // provider's shard (AddNode consumes no randomness, so the RNG stream —
+  // and therefore the generated topology — is independent of sharding).
   for (std::uint32_t i = 0; i < params.stub_count; ++i) {
-    const NodeId stub = net.AddNode(NodeRole::kStub);
-    info.stub_nodes.push_back(stub);
     const NodeId provider =
         info.transit_nodes[net.rng().NextBelow(params.transit_count)];
+    const ShardId shard = info.shard_of[provider];
+    const NodeId stub = net.AddNode(NodeRole::kStub, shard);
+    info.stub_nodes.push_back(stub);
+    info.shard_of[stub] = shard;
     net.Connect(stub, provider, params.edge_link,
                 LinkKind::kCustomerToProvider);
     info.customers[provider].push_back(stub);
@@ -91,21 +115,28 @@ TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params) {
   const std::uint32_t m = std::max<std::uint32_t>(1, params.edges_per_node);
   const std::uint32_t seed_nodes = m + 1;
   assert(params.node_count > seed_nodes);
+  const std::uint32_t shards = ResolveShards(net, params.shards);
 
   TopologyInfo info;
   info.customers.resize(params.node_count);
   info.providers.resize(params.node_count);
+  info.shard_of.resize(params.node_count, 0);
 
   // Degree-proportional sampling via the repeated-endpoints trick: every
   // edge contributes both endpoints to `endpoint_pool`.
   std::vector<NodeId> endpoint_pool;
   std::vector<std::uint32_t> degree(params.node_count, 0);
 
-  for (std::uint32_t i = 0; i < params.node_count; ++i) {
-    net.AddNode(NodeRole::kStub);  // roles reassigned below
+  // Seed: small clique among the first m+1 nodes (peer relations),
+  // round-robined across shards. Later nodes are added one at a time,
+  // after their providers are known, so each can follow its first
+  // provider's shard (AddNode draws no randomness — the topology is the
+  // same for every shard count).
+  for (std::uint32_t i = 0; i < seed_nodes; ++i) {
+    const ShardId shard = i % shards;
+    net.AddNode(NodeRole::kStub, shard);  // roles reassigned below
+    info.shard_of[i] = shard;
   }
-
-  // Seed: small clique among the first m+1 nodes (peer relations).
   for (std::uint32_t i = 0; i < seed_nodes; ++i) {
     for (std::uint32_t j = i + 1; j < seed_nodes; ++j) {
       net.Connect(i, j, params.core_link, LinkKind::kPeer);
@@ -127,6 +158,11 @@ TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params) {
         targets.push_back(candidate);
       }
     }
+    const ShardId shard = info.shard_of[targets.front()];
+    const NodeId added = net.AddNode(NodeRole::kStub, shard);
+    (void)added;
+    assert(added == n);
+    info.shard_of[n] = shard;
     for (NodeId provider : targets) {
       // The newcomer is the customer of the established node.
       net.Connect(n, provider, params.edge_link,
@@ -144,6 +180,54 @@ TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params) {
     const bool transit = degree[i] >= params.transit_degree_threshold;
     net.node(i).role = transit ? NodeRole::kTransit : NodeRole::kStub;
     (transit ? info.transit_nodes : info.stub_nodes).push_back(i);
+  }
+
+  net.FinalizeRouting();
+  return info;
+}
+
+TopologyInfo BuildRegionRing(Network& net, const RegionRingParams& params) {
+  assert(net.node_count() == 0 && "generator requires an empty network");
+  assert(params.regions >= 2);
+  const std::uint32_t shards = ResolveShards(net, params.shards);
+
+  TopologyInfo info;
+  const std::uint32_t total =
+      params.regions * (1 + params.stubs_per_region);
+  info.customers.resize(total);
+  info.providers.resize(total);
+  info.shard_of.resize(total, 0);
+
+  // One regional transit AS per region; region r lives on shard
+  // r % shards. With regions == shards the only cross-shard links are
+  // the ring's core links, so the engine's epoch is core_link.delay.
+  for (std::uint32_t r = 0; r < params.regions; ++r) {
+    const ShardId shard = r % shards;
+    const NodeId id = net.AddNode(NodeRole::kTransit, shard);
+    info.transit_nodes.push_back(id);
+    info.shard_of[id] = shard;
+  }
+  for (std::uint32_t r = 0; r < params.regions; ++r) {
+    if (params.regions == 2 && r == 1) break;  // avoid double edge
+    const NodeId a = info.transit_nodes[r];
+    const NodeId b = info.transit_nodes[(r + 1) % params.regions];
+    net.Connect(a, b, params.core_link, LinkKind::kPeer);
+  }
+
+  // Each region's stubs are single-homed to the regional transit, so an
+  // access tree never straddles shards.
+  for (std::uint32_t r = 0; r < params.regions; ++r) {
+    const NodeId provider = info.transit_nodes[r];
+    const ShardId shard = info.shard_of[provider];
+    for (std::uint32_t s = 0; s < params.stubs_per_region; ++s) {
+      const NodeId stub = net.AddNode(NodeRole::kStub, shard);
+      info.stub_nodes.push_back(stub);
+      info.shard_of[stub] = shard;
+      net.Connect(stub, provider, params.edge_link,
+                  LinkKind::kCustomerToProvider);
+      info.customers[provider].push_back(stub);
+      info.providers[stub].push_back(provider);
+    }
   }
 
   net.FinalizeRouting();

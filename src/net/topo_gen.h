@@ -29,6 +29,9 @@ struct TopologyInfo {
   std::vector<std::vector<NodeId>> customers;
   /// providers[n] = ASes n buys transit from.
   std::vector<std::vector<NodeId>> providers;
+  /// shard_of[n] = simulation shard node n was pinned to (the explicit
+  /// partition assignment; mirrors Network::node_shard).
+  std::vector<ShardId> shard_of;
 
   /// All nodes in the customer cone of `root` (root itself included):
   /// the set whose prefixes may legitimately source traffic entering a
@@ -39,6 +42,10 @@ struct TopologyInfo {
 struct TransitStubParams {
   std::uint32_t transit_count = 16;
   std::uint32_t stub_count = 240;
+  /// Shards to partition the topology over; 0 = net.shard_count().
+  /// Transit ASes round-robin across shards, stubs follow their primary
+  /// provider (the region model of docs/sharding.md).
+  std::uint32_t shards = 0;
   /// Extra random chords in the transit core beyond the ring.
   std::uint32_t extra_core_links = 16;
   /// Probability that a stub is multi-homed to a second provider.
@@ -53,6 +60,9 @@ TopologyInfo BuildTransitStub(Network& net, const TransitStubParams& params);
 
 struct PowerLawParams {
   std::uint32_t node_count = 400;
+  /// Shards to partition over; 0 = net.shard_count(). Seed-clique nodes
+  /// round-robin, later nodes follow their first provider.
+  std::uint32_t shards = 0;
   /// Edges added per new node (m in the BA model).
   std::uint32_t edges_per_node = 2;
   /// Nodes whose final degree is >= this are classified transit.
@@ -65,5 +75,23 @@ struct PowerLawParams {
 /// Builds a Barabási–Albert preferential-attachment topology into `net`.
 /// The newer endpoint of each edge is the customer of the older one.
 TopologyInfo BuildPowerLaw(Network& net, const PowerLawParams& params);
+
+/// The deliberately partitionable world for strong-scaling and
+/// determinism experiments: `regions` regional transit ASes in a ring
+/// (one region per shard when regions == net.shard_count()), each with
+/// its own stub ASes. All intra-region links are edge links; only the
+/// ring links cross regions, so the epoch equals core_link.delay.
+struct RegionRingParams {
+  std::uint32_t regions = 4;
+  std::uint32_t stubs_per_region = 8;
+  /// Shards to partition over; 0 = net.shard_count(). Region r lands on
+  /// shard r % shards.
+  std::uint32_t shards = 0;
+  LinkParams core_link{GigabitsPerSecond(10), Milliseconds(10),
+                       2 * 1024 * 1024};
+  LinkParams edge_link{GigabitsPerSecond(1), Milliseconds(1), 512 * 1024};
+};
+
+TopologyInfo BuildRegionRing(Network& net, const RegionRingParams& params);
 
 }  // namespace adtc

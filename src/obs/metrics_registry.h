@@ -14,6 +14,7 @@
 // trailing `_ns` / `_bytes` / `_pps` suffix where ambiguity is possible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -26,41 +27,65 @@
 
 namespace adtc::obs {
 
-/// Hot-path counter cell: a plain uint64 with increment sugar. Existing
-/// `stats` structs use this as member type — implicit conversion keeps
-/// every `stats().foo > 0` call site compiling unchanged — while the
-/// owning component exports the cells through a registry collector.
+/// Hot-path counter cell: a single-writer uint64 with increment sugar.
+/// Existing `stats` structs use this as member type — implicit conversion
+/// keeps every `stats().foo > 0` call site compiling unchanged — while
+/// the owning component exports the cells through a registry collector.
+///
+/// Concurrency contract (sw-rl per-CPU-bucket style, see
+/// docs/sharding.md): each cell has exactly ONE writer — the shard that
+/// owns the component — so increments are a relaxed load + store, never a
+/// lock-prefixed RMW; the hot path stays as cheap as the plain uint64 it
+/// replaced. Any thread may read (sampler ticks, cross-shard
+/// aggregation); readers see a recent value, and exact totals exist at
+/// every epoch barrier. Concurrent writers would lose updates — shard
+/// your cells instead.
 class Counter {
  public:
-  constexpr Counter() = default;
-  constexpr Counter(std::uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+  Counter() = default;
+  Counter(std::uint64_t v) : value_(v) {}  // NOLINT(runtime/explicit)
+  Counter(const Counter& other) : value_(other.value()) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
 
-  void Increment(std::uint64_t n = 1) { value_ += n; }
+  void Increment(std::uint64_t n = 1) {
+    value_.store(value_.load(std::memory_order_relaxed) + n,
+                 std::memory_order_relaxed);
+  }
   Counter& operator++() {
-    ++value_;
+    Increment();
     return *this;
   }
-  std::uint64_t operator++(int) { return value_++; }
+  std::uint64_t operator++(int) {
+    const std::uint64_t old = value();
+    Increment();
+    return old;
+  }
   Counter& operator+=(std::uint64_t n) {
-    value_ += n;
+    Increment(n);
     return *this;
   }
 
-  constexpr operator std::uint64_t() const { return value_; }  // NOLINT
-  constexpr std::uint64_t value() const { return value_; }
+  operator std::uint64_t() const { return value(); }  // NOLINT
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Point-in-time measurement (queue depth, table size, ...).
+/// Point-in-time measurement (queue depth, table size, ...). Same
+/// single-writer/any-reader contract as Counter.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// One named scalar in a registry snapshot.

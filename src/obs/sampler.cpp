@@ -6,7 +6,7 @@ void TimeSeriesSampler::Start(SimDuration period) {
   Stop();
   control_ = std::make_shared<Control>();
   control_->self = this;
-  sim_.SchedulePeriodic(period, [control = control_]() {
+  sched_.PostEvery(period, [control = control_]() {
     if (control->self == nullptr) return false;
     control->self->SampleNow();
     return true;
@@ -23,7 +23,7 @@ void TimeSeriesSampler::Stop() {
 void TimeSeriesSampler::SampleNow() {
   if (sinks_.empty()) return;
   TimeSeriesSample sample;
-  sample.at = sim_.Now();
+  sample.at = sched_.Now();
   sample.values = registry_.TakeSnapshot();
   ++samples_taken_;
   for (TelemetrySink* sink : sinks_) {

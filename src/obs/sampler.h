@@ -1,10 +1,13 @@
 // Periodic time-series sampler: turns end-of-run totals into timelines.
 //
-// Driven by Simulator::SchedulePeriodic, each tick snapshots the world's
-// MetricsRegistry and hands the sample to the telemetry sink(s), so an
-// attack/mitigation experiment records how per-class delivered/dropped
-// counts (and every other registered metric) evolve over simulated time
-// instead of only their final values.
+// Driven by Scheduler::PostEvery on the control shard, each tick
+// snapshots the world's MetricsRegistry and hands the sample to the
+// telemetry sink(s), so an attack/mitigation experiment records how
+// per-class delivered/dropped counts (and every other registered metric)
+// evolve over simulated time instead of only their final values. In a
+// sharded world a tick reads other shards' relaxed-atomic cells
+// mid-window — values may trail the writer by up to one epoch (the sw-rl
+// periodic-aggregation model); totals are exact at every barrier.
 #pragma once
 
 #include <cstdint>
@@ -13,14 +16,14 @@
 
 #include "obs/metrics_registry.h"
 #include "obs/sink.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace adtc::obs {
 
 class TimeSeriesSampler {
  public:
-  TimeSeriesSampler(Simulator& sim, MetricsRegistry& registry)
-      : sim_(sim), registry_(registry) {}
+  TimeSeriesSampler(Scheduler& sched, MetricsRegistry& registry)
+      : sched_(sched), registry_(registry) {}
   ~TimeSeriesSampler() { Stop(); }
   TimeSeriesSampler(const TimeSeriesSampler&) = delete;
   TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
@@ -48,7 +51,7 @@ class TimeSeriesSampler {
     TimeSeriesSampler* self = nullptr;
   };
 
-  Simulator& sim_;
+  Scheduler& sched_;
   MetricsRegistry& registry_;
   std::vector<TelemetrySink*> sinks_;
   std::shared_ptr<Control> control_;

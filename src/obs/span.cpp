@@ -1,33 +1,81 @@
 #include "obs/span.h"
 
+#include <algorithm>
+
 #include "obs/sink.h"
 
 namespace adtc::obs {
+namespace {
+
+/// Per-thread activation stack, tagged by tracer so multiple worlds on
+/// one thread (sequential test fixtures) never see each other's spans.
+/// Activations are strictly scoped inside one event callback, so entries
+/// never outlive the callback that pushed them.
+thread_local std::vector<std::pair<const Tracer*, SpanId>> tls_active;
+
+}  // namespace
+
+Tracer::~Tracer() {
+  // Drop any stale activations this tracer left on the current thread
+  // (only possible after unbalanced scopes, e.g. a throwing test).
+  tls_active.erase(
+      std::remove_if(tls_active.begin(), tls_active.end(),
+                     [this](const auto& entry) {
+                       return entry.first == this;
+                     }),
+      tls_active.end());
+}
+
+SpanId Tracer::active() const {
+  for (auto it = tls_active.rbegin(); it != tls_active.rend(); ++it) {
+    if (it->first == this) return it->second;
+  }
+  return kNoSpan;
+}
+
+void Tracer::PushActive(SpanId id) {
+  if (id != kNoSpan) tls_active.emplace_back(this, id);
+}
+
+void Tracer::PopActive(SpanId id) {
+  if (id == kNoSpan || tls_active.empty()) return;
+  const auto& top = tls_active.back();
+  if (top.first == this && top.second == id) tls_active.pop_back();
+}
+
+std::size_t Tracer::open_span_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return open_.size();
+}
 
 SpanId Tracer::StartSpan(std::string name, SpanId parent) {
   if (sink_ == nullptr) return kNoSpan;
   Span span;
-  span.id = next_id_++;
   span.parent = parent != kNoSpan ? parent : active();
   span.name = std::move(name);
   span.start = now_ ? now_() : 0;
   span.end = span.start;
+  const std::lock_guard<std::mutex> lock(mu_);
+  span.id = next_id_++;
   const SpanId id = span.id;
   open_.emplace(id, std::move(span));
   return id;
 }
 
 void Tracer::SetNode(SpanId id, NodeId node) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = open_.find(id);
   if (it != open_.end()) it->second.node = node;
 }
 
 void Tracer::SetSubscriber(SpanId id, SubscriberId subscriber) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = open_.find(id);
   if (it != open_.end()) it->second.subscriber = subscriber;
 }
 
 void Tracer::Annotate(SpanId id, std::string key, std::string value) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = open_.find(id);
   if (it != open_.end()) {
     it->second.attributes.emplace_back(std::move(key), std::move(value));
@@ -35,12 +83,19 @@ void Tracer::Annotate(SpanId id, std::string key, std::string value) {
 }
 
 void Tracer::EndSpan(SpanId id, bool ok) {
-  const auto it = open_.find(id);
-  if (it == open_.end()) return;
-  Span span = std::move(it->second);
-  open_.erase(it);
+  Span span;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = open_.find(id);
+    if (it == open_.end()) return;
+    span = std::move(it->second);
+    open_.erase(it);
+  }
   span.end = now_ ? now_() : span.start;
   span.ok = ok;
+  // Sink emission serialises on the same mutex as span mutation so sinks
+  // never see interleaved records from two shards.
+  const std::lock_guard<std::mutex> lock(mu_);
   if (sink_ != nullptr) sink_->OnSpan(span);
 }
 

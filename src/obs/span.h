@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -48,10 +49,21 @@ struct Span {
 
 /// Creates, annotates and finishes spans. One tracer per world; finished
 /// spans are emitted to the attached sink. The simulated clock is
-/// supplied by the owner (Telemetry wires it to Simulator::Now).
+/// supplied by the owner (Telemetry wires it to the engine's
+/// shard-aware Now).
+///
+/// Thread safety: span creation/annotation/finish is serialised by an
+/// internal mutex so control-plane spans may open on any shard's worker
+/// thread (installs run on the device's shard). The active-span stack is
+/// thread-local — activations are strictly scoped inside one event
+/// callback, which never migrates threads mid-flight. Span ids are
+/// allocated under the same mutex; across shard counts their numeric
+/// values may differ, but parentage (what TraceAnalyzer consumes) does
+/// not. When no sink is attached every call no-ops without locking.
 class Tracer {
  public:
   Tracer() = default;
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -61,6 +73,7 @@ class Tracer {
   bool enabled() const { return sink_ != nullptr; }
 
   /// Clock callback returning the current sim time (set by Telemetry).
+  /// Must itself be safe to call from any shard thread.
   void SetClock(std::function<SimTime()> now) { now_ = std::move(now); }
 
   /// Opens a span. parent == kNoSpan means "use the active span if any,
@@ -74,27 +87,19 @@ class Tracer {
   /// Closes the span and emits it to the sink. Unknown/kNoSpan ids no-op.
   void EndSpan(SpanId id, bool ok = true);
 
-  /// The innermost active span (see ScopedActivation), or kNoSpan.
-  SpanId active() const {
-    return active_.empty() ? kNoSpan : active_.back();
-  }
-  void PushActive(SpanId id) {
-    if (id != kNoSpan) active_.push_back(id);
-  }
-  void PopActive(SpanId id) {
-    if (id != kNoSpan && !active_.empty() && active_.back() == id) {
-      active_.pop_back();
-    }
-  }
+  /// The innermost span activated on THIS thread, or kNoSpan.
+  SpanId active() const;
+  void PushActive(SpanId id);
+  void PopActive(SpanId id);
 
-  std::size_t open_span_count() const { return open_.size(); }
+  std::size_t open_span_count() const;
 
  private:
   TelemetrySink* sink_ = nullptr;
   std::function<SimTime()> now_;
+  mutable std::mutex mu_;
   SpanId next_id_ = 1;
   std::unordered_map<SpanId, Span> open_;
-  std::vector<SpanId> active_;
 };
 
 /// Marks an already-open span as the implicit parent for the scope —

@@ -2,8 +2,8 @@
 
 namespace adtc::obs {
 
-Telemetry::Telemetry(Simulator& sim) : sampler_(sim, registry_) {
-  tracer_.SetClock([&sim] { return sim.Now(); });
+Telemetry::Telemetry(Scheduler& sched) : sampler_(sched, registry_) {
+  tracer_.SetClock([&sched] { return sched.Now(); });
 }
 
 void Telemetry::AttachSink(TelemetrySink* sink) {

@@ -22,13 +22,16 @@
 #include "obs/sampler.h"
 #include "obs/sink.h"
 #include "obs/span.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace adtc::obs {
 
 class Telemetry {
  public:
-  explicit Telemetry(Simulator& sim);
+  /// `sched` drives the sampler and the default span clock; in a sharded
+  /// world the Network passes its control shard and re-points the tracer
+  /// clock at the engine's shard-aware Now.
+  explicit Telemetry(Scheduler& sched);
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
 

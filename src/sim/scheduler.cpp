@@ -1,0 +1,19 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <memory>
+
+namespace adtc {
+
+void Scheduler::PostEvery(SimDuration period, std::function<bool()> cb) {
+  assert(period > 0);
+  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
+  // The tick closure reschedules itself while the callback returns true.
+  PostIn(period, [this, period, shared] {
+    if ((*shared)()) {
+      PostEvery(period, *shared);
+    }
+  });
+}
+
+}  // namespace adtc

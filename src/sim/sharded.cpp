@@ -1,0 +1,220 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <future>
+#include <utility>
+
+namespace adtc {
+namespace {
+
+/// The shard whose worker thread this is (nullptr on the main thread).
+/// Set around every window a worker executes; Shard::Post reads it to
+/// route cross-shard posts into the *posting* thread's outbox.
+thread_local ShardedSimulator::Shard* tls_current_shard = nullptr;
+
+std::uint64_t MixSeed(std::uint64_t seed, std::uint64_t shard) {
+  // SplitMix64 over (seed ^ shard-tag): independent streams per shard.
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (shard + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// RAII: marks the calling thread as `shard`'s executor for a scope.
+/// Used by workers around each window and by the main thread when it
+/// runs the single-shard fast path inline — Now()/Post must route to the
+/// live shard clock while its events execute, not the stale barrier.
+class ShardScope {
+ public:
+  explicit ShardScope(ShardedSimulator::Shard* shard) {
+    tls_current_shard = shard;
+  }
+  ~ShardScope() { tls_current_shard = nullptr; }
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+};
+
+}  // namespace
+
+ShardedSimulator::Shard::Shard(ShardId id, std::uint64_t seed,
+                               std::size_t num_shards)
+    : id_(id), rng_(MixSeed(seed, id)), outbox_(num_shards) {
+  sim_.set_shard_id(id);
+}
+
+void ShardedSimulator::Shard::Post(SimTime when, Callback cb) {
+  Shard* current = tls_current_shard;
+  if (current == nullptr || current == this) {
+    // Same shard (or the main thread between windows, when no worker is
+    // running): straight into the local queue.
+    sim_.Post(when, std::move(cb));
+    return;
+  }
+  // Cross-shard: park in the posting thread's outbox slot for this
+  // destination. Single writer (the posting worker), no locks; the main
+  // thread drains it at the barrier.
+  current->outbox_[id_].push_back(Pending{when, std::move(cb)});
+}
+
+ShardedSimulator::ShardedSimulator(std::size_t num_shards,
+                                   std::uint64_t seed) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(new Shard(static_cast<ShardId>(i), seed,
+                                   num_shards));
+  }
+  window_executed_.assign(num_shards, 0);
+}
+
+SimTime ShardedSimulator::Now() const {
+  const Shard* current = tls_current_shard;
+  if (current != nullptr) return current->sim_.Now();
+  return barrier_;
+}
+
+ShardId ShardedSimulator::CurrentShardIndex() const {
+  const Shard* current = tls_current_shard;
+  return current == nullptr ? 0 : current->id_;
+}
+
+SimTime ShardedSimulator::EarliestPending() const {
+  SimTime earliest = kSimTimeMax;
+  for (const auto& shard : shards_) {
+    earliest = std::min(earliest, shard->sim_.NextEventTime());
+  }
+  return earliest;
+}
+
+void ShardedSimulator::EnsurePool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(shards_.size());
+  }
+}
+
+std::uint64_t ShardedSimulator::RunShardsTo(SimTime window) {
+  EnsurePool();
+  std::vector<std::future<void>> done;
+  done.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* shard = shards_[i].get();
+    std::uint64_t* slot = &window_executed_[i];
+    done.push_back(pool_->Submit([shard, slot, window] {
+      ShardScope scope(shard);
+      *slot = shard->sim_.RunUntil(window);
+    }));
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    done[i].get();  // barrier; propagates event exceptions
+    total += window_executed_[i];
+  }
+  return total;
+}
+
+void ShardedSimulator::ExchangeOutboxes() {
+  // Destination-major, then source order, then post order: the sequence
+  // numbers each destination queue assigns to arriving events are a pure
+  // function of the world state, never of thread timing.
+  for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+    Simulator& queue = shards_[dst]->sim_;
+    for (std::size_t src = 0; src < shards_.size(); ++src) {
+      auto& box = shards_[src]->outbox_[dst];
+      for (auto& pending : box) {
+        stats_.cross_shard_events++;
+        if (pending.when < barrier_) stats_.late_cross_events++;
+        queue.Post(pending.when, std::move(pending.cb));  // clamps if late
+      }
+      box.clear();
+    }
+  }
+}
+
+std::uint64_t ShardedSimulator::RunUntil(SimTime until) {
+  if (shards_.size() == 1) {
+    std::uint64_t ran;
+    {
+      ShardScope scope(shards_[0].get());
+      ran = shards_[0]->sim_.RunUntil(until);
+    }
+    barrier_ = until;
+    return ran;
+  }
+  std::uint64_t total = 0;
+  while (true) {
+    const SimTime earliest = EarliestPending();
+    if (earliest > until) break;
+    // Conservative window: nothing executes before `earliest`, and any
+    // cross-shard effect of an event at t >= earliest lands at or after
+    // t + epoch, so running every shard to earliest + epoch is safe.
+    // This also jumps idle gaps instead of ticking empty epochs.
+    SimTime window = until;
+    if (epoch_ > 0) {
+      window = earliest > kSimTimeMax - epoch_ ? kSimTimeMax
+                                               : earliest + epoch_;
+      window = std::min(window, until);
+    } else {
+      // No lookahead declared: execute one timestamp per window. Safe
+      // for worlds without cross-shard traffic (and correct, if slow,
+      // for ones with it).
+      window = earliest;
+    }
+    total += RunShardsTo(window);
+    barrier_ = window;
+    stats_.epochs++;
+    ExchangeOutboxes();
+  }
+  // Horizon reached: advance every clock to `until` (queues hold nothing
+  // at or before it).
+  for (auto& shard : shards_) shard->sim_.RunUntil(until);
+  barrier_ = until;
+  return total;
+}
+
+std::uint64_t ShardedSimulator::RunToCompletion() {
+  if (shards_.size() == 1) {
+    std::uint64_t ran;
+    {
+      ShardScope scope(shards_[0].get());
+      ran = shards_[0]->sim_.RunToCompletion();
+    }
+    barrier_ = shards_[0]->sim_.Now();
+    return ran;
+  }
+  std::uint64_t total = 0;
+  SimTime earliest;
+  while ((earliest = EarliestPending()) != kSimTimeMax) {
+    SimTime window = earliest;
+    if (epoch_ > 0 && earliest <= kSimTimeMax - epoch_) {
+      window = earliest + epoch_;
+    }
+    total += RunShardsTo(window);
+    barrier_ = window;
+    stats_.epochs++;
+    ExchangeOutboxes();
+  }
+  return total;
+}
+
+void ShardedSimulator::Clear() {
+  for (auto& shard : shards_) {
+    shard->sim_.Clear();
+    for (auto& box : shard->outbox_) box.clear();
+  }
+}
+
+bool ShardedSimulator::Empty() const {
+  for (const auto& shard : shards_) {
+    if (!shard->sim_.Empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardedSimulator::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->sim_.executed_events();
+  return total;
+}
+
+}  // namespace adtc

@@ -1,31 +1,12 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <memory>
 #include <utility>
 
 namespace adtc {
 
-void Simulator::ScheduleAt(SimTime when, Callback cb) {
+void Simulator::Post(SimTime when, Callback cb) {
   if (when < now_) when = now_;
   queue_.push(Event{when, next_seq_++, std::move(cb)});
-}
-
-void Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
-  if (delay < 0) delay = 0;
-  ScheduleAt(now_ + delay, std::move(cb));
-}
-
-void Simulator::SchedulePeriodic(SimDuration period, std::function<bool()> cb) {
-  assert(period > 0);
-  auto shared = std::make_shared<std::function<bool()>>(std::move(cb));
-  // The tick closure reschedules itself while the callback returns true.
-  std::function<void()> tick = [this, period, shared]() {
-    if ((*shared)()) {
-      SchedulePeriodic(period, *shared);
-    }
-  };
-  ScheduleAfter(period, std::move(tick));
 }
 
 std::uint64_t Simulator::RunUntil(SimTime until) {
@@ -41,7 +22,7 @@ std::uint64_t Simulator::RunUntil(SimTime until) {
     ++ran;
   }
   if (now_ < until) now_ = until;
-  executed_ += ran;
+  AddExecuted(ran);
   return ran;
 }
 
@@ -54,7 +35,7 @@ std::uint64_t Simulator::RunToCompletion() {
     event.cb();
     ++ran;
   }
-  executed_ += ran;
+  AddExecuted(ran);
   return ran;
 }
 

@@ -4,37 +4,41 @@
 // The sequence number breaks ties so that two events scheduled for the same
 // instant always fire in scheduling order — this is what makes whole-world
 // runs bit-reproducible regardless of platform.
+//
+// Simulator implements the Scheduler interface (sim/scheduler.h): Post is
+// the one scheduling primitive, PostIn/PostEvery are sugar on top of it.
+// A Simulator is also the event loop of one shard inside ShardedSimulator
+// (sim/sharded.h); a standalone Simulator is simply shard 0 of a
+// one-shard world.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/scheduler.h"
 
 namespace adtc {
 
-class Simulator {
+class Simulator final : public Scheduler {
  public:
-  using Callback = std::function<void()>;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  SimTime Now() const { return now_; }
+  SimTime Now() const override { return now_; }
 
   /// Schedules `cb` to run at absolute time `when` (clamped to >= Now()).
-  void ScheduleAt(SimTime when, Callback cb);
+  /// Single-writer: only the thread driving this simulator may post.
+  void Post(SimTime when, Callback cb) override;
 
-  /// Schedules `cb` to run `delay` from now (delay < 0 treated as 0).
-  void ScheduleAfter(SimDuration delay, Callback cb);
-
-  /// Schedules a periodic callback: first at Now()+period, then every
-  /// period until it returns false or the simulation ends.
-  void SchedulePeriodic(SimDuration period, std::function<bool()> cb);
+  ShardId shard_id() const override { return shard_id_; }
+  /// Set by ShardedSimulator when this simulator drives shard k.
+  void set_shard_id(ShardId id) { shard_id_ = id; }
 
   /// Runs until the queue drains or the clock passes `until`.
   /// Returns the number of events executed.
@@ -48,7 +52,15 @@ class Simulator {
 
   bool Empty() const { return queue_.empty(); }
   std::size_t PendingEvents() const { return queue_.size(); }
-  std::uint64_t executed_events() const { return executed_; }
+  /// Time of the earliest pending event, or kSimTimeMax if none.
+  SimTime NextEventTime() const {
+    return queue_.empty() ? kSimTimeMax : queue_.top().when;
+  }
+  /// Relaxed-atomic so telemetry collectors may read it mid-run from
+  /// another thread; written only by the driving thread.
+  std::uint64_t executed_events() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Event {
@@ -63,9 +75,15 @@ class Simulator {
     }
   };
 
+  void AddExecuted(std::uint64_t ran) {
+    executed_.store(executed_.load(std::memory_order_relaxed) + ran,
+                    std::memory_order_relaxed);
+  }
+
   SimTime now_ = 0;
+  ShardId shard_id_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
+  std::atomic<std::uint64_t> executed_{0};
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
 };
 

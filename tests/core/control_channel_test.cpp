@@ -6,6 +6,7 @@
 #include "core/certificate.h"
 #include "core/modules/observe.h"
 #include "net/ip.h"
+#include "sim/simulator.h"
 
 namespace adtc {
 namespace {
@@ -151,7 +152,7 @@ TEST(ControlChannelTest, RetriesUntilTheLossClears) {
   opts.retry.initial_backoff = Milliseconds(10);
   opts.retry.max_attempts = 10;
   // Heal the channel shortly after the first attempts are swallowed.
-  sim.ScheduleAfter(Milliseconds(100), [&] {
+  sim.PostIn(Milliseconds(100), [&] {
     injector.SetChannelFaults("flaky", ChannelFaults{});
   });
   int handler_runs = 0;

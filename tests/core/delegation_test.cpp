@@ -39,7 +39,7 @@ TEST(DelegationTest, DelegateGetsItsOwnSubscriberIdentity) {
   EXPECT_NE(delegate.value().subscriber, owner.value().subscriber);
   EXPECT_EQ(delegate.value().subject, "soc-provider");
   ADTC_EXPECT_OK(world.tcsp.certificate_authority().Verify(
-      delegate.value(), world.net.sim().Now()));
+      delegate.value(), world.net.Now()));
 }
 
 TEST(DelegationTest, DelegateCanDeployForTheOwnersPrefixes) {
@@ -72,7 +72,7 @@ TEST(DelegationTest, ForgedOwnerCertificateRejected) {
   DelegationWorld world;
   CertificateAuthority impostor("not-the-tcsp-key");
   const auto forged = impostor.Issue(99, "as3", {NodePrefix(3)},
-                                     world.net.sim().Now(), Seconds(3600));
+                                     world.net.Now(), Seconds(3600));
   const auto result = world.tcsp.RegisterDelegate(
       forged, "soc-provider", {NodePrefix(3)});
   EXPECT_FALSE(result.ok());

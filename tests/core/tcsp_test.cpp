@@ -38,7 +38,7 @@ TEST(TcspTest, RegistrationVerifiesOwnership) {
   ASSERT_TRUE(good.ok()) << good.status().ToString();
   EXPECT_EQ(good.value().subject, "as7");
   ADTC_EXPECT_OK(world.tcsp.certificate_authority().Verify(
-      good.value(), world.net.sim().Now()));
+      good.value(), world.net.Now()));
 
   // as7 claiming as8's prefix: rejected.
   const auto theft = world.tcsp.Register("as7", {NodePrefix(8)});

@@ -70,7 +70,7 @@ RunSummary RunFullScenario(std::uint64_t seed) {
   summary.legit_delivered = metrics.delivered(TrafficClass::kLegitimate);
   summary.reflected_delivered =
       metrics.delivered(TrafficClass::kReflected);
-  summary.events_executed = net.sim().executed_events();
+  summary.events_executed = net.engine().executed_events();
   summary.goodput = scenario.ClientSuccessRatio();
   return summary;
 }

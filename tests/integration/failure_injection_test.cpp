@@ -140,7 +140,7 @@ TEST(FailureInjectionTest, TcspDiesBetweenRequestAndCompletion) {
   // ISP legs land. Already-scheduled instructions still execute (they
   // left the TCSP), so the deployment completes: the failure window is
   // only the acceptance instant.
-  world.net.sim().ScheduleAfter(Milliseconds(1),
+  world.net.control().PostIn(Milliseconds(1),
                                 [&] { world.tcsp.set_reachable(false); });
   world.net.Run(Seconds(5));
   ASSERT_TRUE(completed);
@@ -162,8 +162,8 @@ TEST(FailureInjectionTest, VictimCrashAndRecovery) {
   auto* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
                                    FastLink(), config);
   client->Start();
-  world.net.sim().ScheduleAt(Seconds(2), [&] { server->SetUp(false); });
-  world.net.sim().ScheduleAt(Seconds(4), [&] { server->SetUp(true); });
+  world.net.control().Post(Seconds(2), [&] { server->SetUp(false); });
+  world.net.control().Post(Seconds(4), [&] { server->SetUp(true); });
   world.net.Run(Seconds(6));
   // Outage window produced timeouts; service recovered afterwards.
   EXPECT_GT(client->stats().timeouts, 50u);

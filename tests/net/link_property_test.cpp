@@ -123,7 +123,7 @@ TEST_P(LinkConservationTest, EveryPacketAccountedExactlyOnce) {
     if (rng.NextBool(0.05)) p.ttl = 1;
     src->SendPacket(std::move(p));
   }
-  net.sim().RunToCompletion();
+  net.RunToCompletion();
 
   const Metrics& metrics = net.metrics();
   const auto klass = static_cast<std::size_t>(TrafficClass::kLegitimate);

@@ -16,7 +16,7 @@ TEST(TimeSeriesSamplerTest, PeriodicSamplesAreMonotonicInSimTime) {
   TimeSeriesSampler sampler(sim, registry);
   sampler.AddSink(&sink);
 
-  sim.SchedulePeriodic(Milliseconds(10), [&ticks] {
+  sim.PostEvery(Milliseconds(10), [&ticks] {
     ++ticks;
     return true;
   });
@@ -46,7 +46,7 @@ TEST(TimeSeriesSamplerTest, StopDetachesMidRun) {
   TimeSeriesSampler sampler(sim, registry);
   sampler.AddSink(&sink);
   sampler.Start(Milliseconds(10));
-  sim.ScheduleAt(Milliseconds(35), [&sampler] { sampler.Stop(); });
+  sim.Post(Milliseconds(35), [&sampler] { sampler.Stop(); });
   sim.RunUntil(Milliseconds(200));
   EXPECT_FALSE(sampler.running());
   EXPECT_EQ(sink.samples().size(), 3u);  // t = 10, 20, 30

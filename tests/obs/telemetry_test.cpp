@@ -35,7 +35,7 @@ TEST(TelemetryTest, AttachSinkEnablesTracingAndSampling) {
   EXPECT_EQ(sink.samples().size(), 1u);
 
   // Spans carry the simulated clock, not wall time.
-  sim.ScheduleAt(Milliseconds(5), [] {});
+  sim.Post(Milliseconds(5), [] {});
   sim.RunUntil(Milliseconds(5));
   const SpanId late = telemetry.tracer().StartSpan("late");
   telemetry.tracer().EndSpan(late);

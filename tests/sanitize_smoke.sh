@@ -10,7 +10,10 @@
 #
 # A second phase rebuilds with ThreadSanitizer (-DADTC_SANITIZE_THREAD=ON)
 # and runs the genuinely multi-threaded subset: the thread pool /
-# ParallelFor plumbing and the batched datapath tests that ride on it.
+# ParallelFor plumbing, the batched datapath tests that ride on it, and
+# the sharded-engine suite — the lock-step barrier exchange unit tests
+# plus the ShardStress world that drives cross-shard control channels,
+# the sampler, and resync sweeps concurrently (docs/sharding.md).
 # ASan/UBSan stays the default first phase; set ADTC_SKIP_TSAN=1 to skip
 # the TSan phase (e.g. on toolchains without libtsan).
 #
@@ -21,7 +24,7 @@ set -euo pipefail
 SRC_DIR="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
 BUILD_DIR="${2:-${SRC_DIR}/build-sanitize}"
 FILTER="${ADTC_SANITIZE_FILTER:-Telemetry*:*Sampler*:MetricsRegistry*:Tracer*:Json*:EventBuffer*:EnumNames*:CounterTest*:ScopedWallTimer*:FaultInjector*:ControlChannel*:RetryPolicy*:WorseStatus*:DeploymentId*:*ChaosConvergence*:VerifierTest*:AnalysisSoundnessTest*:StaticAnalysisTest*:FlightRecorder*:TraceAnalyzer*:DurationPercentile*:*TraceReassembly*}"
-TSAN_FILTER="${ADTC_TSAN_FILTER:-ThreadPoolTest*:ParallelForTest*:NetworkTest*:AdaptiveDeviceTest*:FlowCache*:AnalysisSoundnessTest*:FlightRecorder*}"
+TSAN_FILTER="${ADTC_TSAN_FILTER:-ThreadPoolTest*:ParallelForTest*:NetworkTest*:AdaptiveDeviceTest*:FlowCache*:AnalysisSoundnessTest*:FlightRecorder*:ShardedSingleTest*:ShardedMultiTest*:ShardStressTest*:ShardDeterminismTest*}"
 
 cmake -S "${SRC_DIR}" -B "${BUILD_DIR}" -DADTC_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null

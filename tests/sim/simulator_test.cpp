@@ -10,9 +10,9 @@ namespace {
 TEST(SimulatorTest, EventsRunInTimeOrder) {
   Simulator sim;
   std::vector<int> order;
-  sim.ScheduleAt(Milliseconds(30), [&order] { order.push_back(3); });
-  sim.ScheduleAt(Milliseconds(10), [&order] { order.push_back(1); });
-  sim.ScheduleAt(Milliseconds(20), [&order] { order.push_back(2); });
+  sim.Post(Milliseconds(30), [&order] { order.push_back(3); });
+  sim.Post(Milliseconds(10), [&order] { order.push_back(1); });
+  sim.Post(Milliseconds(20), [&order] { order.push_back(2); });
   sim.RunToCompletion();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -21,7 +21,7 @@ TEST(SimulatorTest, TiesBreakInScheduleOrder) {
   Simulator sim;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    sim.ScheduleAt(Milliseconds(5), [&order, i] { order.push_back(i); });
+    sim.Post(Milliseconds(5), [&order, i] { order.push_back(i); });
   }
   sim.RunToCompletion();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -30,17 +30,17 @@ TEST(SimulatorTest, TiesBreakInScheduleOrder) {
 TEST(SimulatorTest, ClockAdvancesToEventTime) {
   Simulator sim;
   SimTime observed = -1;
-  sim.ScheduleAt(Seconds(2), [&] { observed = sim.Now(); });
+  sim.Post(Seconds(2), [&] { observed = sim.Now(); });
   sim.RunToCompletion();
   EXPECT_EQ(observed, Seconds(2));
   EXPECT_EQ(sim.Now(), Seconds(2));
 }
 
-TEST(SimulatorTest, ScheduleAfterIsRelative) {
+TEST(SimulatorTest, PostInIsRelative) {
   Simulator sim;
   SimTime at_inner = -1;
-  sim.ScheduleAt(Milliseconds(100), [&] {
-    sim.ScheduleAfter(Milliseconds(50), [&] { at_inner = sim.Now(); });
+  sim.Post(Milliseconds(100), [&] {
+    sim.PostIn(Milliseconds(50), [&] { at_inner = sim.Now(); });
   });
   sim.RunToCompletion();
   EXPECT_EQ(at_inner, Milliseconds(150));
@@ -49,8 +49,8 @@ TEST(SimulatorTest, ScheduleAfterIsRelative) {
 TEST(SimulatorTest, PastSchedulingClampsToNow) {
   Simulator sim;
   SimTime ran_at = -1;
-  sim.ScheduleAt(Milliseconds(100), [&] {
-    sim.ScheduleAt(Milliseconds(10), [&] { ran_at = sim.Now(); });
+  sim.Post(Milliseconds(100), [&] {
+    sim.Post(Milliseconds(10), [&] { ran_at = sim.Now(); });
   });
   sim.RunToCompletion();
   EXPECT_EQ(ran_at, Milliseconds(100));
@@ -59,9 +59,9 @@ TEST(SimulatorTest, PastSchedulingClampsToNow) {
 TEST(SimulatorTest, RunUntilStopsAtBoundary) {
   Simulator sim;
   int ran = 0;
-  sim.ScheduleAt(Milliseconds(10), [&] { ran++; });
-  sim.ScheduleAt(Milliseconds(20), [&] { ran++; });
-  sim.ScheduleAt(Milliseconds(30), [&] { ran++; });
+  sim.Post(Milliseconds(10), [&] { ran++; });
+  sim.Post(Milliseconds(20), [&] { ran++; });
+  sim.Post(Milliseconds(30), [&] { ran++; });
   const std::uint64_t executed = sim.RunUntil(Milliseconds(20));
   EXPECT_EQ(executed, 2u);
   EXPECT_EQ(ran, 2);
@@ -78,7 +78,7 @@ TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
 TEST(SimulatorTest, PeriodicRunsUntilFalse) {
   Simulator sim;
   int ticks = 0;
-  sim.SchedulePeriodic(Milliseconds(10), [&ticks] {
+  sim.PostEvery(Milliseconds(10), [&ticks] {
     ticks++;
     return ticks < 5;
   });
@@ -90,7 +90,7 @@ TEST(SimulatorTest, PeriodicRunsUntilFalse) {
 TEST(SimulatorTest, ClearDropsPendingEvents) {
   Simulator sim;
   int ran = 0;
-  sim.ScheduleAt(Milliseconds(10), [&] { ran++; });
+  sim.Post(Milliseconds(10), [&] { ran++; });
   sim.Clear();
   sim.RunToCompletion();
   EXPECT_EQ(ran, 0);
@@ -101,9 +101,9 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   Simulator sim;
   int depth = 0;
   std::function<void()> recurse = [&] {
-    if (++depth < 100) sim.ScheduleAfter(Milliseconds(1), recurse);
+    if (++depth < 100) sim.PostIn(Milliseconds(1), recurse);
   };
-  sim.ScheduleAfter(Milliseconds(1), recurse);
+  sim.PostIn(Milliseconds(1), recurse);
   sim.RunToCompletion();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.executed_events(), 100u);
