@@ -7,8 +7,18 @@
 // Regenerates: long-lived sessions under spoofed RST and spoofed ICMP
 // dest-unreachable teardown floods, with and without a TCS distributed
 // firewall owned by the *client-side* organisation.
+//
+// A second section turns the misuse around: instead of misusing the
+// *network protocols*, a compromised ISP NMS misuses the *control
+// service* (forged certificates, mutated replays, stale credentials, a
+// lying effect signature) while the data plane is under injected link
+// faults. It reports the ContainmentReport scalars, gated by the
+// regression harness via --json.
+#include "analysis/containment.h"
+#include "attack/adversary.h"
 #include "bench_util.h"
 #include "host/session.h"
+#include "sim/faults.h"
 
 using namespace adtc;
 using namespace adtc::bench;
@@ -82,9 +92,140 @@ Outcome RunOne(std::uint64_t seed, bool use_icmp, bool defend) {
   return outcome;
 }
 
+/// Service-misuse containment: a compromised ISP NMS runs every
+/// adversary scenario at once while the data plane suffers injected
+/// link faults and a router crash/restart. Returns the world-level
+/// ContainmentReport.
+analysis::ContainmentReport RunContainmentOne(std::uint64_t seed) {
+  TransitStubParams topo_params;
+  topo_params.transit_count = 4;
+  topo_params.stub_count = 24;
+  TcsWorld world(seed, topo_params);
+  world.AdoptTcsEverywhere();
+  const LinkParams access{MegabitsPerSecond(100), Milliseconds(2),
+                          256 * 1024};
+
+  FaultInjector injector(seed * 7919 + 3);
+  world.tcsp.AttachFaultInjector(&injector);
+  world.net.AttachFaultInjector(&injector);
+  LinkFaults link_faults;
+  link_faults.loss = 0.01;
+  link_faults.corrupt = 0.005;
+  injector.SetDefaultLinkFaults(link_faults);
+  injector.AddLinkFlap(0, Seconds(3), Seconds(3) + Milliseconds(500));
+  ChannelFaults channel_faults;
+  channel_faults.loss = 0.1;
+  channel_faults.duplicate = 0.1;
+  channel_faults.jitter_max = Milliseconds(10);
+  injector.SetDefaultFaults(channel_faults);
+
+  const NodeId victim = world.topo.stub_nodes[0];
+  const NodeId evil = world.topo.stub_nodes[7];
+  const NodeId honest_origin = world.topo.stub_nodes[3];
+  // Keep the offender's detection upcall observable (see the chaos
+  // containment test): the verdict should measure containment, not
+  // whether one event packet got lucky.
+  injector.SetChannelFaults(
+      "dev:" + std::to_string(evil) + "->nms:isp-" + std::to_string(evil),
+      ChannelFaults{});
+
+  Server* victim_server = SpawnHost<Server>(world.net, victim, access);
+  ClientConfig victim_client_config;
+  victim_client_config.server = victim_server->address();
+  victim_client_config.kind = RequestKind::kUdpRequest;
+  victim_client_config.request_rate = 200.0;
+  Client* victim_client = SpawnHost<Client>(
+      world.net, world.topo.stub_nodes[10], access, victim_client_config);
+  Server* evil_server = SpawnHost<Server>(world.net, evil, access);
+  ClientConfig evil_client_config;
+  evil_client_config.server = evil_server->address();
+  evil_client_config.kind = RequestKind::kUdpRequest;
+  evil_client_config.request_rate = 100.0;
+  Client* evil_client = SpawnHost<Client>(
+      world.net, world.topo.stub_nodes[15], access, evil_client_config);
+
+  const auto victim_cert =
+      world.tcsp.Register(AsOrgName(victim), {NodePrefix(victim)});
+  if (!victim_cert.ok()) return {};
+  ServiceRequest filtering;
+  filtering.kind = ServiceKind::kRemoteIngressFiltering;
+  filtering.placement = PlacementPolicy::kAllManagedNodes;
+  filtering.control_scope = {NodePrefix(victim)};
+  (void)world.tcsp.DeployService(victim_cert.value(), filtering);
+
+  const auto honest_cert = world.tcsp.Register(AsOrgName(honest_origin),
+                                               {NodePrefix(honest_origin)});
+  if (!honest_cert.ok()) return {};
+  DeploymentInstruction captured;
+  captured.id = DeploymentId{DeploymentOriginTag("captured"), 1};
+  captured.cert = honest_cert.value();
+  captured.request.kind = ServiceKind::kStatistics;
+  captured.request.placement = PlacementPolicy::kAllManagedNodes;
+  captured.request.control_scope = {NodePrefix(honest_origin)};
+  for (auto& nms : world.nmses) {
+    (void)nms->ApplyDeployment(captured, world.tcsp.certificate_authority());
+  }
+
+  injector.AddRouterRestart(victim, Seconds(4));
+  world.nmses[victim]->ArmRouterRestarts();
+  for (auto& nms : world.nmses) nms->StartResync(Seconds(2));
+
+  victim_client->Start();
+  evil_client->Start();
+  world.net.Run(Seconds(1));
+
+  Adversary adversary(*world.nmses[evil],
+                      world.tcsp.certificate_authority());
+  const auto evil_cert =
+      world.tcsp.Register(AsOrgName(evil), {NodePrefix(evil)});
+  if (!evil_cert.ok()) return {};
+  adversary.InstallLyingDeployment(evil_cert.value(), /*misbehave_after=*/50);
+  const SubscriberId bogus_subscriber = 4242;
+  (void)adversary.PushBogusDeployment(
+      bogus_subscriber, {NodePrefix(world.topo.transit_nodes[0])},
+      world.net.Now());
+  (void)adversary.ReplayMutated(captured);
+  CertificateAuthority twin_ca("bench-key");  // the compromised ISP's key
+  const SubscriberId stale_subscriber = 8888;
+  ServiceRequest stale_request;
+  stale_request.kind = ServiceKind::kStatistics;
+  stale_request.control_scope = {NodePrefix(evil)};
+  (void)adversary.OfferStaleCertificate(
+      twin_ca.Issue(stale_subscriber, "stale-org", {NodePrefix(evil)},
+                    /*now=*/0, /*validity=*/Milliseconds(1)),
+      stale_request);
+
+  world.net.Run(Seconds(9));
+  for (auto& nms : world.nmses) nms->StopResync();
+
+  analysis::ContainmentInputs inputs;
+  inputs.total_devices = world.net.node_count();
+  inputs.goodput_floor = 0.5;
+  const SubscriberId adversary_subscribers[] = {
+      bogus_subscriber, evil_cert.value().subscriber, stale_subscriber};
+  for (NodeId node = 0; node < world.net.node_count(); ++node) {
+    const AdaptiveDevice* device = world.nmses[node]->device(node);
+    if (device == nullptr) continue;
+    bool affected = false;
+    for (SubscriberId subscriber : adversary_subscribers) {
+      affected = affected || device->HasDeployment(subscriber);
+    }
+    if (!affected) continue;
+    if (node == evil) {
+      inputs.offender_devices_affected++;
+    } else {
+      inputs.honest_devices_affected++;
+    }
+  }
+  return analysis::BuildContainmentReport(
+      world.net.telemetry().registry().TakeSnapshot(), inputs);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ExtractJsonFlag(&argc, argv);
+  BenchResultFile results("T7", json_path);
   PrintHeader("T7 (Sec. 4.3) — protocol-misuse teardown attacks",
               "spoofed RST / ICMP-unreachable floods are filterable by the "
               "traffic owner");
@@ -111,5 +252,50 @@ int main() {
       "\nreading: undefended, both vectors kill essentially all sessions\n"
       "within seconds. With the owner's deny rules deployed in-network the\n"
       "forged signalling never reaches the sessions.\n");
+
+  // --- service-misuse containment under data-plane faults ------------------
+  const auto containment = RunReplicatesMulti(
+      3, 8, [&](std::uint64_t seed) -> std::vector<double> {
+        const analysis::ContainmentReport r = RunContainmentOne(seed);
+        return {r.contained ? 1.0 : 0.0,
+                r.blast_radius,
+                static_cast<double>(r.honest_nodes_affected),
+                static_cast<double>(r.replays_rejected +
+                                    r.certs_expired_rejected +
+                                    r.certs_forged_rejected),
+                static_cast<double>(r.quarantines),
+                static_cast<double>(r.device_restarts),
+                r.victim_goodput_retained,
+                static_cast<double>(r.packets_lost + r.packets_corrupted +
+                                    r.link_down_drops)};
+      });
+  Table containment_table(
+      "compromised-NMS misuse under injected link faults "
+      "(forged/replayed/stale credentials + lying module; 3 replicates)");
+  containment_table.SetHeader({"contained", "blast radius",
+                               "honest nodes hit", "typed rejections",
+                               "quarantines", "router restarts",
+                               "victim goodput", "faulted pkts"});
+  containment_table.AddRow(
+      {Table::Pct(containment[0].mean()), Table::Num(containment[1].mean(), 3),
+       Table::Num(containment[2].mean(), 1), Table::Num(containment[3].mean(), 0),
+       Table::Num(containment[4].mean(), 1), Table::Num(containment[5].mean(), 1),
+       Table::Pct(containment[6].mean()), Table::Num(containment[7].mean(), 0)});
+  containment_table.Print(std::cout);
+  std::printf(
+      "\nreading: every outward misuse attempt is rejected with a typed\n"
+      "error, the lying module is quarantined, and adversary state never\n"
+      "leaves the compromised ISP's own devices — while the crashed router\n"
+      "resyncs and the victim's goodput rides out the injected faults.\n");
+
+  results.AddScalar("containment/contained", containment[0].mean());
+  results.AddScalar("containment/blast_radius", containment[1].mean());
+  results.AddScalar("containment/honest_nodes_affected",
+                    containment[2].mean());
+  results.AddScalar("containment/typed_rejections", containment[3].mean());
+  results.AddScalar("containment/quarantines", containment[4].mean());
+  results.AddScalar("containment/victim_goodput_retained",
+                    containment[6].mean());
+  results.Write();
   return 0;
 }

@@ -1,0 +1,171 @@
+#include "analysis/containment.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace adtc::analysis {
+namespace {
+
+bool StartsWith(std::string_view name, std::string_view prefix) {
+  return name.size() >= prefix.size() &&
+         name.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.substr(name.size() - suffix.size()) == suffix;
+}
+
+/// Sum of every metric matching <prefix>...<suffix> — how per-NMS and
+/// per-device cells ("nms.<isp>.replays_rejected") aggregate world-wide.
+double SumWhere(const obs::MetricsSnapshot& snapshot,
+                std::string_view prefix, std::string_view suffix) {
+  double total = 0.0;
+  for (const obs::MetricValue& metric : snapshot) {
+    if (StartsWith(metric.name, prefix) && EndsWith(metric.name, suffix)) {
+      total += metric.value;
+    }
+  }
+  return total;
+}
+
+double MaxWhere(const obs::MetricsSnapshot& snapshot,
+                std::string_view prefix, std::string_view suffix) {
+  double worst = 0.0;
+  for (const obs::MetricValue& metric : snapshot) {
+    if (StartsWith(metric.name, prefix) && EndsWith(metric.name, suffix)) {
+      worst = metric.value > worst ? metric.value : worst;
+    }
+  }
+  return worst;
+}
+
+double FindOr(const obs::MetricsSnapshot& snapshot, std::string_view name,
+              double fallback) {
+  for (const obs::MetricValue& metric : snapshot) {
+    if (metric.name == name) return metric.value;
+  }
+  return fallback;
+}
+
+std::uint64_t AsCount(double value) {
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+}
+
+}  // namespace
+
+ContainmentReport BuildContainmentReport(const obs::MetricsSnapshot& snapshot,
+                                         const ContainmentInputs& inputs) {
+  ContainmentReport report;
+
+  report.nodes_affected =
+      inputs.offender_devices_affected + inputs.honest_devices_affected;
+  report.honest_nodes_affected = inputs.honest_devices_affected;
+  report.blast_radius =
+      inputs.total_devices == 0
+          ? 0.0
+          : static_cast<double>(report.nodes_affected) /
+                static_cast<double>(inputs.total_devices);
+
+  report.replays_rejected =
+      AsCount(SumWhere(snapshot, "nms.", ".replays_rejected") +
+              SumWhere(snapshot, "device.", ".replays_rejected"));
+  report.certs_expired_rejected =
+      AsCount(SumWhere(snapshot, "nms.", ".certs_expired_rejected"));
+  report.certs_forged_rejected =
+      AsCount(SumWhere(snapshot, "nms.", ".certs_forged_rejected"));
+  report.deployments_rejected =
+      AsCount(SumWhere(snapshot, "nms.", ".deployments_rejected"));
+
+  report.quarantines = AsCount(SumWhere(snapshot, "device.", ".quarantines"));
+  report.quarantines_propagated =
+      AsCount(SumWhere(snapshot, "nms.", ".quarantines_propagated"));
+  report.soundness_flags =
+      AsCount(SumWhere(snapshot, "nms.", ".soundness_flags"));
+  report.device_restarts =
+      AsCount(SumWhere(snapshot, "nms.", ".device_restarts"));
+  report.resync_installs =
+      AsCount(SumWhere(snapshot, "nms.", ".resync_installs"));
+  report.time_to_quarantine =
+      MaxWhere(snapshot, "nms.", ".quarantine_latency");
+
+  const double legit_sent = FindOr(snapshot, "net.class.legit.sent", 0.0);
+  const double legit_delivered =
+      FindOr(snapshot, "net.class.legit.delivered", 0.0);
+  report.victim_goodput_retained =
+      legit_sent <= 0.0 ? 1.0 : legit_delivered / legit_sent;
+
+  report.packets_lost = AsCount(FindOr(snapshot, "faults.packets_lost", 0.0));
+  report.packets_corrupted =
+      AsCount(FindOr(snapshot, "faults.packets_corrupted", 0.0));
+  report.link_down_drops =
+      AsCount(FindOr(snapshot, "faults.link_down_drops", 0.0));
+
+  report.contained =
+      report.honest_nodes_affected == 0 &&
+      report.victim_goodput_retained >= inputs.goodput_floor;
+  return report;
+}
+
+std::string ContainmentReport::ToString() const {
+  char buffer[640];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "containment: %s\n"
+      "  blast radius: %zu node(s) affected (%zu honest), %.3f of world\n"
+      "  rejections: %llu replay, %llu expired-cert, %llu forged-cert, "
+      "%llu total\n"
+      "  detection: %llu quarantine(s), %llu propagated, %llu soundness "
+      "flag(s), time-to-quarantine %.0f\n"
+      "  recovery: %llu restart(s), %llu resync install(s)\n"
+      "  victim goodput retained: %.3f under %llu lost / %llu corrupted / "
+      "%llu link-down packets",
+      contained ? "CONTAINED" : "BREACHED", nodes_affected,
+      honest_nodes_affected, blast_radius,
+      static_cast<unsigned long long>(replays_rejected),
+      static_cast<unsigned long long>(certs_expired_rejected),
+      static_cast<unsigned long long>(certs_forged_rejected),
+      static_cast<unsigned long long>(deployments_rejected),
+      static_cast<unsigned long long>(quarantines),
+      static_cast<unsigned long long>(quarantines_propagated),
+      static_cast<unsigned long long>(soundness_flags), time_to_quarantine,
+      static_cast<unsigned long long>(device_restarts),
+      static_cast<unsigned long long>(resync_installs),
+      victim_goodput_retained,
+      static_cast<unsigned long long>(packets_lost),
+      static_cast<unsigned long long>(packets_corrupted),
+      static_cast<unsigned long long>(link_down_drops));
+  return buffer;
+}
+
+std::string ContainmentReport::ToJson() const {
+  char buffer[640];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\"contained\": %s, \"nodes_affected\": %zu, "
+      "\"honest_nodes_affected\": %zu, \"blast_radius\": %.6f, "
+      "\"replays_rejected\": %llu, \"certs_expired_rejected\": %llu, "
+      "\"certs_forged_rejected\": %llu, \"deployments_rejected\": %llu, "
+      "\"quarantines\": %llu, \"quarantines_propagated\": %llu, "
+      "\"soundness_flags\": %llu, \"device_restarts\": %llu, "
+      "\"resync_installs\": %llu, \"time_to_quarantine\": %.0f, "
+      "\"victim_goodput_retained\": %.6f, \"packets_lost\": %llu, "
+      "\"packets_corrupted\": %llu, \"link_down_drops\": %llu}",
+      contained ? "true" : "false", nodes_affected, honest_nodes_affected,
+      blast_radius, static_cast<unsigned long long>(replays_rejected),
+      static_cast<unsigned long long>(certs_expired_rejected),
+      static_cast<unsigned long long>(certs_forged_rejected),
+      static_cast<unsigned long long>(deployments_rejected),
+      static_cast<unsigned long long>(quarantines),
+      static_cast<unsigned long long>(quarantines_propagated),
+      static_cast<unsigned long long>(soundness_flags),
+      static_cast<unsigned long long>(device_restarts),
+      static_cast<unsigned long long>(resync_installs), time_to_quarantine,
+      victim_goodput_retained,
+      static_cast<unsigned long long>(packets_lost),
+      static_cast<unsigned long long>(packets_corrupted),
+      static_cast<unsigned long long>(link_down_drops));
+  return buffer;
+}
+
+}  // namespace adtc::analysis

@@ -1,0 +1,84 @@
+// Containment metrics for adversarial-misuse scenarios.
+//
+// When the chaos harness combines data-plane faults with a compromised
+// ISP NMS, lying-signature modules and replayed/forged credentials, the
+// question is not "did something bad happen" (it did, on the compromised
+// ISP's own devices — that is the assumed breach) but "did it stay
+// contained": zero adversary state on honest devices, every outward
+// offer rejected with a typed Status, the offender quarantined quickly,
+// and the victim's legitimate traffic still flowing. A ContainmentReport
+// condenses a world's metrics-registry snapshot plus the few facts only
+// the test harness knows (which devices actually carry adversary state)
+// into those scalars, for test assertions and the protocol-misuse bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics_registry.h"
+
+namespace adtc::analysis {
+
+/// Ground-truth facts the registry cannot know, supplied by the harness
+/// (it can enumerate devices and ask HasDeployment for the adversary's
+/// subscriber ids).
+struct ContainmentInputs {
+  /// Devices of the compromised ISP carrying adversary state — the
+  /// assumed blast radius of the compromise itself.
+  std::size_t offender_devices_affected = 0;
+  /// Honest-ISP devices carrying adversary state. Containment means 0.
+  std::size_t honest_devices_affected = 0;
+  /// All managed devices in the world (blast-radius denominator).
+  std::size_t total_devices = 0;
+  /// Minimum legitimate-traffic delivery ratio containment requires
+  /// (0 = don't gate containment on goodput).
+  double goodput_floor = 0.0;
+};
+
+struct ContainmentReport {
+  // --- blast radius -------------------------------------------------------
+  std::size_t nodes_affected = 0;         ///< devices with adversary state
+  std::size_t honest_nodes_affected = 0;  ///< of those, honest-ISP devices
+  double blast_radius = 0.0;              ///< nodes_affected / total_devices
+
+  // --- typed rejections (summed over every NMS) ---------------------------
+  std::uint64_t replays_rejected = 0;
+  std::uint64_t certs_expired_rejected = 0;
+  std::uint64_t certs_forged_rejected = 0;
+  std::uint64_t deployments_rejected = 0;
+
+  // --- detection and recovery ---------------------------------------------
+  std::uint64_t quarantines = 0;              ///< device-level quarantines
+  std::uint64_t quarantines_propagated = 0;   ///< NMS containment fan-out
+  std::uint64_t soundness_flags = 0;          ///< lying signatures caught
+  std::uint64_t device_restarts = 0;          ///< injected router crashes
+  std::uint64_t resync_installs = 0;          ///< state recovered after them
+  /// Worst safety-violation -> NMS-wide quarantine latency (SimTime
+  /// ticks; 0 when detection was same-event-inline or nothing violated).
+  double time_to_quarantine = 0.0;
+
+  // --- victim service level ------------------------------------------------
+  /// Legitimate packets delivered / sent (1.0 when nothing was sent).
+  double victim_goodput_retained = 1.0;
+
+  // --- data-plane fault pressure the run was contained under ---------------
+  std::uint64_t packets_lost = 0;
+  std::uint64_t packets_corrupted = 0;
+  std::uint64_t link_down_drops = 0;
+
+  /// Zero adversary state on honest devices AND the victim's goodput
+  /// held the requested floor.
+  bool contained = false;
+
+  /// Human-readable multi-line summary.
+  std::string ToString() const;
+  /// Flat JSON object of the scalars above (bench --json section).
+  std::string ToJson() const;
+};
+
+/// Builds the report from a registry snapshot (Telemetry::registry()
+/// .Collect()) and the harness-supplied ground truth.
+ContainmentReport BuildContainmentReport(const obs::MetricsSnapshot& snapshot,
+                                         const ContainmentInputs& inputs);
+
+}  // namespace adtc::analysis

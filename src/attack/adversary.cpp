@@ -1,0 +1,142 @@
+#include "attack/adversary.h"
+
+#include <memory>
+#include <utility>
+
+#include "core/modules/observe.h"
+
+namespace adtc {
+
+std::string_view AdversaryScenarioName(AdversaryScenario scenario) {
+  switch (scenario) {
+    case AdversaryScenario::kLyingSignature:
+      return "lying-signature";
+    case AdversaryScenario::kExpiredCertificate:
+      return "expired-certificate";
+    case AdversaryScenario::kReplayedInstruction:
+      return "replayed-instruction";
+    case AdversaryScenario::kForgedCertificate:
+      return "forged-certificate";
+    case AdversaryScenario::kCompromisedNms:
+      return "compromised-nms";
+    case AdversaryScenario::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+int LyingModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
+  (void)ctx;
+  if (++seen_ > misbehave_after_) {
+    packet.ttl = 255;  // the mutation the signature swore off
+  }
+  return kPortDefault;
+}
+
+Adversary::Adversary(IspNms& compromised,
+                     const CertificateAuthority& authority)
+    : nms_(compromised),
+      authority_(authority),
+      origin_tag_(DeploymentOriginTag("adversary:" + compromised.name())) {}
+
+DeploymentId Adversary::NextId() {
+  return DeploymentId{origin_tag_, next_seq_++};
+}
+
+std::size_t Adversary::InstallLyingDeployment(
+    const OwnershipCertificate& cert, std::uint64_t misbehave_after) {
+  const DeploymentId id = NextId();
+  std::size_t reached = 0;
+  for (NodeId node : nms_.managed_nodes()) {
+    AdaptiveDevice* dev = nms_.device(node);
+    if (dev == nullptr) continue;
+    DeploymentSpec spec;
+    spec.cert = cert;
+    spec.scope = cert.prefixes;
+    spec.destination_stage =
+        ModuleGraph::Single(std::make_unique<LyingModule>(misbehave_after));
+    spec.label = "lying-signature";
+    spec.deployment_id = id;
+    if (dev->InstallDeployment(std::move(spec)).ok()) {
+      ++reached;
+      ++stats_.lying_installs;
+    }
+  }
+  return reached;
+}
+
+Adversary::BogusOutcome Adversary::PushBogusDeployment(
+    SubscriberId fake_subscriber, const std::vector<Prefix>& scope,
+    SimTime now) {
+  BogusOutcome outcome;
+  // A certificate the CA never signed: internally consistent (scope
+  // covered, not expired) so only the signature check can catch it.
+  OwnershipCertificate forged;
+  forged.subscriber = fake_subscriber;
+  forged.subject = "bogus-org";
+  forged.prefixes = scope;
+  forged.issued_at = now;
+  forged.expires_at = now + Seconds(3600);
+  forged.signature.fill(0xAB);
+
+  const DeploymentId id = NextId();
+  // Own devices trust their NMS (they check scope-within-cert, not the
+  // signature — their NMS is supposed to have done that): the bogus
+  // deployment lands here. This is the compromise's blast radius.
+  for (NodeId node : nms_.managed_nodes()) {
+    AdaptiveDevice* dev = nms_.device(node);
+    if (dev == nullptr) continue;
+    DeploymentSpec spec;
+    spec.cert = forged;
+    spec.scope = scope;
+    spec.destination_stage =
+        ModuleGraph::Single(std::make_unique<StatisticsModule>());
+    spec.label = "bogus";
+    spec.deployment_id = id;
+    if (dev->InstallDeployment(std::move(spec)).ok()) {
+      ++outcome.own_devices_applied;
+      ++stats_.bogus_installs_applied;
+    }
+  }
+
+  // Honest peers re-verify against the real CA and must reject.
+  DeploymentInstruction instr;
+  instr.id = id;
+  instr.cert = forged;
+  instr.request.kind = ServiceKind::kStatistics;
+  instr.request.control_scope = scope;
+  for (IspNms* peer : nms_.peers()) {
+    ++stats_.bogus_offers;
+    outcome.peer_outcomes.push_back(peer->RelayDeploy(instr, authority_));
+  }
+  return outcome;
+}
+
+std::vector<Status> Adversary::ReplayMutated(DeploymentInstruction instr) {
+  // Mutate under the original id: hijack the subject and widen the
+  // scope. The digest check at every honest hop sees through it.
+  instr.cert.subject += ":hijacked";
+  instr.request.control_scope.push_back(Prefix::Any());
+  std::vector<Status> outcomes;
+  for (IspNms* peer : nms_.peers()) {
+    ++stats_.replays_sent;
+    outcomes.push_back(peer->ApplyDeployment(instr, authority_));
+  }
+  return outcomes;
+}
+
+std::vector<Status> Adversary::OfferStaleCertificate(
+    const OwnershipCertificate& stale_cert, const ServiceRequest& request) {
+  DeploymentInstruction instr;
+  instr.id = NextId();
+  instr.cert = stale_cert;
+  instr.request = request;
+  std::vector<Status> outcomes;
+  for (IspNms* peer : nms_.peers()) {
+    ++stats_.stale_offers;
+    outcomes.push_back(peer->ApplyDeployment(instr, authority_));
+  }
+  return outcomes;
+}
+
+}  // namespace adtc

@@ -1,0 +1,125 @@
+// Adversarial misuse of the traffic-control service itself (Sec. 4.5's
+// threat model, exercised end to end).
+//
+// The DDoS scenarios in scenario.h attack the *network*; the Adversary
+// here attacks the *control service*: a module that lies about its
+// effect signature (passing static admission, to be caught by the
+// runtime guard and flagged as an analyzer-soundness violation), stale
+// and forged certificates offered to honest NMSes, known deployment ids
+// replayed with mutated content, and a fully compromised ISP NMS that
+// installs bogus deployments on its own devices and relays them to
+// peers. Each method returns what the honest side answered, so tests can
+// assert the typed rejection (kExpired / kPermissionDenied /
+// kReplayDetected) and the containment metrics can count the blast
+// radius.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/nms.h"
+
+namespace adtc {
+
+/// The misuse scenarios the Adversary can drive (named for reports and
+/// the containment bench).
+enum class AdversaryScenario : std::uint8_t {
+  kLyingSignature = 0,   ///< module's declared effects are false
+  kExpiredCertificate,   ///< legitimately issued, stale credentials
+  kReplayedInstruction,  ///< known id re-offered with mutated content
+  kForgedCertificate,    ///< signature never issued by the CA
+  kCompromisedNms,       ///< an ISP NMS under adversary control
+  kCount_,
+};
+
+/// Stable lower-case names ("lying-signature", "expired-certificate", ...).
+std::string_view AdversaryScenarioName(AdversaryScenario scenario);
+
+/// Masquerades under the vetted "match" type name and inherits the
+/// honest default effect signature (no header writes) — so the static
+/// verifier proves any graph containing it safe — then mutates the TTL
+/// at runtime after `misbehave_after` packets. The runtime safety guard
+/// catches the mutation, quarantines the deployment and emits the
+/// kSafetyViolation event the soundness oracle feeds on.
+class LyingModule : public Module {
+ public:
+  explicit LyingModule(std::uint64_t misbehave_after = 0)
+      : misbehave_after_(misbehave_after) {}
+
+  int OnPacket(Packet& packet, const DeviceContext& ctx) override;
+  std::string_view type_name() const override { return "match"; }
+  // effect_signature() deliberately NOT overridden: the inherited
+  // honest-looking default is the lie.
+
+ private:
+  std::uint64_t misbehave_after_;
+  std::uint64_t seen_ = 0;
+};
+
+/// What the adversary attempted, for containment accounting.
+struct AdversaryStats {
+  std::size_t lying_installs = 0;        ///< devices given a lying graph
+  std::size_t bogus_installs_applied = 0;  ///< own devices accepting bogus
+  std::size_t bogus_offers = 0;          ///< bogus relays sent to peers
+  std::size_t replays_sent = 0;          ///< mutated-replay offers
+  std::size_t stale_offers = 0;          ///< expired-certificate offers
+};
+
+/// Drives misuse from a compromised ISP NMS. The compromised NMS skips
+/// its own validation (the adversary controls it), so bogus deployments
+/// land on its OWN devices — that is the blast radius. Honest peers and
+/// their devices verify certificates, digests and scopes, so every
+/// outward offer must come back rejected.
+class Adversary {
+ public:
+  /// `compromised` must outlive the Adversary; `authority` is the real
+  /// CA honest parties verify against (peer relays carry it by
+  /// contract — a compromised NMS cannot substitute its own).
+  Adversary(IspNms& compromised, const CertificateAuthority& authority);
+
+  /// kLyingSignature: installs a lying-module deployment under a valid
+  /// certificate straight onto every device of the compromised ISP
+  /// (bypassing its admission gate). Returns devices reached.
+  std::size_t InstallLyingDeployment(const OwnershipCertificate& cert,
+                                     std::uint64_t misbehave_after = 0);
+
+  /// kCompromisedNms / kForgedCertificate: fabricates a certificate the
+  /// CA never signed, installs a deployment under it on the compromised
+  /// ISP's own devices, then offers the instruction to every honest
+  /// peer. Peers verify and reject (kPermissionDenied); the returned
+  /// outcomes let tests assert exactly that.
+  struct BogusOutcome {
+    std::size_t own_devices_applied = 0;
+    std::vector<Status> peer_outcomes;
+  };
+  BogusOutcome PushBogusDeployment(SubscriberId fake_subscriber,
+                                   const std::vector<Prefix>& scope,
+                                   SimTime now);
+
+  /// kReplayedInstruction: re-offers `instr`'s id to every peer with the
+  /// content mutated (hijacked subject + widened scope). Peers that
+  /// already applied the id answer kReplayDetected; peers that never saw
+  /// it reject the broken certificate instead. Returns per-peer answers.
+  std::vector<Status> ReplayMutated(DeploymentInstruction instr);
+
+  /// kExpiredCertificate: offers a fresh instruction under `stale_cert`
+  /// (legitimately issued, since expired) to every peer. Honest peers
+  /// answer kExpired. Returns per-peer answers.
+  std::vector<Status> OfferStaleCertificate(
+      const OwnershipCertificate& stale_cert, const ServiceRequest& request);
+
+  const AdversaryStats& stats() const { return stats_; }
+  IspNms& compromised() { return nms_; }
+
+ private:
+  DeploymentId NextId();
+
+  IspNms& nms_;
+  const CertificateAuthority& authority_;
+  std::uint64_t origin_tag_;
+  std::uint64_t next_seq_ = 1;
+  AdversaryStats stats_;
+};
+
+}  // namespace adtc

@@ -23,6 +23,9 @@ enum class DatapathDropReason : std::uint8_t {
   kModulePolicy,    ///< Some other module routed to the drop terminal.
   kQueueOverflow,   ///< Device or link queue was full.
   kFaultInjected,   ///< Dropped by the fault-injection layer.
+  kLinkLoss,        ///< Injected data-plane link loss ate the packet.
+  kLinkCorrupt,     ///< Injected in-flight corruption; CRC-dropped at arrival.
+  kLinkDown,        ///< Link was inside an injected flap window.
   kCount_,          ///< Sentinel — keep last.
 };
 
@@ -40,6 +43,9 @@ inline const char* DatapathDropReasonName(DatapathDropReason reason) {
     case DatapathDropReason::kModulePolicy: return "module-policy";
     case DatapathDropReason::kQueueOverflow: return "queue-overflow";
     case DatapathDropReason::kFaultInjected: return "fault-injected";
+    case DatapathDropReason::kLinkLoss: return "link-loss";
+    case DatapathDropReason::kLinkCorrupt: return "link-corrupt";
+    case DatapathDropReason::kLinkDown: return "link-down";
     case DatapathDropReason::kCount_: break;
   }
   return "unknown";

@@ -13,6 +13,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kAlreadyExists: return "already_exists";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kExpired: return "expired";
+    case ErrorCode::kReplayDetected: return "replay_detected";
     case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
@@ -26,12 +27,13 @@ int ErrorSeverity(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return 3;
     case ErrorCode::kExpired: return 4;
     case ErrorCode::kPermissionDenied: return 5;
-    case ErrorCode::kSafetyViolation: return 6;
-    case ErrorCode::kResourceExhausted: return 7;
-    case ErrorCode::kUnavailable: return 8;
-    case ErrorCode::kInternal: return 9;
+    case ErrorCode::kReplayDetected: return 6;
+    case ErrorCode::kSafetyViolation: return 7;
+    case ErrorCode::kResourceExhausted: return 8;
+    case ErrorCode::kUnavailable: return 9;
+    case ErrorCode::kInternal: return 10;
   }
-  return 9;
+  return 10;
 }
 
 const Status& WorseStatus(const Status& a, const Status& b) {

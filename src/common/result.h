@@ -24,6 +24,7 @@ enum class ErrorCode {
   kAlreadyExists,     // duplicate registration / rule id
   kResourceExhausted, // device rule table or budget exceeded
   kExpired,           // certificate/lease outside its validity window
+  kReplayDetected,    // known id re-delivered with different content
   kInternal,
 };
 
@@ -87,6 +88,9 @@ inline Status ResourceExhausted(std::string msg) {
 }
 inline Status Expired(std::string msg) {
   return {ErrorCode::kExpired, std::move(msg)};
+}
+inline Status ReplayDetected(std::string msg) {
+  return {ErrorCode::kReplayDetected, std::move(msg)};
 }
 inline Status InternalError(std::string msg) {
   return {ErrorCode::kInternal, std::move(msg)};

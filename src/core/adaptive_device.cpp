@@ -6,6 +6,45 @@
 #include "obs/trace_context.h"
 
 namespace adtc {
+namespace {
+
+/// FNV-1a accumulation helpers for DeploymentSpecDigest.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(std::uint64_t& h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void FnvMix(std::uint64_t& h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::uint64_t DeploymentSpecDigest(const DeploymentSpec& spec) {
+  std::uint64_t h = kFnvOffset;
+  FnvMix(h, spec.deployment_id.origin);
+  FnvMix(h, spec.deployment_id.seq);
+  FnvMix(h, spec.cert.subscriber);
+  FnvMix(h, spec.cert.subject);
+  FnvMix(h, static_cast<std::uint64_t>(spec.cert.expires_at));
+  for (const std::uint8_t byte : spec.cert.signature) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  for (const Prefix& prefix : spec.scope) {
+    FnvMix(h, (static_cast<std::uint64_t>(prefix.address().bits()) << 8) |
+                  static_cast<std::uint64_t>(prefix.length()));
+  }
+  return h;
+}
 
 AdaptiveDevice::AdaptiveDevice(NodeId node, EventSink* events)
     : node_(node), events_(events) {}
@@ -53,6 +92,12 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
                    static_cast<double>(stats_.installs_applied)});
     out.push_back({prefix + "duplicate_installs",
                    static_cast<double>(stats_.duplicate_installs)});
+    out.push_back({prefix + "replays_rejected",
+                   static_cast<double>(stats_.replays_rejected)});
+    out.push_back({prefix + "restarts",
+                   static_cast<double>(stats_.restarts)});
+    out.push_back({prefix + "quarantines",
+                   static_cast<double>(stats_.quarantines)});
     out.push_back({prefix + "deployments",
                    static_cast<double>(deployments_gauge_.value())});
     out.push_back({prefix + "redirect_prefixes",
@@ -68,18 +113,51 @@ void AdaptiveDevice::BindTelemetry(obs::Telemetry* telemetry) {
 
 Status AdaptiveDevice::InstallDeployment(DeploymentSpec spec) {
   // Exactly-once: a duplicated or retried instruction (same id) replays
-  // the recorded outcome without touching tables or counters.
+  // the recorded outcome without touching tables or counters — but only
+  // when the content matches the record. A known id carrying different
+  // content is a replayed/mutated instruction (a compromised relay
+  // re-using a legitimate DeploymentId) and is rejected outright.
   if (spec.deployment_id.valid()) {
     const auto it = applied_installs_.find(spec.deployment_id);
     if (it != applied_installs_.end()) {
+      if (it->second.digest != DeploymentSpecDigest(spec)) {
+        stats_.replays_rejected++;
+        return ReplayDetected("deployment id re-used with mutated content");
+      }
       stats_.duplicate_installs++;
-      return it->second;
+      return it->second.status;
     }
   }
   const DeploymentId id = spec.deployment_id;
+  const std::uint64_t digest = DeploymentSpecDigest(spec);
   const Status status = InstallDeploymentImpl(std::move(spec));
-  if (id.valid()) applied_installs_.emplace(id, status);
+  if (id.valid()) applied_installs_.emplace(id, InstallRecord{status, digest});
   return status;
+}
+
+void AdaptiveDevice::Restart() {
+  deployments_.clear();
+  applied_installs_.clear();
+  src_redirect_ = PrefixTrie<SubscriberId>();
+  dst_redirect_ = PrefixTrie<SubscriberId>();
+  flow_cache_.clear();
+  // Generation keeps moving forward (never resets): an entry somehow
+  // surviving in a caller's hands can never validate against post-restart
+  // state.
+  InvalidateFlowCache();
+  deployments_gauge_ = 0;
+  redirect_prefixes_gauge_ = 0;
+  flow_cache_entries_gauge_ = 0;
+  stats_.restarts++;
+}
+
+bool AdaptiveDevice::Quarantine(SubscriberId subscriber) {
+  const auto it = deployments_.find(subscriber);
+  if (it == deployments_.end() || it->second.quarantined) return false;
+  it->second.quarantined = true;
+  stats_.quarantines++;
+  InvalidateFlowCache();
+  return true;
 }
 
 Status AdaptiveDevice::InstallDeploymentImpl(DeploymentSpec spec) {
@@ -249,6 +327,7 @@ AdaptiveDevice::StageRun AdaptiveDevice::RunStage(Deployment& deployment,
   if (violation != InvariantViolation::kNone) {
     stats_.safety_violations++;
     deployment.quarantined = true;
+    stats_.quarantines++;
     // Quarantine changes this deployment's treatment for every flow that
     // touches it; cached verdicts from before the violation are void.
     InvalidateFlowCache();

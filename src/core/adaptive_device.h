@@ -56,6 +56,9 @@ struct DeviceStats {
   obs::Counter flow_cache_misses;  // cache enabled but no usable entry
   obs::Counter installs_applied;     // effectful InstallDeployment calls
   obs::Counter duplicate_installs;   // re-delivered ids served from record
+  obs::Counter replays_rejected;     // known id, different content (attack)
+  obs::Counter restarts;             // crash/restart cycles (state wiped)
+  obs::Counter quarantines;          // deployments put under quarantine
   /// Drops attributed per taxonomy entry (indexed by DatapathDropReason);
   /// the sum over policy reasons equals dropped_packets.
   obs::Counter drops_by_reason[kDatapathDropReasonCount];
@@ -79,6 +82,13 @@ struct DeploymentSpec {
   DeploymentId deployment_id;
 };
 
+/// Order-stable content digest over a spec's identity-relevant fields
+/// (id, certificate subject + signature, scope). A receiver that already
+/// holds a record for the spec's id compares digests to tell a benign
+/// re-delivery (same digest → replay the record) from a replayed or
+/// mutated instruction under a stolen id (mismatch → kReplayDetected).
+std::uint64_t DeploymentSpecDigest(const DeploymentSpec& spec);
+
 class AdaptiveDevice : public PacketProcessor {
  public:
   explicit AdaptiveDevice(NodeId node, EventSink* events = nullptr);
@@ -101,6 +111,20 @@ class AdaptiveDevice : public PacketProcessor {
   Status InstallDeployment(DeploymentSpec spec);
 
   Status RemoveDeployment(SubscriberId subscriber);
+
+  /// Models a router crash + immediate restart: every RAM table is lost —
+  /// installed module graphs, redirect tries, the flow verdict cache AND
+  /// the per-id install record (it lives in the same RAM). The NMS
+  /// anti-entropy resync re-installs desired deployments afterwards; the
+  /// flow cache then repopulates under a fresh generation.
+  void Restart();
+
+  /// Puts the subscriber's deployment under quarantine (its graphs stop
+  /// running; fail-open like a runtime safety violation). Used by the NMS
+  /// to propagate an offender's quarantine to every device it manages.
+  /// Returns true when a present, not-yet-quarantined deployment was
+  /// quarantined by this call.
+  bool Quarantine(SubscriberId subscriber);
 
   /// Installs already processed by id (duplicates were suppressed).
   std::size_t applied_install_count() const {
@@ -270,9 +294,17 @@ class AdaptiveDevice : public PacketProcessor {
   Histogram* stage_wall_ns_ = nullptr;
   Histogram* lookup_wall_ns_ = nullptr;
   std::unordered_map<SubscriberId, Deployment> deployments_;
-  /// Outcome of every id-stamped install ever delivered here. Ids are
-  /// never reused (monotonic per origin), so entries are permanent.
-  std::unordered_map<DeploymentId, Status, DeploymentIdHash>
+  /// Outcome of every id-stamped install ever delivered here, plus a
+  /// content digest: a re-delivery of a known id with matching digest is
+  /// a benign duplicate (replay the record); a digest mismatch is a
+  /// replayed/mutated instruction and is rejected as kReplayDetected.
+  /// Ids are never reused (monotonic per origin), so entries are
+  /// permanent — until a Restart() wipes the device's RAM.
+  struct InstallRecord {
+    Status status;
+    std::uint64_t digest = 0;
+  };
+  std::unordered_map<DeploymentId, InstallRecord, DeploymentIdHash>
       applied_installs_;
   PrefixTrie<SubscriberId> src_redirect_;
   PrefixTrie<SubscriberId> dst_redirect_;

@@ -14,7 +14,57 @@ std::uint64_t DeployKey(SubscriberId subscriber, ServiceKind kind) {
          static_cast<std::uint64_t>(kind);
 }
 
+// FNV-1a, the same construction DeploymentSpecDigest uses device-side.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t FnvMix(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((value >> (i * 8)) & 0xff)) * kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t FnvMix(std::uint64_t h, std::string_view bytes) {
+  for (const char c : bytes) {
+    h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
 }  // namespace
+
+std::uint64_t InstructionDigest(const DeploymentInstruction& instr) {
+  std::uint64_t h = kFnvOffset;
+  h = FnvMix(h, instr.id.origin);
+  h = FnvMix(h, instr.id.seq);
+  h = FnvMix(h, static_cast<std::uint64_t>(instr.cert.subscriber));
+  h = FnvMix(h, instr.cert.subject);
+  h = FnvMix(h, static_cast<std::uint64_t>(instr.cert.expires_at));
+  for (const std::uint8_t byte : instr.cert.signature) {
+    h = (h ^ byte) * kFnvPrime;
+  }
+  h = FnvMix(h, static_cast<std::uint64_t>(instr.request.kind));
+  for (const Prefix& prefix : instr.request.control_scope) {
+    h = FnvMix(h, (static_cast<std::uint64_t>(prefix.address().bits()) << 8) |
+                      prefix.length());
+  }
+  for (const NodeId node : instr.home_nodes) {
+    h = FnvMix(h, static_cast<std::uint64_t>(node));
+  }
+  return h;
+}
+
+/// Forwards one device's events into DeliverEvent with the node id
+/// attached, so the upcall can ride that device's event channel.
+struct IspNms::DeviceEventProxy : EventSink {
+  DeviceEventProxy(IspNms* nms, NodeId node) : nms(nms), node(node) {}
+  void OnEvent(const DeviceEvent& event) override {
+    nms->DeliverEvent(node, event);
+  }
+  IspNms* nms;
+  NodeId node;
+};
 
 IspNms::IspNms(std::string isp_name, Network& net,
                const SafetyValidator* validator)
@@ -55,6 +105,19 @@ IspNms::IspNms(std::string isp_name, Network& net,
                        static_cast<double>(stats_.resync_installs)});
         out.push_back({prefix + "soundness_flags",
                        static_cast<double>(stats_.soundness_flags)});
+        out.push_back({prefix + "replays_rejected",
+                       static_cast<double>(stats_.replays_rejected)});
+        out.push_back({prefix + "certs_expired_rejected",
+                       static_cast<double>(stats_.certs_expired_rejected)});
+        out.push_back({prefix + "certs_forged_rejected",
+                       static_cast<double>(stats_.certs_forged_rejected)});
+        out.push_back(
+            {prefix + "quarantines_propagated",
+             static_cast<double>(stats_.quarantines_propagated)});
+        out.push_back({prefix + "device_restarts",
+                       static_cast<double>(stats_.device_restarts)});
+        out.push_back({prefix + "quarantine_latency",
+                       static_cast<double>(max_quarantine_latency_)});
       });
 }
 
@@ -70,11 +133,17 @@ void IspNms::ManageNode(NodeId node) {
     assert(net_.shard_at(node).SameShard(sched_) &&
            "an NMS and all its managed devices must share one shard");
   }
-  auto device = std::make_unique<AdaptiveDevice>(node, this);
+  // Events travel device->proxy->event channel->OnEvent, so upcalls can
+  // be lost/delayed like any other management message when an injector
+  // is attached.
+  auto proxy = std::make_unique<DeviceEventProxy>(this, node);
+  auto device = std::make_unique<AdaptiveDevice>(node, proxy.get());
   device->BindTelemetry(&net_.telemetry());
   net_.AddProcessor(node, device.get());
   devices_.emplace(node, std::move(device));
+  event_proxies_.emplace(node, std::move(proxy));
   managed_.push_back(node);
+  ArmRouterRestartsFor(node);
 }
 
 AdaptiveDevice* IspNms::device(NodeId node) {
@@ -87,7 +156,39 @@ void IspNms::AttachFaultInjector(FaultInjector* injector) {
   // Channels capture the injector at construction; drop them so the next
   // use rebuilds against the new plan.
   device_channels_.clear();
+  event_channels_.clear();
   peer_channels_.clear();
+  ArmRouterRestarts();
+}
+
+void IspNms::ArmRouterRestarts() {
+  if (injector_ == nullptr) return;
+  for (NodeId node : managed_) {
+    ArmRouterRestartsFor(node);
+  }
+}
+
+void IspNms::ArmRouterRestartsFor(NodeId node) {
+  if (injector_ == nullptr) return;
+  const std::vector<SimTime>& restarts =
+      injector_->RouterRestartsFor(node);
+  std::size_t& armed = restarts_armed_[node];
+  for (; armed < restarts.size(); ++armed) {
+    const SimTime when = std::max(restarts[armed], sched_.Now());
+    sched_.Post(when, [this, node] { RestartDevice(node); });
+  }
+}
+
+void IspNms::RestartDevice(NodeId node) {
+  AdaptiveDevice* dev = device(node);
+  if (dev == nullptr) return;
+  dev->Restart();
+  stats_.device_restarts++;
+  // The wiped device re-converges through the backoff sweep (and, if
+  // running, the periodic resync) — same recovery path a crashed-then-
+  // recovered device takes.
+  sweep_attempt_ = 0;
+  ScheduleRetrySweep();
 }
 
 void IspNms::AddPeer(IspNms* peer) {
@@ -100,6 +201,14 @@ void IspNms::AddPeer(IspNms* peer) {
 
 std::string IspNms::DeviceChannelName(NodeId node) const {
   return "nms:" + name_ + "->dev:" + std::to_string(node);
+}
+
+const std::string& IspNms::DeviceChannelNameRef(NodeId node) {
+  auto it = device_channel_names_.find(node);
+  if (it == device_channel_names_.end()) {
+    it = device_channel_names_.emplace(node, DeviceChannelName(node)).first;
+  }
+  return it->second;
 }
 
 ControlChannel& IspNms::DeviceChannel(NodeId node) {
@@ -115,6 +224,20 @@ ControlChannel& IspNms::DeviceChannel(NodeId node) {
         });
     channel->SetTracer(&net_.telemetry().tracer());
     it = device_channels_.emplace(node, std::move(channel)).first;
+  }
+  return *it->second;
+}
+
+ControlChannel& IspNms::EventChannel(NodeId node) {
+  auto it = event_channels_.find(node);
+  if (it == event_channels_.end()) {
+    // Upcall direction: the device's shard is the NMS's shard (ManageNode
+    // contract), so both ends anchor on sched_.
+    auto channel = std::make_unique<ControlChannel>(
+        sched_, sched_, control_rng_,
+        "dev:" + std::to_string(node) + "->nms:" + name_, injector_);
+    channel->SetTracer(&net_.telemetry().tracer());
+    it = event_channels_.emplace(node, std::move(channel)).first;
   }
   return *it->second;
 }
@@ -150,13 +273,22 @@ Status IspNms::ApplyDeployment(const DeploymentInstruction& instr,
                                const CertificateAuthority& authority) {
   if (instr.id.valid()) {
     if (const auto it = applied_.find(instr.id); it != applied_.end()) {
+      // A re-delivered copy must carry the same content as the first.
+      // Anything else is an adversary re-using a known id to smuggle a
+      // mutated instruction past the dedup shield.
+      if (it->second.digest != InstructionDigest(instr)) {
+        stats_.replays_rejected++;
+        return ReplayDetected("deployment id re-used with mutated content at " +
+                              name_);
+      }
       stats_.duplicate_instructions++;
-      return it->second;
+      return it->second.status;
     }
   }
   const Status status = ApplyDeploymentImpl(instr, authority);
   if (instr.id.valid()) {
-    applied_.emplace(instr.id, status);
+    applied_.emplace(instr.id,
+                     AppliedRecord{status, InstructionDigest(instr)});
   }
   return status;
 }
@@ -181,6 +313,13 @@ Status IspNms::ApplyDeploymentImpl(const DeploymentInstruction& instr,
             authority.Verify(instr.cert, net_.Now());
         !verified.ok()) {
       stats_.deployments_rejected++;
+      // Split by cause for the containment report: stale certificate
+      // versus forged/unknown signature.
+      if (verified.code() == ErrorCode::kExpired) {
+        stats_.certs_expired_rejected++;
+      } else {
+        stats_.certs_forged_rejected++;
+      }
       validate_span.Fail();
       span.Fail();
       return verified;
@@ -372,7 +511,7 @@ std::size_t IspNms::ResyncLocalDevices(bool from_resync) {
       }
       MessageFate fate;
       if (injector_ != nullptr) {
-        fate = injector_->PlanMessage(DeviceChannelName(node));
+        fate = injector_->PlanMessage(DeviceChannelNameRef(node));
       }
       // Each recovery attempt is a span under the deployment's local
       // anchor, with the injector's verdict on its single message — so
@@ -482,8 +621,17 @@ Status IspNms::RelayDeploy(const DeploymentInstruction& instr,
                            const CertificateAuthority& authority) {
   if (instr.id.valid()) {
     if (const auto it = applied_.find(instr.id); it != applied_.end()) {
+      if (it->second.digest != InstructionDigest(instr)) {
+        // Mutated replay: reject AND refuse to forward — a compromised
+        // peer cannot launder bogus content through the flood.
+        stats_.replays_rejected++;
+        return ReplayDetected(
+            "relayed deployment id re-used with mutated content at " +
+            name_);
+      }
       stats_.duplicate_instructions++;
-      return it->second;  // flood terminates: this hop already has it
+      // flood terminates: this hop already has it
+      return it->second.status;
     }
   }
   if (deployed_keys_.contains(
@@ -529,6 +677,87 @@ void IspNms::RelayToPeers(const DeploymentInstruction& instr,
   }
 }
 
+std::size_t IspNms::ForEachStageGraph(
+    SubscriberId subscriber,
+    const std::function<void(NodeId, ProcessingStage, ModuleGraph&)>& fn) {
+  std::size_t visited = 0;
+  for (NodeId node : managed_) {
+    AdaptiveDevice* dev = devices_.at(node).get();
+    for (ProcessingStage stage : {ProcessingStage::kSourceOwner,
+                                  ProcessingStage::kDestinationOwner}) {
+      ModuleGraph* graph = dev->StageGraph(subscriber, stage);
+      if (graph != nullptr) {
+        fn(node, stage, *graph);
+        ++visited;
+      }
+    }
+  }
+  return visited;
+}
+
+RuntimeOpResult IspNms::SetFirewallRulesActiveLocal(SubscriberId subscriber,
+                                                    bool active) {
+  RuntimeOpResult result;
+  ForEachStageGraph(subscriber,
+                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+                      for (std::size_t i = 0; i < graph.module_count();
+                           ++i) {
+                        if (auto* match = dynamic_cast<MatchModule*>(
+                                graph.module(static_cast<int>(i)))) {
+                          match->set_active(active);
+                          ++result.touched;
+                        }
+                      }
+                    });
+  return result;
+}
+
+RuntimeOpResult IspNms::SetRateLimitLocal(SubscriberId subscriber,
+                                          double rate_pps) {
+  RuntimeOpResult result;
+  ForEachStageGraph(
+      subscriber, [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+        for (std::size_t i = 0; i < graph.module_count(); ++i) {
+          if (auto* limiter = dynamic_cast<RateLimitModule*>(
+                  graph.module(static_cast<int>(i)))) {
+            limiter->Reconfigure(rate_pps,
+                                 std::max(16.0, rate_pps / 10.0));
+            ++result.touched;
+          }
+        }
+      });
+  return result;
+}
+
+RuntimeOpResult IspNms::ReadStatisticsLocal(SubscriberId subscriber) {
+  RuntimeOpResult result;
+  ForEachStageGraph(subscriber,
+                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
+                      if (auto* stats =
+                              graph.FindModule<StatisticsModule>()) {
+                        ++result.touched;
+                        result.packets += stats->packets();
+                        result.bytes += stats->bytes();
+                      }
+                    });
+  return result;
+}
+
+RuntimeOpResult IspNms::ReadLogsLocal(SubscriberId subscriber,
+                                      std::size_t max_lines_per_device) {
+  RuntimeOpResult result;
+  ForEachStageGraph(
+      subscriber, [&](NodeId node, ProcessingStage, ModuleGraph& graph) {
+        if (auto* logger = graph.FindModule<LoggerModule>()) {
+          result.logs +=
+              "--- vantage as" + std::to_string(node) + " ---\n";
+          result.logs += logger->trace().Dump(max_lines_per_device);
+          ++result.touched;
+        }
+      });
+  return result;
+}
+
 std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
   std::size_t count = 0;
   for (const auto& [node, device] : devices_) {
@@ -538,10 +767,33 @@ std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
   return count;
 }
 
+void IspNms::DeliverEvent(NodeId node, const DeviceEvent& event) {
+  if (injector_ == nullptr) {
+    OnEvent(event);
+    return;
+  }
+  // Faulty world: the upcall is a real management message — it can be
+  // lost or delayed, and containment reacts only when it lands.
+  EventChannel(node).Send([this, event] { OnEvent(event); });
+}
+
 void IspNms::OnEvent(const DeviceEvent& event) {
   stats_.events_received++;
   event_log_.OnEvent(event);
   if (event.kind != EventKind::kSafetyViolation) return;
+  // Containment fan-out: the runtime guard quarantined the offender on
+  // the reporting device; spread the quarantine to every managed device
+  // so the blast radius stops at first detection instead of growing one
+  // violation at a time.
+  for (NodeId node : managed_) {
+    if (devices_.at(node)->Quarantine(event.subscriber)) {
+      stats_.quarantines_propagated++;
+    }
+  }
+  if (quarantined_subscribers_.insert(event.subscriber).second) {
+    max_quarantine_latency_ =
+        std::max(max_quarantine_latency_, net_.Now() - event.at);
+  }
   // Soundness oracle: the guard quarantined a deployment whose graphs
   // the verifier had proven safe — some module's declared effect
   // signature was wrong. Flag it so the analyzer's trustworthiness is

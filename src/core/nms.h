@@ -37,6 +37,23 @@ struct DeploymentInstruction {
   std::vector<NodeId> home_nodes;
 };
 
+/// Content digest of an instruction (id + certificate + request shape).
+/// The exactly-once record keys on DeploymentId; the digest catches an
+/// adversary re-using a known id with *mutated* content — a replay
+/// attack, rejected with ErrorCode::kReplayDetected instead of replayed.
+std::uint64_t InstructionDigest(const DeploymentInstruction& instr);
+
+/// Per-ISP outcome of one relayed runtime operation (activate/modify/
+/// read-statistics/read-logs). The TCSP aggregates these across ISPs in
+/// its once-only completion callback; re-delivered request copies simply
+/// recompute the same value (the local ops are idempotent).
+struct RuntimeOpResult {
+  std::size_t touched = 0;    ///< modules / vantage points affected
+  std::uint64_t packets = 0;  ///< statistics reads
+  std::uint64_t bytes = 0;
+  std::string logs;           ///< log reads
+};
+
 /// Management-plane counters; obs::Counter cells exported through the
 /// world registry under "nms.<isp-name>.*".
 struct NmsStats {
@@ -54,6 +71,18 @@ struct NmsStats {
   /// Safety-guard quarantine of a deployment the analyzer had proven —
   /// a module's effect signature lied (soundness-oracle flag).
   obs::Counter soundness_flags;
+  /// Known DeploymentId re-delivered with *different* content (mutated
+  /// replay) — rejected, never applied, never forwarded to peers.
+  obs::Counter replays_rejected;
+  /// Certificate rejections split by cause: stale (kExpired) versus
+  /// forged/unknown signature or out-of-scope (everything else).
+  obs::Counter certs_expired_rejected;
+  obs::Counter certs_forged_rejected;
+  /// Per-device quarantines applied by the safety-violation fan-out
+  /// (containment blast-radius numerator).
+  obs::Counter quarantines_propagated;
+  /// Injector-scheduled router crash/restarts executed (RAM wiped).
+  obs::Counter device_restarts;
 };
 
 class IspNms : public EventSink {
@@ -79,9 +108,20 @@ class IspNms : public EventSink {
   AdaptiveDevice* device(NodeId node);
 
   /// Wires the control channels to a fault plan (nullptr detaches).
-  /// Must outlive the NMS. Existing channels are rebuilt lazily.
+  /// Must outlive the NMS. Existing channels are rebuilt lazily. Also
+  /// arms any router-restart schedule the plan carries for managed nodes.
   void AttachFaultInjector(FaultInjector* injector);
   FaultInjector* fault_injector() const { return injector_; }
+
+  /// Schedules the injector's router crash/restart plan for every managed
+  /// node as simulator events. Idempotent: re-arming only schedules
+  /// restarts not yet armed, so it is safe to call after adding restarts
+  /// to an already-attached injector.
+  void ArmRouterRestarts();
+  /// Crash+restart of the router's adaptive device now: installed module
+  /// graphs, flow cache and install records are lost (RAM). The NMS's
+  /// retry sweep / anti-entropy resync re-converges the device.
+  void RestartDevice(NodeId node);
 
   /// Retry/backoff policy for NMS→device and retry sweeps.
   void set_retry_policy(const RetryPolicy& policy) {
@@ -128,6 +168,23 @@ class IspNms : public EventSink {
   std::size_t peer_count() const { return peers_.size(); }
   const std::vector<IspNms*>& peers() const { return peers_; }
 
+  // --- runtime operations (Fig. 5, third phase; local side) ----------------
+  // Executed at this NMS when a TCSP runtime-op relay lands on its
+  // control channel. All idempotent, so at-least-once request delivery
+  // is safe.
+  /// Applies `fn` to every stage graph of the subscriber across managed
+  /// devices; returns graphs visited.
+  std::size_t ForEachStageGraph(
+      SubscriberId subscriber,
+      const std::function<void(NodeId, ProcessingStage, ModuleGraph&)>& fn);
+  RuntimeOpResult SetFirewallRulesActiveLocal(SubscriberId subscriber,
+                                              bool active);
+  RuntimeOpResult SetRateLimitLocal(SubscriberId subscriber,
+                                    double rate_pps);
+  RuntimeOpResult ReadStatisticsLocal(SubscriberId subscriber);
+  RuntimeOpResult ReadLogsLocal(SubscriberId subscriber,
+                                std::size_t max_lines_per_device);
+
   // --- anti-entropy resync -------------------------------------------------
   /// One resync round now: re-installs desired deployments on every up
   /// device that misses them and re-offers them to all peers (peers
@@ -140,8 +197,18 @@ class IspNms : public EventSink {
 
   // EventSink: devices report here.
   void OnEvent(const DeviceEvent& event) override;
+  /// Device upcall entry: rides the per-device event channel when an
+  /// injector is attached (so event reports inherit loss/delay like every
+  /// other management message), inline OnEvent otherwise.
+  void DeliverEvent(NodeId node, const DeviceEvent& event);
   const EventBuffer& events() const { return event_log_; }
   EventBuffer& events() { return event_log_; }
+
+  /// Worst observed containment latency: safety-violation event time to
+  /// NMS-wide quarantine fan-out, in SimTime ticks (0 if none).
+  SimDuration max_quarantine_latency() const {
+    return max_quarantine_latency_;
+  }
 
   const NmsStats& stats() const { return stats_; }
   std::size_t device_count() const { return devices_.size(); }
@@ -192,7 +259,19 @@ class IspNms : public EventSink {
 
   ControlChannel& DeviceChannel(NodeId node);
   ControlChannel& PeerChannel(IspNms* peer);
+  /// Device→NMS event upcall channel (built lazily, like DeviceChannel).
+  ControlChannel& EventChannel(NodeId node);
   std::string DeviceChannelName(NodeId node) const;
+  /// Cached channel name — the per-attempt resync/retry hot path asks
+  /// the injector per message and must not allocate a fresh string each
+  /// time.
+  const std::string& DeviceChannelNameRef(NodeId node);
+  /// Arms not-yet-scheduled restarts for one node.
+  void ArmRouterRestartsFor(NodeId node);
+
+  /// Forwards a device's events into DeliverEvent with the node id
+  /// attached (devices only know their sink, not their channel).
+  struct DeviceEventProxy;
 
   std::string name_;
   Network& net_;
@@ -206,16 +285,29 @@ class IspNms : public EventSink {
   SimDuration peer_latency_ = 0;
   std::vector<NodeId> managed_;
   std::unordered_map<NodeId, std::unique_ptr<AdaptiveDevice>> devices_;
+  std::unordered_map<NodeId, std::unique_ptr<DeviceEventProxy>>
+      event_proxies_;
   std::vector<IspNms*> peers_;
   std::unordered_map<NodeId, std::unique_ptr<ControlChannel>>
       device_channels_;
+  std::unordered_map<NodeId, std::unique_ptr<ControlChannel>>
+      event_channels_;
   std::unordered_map<IspNms*, std::unique_ptr<ControlChannel>>
       peer_channels_;
+  std::unordered_map<NodeId, std::string> device_channel_names_;
+  /// Restart events already turned into simulator posts, per node.
+  std::unordered_map<NodeId, std::size_t> restarts_armed_;
   /// (subscriber, kind) pairs already deployed — legacy relay
   /// termination for un-numbered requests.
   std::unordered_set<std::uint64_t> deployed_keys_;
-  /// Outcome per instruction id — the exactly-once record.
-  std::unordered_map<DeploymentId, Status, DeploymentIdHash> applied_;
+  /// Outcome + content digest per instruction id — the exactly-once
+  /// record, digest-armored against mutated replays.
+  struct AppliedRecord {
+    Status status;
+    std::uint64_t digest = 0;
+  };
+  std::unordered_map<DeploymentId, AppliedRecord, DeploymentIdHash>
+      applied_;
   std::unordered_map<DeploymentId, DesiredDeployment, DeploymentIdHash>
       desired_;
   const CertificateAuthority* authority_ = nullptr;  // for resync re-offers
@@ -225,6 +317,10 @@ class IspNms : public EventSink {
   std::size_t sweep_attempt_ = 0;
   bool resync_running_ = false;
   EventBuffer event_log_;
+  /// Subscribers already swept by the quarantine fan-out (latency is
+  /// measured on the first violation only).
+  std::unordered_set<SubscriberId> quarantined_subscribers_;
+  SimDuration max_quarantine_latency_ = 0;
   NmsStats stats_;
 };
 

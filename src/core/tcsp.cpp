@@ -30,6 +30,8 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
                        static_cast<double>(stats_.deploy_retries)});
         out.push_back({"tcsp.relay_fallbacks",
                        static_cast<double>(stats_.relay_fallbacks)});
+        out.push_back({"tcsp.runtime_ops",
+                       static_cast<double>(stats_.runtime_ops)});
         const AnalysisStats& analysis = validator_.analysis_stats();
         out.push_back({"analysis.graphs_verified",
                        static_cast<double>(analysis.graphs_verified)});
@@ -53,6 +55,14 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
                          static_cast<double>(fs.messages_reordered)});
           out.push_back({"faults.partition_blocks",
                          static_cast<double>(fs.partition_blocks)});
+          out.push_back({"faults.packets_planned",
+                         static_cast<double>(fs.packets_planned)});
+          out.push_back({"faults.packets_lost",
+                         static_cast<double>(fs.packets_lost)});
+          out.push_back({"faults.packets_corrupted",
+                         static_cast<double>(fs.packets_corrupted)});
+          out.push_back({"faults.link_down_drops",
+                         static_cast<double>(fs.link_down_drops)});
         }
       });
 }
@@ -463,97 +473,239 @@ std::size_t Tcsp::ForEachStageGraph(
   return visited;
 }
 
-Status Tcsp::SetFirewallRulesActive(SubscriberId subscriber, bool active) {
+namespace {
+
+/// Shared fan-out state for one relayed runtime operation: per-ISP
+/// overwrite slots (so a duplicated request copy is idempotent) and a
+/// once-only completion when the last ISP answered.
+struct RuntimeOpState {
+  std::vector<RuntimeOpResult> slots;
+  Status worst;
+  std::size_t pending = 0;
+  bool final_known = false;
+  Status final_status;
+};
+
+}  // namespace
+
+Status Tcsp::SetFirewallRulesActive(
+    SubscriberId subscriber, bool active,
+    std::function<void(const Status&)> done) {
   if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
-    return Unavailable("TCSP unreachable");
+    const Status status = Unavailable("TCSP unreachable");
+    if (done) done(status);
+    return status;
   }
-  std::size_t modules_touched = 0;
-  ForEachStageGraph(subscriber,
-                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
-                      for (std::size_t i = 0; i < graph.module_count();
-                           ++i) {
-                        if (auto* match = dynamic_cast<MatchModule*>(
-                                graph.module(static_cast<int>(i)))) {
-                          match->set_active(active);
-                          ++modules_touched;
-                        }
-                      }
-                    });
-  if (modules_touched == 0) {
-    return NotFound("no firewall rules deployed for subscriber " +
-                    std::to_string(subscriber));
+  stats_.runtime_ops++;
+  const Status none = NotFound("no firewall rules deployed for subscriber " +
+                               std::to_string(subscriber));
+  if (isps_.empty()) {
+    if (done) done(none);
+    return none;
   }
-  return Status::Ok();
+  auto state = std::make_shared<RuntimeOpState>();
+  state->slots.resize(isps_.size());
+  state->pending = isps_.size();
+  auto done_shared =
+      std::make_shared<std::function<void(const Status&)>>(std::move(done));
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    IspNms* nms = isps_[i];
+    ControlChannel::CallOptions opts;
+    opts.retry = config_.retry;
+    IspChannel(nms).Call(
+        [nms, subscriber, active, state, i]() -> Status {
+          state->slots[i] =
+              nms->SetFirewallRulesActiveLocal(subscriber, active);
+          return Status::Ok();
+        },
+        [state, done_shared, none](const Status& status,
+                                   const CallOutcome&) {
+          state->worst = WorseStatus(state->worst, status);
+          if (--state->pending > 0) return;
+          std::size_t touched = 0;
+          for (const RuntimeOpResult& slot : state->slots) {
+            touched += slot.touched;
+          }
+          state->final_status =
+              state->worst.ok() && touched == 0 ? none : state->worst;
+          state->final_known = true;
+          if (*done_shared) (*done_shared)(state->final_status);
+        },
+        opts);
+  }
+  // Fault-free same-shard channels completed inline; otherwise the
+  // outcome is still converging through retries and arrives via `done`.
+  if (state->final_known) return state->final_status;
+  return Unavailable("runtime operation in flight");
 }
 
-Status Tcsp::SetRateLimit(SubscriberId subscriber, double rate_pps) {
+Status Tcsp::SetRateLimit(SubscriberId subscriber, double rate_pps,
+                          std::function<void(const Status&)> done) {
   if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
-    return Unavailable("TCSP unreachable");
+    const Status status = Unavailable("TCSP unreachable");
+    if (done) done(status);
+    return status;
   }
-  std::size_t limiters = 0;
-  ForEachStageGraph(
-      subscriber, [&](NodeId, ProcessingStage, ModuleGraph& graph) {
-        for (std::size_t i = 0; i < graph.module_count(); ++i) {
-          if (auto* limiter = dynamic_cast<RateLimitModule*>(
-                  graph.module(static_cast<int>(i)))) {
-            limiter->Reconfigure(rate_pps,
-                                 std::max(16.0, rate_pps / 10.0));
-            ++limiters;
+  stats_.runtime_ops++;
+  const Status none = NotFound("no rate limiters deployed for subscriber " +
+                               std::to_string(subscriber));
+  if (isps_.empty()) {
+    if (done) done(none);
+    return none;
+  }
+  auto state = std::make_shared<RuntimeOpState>();
+  state->slots.resize(isps_.size());
+  state->pending = isps_.size();
+  auto done_shared =
+      std::make_shared<std::function<void(const Status&)>>(std::move(done));
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    IspNms* nms = isps_[i];
+    ControlChannel::CallOptions opts;
+    opts.retry = config_.retry;
+    IspChannel(nms).Call(
+        [nms, subscriber, rate_pps, state, i]() -> Status {
+          state->slots[i] = nms->SetRateLimitLocal(subscriber, rate_pps);
+          return Status::Ok();
+        },
+        [state, done_shared, none](const Status& status,
+                                   const CallOutcome&) {
+          state->worst = WorseStatus(state->worst, status);
+          if (--state->pending > 0) return;
+          std::size_t touched = 0;
+          for (const RuntimeOpResult& slot : state->slots) {
+            touched += slot.touched;
           }
-        }
-      });
-  if (limiters == 0) {
-    return NotFound("no rate limiters deployed for subscriber " +
-                    std::to_string(subscriber));
+          state->final_status =
+              state->worst.ok() && touched == 0 ? none : state->worst;
+          state->final_known = true;
+          if (*done_shared) (*done_shared)(state->final_status);
+        },
+        opts);
   }
-  return Status::Ok();
+  if (state->final_known) return state->final_status;
+  return Unavailable("runtime operation in flight");
 }
 
 Result<Tcsp::StatisticsReport> Tcsp::ReadStatistics(
-    SubscriberId subscriber) {
+    SubscriberId subscriber,
+    std::function<void(const Result<StatisticsReport>&)> done) {
   if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
-    return Status(Unavailable("TCSP unreachable"));
+    const Result<StatisticsReport> result =
+        Status(Unavailable("TCSP unreachable"));
+    if (done) done(result);
+    return result;
   }
-  StatisticsReport report;
-  ForEachStageGraph(subscriber,
-                    [&](NodeId, ProcessingStage, ModuleGraph& graph) {
-                      if (auto* stats =
-                              graph.FindModule<StatisticsModule>()) {
-                        report.vantage_points++;
-                        report.packets += stats->packets();
-                        report.bytes += stats->bytes();
-                      }
-                    });
-  if (report.vantage_points == 0) {
-    return Status(NotFound("no statistics service deployed"));
+  stats_.runtime_ops++;
+  if (isps_.empty()) {
+    const Result<StatisticsReport> result =
+        Status(NotFound("no statistics service deployed"));
+    if (done) done(result);
+    return result;
   }
-  return report;
+  auto state = std::make_shared<RuntimeOpState>();
+  state->slots.resize(isps_.size());
+  state->pending = isps_.size();
+  auto done_shared = std::make_shared<
+      std::function<void(const Result<StatisticsReport>&)>>(std::move(done));
+  auto final_result = std::make_shared<Result<StatisticsReport>>(
+      Status(Unavailable("runtime operation in flight")));
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    IspNms* nms = isps_[i];
+    ControlChannel::CallOptions opts;
+    opts.retry = config_.retry;
+    IspChannel(nms).Call(
+        [nms, subscriber, state, i]() -> Status {
+          state->slots[i] = nms->ReadStatisticsLocal(subscriber);
+          return Status::Ok();
+        },
+        [state, done_shared, final_result](const Status& status,
+                                           const CallOutcome&) {
+          state->worst = WorseStatus(state->worst, status);
+          if (--state->pending > 0) return;
+          StatisticsReport report;
+          for (const RuntimeOpResult& slot : state->slots) {
+            report.vantage_points += slot.touched;
+            report.packets += slot.packets;
+            report.bytes += slot.bytes;
+          }
+          if (!state->worst.ok()) {
+            *final_result = state->worst;
+          } else if (report.vantage_points == 0) {
+            *final_result = Status(NotFound("no statistics service deployed"));
+          } else {
+            *final_result = report;
+          }
+          state->final_known = true;
+          if (*done_shared) (*done_shared)(*final_result);
+        },
+        opts);
+  }
+  return *final_result;
 }
 
-Result<std::string> Tcsp::ReadLogs(SubscriberId subscriber,
-                                   std::size_t max_lines_per_device) {
+Result<std::string> Tcsp::ReadLogs(
+    SubscriberId subscriber, std::size_t max_lines_per_device,
+    std::function<void(const Result<std::string>&)> done) {
   if (!TcspReachable()) {
     stats_.requests_while_unreachable++;
-    return Status(Unavailable("TCSP unreachable"));
+    const Result<std::string> result =
+        Status(Unavailable("TCSP unreachable"));
+    if (done) done(result);
+    return result;
   }
-  std::string logs;
-  std::size_t loggers = 0;
-  ForEachStageGraph(subscriber,
-                    [&](NodeId node, ProcessingStage, ModuleGraph& graph) {
-                      if (auto* logger = graph.FindModule<LoggerModule>()) {
-                        logs += "--- vantage as" + std::to_string(node) +
-                                " ---\n";
-                        logs += logger->trace().Dump(max_lines_per_device);
-                        ++loggers;
-                      }
-                    });
-  if (loggers == 0) {
-    return Status(NotFound("no logging service deployed"));
+  stats_.runtime_ops++;
+  if (isps_.empty()) {
+    const Result<std::string> result =
+        Status(NotFound("no logging service deployed"));
+    if (done) done(result);
+    return result;
   }
-  return logs;
+  auto state = std::make_shared<RuntimeOpState>();
+  state->slots.resize(isps_.size());
+  state->pending = isps_.size();
+  auto done_shared =
+      std::make_shared<std::function<void(const Result<std::string>&)>>(
+          std::move(done));
+  auto final_result = std::make_shared<Result<std::string>>(
+      Status(Unavailable("runtime operation in flight")));
+  for (std::size_t i = 0; i < isps_.size(); ++i) {
+    IspNms* nms = isps_[i];
+    ControlChannel::CallOptions opts;
+    opts.retry = config_.retry;
+    IspChannel(nms).Call(
+        [nms, subscriber, max_lines_per_device, state, i]() -> Status {
+          state->slots[i] =
+              nms->ReadLogsLocal(subscriber, max_lines_per_device);
+          return Status::Ok();
+        },
+        [state, done_shared, final_result](const Status& status,
+                                           const CallOutcome&) {
+          state->worst = WorseStatus(state->worst, status);
+          if (--state->pending > 0) return;
+          std::string logs;
+          std::size_t loggers = 0;
+          // Slots concatenate in enrolment order, so the aggregate is
+          // deterministic no matter which channel answered last.
+          for (const RuntimeOpResult& slot : state->slots) {
+            logs += slot.logs;
+            loggers += slot.touched;
+          }
+          if (!state->worst.ok()) {
+            *final_result = state->worst;
+          } else if (loggers == 0) {
+            *final_result = Status(NotFound("no logging service deployed"));
+          } else {
+            *final_result = std::move(logs);
+          }
+          state->final_known = true;
+          if (*done_shared) (*done_shared)(*final_result);
+        },
+        opts);
+  }
+  return *final_result;
 }
 
 Status Tcsp::RemoveService(SubscriberId subscriber) {

@@ -85,6 +85,7 @@ struct TcspStats {
   obs::Counter requests_while_unreachable;
   obs::Counter deploy_retries;    // extra TCSP->NMS channel attempts
   obs::Counter relay_fallbacks;   // deployments that took the peer mesh
+  obs::Counter runtime_ops;       // activate/modify/read requests relayed
 };
 
 class Tcsp {
@@ -140,18 +141,32 @@ class Tcsp {
   //  specific parameters or read logs of the service. Therefore it sends
   //  corresponding requests to the TCSP, which relays them to the
   //  appropriate ISP's network management systems."
+  //
+  // Each operation rides the TCSP->NMS control channels (one Call per
+  // enrolled ISP), so with an injector attached it inherits the same
+  // loss/retry/dedup semantics as deployment. The NMS-side handlers are
+  // idempotent and completion aggregates in a once-only callback. On a
+  // fault-free same-shard world every channel completes inline and the
+  // returned value is final; otherwise the return is a provisional
+  // kUnavailable-style snapshot and the final outcome arrives through
+  // the optional `done` callback.
 
   /// Applies `fn` to every stage graph of the subscriber across all
-  /// enrolled ISPs; returns the number of graphs visited.
+  /// enrolled ISPs; returns the number of graphs visited. (Direct local
+  /// iteration — the channel-riding operations below are built on the
+  /// per-NMS equivalents.)
   std::size_t ForEachStageGraph(
       SubscriberId subscriber,
       const std::function<void(NodeId, ProcessingStage, ModuleGraph&)>& fn);
 
   /// Arms/disarms every firewall MatchModule of the subscriber.
-  Status SetFirewallRulesActive(SubscriberId subscriber, bool active);
+  Status SetFirewallRulesActive(SubscriberId subscriber, bool active,
+                                std::function<void(const Status&)> done =
+                                    nullptr);
 
   /// Retargets every rate limiter of the subscriber.
-  Status SetRateLimit(SubscriberId subscriber, double rate_pps);
+  Status SetRateLimit(SubscriberId subscriber, double rate_pps,
+                      std::function<void(const Status&)> done = nullptr);
 
   /// Aggregated statistics across the subscriber's vantage points.
   struct StatisticsReport {
@@ -159,11 +174,14 @@ class Tcsp {
     std::uint64_t packets = 0;
     std::uint64_t bytes = 0;
   };
-  Result<StatisticsReport> ReadStatistics(SubscriberId subscriber);
+  Result<StatisticsReport> ReadStatistics(
+      SubscriberId subscriber,
+      std::function<void(const Result<StatisticsReport>&)> done = nullptr);
 
   /// Concatenated sampled-log tails across vantage points.
-  Result<std::string> ReadLogs(SubscriberId subscriber,
-                               std::size_t max_lines_per_device = 5);
+  Result<std::string> ReadLogs(
+      SubscriberId subscriber, std::size_t max_lines_per_device = 5,
+      std::function<void(const Result<std::string>&)> done = nullptr);
 
   // --- availability -------------------------------------------------------
   void set_reachable(bool reachable) { reachable_ = reachable; }

@@ -57,6 +57,12 @@ struct LinkStats {
   std::uint64_t forwarded_bytes = 0;
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
+  /// Injected data-plane faults on this link (zero unless a FaultInjector
+  /// with a link plan is attached; see docs/fault_injection.md). Written
+  /// on the sending side's shard — fault injection is single-shard-only.
+  std::uint64_t fault_lost_packets = 0;
+  std::uint64_t fault_corrupted_packets = 0;
+  std::uint64_t flap_dropped_packets = 0;
   /// Forwarded bytes split by ground-truth class (measurement only).
   std::array<std::uint64_t, 5> forwarded_bytes_by_class{};
   /// Total time the transmitter was serialising (utilisation numerator).

@@ -26,6 +26,7 @@ enum class DropReason : std::uint8_t {
   kNoHost,
   kHostDown,
   kHostOverload,  // host delivered but refused for lack of resources
+  kLinkFault,     // injected data-plane fault (loss/corruption/flap)
   kCount_,
 };
 

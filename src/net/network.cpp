@@ -28,6 +28,7 @@ std::string_view DropReasonName(DropReason reason) {
     case DropReason::kNoHost: return "no_host";
     case DropReason::kHostDown: return "host_down";
     case DropReason::kHostOverload: return "host_overload";
+    case DropReason::kLinkFault: return "link_fault";
     case DropReason::kCount_: break;
   }
   return "?";
@@ -82,7 +83,63 @@ Network::Network(std::uint64_t seed, std::size_t num_shards)
         {std::string("net.drops.") +
              DatapathDropReasonName(DatapathDropReason::kQueueOverflow),
          static_cast<double>(queue_drops)});
+    // Injected data-plane faults, aggregated and per link. Only exported
+    // with an injector attached — which also guarantees a single shard,
+    // so reading the links' plain counters here is race-free.
+    if (injector_ != nullptr) {
+      std::uint64_t lost = 0;
+      std::uint64_t corrupted = 0;
+      std::uint64_t flapped = 0;
+      for (std::size_t l = 0; l < links_.size(); ++l) {
+        const LinkStats& ls = links_[l].stats;
+        lost += ls.fault_lost_packets;
+        corrupted += ls.fault_corrupted_packets;
+        flapped += ls.flap_dropped_packets;
+        const std::uint64_t faults = ls.fault_lost_packets +
+                                     ls.fault_corrupted_packets +
+                                     ls.flap_dropped_packets;
+        if (faults > 0) {
+          const std::string link_prefix =
+              "net.link" + std::to_string(l) + ".drops.";
+          if (ls.fault_lost_packets > 0) {
+            out.push_back({link_prefix + DatapathDropReasonName(
+                                             DatapathDropReason::kLinkLoss),
+                           static_cast<double>(ls.fault_lost_packets)});
+          }
+          if (ls.fault_corrupted_packets > 0) {
+            out.push_back(
+                {link_prefix +
+                     DatapathDropReasonName(DatapathDropReason::kLinkCorrupt),
+                 static_cast<double>(ls.fault_corrupted_packets)});
+          }
+          if (ls.flap_dropped_packets > 0) {
+            out.push_back({link_prefix + DatapathDropReasonName(
+                                             DatapathDropReason::kLinkDown),
+                           static_cast<double>(ls.flap_dropped_packets)});
+          }
+        }
+      }
+      out.push_back(
+          {std::string("net.drops.") +
+               DatapathDropReasonName(DatapathDropReason::kLinkLoss),
+           static_cast<double>(lost)});
+      out.push_back(
+          {std::string("net.drops.") +
+               DatapathDropReasonName(DatapathDropReason::kLinkCorrupt),
+           static_cast<double>(corrupted)});
+      out.push_back(
+          {std::string("net.drops.") +
+               DatapathDropReasonName(DatapathDropReason::kLinkDown),
+           static_cast<double>(flapped)});
+    }
   });
+}
+
+void Network::AttachFaultInjector(FaultInjector* injector) {
+  assert((injector == nullptr || engine_.shard_count() == 1) &&
+         "data-plane fault injection is single-shard-only (the injector's "
+         "RNG stream is unsynchronised)");
+  injector_ = injector;
 }
 
 Metrics Network::metrics() const {
@@ -307,6 +364,35 @@ void Network::LinkSend(LinkId link_id, Packet packet) {
   Link& link = links_[link_id];
   const SimTime now = Now();
 
+  // Data-plane fault plan: flap windows and loss kill the packet before
+  // it ever occupies the transmitter; corruption is decided here (on the
+  // injector's own RNG stream) but charged at arrival, after the packet
+  // consumed the link. Links without a plan consult no randomness.
+  bool corrupted = false;
+  if (injector_ != nullptr) {
+    switch (injector_->PlanPacket(link_id, now)) {
+      case PacketFate::kDeliver:
+        break;
+      case PacketFate::kLost:
+        link.stats.fault_lost_packets++;
+        link.stats.dropped_packets++;
+        link.stats.dropped_bytes += packet.size_bytes;
+        metrics_cell().RecordDrop(packet, DropReason::kLinkFault);
+        return;
+      case PacketFate::kLinkDown:
+        link.stats.flap_dropped_packets++;
+        link.stats.dropped_packets++;
+        link.stats.dropped_bytes += packet.size_bytes;
+        metrics_cell().RecordDrop(packet, DropReason::kLinkFault);
+        return;
+      case PacketFate::kCorrupted:
+        corrupted = true;
+        break;
+      case PacketFate::kCount_:
+        break;
+    }
+  }
+
   if (link.queued_bytes + packet.size_bytes >
       link.params.buffer_bytes) {
     link.stats.dropped_packets++;
@@ -338,6 +424,17 @@ void Network::LinkSend(LinkId link_id, Packet packet) {
   engine_.shard(ShardOf(link.from)).Post(finish, [this, link_id, size] {
     links_[link_id].queued_bytes -= size;
   });
+  if (corrupted) {
+    // The frame used the wire but fails the receiver's CRC: account the
+    // fault on the sending side (injector worlds are single-shard, so
+    // this is the same shard) and drop at arrival time.
+    link.stats.fault_corrupted_packets++;
+    engine_.shard(ShardOf(link.to))
+        .Post(arrive, [this, p = std::move(packet)]() mutable {
+          metrics_cell().RecordDrop(p, DropReason::kLinkFault);
+        });
+    return;
+  }
   engine_.shard(ShardOf(link.to))
       .Post(arrive, [this, link_id, p = std::move(packet)]() mutable {
         LinkArrive(link_id, std::move(p));

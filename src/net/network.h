@@ -25,6 +25,7 @@
 #include "net/packet.h"
 #include "net/router.h"
 #include "obs/telemetry.h"
+#include "sim/faults.h"
 #include "sim/scheduler.h"
 #include "sim/sharded.h"
 
@@ -207,6 +208,15 @@ class Network {
     drop_observer_ = std::move(observer);
   }
 
+  /// Routes every link transmission through a data-plane fault plan
+  /// (per-link loss/corruption dice + flap windows); nullptr detaches.
+  /// The injector draws from its own RNG stream and consults nothing on
+  /// links without a plan, so a fault-free world stays bit-identical.
+  /// Single-shard only: the injector's RNG is unsynchronised, so sharded
+  /// worlds keep the same assertion control channels have.
+  void AttachFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
  private:
   /// Queue/transmit on a link; drops on buffer overflow. Runs on the
   /// shard owning the link's sending side.
@@ -239,6 +249,7 @@ class Network {
 
   bool icmp_errors_ = true;
   DropObserver drop_observer_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace adtc

@@ -4,22 +4,33 @@ namespace adtc {
 
 FaultInjector::FaultInjector(std::uint64_t seed) : rng_(seed) {}
 
+std::string_view PacketFateName(PacketFate fate) {
+  switch (fate) {
+    case PacketFate::kDeliver: return "deliver";
+    case PacketFate::kLost: return "lost";
+    case PacketFate::kCorrupted: return "corrupted";
+    case PacketFate::kLinkDown: return "link-down";
+    case PacketFate::kCount_: break;
+  }
+  return "unknown";
+}
+
 void FaultInjector::SetDefaultFaults(const ChannelFaults& faults) {
   default_faults_ = faults;
 }
 
-void FaultInjector::SetChannelFaults(const std::string& channel,
+void FaultInjector::SetChannelFaults(std::string_view channel,
                                      const ChannelFaults& faults) {
-  per_channel_[channel] = faults;
+  per_channel_.insert_or_assign(std::string(channel), faults);
 }
 
 const ChannelFaults& FaultInjector::PlanFor(
-    const std::string& channel) const {
+    std::string_view channel) const {
   const auto it = per_channel_.find(channel);
   return it != per_channel_.end() ? it->second : default_faults_;
 }
 
-MessageFate FaultInjector::PlanMessage(const std::string& channel) {
+MessageFate FaultInjector::PlanMessage(std::string_view channel) {
   stats_.messages_planned++;
   MessageFate fate;
   const ChannelFaults& plan = PlanFor(channel);
@@ -51,6 +62,53 @@ MessageFate FaultInjector::PlanMessage(const std::string& channel) {
   return fate;
 }
 
+void FaultInjector::SetDefaultLinkFaults(const LinkFaults& faults) {
+  default_link_faults_ = faults;
+}
+
+void FaultInjector::SetLinkFaults(LinkId link, const LinkFaults& faults) {
+  per_link_[link] = faults;
+}
+
+const LinkFaults& FaultInjector::LinkPlanFor(LinkId link) const {
+  const auto it = per_link_.find(link);
+  return it != per_link_.end() ? it->second : default_link_faults_;
+}
+
+void FaultInjector::AddLinkFlap(LinkId link, SimTime start, SimTime end) {
+  link_flaps_[link].emplace_back(start, end);
+}
+
+bool FaultInjector::LinkUp(LinkId link, SimTime now) const {
+  const auto it = link_flaps_.find(link);
+  if (it == link_flaps_.end()) return true;
+  for (const auto& [start, end] : it->second) {
+    if (now >= start && now < end) return false;
+  }
+  return true;
+}
+
+PacketFate FaultInjector::PlanPacket(LinkId link, SimTime now) {
+  stats_.packets_planned++;
+  // Flap windows are a schedule, not dice: no randomness consumed, so a
+  // flap-only plan stays bit-identical outside its windows.
+  if (!LinkUp(link, now)) {
+    stats_.link_down_drops++;
+    return PacketFate::kLinkDown;
+  }
+  const LinkFaults& plan = LinkPlanFor(link);
+  if (plan.None()) return PacketFate::kDeliver;
+  if (rng_.NextBool(plan.loss)) {
+    stats_.packets_lost++;
+    return PacketFate::kLost;
+  }
+  if (rng_.NextBool(plan.corrupt)) {
+    stats_.packets_corrupted++;
+    return PacketFate::kCorrupted;
+  }
+  return PacketFate::kDeliver;
+}
+
 void FaultInjector::AddTcspOutage(SimTime start, SimTime end) {
   tcsp_outages_.emplace_back(start, end);
 }
@@ -76,23 +134,40 @@ bool FaultInjector::DeviceUp(NodeId node, SimTime now) const {
   return true;
 }
 
-std::string FaultInjector::PartitionKey(const std::string& a,
-                                        const std::string& b) {
-  return a < b ? a + "|" + b : b + "|" + a;
+void FaultInjector::AddRouterRestart(NodeId node, SimTime at) {
+  router_restarts_[node].push_back(at);
 }
 
-void FaultInjector::Partition(const std::string& nms_a,
-                              const std::string& nms_b) {
+const std::vector<SimTime>& FaultInjector::RouterRestartsFor(
+    NodeId node) const {
+  static const std::vector<SimTime> kEmpty;
+  const auto it = router_restarts_.find(node);
+  return it != router_restarts_.end() ? it->second : kEmpty;
+}
+
+std::string FaultInjector::PartitionKey(std::string_view a,
+                                        std::string_view b) {
+  std::string key;
+  key.reserve(a.size() + b.size() + 1);
+  if (a < b) {
+    key.append(a).append("|").append(b);
+  } else {
+    key.append(b).append("|").append(a);
+  }
+  return key;
+}
+
+void FaultInjector::Partition(std::string_view nms_a,
+                              std::string_view nms_b) {
   partitions_.insert(PartitionKey(nms_a, nms_b));
 }
 
-void FaultInjector::Heal(const std::string& nms_a,
-                         const std::string& nms_b) {
+void FaultInjector::Heal(std::string_view nms_a, std::string_view nms_b) {
   partitions_.erase(PartitionKey(nms_a, nms_b));
 }
 
-bool FaultInjector::Partitioned(const std::string& nms_a,
-                                const std::string& nms_b) {
+bool FaultInjector::Partitioned(std::string_view nms_a,
+                                std::string_view nms_b) const {
   if (partitions_.empty()) return false;
   if (partitions_.contains(PartitionKey(nms_a, nms_b))) {
     stats_.partition_blocks++;

@@ -7,10 +7,12 @@
 #include <string_view>
 
 #include "analysis/effects.h"
+#include "attack/adversary.h"
 #include "common/drop_reason.h"
 #include "core/events.h"
 #include "core/safety.h"
 #include "net/metrics.h"
+#include "sim/faults.h"
 
 namespace adtc {
 namespace {
@@ -84,6 +86,19 @@ TEST(EnumNamesTest, ContextRequirementNamesDistinctAndNonEmpty) {
   CheckNames<analysis::ContextRequirement>(
       static_cast<std::size_t>(analysis::ContextRequirement::kCount_),
       analysis::ContextRequirementName, "ContextRequirement");
+}
+
+TEST(EnumNamesTest, PacketFateNamesDistinctAndNonEmpty) {
+  CheckNames<PacketFate>(static_cast<std::size_t>(PacketFate::kCount_),
+                         PacketFateName, "PacketFate");
+  EXPECT_EQ(PacketFateName(PacketFate::kCount_), "unknown");
+}
+
+TEST(EnumNamesTest, AdversaryScenarioNamesDistinctAndNonEmpty) {
+  CheckNames<AdversaryScenario>(
+      static_cast<std::size_t>(AdversaryScenario::kCount_),
+      AdversaryScenarioName, "AdversaryScenario");
+  EXPECT_EQ(AdversaryScenarioName(AdversaryScenario::kCount_), "unknown");
 }
 
 }  // namespace

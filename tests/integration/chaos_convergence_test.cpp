@@ -166,6 +166,59 @@ TEST_P(ChaosConvergenceTest, ConvergesExactlyOnceUnderChaos) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosConvergenceTest,
                          ::testing::Values(3u, 7u, 31u));
 
+TEST(ChaosConvergenceTest, RouterRestartRecoversViaResync) {
+  // A router crash/restart wipes the adaptive device's RAM mid-attack:
+  // module graphs, install records and flow-cache state are gone. The
+  // anti-entropy machinery must notice and re-converge the device, and
+  // the flow cache must repopulate from live traffic.
+  TcspConfig config;
+  ChaosWorld world(/*fault_seed=*/5, config);
+  const NodeId home = world.topo.stub_nodes[0];
+  const LinkParams fast{GigabitsPerSecond(1), Milliseconds(1), 1024 * 1024};
+  auto* server = SpawnHost<Server>(world.net, home, fast);
+  ClientConfig cconfig;
+  cconfig.server = server->address();
+  cconfig.kind = RequestKind::kUdpRequest;
+  cconfig.request_rate = 200.0;
+  auto* client = SpawnHost<Client>(world.net, world.topo.stub_nodes[5],
+                                   fast, cconfig);
+
+  const auto cert = world.tcsp.Register(AsOrgName(home), {NodePrefix(home)});
+  ASSERT_TRUE(cert.ok());
+  ServiceRequest request;
+  request.kind = ServiceKind::kRemoteIngressFiltering;
+  request.placement = PlacementPolicy::kAllManagedNodes;
+  request.control_scope = {NodePrefix(home)};
+  ASSERT_TRUE(world.tcsp.DeployService(cert.value(), request).status.ok());
+
+  AdaptiveDevice* device = world.nmses[home]->device(home);
+  client->Start();
+  world.net.Run(Seconds(3));
+  ASSERT_TRUE(device->HasDeployment(cert.value().subscriber));
+  ASSERT_GT(device->flow_cache_size(), 0u);
+  EXPECT_EQ(device->stats().installs_applied, 1u);
+
+  // Crash at t=5s; arming is idempotent, so re-arming after adding the
+  // restart to the already-attached injector schedules exactly one event.
+  world.injector.AddRouterRestart(home, Seconds(5));
+  world.nmses[home]->ArmRouterRestarts();
+  world.nmses[home]->ArmRouterRestarts();
+  for (auto& nms : world.nmses) nms->StartResync(Seconds(2));
+  world.net.Run(Seconds(9));
+  for (auto& nms : world.nmses) nms->StopResync();
+
+  // The restart really happened and really wiped state...
+  EXPECT_EQ(device->stats().restarts, 1u);
+  EXPECT_EQ(world.nmses[home]->stats().device_restarts, 1u);
+  // ...and the control plane re-converged the device: the deployment is
+  // back (a second effectful install, not a replayed record) and the
+  // flow cache repopulated from the still-running traffic.
+  EXPECT_TRUE(device->HasDeployment(cert.value().subscriber));
+  EXPECT_EQ(device->deployment_count(), 1u);
+  EXPECT_EQ(device->stats().installs_applied, 2u);
+  EXPECT_GT(device->flow_cache_size(), 0u);
+}
+
 TEST(ChaosConvergenceTest, FaultFreeInjectorIsBehaviourallyInert) {
   // Attaching an injector with an all-zero plan must not change the
   // outcome of a plain immediate deployment.

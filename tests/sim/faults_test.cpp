@@ -100,6 +100,124 @@ TEST(FaultInjectorTest, DeviceOutagesArePerNode) {
   EXPECT_TRUE(injector.DeviceUp(6, Seconds(2)));  // other nodes unaffected
 }
 
+TEST(FaultInjectorTest, CertainLinkLossEatsEveryPacket) {
+  FaultInjector injector(1);
+  LinkFaults faults;
+  faults.loss = 1.0;
+  injector.SetDefaultLinkFaults(faults);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(injector.PlanPacket(3, 0), PacketFate::kLost);
+  }
+  EXPECT_EQ(injector.stats().packets_planned, 50u);
+  EXPECT_EQ(injector.stats().packets_lost, 50u);
+}
+
+TEST(FaultInjectorTest, CertainCorruptionMarksEveryPacket) {
+  FaultInjector injector(1);
+  LinkFaults faults;
+  faults.corrupt = 1.0;
+  injector.SetLinkFaults(2, faults);
+  EXPECT_EQ(injector.PlanPacket(2, 0), PacketFate::kCorrupted);
+  // Only link 2 has the plan.
+  EXPECT_EQ(injector.PlanPacket(9, 0), PacketFate::kDeliver);
+  EXPECT_EQ(injector.stats().packets_corrupted, 1u);
+}
+
+TEST(FaultInjectorTest, LinkFlapWindowIsHalfOpenAndRandomless) {
+  FaultInjector injector(1);
+  injector.AddLinkFlap(4, Seconds(1), Seconds(2));
+  EXPECT_TRUE(injector.LinkUp(4, Seconds(1) - 1));
+  EXPECT_FALSE(injector.LinkUp(4, Seconds(1)));
+  EXPECT_TRUE(injector.LinkUp(4, Seconds(2)));
+  EXPECT_EQ(injector.PlanPacket(4, Seconds(1)), PacketFate::kLinkDown);
+  EXPECT_EQ(injector.stats().link_down_drops, 1u);
+  // The flap decision consumed no randomness: a twin injector that never
+  // planned the flapped packet still agrees on the next faulty draw.
+  FaultInjector twin(1);
+  LinkFaults faults;
+  faults.loss = 0.5;
+  injector.SetDefaultLinkFaults(faults);
+  twin.SetDefaultLinkFaults(faults);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(injector.PlanPacket(7, Seconds(5)),
+              twin.PlanPacket(7, Seconds(5)));
+  }
+}
+
+TEST(FaultInjectorTest, RouterRestartSchedulesArePerNodeInOrder) {
+  FaultInjector injector(1);
+  injector.AddRouterRestart(3, Seconds(8));
+  injector.AddRouterRestart(3, Seconds(2));
+  injector.AddRouterRestart(5, Seconds(4));
+  ASSERT_EQ(injector.RouterRestartsFor(3).size(), 2u);
+  EXPECT_EQ(injector.RouterRestartsFor(3)[0], Seconds(8));
+  EXPECT_EQ(injector.RouterRestartsFor(3)[1], Seconds(2));
+  ASSERT_EQ(injector.RouterRestartsFor(5).size(), 1u);
+  EXPECT_TRUE(injector.RouterRestartsFor(9).empty());
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysInterleavedMessageAndPacketFates) {
+  // The message and packet planners share one RNG stream; determinism
+  // must hold across an interleaved call sequence, not just per kind.
+  ChannelFaults channel;
+  channel.loss = 0.3;
+  channel.duplicate = 0.2;
+  channel.jitter_max = Milliseconds(10);
+  LinkFaults link;
+  link.loss = 0.25;
+  link.corrupt = 0.25;
+  FaultInjector a(1234), b(1234);
+  a.SetDefaultFaults(channel);
+  b.SetDefaultFaults(channel);
+  a.SetDefaultLinkFaults(link);
+  b.SetDefaultLinkFaults(link);
+  for (int i = 0; i < 500; ++i) {
+    if (i % 3 == 0) {
+      const MessageFate fa = a.PlanMessage("ch");
+      const MessageFate fb = b.PlanMessage("ch");
+      EXPECT_EQ(fa.deliver, fb.deliver);
+      EXPECT_EQ(fa.duplicate, fb.duplicate);
+      EXPECT_EQ(fa.extra_delay, fb.extra_delay);
+      EXPECT_EQ(fa.duplicate_delay, fb.duplicate_delay);
+    } else {
+      EXPECT_EQ(a.PlanPacket(i % 7, i), b.PlanPacket(i % 7, i));
+    }
+  }
+  EXPECT_EQ(a.stats().packets_lost, b.stats().packets_lost);
+  EXPECT_EQ(a.stats().packets_corrupted, b.stats().packets_corrupted);
+  EXPECT_EQ(a.stats().messages_lost, b.stats().messages_lost);
+}
+
+TEST(FaultInjectorTest, AllZeroPlanConsumesNoRandomness) {
+  // Plan thousands of messages and packets under an all-zero plan, then
+  // enable faults: the subsequent draws must match a twin injector that
+  // skipped the all-zero phase entirely. If the inert phase touched the
+  // RNG, the streams would have diverged.
+  FaultInjector warmed(77), fresh(77);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(warmed.PlanMessage("ch").deliver);
+    EXPECT_EQ(warmed.PlanPacket(1, i), PacketFate::kDeliver);
+  }
+  EXPECT_EQ(warmed.stats().messages_planned, 1000u);
+  EXPECT_EQ(warmed.stats().packets_planned, 1000u);
+  ChannelFaults channel;
+  channel.loss = 0.5;
+  channel.jitter_max = Milliseconds(40);
+  LinkFaults link;
+  link.loss = 0.5;
+  warmed.SetDefaultFaults(channel);
+  fresh.SetDefaultFaults(channel);
+  warmed.SetDefaultLinkFaults(link);
+  fresh.SetDefaultLinkFaults(link);
+  for (int i = 0; i < 300; ++i) {
+    const MessageFate fw = warmed.PlanMessage("ch");
+    const MessageFate ff = fresh.PlanMessage("ch");
+    EXPECT_EQ(fw.deliver, ff.deliver);
+    EXPECT_EQ(fw.extra_delay, ff.extra_delay);
+    EXPECT_EQ(warmed.PlanPacket(1, i), fresh.PlanPacket(1, i));
+  }
+}
+
 TEST(FaultInjectorTest, PartitionsAreSymmetricAndHealable) {
   FaultInjector injector(1);
   injector.Partition("isp-a", "isp-b");
