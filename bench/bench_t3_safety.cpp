@@ -10,6 +10,7 @@
 // validation latency and per-packet guard overhead.
 #include <chrono>
 
+#include "analysis/network_verifier.h"
 #include "bench_util.h"
 #include "core/adaptive_device.h"
 #include "core/modules/basic.h"
@@ -118,6 +119,62 @@ ModuleGraph LayeredBranchGraph(int layers) {
   }
   (void)graph.Validate();
   return graph;
+}
+
+/// Line topology 0 - 1 - ... - (n-1) as the plan verifier's snapshot.
+analysis::NetworkView LineNetworkView(std::size_t n) {
+  analysis::NetworkView net;
+  net.node_count = n;
+  net.next_hop.assign(n * n, -1);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      net.next_hop[from * n + to] =
+          static_cast<int>(to > from ? from + 1 : from - 1);
+    }
+  }
+  return net;
+}
+
+/// Single pass-or-drop filter module as a structural GraphView.
+analysis::GraphView FilterGraphView(double rate = 1.0) {
+  analysis::GraphView view;
+  view.entry = 0;
+  analysis::ModuleView mv;
+  mv.type_name = "match";
+  mv.signature.rate_factor_max = rate;
+  mv.ports.resize(2);
+  for (analysis::PortView& pv : mv.ports) {
+    pv.wired = true;
+    pv.is_terminal = true;
+  }
+  mv.ports[1].terminal_drop = true;
+  view.modules.push_back(std::move(mv));
+  return view;
+}
+
+/// A plan every proof accepts: filters every 8th router on a line, all
+/// other routers feed attack traffic toward the victim at the far end.
+analysis::PlanView CoveredPlan(std::size_t routers) {
+  analysis::PlanView plan;
+  const int victim = static_cast<int>(routers) - 1;
+  for (std::size_t node = 0; node < routers; node += 8) {
+    analysis::PlacementView placement;
+    placement.node = static_cast<int>(node);
+    placement.graph = FilterGraphView();
+    plan.placements.push_back(std::move(placement));
+  }
+  // The victim-side filter guarantees coverage for every ingress.
+  analysis::PlacementView last;
+  last.node = victim;
+  last.graph = FilterGraphView();
+  plan.placements.push_back(std::move(last));
+  for (int node = 0; node < victim; ++node) {
+    plan.ingress_nodes.push_back(node);
+  }
+  plan.victim_nodes = {victim};
+  plan.budgets.assign(routers, analysis::FilterBudget{64});
+  return plan;
 }
 
 }  // namespace
@@ -310,6 +367,98 @@ int main(int argc, char** argv) {
                       static_cast<double>(one.report.paths_covered));
   }
   analysis_cost.Print(std::cout);
+
+  // --- network-wide plan analysis ---
+  // VerifyDeploymentPlan sweeps per-victim suffix state over the routing
+  // in-tree, so verify time must scale with routers, not with the
+  // ingress x victim path count it proves over.
+  Table plan_cost("network-wide plan analysis (admission)");
+  plan_cost.SetHeader(
+      {"routers", "placements", "paths proven", "verify latency"});
+  const int kPlanIterations = 2000;
+  for (const std::size_t routers : {16u, 64u, 256u}) {
+    const analysis::NetworkView net = LineNetworkView(routers);
+    const analysis::PlanView plan = CoveredPlan(routers);
+    const analysis::PlanReport one = analysis::VerifyDeploymentPlan(net, plan);
+    const double start = NowMicros();
+    for (int i = 0; i < kPlanIterations; ++i) {
+      (void)analysis::VerifyDeploymentPlan(net, plan);
+    }
+    const double per_call = (NowMicros() - start) / kPlanIterations;
+    plan_cost.AddRow({Table::Num(static_cast<double>(routers), 0),
+                      Table::Num(static_cast<double>(plan.placements.size()), 0),
+                      Table::Num(static_cast<double>(one.paths_examined), 0),
+                      Table::Num(per_call, 3) + " us"});
+    results.AddScalar("plan_verify_us/routers=" + std::to_string(routers),
+                      per_call);
+    results.AddScalar("plan_paths/routers=" + std::to_string(routers),
+                      static_cast<double>(one.paths_examined));
+    results.AddScalar("plan_proven/routers=" + std::to_string(routers),
+                      one.proven() ? 1.0 : 0.0);
+  }
+  plan_cost.Print(std::cout);
+
+  // --- adversarial plan corpus ---
+  // Each network-wide hazard class must be rejected with its typed
+  // violation and a concrete witness.
+  Table plan_corpus("adversarial plan corpus");
+  plan_corpus.SetHeader({"plan", "outcome"});
+  int plans_rejected = 0;
+  {
+    const analysis::NetworkView net = LineNetworkView(8);
+    struct PlanCase {
+      const char* name;
+      analysis::PlanView plan;
+      analysis::PlanInvariantKind expect;
+    };
+    std::vector<PlanCase> cases;
+    {  // no filter anywhere: every path uncovered
+      analysis::PlanView plan = CoveredPlan(8);
+      plan.placements.clear();
+      cases.push_back({"no filtering placement on any path", std::move(plan),
+                       analysis::PlanInvariantKind::kUncoveredPath});
+    }
+    {  // redirect cycle across the two placed devices (routers 0 and 7)
+      analysis::PlanView plan = CoveredPlan(8);
+      plan.placements[0].redirect_targets = {plan.placements[1].node};
+      plan.placements[1].redirect_targets = {plan.placements[0].node};
+      cases.push_back({"redirect loop spanning two routers", std::move(plan),
+                       analysis::PlanInvariantKind::kCrossDeviceLoop});
+    }
+    {  // per-graph rate bounds compose into amplification
+      analysis::PlanView plan = CoveredPlan(8);
+      plan.placements[0].graph = FilterGraphView(/*rate=*/2.0);
+      cases.push_back({"composed rate product 2x along a path",
+                       std::move(plan),
+                       analysis::PlanInvariantKind::kComposedRateAmplification});
+    }
+    {  // rule demand above the router's ACL budget
+      analysis::PlanView plan = CoveredPlan(8);
+      plan.placements[0].rules_required = 100;  // budget is 64
+      cases.push_back({"filter demand above the ACL budget", std::move(plan),
+                       analysis::PlanInvariantKind::kBudgetExceeded});
+    }
+    for (PlanCase& c : cases) {
+      const analysis::PlanReport report =
+          analysis::VerifyDeploymentPlan(net, c.plan);
+      bool typed = false;
+      for (const analysis::PlanViolation& violation : report.violations) {
+        typed = typed || (violation.kind == c.expect &&
+                          !violation.witness_nodes.empty());
+      }
+      if (report.status == analysis::PlanStatus::kRejected && typed) {
+        plans_rejected++;
+      }
+      plan_corpus.AddRow(
+          {c.name, report.status == analysis::PlanStatus::kRejected
+                       ? "rejected (" + std::string(analysis::PlanInvariantKindName(
+                             report.violations.front().kind)) + ", witness attached)"
+                       : "NOT CAUGHT (bug!)"});
+    }
+  }
+  plan_corpus.Print(std::cout);
+  results.AddScalar("plan_rejects_adversarial/cases=4",
+                    static_cast<double>(plans_rejected));
 
   std::printf(
       "\nreading: every adversarial attempt is rejected at install time or\n"

@@ -1,0 +1,556 @@
+#include "analysis/network_verifier.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace adtc::analysis {
+
+std::string_view PlanInvariantKindName(PlanInvariantKind kind) {
+  switch (kind) {
+    case PlanInvariantKind::kUncoveredPath:
+      return "uncovered-path";
+    case PlanInvariantKind::kCrossDeviceLoop:
+      return "cross-device-loop";
+    case PlanInvariantKind::kComposedRateAmplification:
+      return "composed-rate-amplification";
+    case PlanInvariantKind::kComposedOverhead:
+      return "composed-overhead";
+    case PlanInvariantKind::kBudgetExceeded:
+      return "budget-exceeded";
+    case PlanInvariantKind::kMalformedPlan:
+      return "malformed-plan";
+    case PlanInvariantKind::kCount_:
+      break;
+  }
+  return "?";
+}
+
+std::string_view PlanStatusName(PlanStatus status) {
+  switch (status) {
+    case PlanStatus::kNotRun:
+      return "not-run";
+    case PlanStatus::kProven:
+      return "proven";
+    case PlanStatus::kRejected:
+      return "rejected";
+    case PlanStatus::kCount_:
+      break;
+  }
+  return "?";
+}
+
+int NetworkView::NextHop(int from, int to) const {
+  if (from < 0 || to < 0 ||
+      static_cast<std::size_t>(from) >= node_count ||
+      static_cast<std::size_t>(to) >= node_count) {
+    return -1;
+  }
+  const std::size_t index =
+      static_cast<std::size_t>(from) * node_count + static_cast<std::size_t>(to);
+  if (index >= next_hop.size()) return -1;
+  return next_hop[index];
+}
+
+std::vector<int> NetworkView::Path(int from, int to) const {
+  std::vector<int> path;
+  if (from < 0 || to < 0 ||
+      static_cast<std::size_t>(from) >= node_count ||
+      static_cast<std::size_t>(to) >= node_count) {
+    return path;
+  }
+  int cursor = from;
+  path.push_back(cursor);
+  // Hop guard: a well-formed next-hop table yields simple paths, so more
+  // than node_count hops means the table loops — return "unreachable".
+  while (cursor != to) {
+    cursor = NextHop(cursor, to);
+    if (cursor < 0 || path.size() > node_count) {
+      path.clear();
+      return path;
+    }
+    path.push_back(cursor);
+  }
+  return path;
+}
+
+std::string PlanWitnessToString(const NetworkView& net,
+                                const std::vector<int>& witness) {
+  std::ostringstream out;
+  bool first = true;
+  for (int node : witness) {
+    if (!first) out << " -> ";
+    first = false;
+    if (node >= 0 && static_cast<std::size_t>(node) < net.node_names.size()) {
+      out << net.node_names[static_cast<std::size_t>(node)];
+    } else {
+      out << "AS" << node;
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  return (a > kMax - b) ? kMax : a + b;
+}
+
+/// Composed abstract effect of every graph placed on one router.
+struct NodeEffects {
+  double rate = 1.0;          // product over the node's placement rates
+  std::uint64_t overhead = 0; // sum over the node's placement overheads
+  bool filter = false;        // any placement has a reachable drop terminal
+  std::uint64_t rules = 0;    // summed filter-table demand
+};
+
+/// True when a drop terminal is reachable from the graph entry — the
+/// structural definition of "effective filtering module" the coverage
+/// proof uses (an accept-only observation graph does not cover a path).
+bool HasReachableDropTerminal(const GraphView& view) {
+  const int count = static_cast<int>(view.modules.size());
+  if (view.entry < 0 || view.entry >= count) return false;
+  std::vector<char> seen(static_cast<std::size_t>(count), 0);
+  std::vector<int> work{view.entry};
+  seen[static_cast<std::size_t>(view.entry)] = 1;
+  for (std::size_t head = 0; head < work.size(); ++head) {
+    const ModuleView& module =
+        view.modules[static_cast<std::size_t>(work[head])];
+    for (const PortView& port : module.ports) {
+      if (!port.wired) continue;
+      if (port.is_terminal) {
+        if (port.terminal_drop) return true;
+        continue;
+      }
+      if (port.next < 0 || port.next >= count) continue;
+      if (!seen[static_cast<std::size_t>(port.next)]) {
+        seen[static_cast<std::size_t>(port.next)] = 1;
+        work.push_back(port.next);
+      }
+    }
+  }
+  return false;
+}
+
+/// Per-victim suffix state over the routing in-tree toward that victim.
+struct SuffixState {
+  bool resolved = false;
+  bool reachable = false;
+  bool covered = false;
+  double rate = 1.0;
+  std::uint64_t overhead = 0;
+};
+
+}  // namespace
+
+PlanReport VerifyDeploymentPlan(const NetworkView& net, const PlanView& plan,
+                                const PlanLimits& limits) {
+  PlanReport report;
+  const std::size_t n = net.node_count;
+  report.placements_examined = plan.placements.size();
+  report.nodes_examined = n;
+
+  auto reject = [&report](PlanInvariantKind kind, std::string detail,
+                          std::vector<int> witness) {
+    PlanViolation violation;
+    violation.kind = kind;
+    violation.detail = std::move(detail);
+    violation.witness_nodes = std::move(witness);
+    report.violations.push_back(std::move(violation));
+  };
+
+  if (net.next_hop.size() != n * n) {
+    reject(PlanInvariantKind::kMalformedPlan,
+           "next-hop table holds " + std::to_string(net.next_hop.size()) +
+               " entries for " + std::to_string(n) + " nodes",
+           {});
+    report.status = PlanStatus::kRejected;
+    return report;
+  }
+  if (!plan.budgets.empty() && plan.budgets.size() != n) {
+    reject(PlanInvariantKind::kMalformedPlan,
+           "budget vector holds " + std::to_string(plan.budgets.size()) +
+               " entries for " + std::to_string(n) + " nodes",
+           {});
+    report.status = PlanStatus::kRejected;
+    return report;
+  }
+
+  // --- per-placement abstraction, folded per router -----------------------
+  // Each placement contributes its per-graph worst-case bounds (computed
+  // by the per-graph verifier's topological sweep — we take the bounds,
+  // not its verdict, so a hand-built plan carrying an amplifying graph is
+  // caught by the *composed* check below even if it never went through
+  // per-graph admission) and its structural filter/rule facts.
+  std::vector<NodeEffects> effects(n);
+  const AnalysisLimits permissive{
+      std::numeric_limits<std::uint32_t>::max()};
+  for (std::size_t p = 0; p < plan.placements.size(); ++p) {
+    const PlacementView& placement = plan.placements[p];
+    if (placement.node < 0 || static_cast<std::size_t>(placement.node) >= n) {
+      reject(PlanInvariantKind::kMalformedPlan,
+             "placement " + std::to_string(p) + " names missing router AS" +
+                 std::to_string(placement.node),
+             {placement.node});
+      continue;
+    }
+    NodeEffects& node = effects[static_cast<std::size_t>(placement.node)];
+    node.rules = SaturatingAdd(node.rules, placement.rules_required);
+    if (placement.graph.modules.empty()) continue;  // pass-through
+    const AnalysisReport graph_report =
+        VerifyGraph(placement.graph, AnalysisContext{}, permissive);
+    bool terminates = true;
+    for (const Violation& violation : graph_report.violations) {
+      if (violation.kind == InvariantKind::kNonTerminating) {
+        terminates = false;
+      }
+    }
+    if (!terminates) {
+      // A non-terminating graph has no meaningful path bounds; its own
+      // admission check rejects it, and the plan is malformed around it.
+      reject(PlanInvariantKind::kMalformedPlan,
+             "placement graph on AS" + std::to_string(placement.node) +
+                 " does not terminate",
+             {placement.node});
+      continue;
+    }
+    node.rate *= std::max(0.0, graph_report.bounds.rate_factor);
+    node.overhead =
+        SaturatingAdd(node.overhead, graph_report.bounds.bytes_out_delta);
+    node.filter = node.filter || HasReachableDropTerminal(placement.graph);
+  }
+  for (const NodeEffects& node : effects) {
+    report.bounds.filters_required_max = std::max(
+        report.bounds.filters_required_max,
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(
+            node.rules, std::numeric_limits<std::uint32_t>::max())));
+  }
+
+  // --- proof 2: cross-device termination ----------------------------------
+  // Redirect targets form a digraph over routers; per-graph acyclicity
+  // composes network-wide iff this digraph is acyclic.
+  {
+    std::vector<std::vector<int>> redirect(n);
+    for (const PlacementView& placement : plan.placements) {
+      if (placement.node < 0 || static_cast<std::size_t>(placement.node) >= n) {
+        continue;  // already reported as malformed
+      }
+      for (int target : placement.redirect_targets) {
+        if (target < 0 || static_cast<std::size_t>(target) >= n) {
+          reject(PlanInvariantKind::kMalformedPlan,
+                 "redirect from AS" + std::to_string(placement.node) +
+                     " targets missing router AS" + std::to_string(target),
+                 {placement.node, target});
+          continue;
+        }
+        redirect[static_cast<std::size_t>(placement.node)].push_back(target);
+      }
+    }
+    enum : char { kWhite = 0, kGrey = 1, kBlack = 2 };
+    std::vector<char> colour(n, kWhite);
+    struct Frame {
+      int node;
+      std::size_t edge;
+    };
+    bool cycle_found = false;
+    for (std::size_t root = 0; root < n && !cycle_found; ++root) {
+      if (colour[root] != kWhite || redirect[root].empty()) continue;
+      std::vector<Frame> stack{{static_cast<int>(root), 0}};
+      colour[root] = kGrey;
+      while (!stack.empty() && !cycle_found) {
+        Frame& frame = stack.back();
+        std::vector<int>& out = redirect[static_cast<std::size_t>(frame.node)];
+        if (frame.edge >= out.size()) {
+          colour[static_cast<std::size_t>(frame.node)] = kBlack;
+          stack.pop_back();
+          continue;
+        }
+        const int next = out[frame.edge++];
+        const char next_colour = colour[static_cast<std::size_t>(next)];
+        if (next_colour == kGrey) {
+          // Witness: the cycle segment of the DFS stack, closed on `next`.
+          std::vector<int> witness;
+          bool in_cycle = false;
+          for (const Frame& f : stack) {
+            in_cycle = in_cycle || f.node == next;
+            if (in_cycle) witness.push_back(f.node);
+          }
+          witness.push_back(next);
+          reject(PlanInvariantKind::kCrossDeviceLoop,
+                 "redirects loop across devices back to AS" +
+                     std::to_string(next),
+                 std::move(witness));
+          cycle_found = true;
+        } else if (next_colour == kWhite) {
+          colour[static_cast<std::size_t>(next)] = kGrey;
+          stack.push_back({next, 0});
+        }
+      }
+    }
+  }
+
+  // --- proofs 1 and 3: per-victim memoized sweep --------------------------
+  std::vector<int> victims;
+  for (int v : plan.victim_nodes) {
+    if (v < 0 || static_cast<std::size_t>(v) >= n) {
+      reject(PlanInvariantKind::kMalformedPlan,
+             "victim node AS" + std::to_string(v) + " is missing", {v});
+      continue;
+    }
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  std::vector<int> ingresses;
+  for (int i : plan.ingress_nodes) {
+    if (i < 0 || static_cast<std::size_t>(i) >= n) {
+      reject(PlanInvariantKind::kMalformedPlan,
+             "ingress node AS" + std::to_string(i) + " is missing", {i});
+      continue;
+    }
+    if (std::find(ingresses.begin(), ingresses.end(), i) == ingresses.end()) {
+      ingresses.push_back(i);
+    }
+  }
+
+  bool rate_rejected = false;
+  bool overhead_rejected = false;
+  bool routing_loop_reported = false;
+  for (const int victim : victims) {
+    std::vector<SuffixState> suffix(n);
+    const NodeEffects& at_victim = effects[static_cast<std::size_t>(victim)];
+    SuffixState& base = suffix[static_cast<std::size_t>(victim)];
+    base.resolved = true;
+    base.reachable = true;
+    base.covered = at_victim.filter;
+    base.rate = at_victim.rate;
+    base.overhead = at_victim.overhead;
+
+    // Resolves suffix state for `from` by walking the next-hop chain to
+    // the first resolved node, then folding effects backwards. Memoized:
+    // every node is walked once per victim across all ingresses.
+    auto resolve = [&](int from) {
+      std::vector<int> chain;
+      int cursor = from;
+      while (cursor >= 0 &&
+             !suffix[static_cast<std::size_t>(cursor)].resolved) {
+        chain.push_back(cursor);
+        cursor = net.NextHop(cursor, victim);
+        if (chain.size() > n) {
+          // The next-hop table loops — every node on the chain is
+          // unreachable-by-routing; report the defect once.
+          if (!routing_loop_reported) {
+            reject(PlanInvariantKind::kMalformedPlan,
+                   "next-hop table loops between AS" + std::to_string(from) +
+                       " and AS" + std::to_string(victim),
+                   {from, victim});
+            routing_loop_reported = true;
+          }
+          cursor = -1;
+          break;
+        }
+      }
+      SuffixState tail;  // unresolved tail = unreachable
+      if (cursor >= 0) tail = suffix[static_cast<std::size_t>(cursor)];
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        SuffixState& state = suffix[static_cast<std::size_t>(*it)];
+        const NodeEffects& here = effects[static_cast<std::size_t>(*it)];
+        state.resolved = true;
+        state.reachable = tail.reachable;
+        state.covered = here.filter || tail.covered;
+        state.rate = here.rate * tail.rate;
+        state.overhead = SaturatingAdd(here.overhead, tail.overhead);
+        tail = state;
+      }
+    };
+
+    bool uncovered_reported = false;
+    for (const int ingress : ingresses) {
+      if (ingress == victim) continue;  // no transit path to filter
+      resolve(ingress);
+      const SuffixState& state = suffix[static_cast<std::size_t>(ingress)];
+      if (!state.reachable) continue;  // no attack path exists
+      report.paths_examined += 1;
+      report.bounds.rate_product_max =
+          std::max(report.bounds.rate_product_max, state.rate);
+      report.bounds.overhead_bytes_max =
+          std::max(report.bounds.overhead_bytes_max, state.overhead);
+      if (plan.require_coverage && !state.covered && !uncovered_reported) {
+        reject(PlanInvariantKind::kUncoveredPath,
+               "attack path AS" + std::to_string(ingress) + " -> AS" +
+                   std::to_string(victim) +
+                   " crosses no effective filtering module",
+               net.Path(ingress, victim));
+        uncovered_reported = true;  // one witness per victim
+      }
+      if (!rate_rejected && state.rate > limits.max_composed_rate + 1e-9) {
+        std::ostringstream detail;
+        detail << "composed rate product " << state.rate
+               << " toward AS" << victim << " exceeds "
+               << limits.max_composed_rate;
+        reject(PlanInvariantKind::kComposedRateAmplification, detail.str(),
+               net.Path(ingress, victim));
+        rate_rejected = true;
+      }
+      if (!overhead_rejected &&
+          state.overhead > limits.max_overhead_bytes_end_to_end) {
+        reject(PlanInvariantKind::kComposedOverhead,
+               "composed overhead " + std::to_string(state.overhead) +
+                   " bytes toward AS" + std::to_string(victim) +
+                   " exceeds the end-to-end allowance of " +
+                   std::to_string(limits.max_overhead_bytes_end_to_end),
+               net.Path(ingress, victim));
+        overhead_rejected = true;
+      }
+    }
+  }
+
+  // --- proof 4: filter-budget feasibility ----------------------------------
+  bool over_budget = false;
+  if (!plan.budgets.empty()) {
+    for (std::size_t node = 0; node < n; ++node) {
+      if (effects[node].rules <= plan.budgets[node].capacity) continue;
+      reject(PlanInvariantKind::kBudgetExceeded,
+             "router AS" + std::to_string(node) + " needs " +
+                 std::to_string(effects[node].rules) +
+                 " filter rules but budgets " +
+                 std::to_string(plan.budgets[node].capacity),
+             {static_cast<int>(node)});
+      over_budget = true;
+    }
+  }
+
+  // Greedy feasible-placement suggestion: re-place the filtering
+  // obligation from scratch — for every attack path not yet covered by a
+  // chosen node, claim the on-path node closest to the source with spare
+  // capacity (AITF-style: filter near the origin). Emitted only when the
+  // whole ingress x victim matrix fits.
+  if (over_budget && plan.require_coverage) {
+    std::uint32_t per_filter_rules = 1;
+    for (const PlacementView& placement : plan.placements) {
+      if (placement.node < 0 ||
+          static_cast<std::size_t>(placement.node) >= n) {
+        continue;
+      }
+      if (HasReachableDropTerminal(placement.graph)) {
+        per_filter_rules =
+            std::max(per_filter_rules, placement.rules_required);
+      }
+    }
+    std::vector<std::uint32_t> spare(n, 0);
+    for (std::size_t node = 0; node < n; ++node) {
+      spare[node] = plan.budgets[node].capacity;
+    }
+    std::vector<char> chosen(n, 0);
+    bool feasible = true;
+    for (const int victim : victims) {
+      if (!feasible) break;
+      for (const int ingress : ingresses) {
+        if (ingress == victim) continue;
+        const std::vector<int> path = net.Path(ingress, victim);
+        if (path.empty()) continue;
+        bool covered = false;
+        for (int node : path) covered = covered || chosen[static_cast<std::size_t>(node)];
+        if (covered) continue;
+        bool placed = false;
+        for (int node : path) {
+          if (spare[static_cast<std::size_t>(node)] >= per_filter_rules) {
+            spare[static_cast<std::size_t>(node)] -= per_filter_rules;
+            chosen[static_cast<std::size_t>(node)] = 1;
+            placed = true;
+            break;
+          }
+        }
+        if (!placed) {
+          feasible = false;
+          break;
+        }
+      }
+    }
+    if (feasible) {
+      for (std::size_t node = 0; node < n; ++node) {
+        if (chosen[node]) {
+          report.suggested_placements.push_back(
+              {static_cast<int>(node), per_filter_rules});
+        }
+      }
+    }
+  }
+
+  report.status = report.violations.empty() ? PlanStatus::kProven
+                                            : PlanStatus::kRejected;
+  return report;
+}
+
+std::string PlanReport::ToString() const {
+  std::ostringstream out;
+  out << PlanStatusName(status) << ": " << placements_examined
+      << " placements over " << nodes_examined << " routers, "
+      << paths_examined << " paths, worst rate x" << bounds.rate_product_max
+      << ", worst overhead +" << bounds.overhead_bytes_max
+      << "B, peak rules " << bounds.filters_required_max;
+  for (const PlanViolation& violation : violations) {
+    out << "; " << PlanInvariantKindName(violation.kind) << " ("
+        << violation.detail << ")";
+    if (!violation.witness_nodes.empty()) {
+      out << " via [";
+      bool first = true;
+      for (int node : violation.witness_nodes) {
+        if (!first) out << " -> ";
+        first = false;
+        out << node;
+      }
+      out << "]";
+    }
+  }
+  if (!suggested_placements.empty()) {
+    out << "; suggested placement:";
+    for (const SuggestedPlacement& suggestion : suggested_placements) {
+      out << " AS" << suggestion.node << "(x" << suggestion.rules_required
+          << ")";
+    }
+  }
+  return out.str();
+}
+
+std::string PlanReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\"status\":\"" << PlanStatusName(status)
+      << "\",\"placements_examined\":" << placements_examined
+      << ",\"nodes_examined\":" << nodes_examined
+      << ",\"paths_examined\":" << paths_examined
+      << ",\"rate_product_max\":" << bounds.rate_product_max
+      << ",\"overhead_bytes_max\":" << bounds.overhead_bytes_max
+      << ",\"filters_required_max\":" << bounds.filters_required_max
+      << ",\"violations\":[";
+  bool first = true;
+  for (const PlanViolation& violation : violations) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"kind\":\"" << PlanInvariantKindName(violation.kind)
+        << "\",\"detail\":\"" << obs::JsonEscape(violation.detail)
+        << "\",\"witness\":[";
+    bool first_node = true;
+    for (int node : violation.witness_nodes) {
+      if (!first_node) out << ",";
+      first_node = false;
+      out << node;
+    }
+    out << "]}";
+  }
+  out << "],\"suggested_placements\":[";
+  first = true;
+  for (const SuggestedPlacement& suggestion : suggested_placements) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"node\":" << suggestion.node
+        << ",\"rules_required\":" << suggestion.rules_required << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace adtc::analysis

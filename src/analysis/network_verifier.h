@@ -1,0 +1,190 @@
+// Network-wide static deployment analyzer.
+//
+// The per-graph verifier (analysis/verifier.h) proves the Sec. 4.5
+// invariants for one module graph on one device. A service deployment,
+// however, is a *set* of graphs placed across a topology — and a plan
+// can pass every per-graph proof yet still leave an uncovered attack
+// path to the victim, form a redirect loop spanning two devices, compose
+// per-device rate factors into amplification along a network path, or
+// demand more filter rules than a router's ACL table holds (the binding
+// real-world constraint of *Optimal Filtering for DDoS Attacks*).
+//
+// VerifyDeploymentPlan closes that gap with a linear-sweep abstract
+// interpretation over network paths. Like VerifyGraph it operates on
+// plain structural snapshots — NetworkView (routing next-hop table) and
+// PlanView (placements, ingress/victim sets, per-router budgets) — so it
+// has no dependency on the core component model and is unit- and
+// property-testable with hand-built views. The four proofs:
+//
+//  1. Path coverage — every attack ingress->victim path crosses at least
+//     one effective filtering module (a drop terminal reachable from the
+//     graph entry), with an uncovered-path witness on failure.
+//  2. Cross-device termination — the inter-device redirect graph is
+//     acyclic (per-graph cycle checks compose across devices).
+//  3. End-to-end rate/overhead bounds — per-graph worst-case bounds
+//     multiply (rate) and add (overhead) along routed paths toward each
+//     victim, and the composed products must stay within PlanLimits.
+//  4. Filter-budget feasibility — each router's installed rule count
+//     fits its declared ACL budget; on failure a greedy feasible
+//     placement (cover every path from the node nearest the source with
+//     spare capacity) is suggested when one exists.
+//
+// The sweep memoizes per-victim suffix state over the routing in-tree
+// (covered/rate/overhead from node n toward victim v depend only on n's
+// placements and the state at next_hop(n, v)), so cost is
+// O(nodes x victims + placements), not per-path enumeration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/verifier.h"
+
+namespace adtc::analysis {
+
+/// A router's filter/ACL table capacity (installed rule slots).
+struct FilterBudget {
+  static constexpr std::uint32_t kUnlimited = 0xffffffffu;
+  std::uint32_t capacity = kUnlimited;
+};
+
+/// Structural snapshot of the routed topology: a flattened next-hop
+/// table. Built from a Network by core/safety.cpp (BuildNetworkView);
+/// built by hand in tests.
+struct NetworkView {
+  std::size_t node_count = 0;
+  /// next_hop[from * node_count + to]; -1 = unreachable. Diagonal unused.
+  std::vector<int> next_hop;
+  /// Optional display names (empty, or one per node) for witnesses.
+  std::vector<std::string> node_names;
+
+  /// Next hop from->to, or -1 when out of range / unreachable.
+  int NextHop(int from, int to) const;
+  /// Routed node sequence from->to inclusive; empty when unreachable or
+  /// the next-hop table loops (defensive hop guard).
+  std::vector<int> Path(int from, int to) const;
+};
+
+/// One module graph placed on one router.
+struct PlacementView {
+  int node = -1;
+  GraphView graph;
+  /// Filter/ACL entries this graph consumes on its router's table.
+  std::uint32_t rules_required = 1;
+  /// Router nodes this graph may redirect/forward traffic to (tunnel or
+  /// overlay targets). Composes into the cross-device loop check.
+  std::vector<int> redirect_targets;
+};
+
+/// Snapshot of one deployment plan over a NetworkView.
+struct PlanView {
+  std::vector<PlacementView> placements;
+  /// Nodes where attack traffic can enter (routers with attached hosts).
+  std::vector<int> ingress_nodes;
+  /// Nodes the protected prefixes home to.
+  std::vector<int> victim_nodes;
+  /// Per-node ACL budgets (empty = unlimited everywhere, else one per
+  /// node). Checked against this plan's rule demand.
+  std::vector<FilterBudget> budgets;
+  /// Filtering services must cover every ingress->victim path;
+  /// observation-only services (statistics, traceback) and explicitly
+  /// narrowed placements set this false and skip proof 1.
+  bool require_coverage = true;
+};
+
+/// Limits the plan verifier proves against.
+struct PlanLimits {
+  /// Composed rate-factor product along any ingress->victim path.
+  double max_composed_rate = 1.0;
+  /// Composed management overhead (bytes per packet) along any path.
+  std::uint32_t max_overhead_bytes_end_to_end = 256;
+};
+
+/// The network-wide invariants VerifyDeploymentPlan proves.
+enum class PlanInvariantKind : std::uint8_t {
+  /// An attack ingress->victim path crosses no effective filter.
+  kUncoveredPath = 0,
+  /// The inter-device redirect graph cycles (packets can orbit devices).
+  kCrossDeviceLoop,
+  /// Composed rate product along some path exceeds the limit.
+  kComposedRateAmplification,
+  /// Composed overhead along some path exceeds the end-to-end allowance.
+  kComposedOverhead,
+  /// A router's rule demand exceeds its filter budget.
+  kBudgetExceeded,
+  /// The view itself is inconsistent (bad node index, non-terminating
+  /// placement graph, malformed next-hop table).
+  kMalformedPlan,
+  kCount_,
+};
+
+std::string_view PlanInvariantKindName(PlanInvariantKind kind);
+
+/// Outcome of one plan analysis.
+enum class PlanStatus : std::uint8_t {
+  kNotRun = 0,  // no analyzable plan (no ISPs enrolled, routing unbuilt)
+  kProven,
+  kRejected,
+  kCount_,
+};
+
+std::string_view PlanStatusName(PlanStatus status);
+
+/// Worst-case composed bounds over all swept ingress->victim paths.
+struct PlanBounds {
+  double rate_product_max = 1.0;
+  std::uint64_t overhead_bytes_max = 0;
+  /// Largest per-router rule demand in the plan.
+  std::uint32_t filters_required_max = 0;
+};
+
+/// One violated plan invariant; the witness is a concrete node path
+/// (uncovered/amplifying network path, redirect cycle, or the
+/// over-budget router).
+struct PlanViolation {
+  PlanInvariantKind kind = PlanInvariantKind::kCount_;
+  std::string detail;
+  std::vector<int> witness_nodes;
+};
+
+/// A greedy feasible filter placement emitted when the requested mapping
+/// exceeds a budget but coverage fits elsewhere.
+struct SuggestedPlacement {
+  int node = -1;
+  std::uint32_t rules_required = 0;
+};
+
+/// Machine-readable outcome of one plan analysis, attached to the
+/// DeploymentReport and counted in the obs registry.
+struct PlanReport {
+  PlanStatus status = PlanStatus::kNotRun;
+  std::size_t placements_examined = 0;
+  std::size_t nodes_examined = 0;
+  /// Ingress x victim pairs the coverage/bounds sweep proved over.
+  std::uint64_t paths_examined = 0;
+  PlanBounds bounds;
+  std::vector<PlanViolation> violations;
+  /// Non-empty only after a kBudgetExceeded rejection for a coverage-
+  /// requiring plan where a feasible alternative exists.
+  std::vector<SuggestedPlacement> suggested_placements;
+
+  bool proven() const { return status == PlanStatus::kProven; }
+
+  std::string ToString() const;
+  /// Compact JSON object (status, bounds, violations with witnesses,
+  /// suggested placements).
+  std::string ToJson() const;
+};
+
+/// Renders a node-path witness as "AS0 -> AS3 -> AS7" (ids when the view
+/// carries no names).
+std::string PlanWitnessToString(const NetworkView& net,
+                                const std::vector<int>& witness);
+
+/// Runs the four proofs. Never throws; malformed views are reported as
+/// kMalformedPlan violations, not UB.
+PlanReport VerifyDeploymentPlan(const NetworkView& net, const PlanView& plan,
+                                const PlanLimits& limits = {});
+
+}  // namespace adtc::analysis

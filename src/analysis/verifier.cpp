@@ -4,6 +4,8 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/json.h"
+
 namespace adtc::analysis {
 
 std::string_view ContextRequirementName(ContextRequirement requirement) {
@@ -86,20 +88,6 @@ std::vector<int> TracePath(const std::vector<int>& parent, int node) {
 std::uint64_t SaturatingAdd(std::uint64_t a, std::uint64_t b) {
   const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
   return (a > kMax - b) ? kMax : a + b;
-}
-
-std::string JsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (char c : text) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (c == '\n') {
-      out += "\\n";
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
 }
 
 // Per-node worst-case abstract state propagated in topological order.
@@ -411,7 +399,7 @@ std::string AnalysisReport::ToJson() const {
     if (!first) out << ",";
     first = false;
     out << "{\"kind\":\"" << InvariantKindName(violation.kind)
-        << "\",\"detail\":\"" << JsonEscape(violation.detail)
+        << "\",\"detail\":\"" << obs::JsonEscape(violation.detail)
         << "\",\"witness\":[";
     bool first_index = true;
     for (int index : violation.witness_path) {

@@ -29,6 +29,10 @@ struct PortView {
   bool wired = false;
   /// Terminal port (accept/drop) when true, else `next` names a module.
   bool is_terminal = false;
+  /// Terminal ports only: true when the terminal drops the packet. The
+  /// network-wide coverage proof (analysis/network_verifier.h) defines an
+  /// "effective filter" as a graph with a reachable drop terminal.
+  bool terminal_drop = false;
   int next = -1;
 };
 

@@ -25,6 +25,11 @@ enum class EventKind : std::uint8_t {
   /// quarantined deployment had passed admission analysis, so a module's
   /// declared effect signature was wrong (analyzer-soundness oracle).
   kAnalysisSoundness,
+  /// Attack traffic was observed reaching a victim whose deployment plan
+  /// the network-wide verifier had proven covered — the plan analyzer's
+  /// soundness oracle (a module's filtering claim was wrong, or the
+  /// topology diverged from the admission-time snapshot).
+  kPlanSoundness,
   kCount_,
 };
 

@@ -11,6 +11,7 @@ std::string_view EventKindName(EventKind kind) {
     case EventKind::kRuleActivated: return "rule_activated";
     case EventKind::kLogNote: return "log_note";
     case EventKind::kAnalysisSoundness: return "analysis_soundness";
+    case EventKind::kPlanSoundness: return "plan_soundness";
     case EventKind::kCount_: break;
   }
   return "?";

@@ -107,6 +107,19 @@ class IspNms : public EventSink {
   const std::vector<NodeId>& managed_nodes() const { return managed_; }
   AdaptiveDevice* device(NodeId node);
 
+  /// Declares the filter/ACL table capacity of a managed router. The
+  /// TCSP's admission-time plan verifier checks each deployment's rule
+  /// demand against these (unset nodes are unlimited — the pre-budget
+  /// behaviour).
+  void SetNodeFilterBudget(NodeId node, std::uint32_t capacity) {
+    filter_budgets_[node] = capacity;
+  }
+  analysis::FilterBudget node_filter_budget(NodeId node) const {
+    const auto it = filter_budgets_.find(node);
+    return it == filter_budgets_.end() ? analysis::FilterBudget{}
+                                       : analysis::FilterBudget{it->second};
+  }
+
   /// Wires the control channels to a fault plan (nullptr detaches).
   /// Must outlive the NMS. Existing channels are rebuilt lazily. Also
   /// arms any router-restart schedule the plan carries for managed nodes.
@@ -284,6 +297,8 @@ class IspNms : public EventSink {
   RetryPolicy retry_policy_;
   SimDuration peer_latency_ = 0;
   std::vector<NodeId> managed_;
+  /// Declared ACL capacity per managed node (absent = unlimited).
+  std::unordered_map<NodeId, std::uint32_t> filter_budgets_;
   std::unordered_map<NodeId, std::unique_ptr<AdaptiveDevice>> devices_;
   std::unordered_map<NodeId, std::unique_ptr<DeviceEventProxy>>
       event_proxies_;

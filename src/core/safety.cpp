@@ -1,5 +1,7 @@
 #include "core/safety.h"
 
+#include "net/network.h"
+
 namespace adtc {
 
 SafetyValidator::SafetyValidator(SafetyLimits limits) : limits_(limits) {}
@@ -30,10 +32,32 @@ analysis::GraphView BuildGraphView(const ModuleGraph& graph) {
       analysis::PortView pv;
       pv.wired = link.wired;
       pv.is_terminal = link.is_terminal;
+      pv.terminal_drop =
+          link.is_terminal && link.terminal == ModuleGraph::Terminal::kDrop;
       pv.next = link.next;
       mv.ports.push_back(pv);
     }
     view.modules.push_back(std::move(mv));
+  }
+  return view;
+}
+
+analysis::NetworkView BuildNetworkView(const Network& net) {
+  analysis::NetworkView view;
+  view.node_count = net.node_count();
+  const int count = static_cast<int>(view.node_count);
+  view.next_hop.resize(view.node_count * view.node_count, -1);
+  view.node_names.reserve(view.node_count);
+  for (int from = 0; from < count; ++from) {
+    view.node_names.push_back("AS" + std::to_string(from));
+    for (int to = 0; to < count; ++to) {
+      if (from == to) continue;
+      const NodeId hop = net.NextHop(static_cast<NodeId>(from),
+                                     static_cast<NodeId>(to));
+      view.next_hop[static_cast<std::size_t>(from) * view.node_count +
+                    static_cast<std::size_t>(to)] =
+          hop == kInvalidNode ? -1 : static_cast<int>(hop);
+    }
   }
   return view;
 }
@@ -111,6 +135,20 @@ DeploymentAnalysis SafetyValidator::AnalyzeDeployment(
   }
   ++stats_.graphs_verified;
   return out;
+}
+
+analysis::PlanReport SafetyValidator::AnalyzePlan(
+    const analysis::NetworkView& net_view, const analysis::PlanView& plan,
+    const analysis::PlanLimits& limits) const {
+  analysis::PlanReport report =
+      analysis::VerifyDeploymentPlan(net_view, plan, limits);
+  if (report.proven()) {
+    ++stats_.plans_verified;
+  } else if (report.status == analysis::PlanStatus::kRejected) {
+    ++stats_.plans_rejected;
+    stats_.violations_found += report.violations.size();
+  }
+  return report;
 }
 
 Status SafetyValidator::ValidateDeployment(

@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/network_verifier.h"
 #include "analysis/verifier.h"
 #include "common/result.h"
 #include "core/certificate.h"
@@ -34,6 +35,8 @@
 #include "obs/metrics_registry.h"
 
 namespace adtc {
+
+class Network;
 
 struct SafetyLimits {
   std::uint32_t max_modules_per_graph = 32;
@@ -53,6 +56,13 @@ struct AnalysisStats {
   /// Runtime guard contradicted a statically-proven property — a module
   /// lied in its effect signature. The analyzer's soundness oracle.
   obs::Counter soundness_violations;
+  /// Network-wide plan analyses (analysis/network_verifier.h) that ended
+  /// in a proof / a rejection at TCSP admission.
+  obs::Counter plans_verified;
+  obs::Counter plans_rejected;
+  /// Observed attack traffic reached a victim along a path the plan
+  /// verifier had proven covered — the plan analyzer's soundness oracle.
+  obs::Counter plan_soundness_violations;
 };
 
 /// Full admission outcome: the Status callers gate on plus the verifier's
@@ -66,6 +76,11 @@ struct DeploymentAnalysis {
 /// Snapshots a validated graph's wiring and the modules' declared effect
 /// signatures into the verifier's structural view.
 analysis::GraphView BuildGraphView(const ModuleGraph& graph);
+
+/// Snapshots the routed topology into the plan verifier's structural
+/// view (flattened next-hop table + "AS<n>" names). Requires
+/// FinalizeRouting() to have run.
+analysis::NetworkView BuildNetworkView(const Network& net);
 
 class SafetyValidator {
  public:
@@ -100,10 +115,22 @@ class SafetyValidator {
 
   const SafetyLimits& limits() const { return limits_; }
 
+  /// Runs the network-wide plan verifier and counts the outcome in the
+  /// "analysis.plans_*" registry cells. kNotRun plans count as neither.
+  analysis::PlanReport AnalyzePlan(const analysis::NetworkView& net_view,
+                                   const analysis::PlanView& plan,
+                                   const analysis::PlanLimits& limits = {})
+      const;
+
   const AnalysisStats& analysis_stats() const { return stats_; }
   /// Called by the management plane when the runtime guard quarantines a
   /// deployment the analyzer had proven safe (see NMS event handling).
   void CountSoundnessViolation() const { ++stats_.soundness_violations; }
+  /// Called when uncovered-path traffic is observed against a plan the
+  /// network verifier had proven covered (see Tcsp event handling).
+  void CountPlanSoundnessViolation() const {
+    ++stats_.plan_soundness_violations;
+  }
 
  private:
   SafetyLimits limits_;

@@ -1,5 +1,6 @@
 #include "core/tcsp.h"
 
+#include <algorithm>
 #include <memory>
 
 namespace adtc {
@@ -41,6 +42,13 @@ Tcsp::Tcsp(Network& net, NumberAuthority& authority,
                        static_cast<double>(analysis.violations_found)});
         out.push_back({"analysis.soundness_violations",
                        static_cast<double>(analysis.soundness_violations)});
+        out.push_back({"analysis.plans_verified",
+                       static_cast<double>(analysis.plans_verified)});
+        out.push_back({"analysis.plans_rejected",
+                       static_cast<double>(analysis.plans_rejected)});
+        out.push_back(
+            {"analysis.plan_soundness_violations",
+             static_cast<double>(analysis.plan_soundness_violations)});
         if (injector_ != nullptr) {
           const FaultInjectorStats& fs = injector_->stats();
           out.push_back({"faults.messages_planned",
@@ -289,6 +297,46 @@ DeploymentReport Tcsp::DeployService(
     return report;
   }
 
+  // Network-wide plan admission ahead of fan-out: snapshot the concrete
+  // placement (which routers get which graphs, under which ACL budgets)
+  // and prove path coverage, cross-device termination, composed
+  // rate/overhead bounds and budget feasibility. A rejected plan never
+  // reaches an ISP; the witness path travels back on the report.
+  analysis::PlanReport plan;  // stays kNotRun unless analyzable
+  analysis::PlanView plan_view;
+  const bool plan_analyzable = config_.verify_plan && !isps_.empty() &&
+                               net_.routing_ready() &&
+                               BuildPlanView(request, instr.home_nodes,
+                                             &plan_view);
+  if (plan_analyzable) {
+    const analysis::NetworkView net_view = BuildNetworkView(net_);
+    plan = validator_.AnalyzePlan(net_view, plan_view);
+    if (plan.status == analysis::PlanStatus::kRejected) {
+      stats_.deployments_failed++;
+      if (tracer() != nullptr) tracer()->EndSpan(deploy_span, /*ok=*/false);
+      DeploymentReport rejected;
+      const analysis::PlanViolation& first = plan.violations.front();
+      rejected.status = SafetyViolation(
+          "static plan analysis rejected deployment: " +
+          std::string(analysis::PlanInvariantKindName(first.kind)) + " — " +
+          first.detail + " [witness: " +
+          analysis::PlanWitnessToString(net_view, first.witness_nodes) +
+          "]");
+      rejected.analysis = analysis;
+      rejected.plan = std::move(plan);
+      rejected.requested_at = requested_at;
+      rejected.completed_at = net_.Now();
+      deliver(rejected, done);
+      return rejected;
+    }
+    if (plan.proven() && plan_view.require_coverage) {
+      // The coverage proof becomes the plan-soundness oracle's ground
+      // truth: attack traffic later observed at these victims would
+      // contradict it (ReportUncoveredPathTraffic).
+      proven_plans_[cert.subscriber] = instr.home_nodes;
+    }
+  }
+
   // The request reaches the TCSP, which instructs every ISP in parallel
   // over its control channel; each ISP configures its selected devices
   // sequentially. The report completes when the slowest ISP answered
@@ -297,6 +345,7 @@ DeploymentReport Tcsp::DeployService(
   auto report = std::make_shared<DeploymentReport>();
   report->requested_at = requested_at;
   report->analysis = analysis;
+  report->plan = std::move(plan);
 
   if (isps_.empty()) {
     report->completed_at = requested_at;
@@ -400,6 +449,107 @@ analysis::AnalysisReport Tcsp::AnalyzeRequest(
     }
   }
   return merged;
+}
+
+namespace {
+
+/// Filter-table entries one stage graph of `request` consumes on its
+/// router — the ACL-budget currency of *Optimal Filtering for DDoS
+/// Attacks* (deny rules dominate; everything else is one entry).
+std::uint32_t RulesRequired(const ServiceRequest& request) {
+  switch (request.kind) {
+    case ServiceKind::kDistributedFirewall:
+      return static_cast<std::uint32_t>(request.deny_rules.size()) +
+             (request.inbound_rate_limit_pps.has_value() ? 1u : 0u);
+    case ServiceKind::kRemoteIngressFiltering:
+      return std::max<std::uint32_t>(
+          1, static_cast<std::uint32_t>(request.control_scope.size()));
+    case ServiceKind::kAnomalyReaction:
+      return 2;  // per-source limiter + aggregate backstop
+    case ServiceKind::kTraceback:
+    case ServiceKind::kStatistics:
+      return 1;
+  }
+  return 1;
+}
+
+/// Filtering services promise to stop attack traffic; observation
+/// services only watch it. Coverage is additionally only *required* when
+/// the user asked for blanket placement — an explicitly narrowed
+/// placement (one stub, a radius) is the user opting into partial
+/// coverage, which the verifier reports through bounds, not rejection.
+bool RequiresCoverage(const ServiceRequest& request) {
+  const bool filtering =
+      request.kind == ServiceKind::kRemoteIngressFiltering ||
+      request.kind == ServiceKind::kDistributedFirewall ||
+      request.kind == ServiceKind::kAnomalyReaction;
+  return filtering && request.placement == PlacementPolicy::kAllManagedNodes;
+}
+
+}  // namespace
+
+bool Tcsp::BuildPlanView(const ServiceRequest& request,
+                         const std::vector<NodeId>& home_nodes,
+                         analysis::PlanView* out) const {
+  StageGraphs reference = BuildStageGraphs(
+      request, LegitimateForwarderSet(net_, home_nodes));
+  if (!reference.source_stage.has_value() &&
+      !reference.destination_stage.has_value()) {
+    return false;
+  }
+  const std::uint32_t rules = RulesRequired(request);
+  out->budgets.assign(net_.node_count(), analysis::FilterBudget{});
+  for (IspNms* nms : isps_) {
+    for (NodeId node : nms->managed_nodes()) {
+      out->budgets[node] = nms->node_filter_budget(node);
+      if (!PlacementSelectsNode(request, net_, node)) continue;
+      for (const auto* stage : {&reference.source_stage,
+                                &reference.destination_stage}) {
+        if (!stage->has_value()) continue;
+        analysis::PlacementView placement;
+        placement.node = static_cast<int>(node);
+        placement.graph = BuildGraphView(**stage);
+        placement.rules_required = rules;
+        out->placements.push_back(std::move(placement));
+      }
+    }
+  }
+  if (out->placements.empty()) return false;
+  // Attack ingress = every router with attached hosts: hosts are the
+  // only packet sources in this world, so those routers are where
+  // adversarial traffic enters the topology.
+  std::vector<char> seen(net_.node_count(), 0);
+  for (std::size_t h = 0; h < net_.host_count(); ++h) {
+    const NodeId node = net_.host_node(static_cast<HostId>(h));
+    if (!seen[node]) {
+      seen[node] = 1;
+      out->ingress_nodes.push_back(static_cast<int>(node));
+    }
+  }
+  for (NodeId victim : home_nodes) {
+    out->victim_nodes.push_back(static_cast<int>(victim));
+  }
+  out->require_coverage = RequiresCoverage(request);
+  return true;
+}
+
+bool Tcsp::ReportUncoveredPathTraffic(SubscriberId subscriber,
+                                      NodeId at_node) {
+  const auto it = proven_plans_.find(subscriber);
+  if (it == proven_plans_.end()) return false;
+  validator_.CountPlanSoundnessViolation();
+  DeviceEvent flag;
+  flag.kind = EventKind::kPlanSoundness;
+  flag.at = net_.Now();
+  flag.node = at_node;
+  flag.subscriber = subscriber;
+  flag.detail =
+      "attack traffic reached victim node " + std::to_string(at_node) +
+      " along a path the plan verifier had proven covered";
+  for (IspNms* nms : isps_) {
+    nms->OnEvent(flag);
+  }
+  return true;
 }
 
 DeploymentReport Tcsp::RelayFallback(
@@ -718,6 +868,7 @@ Status Tcsp::RemoveService(SubscriberId subscriber) {
     const Status status = nms->RemoveService(subscriber);
     if (status.ok()) any = true;
   }
+  if (any) proven_plans_.erase(subscriber);
   return any ? Status::Ok()
              : NotFound("subscriber has no deployments anywhere");
 }

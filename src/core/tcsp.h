@@ -57,6 +57,12 @@ struct DeploymentReport {
   /// invariant with a witness path when rejected. kNotRun when the
   /// request never produced an analyzable graph.
   analysis::AnalysisReport analysis;
+  /// Network-wide static plan analysis (analysis/network_verifier.h):
+  /// path coverage, cross-device loops, composed rate/overhead bounds
+  /// and filter budgets over the concrete placement. kNotRun when plan
+  /// verification is disabled, no ISP is enrolled, routing is unbuilt,
+  /// or the deployment travelled the relay path.
+  analysis::PlanReport plan;
   SimTime requested_at = 0;
   SimTime completed_at = 0;
 
@@ -135,6 +141,16 @@ class Tcsp {
       std::function<void(const DeploymentReport&)> done = nullptr);
 
   Status RemoveService(SubscriberId subscriber);
+
+  /// Plan-soundness oracle entry: the data plane (or a test harness that
+  /// can see ground truth) observed attack traffic reaching a victim of
+  /// `subscriber` at `at_node` — traffic the plan verifier had proven
+  /// would cross a filter. If the subscriber holds a coverage-proven
+  /// plan, the contradiction is counted
+  /// (analysis.plan_soundness_violations) and a kPlanSoundness event is
+  /// fanned out to every enrolled NMS event log; returns whether a proof
+  /// was contradicted.
+  bool ReportUncoveredPathTraffic(SubscriberId subscriber, NodeId at_node);
 
   // --- runtime operations (Fig. 5, third phase) ----------------------------
   // "Once the service is deployed, a network user may activate, modify
@@ -218,6 +234,13 @@ class Tcsp {
   analysis::AnalysisReport AnalyzeRequest(
       const OwnershipCertificate& cert, const ServiceRequest& request,
       const std::vector<NodeId>& home_nodes) const;
+  /// Assembles the concrete placement of `request` across the enrolled
+  /// ISPs into the plan verifier's snapshot (placements, ingress/victim
+  /// sets, per-router budgets). False when the request yields no
+  /// analyzable plan (no graphs, or no selected device anywhere).
+  bool BuildPlanView(const ServiceRequest& request,
+                     const std::vector<NodeId>& home_nodes,
+                     analysis::PlanView* out) const;
   /// Unreachable-TCSP degradation: floods the instruction through the
   /// peer mesh starting at the first enrolled NMS.
   DeploymentReport RelayFallback(
@@ -238,6 +261,11 @@ class Tcsp {
   Rng control_rng_{0x7c5c0de5eedULL};
   std::unordered_map<IspNms*, std::unique_ptr<ControlChannel>>
       isp_channels_;
+  /// Victim (home) nodes of subscribers whose coverage proof is live —
+  /// the plan-soundness oracle's ground truth. Entries are added when a
+  /// coverage-requiring plan is proven at admission and removed with the
+  /// service.
+  std::unordered_map<SubscriberId, std::vector<NodeId>> proven_plans_;
   std::uint64_t next_deployment_seq_ = 1;
   SubscriberId next_subscriber_ = 1;
   bool reachable_ = true;

@@ -27,6 +27,11 @@ struct TcspConfig {
   /// relay the deployment through the peer mesh of the first enrolled
   /// ISP NMS instead of failing the request.
   bool relay_fallback = false;
+  /// Network-wide static plan verification ahead of ISP fan-out
+  /// (analysis/network_verifier.h): path coverage, cross-device loops,
+  /// composed rate/overhead bounds and filter budgets. A rejected plan
+  /// fails the deployment with the witness attached to the report.
+  bool verify_plan = true;
 };
 
 }  // namespace adtc

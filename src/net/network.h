@@ -179,6 +179,10 @@ class Network {
   /// Host owning this address, or kInvalidHost.
   HostId HostByAddress(Ipv4Address addr) const;
 
+  /// Whether FinalizeRouting() has run (the path queries below assert it;
+  /// admission-time plan analysis checks first and degrades to not-run).
+  bool routing_ready() const { return routing_built_; }
+
   /// Hop count of the routed path a->b (kInvalidNode distance = UINT32_MAX).
   std::uint32_t HopDistance(NodeId a, NodeId b) const;
   /// Node sequence of the routed path a->b inclusive; empty if unreachable.

@@ -1,0 +1,403 @@
+// Unit tests for the network-wide deployment-plan verifier, driving it
+// through hand-built NetworkView/PlanView snapshots — no Network or
+// control plane involved, so every rejection class (uncovered path,
+// cross-device loop, composed amplification/overhead, budget overrun)
+// and the greedy feasible-placement suggestion can be exercised exactly.
+#include "analysis/network_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace adtc::analysis {
+namespace {
+
+/// A line topology 0 - 1 - ... - (n-1): next hop toward a higher node is
+/// +1, toward a lower node -1. The simplest fully-routed view.
+NetworkView LineNetwork(std::size_t n) {
+  NetworkView net;
+  net.node_count = n;
+  net.next_hop.assign(n * n, -1);
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      if (from == to) continue;
+      net.next_hop[from * n + to] =
+          static_cast<int>(to > from ? from + 1 : from - 1);
+    }
+  }
+  return net;
+}
+
+/// A single pass-or-drop filter module: port 0 accepts, port 1 drops.
+GraphView FilterGraph(double rate = 1.0, std::uint32_t overhead = 0) {
+  GraphView view;
+  view.entry = 0;
+  ModuleView mv;
+  mv.type_name = "match";
+  mv.signature.rate_factor_max = rate;
+  mv.signature.overhead_bytes_max = overhead;
+  mv.ports.resize(2);
+  for (PortView& pv : mv.ports) {
+    pv.wired = true;
+    pv.is_terminal = true;
+  }
+  mv.ports[1].terminal_drop = true;
+  view.modules.push_back(std::move(mv));
+  return view;
+}
+
+/// Accept-only observation module (no drop terminal anywhere).
+GraphView ObserveGraph(double rate = 1.0, std::uint32_t overhead = 0) {
+  GraphView view;
+  view.entry = 0;
+  ModuleView mv;
+  mv.type_name = "counter";
+  mv.signature.rate_factor_max = rate;
+  mv.signature.overhead_bytes_max = overhead;
+  mv.ports.resize(1);
+  mv.ports[0].wired = true;
+  mv.ports[0].is_terminal = true;
+  view.modules.push_back(std::move(mv));
+  return view;
+}
+
+PlacementView Place(int node, GraphView graph, std::uint32_t rules = 1) {
+  PlacementView placement;
+  placement.node = node;
+  placement.graph = std::move(graph);
+  placement.rules_required = rules;
+  return placement;
+}
+
+bool HasViolation(const PlanReport& report, PlanInvariantKind kind) {
+  for (const PlanViolation& violation : report.violations) {
+    if (violation.kind == kind) return true;
+  }
+  return false;
+}
+
+const PlanViolation& FindViolation(const PlanReport& report,
+                                   PlanInvariantKind kind) {
+  for (const PlanViolation& violation : report.violations) {
+    if (violation.kind == kind) return violation;
+  }
+  static const PlanViolation missing;
+  return missing;
+}
+
+TEST(NetworkVerifierTest, PathQueriesFollowTheNextHopTable) {
+  const NetworkView net = LineNetwork(4);
+  EXPECT_EQ(net.NextHop(0, 3), 1);
+  EXPECT_EQ(net.NextHop(3, 0), 2);
+  EXPECT_EQ(net.Path(0, 3), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(net.Path(2, 2), (std::vector<int>{2}));
+  EXPECT_TRUE(net.Path(0, 9).empty());  // out of range
+}
+
+TEST(NetworkVerifierTest, LoopingNextHopTableYieldsEmptyPath) {
+  NetworkView net = LineNetwork(3);
+  net.next_hop[0 * 3 + 2] = 1;
+  net.next_hop[1 * 3 + 2] = 0;  // 0 <-> 1 orbit, never reaching 2
+  EXPECT_TRUE(net.Path(0, 2).empty());
+}
+
+TEST(NetworkVerifierTest, ProvesCoveredPlan) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  plan.placements.push_back(Place(2, FilterGraph()));
+  plan.ingress_nodes = {0, 1};
+  plan.victim_nodes = {3};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  EXPECT_TRUE(report.proven()) << report.ToString();
+  EXPECT_EQ(report.paths_examined, 2u);
+  EXPECT_EQ(report.placements_examined, 1u);
+  EXPECT_DOUBLE_EQ(report.bounds.rate_product_max, 1.0);
+}
+
+TEST(NetworkVerifierTest, EmptyPlanWithNoPathsIsProven) {
+  const PlanReport report = VerifyDeploymentPlan(NetworkView{}, PlanView{});
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.paths_examined, 0u);
+}
+
+TEST(NetworkVerifierTest, UncoveredPathIsRejectedWithWitness) {
+  const NetworkView net = LineNetwork(5);
+  PlanView plan;
+  // Filter at node 1 covers ingress 0 but not ingress 3 -> victim 4.
+  plan.placements.push_back(Place(1, FilterGraph()));
+  plan.ingress_nodes = {0, 3};
+  plan.victim_nodes = {4};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  const PlanViolation& violation =
+      FindViolation(report, PlanInvariantKind::kUncoveredPath);
+  EXPECT_EQ(violation.kind, PlanInvariantKind::kUncoveredPath);
+  EXPECT_EQ(violation.witness_nodes, (std::vector<int>{3, 4}));
+  EXPECT_EQ(PlanWitnessToString(net, violation.witness_nodes),
+            "AS3 -> AS4");
+}
+
+TEST(NetworkVerifierTest, ObservationGraphDoesNotCover) {
+  const NetworkView net = LineNetwork(3);
+  PlanView plan;
+  plan.placements.push_back(Place(1, ObserveGraph()));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {2};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  EXPECT_TRUE(HasViolation(report, PlanInvariantKind::kUncoveredPath));
+}
+
+TEST(NetworkVerifierTest, CoverageNotRequiredAcceptsObservationPlan) {
+  const NetworkView net = LineNetwork(3);
+  PlanView plan;
+  plan.placements.push_back(Place(1, ObserveGraph()));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {2};
+  plan.require_coverage = false;
+  EXPECT_TRUE(VerifyDeploymentPlan(net, plan).proven());
+}
+
+TEST(NetworkVerifierTest, FilterAtIngressOrVictimCovers) {
+  const NetworkView net = LineNetwork(3);
+  for (const int filter_node : {0, 2}) {
+    PlanView plan;
+    plan.placements.push_back(Place(filter_node, FilterGraph()));
+    plan.ingress_nodes = {0};
+    plan.victim_nodes = {2};
+    EXPECT_TRUE(VerifyDeploymentPlan(net, plan).proven())
+        << "filter at " << filter_node;
+  }
+}
+
+TEST(NetworkVerifierTest, CrossDeviceRedirectLoopIsRejected) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  PlacementView a = Place(1, FilterGraph());
+  a.redirect_targets = {2};
+  PlacementView b = Place(2, FilterGraph());
+  b.redirect_targets = {1};  // 1 -> 2 -> 1 across devices
+  plan.placements.push_back(std::move(a));
+  plan.placements.push_back(std::move(b));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {3};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  const PlanViolation& violation =
+      FindViolation(report, PlanInvariantKind::kCrossDeviceLoop);
+  EXPECT_EQ(violation.kind, PlanInvariantKind::kCrossDeviceLoop);
+  EXPECT_EQ(violation.witness_nodes, (std::vector<int>{1, 2, 1}));
+}
+
+TEST(NetworkVerifierTest, SelfRedirectIsALoop) {
+  const NetworkView net = LineNetwork(2);
+  PlanView plan;
+  PlacementView a = Place(0, FilterGraph());
+  a.redirect_targets = {0};
+  plan.placements.push_back(std::move(a));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {1};
+  EXPECT_TRUE(HasViolation(VerifyDeploymentPlan(net, plan),
+                           PlanInvariantKind::kCrossDeviceLoop));
+}
+
+TEST(NetworkVerifierTest, AcyclicRedirectChainIsAccepted) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  PlacementView a = Place(0, FilterGraph());
+  a.redirect_targets = {1};
+  PlacementView b = Place(1, FilterGraph());
+  b.redirect_targets = {2, 3};
+  plan.placements.push_back(std::move(a));
+  plan.placements.push_back(std::move(b));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {3};
+  EXPECT_TRUE(VerifyDeploymentPlan(net, plan).proven());
+}
+
+TEST(NetworkVerifierTest, ComposedRateProductAboveOneIsRejected) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  // The per-graph bound floors at x1 (a worst-case prefix max), so the
+  // composed product toward the victim is 1.5 x 1.0 = 1.5 > 1.
+  plan.placements.push_back(Place(1, FilterGraph(/*rate=*/1.5)));
+  plan.placements.push_back(Place(2, FilterGraph(/*rate=*/0.9)));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {3};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  const PlanViolation& violation =
+      FindViolation(report, PlanInvariantKind::kComposedRateAmplification);
+  EXPECT_EQ(violation.kind, PlanInvariantKind::kComposedRateAmplification);
+  EXPECT_EQ(violation.witness_nodes, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_NEAR(report.bounds.rate_product_max, 1.5, 1e-9);
+}
+
+TEST(NetworkVerifierTest, ShrinkingCompositionStaysProven) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  plan.placements.push_back(Place(1, FilterGraph(/*rate=*/0.5)));
+  plan.placements.push_back(Place(2, FilterGraph(/*rate=*/1.0)));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {3};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  EXPECT_TRUE(report.proven());
+  EXPECT_DOUBLE_EQ(report.bounds.rate_product_max, 1.0);  // ingress 0 only
+}
+
+TEST(NetworkVerifierTest, ComposedOverheadAboveAllowanceIsRejected) {
+  const NetworkView net = LineNetwork(5);
+  PlanView plan;
+  // 3 x 100 bytes: each under the per-graph 256 allowance, 300 composed.
+  for (int node : {1, 2, 3}) {
+    plan.placements.push_back(
+        Place(node, FilterGraph(1.0, /*overhead=*/100)));
+  }
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {4};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  EXPECT_TRUE(HasViolation(report, PlanInvariantKind::kComposedOverhead));
+  EXPECT_EQ(report.bounds.overhead_bytes_max, 300u);
+}
+
+TEST(NetworkVerifierTest, OverBudgetRouterIsRejectedWithSuggestion) {
+  const NetworkView net = LineNetwork(4);
+  PlanView plan;
+  // All 8 rules piled on router 1, which only budgets 4; routers 2 and 3
+  // have room.
+  plan.placements.push_back(Place(1, FilterGraph(), /*rules=*/8));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {3};
+  plan.budgets.assign(4, FilterBudget{16});
+  plan.budgets[1].capacity = 4;
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  const PlanViolation& violation =
+      FindViolation(report, PlanInvariantKind::kBudgetExceeded);
+  EXPECT_EQ(violation.kind, PlanInvariantKind::kBudgetExceeded);
+  EXPECT_EQ(violation.witness_nodes, (std::vector<int>{1}));
+  EXPECT_EQ(report.bounds.filters_required_max, 8u);
+  // Greedy suggestion: the path 0->3 gets its filter from the node
+  // closest to the source with spare room — node 0 (capacity 16 >= 8).
+  ASSERT_EQ(report.suggested_placements.size(), 1u);
+  EXPECT_EQ(report.suggested_placements[0].node, 0);
+  EXPECT_EQ(report.suggested_placements[0].rules_required, 8u);
+}
+
+TEST(NetworkVerifierTest, NoSuggestionWhenNoBudgetFitsAnywhere) {
+  const NetworkView net = LineNetwork(3);
+  PlanView plan;
+  plan.placements.push_back(Place(1, FilterGraph(), /*rules=*/8));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {2};
+  plan.budgets.assign(3, FilterBudget{2});  // nothing holds 8 rules
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  EXPECT_TRUE(HasViolation(report, PlanInvariantKind::kBudgetExceeded));
+  EXPECT_TRUE(report.suggested_placements.empty());
+}
+
+TEST(NetworkVerifierTest, SharedRouterSumsRuleDemand) {
+  const NetworkView net = LineNetwork(3);
+  PlanView plan;
+  plan.placements.push_back(Place(1, FilterGraph(), /*rules=*/3));
+  plan.placements.push_back(Place(1, FilterGraph(), /*rules=*/3));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {2};
+  plan.budgets.assign(3, FilterBudget{5});
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  EXPECT_TRUE(HasViolation(report, PlanInvariantKind::kBudgetExceeded));
+  EXPECT_EQ(report.bounds.filters_required_max, 6u);
+}
+
+TEST(NetworkVerifierTest, MalformedPlacementNodeIsReported) {
+  const NetworkView net = LineNetwork(2);
+  PlanView plan;
+  plan.placements.push_back(Place(7, FilterGraph()));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {1};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  EXPECT_TRUE(HasViolation(report, PlanInvariantKind::kMalformedPlan));
+}
+
+TEST(NetworkVerifierTest, NonTerminatingPlacementGraphIsMalformed) {
+  const NetworkView net = LineNetwork(2);
+  GraphView looping;
+  looping.entry = 0;
+  ModuleView mv;
+  mv.type_name = "m";
+  mv.ports.resize(1);
+  mv.ports[0].wired = true;
+  mv.ports[0].next = 0;  // self loop
+  looping.modules.push_back(std::move(mv));
+  PlanView plan;
+  plan.placements.push_back(Place(0, std::move(looping)));
+  plan.ingress_nodes = {0};
+  plan.victim_nodes = {1};
+  EXPECT_TRUE(HasViolation(VerifyDeploymentPlan(net, plan),
+                           PlanInvariantKind::kMalformedPlan));
+}
+
+TEST(NetworkVerifierTest, UnreachableIngressIsNotAnAttackPath) {
+  NetworkView net = LineNetwork(4);
+  // Disconnect node 0 from everything.
+  for (std::size_t to = 0; to < 4; ++to) net.next_hop[0 * 4 + to] = -1;
+  PlanView plan;
+  plan.placements.push_back(Place(2, FilterGraph()));
+  plan.ingress_nodes = {0, 1};
+  plan.victim_nodes = {3};
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  EXPECT_TRUE(report.proven());
+  EXPECT_EQ(report.paths_examined, 1u);  // only 1 -> 3
+}
+
+TEST(NetworkVerifierTest, ReportRoundTripsThroughJson) {
+  const NetworkView net = LineNetwork(5);
+  PlanView plan;
+  plan.placements.push_back(Place(1, FilterGraph(/*rate=*/2.0)));
+  plan.ingress_nodes = {0, 3};
+  plan.victim_nodes = {4};
+  plan.budgets.assign(5, FilterBudget{0});
+  const PlanReport report = VerifyDeploymentPlan(net, plan);
+  ASSERT_EQ(report.status, PlanStatus::kRejected);
+  const std::string json = report.ToJson();
+  EXPECT_TRUE(obs::JsonSyntaxValid(json)) << json;
+  EXPECT_NE(json.find("\"status\":\"rejected\""), std::string::npos);
+  EXPECT_NE(report.ToString().find("rejected"), std::string::npos);
+}
+
+TEST(NetworkVerifierTest, HandBuiltReportJsonRoundTripsHostileDetails) {
+  // ToJson must escape whatever ends up in a violation detail; a
+  // hand-built report with quotes, backslashes, newlines and raw control
+  // bytes round-trips through the obs JSON parser bit-for-bit.
+  PlanReport report;
+  report.status = PlanStatus::kRejected;
+  PlanViolation violation;
+  violation.kind = PlanInvariantKind::kMalformedPlan;
+  violation.detail = "quote\" backslash\\ newline\n tab\t ctl\x02 end";
+  violation.witness_nodes = {1, 2};
+  report.violations.push_back(violation);
+
+  const std::string json = report.ToJson();
+  const auto parsed = obs::JsonParse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const obs::JsonValue* violations = parsed->Get("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_EQ(violations->array.size(), 1u);
+  EXPECT_EQ(violations->array.front().GetString("detail"), violation.detail);
+  EXPECT_EQ(violations->array.front().GetString("kind"), "malformed-plan");
+}
+
+TEST(NetworkVerifierTest, EnumNamesAreStable) {
+  EXPECT_EQ(PlanInvariantKindName(PlanInvariantKind::kUncoveredPath),
+            "uncovered-path");
+  EXPECT_EQ(PlanInvariantKindName(PlanInvariantKind::kBudgetExceeded),
+            "budget-exceeded");
+  EXPECT_EQ(PlanStatusName(PlanStatus::kProven), "proven");
+  EXPECT_EQ(PlanStatusName(PlanStatus::kNotRun), "not-run");
+}
+
+}  // namespace
+}  // namespace adtc::analysis

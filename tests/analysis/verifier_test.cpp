@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
+
 namespace adtc::analysis {
 namespace {
 
@@ -256,6 +258,67 @@ TEST(VerifierTest, ReportsEveryViolationNotJustTheFirst) {
   ASSERT_EQ(report.violations.size(), 2u);
   EXPECT_EQ(report.violations[0].kind, InvariantKind::kHeaderMutation);
   EXPECT_EQ(report.violations[1].kind, InvariantKind::kByteAmplification);
+}
+
+TEST(VerifierTest, ReportJsonRoundTripsHostileModuleNames) {
+  // Violation details embed module type names verbatim; a name carrying
+  // quotes, backslashes, newlines and raw control bytes must still yield
+  // parseable JSON with the detail string intact after a round trip.
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(
+      Leaf("evil\"name\\with\nnewline\tand\x01control"));
+  view.modules[0].ports[0].wired = false;  // forces a detail mentioning it
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+
+  const std::string json = report.ToJson();
+  const auto parsed = obs::JsonParse(json);
+  ASSERT_TRUE(parsed.has_value()) << json;
+  const obs::JsonValue* violations = parsed->Get("violations");
+  ASSERT_NE(violations, nullptr);
+  ASSERT_FALSE(violations->array.empty());
+  EXPECT_EQ(violations->array.front().GetString("detail"),
+            report.violations.front().detail);
+}
+
+TEST(VerifierTest, EmptyGraphIsRejectedNotCrashed) {
+  // Degenerate input: no modules at all. The verifier must reject
+  // cleanly ("no entry"), not index into an empty module table.
+  const AnalysisReport report = VerifyGraph(GraphView{}, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(report.modules_examined, 0u);
+  EXPECT_EQ(report.violations.front().kind, InvariantKind::kUnwiredPort);
+  EXPECT_TRUE(report.violations.front().witness_path.empty());
+}
+
+TEST(VerifierTest, IsolatedModuleOffTheEntryPathIsIgnored) {
+  // A module no path reaches cannot affect any packet: the proof covers
+  // the reachable subgraph only and the stray module is not examined.
+  GraphView view;
+  view.entry = 0;
+  view.modules.push_back(Leaf("live"));
+  EffectSignature nasty;
+  nasty.rate_factor_max = 100.0;  // would be rejected if reachable
+  view.modules.push_back(Leaf("stray", nasty));
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  EXPECT_TRUE(report.proven()) << report.ToString();
+  EXPECT_EQ(report.modules_examined, 1u);
+  EXPECT_DOUBLE_EQ(report.bounds.rate_factor, 1.0);
+}
+
+TEST(VerifierTest, EntryModuleWithNoPortsHasNoTerminal) {
+  // "All entry, no terminal": the entry module exposes no output port,
+  // so no packet can ever leave the graph — a structural rejection.
+  GraphView view;
+  view.entry = 0;
+  ModuleView mv;
+  mv.type_name = "sink";
+  view.modules.push_back(std::move(mv));
+  const AnalysisReport report = VerifyGraph(view, {}, {});
+  ASSERT_EQ(report.status, AnalysisStatus::kRejected);
+  EXPECT_EQ(report.violations.front().kind, InvariantKind::kUnwiredPort);
+  EXPECT_EQ(report.violations.front().witness_path, (std::vector<int>{0}));
 }
 
 TEST(VerifierTest, EnumNamesAreStable) {

@@ -88,6 +88,18 @@ TEST(EnumNamesTest, ContextRequirementNamesDistinctAndNonEmpty) {
       analysis::ContextRequirementName, "ContextRequirement");
 }
 
+TEST(EnumNamesTest, PlanInvariantKindNamesDistinctAndNonEmpty) {
+  CheckNames<analysis::PlanInvariantKind>(
+      static_cast<std::size_t>(analysis::PlanInvariantKind::kCount_),
+      analysis::PlanInvariantKindName, "PlanInvariantKind");
+}
+
+TEST(EnumNamesTest, PlanStatusNamesDistinctAndNonEmpty) {
+  CheckNames<analysis::PlanStatus>(
+      static_cast<std::size_t>(analysis::PlanStatus::kCount_),
+      analysis::PlanStatusName, "PlanStatus");
+}
+
 TEST(EnumNamesTest, PacketFateNamesDistinctAndNonEmpty) {
   CheckNames<PacketFate>(static_cast<std::size_t>(PacketFate::kCount_),
                          PacketFateName, "PacketFate");

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Greps src/ for constructs that break simulator determinism: wall-clock
+# reads, libc randomness, and range-iteration over unordered containers
+# in one line (iteration order is implementation-defined, so any
+# sim-visible effect ordered by it diverges across platforms).
+#
+# Usage: tools/lint_determinism.sh [src-subdir]
+#   src-subdir  defaults to 'src' — pass e.g. 'src/core' to lint one
+#               subsystem
+#
+# Intentional uses (e.g. the obs wall-clock profiling hooks, which never
+# feed sim state) are suppressed via tools/determinism_allowlist.txt:
+# one "path-substring:pattern-label" entry per line, '#' comments.
+# Comment-only lines are ignored entirely.
+set -euo pipefail
+
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+SUBDIR="${1:-src}"
+ALLOWLIST="${SRC_DIR}/tools/determinism_allowlist.txt"
+
+if [[ ! -d "${SRC_DIR}/${SUBDIR}" ]]; then
+  echo "lint_determinism: no directory '${SUBDIR}'; skipping (OK)"
+  exit 0
+fi
+
+# label<TAB>extended-regex — labels key the allowlist.
+PATTERNS=$(cat <<'EOF'
+wall-clock	\b(time|clock|gettimeofday)\s*\(
+libc-rand	\b(rand|srand|random)\s*\(
+random-device	std::random_device
+chrono-now	(system_clock|steady_clock|high_resolution_clock)::now
+unordered-iteration	for\s*\(.*:.*unordered_(map|set)
+EOF
+)
+
+allowed() {  # $1 = file path, $2 = pattern label
+  [[ -f "${ALLOWLIST}" ]] || return 1
+  while IFS= read -r entry; do
+    [[ -z "${entry}" || "${entry}" == \#* ]] && continue
+    local path_part="${entry%%:*}" label_part="${entry#*:}"
+    if [[ "$1" == *"${path_part}"* && "$2" == "${label_part}" ]]; then
+      return 0
+    fi
+  done < "${ALLOWLIST}"
+  return 1
+}
+
+STATUS=0
+FINDINGS=0
+while IFS=$'\t' read -r label regex; do
+  [[ -z "${label}" ]] && continue
+  while IFS=: read -r file line content; do
+    [[ -z "${file}" ]] && continue
+    # Strip the //-comment tail and re-test, so prose about "simulated
+    # time (…)" never trips the lint — only code does.
+    code="${content%%//*}"
+    printf '%s' "${code}" | grep -qE "${regex}" || continue
+    allowed "${file}" "${label}" && continue
+    echo "lint_determinism: ${label}: ${file}:${line}:${content}"
+    FINDINGS=$((FINDINGS + 1))
+    STATUS=1
+  done < <(cd "${SRC_DIR}" && grep -rnE "${regex}" "${SUBDIR}" \
+             --include='*.h' --include='*.cpp' || true)
+done <<< "${PATTERNS}"
+
+if [[ ${STATUS} -ne 0 ]]; then
+  echo "lint_determinism: ${FINDINGS} finding(s) — wall-clock/randomness" \
+       "must flow through the sim clock and the world Rng (or be" \
+       "allowlisted in tools/determinism_allowlist.txt)"
+  exit 1
+fi
+echo "lint_determinism: clean (${SUBDIR})"
