@@ -6,8 +6,12 @@
 //    limit; we measure detection/reaction delay.
 //  * Network debugging: in-network statistics vantage points measuring
 //    link-level behaviour (loss, utilisation) for the owner's traffic.
+#include <cstring>
+
+#include "attack/flash_crowd.h"
 #include "bench_util.h"
 #include "core/traceback_service.h"
+#include "detect/controller.h"
 #include "host/client.h"
 #include "host/host.h"
 
@@ -27,12 +31,145 @@ class EvidenceHost : public Host {
   std::vector<Packet> evidence;
 };
 
+// --- 4. closed-loop detection sweep -----------------------------------------
+
+enum class DetectWorkload { kSustained, kPulsing, kFlashCrowd };
+
+const char* WorkloadName(DetectWorkload workload) {
+  switch (workload) {
+    case DetectWorkload::kSustained: return "sustained";
+    case DetectWorkload::kPulsing: return "pulsing";
+    case DetectWorkload::kFlashCrowd: return "flash-crowd";
+  }
+  return "?";
+}
+
+struct DetectCell {
+  double onsets = 0;
+  double withdrawals = 0;
+  double false_positives = 0;
+  /// Auto-deploys beyond the first for one attack episode — every extra
+  /// one is a flap the hysteresis failed to absorb.
+  double flapped = 0;
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return -1.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+/// One closed-loop run: a compact TCS world, a DetectionController
+/// delegated for the victim prefix, and one of three offered workloads.
+/// Everything is sim-deterministic, so per-seed results are exact
+/// replicas across runs — the ctest gate compares them at 1%.
+DetectCell RunDetectionCell(DetectWorkload workload, double lambda1,
+                            double alpha, std::uint64_t seed) {
+  TransitStubParams topo_params;
+  topo_params.transit_count = 3;
+  topo_params.stub_count = 14;
+  TcsWorld world(seed, topo_params);
+  world.AdoptTcsEverywhere();
+  const NodeId victim_as = world.topo.stub_nodes[0];
+  ServerConfig server_config;
+  server_config.cpu_capacity_rps = 1e5;
+  Server* victim =
+      SpawnHost<Server>(world.net, victim_as, kAccess, server_config);
+  ClientConfig client_config;
+  client_config.server = victim->address();
+  client_config.kind = RequestKind::kUdpRequest;
+  client_config.request_rate = 25.0;
+  SpawnHost<Client>(world.net, world.topo.stub_nodes[5], kAccess,
+                    client_config)
+      ->Start();
+
+  detect::DetectionConfig config;
+  config.sample_interval = Milliseconds(100);
+  config.sprt.lambda0_pps = 50.0;
+  config.sprt.lambda1_pps = lambda1;
+  config.sprt.alpha = alpha;
+  config.min_hold = Seconds(1);
+  config.clear_streak = 8;  // outlasts the 500 ms pulse silences
+  config.rearm_cooldown = Milliseconds(500);
+  config.rate_limit_pps = 100.0;
+  detect::DetectionController controller(world.net, world.tcsp, config);
+
+  AgentHost* agent = nullptr;
+  if (workload != DetectWorkload::kFlashCrowd) {
+    AttackDirective directive;
+    directive.type = AttackType::kDirectFlood;
+    directive.victim = victim->address();
+    directive.flood_proto = Protocol::kUdp;
+    directive.spoof = SpoofMode::kNone;
+    directive.rate_pps = 3000.0;
+    if (workload == DetectWorkload::kPulsing) {
+      directive.duration = Seconds(4);
+      directive.pulse_period = Seconds(1);
+      directive.pulse_on = Milliseconds(500);
+    } else {
+      directive.duration = Seconds(3);
+    }
+    agent = SpawnHost<AgentHost>(world.net, world.topo.stub_nodes[9],
+                                 kAccess, directive);
+  }
+
+  const auto cert =
+      world.tcsp.Register(AsOrgName(victim_as), {NodePrefix(victim_as)});
+  if (!cert.ok()) return {};
+  detect::MonitorOptions options;
+  options.name = "victim";
+  options.attack_probe = [agent] {
+    return agent != nullptr && agent->flooding();
+  };
+  if (!controller.Monitor(cert.value(), options).ok()) return {};
+  controller.Start();
+
+  if (workload == DetectWorkload::kFlashCrowd) {
+    FlashCrowdParams crowd;
+    crowd.server = victim->address();
+    crowd.client_count = 40;
+    crowd.request_rate_per_client = 10.0;
+    crowd.ramp = Seconds(1);
+    const std::vector<NodeId> crowd_nodes(world.topo.stub_nodes.begin() + 1,
+                                          world.topo.stub_nodes.end());
+    (void)LaunchFlashCrowd(world.net, crowd_nodes, crowd);
+    world.net.Run(Seconds(6));
+  } else {
+    world.net.control().Post(Seconds(1), [agent] { agent->StartFlood(); });
+    world.net.Run(Seconds(9));
+  }
+
+  DetectCell cell;
+  cell.onsets = static_cast<double>(controller.stats().onsets);
+  cell.withdrawals = static_cast<double>(controller.stats().withdrawals);
+  cell.false_positives =
+      static_cast<double>(controller.stats().false_positives);
+  const double attack_onsets = cell.onsets - cell.false_positives;
+  cell.flapped = attack_onsets > 1.0 ? attack_onsets - 1.0 : 0.0;
+  cell.latencies_ms = controller.decision_latencies_ms();
+  return cell;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = ExtractJsonFlag(&argc, argv);
+  BenchResultFile results("T8", json_path);
+  bool detect_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--detect-only") == 0) detect_only = true;
+  }
+
   PrintHeader("T8 (Sec. 4.4) — emerging applications",
               "traceback service accuracy, automated anomaly reaction, "
-              "in-network debugging statistics");
+              "in-network debugging statistics, closed-loop detection");
+
+  if (!detect_only) {
 
   // --- 1. TCS traceback accuracy vs digest budget ---
   Table traceback_table("TCS traceback: true-origin identification vs "
@@ -249,5 +386,88 @@ int main() {
       "linear memory cost; the pre-staged reaction engages within one\n"
       "trigger window of flood onset; and the congested access link is\n"
       "immediately visible to in-network observation.\n");
+  }  // !detect_only
+
+  // --- 4. closed-loop detection: SPRT sweep across workloads ---
+  // Canonical hypotheses for the gated scalars; the sweep shows how the
+  // operating point moves as the attack hypothesis tightens.
+  constexpr double kCanonicalLambda1 = 4000.0;
+  constexpr double kCanonicalAlpha = 0.001;
+  Table detect_table(
+      "closed-loop detection: SPRT auto-deploy/withdraw across offered "
+      "workloads (lambda0 = 50 pps, 3 seeds each; flood 3000 pps, flash "
+      "crowd 40 x 10 pps)");
+  detect_table.SetHeader({"workload", "lambda1", "alpha", "onsets",
+                          "withdrawals", "fp rate", "flapped",
+                          "latency p50", "latency p95"});
+  for (const DetectWorkload workload :
+       {DetectWorkload::kSustained, DetectWorkload::kPulsing,
+        DetectWorkload::kFlashCrowd}) {
+    for (const double lambda1 : {600.0, 2000.0, kCanonicalLambda1}) {
+      for (const double alpha : {kCanonicalAlpha, 0.05}) {
+        DetectCell sum;
+        std::size_t runs = 0;
+        for (const std::uint64_t seed : {1000u, 8919u, 16838u}) {
+          const DetectCell cell =
+              RunDetectionCell(workload, lambda1, alpha, seed);
+          sum.onsets += cell.onsets;
+          sum.withdrawals += cell.withdrawals;
+          sum.false_positives += cell.false_positives;
+          sum.flapped += cell.flapped;
+          sum.latencies_ms.insert(sum.latencies_ms.end(),
+                                  cell.latencies_ms.begin(),
+                                  cell.latencies_ms.end());
+          runs++;
+        }
+        const double n = static_cast<double>(runs);
+        const double fp_rate =
+            sum.onsets > 0 ? sum.false_positives / sum.onsets : 0.0;
+        const double p50 = Percentile(sum.latencies_ms, 0.50);
+        const double p95 = Percentile(sum.latencies_ms, 0.95);
+        detect_table.AddRow(
+            {WorkloadName(workload), Table::Num(lambda1, 0),
+             Table::Num(alpha, 3), Table::Num(sum.onsets / n, 2),
+             Table::Num(sum.withdrawals / n, 2), Table::Pct(fp_rate),
+             Table::Num(sum.flapped / n, 2),
+             p50 < 0 ? "-" : Table::Num(p50, 0) + " ms",
+             p95 < 0 ? "-" : Table::Num(p95, 0) + " ms"});
+
+        const std::string cell_tag = std::string("/workload=") +
+                                     WorkloadName(workload) +
+                                     ",l1=" + Table::Num(lambda1, 0) +
+                                     ",alpha=" + Table::Num(alpha, 3);
+        results.AddScalar("detect_fp_rate" + cell_tag, fp_rate);
+        results.AddScalar("detect_flapped" + cell_tag, sum.flapped / n);
+        if (lambda1 == kCanonicalLambda1 && alpha == kCanonicalAlpha) {
+          const std::string tag =
+              std::string("/workload=") + WorkloadName(workload);
+          results.AddScalar("detect_onsets" + tag, sum.onsets / n);
+          results.AddScalar("detect_withdrawals" + tag,
+                            sum.withdrawals / n);
+          results.AddScalar("detect_flapped" + tag, sum.flapped / n);
+          if (workload == DetectWorkload::kFlashCrowd) {
+            // 1.0 = no seed ever auto-deployed on the benign crowd; a
+            // 0/1 scalar so the gate works on a zero-onset baseline.
+            results.AddScalar("detect_clean" + tag,
+                              sum.onsets == 0 ? 1.0 : 0.0);
+          } else {
+            results.AddScalar("detect_latency_p50_ms" + tag, p50);
+            results.AddScalar("detect_latency_p95_ms" + tag, p95);
+          }
+        }
+      }
+    }
+  }
+  detect_table.Print(std::cout);
+
+  std::printf(
+      "\nreading (detection): the wide canonical hypotheses detect the\n"
+      "3000 pps flood within a sampling tick or two and auto-withdraw\n"
+      "once it ends, with the flash crowd left untouched; tightening\n"
+      "lambda1 toward the crowd's aggregate rate trades that immunity\n"
+      "for sensitivity, and the false-positive/flap columns price the\n"
+      "trade explicitly.\n");
+
+  results.Write();
   return 0;
 }

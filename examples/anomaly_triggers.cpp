@@ -1,20 +1,23 @@
-// Emerging applications demo (Sec. 4.4): distributed triggers that react
-// to traffic anomalies automatically, plus in-network statistics for
-// "network debugging and optimisation".
+// Closed-loop anomaly handling demo: from in-device triggers to a full
+// detect -> decide -> deploy -> withdraw cycle with no human in the loop.
 //
-//  * An AnomalyReaction service arms a trigger on the subscriber's
-//    inbound traffic; when a flood pushes the observed rate above the
-//    threshold, a pre-staged rate limit activates — with no human in the
-//    loop ("triggers can automatically activate predefined additional
-//    configurations").
-//  * A Statistics service collects per-port counters and sampled logs at
-//    an in-network vantage point.
+//  * A DetectionController registers as the victim's delegate, deploys a
+//    monitoring (statistics) service over its prefix and feeds the NMS
+//    counter samples into an SPRT sequential detector.
+//  * When a flood pushes the sampled rate past the attack hypothesis,
+//    the controller swaps the monitoring deployment for a rate-limiting
+//    firewall through the ordinary TCSP path — certificates, admission
+//    analysis and plan proof included.
+//  * When the flood ends and the offered load stays clear for the
+//    configured streak (after the minimum hold), the mitigation is
+//    withdrawn and monitoring resumes.
 //
 // Run:  build/examples/anomaly_triggers
 #include <cstdio>
 
 #include "attack/agent.h"
 #include "core/tcsp.h"
+#include "detect/controller.h"
 #include "host/client.h"
 #include "host/server.h"
 #include "net/topo_gen.h"
@@ -54,98 +57,92 @@ int main() {
   Client* client =
       SpawnHost<Client>(net, topo.stub_nodes[6], access, client_config);
 
-  // Anomaly reaction: trigger at 500 pps inbound, react with 100 pps cap.
-  const auto cert = tcsp.Register(AsOrgName(my_as), {NodePrefix(my_as)});
-  if (!cert.ok()) return 1;
-  ServiceRequest reaction;
-  reaction.kind = ServiceKind::kAnomalyReaction;
-  reaction.placement = PlacementPolicy::kStubNodesOnly;
-  reaction.control_scope = {NodePrefix(my_as)};
-  reaction.trigger.rate_threshold_pps = 500.0;
-  reaction.trigger.window = Milliseconds(250);
-  reaction.reaction_rate_limit_pps = 100.0;
-  if (!tcsp.DeployService(cert.value(), reaction).status.ok()) return 1;
-
-  // Statistics on a second subscriber (a different AS watching its own
-  // traffic mix).
-  const NodeId other_as = topo.stub_nodes[3];
-  const auto stats_cert =
-      tcsp.Register(AsOrgName(other_as), {NodePrefix(other_as)});
-  if (!stats_cert.ok()) return 1;
-  ServiceRequest stats_request;
-  stats_request.kind = ServiceKind::kStatistics;
-  stats_request.control_scope = {NodePrefix(other_as)};
-  stats_request.log_sample_one_in = 8;
-  if (!tcsp.DeployService(stats_cert.value(), stats_request).status.ok()) {
-    return 1;
-  }
-  Server* observed = SpawnHost<Server>(net, other_as, access);
-  ClientConfig observed_client_config;
-  observed_client_config.server = observed->address();
-  observed_client_config.kind = RequestKind::kUdpRequest;
-  observed_client_config.request_rate = 30.0;
-  Client* observed_client = SpawnHost<Client>(net, topo.stub_nodes[9],
-                                              access,
-                                              observed_client_config);
-
-  // The flood that trips the trigger.
+  // The flood the loop must catch: 4 s of 2500 pps UDP.
   AttackDirective directive;
   directive.type = AttackType::kDirectFlood;
   directive.victim = server->address();
   directive.flood_proto = Protocol::kUdp;
   directive.spoof = SpoofMode::kNone;
-  directive.rate_pps = 1500.0;
+  directive.rate_pps = 2500.0;
   directive.duration = Seconds(4);
   AgentHost* agent =
       SpawnHost<AgentHost>(net, topo.stub_nodes[11], access, directive);
 
-  std::printf("phase 1: normal load (2 s)...\n");
+  // Arm the closed loop as the victim's designated party.
+  const auto cert = tcsp.Register(AsOrgName(my_as), {NodePrefix(my_as)});
+  if (!cert.ok()) return 1;
+  detect::DetectionConfig detection;
+  detection.sample_interval = Milliseconds(100);
+  detection.sprt.lambda0_pps = 50.0;
+  detection.sprt.lambda1_pps = 4000.0;
+  detection.min_hold = Seconds(1);
+  detection.clear_streak = 5;
+  detection.action = detect::Action::kRateLimit;
+  detection.rate_limit_pps = 100.0;
+  detect::DetectionController controller(net, tcsp, detection);
+  detect::MonitorOptions options;
+  options.name = "victim-as";
+  options.attack_probe = [agent] { return agent->flooding(); };
+  const auto subscriber = controller.Monitor(cert.value(), options);
+  if (!subscriber.ok()) {
+    std::printf("monitor failed: %s\n",
+                subscriber.status().message().c_str());
+    return 1;
+  }
+  controller.Start();
+
+  std::printf("phase 1: normal load (2 s), loop armed...\n");
   client->Start();
-  observed_client->Start();
   net.Run(Seconds(2));
+  std::printf("  onsets so far: %llu (benign traffic must not trigger)\n",
+              static_cast<unsigned long long>(controller.stats().onsets));
 
   std::printf("phase 2: flood begins (4 s)...\n");
   agent->StartFlood();
-  net.Run(Seconds(5));
+  net.Run(Seconds(4));
+  std::printf("  phase: %s\n",
+              std::string(detect::PhaseName(controller.phase(
+                  subscriber.value()))).c_str());
 
-  // Inspect the trigger events collected by the victim AS's NMS.
-  std::size_t triggers_fired = 0, reactions = 0;
-  for (auto& nms : nmses) {
-    triggers_fired += nms->events().CountOf(EventKind::kTriggerFired);
-    reactions += nms->events().CountOf(EventKind::kRuleActivated);
+  std::printf("phase 3: flood over, waiting for withdrawal (3 s)...\n");
+  net.Run(Seconds(3));
+
+  const auto& stats = controller.stats();
+  std::printf("\nclosed-loop summary\n");
+  std::printf("  attack onsets detected  : %llu\n",
+              static_cast<unsigned long long>(stats.onsets));
+  std::printf("  auto-withdrawals        : %llu\n",
+              static_cast<unsigned long long>(stats.withdrawals));
+  std::printf("  false positives         : %llu\n",
+              static_cast<unsigned long long>(stats.false_positives));
+  if (!controller.decision_latencies_ms().empty()) {
+    std::printf("  detection latency       : %.0f ms\n",
+                controller.decision_latencies_ms().front());
   }
-  std::printf("\ntrigger events fired    : %zu\n", triggers_fired);
-  std::printf("auto-reactions activated: %zu\n", reactions);
-  std::printf("flood packets delivered : %llu of %llu sent (rate limited)\n",
+  std::printf("  final phase             : %s\n",
+              std::string(detect::PhaseName(controller.phase(
+                  subscriber.value()))).c_str());
+
+  std::size_t detected = 0, deploys = 0, cleared = 0, withdrawn = 0;
+  for (auto& nms : nmses) {
+    detected += nms->events().CountOf(EventKind::kAttackDetected);
+    deploys += nms->events().CountOf(EventKind::kAutoDeploy);
+    cleared += nms->events().CountOf(EventKind::kAttackCleared);
+    withdrawn += nms->events().CountOf(EventKind::kAutoWithdraw);
+  }
+  std::printf("\nmanagement-plane event fan-out (all %zu NMSes)\n",
+              nmses.size());
+  std::printf("  attack_detected=%zu auto_deploy=%zu attack_cleared=%zu "
+              "auto_withdraw=%zu\n",
+              detected, deploys, cleared, withdrawn);
+
+  std::printf("\ndata-plane effect\n");
+  std::printf("  flood delivered         : %llu of %llu sent\n",
               static_cast<unsigned long long>(
                   net.metrics().delivered(TrafficClass::kAttack)),
               static_cast<unsigned long long>(
                   net.metrics().sent(TrafficClass::kAttack)));
-  std::printf("client success          : %.1f%%\n",
+  std::printf("  client success          : %.1f%%\n",
               client->stats().SuccessRatio() * 100.0);
-
-  // Read the statistics vantage point of the second subscriber.
-  for (auto& nms : nmses) {
-    AdaptiveDevice* device = nms->device(other_as);
-    if (device == nullptr) continue;
-    ModuleGraph* graph = device->StageGraph(
-        stats_cert.value().subscriber, ProcessingStage::kDestinationOwner);
-    if (graph == nullptr) continue;
-    if (auto* stats = graph->FindModule<StatisticsModule>()) {
-      std::printf("\nin-network statistics at as%u:\n", other_as);
-      std::printf("  packets observed : %llu (%.0f B mean size)\n",
-                  static_cast<unsigned long long>(stats->packets()),
-                  stats->packet_size().mean());
-      for (const auto& [port, count] : stats->by_dst_port()) {
-        std::printf("  dst port %5u    : %llu packets\n", port,
-                    static_cast<unsigned long long>(count));
-      }
-    }
-    if (auto* logger = graph->FindModule<LoggerModule>()) {
-      std::printf("  sampled log tail (1-in-%u sampling):\n%s",
-                  stats_request.log_sample_one_in,
-                  logger->trace().Dump(5).c_str());
-    }
-  }
   return 0;
 }

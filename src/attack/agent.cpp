@@ -25,6 +25,7 @@ void AgentHost::HandlePacket(Packet&& packet) {
 
 void AgentHost::StartFlood() {
   flooding_ = true;
+  flood_started_at_ = Now();
   flood_ends_at_ = Now() + directive_.duration;
   SendOne();
 }
@@ -48,6 +49,16 @@ void AgentHost::SendOne() {
   if (Now() >= flood_ends_at_) {
     flooding_ = false;
     return;
+  }
+  // Pulsing flood: outside the on-phase the agent keeps its send clock
+  // running (so pulses stay aligned to the flood start) but emits nothing.
+  if (directive_.pulse_period > 0) {
+    const SimDuration phase =
+        (Now() - flood_started_at_) % directive_.pulse_period;
+    if (phase >= directive_.pulse_on) {
+      ScheduleNext();
+      return;
+    }
   }
 
   Packet p;

@@ -36,6 +36,7 @@ class AgentHost : public Host {
   AttackDirective directive_;
   AgentStats stats_;
   bool flooding_ = false;
+  SimTime flood_started_at_ = 0;
   SimTime flood_ends_at_ = 0;
   std::uint64_t round_robin_ = 0;
 };

@@ -41,6 +41,12 @@ struct AttackDirective {
   Protocol flood_proto = Protocol::kUdp;
   bool flood_tcp_syn = true;  // if flood_proto == kTcp, send SYNs
   SpoofMode spoof = SpoofMode::kRandom;
+  /// On-off (pulsing) flood: when pulse_period > 0 the agent sends only
+  /// during the first pulse_on of every period, measured from the flood
+  /// start, and stays silent for the rest — the classic detector-evasion
+  /// / deployment-flapping pattern. 0 = continuous flood.
+  SimDuration pulse_period = 0;
+  SimDuration pulse_on = 0;
 
   // --- reflector attack ---
   std::vector<Ipv4Address> reflectors;

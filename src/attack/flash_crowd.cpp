@@ -1,0 +1,46 @@
+#include "attack/flash_crowd.h"
+
+namespace adtc {
+
+double FlashCrowd::TotalOfferedRate() const {
+  double total = 0.0;
+  for (Client* client : clients) {
+    total += client->config().request_rate;
+  }
+  return total;
+}
+
+double FlashCrowd::SuccessRatio() const {
+  std::uint64_t sent = 0, ok = 0;
+  for (const Client* client : clients) {
+    sent += client->stats().requests_sent;
+    ok += client->stats().responses_received;
+  }
+  return sent > 0 ? static_cast<double>(ok) / static_cast<double>(sent)
+                  : 0.0;
+}
+
+FlashCrowd LaunchFlashCrowd(Network& net,
+                            const std::vector<NodeId>& at_nodes,
+                            const FlashCrowdParams& params) {
+  FlashCrowd crowd;
+  if (at_nodes.empty() || params.client_count == 0) return crowd;
+  for (std::uint32_t i = 0; i < params.client_count; ++i) {
+    ClientConfig config;
+    config.server = params.server;
+    config.kind = params.kind;
+    config.request_rate = params.request_rate_per_client;
+    config.request_bytes = params.request_bytes;
+    Client* client = SpawnHost<Client>(
+        net, at_nodes[i % at_nodes.size()], params.access, config);
+    const SimDuration after =
+        params.client_count > 1
+            ? params.ramp * i / (params.client_count - 1)
+            : 0;
+    client->Start(after, params.stop_at);
+    crowd.clients.push_back(client);
+  }
+  return crowd;
+}
+
+}  // namespace adtc

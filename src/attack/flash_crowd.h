@@ -1,0 +1,46 @@
+// Flash-crowd generator: many *legitimate* clients converging on one
+// server with staggered starts — the benign event a detection subsystem
+// must not confuse with a DDoS attack. Every client is an ordinary
+// request/response host (no spoofing, no per-source anomaly); only the
+// aggregate rate is unusual.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/client.h"
+#include "net/topo_gen.h"
+
+namespace adtc {
+
+struct FlashCrowdParams {
+  Ipv4Address server;
+  std::uint32_t client_count = 40;
+  /// Per-client request rate — kept at normal-user levels; the crowd's
+  /// signature is breadth, not per-source intensity.
+  double request_rate_per_client = 10.0;
+  RequestKind kind = RequestKind::kUdpRequest;
+  std::uint32_t request_bytes = 80;
+  /// Starts are spread uniformly over this ramp (0 = all at once).
+  SimDuration ramp = Seconds(2);
+  /// Clients stop at this absolute sim time (0 = never).
+  SimTime stop_at = 0;
+  LinkParams access{MegabitsPerSecond(20), Milliseconds(2), 64 * 1024};
+};
+
+struct FlashCrowd {
+  std::vector<Client*> clients;
+
+  double TotalOfferedRate() const;
+  /// Aggregate request success ratio across the crowd.
+  double SuccessRatio() const;
+};
+
+/// Spawns the crowd round-robin across `at_nodes` and schedules the
+/// staggered starts. Deterministic: placement and start times depend
+/// only on the parameters, not on an Rng stream.
+FlashCrowd LaunchFlashCrowd(Network& net,
+                            const std::vector<NodeId>& at_nodes,
+                            const FlashCrowdParams& params);
+
+}  // namespace adtc

@@ -30,6 +30,19 @@ enum class EventKind : std::uint8_t {
   /// soundness oracle (a module's filtering claim was wrong, or the
   /// topology diverged from the admission-time snapshot).
   kPlanSoundness,
+  /// Periodic cumulative counter sample published by the NMS for a
+  /// monitored aggregate (value = packets seen by the subscriber's
+  /// destination stage so far). Telemetry for the detection subsystem:
+  /// forwarded to the event tap, never retained in the NMS event log.
+  kCounterSample,
+  /// A sequential detector crossed its attack threshold for an aggregate.
+  kAttackDetected,
+  /// Sustained all-clear on a previously attacked aggregate.
+  kAttackCleared,
+  /// The DetectionController auto-deployed mitigation through the TCSP.
+  kAutoDeploy,
+  /// The DetectionController withdrew an auto-deployed mitigation.
+  kAutoWithdraw,
   kCount_,
 };
 

@@ -12,6 +12,11 @@ std::string_view EventKindName(EventKind kind) {
     case EventKind::kLogNote: return "log_note";
     case EventKind::kAnalysisSoundness: return "analysis_soundness";
     case EventKind::kPlanSoundness: return "plan_soundness";
+    case EventKind::kCounterSample: return "counter_sample";
+    case EventKind::kAttackDetected: return "attack_detected";
+    case EventKind::kAttackCleared: return "attack_cleared";
+    case EventKind::kAutoDeploy: return "auto_deploy";
+    case EventKind::kAutoWithdraw: return "auto_withdraw";
     case EventKind::kCount_: break;
   }
   return "?";

@@ -37,9 +37,15 @@ int TriggerModule::OnPacket(Packet& packet, const DeviceContext& ctx) {
     const bool congestion_anomaly =
         config_.drop_share_threshold <= 1.0 &&
         ctx.RouterDropShare() > config_.drop_share_threshold;
-    if ((rate_anomaly || congestion_anomaly) && cooled) {
+    if (!armed_ &&
+        last_rate_ <
+            config_.rearm_below_fraction * config_.rate_threshold_pps) {
+      armed_ = true;
+    }
+    if ((rate_anomaly || congestion_anomaly) && cooled && armed_) {
       last_fired_ = ctx.now;
       fired_count_++;
+      if (config_.rearm_below_fraction > 0.0) armed_ = false;
       ctx.Emit(EventKind::kTriggerFired,
                std::string(rate_anomaly ? "rate" : "congestion") +
                    " above threshold at node " + std::to_string(ctx.node),

@@ -94,6 +94,12 @@ class TriggerModule : public Module {
     /// Also fire when the hosting router's queue-drop share exceeds this
     /// (uses the operator-exposed telemetry of Sec. 4.2; > 1 disables).
     double drop_share_threshold = 2.0;
+    /// Fire-once-then-cooldown hysteresis: when > 0, a firing disarms
+    /// the trigger until a full window's rate falls below this fraction
+    /// of rate_threshold_pps — a rate hovering at the threshold fires
+    /// once instead of emitting a kTriggerFired storm every cooldown.
+    /// <= 0 keeps the legacy cooldown-only behaviour.
+    double rearm_below_fraction = 0.0;
   };
 
   explicit TriggerModule(Config config) : config_(config) {}
@@ -116,6 +122,8 @@ class TriggerModule : public Module {
 
   std::uint64_t fired_count() const { return fired_count_; }
   double last_observed_rate() const { return last_rate_; }
+  /// False while hysteresis holds the trigger disarmed after a firing.
+  bool armed() const { return armed_; }
 
  private:
   Config config_;
@@ -125,6 +133,7 @@ class TriggerModule : public Module {
   SimTime last_fired_ = -1;
   std::uint64_t fired_count_ = 0;
   double last_rate_ = 0.0;
+  bool armed_ = true;
 };
 
 }  // namespace adtc

@@ -767,6 +767,27 @@ std::size_t IspNms::CountDeployments(SubscriberId subscriber) const {
   return count;
 }
 
+std::size_t IspNms::PublishCounterSamples(SubscriberId subscriber) {
+  std::size_t published = 0;
+  for (NodeId node : managed_) {
+    AdaptiveDevice* device = devices_.at(node).get();
+    ModuleGraph* graph =
+        device->StageGraph(subscriber, ProcessingStage::kDestinationOwner);
+    if (graph == nullptr) continue;
+    auto* stats = graph->FindModule<StatisticsModule>();
+    if (stats == nullptr) continue;
+    DeviceEvent event;
+    event.kind = EventKind::kCounterSample;
+    event.at = net_.Now();
+    event.node = node;
+    event.subscriber = subscriber;
+    event.value = static_cast<double>(stats->packets());
+    DeliverEvent(node, event);
+    published++;
+  }
+  return published;
+}
+
 void IspNms::DeliverEvent(NodeId node, const DeviceEvent& event) {
   if (injector_ == nullptr) {
     OnEvent(event);
@@ -779,6 +800,10 @@ void IspNms::DeliverEvent(NodeId node, const DeviceEvent& event) {
 
 void IspNms::OnEvent(const DeviceEvent& event) {
   stats_.events_received++;
+  if (event_tap_ != nullptr) event_tap_->OnEvent(event);
+  // Counter samples are periodic telemetry for the tap, not operator
+  // events — retaining them would evict the log's real entries.
+  if (event.kind == EventKind::kCounterSample) return;
   event_log_.OnEvent(event);
   if (event.kind != EventKind::kSafetyViolation) return;
   // Containment fan-out: the runtime guard quarantined the offender on

@@ -210,6 +210,17 @@ class IspNms : public EventSink {
 
   // EventSink: devices report here.
   void OnEvent(const DeviceEvent& event) override;
+  /// Detection intake: every event delivered to this NMS is forwarded to
+  /// the tap (the DetectionController) before log retention. nullptr
+  /// detaches; the tap must outlive the NMS or detach in its destructor.
+  void SetEventTap(EventSink* tap) { event_tap_ = tap; }
+  EventSink* event_tap() const { return event_tap_; }
+  /// Publishes one kCounterSample upcall per managed device carrying
+  /// `subscriber`'s destination stage (value = cumulative packets seen
+  /// by the stage's StatisticsModule). Returns samples published. The
+  /// samples ride DeliverEvent, so with an injector attached they
+  /// inherit loss and delay like every other management message.
+  std::size_t PublishCounterSamples(SubscriberId subscriber);
   /// Device upcall entry: rides the per-device event channel when an
   /// injector is attached (so event reports inherit loss/delay like every
   /// other management message), inline OnEvent otherwise.
@@ -331,6 +342,7 @@ class IspNms : public EventSink {
   bool sweep_scheduled_ = false;
   std::size_t sweep_attempt_ = 0;
   bool resync_running_ = false;
+  EventSink* event_tap_ = nullptr;
   EventBuffer event_log_;
   /// Subscribers already swept by the quarantine fan-out (latency is
   /// measured on the first violation only).

@@ -100,6 +100,12 @@ ModuleGraph BuildIngressFilteringStage(
 
 ModuleGraph BuildFirewallStage(const ServiceRequest& request) {
   ModuleGraph graph;
+  // Offered-load observation sits ahead of every rule and the limiter so
+  // its counters see the pre-mitigation rate (see observe_offered_load).
+  int offered_stats = -1;
+  if (request.observe_offered_load) {
+    offered_stats = graph.AddModule(std::make_unique<StatisticsModule>());
+  }
   std::vector<int> rule_ids;
   for (const MatchRule& rule : request.deny_rules) {
     rule_ids.push_back(graph.AddModule(std::make_unique<MatchModule>(rule)));
@@ -112,9 +118,13 @@ ModuleGraph BuildFirewallStage(const ServiceRequest& request) {
   }
   const int counter = graph.AddModule(std::make_unique<CounterModule>());
 
-  // Chain: rule -> rule -> ... -> [limiter] -> counter -> accept;
-  // every match (port 1) and limiter-exceeded drops.
+  // Chain: [offered-load stats] -> rule -> ... -> [limiter] -> counter ->
+  // accept; every match (port 1) and limiter-exceeded drops.
   int previous = -1;
+  if (offered_stats >= 0) {
+    (void)graph.SetEntry(offered_stats);
+    previous = offered_stats;
+  }
   for (int id : rule_ids) {
     if (previous < 0) {
       (void)graph.SetEntry(id);

@@ -68,6 +68,12 @@ struct ServiceRequest {
   // --- distributed firewall ---
   std::vector<MatchRule> deny_rules;
   std::optional<double> inbound_rate_limit_pps;
+  /// Prepends a StatisticsModule to the firewall stage so the *offered*
+  /// (pre-filter) load stays observable while mitigation is installed —
+  /// the detection controller's withdrawal decision reads it (a counter
+  /// placed after the limiter would only ever see the capped rate and
+  /// the controller would flap under a sustained attack).
+  bool observe_offered_load = false;
 
   // --- anomaly reaction ---
   TriggerModule::Config trigger;

@@ -105,6 +105,9 @@ class Tcsp {
   /// mesh (each new ISP peers with all previously enrolled ones).
   void EnrollIsp(IspNms* nms);
   std::size_t isp_count() const { return isps_.size(); }
+  /// Enrolled NMSes in enrolment order (the detection controller samples
+  /// and taps them; deterministic iteration order matters).
+  const std::vector<IspNms*>& enrolled_isps() const { return isps_; }
 
   // --- Fig. 4: service registration -------------------------------------
   /// Synchronous registration (identity assumed verified when

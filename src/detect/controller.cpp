@@ -1,0 +1,371 @@
+#include "detect/controller.h"
+
+#include <cassert>
+#include <utility>
+
+namespace adtc::detect {
+
+std::string_view DetectorKindName(DetectorKind kind) {
+  switch (kind) {
+    case DetectorKind::kSprt: return "sprt";
+    case DetectorKind::kEwma: return "ewma";
+    case DetectorKind::kCount_: break;
+  }
+  return "unknown";
+}
+
+std::string_view ActionName(Action action) {
+  switch (action) {
+    case Action::kRateLimit: return "rate-limit";
+    case Action::kBlacklist: return "blacklist";
+    case Action::kCount_: break;
+  }
+  return "unknown";
+}
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kMonitoring: return "monitoring";
+    case Phase::kMitigating: return "mitigating";
+    case Phase::kCount_: break;
+  }
+  return "unknown";
+}
+
+DetectionController::DetectionController(Network& net, Tcsp& tcsp,
+                                         DetectionConfig config)
+    : net_(net), tcsp_(tcsp), config_(std::move(config)) {
+  latency_hist_ = &net_.telemetry().registry().GetHistogram(
+      "detect.decision_latency_ms", 0.0, 10000.0, 200);
+  net_.telemetry().registry().AddCollector(
+      this, [this](obs::MetricsSnapshot& out) {
+        out.push_back({"detect.samples",
+                       static_cast<double>(stats_.samples)});
+        out.push_back({"detect.onsets",
+                       static_cast<double>(stats_.onsets)});
+        out.push_back({"detect.withdrawals",
+                       static_cast<double>(stats_.withdrawals)});
+        out.push_back({"detect.false_positives",
+                       static_cast<double>(stats_.false_positives)});
+        out.push_back({"detect.deploy_failures",
+                       static_cast<double>(stats_.deploy_failures)});
+        out.push_back({"detect.monitored_aggregates",
+                       static_cast<double>(aggregates_.size())});
+        std::size_t mitigating = 0;
+        for (const auto& agg : aggregates_) {
+          mitigating += agg->phase == Phase::kMitigating ? 1 : 0;
+        }
+        out.push_back({"detect.mitigating_aggregates",
+                       static_cast<double>(mitigating)});
+      });
+}
+
+DetectionController::~DetectionController() {
+  net_.telemetry().registry().RemoveCollectors(this);
+  for (IspNms* nms : tapped_) {
+    if (nms->event_tap() == this) nms->SetEventTap(nullptr);
+  }
+}
+
+obs::Tracer* DetectionController::tracer() const {
+  return net_.telemetry().tracing_enabled() ? &net_.telemetry().tracer()
+                                            : nullptr;
+}
+
+std::unique_ptr<Detector> DetectionController::MakeDetector() const {
+  switch (config_.detector) {
+    case DetectorKind::kEwma:
+      return std::make_unique<EwmaDetector>(config_.ewma);
+    case DetectorKind::kSprt:
+    case DetectorKind::kCount_:
+      break;
+  }
+  return std::make_unique<SprtDetector>(config_.sprt);
+}
+
+ServiceRequest DetectionController::MonitorRequest(
+    const AggregateState& agg) const {
+  ServiceRequest request;
+  request.kind = ServiceKind::kStatistics;
+  request.placement = config_.monitor_placement;
+  request.placement_nodes = config_.monitor_nodes;
+  request.control_scope = agg.scope;
+  // The monitor exists for its counters; keep the sampled log light.
+  request.log_sample_one_in = 64;
+  request.log_capacity = 512;
+  return request;
+}
+
+ServiceRequest DetectionController::MitigationRequest(
+    const AggregateState& agg) const {
+  ServiceRequest request;
+  request.kind = ServiceKind::kDistributedFirewall;
+  request.placement = config_.mitigation_placement;
+  request.placement_nodes = config_.mitigation_nodes;
+  request.control_scope = agg.scope;
+  request.observe_offered_load = true;
+  if (config_.action == Action::kRateLimit) {
+    request.inbound_rate_limit_pps = config_.rate_limit_pps;
+  } else {
+    MatchRule deny;
+    deny.proto = config_.blacklist_proto;
+    request.deny_rules.push_back(deny);
+  }
+  return request;
+}
+
+void DetectionController::TapEnrolledIsps() {
+  for (IspNms* nms : tcsp_.enrolled_isps()) {
+    if (nms->event_tap() == this) continue;
+    nms->SetEventTap(this);
+    tapped_.push_back(nms);
+  }
+}
+
+Result<SubscriberId> DetectionController::Monitor(
+    const OwnershipCertificate& owner_cert, MonitorOptions options) {
+  auto agg = std::make_unique<AggregateState>();
+  agg->name = options.name.empty() ? owner_cert.subject : options.name;
+  agg->scope = options.prefixes.empty() ? owner_cert.prefixes
+                                        : std::move(options.prefixes);
+  Result<OwnershipCertificate> delegated = tcsp_.RegisterDelegate(
+      owner_cert, "detect:" + agg->name, agg->scope);
+  if (!delegated.ok()) return delegated.status();
+  agg->cert = std::move(delegated).value();
+  agg->subscriber = agg->cert.subscriber;
+  agg->probe = std::move(options.attack_probe);
+  agg->detector = MakeDetector();
+
+  const DeploymentReport report =
+      tcsp_.DeployService(agg->cert, MonitorRequest(*agg));
+  if (!report.status.ok()) return report.status;
+
+  TapEnrolledIsps();
+  const SubscriberId subscriber = agg->subscriber;
+  by_subscriber_[subscriber] = agg.get();
+  aggregates_.push_back(std::move(agg));
+  return subscriber;
+}
+
+void DetectionController::Start() {
+  // The tick reads device state through the NMSes and the NMSes deliver
+  // samples back inline — one sequential domain. Multi-shard worlds
+  // would race those touches, so the loop is single-shard only (the
+  // same restriction PushbackSystem and the fault data plane carry).
+  assert(net_.shard_count() == 1 &&
+         "DetectionController requires a single-shard world");
+  running_ = true;
+  if (ticking_) return;
+  ticking_ = true;
+  net_.control().PostEvery(config_.sample_interval, [this] {
+    if (!running_) {
+      ticking_ = false;
+      return false;
+    }
+    Tick();
+    return true;
+  });
+}
+
+void DetectionController::Tick() {
+  const SimTime now = net_.Now();
+  // Ground-truth edges first, so an onset decided by this tick's samples
+  // measures its latency against the freshest probe state.
+  for (auto& agg : aggregates_) {
+    if (!agg->probe) continue;
+    const bool attacking = agg->probe();
+    if (attacking && !agg->truth_attacking) agg->truth_attack_since = now;
+    if (!attacking) agg->truth_attack_since = -1;
+    agg->truth_attacking = attacking;
+  }
+  // Publish one sample per (NMS, aggregate, vantage device). In a
+  // fault-free world delivery is inline, so verdicts (and onsets) land
+  // inside this call; with an injector the samples arrive later and the
+  // flags below are evaluated next tick.
+  for (IspNms* nms : tcsp_.enrolled_isps()) {
+    for (auto& agg : aggregates_) {
+      nms->PublishCounterSamples(agg->subscriber);
+    }
+  }
+  for (auto& agg : aggregates_) {
+    if (agg->phase != Phase::kMitigating) continue;
+    if (agg->attack_seen_since_tick) {
+      agg->clear_ticks = 0;
+      agg->attack_seen_since_tick = false;
+    } else {
+      agg->clear_ticks++;
+    }
+    if (now - agg->deployed_at >= config_.min_hold &&
+        agg->clear_ticks >= config_.clear_streak) {
+      Withdraw(*agg);
+    }
+  }
+}
+
+void DetectionController::OnEvent(const DeviceEvent& event) {
+  if (event.kind != EventKind::kCounterSample) return;
+  const auto it = by_subscriber_.find(event.subscriber);
+  if (it == by_subscriber_.end()) return;
+  AggregateState& agg = *it->second;
+
+  NodeSample& last = agg.last_sample[event.node];
+  if (last.at < 0) {
+    last = {event.at, event.value};
+    return;
+  }
+  if (event.at <= last.at) return;  // duplicated/reordered upcall
+  const SimDuration interval = event.at - last.at;
+  // Cumulative counters restart at zero when the deployment is swapped;
+  // a sample below the baseline is a fresh counter, not a negative rate.
+  const double delta = event.value >= last.packets
+                           ? event.value - last.packets
+                           : event.value;
+  last = {event.at, event.value};
+
+  stats_.samples++;
+  const Verdict verdict =
+      agg.detector->Observe({event.node, event.at, interval, delta});
+  if (verdict != Verdict::kAttack) return;
+  agg.attack_seen_since_tick = true;
+  if (agg.phase == Phase::kMitigating) {
+    agg.clear_ticks = 0;
+    return;
+  }
+  if (net_.Now() >= agg.rearm_at) {
+    Onset(agg, event.node, delta / ToSeconds(interval));
+  }
+}
+
+void DetectionController::Onset(AggregateState& agg, NodeId node,
+                                double observed_pps) {
+  const SimTime now = net_.Now();
+  stats_.onsets++;
+
+  double latency_ms = -1.0;
+  if (agg.probe) {
+    if (!agg.truth_attacking && !agg.probe()) {
+      stats_.false_positives++;
+    } else if (agg.truth_attack_since >= 0) {
+      latency_ms = ToMilliseconds(now - agg.truth_attack_since);
+      decision_latencies_ms_.push_back(latency_ms);
+      latency_hist_->Add(latency_ms);
+    }
+  }
+
+  obs::ScopedSpan span(tracer(), "detect.onset");
+  span.SetSubscriber(agg.subscriber);
+  span.SetNode(node);
+  if (tracer() != nullptr) {
+    tracer()->Annotate(span.id(), "aggregate", agg.name);
+    tracer()->Annotate(span.id(), "detector",
+                       std::string(agg.detector->name()));
+    tracer()->Annotate(span.id(), "observed_pps",
+                       std::to_string(observed_pps));
+    tracer()->Annotate(span.id(), "action",
+                       std::string(ActionName(config_.action)));
+  }
+
+  DeviceEvent detected;
+  detected.kind = EventKind::kAttackDetected;
+  detected.at = now;
+  detected.node = node;
+  detected.subscriber = agg.subscriber;
+  detected.detail = std::string(agg.detector->name()) +
+                    " decided attack on aggregate " + agg.name;
+  detected.value = observed_pps;
+  FanOut(detected);
+
+  // The swap: the delegate owns each scope prefix exactly once per
+  // device, so the monitor must leave before mitigation can land. Both
+  // legs are ordinary TCSP deployments (admission checks, plan proof,
+  // dedup, retries) parented under this span.
+  (void)tcsp_.RemoveService(agg.subscriber);
+  const DeploymentReport report =
+      tcsp_.DeployService(agg.cert, MitigationRequest(agg));
+  if (!report.status.ok()) {
+    stats_.deploy_failures++;
+    span.Fail();
+    // Best-effort recovery: without the monitor back the loop is blind.
+    (void)tcsp_.DeployService(agg.cert, MonitorRequest(agg));
+    ResetObservation(agg);
+    agg.rearm_at = now + config_.rearm_cooldown;
+    return;
+  }
+
+  agg.phase = Phase::kMitigating;
+  agg.deployed_at = now;
+  agg.clear_ticks = 0;
+  agg.attack_seen_since_tick = false;
+  ResetObservation(agg);
+
+  DeviceEvent deployed = detected;
+  deployed.kind = EventKind::kAutoDeploy;
+  deployed.detail = std::string(ActionName(config_.action)) +
+                    " auto-deployed for aggregate " + agg.name;
+  deployed.value = static_cast<double>(report.devices_configured);
+  FanOut(deployed);
+}
+
+void DetectionController::Withdraw(AggregateState& agg) {
+  const SimTime now = net_.Now();
+
+  obs::ScopedSpan span(tracer(), "detect.withdraw");
+  span.SetSubscriber(agg.subscriber);
+  if (tracer() != nullptr) {
+    tracer()->Annotate(span.id(), "aggregate", agg.name);
+    tracer()->Annotate(span.id(), "detector",
+                       std::string(agg.detector->name()));
+    tracer()->Annotate(span.id(), "clear_ticks",
+                       std::to_string(agg.clear_ticks));
+    tracer()->Annotate(span.id(), "held_ms",
+                       std::to_string(ToMilliseconds(now - agg.deployed_at)));
+  }
+
+  (void)tcsp_.RemoveService(agg.subscriber);
+  const DeploymentReport report =
+      tcsp_.DeployService(agg.cert, MonitorRequest(agg));
+  if (!report.status.ok()) {
+    stats_.deploy_failures++;
+    span.Fail();
+  }
+
+  agg.phase = Phase::kMonitoring;
+  agg.deployed_at = -1;
+  agg.rearm_at = now + config_.rearm_cooldown;
+  agg.clear_ticks = 0;
+  agg.attack_seen_since_tick = false;
+  ResetObservation(agg);
+  stats_.withdrawals++;
+
+  DeviceEvent cleared;
+  cleared.kind = EventKind::kAttackCleared;
+  cleared.at = now;
+  cleared.subscriber = agg.subscriber;
+  cleared.detail = "sustained all-clear on aggregate " + agg.name;
+  FanOut(cleared);
+  DeviceEvent withdrawn = cleared;
+  withdrawn.kind = EventKind::kAutoWithdraw;
+  withdrawn.detail = std::string(ActionName(config_.action)) +
+                     " withdrawn for aggregate " + agg.name;
+  withdrawn.value = static_cast<double>(report.devices_configured);
+  FanOut(withdrawn);
+}
+
+void DetectionController::ResetObservation(AggregateState& agg) {
+  agg.detector->Reset();
+  agg.last_sample.clear();
+}
+
+void DetectionController::FanOut(const DeviceEvent& event) {
+  for (IspNms* nms : tcsp_.enrolled_isps()) {
+    nms->OnEvent(event);
+  }
+}
+
+Phase DetectionController::phase(SubscriberId delegate) const {
+  const auto it = by_subscriber_.find(delegate);
+  return it == by_subscriber_.end() ? Phase::kMonitoring
+                                    : it->second->phase;
+}
+
+}  // namespace adtc::detect

@@ -1,0 +1,203 @@
+// DetectionController: the decision layer that closes the
+// detect -> decide -> deploy -> withdraw loop (ROADMAP "closed control
+// loop"; Adaptive Distributed Filtering motivates re-deciding the
+// deployed filter set as the attack mix shifts).
+//
+// The controller is hosted at the NMS/TCSP side of the management plane:
+//  * It registers itself as a *delegate* of the protected owner
+//    (Tcsp::RegisterDelegate, Sec. 4.1 "traffic control can be executed
+//    by a designated party on behalf of a network address owner"), so
+//    every action it takes is certificate-bound to the owner's prefixes.
+//  * It keeps exactly one deployment per monitored aggregate under that
+//    delegate identity and swaps it between two shapes through the
+//    normal Tcsp::DeployService / RemoveService path — inheriting
+//    admission-time graph verification, the network-wide plan proof,
+//    dedup, retries and tracing:
+//      - monitoring: a Statistics service whose destination-stage
+//        counters the NMSes publish as kCounterSample upcalls;
+//      - mitigating: a DistributedFirewall (rate limit or blacklist)
+//        with observe_offered_load set, so the *pre-filter* rate stays
+//        visible and the withdrawal decision reads offered load, not the
+//        capped residue (one deployment per prefix per device — the
+//        device's redirect table owns each prefix exactly once, so
+//        monitor and mitigation cannot coexist; the swap is the loop).
+//  * Verdicts come from a Detector (SPRT or EWMA) fed with rate deltas
+//    between consecutive samples. Cumulative counters make the intake
+//    loss-tolerant: a dropped sample only widens the next interval.
+//  * Hysteresis prevents deployment flapping under pulsing attacks: a
+//    mitigation is held for min_hold, withdrawn only after clear_streak
+//    consecutive all-clear sampling ticks, and a withdrawn aggregate
+//    cannot re-trigger until rearm_cooldown has passed.
+//
+// Determinism: the controller runs on the control shard of a
+// single-shard world (asserted in Start), samples on a fixed sim-time
+// period, and draws no randomness. Decision latency is measured against
+// a harness-supplied ground-truth probe (the same pattern the
+// containment reports use) and exported as detect.* metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tcsp.h"
+#include "detect/detector.h"
+
+namespace adtc::detect {
+
+enum class DetectorKind : std::uint8_t { kSprt, kEwma, kCount_ };
+std::string_view DetectorKindName(DetectorKind kind);
+
+enum class Action : std::uint8_t { kRateLimit, kBlacklist, kCount_ };
+std::string_view ActionName(Action action);
+
+/// Where an aggregate sits in the loop.
+enum class Phase : std::uint8_t { kMonitoring, kMitigating, kCount_ };
+std::string_view PhaseName(Phase phase);
+
+struct DetectionConfig {
+  /// Counter-sample publication period (the loop's clock).
+  SimDuration sample_interval = Milliseconds(100);
+
+  DetectorKind detector = DetectorKind::kSprt;
+  SprtDetector::Config sprt;
+  EwmaDetector::Config ewma;
+
+  // --- hysteresis (anti-flapping) ---
+  /// A mitigation stays at least this long regardless of verdicts.
+  SimDuration min_hold = Seconds(2);
+  /// Consecutive all-clear sampling ticks before withdrawal.
+  std::uint32_t clear_streak = 5;
+  /// After a withdrawal, onsets are ignored for this long.
+  SimDuration rearm_cooldown = Seconds(1);
+
+  // --- mitigation shape ---
+  Action action = Action::kRateLimit;
+  double rate_limit_pps = 100.0;
+  /// kBlacklist: protocol denied toward the aggregate.
+  Protocol blacklist_proto = Protocol::kUdp;
+
+  // --- placements ---
+  PlacementPolicy monitor_placement = PlacementPolicy::kAllManagedNodes;
+  std::vector<NodeId> monitor_nodes;  // for kExplicitNodes
+  PlacementPolicy mitigation_placement = PlacementPolicy::kAllManagedNodes;
+  std::vector<NodeId> mitigation_nodes;
+};
+
+/// Controller counters; exported through the world registry as
+/// "detect.*". Decision latency additionally feeds the
+/// "detect.decision_latency_ms" histogram.
+struct DetectionStats {
+  obs::Counter samples;          // counter samples consumed
+  obs::Counter onsets;           // detector-declared attack onsets
+  obs::Counter withdrawals;      // completed withdraw + re-monitor swaps
+  obs::Counter false_positives;  // onsets the ground-truth probe refuted
+  obs::Counter deploy_failures;  // swap legs rejected by the TCSP
+};
+
+struct MonitorOptions {
+  /// Display name for traces/events; defaults to the owner's subject.
+  std::string name;
+  /// Subset of the owner's prefixes to watch; defaults to all of them.
+  std::vector<Prefix> prefixes;
+  /// Harness ground truth ("is an attack on this aggregate active?").
+  /// Optional; without it false positives and decision latency are not
+  /// measured (the loop itself runs on wire-visible counters only).
+  std::function<bool()> attack_probe;
+};
+
+class DetectionController : public EventSink {
+ public:
+  DetectionController(Network& net, Tcsp& tcsp,
+                      DetectionConfig config = {});
+  ~DetectionController() override;
+
+  DetectionController(const DetectionController&) = delete;
+  DetectionController& operator=(const DetectionController&) = delete;
+
+  /// Delegates for the owner, deploys the monitoring service over the
+  /// aggregate and arms a detector. Returns the delegate SubscriberId —
+  /// the identity all auto-deployments of this aggregate run under.
+  Result<SubscriberId> Monitor(const OwnershipCertificate& owner_cert,
+                               MonitorOptions options = {});
+
+  /// Starts the periodic sampling tick. Call once after Monitor().
+  void Start();
+  void Stop() { running_ = false; }
+
+  /// EventSink (the NMS event tap): consumes kCounterSample upcalls.
+  void OnEvent(const DeviceEvent& event) override;
+
+  // --- introspection ------------------------------------------------------
+  Phase phase(SubscriberId delegate) const;
+  std::size_t aggregate_count() const { return aggregates_.size(); }
+  const DetectionStats& stats() const { return stats_; }
+  /// Ground-truth-measured onset latencies (ms), in onset order, across
+  /// all aggregates with a probe.
+  const std::vector<double>& decision_latencies_ms() const {
+    return decision_latencies_ms_;
+  }
+  const DetectionConfig& config() const { return config_; }
+
+ private:
+  struct NodeSample {
+    SimTime at = -1;
+    double packets = 0.0;
+  };
+
+  struct AggregateState {
+    OwnershipCertificate cert;  // the delegate certificate
+    SubscriberId subscriber = kInvalidSubscriber;
+    std::string name;
+    std::vector<Prefix> scope;
+    std::function<bool()> probe;
+    std::unique_ptr<Detector> detector;
+
+    Phase phase = Phase::kMonitoring;
+    SimTime deployed_at = -1;
+    SimTime rearm_at = 0;
+    std::uint32_t clear_ticks = 0;
+    bool attack_seen_since_tick = false;
+
+    /// Ground-truth attack edge (probe polled per tick; -1 = none).
+    SimTime truth_attack_since = -1;
+    bool truth_attacking = false;
+
+    /// Last cumulative sample per vantage point (delta baselines).
+    std::map<NodeId, NodeSample> last_sample;
+  };
+
+  std::unique_ptr<Detector> MakeDetector() const;
+  ServiceRequest MonitorRequest(const AggregateState& agg) const;
+  ServiceRequest MitigationRequest(const AggregateState& agg) const;
+
+  void Tick();
+  void Onset(AggregateState& agg, NodeId node, double observed_pps);
+  void Withdraw(AggregateState& agg);
+  /// Detector + delta baselines reset (the monitored graph was swapped,
+  /// so the cumulative counters restart from zero).
+  void ResetObservation(AggregateState& agg);
+  /// Registers this controller as the event tap of every enrolled NMS.
+  void TapEnrolledIsps();
+  /// Management-plane visibility: the lifecycle event lands in every
+  /// enrolled NMS's log (the kPlanSoundness fan-out pattern).
+  void FanOut(const DeviceEvent& event);
+  obs::Tracer* tracer() const;
+
+  Network& net_;
+  Tcsp& tcsp_;
+  DetectionConfig config_;
+  std::vector<std::unique_ptr<AggregateState>> aggregates_;
+  std::map<SubscriberId, AggregateState*> by_subscriber_;
+  std::vector<IspNms*> tapped_;
+  std::vector<double> decision_latencies_ms_;
+  Histogram* latency_hist_ = nullptr;
+  bool running_ = false;
+  bool ticking_ = false;
+  DetectionStats stats_;
+};
+
+}  // namespace adtc::detect

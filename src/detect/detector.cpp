@@ -1,0 +1,73 @@
+#include "detect/detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adtc::detect {
+
+std::string_view VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kUndecided: return "undecided";
+    case Verdict::kBenign: return "benign";
+    case Verdict::kAttack: return "attack";
+    case Verdict::kCount_: break;
+  }
+  return "unknown";
+}
+
+SprtDetector::SprtDetector(Config config) : config_(config) {
+  // Degenerate hypotheses or error targets would produce NaN thresholds;
+  // clamp to a sane test instead of propagating them into decisions.
+  config_.alpha = std::clamp(config_.alpha, 1e-9, 0.5);
+  config_.beta = std::clamp(config_.beta, 1e-9, 0.5);
+  config_.lambda0_pps = std::max(config_.lambda0_pps, 1e-6);
+  config_.lambda1_pps =
+      std::max(config_.lambda1_pps, config_.lambda0_pps * (1.0 + 1e-6));
+  log_rate_ratio_ = std::log(config_.lambda1_pps / config_.lambda0_pps);
+  rate_gap_ = config_.lambda1_pps - config_.lambda0_pps;
+  upper_ = std::log((1.0 - config_.beta) / config_.alpha);
+  lower_ = std::log(config_.beta / (1.0 - config_.alpha));
+}
+
+Verdict SprtDetector::Observe(const CounterSample& sample) {
+  if (sample.interval <= 0) return Verdict::kUndecided;
+  const double dt_s = ToSeconds(sample.interval);
+  double& llr = llr_[sample.node];
+  llr += sample.packets * log_rate_ratio_ - rate_gap_ * dt_s;
+  if (llr >= upper_) {
+    llr = 0.0;  // decision reached; the test re-arms from scratch
+    return Verdict::kAttack;
+  }
+  if (llr <= lower_) {
+    llr = 0.0;
+    return Verdict::kBenign;
+  }
+  return Verdict::kUndecided;
+}
+
+double SprtDetector::DecisionState(NodeId node) const {
+  const auto it = llr_.find(node);
+  return it == llr_.end() ? 0.0 : it->second;
+}
+
+Verdict EwmaDetector::Observe(const CounterSample& sample) {
+  if (sample.interval <= 0) return Verdict::kUndecided;
+  const double observed =
+      sample.packets / ToSeconds(sample.interval);
+  const auto [it, fresh] = rate_.try_emplace(sample.node, observed);
+  if (!fresh) {
+    it->second += config_.smoothing * (observed - it->second);
+  }
+  if (it->second > config_.threshold_pps) return Verdict::kAttack;
+  if (it->second < config_.clear_fraction * config_.threshold_pps) {
+    return Verdict::kBenign;
+  }
+  return Verdict::kUndecided;
+}
+
+double EwmaDetector::DecisionState(NodeId node) const {
+  const auto it = rate_.find(node);
+  return it == rate_.end() ? 0.0 : it->second;
+}
+
+}  // namespace adtc::detect

@@ -1,0 +1,134 @@
+// Sequential attack detectors over per-device counter samples.
+//
+// The detection subsystem closes the paper's adaptive loop: the NMS
+// publishes cumulative packet counters of a monitored aggregate
+// (IspNms::PublishCounterSamples), the controller turns consecutive
+// samples into rate observations, and a detector decides per vantage
+// point whether the aggregate is under attack.
+//
+//  * SprtDetector — Wald's sequential probability ratio test between two
+//    Poisson rate hypotheses H0 (benign, lambda0 pps) and H1 (attack,
+//    lambda1 pps). Per sample of n packets over dt seconds the
+//    log-likelihood ratio advances by
+//        n * ln(lambda1/lambda0) - (lambda1 - lambda0) * dt
+//    and a decision falls at the Wald thresholds
+//        A = ln((1 - beta) / alpha)      (attack)
+//        B = ln(beta / (1 - alpha))      (benign)
+//    giving configurable false-positive (alpha) / false-negative (beta)
+//    targets with the minimal expected sample count. After a decision
+//    the statistic resets and the test re-arms.
+//  * EwmaDetector — exponentially weighted moving-average rate with a
+//    fixed threshold and a clear fraction; the simple baseline the SPRT
+//    is benchmarked against.
+//
+// Determinism: detectors are pure functions of the sample sequence —
+// sim-time driven, no wall clock, no randomness. Per-node state lives in
+// ordered maps so iteration (and therefore telemetry) is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace adtc::detect {
+
+/// One rate observation at one vantage point: `packets` arrived in the
+/// `interval` ending at `at`.
+struct CounterSample {
+  NodeId node = kInvalidNode;
+  SimTime at = 0;
+  SimDuration interval = 0;
+  double packets = 0.0;
+};
+
+enum class Verdict : std::uint8_t {
+  kUndecided,  // keep sampling
+  kBenign,     // H0 accepted (SPRT) / rate below the clear line (EWMA)
+  kAttack,     // H1 accepted / rate above threshold
+  kCount_,
+};
+
+std::string_view VerdictName(Verdict verdict);
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Feeds one observation; returns the decision state after it.
+  virtual Verdict Observe(const CounterSample& sample) = 0;
+
+  /// Drops all per-node state (called on deploy/withdraw transitions —
+  /// the monitored module graph was swapped, so history is stale).
+  virtual void Reset() = 0;
+
+  /// The decision statistic for `node` (LLR for SPRT, smoothed rate for
+  /// EWMA); 0 when the node has no state. Tagged onto trace spans.
+  virtual double DecisionState(NodeId node) const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+class SprtDetector : public Detector {
+ public:
+  struct Config {
+    /// False-positive target: P(decide attack | benign).
+    double alpha = 0.01;
+    /// False-negative target: P(decide benign | attack).
+    double beta = 0.02;
+    /// H0: benign traffic toward the aggregate arrives at this rate.
+    double lambda0_pps = 50.0;
+    /// H1: attack traffic arrives at (at least) this rate.
+    double lambda1_pps = 2000.0;
+  };
+
+  explicit SprtDetector(Config config);
+
+  Verdict Observe(const CounterSample& sample) override;
+  void Reset() override { llr_.clear(); }
+  double DecisionState(NodeId node) const override;
+  std::string_view name() const override { return "sprt"; }
+
+  /// Wald decision thresholds (A and B above).
+  double UpperThreshold() const { return upper_; }
+  double LowerThreshold() const { return lower_; }
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  double log_rate_ratio_;  // ln(lambda1 / lambda0), per packet
+  double rate_gap_;        // lambda1 - lambda0, per second
+  double upper_;
+  double lower_;
+  std::map<NodeId, double> llr_;
+};
+
+class EwmaDetector : public Detector {
+ public:
+  struct Config {
+    /// Weight of the newest rate observation.
+    double smoothing = 0.3;
+    /// Smoothed rate above this is an attack.
+    double threshold_pps = 1000.0;
+    /// Smoothed rate below clear_fraction * threshold is benign;
+    /// in between the detector stays undecided (hysteresis band).
+    double clear_fraction = 0.5;
+  };
+
+  explicit EwmaDetector(Config config) : config_(config) {}
+
+  Verdict Observe(const CounterSample& sample) override;
+  void Reset() override { rate_.clear(); }
+  double DecisionState(NodeId node) const override;
+  std::string_view name() const override { return "ewma"; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::map<NodeId, double> rate_;
+};
+
+}  // namespace adtc::detect

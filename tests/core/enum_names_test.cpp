@@ -11,6 +11,8 @@
 #include "common/drop_reason.h"
 #include "core/events.h"
 #include "core/safety.h"
+#include "detect/controller.h"
+#include "detect/detector.h"
 #include "net/metrics.h"
 #include "sim/faults.h"
 
@@ -111,6 +113,35 @@ TEST(EnumNamesTest, AdversaryScenarioNamesDistinctAndNonEmpty) {
       static_cast<std::size_t>(AdversaryScenario::kCount_),
       AdversaryScenarioName, "AdversaryScenario");
   EXPECT_EQ(AdversaryScenarioName(AdversaryScenario::kCount_), "unknown");
+}
+
+TEST(EnumNamesTest, DetectVerdictNamesDistinctAndNonEmpty) {
+  CheckNames<detect::Verdict>(
+      static_cast<std::size_t>(detect::Verdict::kCount_),
+      detect::VerdictName, "detect::Verdict");
+  EXPECT_EQ(detect::VerdictName(detect::Verdict::kCount_), "unknown");
+}
+
+TEST(EnumNamesTest, DetectorKindNamesDistinctAndNonEmpty) {
+  CheckNames<detect::DetectorKind>(
+      static_cast<std::size_t>(detect::DetectorKind::kCount_),
+      detect::DetectorKindName, "detect::DetectorKind");
+  EXPECT_EQ(detect::DetectorKindName(detect::DetectorKind::kCount_),
+            "unknown");
+}
+
+TEST(EnumNamesTest, DetectActionNamesDistinctAndNonEmpty) {
+  CheckNames<detect::Action>(
+      static_cast<std::size_t>(detect::Action::kCount_), detect::ActionName,
+      "detect::Action");
+  EXPECT_EQ(detect::ActionName(detect::Action::kCount_), "unknown");
+}
+
+TEST(EnumNamesTest, DetectPhaseNamesDistinctAndNonEmpty) {
+  CheckNames<detect::Phase>(
+      static_cast<std::size_t>(detect::Phase::kCount_), detect::PhaseName,
+      "detect::Phase");
+  EXPECT_EQ(detect::PhaseName(detect::Phase::kCount_), "unknown");
 }
 
 }  // namespace

@@ -364,6 +364,66 @@ TEST(TriggerModuleTest, ArmedActionRuns) {
 }
 
 
+TEST(TriggerModuleTest, CooldownBoundaryRefiresExactlyAtExpiry) {
+  TriggerModule::Config config;
+  config.rate_threshold_pps = 100.0;
+  config.window = Milliseconds(100);
+  config.cooldown = Milliseconds(500);
+  TriggerModule module(config);
+  DeviceContext ctx = CtxAt(0);
+
+  // 200 pps sustained; windows close at every 100 ms multiple.
+  // First close (t=100ms) fires; closes at 200..500 ms sit inside the
+  // cooldown; the close at exactly last_fired + cooldown (t=600ms) must
+  // fire again — the cooldown comparison is >=, not >.
+  for (int i = 0; i <= 120; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Milliseconds(i * 5);
+    module.OnPacket(p, ctx);
+    if (i == 100) {
+      EXPECT_EQ(module.fired_count(), 1u) << "fired during cooldown";
+    }
+  }
+  EXPECT_EQ(module.fired_count(), 2u);
+}
+
+TEST(TriggerModuleTest, RearmFractionFiresOnceUntilRateSubsides) {
+  TriggerModule::Config config;
+  config.rate_threshold_pps = 100.0;
+  config.window = Milliseconds(100);
+  config.cooldown = 0;  // isolate the re-arm hysteresis from the cooldown
+  config.rearm_below_fraction = 0.5;
+  TriggerModule module(config);
+  DeviceContext ctx = CtxAt(0);
+
+  // A hovering anomaly (200 pps for a full second) fires exactly once:
+  // the module disarms after the first firing and 200 pps never dips
+  // below the 50 pps re-arm line.
+  for (int i = 0; i <= 200; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Milliseconds(i * 5);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_EQ(module.fired_count(), 1u);
+  EXPECT_FALSE(module.armed());
+
+  // One quiet window (10 pps < 50 pps) re-arms without firing...
+  Packet quiet = UdpPacket();
+  ctx.now = Milliseconds(1100);
+  module.OnPacket(quiet, ctx);
+  EXPECT_EQ(module.fired_count(), 1u);
+  EXPECT_TRUE(module.armed());
+
+  // ...so the next burst fires again.
+  for (int i = 1; i <= 20; ++i) {
+    Packet p = UdpPacket();
+    ctx.now = Milliseconds(1100 + i * 5);
+    module.OnPacket(p, ctx);
+  }
+  EXPECT_EQ(module.fired_count(), 2u);
+  EXPECT_FALSE(module.armed());
+}
+
 TEST(TriggerModuleTest, CongestionThresholdFires) {
   // Telemetry-based triggering (Sec. 4.2 router state): a router whose
   // out-links drop heavily trips the trigger even at low packet rates.

@@ -1,0 +1,174 @@
+// Unit tests for the sequential detectors: threshold algebra, decision
+// direction, reset-after-decision, and per-node state independence.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/detector.h"
+
+namespace adtc::detect {
+namespace {
+
+CounterSample At(NodeId node, SimTime at, SimDuration interval,
+                 double packets) {
+  return {node, at, interval, packets};
+}
+
+TEST(SprtDetectorTest, ThresholdsMatchWaldFormulae) {
+  SprtDetector::Config config;
+  config.alpha = 0.01;
+  config.beta = 0.02;
+  SprtDetector detector(config);
+  EXPECT_DOUBLE_EQ(detector.UpperThreshold(),
+                   std::log((1.0 - 0.02) / 0.01));
+  EXPECT_DOUBLE_EQ(detector.LowerThreshold(),
+                   std::log(0.02 / (1.0 - 0.01)));
+  EXPECT_GT(detector.UpperThreshold(), 0.0);
+  EXPECT_LT(detector.LowerThreshold(), 0.0);
+}
+
+TEST(SprtDetectorTest, AttackRateCrossesUpperThreshold) {
+  SprtDetector::Config config;
+  config.lambda0_pps = 50.0;
+  config.lambda1_pps = 2000.0;
+  SprtDetector detector(config);
+
+  // Feed samples at the attack hypothesis rate: the LLR drifts up and
+  // must decide "attack" within a handful of 100 ms samples.
+  Verdict verdict = Verdict::kUndecided;
+  int samples = 0;
+  for (; samples < 50 && verdict == Verdict::kUndecided; ++samples) {
+    verdict = detector.Observe(
+        At(3, Milliseconds(100) * (samples + 1), Milliseconds(100), 200.0));
+  }
+  EXPECT_EQ(verdict, Verdict::kAttack);
+  EXPECT_LT(samples, 10) << "SPRT should decide quickly at lambda1";
+}
+
+TEST(SprtDetectorTest, BenignRateCrossesLowerThreshold) {
+  SprtDetector::Config config;
+  config.lambda0_pps = 50.0;
+  config.lambda1_pps = 2000.0;
+  SprtDetector detector(config);
+
+  Verdict verdict = Verdict::kUndecided;
+  for (int i = 0; i < 50 && verdict == Verdict::kUndecided; ++i) {
+    verdict = detector.Observe(
+        At(3, Milliseconds(100) * (i + 1), Milliseconds(100), 5.0));
+  }
+  EXPECT_EQ(verdict, Verdict::kBenign);
+}
+
+TEST(SprtDetectorTest, FlashCrowdRateBelowDriftThresholdStaysBenign) {
+  // The drift sign flips at r* = (l1-l0)/ln(l1/l0); for 50/2000 that is
+  // ~529 pps. A 400 pps flash crowd sits below r*, so the test never
+  // declares attack no matter how long it runs — this is the hypothesis
+  // separation the closed-loop flash-crowd test leans on.
+  SprtDetector::Config config;
+  config.lambda0_pps = 50.0;
+  config.lambda1_pps = 2000.0;
+  SprtDetector detector(config);
+
+  for (int i = 0; i < 600; ++i) {
+    const Verdict verdict = detector.Observe(
+        At(7, Milliseconds(100) * (i + 1), Milliseconds(100), 40.0));
+    ASSERT_NE(verdict, Verdict::kAttack) << "sample " << i;
+  }
+}
+
+TEST(SprtDetectorTest, ResetsAfterEachDecision) {
+  SprtDetector::Config config;
+  config.lambda0_pps = 50.0;
+  config.lambda1_pps = 2000.0;
+  SprtDetector detector(config);
+
+  int decisions = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Verdict verdict = detector.Observe(
+        At(1, Milliseconds(100) * (i + 1), Milliseconds(100), 200.0));
+    if (verdict == Verdict::kAttack) {
+      decisions++;
+      // The test re-arms from zero evidence after each decision.
+      EXPECT_DOUBLE_EQ(detector.DecisionState(1), 0.0);
+    }
+  }
+  EXPECT_GE(decisions, 2) << "a sustained attack re-decides repeatedly";
+}
+
+TEST(SprtDetectorTest, PerNodeStateIsIndependent) {
+  SprtDetector detector({});
+  // 53 packets per 100 ms sits just above the default drift threshold:
+  // positive evidence that does not yet cross the decision boundary.
+  // It must not leak into node 2's test.
+  (void)detector.Observe(At(1, Milliseconds(100), Milliseconds(100), 53.0));
+  EXPECT_GT(detector.DecisionState(1), 0.0);
+  EXPECT_DOUBLE_EQ(detector.DecisionState(2), 0.0);
+}
+
+TEST(SprtDetectorTest, ResetClearsAllState) {
+  SprtDetector detector({});
+  (void)detector.Observe(At(1, Milliseconds(100), Milliseconds(100), 53.0));
+  ASSERT_GT(detector.DecisionState(1), 0.0);
+  detector.Reset();
+  EXPECT_DOUBLE_EQ(detector.DecisionState(1), 0.0);
+}
+
+TEST(SprtDetectorTest, NonPositiveIntervalIsIgnored) {
+  SprtDetector detector({});
+  EXPECT_EQ(detector.Observe(At(1, 0, 0, 500.0)), Verdict::kUndecided);
+  EXPECT_DOUBLE_EQ(detector.DecisionState(1), 0.0);
+}
+
+TEST(SprtDetectorTest, DeterministicAcrossInstances) {
+  SprtDetector a({});
+  SprtDetector b({});
+  for (int i = 0; i < 20; ++i) {
+    const CounterSample sample =
+        At(4, Milliseconds(100) * (i + 1), Milliseconds(100), 30.0 + i);
+    EXPECT_EQ(a.Observe(sample), b.Observe(sample)) << "sample " << i;
+    EXPECT_DOUBLE_EQ(a.DecisionState(4), b.DecisionState(4));
+  }
+}
+
+TEST(EwmaDetectorTest, BandsSeparateAttackClearAndUndecided) {
+  EwmaDetector::Config config;
+  config.threshold_pps = 1000.0;
+  config.clear_fraction = 0.5;
+  config.smoothing = 1.0;  // no memory: verdict tracks the raw rate
+  EwmaDetector detector(config);
+
+  EXPECT_EQ(detector.Observe(At(1, Milliseconds(100), Milliseconds(100),
+                                200.0)),
+            Verdict::kAttack);  // 2000 pps
+  EXPECT_EQ(detector.Observe(At(1, Milliseconds(200), Milliseconds(100),
+                                70.0)),
+            Verdict::kUndecided);  // 700 pps: inside the hysteresis band
+  EXPECT_EQ(detector.Observe(At(1, Milliseconds(300), Milliseconds(100),
+                                10.0)),
+            Verdict::kBenign);  // 100 pps
+}
+
+TEST(EwmaDetectorTest, SmoothingDelaysTheVerdict) {
+  EwmaDetector::Config config;
+  config.threshold_pps = 1000.0;
+  config.smoothing = 0.3;
+  EwmaDetector detector(config);
+
+  // Seeded at a benign rate, a jump to 3000 pps takes a few samples to
+  // pull the average over the threshold.
+  EXPECT_EQ(detector.Observe(At(1, Milliseconds(100), Milliseconds(100),
+                                10.0)),
+            Verdict::kBenign);
+  Verdict verdict = Verdict::kUndecided;
+  int samples = 0;
+  for (; samples < 20 && verdict != Verdict::kAttack; ++samples) {
+    verdict = detector.Observe(At(
+        1, Milliseconds(200) + Milliseconds(100) * samples,
+        Milliseconds(100), 300.0));
+  }
+  EXPECT_EQ(verdict, Verdict::kAttack);
+  EXPECT_GT(samples, 1) << "EWMA must not jump on a single sample";
+}
+
+}  // namespace
+}  // namespace adtc::detect

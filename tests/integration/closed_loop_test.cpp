@@ -1,0 +1,342 @@
+// Closed-loop detection integration: SPRT detectors watching NMS counter
+// samples auto-deploy mitigation through the normal TCSP path on attack
+// onset and auto-withdraw it after a sustained all-clear — with
+// hysteresis strong enough that pulsing attacks do not flap the
+// deployment, and hypothesis separation wide enough that a flash crowd
+// never triggers it at all.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "attack/agent.h"
+#include "attack/flash_crowd.h"
+#include "core/tcsp.h"
+#include "detect/controller.h"
+#include "host/client.h"
+#include "host/server.h"
+#include "net/topo_gen.h"
+
+namespace adtc {
+namespace {
+
+using detect::DetectionConfig;
+using detect::DetectionController;
+using detect::MonitorOptions;
+
+constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+
+const LinkParams kAccess{MegabitsPerSecond(100), Milliseconds(2),
+                         256 * 1024};
+
+struct LoopWorld {
+  std::unique_ptr<Network> net;
+  TopologyInfo topo;
+  std::unique_ptr<NumberAuthority> authority;
+  std::unique_ptr<Tcsp> tcsp;
+  std::vector<std::unique_ptr<IspNms>> nmses;
+
+  NodeId victim_node = 0;
+  Server* server = nullptr;
+  Client* client = nullptr;
+};
+
+LoopWorld MakeWorld(std::uint64_t seed) {
+  LoopWorld w;
+  w.net = std::make_unique<Network>(seed);
+  TransitStubParams topo_params;
+  topo_params.transit_count = 3;
+  topo_params.stub_count = 14;
+  w.topo = BuildTransitStub(*w.net, topo_params);
+  w.authority = std::make_unique<NumberAuthority>();
+  AllocateTopologyPrefixes(*w.authority, w.net->node_count());
+  w.tcsp = std::make_unique<Tcsp>(*w.net, *w.authority, "loop-key");
+  for (NodeId node = 0; node < w.net->node_count(); ++node) {
+    auto nms = std::make_unique<IspNms>("isp-" + std::to_string(node),
+                                        *w.net, &w.tcsp->validator());
+    nms->ManageNode(node);
+    w.tcsp->EnrollIsp(nms.get());
+    w.nmses.push_back(std::move(nms));
+  }
+
+  w.victim_node = w.topo.stub_nodes[0];
+  ServerConfig server_config;
+  server_config.cpu_capacity_rps = 5000.0;
+  w.server = SpawnHost<Server>(*w.net, w.victim_node, kAccess,
+                               server_config);
+  ClientConfig client_config;
+  client_config.server = w.server->address();
+  client_config.kind = RequestKind::kUdpRequest;
+  client_config.request_rate = 25.0;
+  w.client = SpawnHost<Client>(*w.net, w.topo.stub_nodes[5], kAccess,
+                               client_config);
+  return w;
+}
+
+DetectionConfig LoopConfig() {
+  DetectionConfig config;
+  config.sample_interval = Milliseconds(100);
+  config.detector = detect::DetectorKind::kSprt;
+  // Wide hypothesis separation: the SPRT's per-sample increments are
+  // large at these rates, so a single 100 ms window only decides
+  // "attack" above ~910 pps — transient queueing bursts riding on a
+  // benign 400 pps crowd stay well below that bar.
+  config.sprt.lambda0_pps = 50.0;
+  config.sprt.lambda1_pps = 4000.0;
+  config.min_hold = Seconds(1);
+  config.clear_streak = 3;
+  config.rearm_cooldown = Milliseconds(500);
+  config.action = detect::Action::kRateLimit;
+  config.rate_limit_pps = 100.0;
+  return config;
+}
+
+AgentHost* SpawnFlood(LoopWorld& w, double rate_pps, SimDuration duration,
+                      SimDuration pulse_period = 0,
+                      SimDuration pulse_on = 0) {
+  AttackDirective directive;
+  directive.type = AttackType::kDirectFlood;
+  directive.victim = w.server->address();
+  directive.flood_proto = Protocol::kUdp;
+  directive.spoof = SpoofMode::kNone;
+  directive.rate_pps = rate_pps;
+  directive.duration = duration;
+  directive.pulse_period = pulse_period;
+  directive.pulse_on = pulse_on;
+  return SpawnHost<AgentHost>(*w.net, w.topo.stub_nodes[9], kAccess,
+                              directive);
+}
+
+std::size_t CountEvents(const LoopWorld& w, EventKind kind) {
+  std::size_t total = 0;
+  for (const auto& nms : w.nmses) total += nms->events().CountOf(kind);
+  return total;
+}
+
+TEST(ClosedLoopTest, OnsetAutoDeploysWithBoundedLatency) {
+  for (const std::uint64_t seed : kSeeds) {
+    LoopWorld w = MakeWorld(seed);
+    AgentHost* agent = SpawnFlood(w, 3000.0, Seconds(30));
+
+    DetectionController controller(*w.net, *w.tcsp, LoopConfig());
+    const auto cert =
+        w.tcsp->Register(AsOrgName(w.victim_node), {NodePrefix(w.victim_node)});
+    ASSERT_TRUE(cert.ok());
+    MonitorOptions options;
+    options.name = "victim";
+    options.attack_probe = [agent] { return agent->flooding(); };
+    const auto subscriber = controller.Monitor(cert.value(), options);
+    ASSERT_TRUE(subscriber.ok()) << subscriber.status().message();
+    controller.Start();
+
+    w.client->Start();
+    w.net->Run(Seconds(1));  // benign warm-up: must not trigger
+    EXPECT_EQ(controller.stats().onsets, 0u) << "seed " << seed;
+
+    agent->StartFlood();
+    w.net->Run(Seconds(3));
+
+    EXPECT_GE(controller.stats().onsets, 1u) << "seed " << seed;
+    EXPECT_EQ(controller.stats().false_positives, 0u) << "seed " << seed;
+    EXPECT_EQ(controller.phase(subscriber.value()),
+              detect::Phase::kMitigating)
+        << "seed " << seed;
+    EXPECT_GE(CountEvents(w, EventKind::kAttackDetected), 1u);
+    EXPECT_GE(CountEvents(w, EventKind::kAutoDeploy), 1u);
+
+    // Ground-truth latency: the SPRT needs only a few 100 ms samples at
+    // 3000 pps, but allow slack for the sampling phase offset.
+    ASSERT_FALSE(controller.decision_latencies_ms().empty());
+    EXPECT_LT(controller.decision_latencies_ms().front(), 2000.0)
+        << "seed " << seed;
+
+    // The auto-deployed rate limit is actually filtering the flood.
+    EXPECT_GT(w.net->metrics().dropped(TrafficClass::kAttack,
+                                       DropReason::kFiltered),
+              0u)
+        << "seed " << seed;
+  }
+}
+
+TEST(ClosedLoopTest, WithdrawsAfterSustainedAllClear) {
+  for (const std::uint64_t seed : kSeeds) {
+    LoopWorld w = MakeWorld(seed);
+    AgentHost* agent = SpawnFlood(w, 3000.0, Seconds(2));
+
+    DetectionController controller(*w.net, *w.tcsp, LoopConfig());
+    const auto cert =
+        w.tcsp->Register(AsOrgName(w.victim_node), {NodePrefix(w.victim_node)});
+    ASSERT_TRUE(cert.ok());
+    MonitorOptions options;
+    options.attack_probe = [agent] { return agent->flooding(); };
+    const auto subscriber = controller.Monitor(cert.value(), options);
+    ASSERT_TRUE(subscriber.ok());
+    controller.Start();
+
+    w.client->Start();
+    agent->StartFlood();
+    // Flood for 2 s, then 4 s of quiet: min_hold (1 s) plus the clear
+    // streak (3 ticks = 300 ms) both expire well inside that.
+    w.net->Run(Seconds(6));
+
+    EXPECT_GE(controller.stats().onsets, 1u) << "seed " << seed;
+    EXPECT_GE(controller.stats().withdrawals, 1u) << "seed " << seed;
+    EXPECT_EQ(controller.phase(subscriber.value()),
+              detect::Phase::kMonitoring)
+        << "seed " << seed;
+    EXPECT_GE(CountEvents(w, EventKind::kAttackCleared), 1u);
+    EXPECT_GE(CountEvents(w, EventKind::kAutoWithdraw), 1u);
+
+    // After withdrawal the monitoring deployment is back: the victim's
+    // device carries a statistics graph for the delegate again.
+    bool monitor_back = false;
+    for (const auto& nms : w.nmses) {
+      AdaptiveDevice* device = nms->device(w.victim_node);
+      if (device == nullptr) continue;
+      ModuleGraph* graph = device->StageGraph(
+          subscriber.value(), ProcessingStage::kDestinationOwner);
+      if (graph != nullptr &&
+          graph->FindModule<StatisticsModule>() != nullptr) {
+        monitor_back = true;
+      }
+    }
+    EXPECT_TRUE(monitor_back) << "seed " << seed;
+  }
+}
+
+TEST(ClosedLoopTest, FlashCrowdDoesNotTriggerMitigation) {
+  for (const std::uint64_t seed : kSeeds) {
+    LoopWorld w = MakeWorld(seed);
+
+    DetectionController controller(*w.net, *w.tcsp, LoopConfig());
+    const auto cert =
+        w.tcsp->Register(AsOrgName(w.victim_node), {NodePrefix(w.victim_node)});
+    ASSERT_TRUE(cert.ok());
+    MonitorOptions options;
+    options.attack_probe = [] { return false; };  // never an attack
+    const auto subscriber = controller.Monitor(cert.value(), options);
+    ASSERT_TRUE(subscriber.ok());
+    controller.Start();
+    w.client->Start();
+
+    // 40 normal users converge on the victim: ~400 pps aggregate, below
+    // the SPRT drift threshold r* = (l1-l0)/ln(l1/l0) ~ 901 pps for the
+    // 50/4000 hypotheses — breadth without per-source intensity must
+    // drift the test toward "benign", not "attack".
+    FlashCrowdParams crowd_params;
+    crowd_params.server = w.server->address();
+    crowd_params.client_count = 40;
+    crowd_params.request_rate_per_client = 10.0;
+    crowd_params.ramp = Seconds(1);
+    std::vector<NodeId> crowd_nodes(w.topo.stub_nodes.begin() + 1,
+                                    w.topo.stub_nodes.end());
+    const FlashCrowd crowd =
+        LaunchFlashCrowd(*w.net, crowd_nodes, crowd_params);
+    EXPECT_EQ(crowd.clients.size(), 40u);
+
+    w.net->Run(Seconds(6));
+
+    EXPECT_EQ(controller.stats().onsets, 0u) << "seed " << seed;
+    EXPECT_EQ(controller.stats().false_positives, 0u) << "seed " << seed;
+    EXPECT_EQ(controller.phase(subscriber.value()),
+              detect::Phase::kMonitoring)
+        << "seed " << seed;
+    EXPECT_EQ(CountEvents(w, EventKind::kAutoDeploy), 0u) << "seed " << seed;
+    // The crowd itself was served, not collaterally damaged.
+    EXPECT_GT(crowd.SuccessRatio(), 0.9) << "seed " << seed;
+  }
+}
+
+TEST(ClosedLoopTest, PulsingAttackDoesNotFlapDeployment) {
+  const std::uint64_t seed = kSeeds[0];
+  LoopWorld w = MakeWorld(seed);
+  // On-off flood: 500 ms bursts at 3000 pps, 500 ms silences, for 6 s.
+  AgentHost* agent =
+      SpawnFlood(w, 3000.0, Seconds(6), Seconds(1), Milliseconds(500));
+
+  // Hysteresis sized against the pulse: the clear streak (8 ticks =
+  // 800 ms) is longer than the 500 ms silences, so off-phases never
+  // complete a withdrawal while the episode is live.
+  DetectionConfig config = LoopConfig();
+  config.min_hold = Seconds(2);
+  config.clear_streak = 8;
+  DetectionController controller(*w.net, *w.tcsp, config);
+  const auto cert =
+      w.tcsp->Register(AsOrgName(w.victim_node), {NodePrefix(w.victim_node)});
+  ASSERT_TRUE(cert.ok());
+  MonitorOptions options;
+  options.attack_probe = [agent] { return agent->flooding(); };
+  const auto subscriber = controller.Monitor(cert.value(), options);
+  ASSERT_TRUE(subscriber.ok());
+  controller.Start();
+
+  w.client->Start();
+  agent->StartFlood();
+  w.net->Run(Seconds(10));
+
+  // One onset, one withdrawal: the pulsing never flaps the deployment.
+  // (Each lifecycle event fans out to every enrolled NMS, so the
+  // network-wide event count for a single deploy is one per NMS.)
+  EXPECT_EQ(controller.stats().deploy_failures, 0u);
+  EXPECT_EQ(controller.stats().onsets, 1u);
+  EXPECT_EQ(controller.stats().withdrawals, 1u);
+  EXPECT_EQ(CountEvents(w, EventKind::kAutoDeploy), w.nmses.size());
+  EXPECT_EQ(CountEvents(w, EventKind::kAutoWithdraw), w.nmses.size());
+  EXPECT_EQ(controller.phase(subscriber.value()),
+            detect::Phase::kMonitoring);
+}
+
+struct EndState {
+  std::uint64_t legit_sent = 0;
+  std::uint64_t legit_delivered = 0;
+  std::uint64_t legit_filtered = 0;
+  std::uint64_t responses = 0;
+
+  bool operator==(const EndState&) const = default;
+};
+
+EndState RunBenignWorld(std::uint64_t seed, bool armed) {
+  LoopWorld w = MakeWorld(seed);
+  std::unique_ptr<DetectionController> controller;
+  if (armed) {
+    controller =
+        std::make_unique<DetectionController>(*w.net, *w.tcsp, LoopConfig());
+    const auto cert =
+        w.tcsp->Register(AsOrgName(w.victim_node), {NodePrefix(w.victim_node)});
+    EXPECT_TRUE(cert.ok());
+    MonitorOptions options;
+    options.attack_probe = [] { return false; };
+    EXPECT_TRUE(controller->Monitor(cert.value(), options).ok());
+    controller->Start();
+  }
+  w.client->Start();
+  w.net->Run(Seconds(5));
+  if (controller != nullptr) {
+    EXPECT_EQ(controller->stats().onsets, 0u);
+  }
+
+  EndState state;
+  state.legit_sent = w.net->metrics().sent(TrafficClass::kLegitimate);
+  state.legit_delivered =
+      w.net->metrics().delivered(TrafficClass::kLegitimate);
+  state.legit_filtered = w.net->metrics().dropped(
+      TrafficClass::kLegitimate, DropReason::kFiltered);
+  state.responses = w.client->stats().responses_received;
+  return state;
+}
+
+TEST(ClosedLoopTest, ArmedDetectorIsInvisibleWithoutAttack) {
+  // Differential guard: an armed controller watching benign traffic must
+  // not change what the data plane does — the monitoring graph is
+  // pass-through and the controller itself draws no world randomness.
+  for (const std::uint64_t seed : kSeeds) {
+    const EndState without = RunBenignWorld(seed, /*armed=*/false);
+    const EndState with = RunBenignWorld(seed, /*armed=*/true);
+    EXPECT_EQ(without, with) << "seed " << seed;
+    EXPECT_GT(with.legit_delivered, 0u);
+    EXPECT_EQ(with.legit_filtered, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace adtc
